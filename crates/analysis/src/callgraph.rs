@@ -1,0 +1,333 @@
+//! Call graph construction and strongly connected components.
+
+use hlo_ir::{BlockId, Callee, ConstVal, FuncId, Inst, Operand, Program};
+
+/// Names a particular call instruction: function, block, instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallSiteRef {
+    /// The calling function.
+    pub caller: FuncId,
+    /// Block containing the call.
+    pub block: BlockId,
+    /// Index of the call within the block.
+    pub inst: usize,
+}
+
+/// A direct call edge in the call graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Where the call happens.
+    pub site: CallSiteRef,
+    /// The function called.
+    pub callee: FuncId,
+}
+
+/// The program call graph.
+///
+/// Only *direct* calls form edges; indirect and external sites are recorded
+/// separately (they cannot be inlined or cloned directly, Figure 5).
+/// Functions whose address is taken anywhere are flagged: they stay alive
+/// during unreachable-routine deletion and keep their original entry when
+/// cloned.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// All direct edges, in deterministic program order.
+    pub edges: Vec<CallEdge>,
+    /// For each function: indices into `edges` of calls *out of* it.
+    pub callees_of: Vec<Vec<usize>>,
+    /// For each function: indices into `edges` of calls *into* it.
+    pub callers_of: Vec<Vec<usize>>,
+    /// Indirect call sites (callee computed at run time).
+    pub indirect_sites: Vec<CallSiteRef>,
+    /// Calls to external routines.
+    pub extern_sites: Vec<CallSiteRef>,
+    /// Whether each function has its address taken by a `FuncAddr` constant.
+    pub address_taken: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `p`.
+    pub fn build(p: &Program) -> Self {
+        let n = p.funcs.len();
+        let mut edges = Vec::new();
+        let mut callees_of = vec![Vec::new(); n];
+        let mut callers_of = vec![Vec::new(); n];
+        let mut indirect_sites = Vec::new();
+        let mut extern_sites = Vec::new();
+        let mut address_taken = vec![false; n];
+
+        for (caller, f) in p.iter_funcs() {
+            for (bid, block) in f.iter_blocks() {
+                for (idx, inst) in block.insts.iter().enumerate() {
+                    let mut note_const = |c: ConstVal| {
+                        if let ConstVal::FuncAddr(t) = c {
+                            address_taken[t.index()] = true;
+                        }
+                    };
+                    if let Inst::Const { value, .. } = inst {
+                        note_const(*value);
+                    }
+                    inst.for_each_use(|op| {
+                        if let Operand::Const(c) = op {
+                            note_const(*c);
+                        }
+                    });
+                    if let Inst::Call { callee, .. } = inst {
+                        let site = CallSiteRef {
+                            caller,
+                            block: bid,
+                            inst: idx,
+                        };
+                        match callee {
+                            Callee::Func(t) => {
+                                let ei = edges.len();
+                                edges.push(CallEdge { site, callee: *t });
+                                callees_of[caller.index()].push(ei);
+                                callers_of[t.index()].push(ei);
+                            }
+                            Callee::Extern(_) => extern_sites.push(site),
+                            Callee::Indirect(_) => indirect_sites.push(site),
+                        }
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            edges,
+            callees_of,
+            callers_of,
+            indirect_sites,
+            extern_sites,
+            address_taken,
+        }
+    }
+
+    /// Number of functions covered.
+    pub fn num_funcs(&self) -> usize {
+        self.callees_of.len()
+    }
+
+    /// Strongly connected components in *reverse topological order*:
+    /// callees appear before callers, which is exactly the bottom-up order
+    /// the paper's inline scheduler works in.
+    pub fn sccs(&self) -> Vec<Vec<FuncId>> {
+        // Iterative Tarjan to avoid recursion limits on deep call chains.
+        let n = self.num_funcs();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs = Vec::new();
+        let mut counter = 0usize;
+
+        #[derive(Clone, Copy)]
+        struct Frame {
+            v: usize,
+            edge_pos: usize,
+        }
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame {
+                v: start,
+                edge_pos: 0,
+            }];
+            index[start] = counter;
+            low[start] = counter;
+            counter += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(frame) = call_stack.last_mut() {
+                let v = frame.v;
+                let succs = &self.callees_of[v];
+                if frame.edge_pos < succs.len() {
+                    let w = self.edges[succs[frame.edge_pos]].callee.index();
+                    frame.edge_pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = counter;
+                        low[w] = counter;
+                        counter += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push(Frame { v: w, edge_pos: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        low[parent.v] = low[parent.v].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(FuncId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Whether `f` participates in recursion: a self edge or a nontrivial
+    /// SCC. Computed from a supplied SCC decomposition to avoid rebuilding.
+    pub fn in_recursion(&self, sccs: &[Vec<FuncId>], f: FuncId) -> bool {
+        for comp in sccs {
+            if comp.contains(&f) {
+                if comp.len() > 1 {
+                    return true;
+                }
+                // self loop?
+                return self.callees_of[f.index()]
+                    .iter()
+                    .any(|&e| self.edges[e].callee == f);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FunctionBuilder, Linkage, ModuleId, Operand, ProgramBuilder, Type};
+
+    /// Builds: main -> a -> b -> a (cycle), main -> c, c address-taken by main.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        // placeholder ids: we add in order main=0, a=1, b=2, c=3
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        main.call_void(e, FuncId(1), vec![]);
+        main.call_void(e, FuncId(3), vec![]);
+        let fp = main.const_(e, ConstVal::FuncAddr(FuncId(3)));
+        main.call_indirect(e, fp.into(), vec![]);
+        main.ret(e, None);
+        pb.add_function(main.finish(Linkage::Public, Type::Void));
+
+        let mut a = FunctionBuilder::new("a", m, 0);
+        let e = a.entry_block();
+        a.call_void(e, FuncId(2), vec![]);
+        a.ret(e, None);
+        pb.add_function(a.finish(Linkage::Public, Type::Void));
+
+        let mut b = FunctionBuilder::new("b", m, 0);
+        let e = b.entry_block();
+        b.call_void(e, FuncId(1), vec![]);
+        b.ret(e, None);
+        pb.add_function(b.finish(Linkage::Public, Type::Void));
+
+        let mut c = FunctionBuilder::new("c", m, 0);
+        let e = c.entry_block();
+        c.ret(e, None);
+        pb.add_function(c.finish(Linkage::Public, Type::Void));
+
+        pb.finish(Some(FuncId(0)))
+    }
+
+    #[test]
+    fn builds_edges_and_sites() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.edges.len(), 4); // main->a, main->c, a->b, b->a
+        assert_eq!(cg.indirect_sites.len(), 1);
+        assert!(cg.extern_sites.is_empty());
+        assert!(cg.address_taken[3]);
+        assert!(!cg.address_taken[1]);
+        assert_eq!(cg.callers_of[1].len(), 2); // from main and from b
+    }
+
+    #[test]
+    fn sccs_are_bottom_up() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs();
+        // {a, b} must be one component; main must come after it.
+        let ab_pos = sccs
+            .iter()
+            .position(|c| c.contains(&FuncId(1)))
+            .expect("a in some scc");
+        let main_pos = sccs
+            .iter()
+            .position(|c| c.contains(&FuncId(0)))
+            .expect("main in some scc");
+        assert_eq!(sccs[ab_pos], vec![FuncId(1), FuncId(2)]);
+        assert!(ab_pos < main_pos, "callees before callers");
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs();
+        assert!(cg.in_recursion(&sccs, FuncId(1)));
+        assert!(cg.in_recursion(&sccs, FuncId(2)));
+        assert!(!cg.in_recursion(&sccs, FuncId(0)));
+        assert!(!cg.in_recursion(&sccs, FuncId(3)));
+    }
+
+    #[test]
+    fn self_loop_counts_as_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("f", m, 0);
+        let e = f.entry_block();
+        f.call_void(e, FuncId(0), vec![]);
+        f.ret(e, None);
+        pb.add_function(f.finish(Linkage::Public, Type::Void));
+        let p = pb.finish(Some(FuncId(0)));
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs();
+        assert!(cg.in_recursion(&sccs, FuncId(0)));
+    }
+
+    use hlo_ir::ConstVal;
+    #[allow(unused_imports)]
+    use hlo_ir::Reg;
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new();
+        let cg = CallGraph::build(&p);
+        assert!(cg.sccs().is_empty());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-deep call chain exercises the iterative Tarjan.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let n = 10_000u32;
+        for i in 0..n {
+            let mut f = FunctionBuilder::new(format!("f{i}"), m, 0);
+            let e = f.entry_block();
+            if i + 1 < n {
+                f.call_void(e, FuncId(i + 1), vec![]);
+            }
+            f.ret(e, None);
+            pb.add_function(f.finish(Linkage::Public, Type::Void));
+        }
+        let p = pb.finish(Some(FuncId(0)));
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs();
+        assert_eq!(sccs.len(), n as usize);
+        // bottom-up: the leaf (last function) first
+        assert_eq!(sccs[0], vec![FuncId(n - 1)]);
+    }
+
+    #[allow(unused)]
+    fn _use_module_id(_: ModuleId, _: Operand) {}
+}

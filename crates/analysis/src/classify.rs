@@ -1,0 +1,156 @@
+//! Call-site classification — the paper's Figure 5.
+
+use crate::CallGraph;
+use hlo_ir::{Callee, Inst, Program};
+
+/// The five categories of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Call to a library routine or module not visible to the compiler.
+    External,
+    /// Callee computed at run time.
+    Indirect,
+    /// Direct call whose caller and callee live in different modules.
+    CrossModule,
+    /// Direct call within one module, between different routines.
+    WithinModule,
+    /// Direct call within a recursion cycle (self or mutual).
+    Recursive,
+}
+
+/// Counts per category, plus the total, for one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteCounts {
+    /// Calls to library routines or invisible modules.
+    pub external: u64,
+    /// Calls whose callee is computed at run time.
+    pub indirect: u64,
+    /// Direct calls across module boundaries.
+    pub cross_module: u64,
+    /// Direct calls within one module.
+    pub within_module: u64,
+    /// Direct calls within a recursion cycle.
+    pub recursive: u64,
+}
+
+impl SiteCounts {
+    /// Total call sites.
+    pub fn total(&self) -> u64 {
+        self.external + self.indirect + self.cross_module + self.within_module + self.recursive
+    }
+
+    /// Sites amenable to inlining and cloning (everything but external and
+    /// indirect — the paper: "The remaining are amenable").
+    pub fn amenable(&self) -> u64 {
+        self.cross_module + self.within_module + self.recursive
+    }
+}
+
+/// Classifies every call site of `p` into Figure 5's categories.
+///
+/// Recursive means the edge stays within one call-graph SCC (which covers
+/// both self-recursion and mutual recursion); otherwise the caller/callee
+/// module decides cross- vs within-module.
+pub fn classify_sites(p: &Program) -> SiteCounts {
+    let cg = CallGraph::build(p);
+    let sccs = cg.sccs();
+    let mut scc_of = vec![usize::MAX; p.funcs.len()];
+    for (i, comp) in sccs.iter().enumerate() {
+        for &f in comp {
+            scc_of[f.index()] = i;
+        }
+    }
+
+    let mut counts = SiteCounts::default();
+    for (caller, f) in p.iter_funcs() {
+        for block in &f.blocks {
+            for inst in &block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    match callee {
+                        Callee::Extern(_) => counts.external += 1,
+                        Callee::Indirect(_) => counts.indirect += 1,
+                        Callee::Func(t) => {
+                            let same_scc = scc_of[caller.index()] == scc_of[t.index()];
+                            if same_scc {
+                                counts.recursive += 1;
+                            } else if p.func(*t).module == f.module {
+                                counts.within_module += 1;
+                            } else {
+                                counts.cross_module += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{ConstVal, FuncId, FunctionBuilder, Linkage, ProgramBuilder, Type};
+
+    #[test]
+    fn all_five_categories() {
+        let mut pb = ProgramBuilder::new();
+        let m0 = pb.add_module("a");
+        let m1 = pb.add_module("b");
+        let ext = pb.declare_extern("lib", Some(0), false);
+
+        // main (m0): calls helper (within), other (cross), self (recursive),
+        // extern, and indirect.
+        let mut main = FunctionBuilder::new("main", m0, 0);
+        let e = main.entry_block();
+        main.call_void(e, FuncId(1), vec![]); // helper, within
+        main.call_void(e, FuncId(2), vec![]); // other, cross
+        main.call_void(e, FuncId(0), vec![]); // self, recursive
+        main.call_extern(e, ext, vec![], false);
+        let fp = main.const_(e, ConstVal::FuncAddr(FuncId(1)));
+        main.call_indirect(e, fp.into(), vec![]);
+        main.ret(e, None);
+        pb.add_function(main.finish(Linkage::Public, Type::Void));
+
+        let mut helper = FunctionBuilder::new("helper", m0, 0);
+        let e = helper.entry_block();
+        helper.ret(e, None);
+        pb.add_function(helper.finish(Linkage::Public, Type::Void));
+
+        let mut other = FunctionBuilder::new("other", m1, 0);
+        let e = other.entry_block();
+        other.ret(e, None);
+        pb.add_function(other.finish(Linkage::Public, Type::Void));
+
+        let p = pb.finish(Some(FuncId(0)));
+        let c = classify_sites(&p);
+        assert_eq!(c.external, 1);
+        assert_eq!(c.indirect, 1);
+        assert_eq!(c.within_module, 1);
+        assert_eq!(c.cross_module, 1);
+        assert_eq!(c.recursive, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.amenable(), 3);
+    }
+
+    #[test]
+    fn mutual_recursion_is_recursive_even_cross_module() {
+        let mut pb = ProgramBuilder::new();
+        let m0 = pb.add_module("a");
+        let m1 = pb.add_module("b");
+        let mut f = FunctionBuilder::new("f", m0, 0);
+        let e = f.entry_block();
+        f.call_void(e, FuncId(1), vec![]);
+        f.ret(e, None);
+        pb.add_function(f.finish(Linkage::Public, Type::Void));
+        let mut g = FunctionBuilder::new("g", m1, 0);
+        let e = g.entry_block();
+        g.call_void(e, FuncId(0), vec![]);
+        g.ret(e, None);
+        pb.add_function(g.finish(Linkage::Public, Type::Void));
+        let p = pb.finish(None);
+        let c = classify_sites(&p);
+        assert_eq!(c.recursive, 2);
+        assert_eq!(c.cross_module, 0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Program analyses feeding the HLO inliner and cloner.
+//!
+//! Everything the paper's heuristics consume lives here:
+//!
+//! * [`CallGraph`] — direct/indirect/external call sites, address-taken
+//!   functions, caller/callee edge indices, and Tarjan SCCs providing the
+//!   bottom-up order the inline scheduler walks (paper §2.4).
+//! * [`Dominators`] / [`LoopInfo`] — natural-loop nesting used for static
+//!   block-frequency estimation when no profile is available ("without such
+//!   data it uses heuristics to guess at the relative importance", §2.3).
+//! * [`estimate_static_profile`] — the loop-depth heuristic itself.
+//! * [`side_effect_free_funcs`] — interprocedural side-effect analysis; the
+//!   paper's HLO deletes calls to provably side-effect-free routines (the
+//!   072.sc curses library example in §3.1).
+//! * [`classify_sites`] — the call-site taxonomy of Figure 5 (external,
+//!   indirect, cross-module, within-module, recursive).
+//! * [`reachable_funcs`] — reachability from the entry and address-taken
+//!   roots, used when deleting fully-inlined/cloned routines.
+
+mod callgraph;
+mod classify;
+mod dominators;
+mod freq;
+mod loops;
+mod positioning;
+mod purity;
+mod reach;
+
+pub use callgraph::{CallEdge, CallGraph, CallSiteRef};
+pub use classify::{classify_sites, SiteClass, SiteCounts};
+pub use dominators::Dominators;
+pub use freq::estimate_static_profile;
+pub use loops::LoopInfo;
+pub use positioning::procedure_order;
+pub use purity::side_effect_free_funcs;
+pub use reach::reachable_funcs;

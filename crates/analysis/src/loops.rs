@@ -1,0 +1,153 @@
+//! Natural loops and nesting depth.
+
+use crate::Dominators;
+use hlo_ir::{BlockId, Function};
+
+/// Natural-loop information for a function.
+///
+/// A back edge is an edge `t -> h` where `h` dominates `t`; the natural
+/// loop of that edge is `h` plus everything that reaches `t` without going
+/// through `h`. Depth is the number of distinct loop headers whose loop a
+/// block belongs to — the quantity the static frequency heuristic raises to
+/// a power.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    depth: Vec<u32>,
+    headers: Vec<BlockId>,
+}
+
+impl LoopInfo {
+    /// Computes loop nesting for `f` given its dominators.
+    pub fn compute(f: &Function, doms: &Dominators) -> Self {
+        let n = f.blocks.len();
+        let preds = f.predecessors();
+        let mut depth = vec![0u32; n];
+        let mut headers = Vec::new();
+
+        // Collect back edges.
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new(); // (tail, header)
+        for (bid, block) in f.iter_blocks() {
+            if !doms.is_reachable(bid) {
+                continue;
+            }
+            for s in block.successors() {
+                if doms.dominates(s, bid) {
+                    back_edges.push((bid, s));
+                }
+            }
+        }
+
+        // Group back edges by header so nested repeats of the same header
+        // count once.
+        back_edges.sort_by_key(|&(t, h)| (h.0, t.0));
+        let mut i = 0;
+        while i < back_edges.len() {
+            let header = back_edges[i].1;
+            let mut body = vec![false; n];
+            body[header.index()] = true;
+            let mut stack = Vec::new();
+            while i < back_edges.len() && back_edges[i].1 == header {
+                let tail = back_edges[i].0;
+                if !body[tail.index()] {
+                    body[tail.index()] = true;
+                    stack.push(tail);
+                }
+                i += 1;
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &preds[b.index()] {
+                    if doms.is_reachable(p) && !body[p.index()] {
+                        body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            headers.push(header);
+            for (bi, in_body) in body.iter().enumerate() {
+                if *in_body {
+                    depth[bi] += 1;
+                }
+            }
+        }
+
+        LoopInfo { depth, headers }
+    }
+
+    /// Loop nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth.get(b.index()).copied().unwrap_or(0)
+    }
+
+    /// All loop headers found.
+    pub fn headers(&self) -> &[BlockId] {
+        &self.headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FunctionBuilder, Linkage, ModuleId, Operand, Type};
+
+    /// Two nested loops:
+    /// e -> h1; h1 -> {h2, exit}; h2 -> {body, h1back}; body -> h2
+    fn nested() -> Function {
+        let mut fb = FunctionBuilder::new("n", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let h1 = fb.new_block();
+        let h2 = fb.new_block();
+        let body = fb.new_block();
+        let latch1 = fb.new_block();
+        let exit = fb.new_block();
+        let c = Operand::Reg(fb.param(0));
+        fb.jump(e, h1);
+        fb.br(h1, c, h2, exit);
+        fb.br(h2, c, body, latch1);
+        fb.jump(body, h2);
+        fb.jump(latch1, h1);
+        fb.ret(exit, None);
+        fb.finish(Linkage::Public, Type::Void)
+    }
+
+    #[test]
+    fn nested_loop_depths() {
+        let f = nested();
+        let d = Dominators::compute(&f);
+        let li = LoopInfo::compute(&f, &d);
+        assert_eq!(li.depth(hlo_ir::BlockId(0)), 0); // entry
+        assert_eq!(li.depth(hlo_ir::BlockId(1)), 1); // h1
+        assert_eq!(li.depth(hlo_ir::BlockId(2)), 2); // h2
+        assert_eq!(li.depth(hlo_ir::BlockId(3)), 2); // body
+        assert_eq!(li.depth(hlo_ir::BlockId(4)), 1); // latch1
+        assert_eq!(li.depth(hlo_ir::BlockId(5)), 0); // exit
+        assert_eq!(li.headers().len(), 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut fb = FunctionBuilder::new("s", ModuleId(0), 0);
+        let e = fb.entry_block();
+        fb.ret(e, None);
+        let f = fb.finish(Linkage::Public, Type::Void);
+        let d = Dominators::compute(&f);
+        let li = LoopInfo::compute(&f, &d);
+        assert_eq!(li.depth(hlo_ir::BlockId(0)), 0);
+        assert!(li.headers().is_empty());
+    }
+
+    #[test]
+    fn self_loop_depth_one() {
+        let mut fb = FunctionBuilder::new("s", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let l = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(e, l);
+        fb.br(l, Operand::Reg(fb.param(0)), l, exit);
+        fb.ret(exit, None);
+        let f = fb.finish(Linkage::Public, Type::Void);
+        let d = Dominators::compute(&f);
+        let li = LoopInfo::compute(&f, &d);
+        assert_eq!(li.depth(l), 1);
+        assert_eq!(li.depth(exit), 0);
+    }
+}

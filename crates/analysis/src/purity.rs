@@ -1,0 +1,202 @@
+//! Interprocedural side-effect analysis.
+//!
+//! The paper's motivating example (§3.1): the 072.sc benchmark links a
+//! stub curses library whose routines do nothing; HLO's interprocedural
+//! analysis proves them side-effect-free and deletes the calls before
+//! inlining even considers them. This module reproduces that analysis.
+
+use crate::CallGraph;
+use hlo_ir::{Callee, Inst, Program};
+
+/// Computes, for each function, whether a call to it may be deleted when
+/// its result is unused.
+///
+/// A function is side-effect-free when its body (and everything it can
+/// reach through direct calls) contains no stores, no external or indirect
+/// calls, no dynamic allocation, and no potentially trapping arithmetic,
+/// and when it provably terminates as far as this analysis can tell —
+/// functions involved in recursion are conservatively kept, as are
+/// functions containing loops (a non-terminating call is observable).
+pub fn side_effect_free_funcs(p: &Program, cg: &CallGraph) -> Vec<bool> {
+    let n = p.funcs.len();
+    let mut free = vec![true; n];
+
+    // Local screening.
+    for (id, f) in p.iter_funcs() {
+        let mut ok = true;
+        // Loops => possible non-termination; detect via back edge using a
+        // cheap DFS ancestor check (any cycle in the CFG).
+        if cfg_has_cycle(f) {
+            ok = false;
+        }
+        'outer: for block in &f.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Store { .. } | Inst::Alloca { .. } => {
+                        ok = false;
+                        break 'outer;
+                    }
+                    Inst::Bin { op, .. } if op.can_trap() => {
+                        ok = false;
+                        break 'outer;
+                    }
+                    Inst::Call { callee, .. } => match callee {
+                        Callee::Extern(_) | Callee::Indirect(_) => {
+                            ok = false;
+                            break 'outer;
+                        }
+                        Callee::Func(_) => {}
+                    },
+                    _ => {}
+                }
+            }
+        }
+        free[id.index()] = ok;
+    }
+
+    // Recursion is conservatively impure (possible non-termination).
+    let sccs = cg.sccs();
+    for comp in &sccs {
+        let recursive = comp.len() > 1
+            || comp
+                .iter()
+                .any(|&f| cg.in_recursion(std::slice::from_ref(comp), f));
+        if recursive {
+            for &f in comp {
+                free[f.index()] = false;
+            }
+        }
+    }
+
+    // Propagate bottom-up: caller free only if all direct callees free.
+    // SCCs are already in callee-first order.
+    for comp in &sccs {
+        for &f in comp {
+            if !free[f.index()] {
+                continue;
+            }
+            let all_callees_free = cg.callees_of[f.index()]
+                .iter()
+                .all(|&e| free[cg.edges[e].callee.index()]);
+            if !all_callees_free {
+                free[f.index()] = false;
+            }
+        }
+    }
+    free
+}
+
+fn cfg_has_cycle(f: &hlo_ir::Function) -> bool {
+    // Iterative DFS with colors.
+    let n = f.blocks.len();
+    let succs: Vec<Vec<_>> = f.blocks.iter().map(|b| b.successors()).collect();
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    color[0] = 1;
+    while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+        if *i < succs[v].len() {
+            let s = succs[v][*i].index();
+            *i += 1;
+            match color[s] {
+                0 => {
+                    color[s] = 1;
+                    stack.push((s, 0));
+                }
+                1 => return true,
+                _ => {}
+            }
+        } else {
+            color[v] = 2;
+            stack.pop();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{BinOp, FunctionBuilder, Linkage, Operand, ProgramBuilder, Type};
+
+    #[test]
+    fn pure_leaf_is_free() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("f", m, 1);
+        let e = f.entry_block();
+        let r = f.bin(e, BinOp::Add, Operand::Reg(f.param(0)), Operand::imm(1));
+        f.ret(e, Some(r.into()));
+        pb.add_function(f.finish(Linkage::Public, Type::I64));
+        let p = pb.finish(None);
+        let cg = CallGraph::build(&p);
+        assert_eq!(side_effect_free_funcs(&p, &cg), vec![true]);
+    }
+
+    #[test]
+    fn store_makes_impure_and_propagates_to_callers() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let g = pb.add_global("g", m, Linkage::Public, 1, vec![]);
+        // callee stores; caller only calls it
+        let mut callee = FunctionBuilder::new("callee", m, 0);
+        let e = callee.entry_block();
+        let ga = callee.const_(e, hlo_ir::ConstVal::GlobalAddr(g));
+        callee.store(e, ga.into(), Operand::imm(0), Operand::imm(1));
+        callee.ret(e, None);
+        pb.add_function(callee.finish(Linkage::Public, Type::Void));
+        let mut caller = FunctionBuilder::new("caller", m, 0);
+        let e = caller.entry_block();
+        caller.call_void(e, hlo_ir::FuncId(0), vec![]);
+        caller.ret(e, None);
+        pb.add_function(caller.finish(Linkage::Public, Type::Void));
+        let p = pb.finish(None);
+        let cg = CallGraph::build(&p);
+        assert_eq!(side_effect_free_funcs(&p, &cg), vec![false, false]);
+    }
+
+    #[test]
+    fn recursion_is_conservatively_impure() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("f", m, 1);
+        let e = f.entry_block();
+        let r = f.call(e, hlo_ir::FuncId(0), vec![Operand::Reg(f.param(0))]);
+        f.ret(e, Some(r.into()));
+        pb.add_function(f.finish(Linkage::Public, Type::I64));
+        let p = pb.finish(None);
+        let cg = CallGraph::build(&p);
+        assert_eq!(side_effect_free_funcs(&p, &cg), vec![false]);
+    }
+
+    #[test]
+    fn loops_are_conservatively_impure() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("f", m, 1);
+        let e = f.entry_block();
+        let h = f.new_block();
+        let x = f.new_block();
+        f.jump(e, h);
+        f.br(h, Operand::Reg(f.param(0)), h, x);
+        f.ret(x, None);
+        pb.add_function(f.finish(Linkage::Public, Type::Void));
+        let p = pb.finish(None);
+        let cg = CallGraph::build(&p);
+        assert_eq!(side_effect_free_funcs(&p, &cg), vec![false]);
+    }
+
+    #[test]
+    fn extern_call_is_impure() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let ext = pb.declare_extern("print_i64", Some(1), false);
+        let mut f = FunctionBuilder::new("f", m, 0);
+        let e = f.entry_block();
+        f.call_extern(e, ext, vec![Operand::imm(1)], false);
+        f.ret(e, None);
+        pb.add_function(f.finish(Linkage::Public, Type::Void));
+        let p = pb.finish(None);
+        let cg = CallGraph::build(&p);
+        assert_eq!(side_effect_free_funcs(&p, &cg), vec![false]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Function reachability, used by the optimizer's routine-deletion step.
+
+use crate::CallGraph;
+use hlo_ir::{FuncId, Linkage, Program};
+
+/// Computes which functions are reachable.
+///
+/// Roots are: the program entry, every `Public` function (it could be
+/// called by code outside the program, as on the paper's per-module path),
+/// and every address-taken function. When `statics_only_roots` is true,
+/// public functions other than the entry are *not* roots — this models the
+/// link-time path where the whole program is visible and only `main` is an
+/// external entry; it is what lets HLO delete fully-inlined file-scope and
+/// public routines alike after cross-module optimization.
+pub fn reachable_funcs(p: &Program, cg: &CallGraph, statics_only_roots: bool) -> Vec<bool> {
+    let n = p.funcs.len();
+    let mut reachable = vec![false; n];
+    let mut work: Vec<FuncId> = Vec::new();
+
+    let push = |f: FuncId, reachable: &mut Vec<bool>, work: &mut Vec<FuncId>| {
+        if !reachable[f.index()] {
+            reachable[f.index()] = true;
+            work.push(f);
+        }
+    };
+
+    if let Some(e) = p.entry {
+        push(e, &mut reachable, &mut work);
+    }
+    for (id, f) in p.iter_funcs() {
+        let is_root = (!statics_only_roots && f.linkage == Linkage::Public)
+            || cg.address_taken[id.index()];
+        if is_root {
+            push(id, &mut reachable, &mut work);
+        }
+    }
+    while let Some(f) = work.pop() {
+        for &e in &cg.callees_of[f.index()] {
+            let t = cg.edges[e].callee;
+            if !reachable[t.index()] {
+                reachable[t.index()] = true;
+                work.push(t);
+            }
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FunctionBuilder, ProgramBuilder, Type};
+
+    /// main -> a; b unreferenced (public); c unreferenced (static).
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        main.call_void(e, FuncId(1), vec![]);
+        main.ret(e, None);
+        pb.add_function(main.finish(Linkage::Public, Type::Void));
+        for (name, link) in [("a", Linkage::Static), ("b", Linkage::Public), ("c", Linkage::Static)]
+        {
+            let mut f = FunctionBuilder::new(name, m, 0);
+            let e = f.entry_block();
+            f.ret(e, None);
+            pb.add_function(f.finish(link, Type::Void));
+        }
+        pb.finish(Some(FuncId(0)))
+    }
+
+    #[test]
+    fn per_module_keeps_public_roots() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let r = reachable_funcs(&p, &cg, false);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn whole_program_deletes_unused_public() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let r = reachable_funcs(&p, &cg, true);
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn address_taken_is_always_a_root() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        let _fp = main.const_(e, hlo_ir::ConstVal::FuncAddr(FuncId(1)));
+        main.ret(e, None);
+        pb.add_function(main.finish(Linkage::Public, Type::Void));
+        let mut t = FunctionBuilder::new("t", m, 0);
+        let e = t.entry_block();
+        t.ret(e, None);
+        pb.add_function(t.finish(Linkage::Static, Type::Void));
+        let p = pb.finish(Some(FuncId(0)));
+        let cg = CallGraph::build(&p);
+        let r = reachable_funcs(&p, &cg, true);
+        assert_eq!(r, vec![true, true]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the compiler passes and substrates
+//! themselves (engineering benches; the paper's figures come from the
+//! `figure*`/`table1` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlo::{HloOptions, Scope};
+use hlo_vm::ExecOptions;
+
+fn program() -> hlo_ir::Program {
+    hlo_suite::benchmark("126.gcc")
+        .expect("suite has 126.gcc")
+        .compile()
+        .expect("compiles")
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let b = hlo_suite::benchmark("126.gcc").unwrap();
+    c.bench_function("frontend_compile_126gcc", |bench| {
+        bench.iter(|| b.compile().unwrap())
+    });
+}
+
+fn bench_scalar_opt(c: &mut Criterion) {
+    let p = program();
+    c.bench_function("scalar_optimize_program", |bench| {
+        bench.iter_batched(
+            || p.clone(),
+            |mut p| hlo_opt::optimize_program(&mut p),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hlo(c: &mut Criterion) {
+    let p = program();
+    for (name, inline, clone) in [
+        ("hlo_inline_only", true, false),
+        ("hlo_clone_only", false, true),
+        ("hlo_full", true, true),
+    ] {
+        let opts = HloOptions {
+            scope: Scope::CrossModule,
+            enable_inline: inline,
+            enable_clone: clone,
+            ..Default::default()
+        };
+        c.bench_function(name, |bench| {
+            bench.iter_batched(
+                || p.clone(),
+                |mut p| hlo::optimize(&mut p, None, &opts),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let b = hlo_suite::benchmark("026.compress").unwrap();
+    let p = b.compile().unwrap();
+    c.bench_function("vm_run_compress_train", |bench| {
+        bench.iter(|| hlo_vm::run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let b = hlo_suite::benchmark("026.compress").unwrap();
+    let p = b.compile().unwrap();
+    c.bench_function("pa8000_sim_compress_train", |bench| {
+        bench.iter(|| {
+            hlo_sim::simulate(
+                &p,
+                &[b.train_arg],
+                &ExecOptions::default(),
+                &hlo_sim::MachineConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_frontend, bench_scalar_opt, bench_hlo, bench_vm, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablations of design choices DESIGN.md calls out:
+//!
+//! * **budget staging** — release everything in pass 1 vs the paper's
+//!   staged apportioning;
+//! * **cold-site penalty** — rank purely by frequency vs penalizing
+//!   sites colder than their caller's entry;
+//! * **clone-database reuse** — materialize duplicates vs reuse.
+//!
+//! Each ablation is compared on total operations, final code size and
+//! simulated ref cycles across the Table 1 subset.
+
+use hlo::HloOptions;
+use hlo_bench::{build, geomean, measure, BuildKind};
+
+struct Variant {
+    name: &'static str,
+    opts: fn() -> HloOptions,
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant {
+        name: "paper-default",
+        opts: HloOptions::default,
+    },
+    Variant {
+        name: "no-staging",
+        opts: || HloOptions {
+            stage_fractions: vec![1.0],
+            ..Default::default()
+        },
+    },
+    Variant {
+        name: "no-cold-penalty",
+        opts: || HloOptions {
+            cold_site_penalty: false,
+            ..Default::default()
+        },
+    },
+    Variant {
+        name: "no-clone-db",
+        opts: || HloOptions {
+            clone_db_reuse: false,
+            ..Default::default()
+        },
+    },
+    Variant {
+        name: "with-outlining",
+        opts: || HloOptions {
+            enable_outline: true,
+            ..Default::default()
+        },
+    },
+];
+
+fn main() {
+    println!("Ablations (cp scope, budget 100, Table 1 subset)");
+    println!(
+        "{:<16} {:>7} {:>7} {:>12} {:>14} {:>9}",
+        "variant", "inlines", "clones", "final cost", "cycles(geo)", "vs def"
+    );
+    hlo_bench::rule(70);
+    let benchmarks = hlo_suite::table1_benchmarks();
+    let mut default_geo = 1.0;
+    for v in VARIANTS {
+        let mut inlines = 0;
+        let mut clones = 0;
+        let mut cost = 0;
+        let mut cycles = Vec::new();
+        for b in &benchmarks {
+            let r = build(b, BuildKind::CrossProfile, (v.opts)());
+            inlines += r.report.inlines;
+            clones += r.report.clones;
+            cost += r.report.final_cost;
+            cycles.push(measure(b, &r.program).cycles);
+        }
+        let geo = geomean(&cycles);
+        if v.name == "paper-default" {
+            default_geo = geo;
+        }
+        println!(
+            "{:<16} {:>7} {:>7} {:>12} {:>14.0} {:>9.3}",
+            v.name,
+            inlines,
+            clones,
+            cost,
+            geo,
+            default_geo / geo
+        );
+    }
+    hlo_bench::rule(70);
+    println!("vs def > 1.0 means the variant is faster than the paper's default");
+}

@@ -1,0 +1,32 @@
+//! Figure 5: static characteristics of call sites in the benchmarks.
+//!
+//! Prints, per program, the share of external / indirect / cross-module /
+//! within-module / recursive call sites and the total count — the same
+//! rows as the paper's stacked bars.
+
+use hlo_analysis::classify_sites;
+
+fn main() {
+    println!("Figure 5: static call-site characteristics");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+        "benchmark", "extern", "indir", "cross", "within", "recur", "total"
+    );
+    hlo_bench::rule(62);
+    for b in hlo_suite::all_benchmarks() {
+        let p = b.compile().expect("suite program compiles");
+        let c = classify_sites(&p);
+        println!(
+            "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+            b.name,
+            c.external,
+            c.indirect,
+            c.cross_module,
+            c.within_module,
+            c.recursive,
+            c.total()
+        );
+    }
+    hlo_bench::rule(62);
+    println!("(cross + within + recursive sites are amenable to inlining/cloning)");
+}

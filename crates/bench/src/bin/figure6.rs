@@ -1,0 +1,66 @@
+//! Figure 6: relative speedup with inlining, cloning, or both.
+//!
+//! Baseline is a cross-module, profile-fed compile with inlining and
+//! cloning disabled (the paper's baseline "uses cross-module and
+//! profile-based optimization, plus peak options not affecting inlining
+//! or cloning"). Prints per-benchmark speedups and the geometric means
+//! for the SPECint92-like and SPECint95-like halves of the suite.
+
+use hlo::HloOptions;
+use hlo_bench::{build, geomean, measure, BuildKind};
+use hlo_suite::SpecSuite;
+
+fn options(inline: bool, clone: bool) -> HloOptions {
+    HloOptions {
+        enable_inline: inline,
+        enable_clone: clone,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    println!("Figure 6: relative speedup over no-inline-no-clone (cp baseline)");
+    println!(
+        "{:<14} {:>14} {:>10} {:>10}",
+        "benchmark", "inline+clone", "inline", "clone"
+    );
+    hlo_bench::rule(52);
+    let mut sp92 = [Vec::new(), Vec::new(), Vec::new()];
+    let mut sp95 = [Vec::new(), Vec::new(), Vec::new()];
+    for b in hlo_suite::all_benchmarks() {
+        let base = build(&b, BuildKind::CrossProfile, options(false, false));
+        let base_cycles = measure(&b, &base.program).cycles;
+        let mut row = [0.0f64; 3];
+        for (i, (inl, cl)) in [(true, true), (true, false), (false, true)]
+            .iter()
+            .enumerate()
+        {
+            let r = build(&b, BuildKind::CrossProfile, options(*inl, *cl));
+            let cycles = measure(&b, &r.program).cycles;
+            row[i] = base_cycles / cycles;
+            match b.suite {
+                SpecSuite::Int92 => sp92[i].push(row[i]),
+                SpecSuite::Int95 => sp95[i].push(row[i]),
+            }
+        }
+        println!(
+            "{:<14} {:>14.3} {:>10.3} {:>10.3}",
+            b.name, row[0], row[1], row[2]
+        );
+    }
+    hlo_bench::rule(52);
+    println!(
+        "{:<14} {:>14.3} {:>10.3} {:>10.3}",
+        "SPECint92",
+        geomean(&sp92[0]),
+        geomean(&sp92[1]),
+        geomean(&sp92[2])
+    );
+    println!(
+        "{:<14} {:>14.3} {:>10.3} {:>10.3}",
+        "SPECint95",
+        geomean(&sp95[0]),
+        geomean(&sp95[1]),
+        geomean(&sp95[2])
+    );
+}

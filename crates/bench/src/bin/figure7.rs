@@ -1,0 +1,74 @@
+//! Figure 7: PA8000-model simulation results.
+//!
+//! For each simulated benchmark and each of the four inline/clone
+//! configurations, prints the paper's eight panels: relative cycles,
+//! CPI, relative I-cache accesses, I-cache miss rate (×1000), relative
+//! D-cache accesses, D-cache miss rate (×100), relative branches, and
+//! branch miss rate. "Relative" is scaled to the neither-inline-nor-clone
+//! build, exactly as in the paper.
+
+use hlo::HloOptions;
+use hlo_bench::{build, figure7_machine, measure_with, BuildKind};
+use hlo_sim::SimStats;
+
+const CONFIGS: [(&str, bool, bool); 4] = [
+    ("neither", false, false),
+    ("clone", false, true),
+    ("inline", true, false),
+    ("in+cl", true, true),
+];
+
+fn build_cfg(b: &hlo_suite::Benchmark, inline: bool, clone: bool) -> SimStats {
+    let opts = HloOptions {
+        enable_inline: inline,
+        enable_clone: clone,
+        ..Default::default()
+    };
+    let r = build(b, BuildKind::CrossProfile, opts);
+    // Scaled-down caches, mirroring the paper's modified-input simulation.
+    measure_with(b, &r.program, &figure7_machine())
+}
+
+fn main() {
+    println!("Figure 7: simulation results (relative to 'neither')");
+    println!(
+        "{:<14} {:<8} {:>8} {:>6} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "benchmark",
+        "config",
+        "relcyc",
+        "CPI",
+        "relI$acc",
+        "I$mr*1000",
+        "relD$acc",
+        "D$mr*100",
+        "relbr",
+        "br-mr%"
+    );
+    hlo_bench::rule(96);
+    for b in hlo_suite::figure7_benchmarks() {
+        let base = build_cfg(&b, false, false);
+        for (name, inl, cl) in CONFIGS {
+            let s = if !inl && !cl {
+                base
+            } else {
+                build_cfg(&b, inl, cl)
+            };
+            println!(
+                "{:<14} {:<8} {:>8.3} {:>6.3} {:>8.3} {:>9.2} {:>8.3} {:>9.2} {:>8.3} {:>8.2}",
+                b.name,
+                name,
+                s.cycles / base.cycles,
+                s.cpi(),
+                s.icache_accesses as f64 / base.icache_accesses as f64,
+                s.icache_miss_rate() * 1000.0,
+                s.dcache_accesses as f64 / base.dcache_accesses as f64,
+                s.dcache_miss_rate() * 100.0,
+                s.branches as f64 / base.branches as f64,
+                s.branch_miss_rate() * 100.0,
+            );
+        }
+        hlo_bench::rule(96);
+    }
+    println!("(paper shape: inlining cuts cycles, D$ accesses and branches;");
+    println!(" I$ miss rate may rise while total I$ accesses fall)");
+}

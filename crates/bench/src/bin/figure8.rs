@@ -1,0 +1,54 @@
+//! Figure 8: incremental benefit of inlines and clone replacements in
+//! 022.li, at budget levels 25, 100, 200 and 1000.
+//!
+//! As in the paper's heuristic-validation experiment, the optimizer is
+//! artificially stopped after its first k operations and the resulting
+//! binary timed; a well-ordered heuristic yields a monotonically falling
+//! curve that flattens once the useful operations are exhausted.
+
+use hlo::HloOptions;
+use hlo_bench::{build, measure, BuildKind};
+
+const BUDGETS: [u64; 4] = [25, 100, 200, 1000];
+const POINTS: u64 = 12;
+
+fn main() {
+    let b = hlo_suite::benchmark("022.li").expect("suite has 022.li");
+    println!("Figure 8: incremental benefit of operations on 022.li");
+    println!("{:>7} {:>8} {:>14} {:>10}", "budget", "ops", "run(cycles)", "speedup");
+    hlo_bench::rule(44);
+    for budget in BUDGETS {
+        let opts = |max_ops| HloOptions {
+            budget_percent: budget,
+            max_ops,
+            ..Default::default()
+        };
+        // Full build to learn how many operations this budget performs.
+        let full = build(&b, BuildKind::CrossProfile, opts(None));
+        let total_ops = full.report.operations();
+        let base_cycles = {
+            let r = build(&b, BuildKind::CrossProfile, opts(Some(0)));
+            measure(&b, &r.program).cycles
+        };
+        let step = (total_ops / POINTS).max(1);
+        let mut k = 0;
+        loop {
+            let r = build(&b, BuildKind::CrossProfile, opts(Some(k)));
+            let cycles = measure(&b, &r.program).cycles;
+            println!(
+                "{:>7} {:>8} {:>14.0} {:>10.3}",
+                budget,
+                r.report.operations(),
+                cycles,
+                base_cycles / cycles
+            );
+            if k >= total_ops {
+                break;
+            }
+            k = (k + step).min(total_ops);
+        }
+        hlo_bench::rule(44);
+    }
+    println!("(paper shape: curves fall steeply then flatten; budgets past");
+    println!(" 100 add operations without further run-time benefit)");
+}

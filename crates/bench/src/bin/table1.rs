@@ -1,0 +1,38 @@
+//! Table 1: inline and clone information for selected benchmarks.
+//!
+//! For each benchmark and each scope {-, c, p, cp} (base, cross-module,
+//! profile, cross-module+profile): inlines, clones, clone-site
+//! replacements, deletions, modeled compile time, and simulated run time
+//! on the ref input.
+
+use hlo::HloOptions;
+use hlo_bench::{build, measure, BuildKind};
+
+fn main() {
+    println!("Table 1: inline and clone information (budget 100, 4 passes)");
+    println!(
+        "{:<14} {:>3} {:>8} {:>7} {:>7} {:>9} {:>12} {:>14}",
+        "benchmark", "cfg", "inlines", "clones", "repls", "deletions", "compile(u)", "run(cycles)"
+    );
+    hlo_bench::rule(82);
+    for b in hlo_suite::table1_benchmarks() {
+        for kind in BuildKind::ALL {
+            let r = build(&b, kind, HloOptions::default());
+            let stats = measure(&b, &r.program);
+            println!(
+                "{:<14} {:>3} {:>8} {:>7} {:>7} {:>9} {:>12} {:>14.0}",
+                b.name,
+                kind.tag(),
+                r.report.inlines,
+                r.report.clones,
+                r.report.clone_replacements,
+                r.report.deletions,
+                r.compile_units,
+                stats.cycles
+            );
+        }
+        hlo_bench::rule(82);
+    }
+    println!("cfg: '-' per-module, 'c' cross-module, 'p' profile, 'cp' both");
+    println!("compile(u): sum-of-size^2 units; p/cp include instrumented compile + training run");
+}

@@ -1,0 +1,123 @@
+//! Deletion of unreachable routines (paper §2.3/§3.2 "Deletions").
+
+use crate::driver::Scope;
+use hlo_analysis::{reachable_funcs, CallGraph};
+use hlo_ir::{Block, FuncId, Inst, Program};
+
+/// Removes routines that can no longer be called: file-scope functions
+/// whose calls were all inlined, and clonees fully replaced by clones.
+/// Under `Scope::CrossModule` (the link-time path) unused public routines
+/// are deletable too, since the whole program is visible.
+///
+/// Deleted functions keep their `FuncId` (ids are never reused) but their
+/// bodies are emptied and they leave their module's function list, so code
+/// layout, classification and cost models no longer see them. Returns the
+/// number of routines deleted.
+pub fn delete_unreachable(p: &mut Program, scope: Scope) -> u64 {
+    let cg = CallGraph::build(p);
+    let reach = reachable_funcs(p, &cg, scope == Scope::CrossModule);
+    let mut deleted = 0;
+    for (fi, alive) in reach.iter().enumerate() {
+        if *alive {
+            continue;
+        }
+        let id = FuncId(fi as u32);
+        let module = p.func(id).module;
+        let in_module_list = p.module(module).funcs.contains(&id);
+        if !in_module_list {
+            continue; // already deleted in an earlier pass
+        }
+        let f = p.func_mut(id);
+        f.blocks = vec![Block {
+            insts: vec![Inst::Ret { value: None }],
+        }];
+        f.num_regs = f.params;
+        f.slots.clear();
+        f.profile = None;
+        let m = &mut p.modules[module.index()];
+        m.funcs.retain(|&x| x != id);
+        deleted += 1;
+    }
+    deleted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::verify_program;
+
+    #[test]
+    fn deletes_orphaned_static_keeps_public_in_module_scope() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            static fn orphan_static() { return 1; }
+            fn orphan_public() { return 2; }
+            fn main() { return 0; }
+            "#,
+        )])
+        .unwrap();
+        let mut per_module = p.clone();
+        assert_eq!(delete_unreachable(&mut per_module, Scope::WithinModule), 1);
+        verify_program(&per_module).unwrap();
+        let mut whole = p;
+        assert_eq!(delete_unreachable(&mut whole, Scope::CrossModule), 2);
+        verify_program(&whole).unwrap();
+    }
+
+    #[test]
+    fn address_taken_functions_survive() {
+        let mut p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            static fn cb() { return 3; }
+            fn main() { var f = &cb; return f(); }
+            "#,
+        )])
+        .unwrap();
+        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 0);
+    }
+
+    #[test]
+    fn second_deletion_pass_counts_nothing_twice() {
+        let mut p = hlo_frontc::compile(&[(
+            "m",
+            "static fn dead() { return 1; } fn main() { return 0; }",
+        )])
+        .unwrap();
+        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 1);
+        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 0);
+    }
+
+    #[test]
+    fn deletion_cascades_through_call_chains() {
+        let mut p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            static fn leaf() { return 1; }
+            static fn mid() { return leaf(); }
+            fn main() { return 0; }
+            "#,
+        )])
+        .unwrap();
+        // mid and leaf are both unreachable: a single pass removes both.
+        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 2);
+    }
+
+    #[test]
+    fn deleted_function_shrinks_compile_cost() {
+        let mut p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            static fn big(x) { var s = 0;
+                for (var i = 0; i < x; i = i + 1) { s = s + i * i; }
+                return s; }
+            fn main() { return 0; }
+            "#,
+        )])
+        .unwrap();
+        let before = p.compile_cost();
+        delete_unreachable(&mut p, Scope::CrossModule);
+        assert!(p.compile_cost() < before);
+    }
+}

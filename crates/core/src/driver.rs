@@ -1,0 +1,478 @@
+//! The multi-pass driver (paper §2.2, Figure 2).
+
+use crate::budget::Budget;
+use crate::cloner::{clone_pass, CloneDb};
+use crate::delete::delete_unreachable;
+use crate::inliner::inline_pass;
+use crate::report::{HloReport, PassReport};
+use hlo_analysis::estimate_static_profile;
+use hlo_ir::{FuncProfile, Program};
+use hlo_profile::{apply_profile, ProfileDb};
+
+/// Compilation visibility: the paper's per-module path vs the link-time
+/// ("isom") whole-program path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Each transformation stays within one module; unused public
+    /// routines must be kept (other modules might call them).
+    WithinModule,
+    /// Whole-program: cross-module inlining/cloning, interprocedural
+    /// side-effect deletion, and deletion of unused public routines.
+    CrossModule,
+}
+
+/// Options controlling an [`optimize`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HloOptions {
+    /// Visibility scope.
+    pub scope: Scope,
+    /// Budget percentage: allowed compile-time increase. The paper's
+    /// default is 100 (Figure 8 sweeps 25–1000).
+    pub budget_percent: u64,
+    /// Maximum Clone+Inline passes (the paper's pass limit).
+    pub passes: usize,
+    /// Cumulative budget fractions available by the end of each pass.
+    pub stage_fractions: Vec<f64>,
+    /// Enable the inlining passes (Figure 6 toggles this).
+    pub enable_inline: bool,
+    /// Enable the cloning passes (Figure 6 toggles this).
+    pub enable_clone: bool,
+    /// Stop after this many inline/clone-replacement operations — the
+    /// artificial stop used for the paper's Figure 8 heuristic validation.
+    pub max_ops: Option<u64>,
+    /// Apply the penalty for sites colder than their caller's entry
+    /// (ablation knob; the paper always applies it).
+    pub cold_site_penalty: bool,
+    /// Reuse clones from the clone database across passes (ablation
+    /// knob; the paper always reuses).
+    pub clone_db_reuse: bool,
+    /// Run aggressive outlining of cold regions before inlining — the
+    /// paper's §5 future work, off by default for fidelity.
+    pub enable_outline: bool,
+    /// Profile-guided block straightening after the passes finish (the
+    /// intra-procedural half of Pettis–Hansen code positioning, part of
+    /// HP's PBO; on by default like the paper's "peak options").
+    pub enable_straighten: bool,
+    /// Outlining thresholds (used when `enable_outline` is set).
+    pub outline: crate::OutlineOptions,
+}
+
+impl Default for HloOptions {
+    fn default() -> Self {
+        HloOptions {
+            scope: Scope::CrossModule,
+            budget_percent: 100,
+            passes: 4,
+            stage_fractions: vec![0.25, 0.5, 0.75, 1.0],
+            enable_inline: true,
+            enable_clone: true,
+            max_ops: None,
+            cold_site_penalty: true,
+            clone_db_reuse: true,
+            enable_outline: false,
+            enable_straighten: true,
+            outline: crate::OutlineOptions::default(),
+        }
+    }
+}
+
+/// Runs HLO: annotate frequencies, pre-optimize, then alternate cloning
+/// and inlining passes under the staged budget until the budget closes,
+/// the pass limit is reached, nothing changes, or the operation limit is
+/// hit (Figure 2's `WHILE (C < B AND P < limit)`).
+pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions) -> HloReport {
+    let mut report = HloReport::default();
+
+    // Frequency annotation: PBO counts when available, the static
+    // loop-depth heuristic otherwise. With a profile database, functions
+    // never executed in training are cold, not unknown.
+    let annotated = match profile {
+        Some(db) => apply_profile(p, db),
+        None => 0,
+    };
+    let _ = annotated;
+    for f in &mut p.funcs {
+        if f.profile.is_none() {
+            if profile.is_some() {
+                f.profile = Some(FuncProfile {
+                    entry: 0.0,
+                    blocks: vec![0.0; f.blocks.len()],
+                });
+            } else {
+                f.profile = Some(estimate_static_profile(f));
+            }
+        }
+    }
+
+    // Input-stage cleanup: classic optimizations "mainly to reduce size",
+    // plus interprocedural side-effect deletion on the link-time path.
+    report.pure_calls_removed += optimize_all(p, opts.scope);
+    report.deletions += delete_unreachable(p, opts.scope);
+
+    // Optional aggressive outlining (paper §5): shrink hot routines by
+    // extracting cold return paths before any budget is computed, so the
+    // freed budget goes to inlining the hot code.
+    if opts.enable_outline {
+        report.outlines = crate::outline_cold_regions(p, &opts.outline);
+        if report.outlines > 0 {
+            report.pure_calls_removed += optimize_all(p, opts.scope);
+        }
+    }
+
+    let c0 = p.compile_cost();
+    report.initial_cost = c0;
+    let mut budget = Budget::new(c0, opts.budget_percent, &opts.stage_fractions);
+    report.budget_limit = budget.limit();
+
+    let mut clone_db = CloneDb::default();
+    let mut ops_left = opts.max_ops;
+
+    for pass in 0..opts.passes {
+        if !budget.open() {
+            break;
+        }
+        if ops_left == Some(0) {
+            break;
+        }
+        let mut pr = PassReport {
+            pass,
+            ..Default::default()
+        };
+        if opts.enable_clone {
+            let r = clone_pass(p, &mut budget, pass, opts, &mut clone_db, &mut ops_left);
+            pr.clones_created = r.clones_created;
+            pr.clones_reused = r.clones_reused;
+            pr.clone_replacements = r.sites_replaced;
+        }
+        if opts.enable_inline {
+            let r = inline_pass(p, &mut budget, pass, opts, &mut ops_left);
+            pr.inlines = r.inlines;
+        }
+        pr.deletions = delete_unreachable(p, opts.scope);
+        report.pure_calls_removed += optimize_all(p, opts.scope);
+        pr.deletions += delete_unreachable(p, opts.scope);
+        budget.recalibrate(p.compile_cost());
+        pr.cost_after = budget.current();
+
+        report.inlines += pr.inlines;
+        report.clones += pr.clones_created;
+        report.clone_replacements += pr.clone_replacements;
+        report.deletions += pr.deletions;
+        report.passes.push(pr);
+        // Note: a pass that changed nothing is not a reason to stop —
+        // sites deferred for budget reasons become affordable as later
+        // stages release more of the budget.
+    }
+
+    // Final PBO code positioning: straighten hot paths so fall-throughs
+    // replace jumps (does not change VM semantics, only layout quality).
+    if opts.enable_straighten {
+        report.straightened = hlo_opt::straighten::straighten_program(p);
+    }
+
+    report.final_cost = p.compile_cost();
+    report
+}
+
+/// Optimizes every live function; on the whole-program path also deletes
+/// calls to side-effect-free routines. Returns pure calls removed.
+fn optimize_all(p: &mut Program, scope: Scope) -> u64 {
+    for f in &mut p.funcs {
+        hlo_opt::optimize_function(f);
+    }
+    if scope == Scope::CrossModule {
+        let n = hlo_opt::pure_calls::eliminate_pure_calls(p);
+        if n > 0 {
+            for f in &mut p.funcs {
+                hlo_opt::optimize_function(f);
+            }
+        }
+        n
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::verify_program;
+    use hlo_profile::collect_profile;
+    use hlo_vm::{run_program, ExecOptions};
+
+    const INTERP_SRC: &str = r#"
+        global prog[16] = {1, 5, 2, 3, 1, 7, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0};
+        static fn op_add(acc, v) { return acc + v; }
+        static fn op_mul(acc, v) { return acc * v; }
+        fn step(acc, code, v) {
+            if (code == 1) { return op_add(acc, v); }
+            if (code == 2) { return op_mul(acc, v); }
+            return acc;
+        }
+        fn main() {
+            var acc = 0;
+            for (var r = 0; r < 200; r = r + 1) {
+                var i = 0;
+                while (prog[i] != 0) {
+                    acc = step(acc, prog[i], prog[i + 1]);
+                    i = i + 2;
+                }
+            }
+            return acc;
+        }
+    "#;
+
+    #[test]
+    fn end_to_end_preserves_semantics_and_speeds_up() {
+        let p0 = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let before = run_program(&p0, &[], &ExecOptions::default()).unwrap();
+        let mut p = p0.clone();
+        let report = optimize(&mut p, None, &HloOptions::default());
+        verify_program(&p).unwrap();
+        let after = run_program(&p, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(before.checksum, after.checksum);
+        assert!(report.inlines > 0, "{report}");
+        assert!(
+            after.retired < before.retired,
+            "expected speedup: {} -> {}",
+            before.retired,
+            after.retired
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut p = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let opts = HloOptions {
+            budget_percent: 100,
+            ..Default::default()
+        };
+        let report = optimize(&mut p, None, &opts);
+        // Allow slack for post-pass scalar optimization shrinking then
+        // regrowing, but the order of magnitude must hold.
+        assert!(
+            report.final_cost <= report.budget_limit + report.initial_cost / 4,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn profile_guided_beats_static_on_skewed_input() {
+        let p0 = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let (db, _) = collect_profile(&p0, &[], &ExecOptions::default()).unwrap();
+
+        let mut static_p = p0.clone();
+        let tight = HloOptions {
+            budget_percent: 30,
+            ..Default::default()
+        };
+        optimize(&mut static_p, None, &tight);
+        let mut pgo_p = p0.clone();
+        optimize(&mut pgo_p, Some(&db), &tight);
+        let s = run_program(&static_p, &[], &ExecOptions::default()).unwrap();
+        let g = run_program(&pgo_p, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(s.ret, g.ret);
+        // PGO should never be (much) worse dynamically.
+        assert!(
+            g.retired <= s.retired + s.retired / 10,
+            "pgo {} vs static {}",
+            g.retired,
+            s.retired
+        );
+    }
+
+    #[test]
+    fn staged_indirect_promotion_across_passes() {
+        // handler address flows through a dispatcher's parameter; pass 1
+        // clones, constprop promotes, pass 2 inlines.
+        let src = r#"
+            static fn handler(x) { return x * 3 + 1; }
+            fn dispatch(f, x) { return f(x); }
+            fn main() {
+                var s = 0;
+                for (var i = 0; i < 100; i = i + 1) { s = s + dispatch(&handler, i); }
+                return s;
+            }
+        "#;
+        let p0 = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let before = run_program(&p0, &[], &ExecOptions::default()).unwrap();
+        let mut p = p0.clone();
+        let report = optimize(&mut p, None, &HloOptions::default());
+        verify_program(&p).unwrap();
+        let after = run_program(&p, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert!(report.clones >= 1, "{report}");
+        assert!(after.retired < before.retired);
+        // No indirect calls should remain on the hot path.
+        let counts = hlo_analysis::classify_sites(&p);
+        assert_eq!(counts.indirect, 0, "{counts:?}");
+    }
+
+    #[test]
+    fn disabled_passes_do_nothing() {
+        let mut p = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let opts = HloOptions {
+            enable_inline: false,
+            enable_clone: false,
+            ..Default::default()
+        };
+        let report = optimize(&mut p, None, &opts);
+        assert_eq!(report.inlines, 0);
+        assert_eq!(report.clones, 0);
+    }
+
+    #[test]
+    fn max_ops_limits_total_operations() {
+        let mut p = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let opts = HloOptions {
+            max_ops: Some(2),
+            ..Default::default()
+        };
+        let report = optimize(&mut p, None, &opts);
+        assert!(report.operations() <= 2, "{report}");
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn within_module_scope_blocks_cross_module_inlining() {
+        let a = "fn main() { var s = 0; for (var i = 0; i < 50; i = i + 1) { s = s + util(i); } return s; }";
+        let b = "fn util(x) { return x * 2 + 1; }";
+        let p0 = hlo_frontc::compile(&[("a", a), ("b", b)]).unwrap();
+        let mut within = p0.clone();
+        let rw = optimize(
+            &mut within,
+            None,
+            &HloOptions {
+                scope: Scope::WithinModule,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rw.inlines, 0, "{rw}");
+        let mut cross = p0.clone();
+        let rc = optimize(&mut cross, None, &HloOptions::default());
+        assert!(rc.inlines >= 1, "{rc}");
+        // and the cross-module build is dynamically cheaper
+        let w = run_program(&within, &[], &ExecOptions::default()).unwrap();
+        let c = run_program(&cross, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(w.ret, c.ret);
+        assert!(c.retired < w.retired);
+    }
+
+    #[test]
+    fn fully_inlined_static_routines_are_deleted() {
+        let src = r#"
+            static fn once(x) { return x + 2; }
+            fn main() { return once(40); }
+        "#;
+        let mut p = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let report = optimize(&mut p, None, &HloOptions::default());
+        assert!(report.inlines >= 1);
+        assert!(report.deletions >= 1, "{report}");
+        // module list no longer contains `once`
+        let m = &p.modules[0];
+        assert!(m
+            .funcs
+            .iter()
+            .all(|&f| p.func(f).name != "once"));
+    }
+
+    #[test]
+    fn recursive_pass_through_cloning_specializes_recursion() {
+        // Paper §2.2: "cloning a recursive procedure with a pass-through
+        // parameter ... might be difficult to do correctly in a single
+        // pass". Multi-pass + clone database: pass 1 clones power(base=3),
+        // constant propagation re-materializes base=3 at the clone's own
+        // recursive call, pass 2 finds that site, hits the database, and
+        // redirects it — the clone ends up calling itself.
+        let src = r#"
+            fn power(base, n) {
+                if (n <= 0) { return 1; }
+                return base * power(base, n - 1);
+            }
+            fn main() {
+                var s = 0;
+                for (var i = 0; i < 8; i = i + 1) { s = s + power(3, i); }
+                return s;
+            }
+        "#;
+        let p0 = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let expect = run_program(&p0, &[], &ExecOptions::default()).unwrap().ret;
+        let mut p = p0.clone();
+        let opts = HloOptions {
+            enable_inline: false, // isolate the cloning story
+            budget_percent: 400,
+            ..Default::default()
+        };
+        let report = optimize(&mut p, None, &opts);
+        verify_program(&p).unwrap();
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+        assert!(report.clones >= 1, "{report}");
+        assert!(report.clone_replacements >= 2, "{report}");
+        // The specialized clone must be self-recursive.
+        let clone = p
+            .iter_funcs()
+            .find(|(_, f)| f.name.contains("clone"))
+            .map(|(i, _)| i)
+            .expect("clone exists");
+        let cg = hlo_analysis::CallGraph::build(&p);
+        let sccs = cg.sccs();
+        assert!(
+            cg.in_recursion(&sccs, clone),
+            "clone should call itself after pass-through specialization"
+        );
+    }
+
+    #[test]
+    fn outlining_is_reported_and_preserves_semantics() {
+        let src = r#"
+            global errs;
+            fn work(n, mode) {
+                var s = 0;
+                for (var i = 0; i < n; i = i + 1) {
+                    if (mode == 77) {
+                        errs = errs + 1;
+                        var penalty = mode * 1000 + n + errs * 3;
+                        return 0 - penalty;
+                    }
+                    s = s + i * 2 + 1;
+                }
+                return s;
+            }
+            fn main() {
+                var a = 0;
+                for (var r = 0; r < 300; r = r + 1) { a = a + work(20, 1); }
+                return a * 1000 + work(5, 77);
+            }
+        "#;
+        let p0 = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let expect = run_program(&p0, &[], &ExecOptions::default()).unwrap().ret;
+        let (db, _) = collect_profile(&p0, &[], &ExecOptions::default()).unwrap();
+        let mut p = p0.clone();
+        let opts = HloOptions {
+            enable_outline: true,
+            ..Default::default()
+        };
+        let report = optimize(&mut p, Some(&db), &opts);
+        verify_program(&p).unwrap();
+        assert!(report.outlines >= 1, "{report}");
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+    }
+
+    #[test]
+    fn report_tracks_passes() {
+        let mut p = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let report = optimize(&mut p, None, &HloOptions::default());
+        assert!(!report.passes.is_empty());
+        assert_eq!(
+            report.inlines,
+            report.passes.iter().map(|q| q.inlines).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! The inlining pass (paper §2.4, Figure 4).
+
+use crate::budget::Budget;
+use crate::driver::HloOptions;
+use crate::legality::inline_restriction;
+use crate::transform::{inline_call, scale_profile};
+use hlo_analysis::{CallGraph, CallSiteRef};
+use hlo_ir::{FuncId, Program};
+use std::collections::HashMap;
+
+/// Result of one inlining pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InlinePassResult {
+    /// Call sites inlined.
+    pub inlines: u64,
+    /// Viable sites discarded for budget reasons (they may be
+    /// reconsidered next pass).
+    pub deferred: u64,
+}
+
+/// Penalty multiplier for sites colder than their caller's entry (the
+/// paper's guard against pushing register pressure into critical paths).
+const COLD_SITE_PENALTY: f64 = 0.25;
+
+/// Priority bonus for `#[inline]`-hinted callees (a user direction).
+const HINT_BONUS: f64 = 4.0;
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    site: CallSiteRef,
+    target: FuncId,
+    merit: f64,
+}
+
+/// Runs one inlining pass under the stage budget.
+///
+/// Viable sites are ranked by a run-time figure of merit (site frequency,
+/// with a cold-site penalty), then accepted greedily: each acceptance is
+/// costed against a *schedule* kept in bottom-up call-graph order so that
+/// cascaded inlines (B into A after C into B) are charged at B's grown
+/// size, exactly as Figure 4 prescribes. Accepted inlines are then
+/// performed in schedule order.
+pub fn inline_pass(
+    p: &mut Program,
+    budget: &mut Budget,
+    pass: usize,
+    opts: &HloOptions,
+    ops_left: &mut Option<u64>,
+) -> InlinePassResult {
+    let mut result = InlinePassResult::default();
+    let cg = CallGraph::build(p);
+    let sccs = cg.sccs();
+    let mut scc_rank = vec![0usize; p.funcs.len()];
+    for (i, comp) in sccs.iter().enumerate() {
+        for &f in comp {
+            scc_rank[f.index()] = i;
+        }
+    }
+
+    // Screen and rank (Figure 4 "screen inline candidates").
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for edge in &cg.edges {
+        if inline_restriction(p, &edge.site, opts.scope).is_some() {
+            continue;
+        }
+        let caller = p.func(edge.site.caller);
+        let callee = p.func(edge.callee);
+        let (site_cnt, entry_cnt) = match &caller.profile {
+            Some(pr) => (pr.blocks[edge.site.block.index()], pr.entry),
+            None => (1.0, 1.0),
+        };
+        let mut merit = site_cnt;
+        if opts.cold_site_penalty && site_cnt < entry_cnt {
+            merit *= COLD_SITE_PENALTY;
+        }
+        if callee.flags.inline_hint {
+            merit *= HINT_BONUS;
+        }
+        candidates.push(Candidate {
+            site: edge.site,
+            target: edge.callee,
+            merit,
+        });
+    }
+    candidates.sort_by(|a, b| {
+        b.merit
+            .partial_cmp(&a.merit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Greedy selection with cascaded cost over a bottom-up schedule
+    // (Figure 4 "select inline sites").
+    let base_cost = budget.current();
+    let mut schedule: Vec<Candidate> = Vec::new();
+    let mut accepted_delta: u64 = 0;
+    let mut accepted_ops = 0u64;
+    for cand in candidates {
+        if let Some(left) = ops_left {
+            if accepted_ops >= *left {
+                break;
+            }
+        }
+        let mut tentative: Vec<&Candidate> = schedule.iter().collect();
+        tentative.push(&cand);
+        // Bottom-up order: deepest sources first, so a callee's own
+        // accepted inlines are counted before it is spliced elsewhere.
+        tentative.sort_by_key(|c| scc_rank[c.site.caller.index()]);
+        let delta = schedule_cost_delta(p, &tentative);
+        if base_cost.saturating_add(delta) <= budget.stage_limit(pass) {
+            schedule.push(cand);
+            accepted_delta = delta;
+            accepted_ops += 1;
+        } else {
+            result.deferred += 1;
+        }
+    }
+    if let Some(left) = ops_left {
+        *left -= accepted_ops.min(*left);
+    }
+    budget.charge(accepted_delta);
+
+    // Perform in bottom-up order (Figure 4 "perform inlines"), fixing the
+    // coordinates of later sites that shared the split block.
+    schedule.sort_by_key(|c| scc_rank[c.site.caller.index()]);
+    let mut i = 0;
+    while i < schedule.len() {
+        let cand = schedule[i].clone();
+        let splice = inline_call(p, &cand.site);
+        result.inlines += 1;
+        // Deduct the moved executions from the callee's surviving profile.
+        let callee_entry = p.func(cand.target).entry_count().unwrap_or(0.0);
+        if callee_entry > 0.0 {
+            let keep = ((callee_entry - splice.site_count) / callee_entry).max(0.0);
+            scale_profile(&mut p.func_mut(cand.target).profile, keep);
+        }
+        for later in schedule.iter_mut().skip(i + 1) {
+            if later.site.caller == cand.site.caller
+                && later.site.block == splice.split_block
+                && later.site.inst > splice.call_index
+            {
+                later.site.block = splice.continuation;
+                later.site.inst -= splice.call_index + 1;
+            }
+        }
+        i += 1;
+    }
+
+    // Re-optimize the callers that grew (Figure 4 "optimize inlines"),
+    // then recalibrate from measured sizes.
+    let mut touched: HashMap<FuncId, ()> = HashMap::new();
+    for c in &schedule {
+        touched.entry(c.site.caller).or_insert(());
+    }
+    for (f, _) in touched {
+        hlo_opt::optimize_function(p.func_mut(f));
+    }
+    budget.recalibrate(p.compile_cost());
+
+    result
+}
+
+/// Total compile-cost increase of performing `schedule` (bottom-up order),
+/// accounting for cascading: inlining t into s uses t's *effective* size
+/// after t's own earlier scheduled inlines.
+fn schedule_cost_delta(p: &Program, schedule: &[&Candidate]) -> u64 {
+    let mut eff: HashMap<FuncId, u64> = HashMap::new();
+    let size_of = |f: FuncId, eff: &HashMap<FuncId, u64>| -> u64 {
+        eff.get(&f).copied().unwrap_or_else(|| p.func(f).size())
+    };
+    for c in schedule {
+        let s = size_of(c.site.caller, &eff);
+        let t = size_of(c.target, &eff);
+        eff.insert(c.site.caller, s + t);
+    }
+    let mut delta = 0u64;
+    for (f, new_size) in &eff {
+        let old = p.func(*f).size();
+        delta += new_size * new_size;
+        delta = delta.saturating_sub(old * old);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::verify_program;
+    use hlo_vm::{run_program, ExecOptions};
+
+    fn annotate(p: &mut Program) {
+        for f in &mut p.funcs {
+            if f.profile.is_none() {
+                f.profile = Some(hlo_analysis::estimate_static_profile(f));
+            }
+        }
+    }
+
+    fn run_pass(p: &mut Program, budget_pct: u64) -> InlinePassResult {
+        annotate(p);
+        let c0 = p.compile_cost();
+        let mut budget = Budget::new(c0, budget_pct, &[1.0]);
+        inline_pass(p, &mut budget, 0, &HloOptions::default(), &mut None)
+    }
+
+    #[test]
+    fn inlines_simple_call_and_preserves_semantics() {
+        let src = &[(
+            "m",
+            "fn sq(x) { return x * x; } fn main() { return sq(9) + sq(2); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        let expect = run_program(&p, &[], &ExecOptions::default()).unwrap().ret;
+        let r = run_pass(&mut p, 500);
+        assert!(r.inlines >= 2, "{r:?}");
+        verify_program(&p).unwrap();
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+    }
+
+    #[test]
+    fn hot_sites_win_under_tight_budget() {
+        // Two big callees; only one fits. The one called in a loop must be
+        // chosen.
+        let src = &[(
+            "m",
+            r#"
+            fn hot(x) { var s = 0; if (x > 1) { s = x * 3; } else { s = x + 1; }
+                        if (s > 10) { s = s - 10; } return s; }
+            fn cold(x) { var s = 0; if (x > 1) { s = x * 5; } else { s = x + 2; }
+                         if (s > 10) { s = s - 9; } return s; }
+            fn main() {
+                var acc = 0;
+                for (var i = 0; i < 50; i = i + 1) { acc = acc + hot(i); }
+                if (acc < 0) { acc = acc + cold(3); }
+                return acc;
+            }
+            "#,
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        annotate(&mut p);
+        let c0 = p.compile_cost();
+        // Budget that fits roughly one medium inline but not both.
+        let mut budget = Budget::new(c0, 100, &[1.0]);
+        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut None);
+        assert!(r.inlines >= 1);
+        assert!(r.deferred >= 1, "{r:?}");
+        // `hot` must no longer be called from main's loop.
+        verify_program(&p).unwrap();
+        let main = p.entry.unwrap();
+        let hot = p.find_func("m", "hot").unwrap();
+        let cg = CallGraph::build(&p);
+        let hot_calls_from_main = cg
+            .edges
+            .iter()
+            .filter(|e| e.site.caller == main && e.callee == hot)
+            .count();
+        assert_eq!(hot_calls_from_main, 0);
+    }
+
+    #[test]
+    fn cascaded_inlines_abc() {
+        // c into b, then b into a — the schedule must handle the cascade.
+        let src = &[(
+            "m",
+            r#"
+            fn c(x) { return x + 1; }
+            fn b(x) { return c(x) * 2; }
+            fn a(x) { return b(x) + 3; }
+            fn main() { return a(5); }
+            "#,
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        let expect = run_program(&p, &[], &ExecOptions::default()).unwrap().ret;
+        let r = run_pass(&mut p, 2000);
+        assert!(r.inlines >= 3, "{r:?}");
+        verify_program(&p).unwrap();
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+    }
+
+    #[test]
+    fn two_sites_same_block_both_inline() {
+        let src = &[(
+            "m",
+            "fn f(x) { return x + 7; } fn main() { return f(1) * f(2); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        let expect = run_program(&p, &[], &ExecOptions::default()).unwrap().ret;
+        let r = run_pass(&mut p, 2000);
+        assert_eq!(r.inlines, 2);
+        verify_program(&p).unwrap();
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_inlines_once_without_hanging() {
+        let src = &[(
+            "m",
+            r#"
+            fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            fn main() { return even(10) * 10 + odd(7); }
+            "#,
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        let expect = run_program(&p, &[], &ExecOptions::default()).unwrap().ret;
+        let r = run_pass(&mut p, 400);
+        assert!(r.inlines >= 1);
+        verify_program(&p).unwrap();
+        assert_eq!(
+            run_program(&p, &[], &ExecOptions::default()).unwrap().ret,
+            expect
+        );
+    }
+
+    #[test]
+    fn ops_limit_caps_acceptances() {
+        let src = &[(
+            "m",
+            "fn f(x) { return x + 1; } fn main() { return f(1) + f(2) + f(3) + f(4); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        annotate(&mut p);
+        let c0 = p.compile_cost();
+        let mut budget = Budget::new(c0, 5000, &[1.0]);
+        let mut ops = Some(2u64);
+        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut ops);
+        assert_eq!(r.inlines, 2);
+        assert_eq!(ops, Some(0));
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_inlines_nothing() {
+        let src = &[(
+            "m",
+            "fn f(x) { return x + 1; } fn main() { return f(1); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        annotate(&mut p);
+        let c0 = p.compile_cost();
+        let mut budget = Budget::new(c0, 0, &[1.0]);
+        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut None);
+        assert_eq!(r.inlines, 0);
+        assert_eq!(r.deferred, 1);
+    }
+
+    #[test]
+    fn inlined_body_folds_with_constant_arguments() {
+        // After inlining f(3), the scalar optimizer must fold everything.
+        let src = &[(
+            "m",
+            "fn f(x) { return x * x + 1; } fn main() { return f(3); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        run_pass(&mut p, 2000);
+        let main = p.entry.unwrap();
+        assert_eq!(p.func(main).size(), 1, "{}", p.func(main));
+    }
+}

@@ -1,0 +1,303 @@
+//! Site screening: the paper's legal, technical, pragmatic and user
+//! restrictions (§2.4, and the cloning legality tests of §2.3).
+
+use crate::driver::Scope;
+use hlo_ir::{Callee, Inst, Program, Type};
+use hlo_analysis::CallSiteRef;
+
+/// Why a call site may not be inlined or cloned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Restriction {
+    /// Caller and callee disagree on the number of arguments ("argument
+    /// arity differences" — illegal).
+    ArityMismatch,
+    /// The caller expects a value from a `void` callee ("gross type
+    /// mismatches" — illegal).
+    TypeMismatch,
+    /// The callee is declared varargs (illegal).
+    Varargs,
+    /// Caller and callee disagree on floating-point strictness (the
+    /// technical restriction: reassociation constraints cannot be
+    /// represented in the merged body).
+    StrictFpMix,
+    /// The callee dynamically allocates stack with `alloca` (pragmatic:
+    /// the allocation's lifetime would change).
+    DynAlloca,
+    /// The user forbade inlining this callee (`#[noinline]`).
+    UserNoinline,
+    /// A direct self-call: inlining it is just one loop unrolling, handled
+    /// across passes instead.
+    SelfCall,
+    /// The site crosses a module boundary but the compilation scope is
+    /// per-module.
+    OutOfScope,
+    /// The callee is the program entry (cloning it can never retire the
+    /// original).
+    EntryCallee,
+    /// The call site is not a direct call (indirect sites are promoted by
+    /// constant propagation first; external callees have no body).
+    NotDirect,
+}
+
+impl std::fmt::Display for Restriction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Restriction::ArityMismatch => "argument arity mismatch",
+            Restriction::TypeMismatch => "gross type mismatch",
+            Restriction::Varargs => "varargs callee",
+            Restriction::StrictFpMix => "floating-point strictness mismatch",
+            Restriction::DynAlloca => "callee uses dynamic alloca",
+            Restriction::UserNoinline => "user noinline pragma",
+            Restriction::SelfCall => "direct self-recursion",
+            Restriction::OutOfScope => "cross-module site in per-module scope",
+            Restriction::EntryCallee => "callee is the program entry",
+            Restriction::NotDirect => "not a direct call",
+        };
+        f.write_str(s)
+    }
+}
+
+fn site_inst<'p>(p: &'p Program, site: &CallSiteRef) -> &'p Inst {
+    &p.func(site.caller).blocks[site.block.index()].insts[site.inst]
+}
+
+fn direct_parts(p: &Program, site: &CallSiteRef) -> Option<(hlo_ir::FuncId, usize, bool)> {
+    match site_inst(p, site) {
+        Inst::Call {
+            callee: Callee::Func(t),
+            args,
+            dst,
+        } => Some((*t, args.len(), dst.is_some())),
+        _ => None,
+    }
+}
+
+/// Checks whether the direct call at `site` may be inlined. Returns the
+/// first restriction found, or `None` when the site is viable.
+pub fn inline_restriction(p: &Program, site: &CallSiteRef, scope: Scope) -> Option<Restriction> {
+    let (target, n_args, wants_value) = match direct_parts(p, site) {
+        Some(x) => x,
+        None => return Some(Restriction::NotDirect),
+    };
+    let caller = p.func(site.caller);
+    let callee = p.func(target);
+    if target == site.caller {
+        return Some(Restriction::SelfCall);
+    }
+    if callee.flags.varargs {
+        return Some(Restriction::Varargs);
+    }
+    if n_args != callee.params as usize {
+        return Some(Restriction::ArityMismatch);
+    }
+    if wants_value && callee.ret == Type::Void {
+        return Some(Restriction::TypeMismatch);
+    }
+    if caller.flags.strict_fp != callee.flags.strict_fp
+        && (caller.uses_float() || callee.uses_float())
+    {
+        return Some(Restriction::StrictFpMix);
+    }
+    if callee.has_dynamic_alloca() {
+        return Some(Restriction::DynAlloca);
+    }
+    if callee.flags.noinline {
+        return Some(Restriction::UserNoinline);
+    }
+    if scope == Scope::WithinModule && caller.module != callee.module {
+        return Some(Restriction::OutOfScope);
+    }
+    None
+}
+
+/// Checks whether the direct call at `site` may be redirected to a clone.
+pub fn clone_restriction(p: &Program, site: &CallSiteRef, scope: Scope) -> Option<Restriction> {
+    let (target, n_args, wants_value) = match direct_parts(p, site) {
+        Some(x) => x,
+        None => return Some(Restriction::NotDirect),
+    };
+    let caller = p.func(site.caller);
+    let callee = p.func(target);
+    if callee.flags.varargs {
+        return Some(Restriction::Varargs);
+    }
+    if n_args != callee.params as usize {
+        return Some(Restriction::ArityMismatch);
+    }
+    if wants_value && callee.ret == Type::Void {
+        return Some(Restriction::TypeMismatch);
+    }
+    if Some(target) == p.entry {
+        return Some(Restriction::EntryCallee);
+    }
+    if scope == Scope::WithinModule && caller.module != callee.module {
+        return Some(Restriction::OutOfScope);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_analysis::CallGraph;
+    use hlo_ir::Program;
+
+    fn site_of(p: &Program, caller: &str, nth: usize) -> CallSiteRef {
+        let cg = CallGraph::build(p);
+        let id = p.find_public_func(caller).or_else(|| {
+            p.iter_funcs()
+                .find(|(_, f)| f.name == caller)
+                .map(|(i, _)| i)
+        });
+        let id = id.unwrap();
+        cg.edges
+            .iter()
+            .filter(|e| e.site.caller == id)
+            .nth(nth)
+            .unwrap()
+            .site
+    }
+
+    #[test]
+    fn clean_site_is_unrestricted() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "fn f(x) { return x; } fn main() { return f(1); }",
+        )])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(inline_restriction(&p, &s, Scope::CrossModule), None);
+        assert_eq!(clone_restriction(&p, &s, Scope::CrossModule), None);
+    }
+
+    #[test]
+    fn arity_mismatch_is_illegal() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "fn f(a, b) { return a + b; } fn main() { return f(1); }",
+        )])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(
+            inline_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::ArityMismatch)
+        );
+        assert_eq!(
+            clone_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::ArityMismatch)
+        );
+    }
+
+    #[test]
+    fn void_result_use_is_type_mismatch() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "fn v(x) { sink(x); } fn main() { return v(1); }",
+        )])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(
+            inline_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::TypeMismatch)
+        );
+    }
+
+    #[test]
+    fn noinline_and_alloca_restrictions() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            #[noinline] fn ni(x) { return x; }
+            fn al(n) { var p = __alloca(n); p[0] = 1; return p[0]; }
+            fn main() { return ni(1) + al(8); }
+            "#,
+        )])
+        .unwrap();
+        let s0 = site_of(&p, "main", 0);
+        let s1 = site_of(&p, "main", 1);
+        assert_eq!(
+            inline_restriction(&p, &s0, Scope::CrossModule),
+            Some(Restriction::UserNoinline)
+        );
+        assert_eq!(
+            inline_restriction(&p, &s1, Scope::CrossModule),
+            Some(Restriction::DynAlloca)
+        );
+        // Cloning does not care about either.
+        assert_eq!(clone_restriction(&p, &s0, Scope::CrossModule), None);
+        assert_eq!(clone_restriction(&p, &s1, Scope::CrossModule), None);
+    }
+
+    #[test]
+    fn strict_fp_mix_restriction() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            #[strict_fp] fn fsum(a, b) { return __ftoi(__fadd(__itof(a), __itof(b))); }
+            fn main() { return fsum(1, 2); }
+            "#,
+        )])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(
+            inline_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::StrictFpMix)
+        );
+    }
+
+    #[test]
+    fn strict_fp_without_float_ops_is_fine() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "#[strict_fp] fn f(x) { return x + 1; } fn main() { return f(1); }",
+        )])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(inline_restriction(&p, &s, Scope::CrossModule), None);
+    }
+
+    #[test]
+    fn scope_restriction_on_cross_module_sites() {
+        let p = hlo_frontc::compile(&[
+            ("a", "fn main() { return f(1); }"),
+            ("b", "fn f(x) { return x; }"),
+        ])
+        .unwrap();
+        let s = site_of(&p, "main", 0);
+        assert_eq!(
+            inline_restriction(&p, &s, Scope::WithinModule),
+            Some(Restriction::OutOfScope)
+        );
+        assert_eq!(inline_restriction(&p, &s, Scope::CrossModule), None);
+    }
+
+    #[test]
+    fn self_call_restricted_for_inline_not_clone() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "fn r(n) { if (n <= 0) { return 0; } return r(n - 1); } fn main() { return r(3); }",
+        )])
+        .unwrap();
+        // the self-call site inside r
+        let s = site_of(&p, "r", 0);
+        assert_eq!(
+            inline_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::SelfCall)
+        );
+        assert_eq!(clone_restriction(&p, &s, Scope::CrossModule), None);
+    }
+
+    #[test]
+    fn entry_cannot_be_cloned() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            "fn helper() { return main(); } fn main() { return 0; }",
+        )])
+        .unwrap();
+        let s = site_of(&p, "helper", 0);
+        assert_eq!(
+            clone_restriction(&p, &s, Scope::CrossModule),
+            Some(Restriction::EntryCallee)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! **HLO** — the budgeted, multi-pass, cross-module inliner and cloner of
+//! *Aggressive Inlining* (Ayers, Gottlieb & Schooler, PLDI 1997).
+//!
+//! The optimizer alternates cloning and inlining passes under a global
+//! compile-time budget (paper Figure 2):
+//!
+//! * the **budget** models compile time as `Σ size(routine)²` (the HP back
+//!   end has quadratic algorithms) and by default allows a 100% increase;
+//!   it is *staged* so early passes cannot consume everything;
+//! * a **cloning pass** (Figure 3) intersects caller-supplied constants
+//!   with callee parameter usage into *clone specs*, greedily builds
+//!   *clone groups* over compatible call sites, ranks groups by estimated
+//!   run-time benefit, and materializes clones through a cross-pass
+//!   *clone database*;
+//! * an **inlining pass** (Figure 4) screens sites for legal, technical,
+//!   pragmatic and user restrictions, ranks the survivors by profile
+//!   frequency (with a penalty for sites colder than their caller's
+//!   entry), schedules accepted inlines bottom-up over the call graph with
+//!   cascaded cost accounting, and splices bodies;
+//! * after each pass, routines made unreachable (fully inlined statics,
+//!   fully replaced clonees) are **deleted**, and the scalar optimizer
+//!   (crate `hlo-opt`) re-sharpens the code so the next pass sees new
+//!   facts — this is what lets a cloned function-pointer argument become a
+//!   direct call and then be inlined one pass later (§3.1).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hlo::{optimize, HloOptions, Scope};
+//!
+//! let mut program = hlo_frontc::compile(&[(
+//!     "m",
+//!     "fn sq(x) { return x * x; }
+//!      fn main() { var s = 0;
+//!          for (var i = 0; i < 100; i = i + 1) { s = s + sq(i); }
+//!          return s; }",
+//! )]).unwrap();
+//! let report = optimize(&mut program, None, &HloOptions::default());
+//! assert!(report.inlines >= 1);
+//! # assert_eq!(
+//! #     hlo_vm::run_program(&program, &[], &hlo_vm::ExecOptions::default()).unwrap().ret,
+//! #     (0..100).map(|i| i * i).sum::<i64>());
+//! ```
+
+mod budget;
+mod cloner;
+mod delete;
+mod driver;
+mod inliner;
+mod legality;
+mod outline;
+mod report;
+mod transform;
+
+pub use budget::Budget;
+pub use cloner::{CloneDb, CloneSpec};
+pub use delete::delete_unreachable;
+pub use driver::{optimize, HloOptions, Scope};
+pub use inliner::inline_pass;
+pub use legality::{clone_restriction, inline_restriction, Restriction};
+pub use outline::{outline_cold_regions, OutlineOptions};
+pub use report::{HloReport, PassReport};
+pub use transform::{inline_call, make_clone, redirect_site_to_clone, InlineSplice};

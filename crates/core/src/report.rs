@@ -1,0 +1,110 @@
+//! Optimization reports — the raw material of the paper's Table 1.
+
+/// What one Clone+Inline pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassReport {
+    /// Pass number (0-based).
+    pub pass: usize,
+    /// Inlines performed.
+    pub inlines: u64,
+    /// Clone bodies created.
+    pub clones_created: u64,
+    /// Clones reused from the database.
+    pub clones_reused: u64,
+    /// Call sites redirected to clones ("Clone Repls" in Table 1).
+    pub clone_replacements: u64,
+    /// Routines deleted after the pass.
+    pub deletions: u64,
+    /// Compile-cost estimate after the pass.
+    pub cost_after: u64,
+}
+
+/// Aggregate report for one `optimize` run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HloReport {
+    /// Total inlines (Table 1 "Inlines").
+    pub inlines: u64,
+    /// Total clone bodies created (Table 1 "Clones").
+    pub clones: u64,
+    /// Total call sites redirected to clones (Table 1 "Clone Repls").
+    pub clone_replacements: u64,
+    /// Total routines deleted (Table 1 "Deletions").
+    pub deletions: u64,
+    /// Calls to side-effect-free routines removed by interprocedural
+    /// analysis (the 072.sc curses-stub effect).
+    pub pure_calls_removed: u64,
+    /// Cold regions extracted by aggressive outlining (0 unless
+    /// `enable_outline` is set).
+    pub outlines: u64,
+    /// Functions whose blocks were reordered by the final straightening
+    /// step.
+    pub straightened: u64,
+    /// Compile-cost estimate before HLO ran (`Σ size²`).
+    pub initial_cost: u64,
+    /// Compile-cost estimate after HLO finished.
+    pub final_cost: u64,
+    /// The budget ceiling that was in force.
+    pub budget_limit: u64,
+    /// Per-pass breakdown.
+    pub passes: Vec<PassReport>,
+}
+
+impl HloReport {
+    /// Modeled compile time in cost units: the final `Σ size²` (the
+    /// quantity the budget limits). Callers measuring a P-scope compile
+    /// add the instrumented compile and training-run cost on top.
+    pub fn compile_time_units(&self) -> u64 {
+        self.final_cost
+    }
+
+    /// Total inline + clone-replacement operations (the x-axis of the
+    /// paper's Figure 8).
+    pub fn operations(&self) -> u64 {
+        self.inlines + self.clone_replacements
+    }
+}
+
+impl std::fmt::Display for HloReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "HLO: {} inlines, {} clones ({} repls), {} deletions, {} pure calls removed",
+            self.inlines, self.clones, self.clone_replacements, self.deletions,
+            self.pure_calls_removed
+        )?;
+        write!(
+            f,
+            "cost {} -> {} (budget {})",
+            self.initial_cost, self.final_cost, self.budget_limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operations_counts_inlines_and_replacements() {
+        let r = HloReport {
+            inlines: 3,
+            clone_replacements: 2,
+            ..Default::default()
+        };
+        assert_eq!(r.operations(), 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = HloReport {
+            inlines: 1,
+            initial_cost: 10,
+            final_cost: 15,
+            budget_limit: 20,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("1 inlines"));
+        assert!(s.contains("10 -> 15"));
+    }
+}

@@ -1,0 +1,243 @@
+//! MinC abstract syntax.
+
+/// A parsed module (one source file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleAst {
+    /// Module (file) name.
+    pub name: String,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Function definition.
+    Fn(FnDef),
+    /// Global variable definition.
+    Global(GlobalDef),
+    /// External routine declaration: `extern fn name(arity);`.
+    Extern(ExternDecl),
+}
+
+/// Function attributes from `#[...]` pragmas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FnAttrs {
+    /// `#[noinline]` — the user forbids inlining this callee.
+    pub noinline: bool,
+    /// `#[inline]` — ranking bonus.
+    pub inline_hint: bool,
+    /// `#[strict_fp]` — no floating-point reassociation; bodies with
+    /// different strictness may not be mixed by inlining.
+    pub strict_fp: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Name (unique within the module).
+    pub name: String,
+    /// `static` (module-local) or public.
+    pub is_static: bool,
+    /// Attributes.
+    pub attrs: FnAttrs,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global definition: scalar or array with optional initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// `static` (module-local) or public.
+    pub is_static: bool,
+    /// Number of words (1 for scalars).
+    pub words: u32,
+    /// Initial values for the leading words.
+    pub init: Vec<i64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// `extern fn name(n);` — declares a library routine of arity `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternDecl {
+    /// Name.
+    pub name: String,
+    /// Declared arity.
+    pub arity: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` or `var x;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Optional initializer (defaults to 0).
+        init: Option<Expr>,
+    },
+    /// `var a[N];` — local array of N words.
+    ArrayDecl {
+        /// Array name.
+        name: String,
+        /// Array size in words.
+        words: u32,
+    },
+    /// `lhs = e;` where lhs is a variable or index expression.
+    Assign {
+        /// Where the value goes.
+        target: LValue,
+        /// The value expression.
+        value: Expr,
+    },
+    /// Bare expression (for side effects).
+    Expr(Expr),
+    /// `if (c) {..} else {..}`
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then_: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_: Vec<Stmt>,
+    },
+    /// `while (c) {..}`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) {..}` — each part optional.
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step statement, run after each iteration.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable (local or global).
+    Name(String),
+    /// `base[index]` where base is an array name or pointer expression.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators (surface level; `&&`/`||` lower to control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinAst {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `&`.
+    And,
+    /// `|`.
+    Or,
+    /// `^`.
+    Xor,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&&` (short-circuit).
+    LogAnd,
+    /// `||` (short-circuit).
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnAst {
+    /// unary `-`.
+    Neg,
+    /// `~`.
+    Not,
+    /// `!`.
+    LogNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference (local scalar value, global scalar value, or
+    /// array/function name decaying to an address).
+    Name(String),
+    /// `&f` — address of a function (or of a global, for array bases).
+    AddrOf(String),
+    /// Unary operation.
+    Un(UnAst, Box<Expr>),
+    /// Binary operation.
+    Bin(BinAst, Box<Expr>, Box<Expr>),
+    /// `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `base[index]` load.
+    Index(Box<Expr>, Box<Expr>),
+    /// `callee(args...)`; `callee` may be a name (direct if it resolves to
+    /// a function) or any expression (indirect).
+    Call(Box<Expr>, Vec<Expr>),
+    /// Compiler intrinsics (`__alloca`, `__itof`, ...).
+    Intrinsic(String, Vec<Expr>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_types_are_constructible() {
+        let e = Expr::Bin(
+            BinAst::Add,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Name("x".into())),
+        );
+        assert_eq!(
+            e,
+            Expr::Bin(
+                BinAst::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Name("x".into()))
+            )
+        );
+    }
+}

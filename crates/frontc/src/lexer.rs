@@ -1,0 +1,384 @@
+//! MinC lexer.
+
+use crate::FrontError;
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `fn`.
+    Fn,
+    /// `static`.
+    Static,
+    /// `global`.
+    Global,
+    /// `extern`.
+    Extern,
+    /// `var`.
+    Var,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `while`.
+    While,
+    /// `for`.
+    For,
+    /// `return`.
+    Return,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `&&`.
+    AmpAmp,
+    /// `|`.
+    Pipe,
+    /// `||`.
+    PipePipe,
+    /// `^`.
+    Caret,
+    /// `!`.
+    Bang,
+    /// `~`.
+    Tilde,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `?`.
+    Question,
+    /// `:`.
+    Colon,
+    /// `#[`, introducing an attribute.
+    HashBracket,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Category and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Streaming tokenizer over MinC source.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    module: &'a str,
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer for `src`, attributing errors to `module`.
+    pub fn new(module: &'a str, src: &'a str) -> Self {
+        Lexer {
+            module,
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenizes the whole input (with a trailing [`TokenKind::Eof`]).
+    ///
+    /// # Errors
+    /// Returns a positioned error on unknown characters or malformed
+    /// literals.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.lex_int()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b'{' => self.one(TokenKind::LBrace),
+                b'}' => self.one(TokenKind::RBrace),
+                b'[' => self.one(TokenKind::LBracket),
+                b']' => self.one(TokenKind::RBracket),
+                b',' => self.one(TokenKind::Comma),
+                b';' => self.one(TokenKind::Semi),
+                b'+' => self.one(TokenKind::Plus),
+                b'-' => self.one(TokenKind::Minus),
+                b'*' => self.one(TokenKind::Star),
+                b'/' => self.one(TokenKind::Slash),
+                b'%' => self.one(TokenKind::Percent),
+                b'^' => self.one(TokenKind::Caret),
+                b'~' => self.one(TokenKind::Tilde),
+                b'?' => self.one(TokenKind::Question),
+                b':' => self.one(TokenKind::Colon),
+                b'&' => self.pair(b'&', TokenKind::AmpAmp, TokenKind::Amp),
+                b'|' => self.pair(b'|', TokenKind::PipePipe, TokenKind::Pipe),
+                b'=' => self.pair(b'=', TokenKind::EqEq, TokenKind::Assign),
+                b'!' => self.pair(b'=', TokenKind::NotEq, TokenKind::Bang),
+                b'<' => {
+                    if self.peek2() == Some(b'<') {
+                        self.advance();
+                        self.one(TokenKind::Shl)
+                    } else {
+                        self.pair(b'=', TokenKind::Le, TokenKind::Lt)
+                    }
+                }
+                b'>' => {
+                    if self.peek2() == Some(b'>') {
+                        self.advance();
+                        self.one(TokenKind::Shr)
+                    } else {
+                        self.pair(b'=', TokenKind::Ge, TokenKind::Gt)
+                    }
+                }
+                b'#' => {
+                    if self.peek2() == Some(b'[') {
+                        self.advance();
+                        self.one(TokenKind::HashBracket)
+                    } else {
+                        return Err(self.err(line, col, "stray `#`"));
+                    }
+                }
+                other => {
+                    return Err(self.err(
+                        line,
+                        col,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn err(&self, line: u32, col: u32, msg: impl Into<String>) -> FrontError {
+        FrontError {
+            module: self.module.to_string(),
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn one(&mut self, k: TokenKind) -> TokenKind {
+        self.advance();
+        k
+    }
+
+    fn pair(&mut self, second: u8, double: TokenKind, single: TokenKind) -> TokenKind {
+        self.advance();
+        if self.src.get(self.pos) == Some(&second) {
+            self.advance();
+            double
+        } else {
+            single
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.advance(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while self.src.get(self.pos).is_some_and(|&c| c != b'\n') {
+                        self.advance();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<TokenKind, FrontError> {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        // hex?
+        if self.src[self.pos] == b'0' && self.peek2() == Some(b'x') {
+            self.advance();
+            self.advance();
+            let hs = self.pos;
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_hexdigit())
+            {
+                self.advance();
+            }
+            let text = std::str::from_utf8(&self.src[hs..self.pos]).expect("ascii");
+            return u64::from_str_radix(text, 16)
+                .map(|v| TokenKind::Int(v as i64))
+                .map_err(|_| self.err(line, col, "malformed hex literal"));
+        }
+        while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.advance();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| self.err(line, col, "integer literal out of range"))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.advance();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match text {
+            "fn" => TokenKind::Fn,
+            "static" => TokenKind::Static,
+            "global" => TokenKind::Global,
+            "extern" => TokenKind::Extern,
+            "var" => TokenKind::Var,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            _ => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new("t", src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_keywords() {
+        let k = kinds("fn f() { return 1 << 2 >= 3 && x; }");
+        assert!(k.contains(&TokenKind::Fn));
+        assert!(k.contains(&TokenKind::Shl));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::AmpAmp));
+        assert!(k.contains(&TokenKind::Ident("x".into())));
+        assert_eq!(k.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn lexes_hex_and_decimal() {
+        assert_eq!(
+            kinds("0x10 42")[..2],
+            [TokenKind::Int(16), TokenKind::Int(42)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("1 // comment with fn and junk $\n2");
+        assert_eq!(k[..2], [TokenKind::Int(1), TokenKind::Int(2)]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = Lexer::new("t", "a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn attribute_token() {
+        let k = kinds("#[noinline]");
+        assert_eq!(k[0], TokenKind::HashBracket);
+        assert_eq!(k[1], TokenKind::Ident("noinline".into()));
+        assert_eq!(k[2], TokenKind::RBracket);
+    }
+
+    #[test]
+    fn unknown_char_errors_with_position() {
+        let e = Lexer::new("m", "a $").tokenize().unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.col, 3);
+        assert_eq!(e.module, "m");
+    }
+}

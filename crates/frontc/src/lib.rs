@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! MinC: a miniature C-like front end producing `hlo-ir` programs.
+//!
+//! The paper's HLO consumes *ucode* produced by HP's C, C++ and Fortran
+//! front ends; MinC plays that role here. It is deliberately small but
+//! covers everything the evaluation needs to exercise:
+//!
+//! * multiple modules with C-style linkage (`static fn` / `static global`),
+//!   so programs have genuine cross-module and within-module call sites;
+//! * function pointers (`&f`, calls through variables), giving indirect
+//!   call sites that the staged clone→constprop→inline pipeline can
+//!   promote;
+//! * recursion, loops, globals, local arrays;
+//! * user pragmas `#[noinline]`, `#[inline]`, `#[strict_fp]` (the paper's
+//!   user restrictions and the floating-point "technical restriction");
+//! * `__alloca(n)` (the paper's pragmatic restriction) and float
+//!   intrinsics `__itof/__ftoi/__fadd/__fsub/__fmul/__fdiv/__flt`;
+//! * calls to undeclared names resolve to externals — library code the
+//!   optimizer cannot see (Figure 5's "external" category).
+//!
+//! All values are 64-bit words, as in the underlying IR.
+//!
+//! # Example
+//!
+//! ```
+//! let program = hlo_frontc::compile(&[(
+//!     "main",
+//!     r#"
+//!     fn add(a, b) { return a + b; }
+//!     fn main() { return add(40, 2); }
+//!     "#,
+//! )])?;
+//! let out = hlo_vm::run_program(&program, &[], &hlo_vm::ExecOptions::default()).unwrap();
+//! assert_eq!(out.ret, 42);
+//! # Ok::<(), hlo_frontc::FrontError>(())
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::link;
+pub use parser::parse_module;
+
+use hlo_ir::Program;
+
+/// A source-level error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// Module (file) name.
+    pub module: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.module, self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+/// Compiles and links a set of `(module name, source)` pairs into a whole
+/// [`Program`]. The entry point is the public function named `main` (the
+/// program is still valid without one, but cannot be executed).
+///
+/// # Errors
+/// Returns the first syntax or resolution error encountered.
+pub fn compile(sources: &[(&str, &str)]) -> Result<Program, FrontError> {
+    let mut modules = Vec::with_capacity(sources.len());
+    for (name, src) in sources {
+        modules.push(parse_module(name, src)?);
+    }
+    link(&modules)
+}

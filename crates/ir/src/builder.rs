@@ -1,0 +1,329 @@
+//! Convenience builders for constructing IR by hand (tests, examples and
+//! the front end's lowering all use these).
+
+use crate::{
+    BinOp, BlockId, Callee, ConstVal, Extern, ExternId, FuncId, Function, Global, GlobalId,
+    Inst, Linkage, Module, ModuleId, Operand, Program, Reg, SlotId, Type, UnOp,
+};
+
+/// Incrementally builds a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a module and returns its id.
+    pub fn add_module(&mut self, name: impl Into<String>) -> ModuleId {
+        let id = ModuleId(self.program.modules.len() as u32);
+        self.program.modules.push(Module::new(name));
+        id
+    }
+
+    /// Adds a finished function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.program.push_function(f)
+    }
+
+    /// Adds a global variable.
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        module: ModuleId,
+        linkage: Linkage,
+        words: u32,
+        init: Vec<i64>,
+    ) -> GlobalId {
+        let id = GlobalId(self.program.globals.len() as u32);
+        self.program.globals.push(Global {
+            name: name.into(),
+            module,
+            linkage,
+            words,
+            init,
+        });
+        id
+    }
+
+    /// Declares (or finds) an external routine.
+    pub fn declare_extern(
+        &mut self,
+        name: impl Into<String>,
+        params: Option<u32>,
+        has_ret: bool,
+    ) -> ExternId {
+        let name = name.into();
+        if let Some(id) = self.program.find_extern(&name) {
+            return id;
+        }
+        let id = ExternId(self.program.externs.len() as u32);
+        self.program.externs.push(Extern {
+            name,
+            params,
+            has_ret,
+        });
+        id
+    }
+
+    /// Finalizes the program with the given entry point.
+    pub fn finish(mut self, entry: Option<FuncId>) -> Program {
+        self.program.entry = entry;
+        self.program
+    }
+
+    /// Read access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Incrementally builds a [`Function`]. Instructions are appended to a
+/// designated block, so builders can interleave work on several blocks.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `params` parameters and an empty entry block.
+    pub fn new(name: impl Into<String>, module: ModuleId, params: u32) -> Self {
+        FunctionBuilder {
+            f: Function::new(name, module, params),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= params`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.f.params, "parameter index out of range");
+        Reg(i)
+    }
+
+    /// Appends a fresh empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.f.new_block()
+    }
+
+    /// Allocates a fresh register.
+    pub fn new_reg(&mut self) -> Reg {
+        self.f.new_reg()
+    }
+
+    /// Allocates a frame slot of `bytes` bytes.
+    pub fn new_slot(&mut self, bytes: u32) -> SlotId {
+        self.f.new_slot(bytes)
+    }
+
+    /// Appends a raw instruction to `b`.
+    pub fn push(&mut self, b: BlockId, inst: Inst) {
+        self.f.block_mut(b).insts.push(inst);
+    }
+
+    /// `dst = value`, in a fresh register.
+    pub fn const_(&mut self, b: BlockId, value: ConstVal) -> Reg {
+        let dst = self.new_reg();
+        self.push(b, Inst::Const { dst, value });
+        dst
+    }
+
+    /// Integer constant convenience.
+    pub fn iconst(&mut self, b: BlockId, v: i64) -> Reg {
+        self.const_(b, ConstVal::I64(v))
+    }
+
+    /// `dst = a <op> b`, in a fresh register.
+    pub fn bin(&mut self, b: BlockId, op: BinOp, a: Operand, c: Operand) -> Reg {
+        let dst = self.new_reg();
+        self.push(b, Inst::Bin { dst, op, a, b: c });
+        dst
+    }
+
+    /// `dst = <op> a`, in a fresh register.
+    pub fn un(&mut self, b: BlockId, op: UnOp, a: Operand) -> Reg {
+        let dst = self.new_reg();
+        self.push(b, Inst::Un { dst, op, a });
+        dst
+    }
+
+    /// `dst = src`, into an existing register.
+    pub fn copy_to(&mut self, b: BlockId, dst: Reg, src: Operand) {
+        self.push(b, Inst::Copy { dst, src });
+    }
+
+    /// `dst = mem[base + offset]`, in a fresh register.
+    pub fn load(&mut self, b: BlockId, base: Operand, offset: Operand) -> Reg {
+        let dst = self.new_reg();
+        self.push(b, Inst::Load { dst, base, offset });
+        dst
+    }
+
+    /// `mem[base + offset] = value`.
+    pub fn store(&mut self, b: BlockId, base: Operand, offset: Operand, value: Operand) {
+        self.push(
+            b,
+            Inst::Store {
+                base,
+                offset,
+                value,
+            },
+        );
+    }
+
+    /// `dst = &slot`, in a fresh register.
+    pub fn frame_addr(&mut self, b: BlockId, slot: SlotId) -> Reg {
+        let dst = self.new_reg();
+        self.push(b, Inst::FrameAddr { dst, slot });
+        dst
+    }
+
+    /// Direct call returning a value in a fresh register.
+    pub fn call(&mut self, b: BlockId, callee: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.push(
+            b,
+            Inst::Call {
+                dst: Some(dst),
+                callee: Callee::Func(callee),
+                args,
+            },
+        );
+        dst
+    }
+
+    /// Direct call discarding any result.
+    pub fn call_void(&mut self, b: BlockId, callee: FuncId, args: Vec<Operand>) {
+        self.push(
+            b,
+            Inst::Call {
+                dst: None,
+                callee: Callee::Func(callee),
+                args,
+            },
+        );
+    }
+
+    /// Call to an external routine.
+    pub fn call_extern(
+        &mut self,
+        b: BlockId,
+        callee: ExternId,
+        args: Vec<Operand>,
+        want_ret: bool,
+    ) -> Option<Reg> {
+        let dst = want_ret.then(|| self.new_reg());
+        self.push(
+            b,
+            Inst::Call {
+                dst,
+                callee: Callee::Extern(callee),
+                args,
+            },
+        );
+        dst
+    }
+
+    /// Indirect call through a function-pointer operand.
+    pub fn call_indirect(&mut self, b: BlockId, fptr: Operand, args: Vec<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.push(
+            b,
+            Inst::Call {
+                dst: Some(dst),
+                callee: Callee::Indirect(fptr),
+                args,
+            },
+        );
+        dst
+    }
+
+    /// `ret value`.
+    pub fn ret(&mut self, b: BlockId, value: Option<Operand>) {
+        self.push(b, Inst::Ret { value });
+    }
+
+    /// `jump target`.
+    pub fn jump(&mut self, b: BlockId, target: BlockId) {
+        self.push(b, Inst::Jump { target });
+    }
+
+    /// `br cond ? then_ : else_`.
+    pub fn br(&mut self, b: BlockId, cond: Operand, then_: BlockId, else_: BlockId) {
+        self.push(b, Inst::Br { cond, then_, else_ });
+    }
+
+    /// Sets user pragmas and flags.
+    pub fn flags_mut(&mut self) -> &mut crate::FuncFlags {
+        &mut self.f.flags
+    }
+
+    /// Finalizes into a [`Function`] with the given linkage and return type.
+    pub fn finish(mut self, linkage: Linkage, ret: Type) -> Function {
+        self.f.linkage = linkage;
+        self.f.ret = ret;
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_function() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut fb = FunctionBuilder::new("f", m, 2);
+        let e = fb.entry_block();
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let sum = fb.bin(e, BinOp::Add, a.into(), b.into());
+        fb.ret(e, Some(sum.into()));
+        let id = pb.add_function(fb.finish(Linkage::Public, Type::I64));
+        let p = pb.finish(Some(id));
+        crate::verify_program(&p).unwrap();
+        assert_eq!(p.func(id).size(), 2);
+    }
+
+    #[test]
+    fn extern_declaration_dedups() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.declare_extern("print", Some(1), false);
+        let b = pb.declare_extern("print", Some(1), false);
+        assert_eq!(a, b);
+        assert_eq!(pb.program().externs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_out_of_range_panics() {
+        let fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let _ = fb.param(1);
+    }
+
+    #[test]
+    fn block_helpers() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let t = fb.new_block();
+        let z = fb.new_block();
+        let c = fb.iconst(e, 1);
+        fb.br(e, c.into(), t, z);
+        fb.ret(t, Some(Operand::imm(1)));
+        fb.ret(z, Some(Operand::imm(0)));
+        let f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.block(BlockId(0)).successors(), vec![t, z]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Static code layout: assigns every instruction a byte address.
+//!
+//! The PA8000-style simulator (crate `hlo-sim`) fetches instructions by
+//! address, so I-cache behaviour depends on where the optimizer's output is
+//! laid out. Functions are placed module-by-module in program order, each
+//! instruction occupying [`INST_BYTES`] bytes — a fixed-width RISC encoding,
+//! as on PA-RISC.
+
+use crate::{BlockId, FuncId, Program};
+
+/// Bytes per encoded instruction (PA-RISC instructions are 4 bytes).
+pub const INST_BYTES: u64 = 4;
+
+/// Per-function placement: base address plus per-block offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncLayout {
+    /// Address of the function's first instruction.
+    pub base: u64,
+    /// Byte offset of each block's first instruction from `base`.
+    pub block_offsets: Vec<u64>,
+    /// Total code bytes for the function.
+    pub bytes: u64,
+}
+
+/// A full program layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeLayout {
+    funcs: Vec<FuncLayout>,
+    total: u64,
+}
+
+impl CodeLayout {
+    /// Computes a layout for `p`: modules in order, functions in module
+    /// definition order, blocks in CFG order.
+    pub fn of(p: &Program) -> Self {
+        let order: Vec<FuncId> = p
+            .modules
+            .iter()
+            .flat_map(|m| m.funcs.iter().copied())
+            .collect();
+        Self::with_order(p, &order)
+    }
+
+    /// Computes a layout placing functions in the given order (e.g. a
+    /// profile-guided ordering from procedure positioning). Functions not
+    /// listed — and deleted functions (absent from their module's list) —
+    /// get zero-sized placements at the end of the image.
+    pub fn with_order(p: &Program, order: &[FuncId]) -> Self {
+        let mut funcs: Vec<Option<FuncLayout>> = vec![None; p.funcs.len()];
+        let mut cursor = 0u64;
+        for &fid in order {
+            if funcs[fid.index()].is_some() {
+                continue; // duplicate entry: first placement wins
+            }
+            if !p.module(p.func(fid).module).funcs.contains(&fid) {
+                continue; // deleted function: no code emitted
+            }
+            let f = p.func(fid);
+            let mut block_offsets = Vec::with_capacity(f.blocks.len());
+            let mut off = 0u64;
+            for b in &f.blocks {
+                block_offsets.push(off);
+                off += b.insts.len() as u64 * INST_BYTES;
+            }
+            funcs[fid.index()] = Some(FuncLayout {
+                base: cursor,
+                block_offsets,
+                bytes: off,
+            });
+            cursor += off;
+        }
+        let funcs = funcs
+            .into_iter()
+            .map(|fl| {
+                fl.unwrap_or(FuncLayout {
+                    base: cursor,
+                    block_offsets: Vec::new(),
+                    bytes: 0,
+                })
+            })
+            .collect();
+        CodeLayout {
+            funcs,
+            total: cursor,
+        }
+    }
+
+    /// Address of instruction `idx` of block `b` in function `f`.
+    ///
+    /// # Panics
+    /// Panics if the function or block is out of range.
+    pub fn addr(&self, f: FuncId, b: BlockId, idx: usize) -> u64 {
+        let fl = &self.funcs[f.index()];
+        fl.base + fl.block_offsets[b.index()] + idx as u64 * INST_BYTES
+    }
+
+    /// The placement of one function.
+    ///
+    /// # Panics
+    /// Panics if `f` is out of range.
+    pub fn func(&self, f: FuncId) -> &FuncLayout {
+        &self.funcs[f.index()]
+    }
+
+    /// Total code bytes in the program image.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Linkage, Operand, ProgramBuilder, Type};
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        for name in ["a", "b"] {
+            let mut fb = FunctionBuilder::new(name, m, 0);
+            let e = fb.entry_block();
+            let x = fb.iconst(e, 1);
+            fb.ret(e, Some(Operand::Reg(x)));
+            pb.add_function(fb.finish(Linkage::Public, Type::I64));
+        }
+        pb.finish(None)
+    }
+
+    #[test]
+    fn functions_are_packed_contiguously() {
+        let p = program();
+        let l = CodeLayout::of(&p);
+        assert_eq!(l.func(FuncId(0)).base, 0);
+        assert_eq!(l.func(FuncId(0)).bytes, 2 * INST_BYTES);
+        assert_eq!(l.func(FuncId(1)).base, 2 * INST_BYTES);
+        assert_eq!(l.total_bytes(), 4 * INST_BYTES);
+    }
+
+    #[test]
+    fn instruction_addresses_advance_by_inst_bytes() {
+        let p = program();
+        let l = CodeLayout::of(&p);
+        let a0 = l.addr(FuncId(0), BlockId(0), 0);
+        let a1 = l.addr(FuncId(0), BlockId(0), 1);
+        assert_eq!(a1 - a0, INST_BYTES);
+    }
+
+    #[test]
+    fn layouts_do_not_overlap() {
+        let p = program();
+        let l = CodeLayout::of(&p);
+        let f0 = l.func(FuncId(0));
+        let f1 = l.func(FuncId(1));
+        assert!(f0.base + f0.bytes <= f1.base);
+    }
+}

@@ -1,0 +1,76 @@
+//! Modules, globals and external declarations.
+
+use crate::{FuncId, Linkage, ModuleId};
+
+/// A compilation unit. Functions live in `Program::funcs` and carry their
+/// owning `ModuleId`; the module records name and membership for
+/// cross-module bookkeeping (code layout order, Figure 5 classification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Source-file-like name, unique within the program.
+    pub name: String,
+    /// Functions defined in this module, in definition order.
+    pub funcs: Vec<FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+        }
+    }
+}
+
+/// A global variable: `words` 8-byte cells, with an optional initializer
+/// prefix (remaining cells are zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Symbol name (unique within its visibility scope).
+    pub name: String,
+    /// Defining module (used for `Static` visibility).
+    pub module: ModuleId,
+    /// Visibility.
+    pub linkage: Linkage,
+    /// Size in 8-byte words.
+    pub words: u32,
+    /// Initial values for the first `init.len()` words.
+    pub init: Vec<i64>,
+}
+
+impl Global {
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.words as u64 * 8
+    }
+}
+
+/// An external routine the optimizer cannot see into: library calls in the
+/// paper's Figure 5 "external" category. Executed by VM builtins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extern {
+    /// Symbol name (e.g. `print_i64`).
+    pub name: String,
+    /// Declared parameter count; `None` means varargs.
+    pub params: Option<u32>,
+    /// Whether the routine produces a value.
+    pub has_ret: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_bytes() {
+        let g = Global {
+            name: "g".into(),
+            module: ModuleId(0),
+            linkage: Linkage::Public,
+            words: 3,
+            init: vec![],
+        };
+        assert_eq!(g.bytes(), 24);
+    }
+}

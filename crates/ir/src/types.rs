@@ -1,0 +1,146 @@
+//! Value types and compile-time constants.
+
+use crate::{FuncId, GlobalId};
+
+/// The small type universe of the IR.
+///
+/// Like many 1990s intermediate forms, the IR is mostly untyped at the
+/// register level: registers hold 64-bit values that instructions interpret
+/// as integers, floats, or addresses. `Type` records declared intent for
+/// function returns and is used by legality checks ("gross type mismatch"
+/// in the paper disallows inlining and cloning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Type {
+    /// 64-bit signed integer (also used for addresses).
+    #[default]
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// No value (procedures).
+    Void,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// An IEEE-754 double stored as raw bits so that constants are `Eq + Hash`
+/// (clone specifications are hashed in the clone database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F64Bits(pub u64);
+
+impl F64Bits {
+    /// Wraps a float value.
+    pub fn from_f64(v: f64) -> Self {
+        F64Bits(v.to_bits())
+    }
+
+    /// Recovers the float value.
+    pub fn to_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for F64Bits {
+    fn from(v: f64) -> Self {
+        F64Bits::from_f64(v)
+    }
+}
+
+/// A compile-time constant value.
+///
+/// Function and global addresses are first-class constants: this is what
+/// allows the constant-propagation lattice to carry function pointers to
+/// indirect call sites so that a later pass can promote and then inline
+/// them (the staged optimization of paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstVal {
+    /// Integer constant.
+    I64(i64),
+    /// Float constant (bit-exact).
+    F64(F64Bits),
+    /// Address of a function (a function pointer).
+    FuncAddr(FuncId),
+    /// Address of a global variable.
+    GlobalAddr(GlobalId),
+}
+
+impl ConstVal {
+    /// Convenience constructor for integer constants.
+    pub fn int(v: i64) -> Self {
+        ConstVal::I64(v)
+    }
+
+    /// Convenience constructor for float constants.
+    pub fn float(v: f64) -> Self {
+        ConstVal::F64(F64Bits::from_f64(v))
+    }
+
+    /// Returns the integer payload, if this is an integer constant.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            ConstVal::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the function referenced, if this is a function address.
+    pub fn as_func_addr(self) -> Option<FuncId> {
+        match self {
+            ConstVal::FuncAddr(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ConstVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstVal::I64(v) => write!(f, "{v}"),
+            ConstVal::F64(b) => write!(f, "{}f", b.to_f64()),
+            ConstVal::FuncAddr(id) => write!(f, "&{id}"),
+            ConstVal::GlobalAddr(id) => write!(f, "&{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bits_roundtrip() {
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793] {
+            assert_eq!(F64Bits::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn f64_bits_distinguishes_zero_signs() {
+        assert_ne!(F64Bits::from_f64(0.0), F64Bits::from_f64(-0.0));
+    }
+
+    #[test]
+    fn const_accessors() {
+        assert_eq!(ConstVal::int(7).as_i64(), Some(7));
+        assert_eq!(ConstVal::float(1.0).as_i64(), None);
+        assert_eq!(
+            ConstVal::FuncAddr(FuncId(3)).as_func_addr(),
+            Some(FuncId(3))
+        );
+        assert_eq!(ConstVal::int(1).as_func_addr(), None);
+    }
+
+    #[test]
+    fn const_display() {
+        assert_eq!(ConstVal::int(-4).to_string(), "-4");
+        assert_eq!(ConstVal::FuncAddr(FuncId(1)).to_string(), "&f1");
+        assert_eq!(ConstVal::GlobalAddr(GlobalId(2)).to_string(), "&g2");
+    }
+}

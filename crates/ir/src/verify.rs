@@ -1,0 +1,331 @@
+//! Structural verification of IR.
+
+use crate::{BlockId, Callee, FuncId, Function, Inst, Operand, Program, Reg};
+
+/// A structural defect found by [`verify_function`] or [`verify_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block is empty or does not end with a terminator.
+    MissingTerminator {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        /// Offending function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A branch targets a block id that does not exist.
+    BadBlockTarget {
+        /// Offending function name.
+        func: String,
+        /// Block containing the branch.
+        block: BlockId,
+    },
+    /// An instruction references a register `>= num_regs`.
+    BadReg {
+        /// Offending function name.
+        func: String,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// An instruction references a frame slot that does not exist.
+    BadSlot {
+        /// Offending function name.
+        func: String,
+    },
+    /// More declared parameters than registers.
+    ParamsExceedRegs {
+        /// Offending function name.
+        func: String,
+    },
+    /// A call references a function id outside the program.
+    BadCallee {
+        /// Offending function name.
+        func: String,
+        /// The missing callee id.
+        callee: FuncId,
+    },
+    /// A constant references a global or extern outside the program.
+    BadSymbol {
+        /// Offending function name.
+        func: String,
+    },
+    /// A profile annotation's block vector length mismatches the CFG.
+    ProfileShape {
+        /// Offending function name.
+        func: String,
+    },
+    /// The designated entry function does not exist or is not public.
+    BadEntry,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "function {func}: block {block} lacks a terminator")
+            }
+            VerifyError::EarlyTerminator { func, block } => {
+                write!(f, "function {func}: terminator mid-block in {block}")
+            }
+            VerifyError::BadBlockTarget { func, block } => {
+                write!(f, "function {func}: branch from {block} to missing block")
+            }
+            VerifyError::BadReg { func, reg } => {
+                write!(f, "function {func}: register {reg} out of range")
+            }
+            VerifyError::BadSlot { func } => write!(f, "function {func}: slot out of range"),
+            VerifyError::ParamsExceedRegs { func } => {
+                write!(f, "function {func}: params exceed num_regs")
+            }
+            VerifyError::BadCallee { func, callee } => {
+                write!(f, "function {func}: call to missing function {callee}")
+            }
+            VerifyError::BadSymbol { func } => {
+                write!(f, "function {func}: reference to missing global/extern")
+            }
+            VerifyError::ProfileShape { func } => {
+                write!(f, "function {func}: profile shape mismatch")
+            }
+            VerifyError::BadEntry => write!(f, "program entry is missing or not public"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks one function's structural invariants (terminators, register and
+/// block ranges, slot references, profile shape).
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let name = || f.name.clone();
+    if f.params > f.num_regs {
+        return Err(VerifyError::ParamsExceedRegs { func: name() });
+    }
+    if let Some(p) = &f.profile {
+        if p.blocks.len() != f.blocks.len() {
+            return Err(VerifyError::ProfileShape { func: name() });
+        }
+    }
+    let nblocks = f.blocks.len() as u32;
+    let check_reg = |r: Reg| -> Result<(), VerifyError> {
+        if r.0 >= f.num_regs {
+            Err(VerifyError::BadReg {
+                func: f.name.clone(),
+                reg: r,
+            })
+        } else {
+            Ok(())
+        }
+    };
+    for (bid, block) in f.iter_blocks() {
+        match block.insts.last() {
+            Some(t) if t.is_terminator() => {}
+            _ => {
+                return Err(VerifyError::MissingTerminator {
+                    func: name(),
+                    block: bid,
+                })
+            }
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.is_terminator() && i + 1 != block.insts.len() {
+                return Err(VerifyError::EarlyTerminator {
+                    func: name(),
+                    block: bid,
+                });
+            }
+            if let Some(d) = inst.dst() {
+                check_reg(d)?;
+            }
+            let mut bad_use = None;
+            inst.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    if r.0 >= f.num_regs && bad_use.is_none() {
+                        bad_use = Some(*r);
+                    }
+                }
+            });
+            if let Some(r) = bad_use {
+                return Err(VerifyError::BadReg { func: name(), reg: r });
+            }
+            if let Inst::FrameAddr { slot, .. } = inst {
+                if slot.index() >= f.slots.len() {
+                    return Err(VerifyError::BadSlot { func: name() });
+                }
+            }
+            for s in inst.successors() {
+                if s.0 >= nblocks {
+                    return Err(VerifyError::BadBlockTarget {
+                        func: name(),
+                        block: bid,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the whole program: every function individually, plus that call
+/// targets, globals, externs and the entry point resolve.
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+    if let Some(e) = p.entry {
+        if e.index() >= p.funcs.len() {
+            return Err(VerifyError::BadEntry);
+        }
+    }
+    for f in &p.funcs {
+        verify_function(f)?;
+        for block in &f.blocks {
+            for inst in &block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    match callee {
+                        Callee::Func(id) if id.index() >= p.funcs.len() => {
+                            return Err(VerifyError::BadCallee {
+                                func: f.name.clone(),
+                                callee: *id,
+                            });
+                        }
+                        Callee::Extern(id) if id.index() >= p.externs.len() => {
+                            return Err(VerifyError::BadSymbol {
+                                func: f.name.clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                let mut bad = false;
+                let mut check_const = |c: crate::ConstVal| match c {
+                    crate::ConstVal::FuncAddr(id) if id.index() >= p.funcs.len() => bad = true,
+                    crate::ConstVal::GlobalAddr(id) if id.index() >= p.globals.len() => bad = true,
+                    _ => {}
+                };
+                if let Inst::Const { value, .. } = inst {
+                    check_const(*value);
+                }
+                inst.for_each_use(|op| {
+                    if let Operand::Const(c) = op {
+                        check_const(*c);
+                    }
+                });
+                if bad {
+                    return Err(VerifyError::BadSymbol {
+                        func: f.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstVal, Function, ModuleId, Operand};
+
+    fn ret1() -> Function {
+        let mut f = Function::new("f", ModuleId(0), 0);
+        f.blocks[0].insts.push(Inst::Ret {
+            value: Some(Operand::imm(1)),
+        });
+        f
+    }
+
+    #[test]
+    fn accepts_minimal_function() {
+        assert!(verify_function(&ret1()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = ret1();
+        f.blocks[0].insts.pop();
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::MissingTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_early_terminator() {
+        let mut f = ret1();
+        f.blocks[0].insts.push(Inst::Ret { value: None });
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::EarlyTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut f = ret1();
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Const {
+                dst: Reg(10),
+                value: ConstVal::int(0),
+            },
+        );
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::BadReg { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut f = ret1();
+        f.blocks[0].insts.pop();
+        f.blocks[0].insts.push(Inst::Jump { target: BlockId(7) });
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_callee_in_program() {
+        let mut p = Program::new();
+        p.modules.push(crate::Module::new("m"));
+        let mut f = ret1();
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Call {
+                dst: None,
+                callee: Callee::Func(FuncId(5)),
+                args: vec![],
+            },
+        );
+        p.funcs.push(f);
+        p.modules[0].funcs.push(FuncId(0));
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_profile_shape_mismatch() {
+        let mut f = ret1();
+        f.profile = Some(crate::FuncProfile {
+            entry: 1.0,
+            blocks: vec![1.0, 2.0],
+        });
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::ProfileShape { .. })
+        ));
+    }
+}

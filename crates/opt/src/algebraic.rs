@@ -1,0 +1,347 @@
+//! Algebraic simplification: identity, absorption and strength rules.
+//!
+//! Inlining and cloning materialize many `x + 0` / `x * 1` / `x ^ x`
+//! patterns (bound parameters, folded address arithmetic); this pass
+//! rewrites them so they do not clutter later passes or the cost model.
+//! Every rule preserves the VM's wrapping semantics exactly; nothing here
+//! touches `Div`/`Rem` (they can trap) except the safe `x / 1` and
+//! `x % 1` forms.
+
+use hlo_ir::{BinOp, ConstVal, Function, Inst, Operand, UnOp};
+
+fn as_int(op: Operand) -> Option<i64> {
+    match op {
+        Operand::Const(ConstVal::I64(v)) => Some(v),
+        _ => None,
+    }
+}
+
+/// Applies algebraic rewrites in place. Returns the number of
+/// instructions simplified.
+pub fn simplify_algebra(f: &mut Function) -> u64 {
+    let mut changed = 0;
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            let new = match inst {
+                Inst::Bin { dst, op, a, b } => rewrite_bin(*dst, *op, *a, *b),
+                Inst::Un { dst, op, a } => rewrite_un(*dst, *op, *a),
+                _ => None,
+            };
+            if let Some(n) = new {
+                *inst = n;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+fn copy(dst: hlo_ir::Reg, src: Operand) -> Option<Inst> {
+    Some(Inst::Copy { dst, src })
+}
+
+fn konst(dst: hlo_ir::Reg, v: i64) -> Option<Inst> {
+    Some(Inst::Const {
+        dst,
+        value: ConstVal::I64(v),
+    })
+}
+
+fn rewrite_bin(dst: hlo_ir::Reg, op: BinOp, a: Operand, b: Operand) -> Option<Inst> {
+    let ai = as_int(a);
+    let bi = as_int(b);
+    let same_reg = matches!((a, b), (Operand::Reg(x), Operand::Reg(y)) if x == y);
+    match op {
+        BinOp::Add => {
+            if bi == Some(0) {
+                return copy(dst, a);
+            }
+            if ai == Some(0) {
+                return copy(dst, b);
+            }
+        }
+        BinOp::Sub => {
+            if bi == Some(0) {
+                return copy(dst, a);
+            }
+            if same_reg {
+                return konst(dst, 0);
+            }
+        }
+        BinOp::Mul => {
+            if bi == Some(1) {
+                return copy(dst, a);
+            }
+            if ai == Some(1) {
+                return copy(dst, b);
+            }
+            if bi == Some(0) || ai == Some(0) {
+                return konst(dst, 0);
+            }
+            // Strength reduction: multiply by a power of two.
+            if let Some(v) = bi {
+                if v > 1 && (v as u64).is_power_of_two() {
+                    return Some(Inst::Bin {
+                        dst,
+                        op: BinOp::Shl,
+                        a,
+                        b: Operand::imm(v.trailing_zeros() as i64),
+                    });
+                }
+            }
+        }
+        BinOp::Div => {
+            if bi == Some(1) {
+                return copy(dst, a);
+            }
+        }
+        BinOp::Rem => {
+            if bi == Some(1) {
+                return konst(dst, 0);
+            }
+        }
+        BinOp::And => {
+            if bi == Some(0) || ai == Some(0) {
+                return konst(dst, 0);
+            }
+            if bi == Some(-1) {
+                return copy(dst, a);
+            }
+            if ai == Some(-1) {
+                return copy(dst, b);
+            }
+            if same_reg {
+                return copy(dst, a);
+            }
+        }
+        BinOp::Or => {
+            if bi == Some(0) {
+                return copy(dst, a);
+            }
+            if ai == Some(0) {
+                return copy(dst, b);
+            }
+            if same_reg {
+                return copy(dst, a);
+            }
+        }
+        BinOp::Xor => {
+            if bi == Some(0) {
+                return copy(dst, a);
+            }
+            if ai == Some(0) {
+                return copy(dst, b);
+            }
+            if same_reg {
+                return konst(dst, 0);
+            }
+        }
+        BinOp::Shl | BinOp::Shr => {
+            // Counts are masked to 0..63 by the VM; a masked-zero count is
+            // the identity.
+            if let Some(v) = bi {
+                if v & 63 == 0 {
+                    return copy(dst, a);
+                }
+            }
+        }
+        BinOp::Eq | BinOp::Le | BinOp::Ge => {
+            if same_reg {
+                return konst(dst, 1);
+            }
+        }
+        BinOp::Ne | BinOp::Lt | BinOp::Gt => {
+            if same_reg {
+                return konst(dst, 0);
+            }
+        }
+        // Floats: no algebraic identities are safe under NaN/-0.0 except
+        // none that matter here; leave them alone.
+        _ => {}
+    }
+    None
+}
+
+fn rewrite_un(dst: hlo_ir::Reg, op: UnOp, a: Operand) -> Option<Inst> {
+    // Only constants fold here (constprop handles that); keep double
+    // negation for register chains: not expressible on a single
+    // instruction, so nothing to do except the trivial constant cases,
+    // which constprop owns.
+    let _ = (dst, op, a);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FunctionBuilder, Linkage, ModuleId, Reg, Type};
+
+    fn run_one(op: BinOp, a: Operand, b: Operand) -> Inst {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 2);
+        let e = fb.entry_block();
+        let r = fb.bin(e, op, a, b);
+        fb.ret(e, Some(r.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        simplify_algebra(&mut f);
+        f.blocks[0].insts[0].clone()
+    }
+
+    #[test]
+    fn additive_and_multiplicative_identities() {
+        let p0 = Operand::Reg(Reg(0));
+        assert_eq!(
+            run_one(BinOp::Add, p0, Operand::imm(0)),
+            Inst::Copy { dst: Reg(2), src: p0 }
+        );
+        assert_eq!(
+            run_one(BinOp::Mul, Operand::imm(1), p0),
+            Inst::Copy { dst: Reg(2), src: p0 }
+        );
+        assert_eq!(
+            run_one(BinOp::Mul, p0, Operand::imm(0)),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(0)
+            }
+        );
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let p0 = Operand::Reg(Reg(0));
+        assert_eq!(
+            run_one(BinOp::Mul, p0, Operand::imm(8)),
+            Inst::Bin {
+                dst: Reg(2),
+                op: BinOp::Shl,
+                a: p0,
+                b: Operand::imm(3)
+            }
+        );
+        // Negative and non-power values unchanged.
+        assert!(matches!(
+            run_one(BinOp::Mul, p0, Operand::imm(-8)),
+            Inst::Bin { op: BinOp::Mul, .. }
+        ));
+        assert!(matches!(
+            run_one(BinOp::Mul, p0, Operand::imm(6)),
+            Inst::Bin { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn same_register_rules() {
+        let p0 = Operand::Reg(Reg(0));
+        assert_eq!(
+            run_one(BinOp::Sub, p0, p0),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(0)
+            }
+        );
+        assert_eq!(
+            run_one(BinOp::Xor, p0, p0),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(0)
+            }
+        );
+        assert_eq!(
+            run_one(BinOp::Eq, p0, p0),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(1)
+            }
+        );
+        assert_eq!(
+            run_one(BinOp::Lt, p0, p0),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(0)
+            }
+        );
+        assert_eq!(
+            run_one(BinOp::And, p0, p0),
+            Inst::Copy { dst: Reg(2), src: p0 }
+        );
+    }
+
+    #[test]
+    fn division_rules_are_conservative() {
+        let p0 = Operand::Reg(Reg(0));
+        assert_eq!(
+            run_one(BinOp::Div, p0, Operand::imm(1)),
+            Inst::Copy { dst: Reg(2), src: p0 }
+        );
+        // x / 0 must remain (it traps).
+        assert!(matches!(
+            run_one(BinOp::Div, p0, Operand::imm(0)),
+            Inst::Bin { op: BinOp::Div, .. }
+        ));
+        // x / x is NOT 1 (x may be zero).
+        assert!(matches!(
+            run_one(BinOp::Div, p0, p0),
+            Inst::Bin { op: BinOp::Div, .. }
+        ));
+        assert_eq!(
+            run_one(BinOp::Rem, p0, Operand::imm(1)),
+            Inst::Const {
+                dst: Reg(2),
+                value: ConstVal::int(0)
+            }
+        );
+    }
+
+    #[test]
+    fn shift_identities_respect_masking() {
+        let p0 = Operand::Reg(Reg(0));
+        assert_eq!(
+            run_one(BinOp::Shl, p0, Operand::imm(64)),
+            Inst::Copy { dst: Reg(2), src: p0 }
+        );
+        assert!(matches!(
+            run_one(BinOp::Shl, p0, Operand::imm(1)),
+            Inst::Bin { op: BinOp::Shl, .. }
+        ));
+    }
+
+    #[test]
+    fn float_ops_untouched() {
+        let p0 = Operand::Reg(Reg(0));
+        assert!(matches!(
+            run_one(BinOp::FAdd, p0, Operand::Const(ConstVal::float(0.0))),
+            Inst::Bin { op: BinOp::FAdd, .. }
+        ));
+    }
+
+    #[test]
+    fn semantics_preserved_under_vm() {
+        use hlo_vm::{run_program, ExecOptions};
+        // Exercise every rewrite against the interpreter.
+        let src = r#"
+            fn f(x) {
+                var a = x + 0;
+                var b = 1 * x;
+                var c = x - x;
+                var d = x ^ x;
+                var e = x & x;
+                var g = x * 16;
+                var h = x / 1;
+                var i = x % 1;
+                var j = x << 64;
+                var k = (x == x) + (x < x) * 10;
+                return a + b + c + d + e + g + h + i + j + k;
+            }
+            fn main() { return f(-7) * 1000 + f(13); }
+        "#;
+        let p0 = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let before = run_program(&p0, &[], &ExecOptions::default()).unwrap();
+        let mut p = p0.clone();
+        for f in &mut p.funcs {
+            simplify_algebra(f);
+        }
+        hlo_ir::verify_program(&p).unwrap();
+        let after = run_program(&p, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(before.ret, after.ret);
+    }
+}

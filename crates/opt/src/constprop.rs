@@ -1,0 +1,468 @@
+//! Dataflow constant propagation and folding.
+//!
+//! The lattice per register is `Top` (undefined on every path so far),
+//! `Const(c)` (same compile-time constant on all paths), or `Bottom`
+//! (varies). `ConstVal::FuncAddr` participates fully: when a cloned
+//! function binds a function-pointer formal, the constant flows to the
+//! indirect call and [`propagate`] rewrites it into a direct call — the
+//! enabling step of the paper's staged indirect-call promotion.
+
+use hlo_ir::{BinOp, Callee, ConstVal, Function, Inst, Operand, UnOp};
+
+/// Lattice value for one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lat {
+    Top,
+    Const(ConstVal),
+    Bottom,
+}
+
+impl Lat {
+    fn meet(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Top, x) | (x, Lat::Top) => x,
+            (Lat::Const(a), Lat::Const(b)) if a == b => Lat::Const(a),
+            _ => Lat::Bottom,
+        }
+    }
+}
+
+/// Outcome of one propagation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstPropStats {
+    /// Register uses replaced by immediates.
+    pub uses_folded: u64,
+    /// Instructions strength-reduced to `Const`.
+    pub insts_folded: u64,
+    /// Conditional branches with known condition rewritten to jumps.
+    pub branches_folded: u64,
+    /// Indirect calls promoted to direct calls.
+    pub indirect_promoted: u64,
+}
+
+impl ConstPropStats {
+    /// True when the pass changed the function.
+    pub fn changed(&self) -> bool {
+        self.uses_folded + self.insts_folded + self.branches_folded + self.indirect_promoted > 0
+    }
+}
+
+/// Runs constant propagation on `f`, rewriting in place.
+pub fn propagate(f: &mut Function) -> ConstPropStats {
+    let nregs = f.num_regs as usize;
+    let nblocks = f.blocks.len();
+    if nblocks == 0 {
+        return ConstPropStats::default();
+    }
+
+    // In-states per block. Entry: params unknown (Bottom), others Top.
+    let mut ins: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; nblocks];
+    for r in 0..f.params as usize {
+        ins[0][r] = Lat::Bottom;
+    }
+
+    // Worklist fixpoint.
+    let mut on_list = vec![false; nblocks];
+    let mut work: Vec<usize> = vec![0];
+    on_list[0] = true;
+    // Entry is always "visited"; others only after a predecessor flows in.
+    let mut visited = vec![false; nblocks];
+    visited[0] = true;
+
+    while let Some(b) = work.pop() {
+        on_list[b] = false;
+        let mut state = ins[b].clone();
+        for inst in &f.blocks[b].insts {
+            transfer(inst, &mut state);
+        }
+        for s in f.blocks[b].successors() {
+            let si = s.index();
+            let mut changed = false;
+            if !visited[si] {
+                visited[si] = true;
+                ins[si] = state.clone();
+                changed = true;
+            } else {
+                for r in 0..nregs {
+                    let m = ins[si][r].meet(state[r]);
+                    if m != ins[si][r] {
+                        ins[si][r] = m;
+                        changed = true;
+                    }
+                }
+            }
+            if changed && !on_list[si] {
+                on_list[si] = true;
+                work.push(si);
+            }
+        }
+    }
+
+    // Rewrite using per-instruction states.
+    let mut stats = ConstPropStats::default();
+    for b in 0..nblocks {
+        if !visited[b] {
+            continue; // unreachable; simplify_cfg removes it
+        }
+        let mut state = ins[b].clone();
+        let block = &mut f.blocks[b];
+        for inst in &mut block.insts {
+            // Replace register uses that are known constants.
+            inst.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = *op {
+                    if let Lat::Const(c) = state[r.index()] {
+                        *op = Operand::Const(c);
+                        stats.uses_folded += 1;
+                    }
+                }
+            });
+            // Fold whole instructions.
+            match inst {
+                Inst::Bin { dst, op, a, b } => {
+                    if let (Operand::Const(ca), Operand::Const(cb)) = (*a, *b) {
+                        if let Some(c) = fold_bin(*op, ca, cb) {
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: c,
+                            };
+                            stats.insts_folded += 1;
+                        }
+                    }
+                }
+                Inst::Un { dst, op, a } => {
+                    if let Operand::Const(ca) = *a {
+                        if let Some(c) = fold_un(*op, ca) {
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: c,
+                            };
+                            stats.insts_folded += 1;
+                        }
+                    }
+                }
+                Inst::Copy { dst, src } => {
+                    if let Operand::Const(c) = *src {
+                        *inst = Inst::Const {
+                            dst: *dst,
+                            value: c,
+                        };
+                        stats.insts_folded += 1;
+                    }
+                }
+                Inst::Br { cond, then_, else_ } => {
+                    if let Operand::Const(c) = *cond {
+                        let taken = const_truthy(c);
+                        let target = if taken { *then_ } else { *else_ };
+                        *inst = Inst::Jump { target };
+                        stats.branches_folded += 1;
+                    } else if then_ == else_ {
+                        *inst = Inst::Jump { target: *then_ };
+                        stats.branches_folded += 1;
+                    }
+                }
+                Inst::Call { callee, .. } => {
+                    if let Callee::Indirect(op) = callee {
+                        if let Operand::Const(ConstVal::FuncAddr(t)) = *op {
+                            *callee = Callee::Func(t);
+                            stats.indirect_promoted += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            transfer(inst, &mut state);
+        }
+    }
+    stats
+}
+
+fn transfer(inst: &Inst, state: &mut [Lat]) {
+    if let Some(d) = inst.dst() {
+        let v = match inst {
+            Inst::Const { value, .. } => Lat::Const(*value),
+            Inst::Copy { src, .. } => operand_lat(*src, state),
+            Inst::Bin { op, a, b, .. } => {
+                match (operand_lat(*a, state), operand_lat(*b, state)) {
+                    (Lat::Const(ca), Lat::Const(cb)) => {
+                        fold_bin(*op, ca, cb).map(Lat::Const).unwrap_or(Lat::Bottom)
+                    }
+                    (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+                    _ => Lat::Bottom,
+                }
+            }
+            Inst::Un { op, a, .. } => match operand_lat(*a, state) {
+                Lat::Const(c) => fold_un(*op, c).map(Lat::Const).unwrap_or(Lat::Bottom),
+                Lat::Top => Lat::Top,
+                Lat::Bottom => Lat::Bottom,
+            },
+            // Loads, calls, frame addresses and allocas produce run-time
+            // values.
+            _ => Lat::Bottom,
+        };
+        state[d.index()] = v;
+    }
+}
+
+fn operand_lat(op: Operand, state: &[Lat]) -> Lat {
+    match op {
+        Operand::Reg(r) => state[r.index()],
+        Operand::Const(c) => Lat::Const(c),
+    }
+}
+
+/// Truthiness matching the VM exactly: the raw 64-bit value is compared
+/// with zero (`F64(+0.0)` is false, `F64(-0.0)` is true, addresses are
+/// true).
+fn const_truthy(c: ConstVal) -> bool {
+    match c {
+        ConstVal::I64(v) => v != 0,
+        ConstVal::F64(b) => b.0 != 0,
+        ConstVal::FuncAddr(_) | ConstVal::GlobalAddr(_) => true,
+    }
+}
+
+/// Folds `a <op> b` when the result is expressible as a constant, matching
+/// the VM's wrapping semantics. Division by zero is never folded (it must
+/// trap at run time).
+pub(crate) fn fold_bin(op: BinOp, a: ConstVal, b: ConstVal) -> Option<ConstVal> {
+    use ConstVal::*;
+    // Symbolic equality for addresses (distinct symbols never alias).
+    match (op, a, b) {
+        (BinOp::Eq, FuncAddr(x), FuncAddr(y)) => return Some(I64((x == y) as i64)),
+        (BinOp::Ne, FuncAddr(x), FuncAddr(y)) => return Some(I64((x != y) as i64)),
+        (BinOp::Eq, GlobalAddr(x), GlobalAddr(y)) => return Some(I64((x == y) as i64)),
+        (BinOp::Ne, GlobalAddr(x), GlobalAddr(y)) => return Some(I64((x != y) as i64)),
+        _ => {}
+    }
+    if op.is_float() {
+        let (x, y) = match (a, b) {
+            (F64(x), F64(y)) => (x.to_f64(), y.to_f64()),
+            _ => return None,
+        };
+        return Some(match op {
+            BinOp::FAdd => ConstVal::float(x + y),
+            BinOp::FSub => ConstVal::float(x - y),
+            BinOp::FMul => ConstVal::float(x * y),
+            BinOp::FDiv => ConstVal::float(x / y),
+            BinOp::FLt => I64((x < y) as i64),
+            BinOp::FEq => I64((x == y) as i64),
+            _ => unreachable!(),
+        });
+    }
+    let (x, y) = match (a, b) {
+        (I64(x), I64(y)) => (x, y),
+        _ => return None,
+    };
+    Some(I64(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+        _ => unreachable!(),
+    }))
+}
+
+pub(crate) fn fold_un(op: UnOp, a: ConstVal) -> Option<ConstVal> {
+    use ConstVal::*;
+    Some(match (op, a) {
+        (UnOp::Neg, I64(x)) => I64(x.wrapping_neg()),
+        (UnOp::Not, I64(x)) => I64(!x),
+        (UnOp::FNeg, F64(b)) => ConstVal::float(-b.to_f64()),
+        (UnOp::IToF, I64(x)) => ConstVal::float(x as f64),
+        (UnOp::FToI, F64(b)) => {
+            let v = b.to_f64();
+            I64(if v.is_nan() { 0 } else { v as i64 })
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FuncId, FunctionBuilder, Linkage, ModuleId, Type};
+
+    #[test]
+    fn folds_straightline_arithmetic() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let a = fb.iconst(e, 6);
+        let b = fb.iconst(e, 7);
+        let p = fb.bin(e, BinOp::Mul, a.into(), b.into());
+        fb.ret(e, Some(p.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        let st = propagate(&mut f);
+        assert!(st.changed());
+        match &f.blocks[0].insts[3] {
+            Inst::Ret { value } => assert_eq!(*value, Some(Operand::imm(42))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn folds_constant_branch() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let t = fb.new_block();
+        let z = fb.new_block();
+        let c = fb.iconst(e, 0);
+        fb.br(e, c.into(), t, z);
+        fb.ret(t, Some(Operand::imm(1)));
+        fb.ret(z, Some(Operand::imm(2)));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        let st = propagate(&mut f);
+        assert_eq!(st.branches_folded, 1);
+        assert!(matches!(f.blocks[0].insts.last(), Some(Inst::Jump { target }) if *target == z));
+    }
+
+    #[test]
+    fn promotes_indirect_call_with_known_target() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let fp = fb.const_(e, ConstVal::FuncAddr(FuncId(3)));
+        let r = fb.call_indirect(e, fp.into(), vec![Operand::imm(1)]);
+        fb.ret(e, Some(r.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        let st = propagate(&mut f);
+        assert_eq!(st.indirect_promoted, 1);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Func(FuncId(3)), .. })));
+    }
+
+    #[test]
+    fn does_not_fold_div_by_zero() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let q = fb.bin(e, BinOp::Div, Operand::imm(1), Operand::imm(0));
+        fb.ret(e, Some(q.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        propagate(&mut f);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Div, .. })));
+    }
+
+    #[test]
+    fn merges_over_join_points() {
+        // r set to 5 on both arms -> use after join folds to 5.
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let j = fb.new_block();
+        let r = fb.new_reg();
+        fb.br(e, Operand::Reg(fb.param(0)), a, b);
+        fb.copy_to(a, r, Operand::imm(5));
+        fb.jump(a, j);
+        fb.copy_to(b, r, Operand::imm(5));
+        fb.jump(b, j);
+        let s = fb.bin(j, BinOp::Add, r.into(), Operand::imm(1));
+        fb.ret(j, Some(s.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        propagate(&mut f);
+        match f.blocks[j.index()].insts.last().unwrap() {
+            Inst::Ret { value } => assert_eq!(*value, Some(Operand::imm(6))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn divergent_join_stays_runtime() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let j = fb.new_block();
+        let r = fb.new_reg();
+        fb.br(e, Operand::Reg(fb.param(0)), a, b);
+        fb.copy_to(a, r, Operand::imm(5));
+        fb.jump(a, j);
+        fb.copy_to(b, r, Operand::imm(6));
+        fb.jump(b, j);
+        fb.ret(j, Some(r.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        propagate(&mut f);
+        match f.blocks[j.index()].insts.last().unwrap() {
+            Inst::Ret { value } => assert_eq!(*value, Some(Operand::Reg(r))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn loop_carried_register_not_folded() {
+        // i = 0; while (i < p) i = i + 1; ret i  -- i must stay Bottom.
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let h = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let i = fb.new_reg();
+        fb.copy_to(e, i, Operand::imm(0));
+        fb.jump(e, h);
+        let c = fb.bin(h, BinOp::Lt, i.into(), Operand::Reg(fb.param(0)));
+        fb.br(h, c.into(), body, exit);
+        let i1 = fb.bin(body, BinOp::Add, i.into(), Operand::imm(1));
+        fb.copy_to(body, i, i1.into());
+        fb.jump(body, h);
+        fb.ret(exit, Some(i.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        propagate(&mut f);
+        match f.blocks[exit.index()].insts.last().unwrap() {
+            Inst::Ret { value } => assert_eq!(*value, Some(Operand::Reg(i))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn float_zero_truthiness_matches_vm() {
+        assert!(!const_truthy(ConstVal::float(0.0)));
+        assert!(const_truthy(ConstVal::float(-0.0)));
+        assert!(const_truthy(ConstVal::FuncAddr(FuncId(0))));
+    }
+
+    #[test]
+    fn fold_matches_vm_for_shift_masking() {
+        // Shl with count 65 must behave like the VM (mask to 1).
+        assert_eq!(
+            fold_bin(BinOp::Shl, ConstVal::int(1), ConstVal::int(65)),
+            Some(ConstVal::int(2))
+        );
+    }
+
+    #[test]
+    fn same_arm_branch_becomes_jump() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let t = fb.new_block();
+        fb.br(e, Operand::Reg(fb.param(0)), t, t);
+        fb.ret(t, None);
+        let mut f = fb.finish(Linkage::Public, Type::Void);
+        let st = propagate(&mut f);
+        assert_eq!(st.branches_folded, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Liveness-based dead-code elimination.
+
+use hlo_ir::{Function, Operand};
+
+/// Per-block live-out register sets as bit vectors.
+pub(crate) fn live_out_sets(f: &Function) -> Vec<Vec<bool>> {
+    let nregs = f.num_regs as usize;
+    let nblocks = f.blocks.len();
+    // use[b], def[b]
+    let mut use_b = vec![vec![false; nregs]; nblocks];
+    let mut def_b = vec![vec![false; nregs]; nblocks];
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            inst.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    if !def_b[bi][r.index()] {
+                        use_b[bi][r.index()] = true;
+                    }
+                }
+            });
+            if let Some(d) = inst.dst() {
+                def_b[bi][d.index()] = true;
+            }
+        }
+    }
+    let succs: Vec<Vec<usize>> = f
+        .blocks
+        .iter()
+        .map(|b| b.successors().iter().map(|s| s.index()).collect())
+        .collect();
+    let mut live_in = vec![vec![false; nregs]; nblocks];
+    let mut live_out = vec![vec![false; nregs]; nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nblocks).rev() {
+            // out = union of in[succ]
+            for &s in &succs[bi] {
+                for r in 0..nregs {
+                    if live_in[s][r] && !live_out[bi][r] {
+                        live_out[bi][r] = true;
+                        changed = true;
+                    }
+                }
+            }
+            // in = use | (out - def)
+            for r in 0..nregs {
+                let v = use_b[bi][r] || (live_out[bi][r] && !def_b[bi][r]);
+                if v != live_in[bi][r] {
+                    live_in[bi][r] = v;
+                    changed = true;
+                }
+            }
+        }
+    }
+    live_out
+}
+
+/// Removes instructions whose results are dead and which have no side
+/// effects. Returns the number of instructions removed. Runs to a local
+/// fixpoint (removing one instruction can kill another's last use).
+pub fn eliminate_dead(f: &mut Function) -> u64 {
+    let mut total = 0;
+    loop {
+        let live_out = live_out_sets(f);
+        let nregs = f.num_regs as usize;
+        let mut removed_this_round = 0;
+        for (bi, block) in f.blocks.iter_mut().enumerate() {
+            // Walk backwards with a running live set.
+            let mut live = live_out[bi].clone();
+            let mut keep = vec![true; block.insts.len()];
+            for (ii, inst) in block.insts.iter().enumerate().rev() {
+                let dead_dst = inst.dst().map(|d| !live[d.index()]).unwrap_or(false);
+                if dead_dst && !inst.has_side_effect() {
+                    keep[ii] = false;
+                    removed_this_round += 1;
+                    continue; // its uses do not become live
+                }
+                if let Some(d) = inst.dst() {
+                    live[d.index()] = false;
+                }
+                inst.for_each_use(|op| {
+                    if let Operand::Reg(r) = op {
+                        if r.index() < nregs {
+                            live[r.index()] = true;
+                        }
+                    }
+                });
+            }
+            if removed_this_round > 0 {
+                let mut it = keep.iter();
+                block.insts.retain(|_| *it.next().expect("keep length"));
+            }
+        }
+        total += removed_this_round;
+        if removed_this_round == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{BinOp, FunctionBuilder, Inst, Linkage, ModuleId, Type};
+
+    #[test]
+    fn removes_unused_arithmetic_chains() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let a = fb.iconst(e, 1);
+        let b = fb.bin(e, BinOp::Add, a.into(), Operand::imm(2)); // dead chain
+        let _ = b;
+        fb.ret(e, Some(Operand::Reg(fb.param(0))));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        let n = eliminate_dead(&mut f);
+        assert_eq!(n, 2);
+        assert_eq!(f.size(), 1);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        // store is a side effect; the div may trap
+        fb.store(e, Operand::Reg(fb.param(0)), Operand::imm(0), Operand::imm(1));
+        let q = fb.bin(e, BinOp::Div, Operand::imm(1), Operand::Reg(fb.param(0)));
+        let _ = q; // unused but trapping
+        fb.ret(e, None);
+        let mut f = fb.finish(Linkage::Public, Type::Void);
+        let n = eliminate_dead(&mut f);
+        assert_eq!(n, 0);
+        assert_eq!(f.size(), 3);
+    }
+
+    #[test]
+    fn keeps_values_live_across_blocks() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let exit = fb.new_block();
+        let v = fb.iconst(e, 9);
+        fb.jump(e, exit);
+        fb.ret(exit, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        let n = eliminate_dead(&mut f);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dead_loads_are_removed() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let v = fb.load(e, Operand::Reg(fb.param(0)), Operand::imm(0));
+        let _ = v;
+        fb.ret(e, None);
+        let mut f = fb.finish(Linkage::Public, Type::Void);
+        assert_eq!(eliminate_dead(&mut f), 1);
+    }
+
+    #[test]
+    fn call_results_unused_still_kept() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let r = fb.call(e, hlo_ir::FuncId(0), vec![]);
+        let _ = r;
+        fb.ret(e, None);
+        let mut f = fb.finish(Linkage::Public, Type::Void);
+        assert_eq!(eliminate_dead(&mut f), 0);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Call { .. })));
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // i updated in loop, used by branch: nothing removable.
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let e = fb.entry_block();
+        let h = fb.new_block();
+        let x = fb.new_block();
+        let i = fb.new_reg();
+        fb.copy_to(e, i, Operand::imm(0));
+        fb.jump(e, h);
+        let i1 = fb.bin(h, BinOp::Add, i.into(), Operand::imm(1));
+        fb.copy_to(h, i, i1.into());
+        let c = fb.bin(h, BinOp::Lt, i.into(), Operand::Reg(fb.param(0)));
+        fb.br(h, c.into(), h, x);
+        fb.ret(x, Some(i.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(eliminate_dead(&mut f), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Local store-to-load forwarding.
+//!
+//! Within a block, a load from an address just stored to can read the
+//! stored value directly. Aliasing is resolved conservatively from three
+//! base classes that provably never overlap:
+//!
+//! * `Slot(s)` — a register holding the address of frame slot `s`
+//!   (single `FrameAddr` definition);
+//! * `Global(g)` — a `GlobalAddr` constant;
+//! * `Reg(r)` — any other register base: identical register ⇒ identical
+//!   address (as long as `r` is not redefined), but unknown otherwise.
+//!
+//! Distinct slots never alias each other or globals; distinct globals
+//! never alias; everything may alias a `Reg` base. Calls and allocas
+//! clobber all knowledge (the callee may write anything it can reach).
+//!
+//! Forwarding is what turns an inlined callee's local-array traffic into
+//! register dataflow; the dead stores and slots left behind are collected
+//! by [`crate::dce`] and [`crate::dead_slots`].
+
+use hlo_ir::{ConstVal, Function, GlobalId, Inst, Operand, Reg, SlotId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaseKey {
+    Slot(SlotId),
+    Global(GlobalId),
+    Reg(Reg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Known {
+    base: BaseKey,
+    offset: i64,
+    value: Operand,
+}
+
+/// Computes, per register, the frame slot whose address it (uniquely)
+/// holds.
+fn slot_addr_regs(f: &Function) -> Vec<Option<SlotId>> {
+    let mut map: Vec<Option<SlotId>> = vec![None; f.num_regs as usize];
+    let mut poisoned = vec![false; f.num_regs as usize];
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::FrameAddr { dst, slot } => {
+                    if map[dst.index()].is_some_and(|s| s != *slot) {
+                        poisoned[dst.index()] = true;
+                    }
+                    map[dst.index()] = Some(*slot);
+                }
+                other => {
+                    if let Some(d) = other.dst() {
+                        if map[d.index()].is_some() {
+                            poisoned[d.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (i, p) in poisoned.iter().enumerate() {
+        if *p {
+            map[i] = None;
+        }
+    }
+    map
+}
+
+fn classify(base: &Operand, slot_regs: &[Option<SlotId>]) -> Option<BaseKey> {
+    match base {
+        Operand::Const(ConstVal::GlobalAddr(g)) => Some(BaseKey::Global(*g)),
+        Operand::Reg(r) => match slot_regs[r.index()] {
+            Some(s) => Some(BaseKey::Slot(s)),
+            None => Some(BaseKey::Reg(*r)),
+        },
+        Operand::Const(_) => None, // absolute integer address: unknown
+    }
+}
+
+fn may_alias(a: BaseKey, b: BaseKey) -> bool {
+    match (a, b) {
+        (BaseKey::Slot(x), BaseKey::Slot(y)) => x == y,
+        (BaseKey::Global(x), BaseKey::Global(y)) => x == y,
+        (BaseKey::Slot(_), BaseKey::Global(_)) | (BaseKey::Global(_), BaseKey::Slot(_)) => false,
+        // A raw register base could point anywhere.
+        _ => true,
+    }
+}
+
+/// Runs store-to-load forwarding on `f`. Returns loads replaced.
+pub fn forward_stores(f: &mut Function) -> u64 {
+    let slot_regs = slot_addr_regs(f);
+    let mut replaced = 0;
+    for block in &mut f.blocks {
+        let mut known: Vec<Known> = Vec::new();
+        for inst in &mut block.insts {
+            match inst {
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                } => {
+                    let key = classify(base, &slot_regs);
+                    let off = offset.as_const().and_then(ConstVal::as_i64);
+                    match (key, off) {
+                        (Some(k), Some(o)) => {
+                            // Kill aliasing entries; exact match is replaced.
+                            known.retain(|e| {
+                                !may_alias(e.base, k) || (e.base == k && e.offset != o)
+                            });
+                            known.push(Known {
+                                base: k,
+                                offset: o,
+                                value: *value,
+                            });
+                        }
+                        (Some(k), None) => {
+                            // Unknown offset within a known base: kills
+                            // everything aliasing that base.
+                            known.retain(|e| !may_alias(e.base, k));
+                        }
+                        _ => known.clear(),
+                    }
+                }
+                Inst::Load { dst, base, offset } => {
+                    let key = classify(base, &slot_regs);
+                    let off = offset.as_const().and_then(ConstVal::as_i64);
+                    if let (Some(k), Some(o)) = (key, off) {
+                        if let Some(e) = known.iter().find(|e| e.base == k && e.offset == o) {
+                            *inst = Inst::Copy {
+                                dst: *dst,
+                                src: e.value,
+                            };
+                            replaced += 1;
+                        }
+                    }
+                }
+                Inst::Call { .. } | Inst::Alloca { .. } => known.clear(),
+                _ => {}
+            }
+            // A redefined register invalidates entries reading it (value)
+            // and entries whose Reg base is it. Slot/Global-keyed entries
+            // survive: their identity does not depend on the register.
+            if let Some(d) = inst.dst() {
+                known.retain(|e| {
+                    e.value.as_reg() != Some(d) && e.base != BaseKey::Reg(d)
+                });
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FuncId, FunctionBuilder, Linkage, ModuleId, Type};
+
+    #[test]
+    fn forwards_through_frame_slot() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let s = fb.new_slot(16);
+        let e = fb.entry_block();
+        let a = fb.frame_addr(e, s);
+        fb.store(e, a.into(), Operand::imm(0), Operand::Reg(fb.param(0)));
+        let v = fb.load(e, a.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 1);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .all(|i| !matches!(i, Inst::Load { .. })));
+    }
+
+    #[test]
+    fn different_offsets_do_not_alias() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 2);
+        let s = fb.new_slot(16);
+        let e = fb.entry_block();
+        let a = fb.frame_addr(e, s);
+        fb.store(e, a.into(), Operand::imm(0), Operand::Reg(fb.param(0)));
+        fb.store(e, a.into(), Operand::imm(8), Operand::Reg(fb.param(1)));
+        let v = fb.load(e, a.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 1);
+        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+            Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::Reg(Reg(0))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_slots_do_not_alias() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let s1 = fb.new_slot(8);
+        let s2 = fb.new_slot(8);
+        let e = fb.entry_block();
+        let a1 = fb.frame_addr(e, s1);
+        let a2 = fb.frame_addr(e, s2);
+        fb.store(e, a1.into(), Operand::imm(0), Operand::imm(11));
+        fb.store(e, a2.into(), Operand::imm(0), Operand::imm(22));
+        let v = fb.load(e, a1.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 1);
+        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+            Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::imm(11)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_base_store_clobbers_slots() {
+        // A store through a raw pointer register may hit the slot.
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let s = fb.new_slot(8);
+        let e = fb.entry_block();
+        let a = fb.frame_addr(e, s);
+        fb.store(e, a.into(), Operand::imm(0), Operand::imm(1));
+        fb.store(e, Operand::Reg(fb.param(0)), Operand::imm(0), Operand::imm(2));
+        let v = fb.load(e, a.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 0);
+    }
+
+    #[test]
+    fn calls_clobber_everything() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let s = fb.new_slot(8);
+        let e = fb.entry_block();
+        let a = fb.frame_addr(e, s);
+        fb.store(e, a.into(), Operand::imm(0), Operand::imm(1));
+        fb.call_void(e, FuncId(0), vec![a.into()]);
+        let v = fb.load(e, a.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 0);
+    }
+
+    #[test]
+    fn redefined_value_register_invalidates_entry() {
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
+        let s = fb.new_slot(8);
+        let e = fb.entry_block();
+        let a = fb.frame_addr(e, s);
+        let p = fb.param(0);
+        fb.store(e, a.into(), Operand::imm(0), Operand::Reg(p));
+        fb.copy_to(e, p, Operand::imm(99)); // p no longer holds the stored value
+        let v = fb.load(e, a.into(), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 0);
+    }
+
+    #[test]
+    fn global_bases_forward_and_do_not_cross_alias() {
+        use hlo_ir::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let g1 = pb.add_global("g1", m, Linkage::Public, 1, vec![]);
+        let g2 = pb.add_global("g2", m, Linkage::Public, 1, vec![]);
+        let mut fb = FunctionBuilder::new("f", m, 0);
+        let e = fb.entry_block();
+        fb.store(
+            e,
+            Operand::Const(ConstVal::GlobalAddr(g1)),
+            Operand::imm(0),
+            Operand::imm(5),
+        );
+        fb.store(
+            e,
+            Operand::Const(ConstVal::GlobalAddr(g2)),
+            Operand::imm(0),
+            Operand::imm(6),
+        );
+        let v = fb.load(e, Operand::Const(ConstVal::GlobalAddr(g1)), Operand::imm(0));
+        fb.ret(e, Some(v.into()));
+        let mut f = fb.finish(Linkage::Public, Type::I64);
+        assert_eq!(forward_stores(&mut f), 1);
+        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+            Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::imm(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-point optimization drivers.
+
+use crate::{algebraic, constprop, copyprop, cse, dce, dead_slots, memfwd, pure_calls, simplify_cfg};
+use hlo_ir::{Function, Program};
+
+/// Aggregate statistics from an optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Instructions folded to constants.
+    pub folded: u64,
+    /// Conditional branches removed.
+    pub branches_folded: u64,
+    /// Indirect calls promoted to direct (enables later inlining).
+    pub indirect_promoted: u64,
+    /// Dead instructions removed.
+    pub dead_removed: u64,
+    /// CFG blocks removed or merged.
+    pub blocks_simplified: u64,
+    /// Common subexpressions replaced.
+    pub cse_replaced: u64,
+    /// Calls to side-effect-free routines deleted (program-level only).
+    pub pure_calls_removed: u64,
+}
+
+impl OptStats {
+    fn absorb_function_round(&mut self, cp: constprop::ConstPropStats, cfg: simplify_cfg::CfgStats, cse_n: u64, copy_n: u64, dce_n: u64) -> bool {
+        self.folded += cp.insts_folded;
+        self.branches_folded += cp.branches_folded + cfg.branches_folded;
+        self.indirect_promoted += cp.indirect_promoted;
+        self.dead_removed += dce_n;
+        self.blocks_simplified += cfg.blocks_removed + cfg.blocks_merged;
+        self.cse_replaced += cse_n;
+        cp.changed() || cfg.changed() || cse_n > 0 || copy_n > 0 || dce_n > 0
+    }
+}
+
+/// Optimizes one function to a (bounded) fixpoint: constprop →
+/// algebraic simplification → CFG simplify → store-to-load forwarding →
+/// copyprop → CSE → DCE → dead-slot elimination, repeated while anything
+/// changes, at most `MAX_ROUNDS` times.
+pub fn optimize_function(f: &mut Function) -> OptStats {
+    const MAX_ROUNDS: usize = 8;
+    let mut stats = OptStats::default();
+    for _ in 0..MAX_ROUNDS {
+        let cp = constprop::propagate(f);
+        let alg_n = algebraic::simplify_algebra(f);
+        let cfg = simplify_cfg::simplify(f);
+        let fwd_n = memfwd::forward_stores(f);
+        let copy_n = copyprop::propagate_copies(f);
+        let cse_n = cse::eliminate_common(f);
+        let dce_n = dce::eliminate_dead(f);
+        let slot_n = dead_slots::eliminate_dead_slots(f);
+        stats.folded += alg_n + fwd_n;
+        stats.dead_removed += slot_n;
+        if !stats.absorb_function_round(cp, cfg, cse_n, copy_n, dce_n)
+            && alg_n + fwd_n + slot_n == 0
+        {
+            break;
+        }
+    }
+    stats
+}
+
+/// Optimizes every function of `p` and removes calls to side-effect-free
+/// routines (interprocedural), iterating once more when that deletion
+/// exposes new intraprocedural opportunities.
+pub fn optimize_program(p: &mut Program) -> OptStats {
+    let mut stats = OptStats::default();
+    for _ in 0..3 {
+        let mut changed = false;
+        for f in &mut p.funcs {
+            let s = optimize_function(f);
+            changed |= s.folded + s.dead_removed + s.blocks_simplified + s.cse_replaced > 0
+                || s.branches_folded > 0
+                || s.indirect_promoted > 0;
+            stats.folded += s.folded;
+            stats.branches_folded += s.branches_folded;
+            stats.indirect_promoted += s.indirect_promoted;
+            stats.dead_removed += s.dead_removed;
+            stats.blocks_simplified += s.blocks_simplified;
+            stats.cse_replaced += s.cse_replaced;
+        }
+        let pure_n = pure_calls::eliminate_pure_calls(p);
+        stats.pure_calls_removed += pure_n;
+        if pure_n == 0 && !changed {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{
+        verify_program, BinOp, ConstVal, FuncId, FunctionBuilder, Inst, Linkage, Operand,
+        ProgramBuilder, Type,
+    };
+
+    #[test]
+    fn pipeline_collapses_constant_computation() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("main", m, 0);
+        let e = f.entry_block();
+        let t = f.new_block();
+        let z = f.new_block();
+        let a = f.iconst(e, 4);
+        let b = f.bin(e, BinOp::Mul, a.into(), Operand::imm(10));
+        let c = f.bin(e, BinOp::Gt, b.into(), Operand::imm(10));
+        f.br(e, c.into(), t, z);
+        f.ret(t, Some(b.into()));
+        f.ret(z, Some(Operand::imm(0)));
+        pb.add_function(f.finish(Linkage::Public, Type::I64));
+        let mut p = pb.finish(Some(FuncId(0)));
+        optimize_program(&mut p);
+        verify_program(&p).unwrap();
+        // Everything folds to `ret 40` in a single block.
+        assert_eq!(p.funcs[0].blocks.len(), 1);
+        assert_eq!(p.funcs[0].size(), 1);
+        match p.funcs[0].blocks[0].insts.last().unwrap() {
+            Inst::Ret { value } => assert_eq!(*value, Some(Operand::imm(40))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn staged_promotion_direct_call_appears() {
+        // fp = &target; call *fp  ==> call target
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut f = FunctionBuilder::new("main", m, 0);
+        let e = f.entry_block();
+        let fp = f.const_(e, ConstVal::FuncAddr(FuncId(1)));
+        let r = f.call_indirect(e, fp.into(), vec![]);
+        f.ret(e, Some(r.into()));
+        pb.add_function(f.finish(Linkage::Public, Type::I64));
+        let mut t = FunctionBuilder::new("target", m, 0);
+        let e = t.entry_block();
+        t.ret(e, Some(Operand::imm(5)));
+        pb.add_function(t.finish(Linkage::Public, Type::I64));
+        let mut p = pb.finish(Some(FuncId(0)));
+        let stats = optimize_program(&mut p);
+        assert_eq!(stats.indirect_promoted, 1);
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn optimization_preserves_execution_semantics() {
+        // Compare VM output before/after on a small looping program.
+        use hlo_vm::{run_program, ExecOptions};
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let sink = pb.declare_extern("sink", Some(1), false);
+        let mut f = FunctionBuilder::new("main", m, 0);
+        let e = f.entry_block();
+        let h = f.new_block();
+        let body = f.new_block();
+        let x = f.new_block();
+        let i = f.new_reg();
+        let acc = f.new_reg();
+        f.copy_to(e, i, Operand::imm(0));
+        f.copy_to(e, acc, Operand::imm(0));
+        f.jump(e, h);
+        let c = f.bin(h, BinOp::Lt, i.into(), Operand::imm(50));
+        f.br(h, c.into(), body, x);
+        let t1 = f.bin(body, BinOp::Mul, i.into(), Operand::imm(3));
+        let t2 = f.bin(body, BinOp::Add, acc.into(), t1.into());
+        f.copy_to(body, acc, t2.into());
+        let i1 = f.bin(body, BinOp::Add, i.into(), Operand::imm(1));
+        f.copy_to(body, i, i1.into());
+        f.jump(body, h);
+        f.call_extern(x, sink, vec![acc.into()], false);
+        f.ret(x, Some(acc.into()));
+        pb.add_function(f.finish(Linkage::Public, Type::I64));
+        let p0 = pb.finish(Some(FuncId(0)));
+        let mut p1 = p0.clone();
+        optimize_program(&mut p1);
+        verify_program(&p1).unwrap();
+        let o0 = run_program(&p0, &[], &ExecOptions::default()).unwrap();
+        let o1 = run_program(&p1, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(o0.ret, o1.ret);
+        assert_eq!(o0.checksum, o1.checksum);
+        assert!(o1.retired <= o0.retired);
+    }
+}

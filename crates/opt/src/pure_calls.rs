@@ -1,0 +1,136 @@
+//! Deletion of calls to side-effect-free routines.
+//!
+//! This reproduces the paper's 072.sc observation: calls into a stub
+//! library that provably does nothing are eliminated by interprocedural
+//! analysis *before* inlining, so they never consume inline budget.
+
+use crate::dce::live_out_sets;
+use hlo_analysis::{side_effect_free_funcs, CallGraph};
+use hlo_ir::{Callee, Inst, Operand, Program};
+
+/// Removes direct calls to side-effect-free functions whose results are
+/// unused (or ignored). Returns the number of call sites deleted.
+pub fn eliminate_pure_calls(p: &mut Program) -> u64 {
+    let cg = CallGraph::build(p);
+    let free = side_effect_free_funcs(p, &cg);
+    let mut removed = 0;
+    for f in &mut p.funcs {
+        let live_out = live_out_sets(f);
+        for (bi, block) in f.blocks.iter_mut().enumerate() {
+            // Backward scan to know liveness of each call's destination.
+            let mut live = live_out[bi].clone();
+            let mut keep = vec![true; block.insts.len()];
+            for (ii, inst) in block.insts.iter().enumerate().rev() {
+                let removable = match inst {
+                    Inst::Call {
+                        dst,
+                        callee: Callee::Func(t),
+                        ..
+                    } if free[t.index()] => match dst {
+                        None => true,
+                        Some(d) => !live[d.index()],
+                    },
+                    _ => false,
+                };
+                if removable {
+                    keep[ii] = false;
+                    removed += 1;
+                    continue;
+                }
+                if let Some(d) = inst.dst() {
+                    live[d.index()] = false;
+                }
+                inst.for_each_use(|op| {
+                    if let Operand::Reg(r) = op {
+                        live[r.index()] = true;
+                    }
+                });
+            }
+            let mut it = keep.iter();
+            block.insts.retain(|_| *it.next().expect("len"));
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{BinOp, FuncId, FunctionBuilder, Linkage, ProgramBuilder, Type};
+
+    /// main calls `stub` (pure, result ignored) and `add` (pure, result used).
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        main.call_void(e, FuncId(1), vec![]); // ignored
+        let r = main.call(e, FuncId(2), vec![Operand::imm(1)]);
+        main.ret(e, Some(r.into()));
+        pb.add_function(main.finish(Linkage::Public, Type::I64));
+
+        let mut stub = FunctionBuilder::new("stub", m, 0);
+        let e = stub.entry_block();
+        stub.ret(e, Some(Operand::imm(0)));
+        pb.add_function(stub.finish(Linkage::Public, Type::I64));
+
+        let mut add = FunctionBuilder::new("add", m, 1);
+        let e = add.entry_block();
+        let s = add.bin(e, BinOp::Add, Operand::Reg(add.param(0)), Operand::imm(1));
+        add.ret(e, Some(s.into()));
+        pb.add_function(add.finish(Linkage::Public, Type::I64));
+        pb.finish(Some(FuncId(0)))
+    }
+
+    #[test]
+    fn deletes_ignored_pure_call_keeps_used_one() {
+        let mut p = program();
+        let n = eliminate_pure_calls(&mut p);
+        assert_eq!(n, 1);
+        let calls: usize = p.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn dead_result_pure_call_is_deleted() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        let r = main.call(e, FuncId(1), vec![]); // result never used
+        let _ = r;
+        main.ret(e, Some(Operand::imm(0)));
+        pb.add_function(main.finish(Linkage::Public, Type::I64));
+        let mut pure = FunctionBuilder::new("pure", m, 0);
+        let e = pure.entry_block();
+        pure.ret(e, Some(Operand::imm(7)));
+        pb.add_function(pure.finish(Linkage::Public, Type::I64));
+        let mut p = pb.finish(Some(FuncId(0)));
+        assert_eq!(eliminate_pure_calls(&mut p), 1);
+    }
+
+    #[test]
+    fn impure_callee_is_kept() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let g = pb.add_global("g", m, Linkage::Public, 1, vec![]);
+        let mut main = FunctionBuilder::new("main", m, 0);
+        let e = main.entry_block();
+        main.call_void(e, FuncId(1), vec![]);
+        main.ret(e, None);
+        pb.add_function(main.finish(Linkage::Public, Type::Void));
+        let mut w = FunctionBuilder::new("w", m, 0);
+        let e = w.entry_block();
+        let ga = w.const_(e, hlo_ir::ConstVal::GlobalAddr(g));
+        w.store(e, ga.into(), Operand::imm(0), Operand::imm(1));
+        w.ret(e, None);
+        pb.add_function(w.finish(Linkage::Public, Type::Void));
+        let mut p = pb.finish(Some(FuncId(0)));
+        assert_eq!(eliminate_pure_calls(&mut p), 0);
+    }
+}

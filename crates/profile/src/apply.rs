@@ -1,0 +1,122 @@
+//! Applying a profile database to a freshly compiled program.
+
+use crate::data::ProfileDb;
+use hlo_ir::{FuncProfile, Program};
+
+/// Annotates every function of `p` that has matching counts in `db` with a
+/// [`FuncProfile`]. Returns how many functions were annotated.
+///
+/// Functions without counts (never executed in training, or newly created)
+/// are left unannotated; the HLO driver falls back to static estimation
+/// for them, as the paper's compiler does when PBO data is absent.
+///
+/// A database whose block vector length disagrees with the function's
+/// current CFG (e.g. the source changed between training and this compile)
+/// is ignored for that function rather than misapplied.
+pub fn apply_profile(p: &mut Program, db: &ProfileDb) -> usize {
+    let mut applied = 0;
+    let module_names: Vec<String> = p.modules.iter().map(|m| m.name.clone()).collect();
+    for f in &mut p.funcs {
+        let Some(c) = db.get(&module_names[f.module.index()], &f.name) else {
+            continue;
+        };
+        if c.blocks.len() != f.blocks.len() {
+            continue; // stale profile; skip
+        }
+        f.profile = Some(FuncProfile {
+            entry: c.entry as f64,
+            blocks: c.blocks.iter().map(|&b| b as f64).collect(),
+        });
+        applied += 1;
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect_profile;
+    use hlo_vm::ExecOptions;
+
+    #[test]
+    fn train_then_apply_round_trip() {
+        let src = &[(
+            "m",
+            r#"
+            fn hot(n) { var s = 0; for (var i = 0; i < n; i = i + 1) { s = s + 1; } return s; }
+            fn main() { return hot(40); }
+            "#,
+        )];
+        let train = hlo_frontc::compile(src).unwrap();
+        let (db, _) = collect_profile(&train, &[], &ExecOptions::default()).unwrap();
+
+        // Fresh compile of the same sources (different id space in
+        // principle; identical here, but matched by name regardless).
+        let mut fresh = hlo_frontc::compile(src).unwrap();
+        let n = apply_profile(&mut fresh, &db);
+        assert_eq!(n, 2);
+        let hot = fresh.find_func("m", "hot").unwrap();
+        let prof = fresh.func(hot).profile.as_ref().unwrap();
+        assert_eq!(prof.entry, 1.0);
+        assert!(prof.blocks.iter().any(|&b| (b - 40.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn profiles_from_multiple_training_inputs_merge_and_apply() {
+        // The paper's §5 future work: "incorporating profile information
+        // from a variety of sources". Two training runs with different
+        // inputs exercise different sides of a branch; the merged
+        // database sees both.
+        let src = &[(
+            "m",
+            r#"
+            global acc;
+            fn tick(mode) {
+                var r = 0;
+                if (mode == 0) { acc = acc + 1; r = 1; }
+                else { acc = acc + 2; r = 2; }
+                return r;
+            }
+            fn main(mode) {
+                acc = 0;
+                var s = 0;
+                for (var i = 0; i < 50; i = i + 1) { s = s + tick(mode); }
+                return s;
+            }
+            "#,
+        )];
+        let p = hlo_frontc::compile(src).unwrap();
+        let (db0, _) = collect_profile(&p, &[0], &ExecOptions::default()).unwrap();
+        let (db1, _) = collect_profile(&p, &[1], &ExecOptions::default()).unwrap();
+        let mut merged = db0.clone();
+        merged.merge(&db1);
+
+        // Each single-input profile leaves one arm of tick cold; the
+        // merged profile heats both (only structurally unreachable blocks
+        // — the lowered return's parking block — stay at zero).
+        let cold_blocks = |db: &crate::ProfileDb| {
+            let c = db.get("m", "tick").unwrap();
+            c.blocks.iter().filter(|&&b| b == 0).count()
+        };
+        assert!(cold_blocks(&merged) < cold_blocks(&db0));
+        assert!(cold_blocks(&merged) < cold_blocks(&db1));
+
+        let mut fresh = hlo_frontc::compile(src).unwrap();
+        assert_eq!(apply_profile(&mut fresh, &merged), 2);
+        let tick = fresh.find_func("m", "tick").unwrap();
+        assert_eq!(fresh.func(tick).profile.as_ref().unwrap().entry, 100.0);
+    }
+
+    #[test]
+    fn stale_profile_is_skipped() {
+        let v1 = &[("m", "fn main() { return 1; }")];
+        let v2 = &[("m", "fn main() { if (1) { return 1; } return 2; }")];
+        let train = hlo_frontc::compile(v1).unwrap();
+        let (db, _) = collect_profile(&train, &[], &ExecOptions::default()).unwrap();
+        let mut fresh = hlo_frontc::compile(v2).unwrap();
+        // CFG shape differs: the profile must not be applied.
+        assert_eq!(apply_profile(&mut fresh, &db), 0);
+        let main = fresh.entry.unwrap();
+        assert!(fresh.func(main).profile.is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! The profile database.
+
+use std::collections::HashMap;
+
+/// Counts for one function from a training run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FuncCounts {
+    /// Times the function was entered.
+    pub entry: u64,
+    /// Times each block was entered (indexed by block id at collection
+    /// time).
+    pub blocks: Vec<u64>,
+    /// Times each CFG edge `(from, to)` was followed.
+    pub edges: HashMap<(u32, u32), u64>,
+}
+
+/// A profile database: counts per `(module name, function name)`.
+///
+/// Keys are names rather than ids so a database collected from one compile
+/// can be applied to another, as with the paper's separate instrumenting
+/// and optimizing compiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileDb {
+    funcs: HashMap<(String, String), FuncCounts>,
+}
+
+/// Error from [`ProfileDb::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line of the malformed record.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+impl ProfileDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        ProfileDb::default()
+    }
+
+    /// Number of profiled functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True when no functions are profiled.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Inserts (or replaces) counts for a function.
+    pub fn insert(&mut self, module: impl Into<String>, func: impl Into<String>, c: FuncCounts) {
+        self.funcs.insert((module.into(), func.into()), c);
+    }
+
+    /// Looks up counts for `(module, func)`.
+    pub fn get(&self, module: &str, func: &str) -> Option<&FuncCounts> {
+        self.funcs.get(&(module.to_string(), func.to_string()))
+    }
+
+    /// Merges another database into this one, summing counts. Profiles
+    /// from several training runs combine this way ("incorporating profile
+    /// information from a variety of sources" is the paper's future work).
+    pub fn merge(&mut self, other: &ProfileDb) {
+        for (k, v) in &other.funcs {
+            let e = self.funcs.entry(k.clone()).or_default();
+            e.entry += v.entry;
+            if e.blocks.len() < v.blocks.len() {
+                e.blocks.resize(v.blocks.len(), 0);
+            }
+            for (i, c) in v.blocks.iter().enumerate() {
+                e.blocks[i] += c;
+            }
+            for (edge, c) in &v.edges {
+                *e.edges.entry(*edge).or_insert(0) += c;
+            }
+        }
+    }
+
+    /// Serializes to the line-oriented text form.
+    pub fn to_text(&self) -> String {
+        let mut keys: Vec<_> = self.funcs.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        for k in keys {
+            let c = &self.funcs[k];
+            out.push_str(&format!("func {} {} {}\n", k.0, k.1, c.entry));
+            out.push_str("blocks");
+            for b in &c.blocks {
+                out.push_str(&format!(" {b}"));
+            }
+            out.push('\n');
+            let mut edges: Vec<_> = c.edges.iter().collect();
+            edges.sort();
+            for ((f, t), n) in edges {
+                out.push_str(&format!("edge {f} {t} {n}\n"));
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`ProfileDb::to_text`].
+    ///
+    /// # Errors
+    /// Returns a positioned error for unknown records or malformed counts.
+    pub fn from_text(text: &str) -> Result<Self, ProfileParseError> {
+        let mut db = ProfileDb::new();
+        let mut cur: Option<((String, String), FuncCounts)> = None;
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().expect("non-empty line");
+            let err = |msg: &str| ProfileParseError {
+                line: ln + 1,
+                msg: msg.to_string(),
+            };
+            match tag {
+                "func" => {
+                    if cur.is_some() {
+                        return Err(err("nested `func` record"));
+                    }
+                    let module = parts.next().ok_or_else(|| err("missing module"))?;
+                    let func = parts.next().ok_or_else(|| err("missing function"))?;
+                    let entry = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("missing entry count"))?;
+                    cur = Some((
+                        (module.to_string(), func.to_string()),
+                        FuncCounts {
+                            entry,
+                            ..Default::default()
+                        },
+                    ));
+                }
+                "blocks" => {
+                    let c = cur.as_mut().ok_or_else(|| err("`blocks` outside func"))?;
+                    for p in parts {
+                        c.1.blocks
+                            .push(p.parse().map_err(|_| err("bad block count"))?);
+                    }
+                }
+                "edge" => {
+                    let c = cur.as_mut().ok_or_else(|| err("`edge` outside func"))?;
+                    let f: u32 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad edge"))?;
+                    let t: u32 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad edge"))?;
+                    let n: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad edge count"))?;
+                    c.1.edges.insert((f, t), n);
+                }
+                "end" => {
+                    let (k, v) = cur.take().ok_or_else(|| err("`end` outside func"))?;
+                    db.funcs.insert(k, v);
+                }
+                other => return Err(err(&format!("unknown record `{other}`"))),
+            }
+        }
+        if cur.is_some() {
+            return Err(ProfileParseError {
+                line: text.lines().count(),
+                msg: "unterminated func record".to_string(),
+            });
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileDb {
+        let mut db = ProfileDb::new();
+        db.insert(
+            "m",
+            "f",
+            FuncCounts {
+                entry: 10,
+                blocks: vec![10, 90, 10],
+                edges: [((0, 1), 90), ((1, 2), 10)].into_iter().collect(),
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let db = sample();
+        let text = db.to_text();
+        let back = ProfileDb::from_text(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        let c = a.get("m", "f").unwrap();
+        assert_eq!(c.entry, 20);
+        assert_eq!(c.blocks, vec![20, 180, 20]);
+        assert_eq!(c.edges[&(0, 1)], 180);
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = ProfileDb::new();
+        a.merge(&sample());
+        assert_eq!(a, sample());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ProfileDb::from_text("bogus 1 2 3").is_err());
+        assert!(ProfileDb::from_text("blocks 1 2").is_err());
+        assert!(ProfileDb::from_text("func m f 1\nblocks 1").is_err()); // no end
+    }
+
+    #[test]
+    fn lookup_miss_is_none() {
+        let db = sample();
+        assert!(db.get("m", "zzz").is_none());
+        assert!(db.get("other", "f").is_none());
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Profile-based-optimization (PBO) substrate.
+//!
+//! The paper's "isom" compile path incorporates branch execution counts
+//! gathered by previous training runs (§2.1, Figure 1). This crate is that
+//! loop:
+//!
+//! 1. [`ProfileCollector`] rides along a VM execution of the *train* input
+//!    as an [`hlo_vm::ExecMonitor`], counting block entries, CFG edges and
+//!    call sites.
+//! 2. [`ProfileDb`] stores the counts keyed by `(module name, function
+//!    name)` — names, not ids, because the instrumented compile and the
+//!    optimizing compile see different `FuncId` spaces, exactly like
+//!    separate compiles in the original system.
+//! 3. [`apply_profile`] annotates a freshly front-ended program with the
+//!    database, giving every function a [`hlo_ir::FuncProfile`] that the
+//!    HLO heuristics and the scalar optimizer then maintain through
+//!    inlining and cloning.
+//!
+//! The database has a line-oriented text form ([`ProfileDb::to_text`] /
+//! [`ProfileDb::from_text`]) so training results can be stored on disk,
+//! mirroring the paper's profile database files.
+
+mod apply;
+mod collect;
+mod data;
+
+pub use apply::apply_profile;
+pub use collect::{collect_profile, ProfileCollector};
+pub use data::{FuncCounts, ProfileDb, ProfileParseError};

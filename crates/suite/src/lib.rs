@@ -1,0 +1,208 @@
+#![warn(missing_docs)]
+//! The benchmark suite: fourteen MinC programs mirroring the call-site
+//! character of the SPECint92/95 programs the paper evaluates.
+//!
+//! We cannot ship SPEC sources; what the paper's evaluation measures is
+//! the *shape* of these programs — their call-site mix (Figure 5), how
+//! much inlining and cloning they admit (Table 1), and how the
+//! transformed code behaves on the machine model (Figures 6–8). Each
+//! synthetic program is written to reproduce the corresponding shape:
+//!
+//! | program | shape reproduced |
+//! |---|---|
+//! | `008.espresso` | bit-set kernels, many small helpers, two modules |
+//! | `022.li` / `130.li` | lisp interpreter: recursive eval/apply over a cons heap, dispatch helpers (the paper's star cloning target) |
+//! | `023.eqntott` | sort with comparison **function pointer** (indirect sites) |
+//! | `026.compress` / `129.compress` | LZW over a hash table, one hot loop |
+//! | `072.sc` | spreadsheet evaluator + a **stub curses module** whose calls are deleted by interprocedural side-effect analysis |
+//! | `085.gcc` / `126.gcc` | many small routines spread over many modules, wide flat call graph |
+//! | `099.go` | board scanning with nested loops and flood-fill recursion |
+//! | `124.m88ksim` | CPU simulator with a **function-pointer dispatch table** (the staged clone→promote→inline showcase) |
+//! | `132.ijpeg` | 8×8 integer DCT-ish kernels, deep loop nests |
+//! | `134.perl` | bytecode interpreter with opcode helpers and recursion |
+//! | `147.vortex` | object store with per-type virtual dispatch tables |
+//!
+//! Programs take one argument (the workload scale); `train_arg` plays the
+//! paper's training input, `ref_arg` the reporting input. Outputs are
+//! deterministic and validated via the VM `sink` checksum.
+
+mod programs;
+
+use hlo_frontc::FrontError;
+use hlo_ir::Program;
+
+/// Which SPEC generation a benchmark mirrors (Figure 6 reports separate
+/// geometric means for the two suites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecSuite {
+    /// SPECint92.
+    Int92,
+    /// SPECint95.
+    Int95,
+}
+
+/// One synthetic benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// SPEC-style name, e.g. `"022.li"`.
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: SpecSuite,
+    /// `(module name, MinC source)` pairs.
+    pub sources: Vec<(&'static str, &'static str)>,
+    /// Scale argument for the training run.
+    pub train_arg: i64,
+    /// Scale argument for the reporting (ref) run.
+    pub ref_arg: i64,
+}
+
+impl Benchmark {
+    /// Compiles the benchmark to an unoptimized whole program.
+    ///
+    /// # Errors
+    /// Returns the front-end error if the embedded sources are invalid
+    /// (a bug in this crate; the unit tests compile every benchmark).
+    pub fn compile(&self) -> Result<Program, FrontError> {
+        hlo_frontc::compile(&self.sources)
+    }
+}
+
+/// All fourteen benchmarks, in the paper's Figure 5 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        programs::espresso(),
+        programs::li_022(),
+        programs::eqntott(),
+        programs::compress_026(),
+        programs::sc(),
+        programs::gcc_085(),
+        programs::go(),
+        programs::m88ksim(),
+        programs::gcc_126(),
+        programs::compress_129(),
+        programs::li_130(),
+        programs::ijpeg(),
+        programs::perl(),
+        programs::vortex(),
+    ]
+}
+
+/// Looks up one benchmark by its SPEC-style name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The subset reported in the paper's Table 1.
+pub fn table1_benchmarks() -> Vec<Benchmark> {
+    ["008.espresso", "022.li", "072.sc", "085.gcc", "099.go", "124.m88ksim", "147.vortex"]
+        .iter()
+        .filter_map(|n| benchmark(n))
+        .collect()
+}
+
+/// The subset simulated in the paper's Figure 7 (SPEC95 programs with
+/// reduced inputs).
+pub fn figure7_benchmarks() -> Vec<Benchmark> {
+    ["099.go", "124.m88ksim", "126.gcc", "130.li", "132.ijpeg", "134.perl", "147.vortex"]
+        .iter()
+        .filter_map(|n| benchmark(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_vm::{run_program, ExecOptions};
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 14);
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        assert_eq!(all.iter().filter(|b| b.suite == SpecSuite::Int92).count(), 6);
+        assert_eq!(all.iter().filter(|b| b.suite == SpecSuite::Int95).count(), 8);
+    }
+
+    #[test]
+    fn every_benchmark_compiles_verifies_and_runs_train() {
+        for b in all_benchmarks() {
+            let p = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            hlo_ir::verify_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let out = run_program(&p, &[b.train_arg], &ExecOptions::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(out.retired > 1000, "{} too trivial: {}", b.name, out.retired);
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        for b in all_benchmarks() {
+            let p = b.compile().unwrap();
+            let a = run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap();
+            let c = run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap();
+            assert_eq!(a.ret, c.ret, "{}", b.name);
+            assert_eq!(a.checksum, c.checksum, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn ref_runs_are_bigger_than_train_runs() {
+        for b in all_benchmarks() {
+            let p = b.compile().unwrap();
+            let t = run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap();
+            let r = run_program(&p, &[b.ref_arg], &ExecOptions::default()).unwrap();
+            assert!(
+                r.retired > t.retired,
+                "{}: ref {} !> train {}",
+                b.name,
+                r.retired,
+                t.retired
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_every_benchmark() {
+        for b in all_benchmarks() {
+            let p0 = b.compile().unwrap();
+            let before = run_program(&p0, &[b.train_arg], &ExecOptions::default()).unwrap();
+            let mut p = p0.clone();
+            hlo::optimize(&mut p, None, &hlo::HloOptions::default());
+            hlo_ir::verify_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let after = run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap();
+            assert_eq!(before.ret, after.ret, "{}", b.name);
+            assert_eq!(before.checksum, after.checksum, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        assert!(benchmark("022.li").is_some());
+        assert!(benchmark("999.nope").is_none());
+        assert_eq!(table1_benchmarks().len(), 7);
+        assert_eq!(figure7_benchmarks().len(), 7);
+    }
+
+    #[test]
+    fn suite_has_indirect_and_external_sites_overall() {
+        // Figure 5 needs all five categories to be populated somewhere.
+        let mut total = hlo_analysis::SiteCounts::default();
+        for b in all_benchmarks() {
+            let p = b.compile().unwrap();
+            let c = hlo_analysis::classify_sites(&p);
+            total.external += c.external;
+            total.indirect += c.indirect;
+            total.cross_module += c.cross_module;
+            total.within_module += c.within_module;
+            total.recursive += c.recursive;
+        }
+        assert!(total.external > 0);
+        assert!(total.indirect > 0);
+        assert!(total.cross_module > 0);
+        assert!(total.within_module > 0);
+        assert!(total.recursive > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! `026.compress` and `129.compress` — LZW compression.
+//!
+//! Shape reproduced: one hot loop hashing `(prefix, char)` pairs into a
+//! code table, with small helper routines (`hash`, `probe`, `output`)
+//! that inlining folds into the loop; the SPEC95 version uses a larger
+//! dictionary and a different synthetic input mix.
+
+use crate::{Benchmark, SpecSuite};
+
+const HASHMOD: &str = r#"
+// Open-addressing code table, as in compress's hashing core.
+global htab[8192];
+global codetab[8192];
+global table_size;
+
+fn table_init(n) {
+    table_size = n;
+    for (var i = 0; i < n; i = i + 1) { htab[i] = -1; }
+}
+
+fn hash_key(prefix, c) {
+    return ((c << 6) ^ prefix) % table_size;
+}
+
+// Returns the code for (prefix, c), or -1 and inserts with `newcode`.
+fn probe(prefix, c, newcode) {
+    var key = (prefix << 9) | c;
+    var h = hash_key(prefix, c);
+    while (htab[h] != -1) {
+        if (htab[h] == key) { return codetab[h]; }
+        h = h + 1;
+        if (h == table_size) { h = 0; }
+    }
+    htab[h] = key;
+    codetab[h] = newcode;
+    return -1;
+}
+"#;
+
+const MAIN_026: &str = r#"
+global seed;
+global outsum;
+global outbits;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+// Skewed source: mostly a small alphabet with occasional escapes, so the
+// dictionary paths have a hot and a cold side.
+static fn next_byte() {
+    var r = next_rand() % 100;
+    if (r < 85) { return next_rand() % 8; }
+    return next_rand() % 64;
+}
+
+static fn output_code(code) {
+    outsum = (outsum * 31 + code) & 0xffffffff;
+    outbits = outbits + 12;
+}
+
+static fn compress_stream(len) {
+    table_init(4096);
+    var nextcode = 64;
+    var prefix = next_byte();
+    for (var i = 1; i < len; i = i + 1) {
+        var c = next_byte();
+        var code = probe(prefix, c, nextcode);
+        if (code != -1) {
+            prefix = code;
+        } else {
+            output_code(prefix);
+            if (nextcode < 2048) { nextcode = nextcode + 1; }
+            prefix = c;
+        }
+    }
+    output_code(prefix);
+}
+
+fn main(scale) {
+    seed = 2026;
+    outsum = 0;
+    outbits = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        compress_stream(4000);
+    }
+    sink(outsum);
+    sink(outbits);
+    return outsum;
+}
+"#;
+
+const MAIN_129: &str = r#"
+global seed;
+global outsum;
+global outbits;
+
+static fn next_rand() {
+    seed = (seed * 69069 + 5) & 0x7fffffff;
+    return seed;
+}
+
+// SPEC95 input: longer runs, bigger alphabet.
+static fn next_byte() {
+    var r = next_rand() % 100;
+    if (r < 70) { return next_rand() % 16; }
+    if (r < 95) { return next_rand() % 48; }
+    return next_rand() % 128;
+}
+
+static fn output_code(code) {
+    outsum = (outsum * 37 + code) & 0xffffffff;
+    outbits = outbits + 13;
+}
+
+static fn compress_stream(len) {
+    table_init(8000);
+    var nextcode = 128;
+    var prefix = next_byte();
+    for (var i = 1; i < len; i = i + 1) {
+        var c = next_byte();
+        var code = probe(prefix, c, nextcode);
+        if (code != -1) {
+            prefix = code;
+        } else {
+            output_code(prefix);
+            if (nextcode < 6000) { nextcode = nextcode + 1; }
+            prefix = c;
+        }
+    }
+    output_code(prefix);
+}
+
+fn main(scale) {
+    seed = 555;
+    outsum = 0;
+    outbits = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        compress_stream(6000);
+    }
+    sink(outsum);
+    sink(outbits);
+    return outsum;
+}
+"#;
+
+pub(crate) fn compress_026() -> Benchmark {
+    Benchmark {
+        name: "026.compress",
+        suite: SpecSuite::Int92,
+        sources: vec![("hash", HASHMOD), ("compress_main", MAIN_026)],
+        train_arg: 2,
+        ref_arg: 15,
+    }
+}
+
+pub(crate) fn compress_129() -> Benchmark {
+    Benchmark {
+        name: "129.compress",
+        suite: SpecSuite::Int95,
+        sources: vec![("hash", HASHMOD), ("compress_main", MAIN_129)],
+        train_arg: 2,
+        ref_arg: 14,
+    }
+}

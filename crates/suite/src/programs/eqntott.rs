@@ -1,0 +1,97 @@
+//! `023.eqntott` — truth-table generation dominated by sorting.
+//!
+//! Shape reproduced: SPEC's eqntott spends most of its time in `qsort`
+//! with a comparison function pointer (`cmppt`); the indirect call in the
+//! sort inner loop is exactly the kind of site HLO promotes by cloning
+//! the sort on its comparator and letting constant propagation make the
+//! call direct.
+
+use crate::{Benchmark, SpecSuite};
+
+const SORT: &str = r#"
+// Generic quicksort over a global term array, comparator supplied as a
+// function pointer.
+global pt[4096];
+
+fn swap(i, j) {
+    var t = pt[i];
+    pt[i] = pt[j];
+    pt[j] = t;
+}
+
+fn qsort_terms(lo, hi, cmp) {
+    if (lo >= hi) { return 0; }
+    var pivot = pt[(lo + hi) / 2];
+    var i = lo;
+    var j = hi;
+    while (i <= j) {
+        while (cmp(pt[i], pivot) < 0) { i = i + 1; }
+        while (cmp(pt[j], pivot) > 0) { j = j - 1; }
+        if (i <= j) {
+            swap(i, j);
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    qsort_terms(lo, j, cmp);
+    qsort_terms(i, hi, cmp);
+    return 0;
+}
+"#;
+
+const MAIN: &str = r#"
+global seed;
+global nterms;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+// cmppt: order terms by their don't-care-masked value, as eqntott does.
+fn cmppt(a, b) {
+    var ma = a & 0xffff;
+    var mb = b & 0xffff;
+    if (ma < mb) { return -1; }
+    if (ma > mb) { return 1; }
+    if (a < b) { return -1; }
+    if (a > b) { return 1; }
+    return 0;
+}
+
+static fn gen_terms(n) {
+    nterms = n;
+    for (var i = 0; i < n; i = i + 1) { pt[i] = next_rand() & 0xfffff; }
+}
+
+// Count unique terms after sorting (the "truth table" rows).
+static fn count_unique() {
+    var u = 1;
+    for (var i = 1; i < nterms; i = i + 1) {
+        if (cmppt(pt[i], pt[i - 1]) != 0) { u = u + 1; }
+    }
+    return u;
+}
+
+fn main(scale) {
+    seed = 12345;
+    var total = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        gen_terms(600 + (round % 5) * 100);
+        qsort_terms(0, nterms - 1, &cmppt);
+        total = total + count_unique();
+    }
+    sink(total);
+    return total;
+}
+"#;
+
+pub(crate) fn eqntott() -> Benchmark {
+    Benchmark {
+        name: "023.eqntott",
+        suite: SpecSuite::Int92,
+        sources: vec![("qsort", SORT), ("eqntott_main", MAIN)],
+        train_arg: 3,
+        ref_arg: 25,
+    }
+}

@@ -1,0 +1,141 @@
+//! `008.espresso` — two-level logic minimization over cube sets.
+//!
+//! Shape reproduced: bit-twiddling kernels called from tight loops, a
+//! clear split between a generic "cube algebra" module and the driver,
+//! plenty of small within- and cross-module call sites.
+
+use crate::{Benchmark, SpecSuite};
+
+const CUBE: &str = r#"
+// Generic cube (bit-vector) algebra. Each cube is one word of 2-bit
+// literal encodings, as in espresso's internal representation.
+fn cube_and(a, b) { return a & b; }
+fn cube_or(a, b) { return a | b; }
+fn cube_without(a, b) { return a & ~b; }
+fn cube_empty(a) { return a == 0; }
+
+fn popcount(w) {
+    var c = 0;
+    while (w != 0) { c = c + (w & 1); w = w >> 1; }
+    return c;
+}
+
+// Does cube a cover cube b? (every literal of a present in b)
+fn covers(a, b) { return cube_and(a, b) == a; }
+
+// Distance between cubes: number of conflicting 2-bit fields.
+fn distance(a, b) {
+    var x = a ^ b;
+    var d = 0;
+    for (var i = 0; i < 32; i = i + 2) {
+        if (((x >> i) & 3) != 0) { d = d + 1; }
+    }
+    return d;
+}
+
+// Consensus: merge when distance is exactly one.
+fn consensus(a, b) {
+    if (distance(a, b) == 1) { return cube_or(a, b); }
+    return 0;
+}
+"#;
+
+const MAIN: &str = r#"
+global cubes[1024];
+global ncubes;
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn gen_cover(n) {
+    ncubes = n;
+    for (var i = 0; i < n; i = i + 1) {
+        cubes[i] = next_rand() & 0xffff;
+        if (cubes[i] == 0) { cubes[i] = 5; }
+    }
+}
+
+static fn cover_cost() {
+    var c = 0;
+    for (var i = 0; i < ncubes; i = i + 1) { c = c + popcount(cubes[i]); }
+    return c;
+}
+
+// Remove cubes covered by another cube (irredundant step).
+static fn irredundant() {
+    var removed = 0;
+    for (var i = 0; i < ncubes; i = i + 1) {
+        if (cubes[i] != 0) {
+            for (var j = 0; j < ncubes; j = j + 1) {
+                if (j != i && cubes[j] != 0 && covers(cubes[j], cubes[i]) && cubes[j] != cubes[i]) {
+                    cubes[i] = 0;
+                    removed = removed + 1;
+                    break;
+                }
+            }
+        }
+    }
+    return removed;
+}
+
+// Try pairwise consensus merges (reduce step).
+static fn merge_pass() {
+    var merged = 0;
+    for (var i = 0; i < ncubes; i = i + 1) {
+        if (cubes[i] != 0) {
+            for (var j = i + 1; j < ncubes; j = j + 1) {
+                if (cubes[j] != 0) {
+                    var m = consensus(cubes[i], cubes[j]);
+                    if (m != 0) {
+                        cubes[i] = m;
+                        cubes[j] = 0;
+                        merged = merged + 1;
+                    }
+                }
+            }
+        }
+    }
+    return merged;
+}
+
+static fn compact() {
+    var w = 0;
+    for (var i = 0; i < ncubes; i = i + 1) {
+        if (cubes[i] != 0) { cubes[w] = cubes[i]; w = w + 1; }
+    }
+    ncubes = w;
+}
+
+fn main(scale) {
+    seed = 42;
+    var total = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        gen_cover(60 + (round % 7) * 10);
+        var changed = 1;
+        var iters = 0;
+        while (changed != 0 && iters < 6) {
+            var a = merge_pass();
+            var b = irredundant();
+            compact();
+            changed = a + b;
+            iters = iters + 1;
+        }
+        total = total + cover_cost() + ncubes;
+    }
+    sink(total);
+    return total;
+}
+"#;
+
+pub(crate) fn espresso() -> Benchmark {
+    Benchmark {
+        name: "008.espresso",
+        suite: SpecSuite::Int92,
+        sources: vec![("cube", CUBE), ("espresso_main", MAIN)],
+        train_arg: 2,
+        ref_arg: 12,
+    }
+}

@@ -1,0 +1,310 @@
+//! `085.gcc` and `126.gcc` — a toy optimizing compiler.
+//!
+//! Shape reproduced: gcc is the paper's "many small routines, wide flat
+//! call graph, thousands of cross-module sites" program. The toy version
+//! lexes a pseudo-random source stream, parses to a postfix IR, runs
+//! folding/strength-reduction/peephole passes and a toy register
+//! allocator, spread across several modules with many little helpers.
+//! `126.gcc` adds a scheduling module and a second pass pipeline, like
+//! the bigger SPEC95 gcc.
+
+use crate::{Benchmark, SpecSuite};
+
+/// Lexer (module `lex`).
+const LEX: &str = r#"
+global src_seed;
+global token_kind;
+global token_val;
+
+fn lex_init(seed) { src_seed = seed; }
+
+static fn lex_rand() {
+    src_seed = (src_seed * 1103515245 + 12345) & 0x7fffffff;
+    return src_seed;
+}
+
+fn is_binop(k) { return k >= 2 && k <= 6; }
+
+// kinds: 0 eof-ish, 1 number, 2 plus, 3 minus, 4 star, 5 shift, 6 and.
+fn next_token() {
+    var r = lex_rand() % 16;
+    if (r < 8) {
+        token_kind = 1;
+        token_val = lex_rand() % 256;
+    } else if (r < 14) {
+        token_kind = 2 + (r - 8) % 5;
+        token_val = 0;
+    } else {
+        token_kind = 0;
+        token_val = 0;
+    }
+    return token_kind;
+}
+"#;
+
+/// Parser to postfix IR (module `parse`).
+const PARSE: &str = r#"
+// IR: pairs (op, val); op 0 = push const, 1..5 = binary ops.
+global ir_op[2048];
+global ir_val[2048];
+global ir_len;
+
+fn ir_emit(op, val) {
+    if (ir_len < 2048) {
+        ir_op[ir_len] = op;
+        ir_val[ir_len] = val;
+        ir_len = ir_len + 1;
+    }
+    return ir_len;
+}
+
+// Parse `n` expression statements from the token stream into postfix.
+fn parse_stream(n) {
+    ir_len = 0;
+    var produced = 0;
+    var pending = 0;
+    while (produced < n) {
+        var k = next_token();
+        if (k == 1) {
+            ir_emit(0, token_val);
+            pending = pending + 1;
+        } else if (is_binop(k)) {
+            if (pending >= 2) {
+                ir_emit(k - 1, 0);
+                pending = pending - 1;
+                produced = produced + 1;
+            }
+        } else {
+            // eof token: flush by synthesizing a constant
+            ir_emit(0, 1);
+            pending = pending + 1;
+        }
+    }
+    return ir_len;
+}
+"#;
+
+/// Optimizer passes (module `fold`).
+const FOLD: &str = r#"
+static fn apply_binop(op, a, b) {
+    if (op == 1) { return a + b; }
+    if (op == 2) { return a - b; }
+    if (op == 3) { return a * b; }
+    if (op == 4) { return (a << (b & 7)) & 0xffffff; }
+    return a & b;
+}
+
+// Fold const-const operations by symbolic stack execution.
+fn fold_constants() {
+    var stack[64];
+    var sp = 0;
+    var folded = 0;
+    var w = 0;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        if (ir_op[i] == 0) {
+            if (sp < 64) { stack[sp] = ir_val[i]; sp = sp + 1; }
+            ir_op[w] = ir_op[i];
+            ir_val[w] = ir_val[i];
+            w = w + 1;
+        } else {
+            if (sp >= 2) {
+                var b = stack[sp - 1];
+                var a = stack[sp - 2];
+                var v = apply_binop(ir_op[i], a, b);
+                sp = sp - 1;
+                stack[sp - 1] = v;
+                // replace the two pushes + op with one push
+                w = w - 2;
+                ir_op[w] = 0;
+                ir_val[w] = v;
+                w = w + 1;
+                folded = folded + 1;
+            } else {
+                ir_op[w] = ir_op[i];
+                ir_val[w] = ir_val[i];
+                w = w + 1;
+                sp = 0;
+            }
+        }
+    }
+    ir_len = w;
+    return folded;
+}
+
+// Strength reduction: x * 2^k => shift.
+fn strength_reduce() {
+    var changed = 0;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        if (ir_op[i] == 3 && i > 0 && ir_op[i - 1] == 0) {
+            var v = ir_val[i - 1];
+            if (v == 2 || v == 4 || v == 8) {
+                ir_op[i] = 4;
+                if (v == 2) { ir_val[i - 1] = 1; }
+                if (v == 4) { ir_val[i - 1] = 2; }
+                if (v == 8) { ir_val[i - 1] = 3; }
+                changed = changed + 1;
+            }
+        }
+    }
+    return changed;
+}
+
+// Peephole: push 0; add  => nothing.
+fn peephole() {
+    var w = 0;
+    var removed = 0;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        var skip = 0;
+        if (i + 1 < ir_len && ir_op[i] == 0 && ir_val[i] == 0 && ir_op[i + 1] == 1) {
+            skip = 1;
+        }
+        if (skip == 0) {
+            ir_op[w] = ir_op[i];
+            ir_val[w] = ir_val[i];
+            w = w + 1;
+        } else {
+            removed = removed + 1;
+        }
+    }
+    ir_len = w;
+    return removed;
+}
+"#;
+
+/// Toy register allocator + emitter (module `regalloc`).
+const REGALLOC: &str = r#"
+static fn spill_cost(depth) { return depth * depth; }
+
+// Walk the postfix IR tracking stack depth against 8 "registers".
+fn allocate() {
+    var depth = 0;
+    var spills = 0;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        if (ir_op[i] == 0) {
+            depth = depth + 1;
+            if (depth > 8) { spills = spills + spill_cost(depth - 8); }
+        } else if (depth >= 2) {
+            depth = depth - 1;
+        }
+    }
+    return spills;
+}
+
+fn emit_checksum() {
+    var h = 0;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        h = (h * 33 + ir_op[i] * 7 + ir_val[i]) & 0xffffffff;
+    }
+    return h;
+}
+"#;
+
+/// Instruction scheduler, only in 126.gcc (module `sched`).
+const SCHED: &str = r#"
+static fn latency_of(op) {
+    if (op == 3) { return 3; }
+    if (op == 4) { return 2; }
+    return 1;
+}
+
+// Greedy list scheduling over the linear IR: accumulate modeled cycles.
+fn schedule() {
+    var cycles = 0;
+    var last_mul = -10;
+    for (var i = 0; i < ir_len; i = i + 1) {
+        var l = latency_of(ir_op[i]);
+        if (ir_op[i] == 3 && i - last_mul < 3) { l = l + 1; }
+        if (ir_op[i] == 3) { last_mul = i; }
+        cycles = cycles + l;
+    }
+    return cycles;
+}
+"#;
+
+const MAIN_085: &str = r#"
+fn compile_unit(seed, stmts) {
+    lex_init(seed);
+    parse_stream(stmts);
+    var work = 1;
+    var rounds = 0;
+    while (work != 0 && rounds < 4) {
+        var a = fold_constants();
+        var b = strength_reduce();
+        var c = peephole();
+        work = a + b + c;
+        rounds = rounds + 1;
+    }
+    var spills = allocate();
+    return emit_checksum() + spills;
+}
+
+fn main(scale) {
+    var h = 0;
+    for (var unit = 0; unit < scale; unit = unit + 1) {
+        h = (h + compile_unit(77 + unit, 400)) & 0xffffffff;
+    }
+    sink(h);
+    return h;
+}
+"#;
+
+const MAIN_126: &str = r#"
+fn compile_unit(seed, stmts) {
+    lex_init(seed);
+    parse_stream(stmts);
+    var work = 1;
+    var rounds = 0;
+    while (work != 0 && rounds < 5) {
+        var a = fold_constants();
+        var b = strength_reduce();
+        var c = peephole();
+        work = a + b + c;
+        rounds = rounds + 1;
+    }
+    var spills = allocate();
+    var cyc = schedule();
+    return emit_checksum() + spills + cyc;
+}
+
+fn main(scale) {
+    var h = 0;
+    for (var unit = 0; unit < scale; unit = unit + 1) {
+        h = (h + compile_unit(1009 + unit * 3, 550)) & 0xffffffff;
+    }
+    sink(h);
+    return h;
+}
+"#;
+
+pub(crate) fn gcc_085() -> Benchmark {
+    Benchmark {
+        name: "085.gcc",
+        suite: SpecSuite::Int92,
+        sources: vec![
+            ("lex", LEX),
+            ("parse", PARSE),
+            ("fold", FOLD),
+            ("regalloc", REGALLOC),
+            ("gcc_main", MAIN_085),
+        ],
+        train_arg: 3,
+        ref_arg: 20,
+    }
+}
+
+pub(crate) fn gcc_126() -> Benchmark {
+    Benchmark {
+        name: "126.gcc",
+        suite: SpecSuite::Int95,
+        sources: vec![
+            ("lex", LEX),
+            ("parse", PARSE),
+            ("fold", FOLD),
+            ("regalloc", REGALLOC),
+            ("sched", SCHED),
+            ("gcc_main", MAIN_126),
+        ],
+        train_arg: 3,
+        ref_arg: 18,
+    }
+}

@@ -1,0 +1,124 @@
+//! `099.go` — board evaluation for the game of Go.
+//!
+//! Shape reproduced: nested loops over a 19×19 board calling small
+//! scoring helpers, plus recursive flood fill for liberty counting (the
+//! recursive sites in Figure 5), all in one big module with a helper
+//! module for board primitives — SPEC's go is a mostly-monolithic C
+//! program.
+
+use crate::{Benchmark, SpecSuite};
+
+const BOARD: &str = r#"
+// 19x19 board: 0 empty, 1 black, 2 white.
+global board[361];
+global mark[361];
+
+fn at(r, c) { return board[r * 19 + c]; }
+fn put(r, c, v) { board[r * 19 + c] = v; }
+fn on_board(r, c) { return r >= 0 && r < 19 && c >= 0 && c < 19; }
+fn opponent(color) { return 3 - color; }
+
+fn clear_marks() {
+    for (var i = 0; i < 361; i = i + 1) { mark[i] = 0; }
+}
+"#;
+
+const MAIN: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn random_board(stones) {
+    for (var i = 0; i < 361; i = i + 1) { board[i] = 0; }
+    for (var s = 0; s < stones; s = s + 1) {
+        var pos = next_rand() % 361;
+        board[pos] = 1 + next_rand() % 2;
+    }
+}
+
+// Recursive flood fill: count liberties of the group at (r, c).
+static fn liberties(r, c, color) {
+    if (on_board(r, c) == 0) { return 0; }
+    var i = r * 19 + c;
+    if (mark[i] != 0) { return 0; }
+    mark[i] = 1;
+    var v = at(r, c);
+    if (v == 0) { return 1; }
+    if (v != color) { return 0; }
+    return liberties(r - 1, c, color) + liberties(r + 1, c, color)
+         + liberties(r, c - 1, color) + liberties(r, c + 1, color);
+}
+
+static fn group_strength(r, c) {
+    var color = at(r, c);
+    if (color == 0) { return 0; }
+    clear_marks();
+    var libs = liberties(r, c, color);
+    if (libs == 0) { return -50; }
+    if (libs == 1) { return -10; }
+    if (libs < 4) { return libs * 2; }
+    return 8 + libs;
+}
+
+// Pattern score: count friendly neighbours and diagonal support.
+static fn local_shape(r, c, color) {
+    var s = 0;
+    for (var dr = -1; dr <= 1; dr = dr + 1) {
+        for (var dc = -1; dc <= 1; dc = dc + 1) {
+            if (dr != 0 || dc != 0) {
+                if (on_board(r + dr, c + dc)) {
+                    var v = at(r + dr, c + dc);
+                    if (v == color) { s = s + 2; }
+                    if (v == opponent(color)) { s = s - 1; }
+                }
+            }
+        }
+    }
+    return s;
+}
+
+static fn evaluate(color) {
+    var score = 0;
+    for (var r = 0; r < 19; r = r + 1) {
+        for (var c = 0; c < 19; c = c + 1) {
+            var v = at(r, c);
+            if (v == color) {
+                score = score + group_strength(r, c) + local_shape(r, c, color);
+            } else if (v != 0) {
+                score = score - group_strength(r, c);
+            }
+        }
+    }
+    return score;
+}
+
+fn main(scale) {
+    seed = 1988;
+    var total = 0;
+    for (var game = 0; game < scale; game = game + 1) {
+        random_board(120 + (game % 5) * 20);
+        total = total + evaluate(1) - evaluate(2);
+        // a few "moves": place and re-evaluate locally
+        for (var m = 0; m < 6; m = m + 1) {
+            var pos = next_rand() % 361;
+            board[pos] = 1 + (m & 1);
+            total = total + group_strength(pos / 19, pos % 19);
+        }
+    }
+    sink(total);
+    return total;
+}
+"#;
+
+pub(crate) fn go() -> Benchmark {
+    Benchmark {
+        name: "099.go",
+        suite: SpecSuite::Int95,
+        sources: vec![("board", BOARD), ("go_main", MAIN)],
+        train_arg: 2,
+        ref_arg: 12,
+    }
+}

@@ -1,0 +1,141 @@
+//! `132.ijpeg` — integer image compression kernels.
+//!
+//! Shape reproduced: deep loop nests over 8×8 blocks (forward DCT
+//! approximation, quantization, zig-zag, entropy estimate) with small
+//! per-sample helpers; some floating-point in the quality metric (via
+//! the float intrinsics), which interacts with the `strict_fp`
+//! restriction machinery.
+
+use crate::{Benchmark, SpecSuite};
+
+const DCT: &str = r#"
+// 8x8 block workspace.
+global block[64];
+global coef[64];
+
+fn clamp255(v) {
+    if (v < 0) { return 0; }
+    if (v > 255) { return 255; }
+    return v;
+}
+
+static fn rot(a, b) { return a + b - ((a * b) >> 8); }
+
+// Butterfly-ish integer transform along one axis.
+fn dct_rows() {
+    for (var r = 0; r < 8; r = r + 1) {
+        var base = r * 8;
+        for (var c = 0; c < 4; c = c + 1) {
+            var s = block[base + c] + block[base + 7 - c];
+            var d = block[base + c] - block[base + 7 - c];
+            coef[base + c] = rot(s, c);
+            coef[base + 4 + c] = rot(d, c + 1);
+        }
+    }
+}
+
+fn dct_cols() {
+    for (var c = 0; c < 8; c = c + 1) {
+        for (var r = 0; r < 4; r = r + 1) {
+            var s = coef[r * 8 + c] + coef[(7 - r) * 8 + c];
+            var d = coef[r * 8 + c] - coef[(7 - r) * 8 + c];
+            coef[r * 8 + c] = rot(s, r);
+            coef[(4 + r) * 8 + c] = rot(d, r + 1);
+        }
+    }
+}
+
+fn quantize(q) {
+    var nz = 0;
+    for (var i = 0; i < 64; i = i + 1) {
+        var denom = q + (i >> 3);
+        coef[i] = coef[i] / denom;
+        if (coef[i] != 0) { nz = nz + 1; }
+    }
+    return nz;
+}
+"#;
+
+const MAIN: &str = r#"
+global seed;
+global zigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn fill_block(bx) {
+    for (var i = 0; i < 64; i = i + 1) {
+        block[i] = clamp255((next_rand() % 256 + bx * 3) % 256) - 128;
+    }
+}
+
+// Run-length/entropy estimate over the zig-zag order.
+static fn entropy_estimate() {
+    var run = 0;
+    var bits = 0;
+    for (var i = 0; i < 64; i = i + 1) {
+        var v = coef[zigzag[i]];
+        if (v == 0) {
+            run = run + 1;
+        } else {
+            var mag = v;
+            if (mag < 0) { mag = -mag; }
+            var sz = 0;
+            while (mag != 0) { sz = sz + 1; mag = mag >> 1; }
+            bits = bits + 4 + sz + (run >> 2);
+            run = 0;
+        }
+    }
+    return bits;
+}
+
+// Quality metric in floating point (strict): mean squared coefficient.
+#[strict_fp]
+static fn quality_metric() {
+    var acc = __itof(0);
+    for (var i = 0; i < 64; i = i + 1) {
+        var f = __itof(coef[i]);
+        acc = __fadd(acc, __fmul(f, f));
+    }
+    return __ftoi(__fdiv(acc, __itof(64)));
+}
+
+fn main(scale) {
+    seed = 4096;
+    var total_bits = 0;
+    var total_q = 0;
+    var blocks = scale * 60;
+    for (var b = 0; b < blocks; b = b + 1) {
+        fill_block(b);
+        dct_rows();
+        dct_cols();
+        var nz = quantize(4 + (b % 3));
+        total_bits = total_bits + entropy_estimate() + nz;
+        if (b % 16 == 0) { total_q = total_q + quality_metric(); }
+    }
+    sink(total_bits);
+    sink(total_q);
+    return (total_bits + total_q) & 0xffffffff;
+}
+"#;
+
+pub(crate) fn ijpeg() -> Benchmark {
+    Benchmark {
+        name: "132.ijpeg",
+        suite: SpecSuite::Int95,
+        sources: vec![("dct", DCT), ("ijpeg_main", MAIN)],
+        train_arg: 2,
+        ref_arg: 16,
+    }
+}

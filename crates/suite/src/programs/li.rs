@@ -1,0 +1,178 @@
+//! `022.li` and `130.li` — XLISP-style interpreters.
+//!
+//! Shape reproduced: the paper's best cloning target. A recursive
+//! evaluator walks cons cells allocated from a heap module; operator
+//! dispatch goes through a small helper that cloning can specialize per
+//! opcode, and evaluation recurses deeply. `130.li` interprets a larger
+//! program mix over the same engine, like the SPEC95 re-release.
+
+use crate::{Benchmark, SpecSuite};
+
+/// Cons-cell heap (module `cell`).
+const CELL: &str = r#"
+// Cons heap: parallel arrays. tag 0 = number, tag 1 = cons.
+global heap_car[20000];
+global heap_cdr[20000];
+global heap_tag[20000];
+global heap_next;
+
+fn heap_reset() { heap_next = 1; }   // cell 0 is nil
+
+fn make_num(v) {
+    var c = heap_next;
+    heap_next = heap_next + 1;
+    heap_tag[c] = 0;
+    heap_car[c] = v;
+    heap_cdr[c] = 0;
+    return c;
+}
+
+fn cons(a, d) {
+    var c = heap_next;
+    heap_next = heap_next + 1;
+    heap_tag[c] = 1;
+    heap_car[c] = a;
+    heap_cdr[c] = d;
+    return c;
+}
+
+fn car(c) { return heap_car[c]; }
+fn cdr(c) { return heap_cdr[c]; }
+fn is_num(c) { return heap_tag[c] == 0; }
+fn num_val(c) { return heap_car[c]; }
+"#;
+
+/// The evaluator (module `eval`).
+const EVAL: &str = r#"
+// Opcodes: 1 add, 2 sub, 3 mul, 4 lt, 5 if.
+static fn op_add(a, b) { return a + b; }
+static fn op_sub(a, b) { return a - b; }
+static fn op_mul(a, b) { return a * b; }
+static fn op_lt(a, b) { return a < b; }
+
+// The dispatch helper the paper's cloner loves: callers frequently pass
+// a constant opcode.
+fn apply_op(op, a, b) {
+    if (op == 1) { return op_add(a, b); }
+    if (op == 2) { return op_sub(a, b); }
+    if (op == 3) { return op_mul(a, b); }
+    if (op == 4) { return op_lt(a, b); }
+    return 0;
+}
+
+// expr := num-cell | (cons opnum (cons e1 (cons e2 nil)))
+//       | (cons 5 (cons cond (cons then (cons else nil))))
+fn eval(e) {
+    if (is_num(e)) { return num_val(e); }
+    var op = num_val(car(e));
+    var rest = cdr(e);
+    if (op == 5) {
+        var c = eval(car(rest));
+        if (c != 0) { return eval(car(cdr(rest))); }
+        return eval(car(cdr(cdr(rest))));
+    }
+    var a = eval(car(rest));
+    var b = eval(car(cdr(rest)));
+    return apply_op(op, a, b);
+}
+"#;
+
+const MAIN_022: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+// Build a random expression tree of the given depth.
+static fn build(depth) {
+    if (depth == 0) { return make_num(next_rand() % 17 - 8); }
+    var pick = next_rand() % 10;
+    if (pick < 2) {
+        // (if (lt a b) then else)
+        var c = cons(make_num(4), cons(build(depth - 1), cons(build(depth - 1), 0)));
+        return cons(make_num(5), cons(c, cons(build(depth - 1), cons(build(depth - 1), 0))));
+    }
+    var op = 1 + next_rand() % 3;
+    return cons(make_num(op), cons(build(depth - 1), cons(build(depth - 1), 0)));
+}
+
+fn main(scale) {
+    seed = 7;
+    var acc = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        heap_reset();
+        var e = build(6);
+        for (var rep = 0; rep < 40; rep = rep + 1) {
+            acc = acc + eval(e);
+        }
+    }
+    sink(acc);
+    return acc & 0xffffffff;
+}
+"#;
+
+const MAIN_130: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 69069 + 1) & 0x7fffffff;
+    return seed;
+}
+
+static fn build(depth, bias) {
+    if (depth == 0) { return make_num(next_rand() % 23 - 11); }
+    var pick = next_rand() % 12;
+    if (pick < bias) {
+        var c = cons(make_num(4), cons(build(depth - 1, bias), cons(build(depth - 1, bias), 0)));
+        return cons(make_num(5), cons(c, cons(build(depth - 1, bias), cons(build(depth - 1, bias), 0))));
+    }
+    var op = 1 + next_rand() % 3;
+    return cons(make_num(op), cons(build(depth - 1, bias), cons(build(depth - 1, bias), 0)));
+}
+
+// A hand-built hot expression: mostly adds — profile-guided builds
+// specialize apply_op for opcode 1.
+static fn hot_expr(n) {
+    var e = make_num(1);
+    for (var i = 0; i < n; i = i + 1) {
+        e = cons(make_num(1), cons(e, cons(make_num(i), 0)));
+    }
+    return e;
+}
+
+fn main(scale) {
+    seed = 99;
+    var acc = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        heap_reset();
+        var hot = hot_expr(60);
+        for (var rep = 0; rep < 25; rep = rep + 1) { acc = acc + eval(hot); }
+        var e = build(5, 3);
+        for (var rep = 0; rep < 10; rep = rep + 1) { acc = acc + eval(e); }
+    }
+    sink(acc);
+    return acc & 0xffffffff;
+}
+"#;
+
+pub(crate) fn li_022() -> Benchmark {
+    Benchmark {
+        name: "022.li",
+        suite: SpecSuite::Int92,
+        sources: vec![("cell", CELL), ("eval", EVAL), ("li_main", MAIN_022)],
+        train_arg: 8,
+        ref_arg: 60,
+    }
+}
+
+pub(crate) fn li_130() -> Benchmark {
+    Benchmark {
+        name: "130.li",
+        suite: SpecSuite::Int95,
+        sources: vec![("cell", CELL), ("eval", EVAL), ("li_main", MAIN_130)],
+        train_arg: 6,
+        ref_arg: 45,
+    }
+}

@@ -1,0 +1,126 @@
+//! `124.m88ksim` — a Motorola 88k CPU simulator.
+//!
+//! Shape reproduced: a fetch–decode–execute loop dispatching through a
+//! table of function pointers (one executor per opcode). These indirect
+//! sites are not directly inlinable; HLO clones the dispatcher on the
+//! hot table entries, constant propagation makes the calls direct, and a
+//! later pass inlines them — the benchmark where the paper credits
+//! cloning with real wins.
+
+use crate::{Benchmark, SpecSuite};
+
+/// Executors and machine state (module `exec`).
+const EXEC: &str = r#"
+// Simulated machine: 16 registers, small memory.
+global regs[16];
+global smem[1024];
+global spc;
+global cycles88;
+
+fn op_add(rd, rs, imm) { regs[rd] = regs[rs] + imm; cycles88 = cycles88 + 1; return 0; }
+fn op_sub(rd, rs, imm) { regs[rd] = regs[rs] - imm; cycles88 = cycles88 + 1; return 0; }
+fn op_and(rd, rs, imm) { regs[rd] = regs[rs] & imm; cycles88 = cycles88 + 1; return 0; }
+fn op_shl(rd, rs, imm) { regs[rd] = (regs[rs] << (imm & 15)) & 0xffffffff; cycles88 = cycles88 + 2; return 0; }
+fn op_ld(rd, rs, imm) { regs[rd] = smem[(regs[rs] + imm) & 1023]; cycles88 = cycles88 + 3; return 0; }
+fn op_st(rd, rs, imm) { smem[(regs[rs] + imm) & 1023] = regs[rd]; cycles88 = cycles88 + 3; return 0; }
+fn op_beq(rd, rs, imm) {
+    cycles88 = cycles88 + 2;
+    if (regs[rd] == regs[rs]) { spc = (spc + imm) & 2047; return 1; }
+    return 0;
+}
+fn op_nop(rd, rs, imm) { cycles88 = cycles88 + 1; return 0; }
+"#;
+
+/// Fetch/decode/dispatch (module `dispatch`).
+const DISPATCH: &str = r#"
+// Instruction memory: packed words op|rd|rs|imm.
+global imem[2048];
+global optable[8];
+
+fn dispatch_init() {
+    optable[0] = &op_add;
+    optable[1] = &op_sub;
+    optable[2] = &op_and;
+    optable[3] = &op_shl;
+    optable[4] = &op_ld;
+    optable[5] = &op_st;
+    optable[6] = &op_beq;
+    optable[7] = &op_nop;
+}
+
+fn decode_op(w) { return (w >> 24) & 7; }
+fn decode_rd(w) { return (w >> 20) & 15; }
+fn decode_rs(w) { return (w >> 16) & 15; }
+fn decode_imm(w) { return w & 0xffff; }
+
+// One simulated step: fetch, decode, execute. The common ALU ops take a
+// decoded fast path (direct, inlinable calls); everything else goes
+// through the handler table (indirect calls), as real simulators do.
+fn step() {
+    var w = imem[spc];
+    spc = (spc + 1) & 2047;
+    var op = decode_op(w);
+    var rd = decode_rd(w);
+    var rs = decode_rs(w);
+    var imm = decode_imm(w);
+    if (op == 0) { return op_add(rd, rs, imm); }
+    if (op == 1) { return op_sub(rd, rs, imm); }
+    var handler = optable[op];
+    return handler(rd, rs, imm);
+}
+"#;
+
+const MAIN: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+// Generate a test program skewed toward ALU ops (hot add/sub), the way
+// m88ksim's test input exercises the common path.
+static fn load_program() {
+    for (var i = 0; i < 2048; i = i + 1) {
+        var r = next_rand() % 100;
+        var op = 7;
+        if (r < 40) { op = 0; }
+        else if (r < 55) { op = 1; }
+        else if (r < 65) { op = 2; }
+        else if (r < 72) { op = 3; }
+        else if (r < 82) { op = 4; }
+        else if (r < 90) { op = 5; }
+        else if (r < 96) { op = 6; }
+        var rd = next_rand() % 16;
+        var rs = next_rand() % 16;
+        var imm = next_rand() % 4096;
+        imem[i] = (op << 24) | (rd << 20) | (rs << 16) | imm;
+    }
+}
+
+fn main(scale) {
+    seed = 880;
+    dispatch_init();
+    load_program();
+    for (var i = 0; i < 16; i = i + 1) { regs[i] = i * 3; }
+    for (var i = 0; i < 1024; i = i + 1) { smem[i] = i; }
+    spc = 0;
+    cycles88 = 0;
+    var steps = scale * 20000;
+    for (var s = 0; s < steps; s = s + 1) { step(); }
+    var h = cycles88;
+    for (var i = 0; i < 16; i = i + 1) { h = (h * 31 + regs[i]) & 0xffffffff; }
+    sink(h);
+    return h;
+}
+"#;
+
+pub(crate) fn m88ksim() -> Benchmark {
+    Benchmark {
+        name: "124.m88ksim",
+        suite: SpecSuite::Int95,
+        sources: vec![("exec", EXEC), ("dispatch", DISPATCH), ("m88k_main", MAIN)],
+        train_arg: 1,
+        ref_arg: 8,
+    }
+}

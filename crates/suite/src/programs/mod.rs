@@ -1,0 +1,25 @@
+//! The embedded MinC sources, one submodule per benchmark family.
+
+mod compress;
+mod eqntott;
+mod espresso;
+mod gcc;
+mod go;
+mod ijpeg;
+mod li;
+mod m88ksim;
+mod perl;
+mod sc;
+mod vortex;
+
+pub(crate) use compress::{compress_026, compress_129};
+pub(crate) use eqntott::eqntott;
+pub(crate) use espresso::espresso;
+pub(crate) use gcc::{gcc_085, gcc_126};
+pub(crate) use go::go;
+pub(crate) use ijpeg::ijpeg;
+pub(crate) use li::{li_022, li_130};
+pub(crate) use m88ksim::m88ksim;
+pub(crate) use perl::perl;
+pub(crate) use sc::sc;
+pub(crate) use vortex::vortex;

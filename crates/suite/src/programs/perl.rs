@@ -1,0 +1,162 @@
+//! `134.perl` — a bytecode interpreter with string-ish workloads.
+//!
+//! Shape reproduced: perl's inner loop dispatches opcodes to many small
+//! helper routines; hash lookups and a recursive pattern matcher round
+//! out the mix. The dispatcher is an if-chain over direct calls (hot,
+//! inlinable) with a shared stack module (cross-module sites).
+
+use crate::{Benchmark, SpecSuite};
+
+/// Value stack (module `stack`).
+const STACK: &str = r#"
+global stk[256];
+global stk_top;
+
+fn push(v) { if (stk_top < 256) { stk[stk_top] = v; stk_top = stk_top + 1; } return 0; }
+fn pop() {
+    if (stk_top > 0) { stk_top = stk_top - 1; return stk[stk_top]; }
+    return 0;
+}
+fn stack_reset() { stk_top = 0; }
+"#;
+
+/// Hash "symbol table" (module `hash`).
+const HASH: &str = r#"
+global hkeys[512];
+global hvals[512];
+
+fn hash_init() {
+    for (var i = 0; i < 512; i = i + 1) { hkeys[i] = -1; }
+}
+
+fn hash_slot(k) { return ((k * 2654435761) & 0x7fffffff) % 512; }
+
+fn hash_set(k, v) {
+    var h = hash_slot(k);
+    var probes = 0;
+    while (hkeys[h] != -1 && hkeys[h] != k && probes < 512) {
+        h = (h + 1) % 512;
+        probes = probes + 1;
+    }
+    hkeys[h] = k;
+    hvals[h] = v;
+    return h;
+}
+
+fn hash_get(k) {
+    var h = hash_slot(k);
+    var probes = 0;
+    while (probes < 512) {
+        if (hkeys[h] == k) { return hvals[h]; }
+        if (hkeys[h] == -1) { return 0; }
+        h = (h + 1) % 512;
+        probes = probes + 1;
+    }
+    return 0;
+}
+"#;
+
+const MAIN: &str = r#"
+// Bytecode: op in high bits, operand low. ops: 0 pushc, 1 add, 2 mul,
+// 3 store, 4 load, 5 jnz (relative back), 6 match, 7 dup.
+global code[512];
+global code_len;
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn op_pushc(v) { push(v); return 0; }
+static fn op_add() { var b = pop(); var a = pop(); push(a + b); return 0; }
+static fn op_mul() { var b = pop(); var a = pop(); push((a * b) & 0xffffff); return 0; }
+static fn op_store(k) { hash_set(k, pop()); return 0; }
+static fn op_load(k) { push(hash_get(k)); return 0; }
+static fn op_dup() { var v = pop(); push(v); push(v); return 0; }
+
+// Recursive glob-style matcher over digit strings encoded in ints
+// (pattern digit 9 = wildcard "any run").
+static fn match_rec(pat, text) {
+    if (pat == 0) { return text == 0; }
+    var pd = pat % 10;
+    if (pd == 9) {
+        if (match_rec(pat / 10, text)) { return 1; }
+        if (text != 0) { return match_rec(pat, text / 10); }
+        return 0;
+    }
+    if (text == 0) { return 0; }
+    if (text % 10 == pd) { return match_rec(pat / 10, text / 10); }
+    return 0;
+}
+
+static fn op_match() {
+    var t = pop();
+    var p = pop();
+    push(match_rec(p, t));
+    return 0;
+}
+
+static fn gen_code(n) {
+    code_len = n;
+    // seed the stack-feeding prefix
+    for (var i = 0; i < 4; i = i + 1) { code[i] = (0 << 8) | (i + 2); }
+    for (var i = 4; i < n; i = i + 1) {
+        var r = next_rand() % 100;
+        var op = 0;
+        if (r < 30) { op = 0; }
+        else if (r < 55) { op = 1; }
+        else if (r < 65) { op = 2; }
+        else if (r < 75) { op = 3; }
+        else if (r < 85) { op = 4; }
+        else if (r < 90) { op = 7; }
+        else { op = 6; }
+        code[i] = (op << 8) | (next_rand() % 97);
+    }
+}
+
+static fn interp() {
+    stack_reset();
+    hash_init();
+    var pc = 0;
+    var executed = 0;
+    while (pc < code_len && executed < 4000) {
+        var w = code[pc];
+        var op = w >> 8;
+        var arg = w & 255;
+        if (op == 0) { op_pushc(arg); }
+        else if (op == 1) { op_add(); }
+        else if (op == 2) { op_mul(); }
+        else if (op == 3) { op_store(arg); }
+        else if (op == 4) { op_load(arg); }
+        else if (op == 6) { push(1209); push(1000 + arg); op_match(); }
+        else if (op == 7) { op_dup(); }
+        pc = pc + 1;
+        executed = executed + 1;
+    }
+    var h = 0;
+    while (stk_top > 0) { h = (h * 17 + pop()) & 0xffffffff; }
+    return h;
+}
+
+fn main(scale) {
+    seed = 134;
+    var total = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        gen_code(400);
+        total = (total + interp()) & 0xffffffff;
+    }
+    sink(total);
+    return total;
+}
+"#;
+
+pub(crate) fn perl() -> Benchmark {
+    Benchmark {
+        name: "134.perl",
+        suite: SpecSuite::Int95,
+        sources: vec![("stack", STACK), ("hash", HASH), ("perl_main", MAIN)],
+        train_arg: 4,
+        ref_arg: 35,
+    }
+}

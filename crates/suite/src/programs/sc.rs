@@ -1,0 +1,136 @@
+//! `072.sc` — spreadsheet recalculation with a stub curses library.
+//!
+//! Shape reproduced: the paper singles out 072.sc because it links "a
+//! special curses library in which all curses calls do nothing"; HLO's
+//! interprocedural side-effect analysis deletes those calls before
+//! inlining. The `curses` module here is exactly that: public do-nothing
+//! routines called from the recalculation loop. The evaluator itself is a
+//! small formula interpreter over a cell grid.
+
+use crate::{Benchmark, SpecSuite};
+
+/// The stub display library (module `curses`).
+const CURSES: &str = r#"
+// A do-nothing curses: pure functions whose results are ignored by the
+// spreadsheet. Whole-program analysis proves them side-effect-free and
+// deletes the calls.
+fn scr_move(r, c) { return r * 80 + c; }
+fn scr_addch(ch) { return ch; }
+fn scr_refresh() { return 0; }
+fn scr_clrtoeol() { return 0; }
+fn scr_standout(on) { return on; }
+"#;
+
+/// The spreadsheet engine (module `sheet`).
+const SHEET: &str = r#"
+// 24x16 grid. kind: 0 empty, 1 literal, 2 sum-of-range, 3 product pair,
+// 4 relative reference.
+global cell_kind[512];
+global cell_a[512];
+global cell_b[512];
+global cell_val[512];
+
+fn cell_index(r, c) { return r * 16 + c; }
+
+fn eval_cell(idx) {
+    var k = cell_kind[idx];
+    if (k == 0) { return 0; }
+    if (k == 1) { return cell_a[idx]; }
+    if (k == 2) {
+        // sum of the previous cell_a[idx] cells in the same column
+        var col = idx % 16;
+        var row = idx / 16;
+        var s = 0;
+        for (var i = 1; i <= cell_a[idx]; i = i + 1) {
+            if (row - i >= 0) { s = s + cell_val[cell_index(row - i, col)]; }
+        }
+        return s;
+    }
+    if (k == 3) { return cell_val[cell_a[idx]] * cell_val[cell_b[idx]] / 100; }
+    if (k == 4) {
+        var t = cell_a[idx];
+        if (t >= 0 && t < 384) { return cell_val[t] + cell_b[idx]; }
+        return cell_b[idx];
+    }
+    return 0;
+}
+
+fn recalc_sheet() {
+    var changed = 0;
+    for (var r = 0; r < 24; r = r + 1) {
+        for (var c = 0; c < 16; c = c + 1) {
+            var idx = cell_index(r, c);
+            var v = eval_cell(idx);
+            if (v != cell_val[idx]) { changed = changed + 1; }
+            cell_val[idx] = v;
+            // Redraw through the stub library (results unused).
+            scr_move(r, c);
+            scr_addch(v & 127);
+        }
+        scr_clrtoeol();
+    }
+    scr_refresh();
+    return changed;
+}
+"#;
+
+const MAIN: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn load_sheet() {
+    for (var i = 0; i < 384; i = i + 1) {
+        var pick = next_rand() % 10;
+        if (pick < 4) {
+            cell_kind[i] = 1;
+            cell_a[i] = next_rand() % 1000;
+        } else if (pick < 7) {
+            cell_kind[i] = 2;
+            cell_a[i] = 1 + next_rand() % 4;
+        } else if (pick < 8) {
+            cell_kind[i] = 3;
+            cell_a[i] = next_rand() % 384;
+            cell_b[i] = next_rand() % 384;
+        } else if (pick < 9) {
+            cell_kind[i] = 4;
+            cell_a[i] = i - 16;
+            cell_b[i] = next_rand() % 50;
+        } else {
+            cell_kind[i] = 0;
+        }
+        cell_val[i] = 0;
+    }
+}
+
+fn main(scale) {
+    seed = 31415;
+    var total = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        load_sheet();
+        // Iterate recalculation to a (bounded) fixpoint, as sc does after
+        // an edit burst.
+        for (var it = 0; it < 8; it = it + 1) {
+            var ch = recalc_sheet();
+            total = total + ch;
+            if (ch == 0) { break; }
+        }
+        total = total + cell_val[383];
+    }
+    sink(total);
+    return total & 0xffffffff;
+}
+"#;
+
+pub(crate) fn sc() -> Benchmark {
+    Benchmark {
+        name: "072.sc",
+        suite: SpecSuite::Int92,
+        sources: vec![("curses", CURSES), ("sheet", SHEET), ("sc_main", MAIN)],
+        train_arg: 3,
+        ref_arg: 20,
+    }
+}

@@ -1,0 +1,143 @@
+//! `147.vortex` — an object-oriented database.
+//!
+//! Shape reproduced: vortex manipulates typed records through per-type
+//! method tables. Inserts, lookups and traversals dispatch virtually
+//! (indirect sites); the schema module, store module and driver give a
+//! deep cross-module call structure.
+
+use crate::{Benchmark, SpecSuite};
+
+/// Record store (module `store`).
+const STORE: &str = r#"
+// Records: parallel arrays. type 0 = point, 1 = span, 2 = weighted.
+global rec_type[2048];
+global rec_a[2048];
+global rec_b[2048];
+global nrecs;
+
+fn store_reset() { nrecs = 0; }
+
+fn store_insert(t, a, b) {
+    if (nrecs < 2048) {
+        rec_type[nrecs] = t;
+        rec_a[nrecs] = a;
+        rec_b[nrecs] = b;
+        nrecs = nrecs + 1;
+        return nrecs - 1;
+    }
+    return -1;
+}
+"#;
+
+/// Schema: per-type methods + dispatch tables (module `schema`).
+const SCHEMA: &str = r#"
+// "Methods": measure(rec) and validate(rec) per type.
+fn point_measure(i) { return rec_a[i] * rec_a[i] + rec_b[i] * rec_b[i]; }
+fn span_measure(i) {
+    var d = rec_b[i] - rec_a[i];
+    if (d < 0) { d = -d; }
+    return d;
+}
+fn weighted_measure(i) { return rec_a[i] * 3 + rec_b[i]; }
+
+fn point_validate(i) { return rec_a[i] >= -1000 && rec_a[i] <= 1000; }
+fn span_validate(i) { return rec_b[i] >= rec_a[i] - 2000; }
+fn weighted_validate(i) { return rec_b[i] >= 0; }
+
+global measure_tab[3];
+global validate_tab[3];
+
+fn schema_init() {
+    measure_tab[0] = &point_measure;
+    measure_tab[1] = &span_measure;
+    measure_tab[2] = &weighted_measure;
+    validate_tab[0] = &point_validate;
+    validate_tab[1] = &span_validate;
+    validate_tab[2] = &weighted_validate;
+}
+
+// Virtual dispatch helpers; the function-pointer parameter is the
+// cloner's chance to devirtualize per call site.
+fn invoke1(method, i) { return method(i); }
+
+fn measure_rec(i) { return invoke1(measure_tab[rec_type[i]], i); }
+fn validate_rec(i) { return invoke1(validate_tab[rec_type[i]], i); }
+"#;
+
+const MAIN: &str = r#"
+global seed;
+
+static fn next_rand() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return seed;
+}
+
+static fn populate(n) {
+    store_reset();
+    for (var i = 0; i < n; i = i + 1) {
+        var t = 0;
+        var r = next_rand() % 10;
+        if (r >= 6) { t = 1; }
+        if (r >= 9) { t = 2; }
+        store_insert(t, next_rand() % 2000 - 1000, next_rand() % 2000 - 1000);
+    }
+}
+
+// Traversal 1: sum of measures, dispatching virtually per record.
+static fn total_measure() {
+    var s = 0;
+    for (var i = 0; i < nrecs; i = i + 1) { s = s + measure_rec(i); }
+    return s;
+}
+
+// Traversal 2: count invalid records (cold path).
+static fn count_invalid() {
+    var bad = 0;
+    for (var i = 0; i < nrecs; i = i + 1) {
+        if (validate_rec(i) == 0) { bad = bad + 1; }
+    }
+    return bad;
+}
+
+// Query: nearest record by measure to a probe value, monomorphic on
+// points (a hot, devirtualizable loop).
+static fn nearest_point(probe) {
+    var best = -1;
+    var bestd = 0x7fffffff;
+    for (var i = 0; i < nrecs; i = i + 1) {
+        if (rec_type[i] == 0) {
+            var m = invoke1(&point_measure, i);
+            var d = m - probe;
+            if (d < 0) { d = -d; }
+            if (d < bestd) { bestd = d; best = i; }
+        }
+    }
+    return best;
+}
+
+fn main(scale) {
+    seed = 147;
+    schema_init();
+    var h = 0;
+    for (var round = 0; round < scale; round = round + 1) {
+        populate(700);
+        h = (h + total_measure()) & 0xffffffff;
+        h = (h + count_invalid() * 7) & 0xffffffff;
+        for (var q = 0; q < 10; q = q + 1) {
+            h = (h * 31 + nearest_point(q * 991)) & 0xffffffff;
+        }
+    }
+    sink(h);
+    return h;
+}
+"#;
+
+pub(crate) fn vortex() -> Benchmark {
+    Benchmark {
+        name: "147.vortex",
+        suite: SpecSuite::Int95,
+        sources: vec![("store", STORE), ("schema", SCHEMA), ("vortex_main", MAIN)],
+        train_arg: 2,
+        ref_arg: 14,
+    }
+}

@@ -1,0 +1,106 @@
+//! Builtin implementations of external routines.
+//!
+//! Externs model precompiled library code (Figure 5's "external" call
+//! sites). The suite uses a deliberately small, deterministic set.
+
+use crate::{Trap, TrapKind};
+
+/// Side-effect state shared by builtins during one execution.
+#[derive(Debug, Clone, Default)]
+pub struct BuiltinState {
+    /// Values printed via `print_i64`, in order.
+    pub output: Vec<i64>,
+    /// Running checksum fed by `sink`.
+    pub checksum: u64,
+}
+
+impl BuiltinState {
+    /// Folds a value into the checksum (order-sensitive mix).
+    pub fn sink(&mut self, v: i64) {
+        self.checksum = self
+            .checksum
+            .rotate_left(5)
+            .wrapping_add(v as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Executes the builtin named `name` with `args`, returning its result
+/// value (0 for void builtins).
+///
+/// # Errors
+/// Traps with [`TrapKind::MissingExtern`] for unknown names and with
+/// [`TrapKind::Abort`] when the program calls `abort`.
+pub fn call_builtin(state: &mut BuiltinState, name: &str, args: &[i64]) -> Result<i64, Trap> {
+    match name {
+        // Output: records the value; costed like a library call by hlo-sim.
+        "print_i64" => {
+            state.output.push(args.first().copied().unwrap_or(0));
+            Ok(0)
+        }
+        // Consume a value so the optimizer cannot remove its computation.
+        "sink" => {
+            state.sink(args.first().copied().unwrap_or(0));
+            Ok(0)
+        }
+        // Read back the running checksum (lets programs self-validate).
+        "checksum" => Ok(state.checksum as i64),
+        "abort" => Err(Trap::new(TrapKind::Abort)),
+        // A do-nothing library routine, like the stub curses library the
+        // paper describes for 072.sc.
+        "nop_lib" => Ok(0),
+        other => Err(Trap::new(TrapKind::MissingExtern {
+            name: other.to_string(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_records_output() {
+        let mut s = BuiltinState::default();
+        call_builtin(&mut s, "print_i64", &[42]).unwrap();
+        call_builtin(&mut s, "print_i64", &[7]).unwrap();
+        assert_eq!(s.output, vec![42, 7]);
+    }
+
+    #[test]
+    fn sink_is_order_sensitive() {
+        let mut a = BuiltinState::default();
+        let mut b = BuiltinState::default();
+        a.sink(1);
+        a.sink(2);
+        b.sink(2);
+        b.sink(1);
+        assert_ne!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn checksum_reads_back() {
+        let mut s = BuiltinState::default();
+        call_builtin(&mut s, "sink", &[3]).unwrap();
+        let c = call_builtin(&mut s, "checksum", &[]).unwrap();
+        assert_eq!(c as u64, s.checksum);
+    }
+
+    #[test]
+    fn abort_traps() {
+        let mut s = BuiltinState::default();
+        assert!(matches!(
+            call_builtin(&mut s, "abort", &[]).unwrap_err().kind,
+            TrapKind::Abort
+        ));
+    }
+
+    #[test]
+    fn unknown_extern_traps() {
+        let mut s = BuiltinState::default();
+        assert!(matches!(
+            call_builtin(&mut s, "mystery", &[]).unwrap_err().kind,
+            TrapKind::MissingExtern { .. }
+        ));
+    }
+}

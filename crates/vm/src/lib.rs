@@ -1,0 +1,131 @@
+#![warn(missing_docs)]
+//! An interpreter ("virtual machine") for the `hlo-ir` intermediate form.
+//!
+//! The reproduction uses the VM for all three executable roles the paper's
+//! infrastructure had:
+//!
+//! 1. **Training runs** — an instrumented execution on the *train* input
+//!    collects block, edge and call-site counts (via [`ExecMonitor`]),
+//!    which become the PBO profile database.
+//! 2. **Measurement runs** — the optimized program runs on the *ref*
+//!    input; retired-instruction counts and monitor events feed the
+//!    PA8000-style model in `hlo-sim`, which produces the cycle counts
+//!    behind Table 1 and Figures 6–8.
+//! 3. **Semantic ground truth** — every transformation in the repository
+//!    is validated by running programs before and after optimization and
+//!    comparing outputs and checksums.
+//!
+//! # Machine model
+//!
+//! Registers hold raw 64-bit values; float instructions reinterpret bits.
+//! Memory is a flat, word-granular address space: globals first (byte
+//! address 8 upward; 0 is an unmapped null page), then a downward-growing
+//! stack holding frame slots and dynamic allocas. Function pointers are
+//! encoded as `CODE_BASE | func_id` so indirect calls can be resolved
+//! without a reverse code-layout map.
+//!
+//! # Example
+//!
+//! ```
+//! use hlo_ir::{ProgramBuilder, FunctionBuilder, Linkage, Type, Operand, BinOp};
+//! use hlo_vm::{run_program, ExecOptions};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let m = pb.add_module("m");
+//! let mut f = FunctionBuilder::new("main", m, 0);
+//! let e = f.entry_block();
+//! let x = f.bin(e, BinOp::Mul, Operand::imm(6), Operand::imm(7));
+//! f.ret(e, Some(x.into()));
+//! let id = pb.add_function(f.finish(Linkage::Public, Type::I64));
+//! let p = pb.finish(Some(id));
+//! let out = run_program(&p, &[], &ExecOptions::default())?;
+//! assert_eq!(out.ret, 42);
+//! # Ok::<(), hlo_vm::Trap>(())
+//! ```
+
+mod builtins;
+mod interp;
+mod memory;
+mod monitor;
+mod trace;
+
+pub use builtins::BuiltinState;
+pub use interp::{run_program, run_with_monitor, ExecOptions, ExecOutcome};
+pub use memory::{DataLayout, Memory, CODE_BASE, NULL_GUARD_BYTES};
+pub use monitor::{CallKind, ExecMonitor, NullMonitor, SiteId};
+pub use trace::TraceMonitor;
+
+/// A run-time fault. The VM never panics on program misbehaviour; every
+/// fault is reported as a `Trap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// Function active at the fault, if any.
+    pub func: Option<String>,
+}
+
+impl Trap {
+    pub(crate) fn new(kind: TrapKind) -> Self {
+        Trap { kind, func: None }
+    }
+}
+
+/// Categories of run-time fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Memory access outside the mapped range (includes null-page hits).
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// Memory access not 8-byte aligned.
+    Misaligned {
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// Indirect call through a value that is not a function pointer.
+    BadIndirect {
+        /// The non-pointer value.
+        value: i64,
+    },
+    /// Stack pointer ran below the stack region.
+    StackOverflow,
+    /// The configured instruction budget was exhausted.
+    FuelExhausted,
+    /// Call to an external routine with no builtin implementation.
+    MissingExtern {
+        /// Declared extern name.
+        name: String,
+    },
+    /// The program called `abort`.
+    Abort,
+    /// The program has no entry point.
+    NoEntry,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            TrapKind::DivByZero => write!(f, "integer division by zero")?,
+            TrapKind::OutOfBounds { addr } => write!(f, "out-of-bounds access at {addr:#x}")?,
+            TrapKind::Misaligned { addr } => write!(f, "misaligned access at {addr:#x}")?,
+            TrapKind::BadIndirect { value } => {
+                write!(f, "indirect call through non-function value {value}")?
+            }
+            TrapKind::StackOverflow => write!(f, "stack overflow")?,
+            TrapKind::FuelExhausted => write!(f, "instruction budget exhausted")?,
+            TrapKind::MissingExtern { name } => write!(f, "no builtin for extern `{name}`")?,
+            TrapKind::Abort => write!(f, "program aborted")?,
+            TrapKind::NoEntry => write!(f, "program has no entry point")?,
+        }
+        if let Some(n) = &self.func {
+            write!(f, " (in `{n}`)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Trap {}

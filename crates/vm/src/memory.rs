@@ -1,0 +1,194 @@
+//! Flat data memory: globals segment + downward-growing stack.
+
+use crate::{Trap, TrapKind};
+use hlo_ir::{GlobalId, Program};
+
+/// Function-pointer encoding: run-time value of `ConstVal::FuncAddr(f)` is
+/// `CODE_BASE | f.0`. The bit is high enough never to collide with data
+/// addresses.
+pub const CODE_BASE: i64 = 1 << 62;
+
+/// Byte address 0..8 is unmapped so that null-pointer dereferences trap.
+pub const NULL_GUARD_BYTES: u64 = 8;
+
+/// Placement of globals in data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    addrs: Vec<u64>,
+    globals_end: u64,
+}
+
+impl DataLayout {
+    /// Lays out every global of `p`, 8-byte aligned, after the null guard.
+    pub fn of(p: &Program) -> Self {
+        let mut addrs = Vec::with_capacity(p.globals.len());
+        let mut cursor = NULL_GUARD_BYTES;
+        for g in &p.globals {
+            addrs.push(cursor);
+            cursor += g.bytes().max(8);
+        }
+        DataLayout {
+            addrs,
+            globals_end: cursor,
+        }
+    }
+
+    /// Byte address of global `g`.
+    ///
+    /// # Panics
+    /// Panics if `g` is out of range.
+    pub fn addr(&self, g: GlobalId) -> u64 {
+        self.addrs[g.index()]
+    }
+
+    /// First byte past the last global.
+    pub fn globals_end(&self) -> u64 {
+        self.globals_end
+    }
+}
+
+/// Word-granular data memory with bounds and alignment checking.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<i64>,
+    layout: DataLayout,
+    stack_base_words: usize,
+}
+
+impl Memory {
+    /// Builds memory for `p` with `stack_bytes` of stack, initializing
+    /// global words from their initializers.
+    pub fn new(p: &Program, stack_bytes: u64) -> Self {
+        let layout = DataLayout::of(p);
+        let stack_words = (stack_bytes / 8) as usize;
+        let globals_words = (layout.globals_end / 8) as usize;
+        let mut words = vec![0i64; globals_words + stack_words];
+        for (gi, g) in p.globals.iter().enumerate() {
+            let base = (layout.addr(GlobalId(gi as u32)) / 8) as usize;
+            for (i, &v) in g.init.iter().enumerate() {
+                if i < g.words as usize {
+                    words[base + i] = v;
+                }
+            }
+        }
+        Memory {
+            words,
+            layout,
+            stack_base_words: globals_words,
+        }
+    }
+
+    /// The global placement used.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Byte address one past the top of the stack (initial stack pointer).
+    pub fn stack_top(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Lowest byte address the stack may reach.
+    pub fn stack_limit(&self) -> u64 {
+        self.stack_base_words as u64 * 8
+    }
+
+    fn word_index(&self, addr: u64) -> Result<usize, Trap> {
+        if addr % 8 != 0 {
+            return Err(Trap::new(TrapKind::Misaligned { addr }));
+        }
+        if addr < NULL_GUARD_BYTES || addr >= self.words.len() as u64 * 8 {
+            return Err(Trap::new(TrapKind::OutOfBounds { addr }));
+        }
+        Ok((addr / 8) as usize)
+    }
+
+    /// Reads the word at byte address `addr`.
+    ///
+    /// # Errors
+    /// Traps on misaligned or out-of-range addresses.
+    pub fn load(&self, addr: u64) -> Result<i64, Trap> {
+        Ok(self.words[self.word_index(addr)?])
+    }
+
+    /// Writes the word at byte address `addr`.
+    ///
+    /// # Errors
+    /// Traps on misaligned or out-of-range addresses.
+    pub fn store(&mut self, addr: u64, value: i64) -> Result<(), Trap> {
+        let i = self.word_index(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{Linkage, ProgramBuilder};
+
+    fn program_with_globals() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        pb.add_global("a", m, Linkage::Public, 2, vec![11, 22]);
+        pb.add_global("b", m, Linkage::Public, 1, vec![33]);
+        pb.finish(None)
+    }
+
+    #[test]
+    fn globals_are_laid_out_and_initialized() {
+        let p = program_with_globals();
+        let mem = Memory::new(&p, 1024);
+        let l = mem.layout().clone();
+        assert_eq!(l.addr(GlobalId(0)), 8);
+        assert_eq!(l.addr(GlobalId(1)), 24);
+        assert_eq!(mem.load(8).unwrap(), 11);
+        assert_eq!(mem.load(16).unwrap(), 22);
+        assert_eq!(mem.load(24).unwrap(), 33);
+    }
+
+    #[test]
+    fn null_access_traps() {
+        let p = program_with_globals();
+        let mem = Memory::new(&p, 1024);
+        assert!(matches!(
+            mem.load(0).unwrap_err().kind,
+            TrapKind::OutOfBounds { addr: 0 }
+        ));
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let p = program_with_globals();
+        let mem = Memory::new(&p, 1024);
+        assert!(matches!(
+            mem.load(9).unwrap_err().kind,
+            TrapKind::Misaligned { addr: 9 }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_traps() {
+        let p = program_with_globals();
+        let mem = Memory::new(&p, 64);
+        let top = mem.stack_top();
+        assert!(mem.load(top).is_err());
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let p = program_with_globals();
+        let mut mem = Memory::new(&p, 1024);
+        let sp = mem.stack_top() - 8;
+        mem.store(sp, -7).unwrap();
+        assert_eq!(mem.load(sp).unwrap(), -7);
+    }
+
+    #[test]
+    fn stack_region_is_above_globals() {
+        let p = program_with_globals();
+        let mem = Memory::new(&p, 1024);
+        assert!(mem.stack_limit() >= mem.layout().globals_end());
+        assert_eq!(mem.stack_top() - mem.stack_limit(), 1024);
+    }
+}

@@ -1,0 +1,109 @@
+//! Execution monitoring hooks.
+//!
+//! A monitor observes the dynamic instruction stream without affecting
+//! semantics. The profile collector (crate `hlo-profile`) and the PA8000
+//! model (crate `hlo-sim`) are both monitors.
+
+use hlo_ir::{BlockId, ExternId, FuncId};
+
+/// Identifies a static instruction: `(function, block, index in block)`.
+/// Monitors combine this with a `CodeLayout` to obtain fetch addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteId {
+    /// Containing function.
+    pub func: FuncId,
+    /// Containing block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+}
+
+/// How control reached a callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// Direct call (`Callee::Func`).
+    Direct,
+    /// Indirect call through a function pointer. On the PA8000 model these
+    /// always mispredict.
+    Indirect,
+}
+
+/// Observer of a VM execution. All methods default to no-ops so monitors
+/// implement only what they need; the VM calls them in program order.
+pub trait ExecMonitor {
+    /// A block is entered (including function entries).
+    fn block(&mut self, _func: FuncId, _block: BlockId) {}
+
+    /// One instruction retires.
+    fn inst(&mut self, _site: SiteId) {}
+
+    /// Control follows a CFG edge inside a function (conditional branches
+    /// and jumps). `taken` is false only for the fall-through sense of a
+    /// conditional branch; jumps report `taken = true`.
+    fn edge(&mut self, _func: FuncId, _from: BlockId, _to: BlockId) {}
+
+    /// A conditional branch resolves. `site` identifies the branch for
+    /// predictor indexing.
+    fn cond_branch(&mut self, _site: SiteId, _taken: bool) {}
+
+    /// An unconditional jump executes. Machine models use the layout to
+    /// decide whether it is a real branch or an elided fall-through to
+    /// the next block.
+    fn jump(&mut self, _site: SiteId, _target: BlockId) {}
+
+    /// A call to a program function begins. `callee_regs` is the callee's
+    /// register count (drives modeled save/restore traffic) and `n_args`
+    /// its incoming argument count.
+    fn call(
+        &mut self,
+        _site: SiteId,
+        _callee: FuncId,
+        _kind: CallKind,
+        _callee_regs: u32,
+        _n_args: usize,
+    ) {
+    }
+
+    /// A call to an external routine.
+    fn extern_call(&mut self, _site: SiteId, _ext: ExternId) {}
+
+    /// A function returns to its caller (procedure-return branch; the
+    /// PA8000 always mispredicts these).
+    fn ret(&mut self, _func: FuncId, _callee_regs: u32) {}
+
+    /// A data memory access by the program itself.
+    fn mem(&mut self, _addr: u64, _write: bool) {}
+}
+
+/// A monitor that observes nothing (fast path for plain runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl ExecMonitor for NullMonitor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        insts: u64,
+    }
+    impl ExecMonitor for Counter {
+        fn inst(&mut self, _s: SiteId) {
+            self.insts += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut c = Counter { insts: 0 };
+        c.block(FuncId(0), BlockId(0));
+        c.mem(8, true);
+        c.inst(SiteId {
+            func: FuncId(0),
+            block: BlockId(0),
+            inst: 0,
+        });
+        assert_eq!(c.insts, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Budget exploration (the machinery behind the paper's Figure 8): sweep
+//! the compile-time budget and watch operations, code growth and run
+//! time respond. The paper chose its default budget of 100 because the
+//! run-time curve flattens there.
+//!
+//! Run with `cargo run --release --example budget_explorer [benchmark]`.
+
+use aggressive_inlining::{hlo, sim, suite, vm};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "085.gcc".into());
+    let bench = suite::benchmark(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; try one of:");
+        for b in suite::all_benchmarks() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(2);
+    });
+
+    println!("budget sweep on {name} (cross-module, static heuristics)");
+    println!(
+        "{:>7} {:>6} {:>7} {:>11} {:>13} {:>9}",
+        "budget%", "ops", "clones", "final size", "cycles", "speedup"
+    );
+    let opts = vm::ExecOptions::default();
+    let machine = sim::MachineConfig::default();
+    let mut base_cycles = None;
+    for budget in [0, 12, 25, 50, 100, 200, 400, 1000] {
+        let mut p = bench.compile().expect("compiles");
+        let report = hlo::optimize(
+            &mut p,
+            None,
+            &hlo::HloOptions {
+                budget_percent: budget,
+                ..Default::default()
+            },
+        );
+        let (stats, _) = sim::simulate(&p, &[bench.ref_arg], &opts, &machine).expect("runs");
+        let base = *base_cycles.get_or_insert(stats.cycles);
+        println!(
+            "{:>7} {:>6} {:>7} {:>11} {:>13.0} {:>9.3}",
+            budget,
+            report.operations(),
+            report.clones,
+            p.total_size(),
+            stats.cycles,
+            base / stats.cycles
+        );
+    }
+}

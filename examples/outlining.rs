@@ -1,0 +1,93 @@
+//! Aggressive outlining (the paper's §5 future work) in action: a hot
+//! loop whose body carries fat, almost-never-taken error paths. Outlining
+//! the cold paths shrinks the hot routine, which (a) frees compile-time
+//! budget for inlining and (b) removes cold code from the hot I-cache
+//! lines.
+//!
+//! Run with `cargo run --release --example outlining`.
+
+use aggressive_inlining::{hlo, profile, sim, vm};
+
+const SRC: &str = r#"
+global err_log[64];
+global err_count;
+
+fn process(v, limit) {
+    if (v < 0) {
+        // Cold: negative input. Fat diagnostic path.
+        err_count = err_count + 1;
+        var slot = err_count & 63;
+        err_log[slot] = v;
+        err_log[(slot + 1) & 63] = limit;
+        var code = v * 1000 - limit * 7 + err_count;
+        return 0 - code;
+    }
+    if (v > limit) {
+        // Cold: overflow. Another fat diagnostic path.
+        err_count = err_count + 1;
+        var slot = err_count & 63;
+        err_log[slot] = v - limit;
+        var code = (v - limit) * 3 + err_count * 11;
+        return 0 - code;
+    }
+    return v * 2 + 1;
+}
+
+fn main(n) {
+    err_count = 0;
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        s = s + process(i % 1000, 2000);
+    }
+    // exercise the cold paths once so they are not dead code
+    s = s + process(0 - 5, 10) + process(50, 10);
+    return s;
+}
+"#;
+
+fn build(outline: bool, db: &profile::ProfileDb) -> (hlo::HloReport, aggressive_inlining::ir::Program) {
+    let mut p = aggressive_inlining::frontc::compile(&[("app", SRC)]).expect("valid MinC");
+    let opts = hlo::HloOptions {
+        budget_percent: 150,
+        enable_outline: outline,
+        outline: hlo::OutlineOptions {
+            cold_fraction: 0.02,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = hlo::optimize(&mut p, Some(db), &opts);
+    (report, p)
+}
+
+fn main() {
+    let train = aggressive_inlining::frontc::compile(&[("app", SRC)]).expect("valid MinC");
+    let exec = vm::ExecOptions::default();
+    let (db, _) = profile::collect_profile(&train, &[2000], &exec).expect("training");
+
+    let (r_plain, p_plain) = build(false, &db);
+    let (r_outl, p_outl) = build(true, &db);
+    println!("without outlining: {r_plain}");
+    println!("with outlining   : {r_outl} ({} regions outlined)", r_outl.outlines);
+
+    // Tiny I-cache so hot-loop footprint matters.
+    let machine = sim::MachineConfig {
+        icache: sim::CacheConfig {
+            size_bytes: 256,
+            line_bytes: 32,
+            ways: 1,
+        },
+        ..Default::default()
+    };
+    let (s_plain, o1) = sim::simulate(&p_plain, &[200000], &exec, &machine).expect("runs");
+    let (s_outl, o2) = sim::simulate(&p_outl, &[200000], &exec, &machine).expect("runs");
+    assert_eq!(o1.ret, o2.ret, "outlining must preserve semantics");
+    println!("\nplain   : {s_plain}");
+    println!("outlined: {s_outl}");
+    println!(
+        "\nI$ miss rate {:.3}% -> {:.3}%, cycles ratio {:.3}",
+        s_plain.icache_miss_rate() * 100.0,
+        s_outl.icache_miss_rate() * 100.0,
+        s_plain.cycles / s_outl.cycles
+    );
+}

@@ -1,0 +1,53 @@
+//! Profile-guided optimization end to end: instrumented training run,
+//! profile database, and a PGO re-compile — the paper's "isom + PBO"
+//! path (§2.1), on the suite's lisp interpreter.
+//!
+//! Run with `cargo run --release --example profile_guided`.
+
+use aggressive_inlining::{hlo, profile, sim, suite, vm};
+
+fn main() {
+    let bench = suite::benchmark("022.li").expect("suite has 022.li");
+    let opts = vm::ExecOptions::default();
+    let machine = sim::MachineConfig::default();
+
+    // 1. Instrumented compile + training run on the *train* input.
+    let train_program = bench.compile().expect("compiles");
+    let (db, train_out) =
+        profile::collect_profile(&train_program, &[bench.train_arg], &opts).expect("training run");
+    println!(
+        "training run: {} instructions, {} functions profiled",
+        train_out.retired,
+        db.len()
+    );
+
+    // The profile database round-trips through its on-disk text form.
+    let text = db.to_text();
+    let db = profile::ProfileDb::from_text(&text).expect("roundtrip");
+
+    // 2. Optimize fresh compiles with and without the profile; use a
+    //    tight budget so heuristic quality matters.
+    let tight = hlo::HloOptions {
+        budget_percent: 40,
+        ..Default::default()
+    };
+    let mut static_build = bench.compile().unwrap();
+    let r_static = hlo::optimize(&mut static_build, None, &tight);
+    let mut pgo_build = bench.compile().unwrap();
+    let r_pgo = hlo::optimize(&mut pgo_build, Some(&db), &tight);
+
+    // 3. Measure both on the *ref* input through the PA8000 model.
+    let (s_static, o_static) =
+        sim::simulate(&static_build, &[bench.ref_arg], &opts, &machine).expect("runs");
+    let (s_pgo, o_pgo) = sim::simulate(&pgo_build, &[bench.ref_arg], &opts, &machine).expect("runs");
+    assert_eq!(o_static.ret, o_pgo.ret);
+
+    println!("\nstatic heuristics : {r_static}");
+    println!("  {s_static}");
+    println!("\nprofile-guided    : {r_pgo}");
+    println!("  {s_pgo}");
+    println!(
+        "\nPGO speedup over static heuristics: {:.3}x",
+        s_static.cycles / s_pgo.cycles
+    );
+}

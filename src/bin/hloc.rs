@@ -1,0 +1,344 @@
+//! `hloc` — command-line driver for the MinC → HLO → VM/PA8000 pipeline.
+//!
+//! ```text
+//! hloc build [OPTIONS] <file.mc>...   compile + optimize, report, optionally run
+//! hloc opt [OPTIONS] <file.ir>        re-optimize dumped IR (isom-style path)
+//! hloc run   <file.mc>... [--arg N]   compile without HLO and execute
+//! hloc classify <file.mc>...          Figure-5-style call-site classification
+//! hloc help                           this text
+//! ```
+//!
+//! Build options:
+//! `--scope module|program`, `--budget N`, `--passes N`, `--no-inline`,
+//! `--no-clone`, `--outline`, `--train N` (PGO training run with scale N),
+//! `--emit-ir PATH` (`-` for stdout), `--run`, `--trace N`, `--sim`,
+//! `--arg N`.
+
+use aggressive_inlining::{analysis, frontc, hlo, ir, profile, sim, vm};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("help", &args[..]),
+    };
+    let result = match cmd {
+        "build" => build(rest),
+        "opt" => opt_ir(rest),
+        "run" => run_plain(rest),
+        "classify" => classify(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `hloc help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hloc: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "hloc — MinC compiler with the PLDI'97 aggressive inliner/cloner
+
+USAGE:
+  hloc build [OPTIONS] <file.mc>...
+  hloc opt [OPTIONS] <file.ir>         re-optimize dumped IR (isom-style)
+  hloc run <file.mc>... [--arg N]
+  hloc classify <file.mc>...
+
+BUILD OPTIONS:
+  --scope module|program   visibility scope (default: program)
+  --budget N               compile-time budget percent (default: 100)
+  --passes N               clone+inline passes (default: 4)
+  --no-inline              disable the inlining passes
+  --no-clone               disable the cloning passes
+  --outline                enable aggressive outlining (paper's future work)
+  --train N                profile-guided: training run with scale argument N
+  --arg N                  argument passed to main for --run/--sim (default 0)
+  --emit-ir PATH           write optimized IR text to PATH ('-' = stdout)
+  --run                    execute the optimized program on the VM
+  --trace N                with --run: print the first N executed instructions
+  --sim                    execute under the PA8000 model and print stats"
+    );
+}
+
+struct Parsed {
+    files: Vec<String>,
+    opts: hlo::HloOptions,
+    train: Option<i64>,
+    arg: i64,
+    emit_ir: Option<String>,
+    do_run: bool,
+    do_sim: bool,
+    trace: Option<u64>,
+}
+
+fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed {
+        files: Vec::new(),
+        opts: hlo::HloOptions::default(),
+        train: None,
+        arg: 0,
+        emit_ir: None,
+        do_run: false,
+        do_sim: false,
+        trace: None,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--scope" => {
+                p.opts.scope = match value("--scope")?.as_str() {
+                    "module" => hlo::Scope::WithinModule,
+                    "program" => hlo::Scope::CrossModule,
+                    other => return Err(format!("bad scope `{other}`")),
+                }
+            }
+            "--budget" => {
+                p.opts.budget_percent = value("--budget")?
+                    .parse()
+                    .map_err(|_| "bad --budget value".to_string())?
+            }
+            "--passes" => {
+                p.opts.passes = value("--passes")?
+                    .parse()
+                    .map_err(|_| "bad --passes value".to_string())?
+            }
+            "--no-inline" => p.opts.enable_inline = false,
+            "--no-clone" => p.opts.enable_clone = false,
+            "--outline" => p.opts.enable_outline = true,
+            "--train" => {
+                p.train = Some(
+                    value("--train")?
+                        .parse()
+                        .map_err(|_| "bad --train value".to_string())?,
+                )
+            }
+            "--arg" => {
+                p.arg = value("--arg")?
+                    .parse()
+                    .map_err(|_| "bad --arg value".to_string())?
+            }
+            "--emit-ir" => p.emit_ir = Some(value("--emit-ir")?),
+            "--trace" => {
+                p.trace = Some(
+                    value("--trace")?
+                        .parse()
+                        .map_err(|_| "bad --trace value".to_string())?,
+                )
+            }
+            "--run" => p.do_run = true,
+            "--sim" => p.do_sim = true,
+            f if !f.starts_with('-') => p.files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if p.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(p)
+}
+
+fn load_sources(files: &[String]) -> Result<Vec<(String, String)>, String> {
+    files
+        .iter()
+        .map(|f| {
+            let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+            let stem = std::path::Path::new(f)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(f)
+                .to_string();
+            Ok((stem, src))
+        })
+        .collect()
+}
+
+fn compile(files: &[String]) -> Result<ir::Program, String> {
+    let sources = load_sources(files)?;
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    frontc::compile(&refs).map_err(|e| e.to_string())
+}
+
+fn build(rest: &[String]) -> Result<(), String> {
+    let parsed = parse_build_args(rest)?;
+    let mut program = compile(&parsed.files)?;
+    let db = match parsed.train {
+        Some(train_arg) => {
+            let (db, out) =
+                profile::collect_profile(&program, &[train_arg], &vm::ExecOptions::default())
+                    .map_err(|e| format!("training run failed: {e}"))?;
+            eprintln!(
+                "training run: {} instructions, {} functions profiled",
+                out.retired,
+                db.len()
+            );
+            Some(db)
+        }
+        None => None,
+    };
+    let report = hlo::optimize(&mut program, db.as_ref(), &parsed.opts);
+    eprintln!("{report}");
+    if report.outlines > 0 {
+        eprintln!("outlined {} cold regions", report.outlines);
+    }
+    if let Some(path) = &parsed.emit_ir {
+        let text = ir::program_to_text(&program);
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    if parsed.do_run {
+        let out = run_maybe_traced(&program, parsed.arg, parsed.trace)?;
+        for v in &out.output {
+            println!("{v}");
+        }
+        eprintln!(
+            "exit value {} ({} instructions, checksum {:#x})",
+            out.ret, out.retired, out.checksum
+        );
+    }
+    if parsed.do_sim {
+        let (stats, out) = sim::simulate(
+            &program,
+            &[parsed.arg],
+            &vm::ExecOptions::default(),
+            &sim::MachineConfig::default(),
+        )
+        .map_err(|e| format!("simulation failed: {e}"))?;
+        eprintln!("exit value {}", out.ret);
+        eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+/// `hloc opt`: the isom-style path — load IR text previously written with
+/// `--emit-ir`, run HLO over it, and write/execute the result. Accepts
+/// the same options as `build` except training (profiles are carried in
+/// the IR text itself).
+fn opt_ir(rest: &[String]) -> Result<(), String> {
+    let parsed = parse_build_args(rest)?;
+    if parsed.files.len() != 1 {
+        return Err("`hloc opt` takes exactly one .ir file".to_string());
+    }
+    if parsed.train.is_some() {
+        return Err("`hloc opt` carries profiles in the IR; use --train with `build`".to_string());
+    }
+    let text = std::fs::read_to_string(&parsed.files[0])
+        .map_err(|e| format!("{}: {e}", parsed.files[0]))?;
+    let mut program = ir::parse_program_text(&text).map_err(|e| e.to_string())?;
+    ir::verify_program(&program).map_err(|e| format!("invalid IR: {e}"))?;
+    let report = hlo::optimize(&mut program, None, &parsed.opts);
+    eprintln!("{report}");
+    if let Some(path) = &parsed.emit_ir {
+        let out = ir::program_to_text(&program);
+        if path == "-" {
+            print!("{out}");
+        } else {
+            std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    if parsed.do_run {
+        let out = run_maybe_traced(&program, parsed.arg, parsed.trace)?;
+        for v in &out.output {
+            println!("{v}");
+        }
+        eprintln!(
+            "exit value {} ({} instructions, checksum {:#x})",
+            out.ret, out.retired, out.checksum
+        );
+    }
+    if parsed.do_sim {
+        let (stats, out) = sim::simulate(
+            &program,
+            &[parsed.arg],
+            &vm::ExecOptions::default(),
+            &sim::MachineConfig::default(),
+        )
+        .map_err(|e| format!("simulation failed: {e}"))?;
+        eprintln!("exit value {}", out.ret);
+        eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+fn run_maybe_traced(
+    program: &ir::Program,
+    arg: i64,
+    trace: Option<u64>,
+) -> Result<vm::ExecOutcome, String> {
+    let exec = vm::ExecOptions::default();
+    match trace {
+        Some(n) => {
+            let stderr = std::io::stderr().lock();
+            let mut t = vm::TraceMonitor::new(program, stderr, n);
+            vm::run_with_monitor(program, &[arg], &exec, &mut t)
+        }
+        None => vm::run_program(program, &[arg], &exec),
+    }
+    .map_err(|e| format!("run failed: {e}"))
+}
+
+fn run_plain(rest: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut arg = 0i64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arg" => {
+                arg = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "bad --arg".to_string())?
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    let program = compile(&files)?;
+    let out = vm::run_program(&program, &[arg], &vm::ExecOptions::default())
+        .map_err(|e| format!("run failed: {e}"))?;
+    for v in &out.output {
+        println!("{v}");
+    }
+    eprintln!(
+        "exit value {} ({} instructions, checksum {:#x})",
+        out.ret, out.retired, out.checksum
+    );
+    Ok(())
+}
+
+fn classify(rest: &[String]) -> Result<(), String> {
+    if rest.is_empty() {
+        return Err("no input files".to_string());
+    }
+    let program = compile(rest)?;
+    let c = analysis::classify_sites(&program);
+    println!("external      {:>6}", c.external);
+    println!("indirect      {:>6}", c.indirect);
+    println!("cross-module  {:>6}", c.cross_module);
+    println!("within-module {:>6}", c.within_module);
+    println!("recursive     {:>6}", c.recursive);
+    println!("total         {:>6}", c.total());
+    Ok(())
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the *Aggressive Inlining* (PLDI 1997) reproduction.
+//!
+//! This crate re-exports the whole workspace under stable module names so
+//! that examples, integration tests and downstream users can depend on one
+//! crate:
+//!
+//! * [`ir`] — the ucode-analogue intermediate representation.
+//! * [`analysis`] — call graph, loops, purity, call-site classification.
+//! * [`frontc`] — the MinC front end producing IR modules.
+//! * [`opt`] — the scalar optimizer HLO interleaves with its passes.
+//! * [`profile`] — profile database + collection (PBO substrate).
+//! * [`hlo`] — the paper's contribution: the budgeted, multi-pass,
+//!   cross-module inliner and cloner.
+//! * [`vm`] — the IR interpreter used for training runs and measurement.
+//! * [`sim`] — the PA8000-style machine model behind Figure 7.
+//! * [`suite`] — the 14 SPEC-shaped benchmark programs.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use hlo;
+pub use hlo_analysis as analysis;
+pub use hlo_frontc as frontc;
+pub use hlo_ir as ir;
+pub use hlo_opt as opt;
+pub use hlo_profile as profile;
+pub use hlo_sim as sim;
+pub use hlo_suite as suite;
+pub use hlo_vm as vm;

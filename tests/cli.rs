@@ -1,0 +1,123 @@
+//! End-to-end tests of the `hloc` command-line driver, including the
+//! isom-style dump → re-optimize → run pipeline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hloc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hloc"))
+}
+
+fn write_sources(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let lib = dir.join("mylib.mc");
+    let main = dir.join("app.mc");
+    std::fs::write(
+        &lib,
+        "fn triple(x) { return x * 3; }\nstatic fn unused_static() { return 0; }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &main,
+        "fn main(n) { var s = 0; for (var i = 0; i < 100; i = i + 1) { s = s + triple(i + n); } print_i64(s); return s; }\n",
+    )
+    .unwrap();
+    (lib, main)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hloc-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn build_run_produces_program_output() {
+    let dir = tmpdir("run");
+    let (lib, main) = write_sources(&dir);
+    let out = hloc()
+        .args(["build", "--run", "--arg", "1"])
+        .arg(&lib)
+        .arg(&main)
+        .output()
+        .expect("hloc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // sum of 3*(i+1) for i in 0..100 = 3 * (5050 + 50... ) compute: 3*sum(i+1)=3*5050=15150
+    assert_eq!(stdout.trim(), "15150");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("inlines"), "{stderr}");
+}
+
+#[test]
+fn emit_ir_then_opt_roundtrip() {
+    let dir = tmpdir("isom");
+    let (lib, main) = write_sources(&dir);
+    let ir_path = dir.join("app.ir");
+    // Dump unoptimized IR ("isom" file).
+    let out = hloc()
+        .args([
+            "build",
+            "--budget",
+            "0",
+            "--no-inline",
+            "--no-clone",
+            "--emit-ir",
+        ])
+        .arg(&ir_path)
+        .arg(&lib)
+        .arg(&main)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&ir_path)
+        .unwrap()
+        .starts_with("hlo-ir v1"));
+    // Link-time-style optimization of the stored IR.
+    let out = hloc()
+        .args(["opt", "--run", "--arg", "1"])
+        .arg(&ir_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "15150");
+}
+
+#[test]
+fn classify_prints_all_categories() {
+    let dir = tmpdir("classify");
+    let (lib, main) = write_sources(&dir);
+    let out = hloc().arg("classify").arg(&lib).arg(&main).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in ["external", "indirect", "cross-module", "within-module", "recursive", "total"] {
+        assert!(stdout.contains(label), "{stdout}");
+    }
+}
+
+#[test]
+fn bad_source_reports_position_and_fails() {
+    let dir = tmpdir("err");
+    let bad = dir.join("bad.mc");
+    std::fs::write(&bad, "fn broken( { }").unwrap();
+    let out = hloc().args(["build"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad:"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails_gracefully() {
+    let out = hloc().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = hloc().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["build", "opt", "run", "classify"] {
+        assert!(stdout.contains(cmd), "{stdout}");
+    }
+}

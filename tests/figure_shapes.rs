@@ -1,0 +1,93 @@
+//! Shape assertions for the paper's simulation study (Figure 7): the
+//! direction of each effect is tested, not just printed by the bench
+//! binaries. Uses the train input so the test stays fast in debug builds.
+
+use aggressive_inlining::{hlo, sim, suite, vm};
+use hlo::HloOptions;
+
+fn build(b: &suite::Benchmark, inline: bool, clone: bool) -> aggressive_inlining::ir::Program {
+    let mut p = b.compile().unwrap();
+    hlo::optimize(
+        &mut p,
+        None,
+        &HloOptions {
+            enable_inline: inline,
+            enable_clone: clone,
+            ..Default::default()
+        },
+    );
+    p
+}
+
+fn run(b: &suite::Benchmark, p: &aggressive_inlining::ir::Program) -> (sim::SimStats, i64) {
+    let (s, o) = sim::simulate(
+        p,
+        &[b.train_arg],
+        &vm::ExecOptions::default(),
+        &sim::MachineConfig::default(),
+    )
+    .unwrap();
+    (s, o.ret)
+}
+
+#[test]
+fn inlining_cuts_cycles_dcache_and_branches_on_m88ksim() {
+    let b = suite::benchmark("124.m88ksim").unwrap();
+    let neither = build(&b, false, false);
+    let inlined = build(&b, true, false);
+    let (s0, r0) = run(&b, &neither);
+    let (s1, r1) = run(&b, &inlined);
+    assert_eq!(r0, r1);
+    assert!(s1.cycles < s0.cycles, "{} !< {}", s1.cycles, s0.cycles);
+    assert!(
+        s1.dcache_accesses < s0.dcache_accesses,
+        "D$ accesses must collapse: {} !< {}",
+        s1.dcache_accesses,
+        s0.dcache_accesses
+    );
+    assert!(
+        s1.branches < s0.branches,
+        "branches must fall: {} !< {}",
+        s1.branches,
+        s0.branches
+    );
+    assert!(
+        s1.branch_miss_rate() <= s0.branch_miss_rate(),
+        "prediction must not degrade"
+    );
+    // The paper: similar miss *count* over fewer accesses => rate rises.
+    assert!(s1.dcache_miss_rate() >= s0.dcache_miss_rate());
+}
+
+#[test]
+fn icache_accesses_fall_with_inlining_on_li() {
+    let b = suite::benchmark("130.li").unwrap();
+    let neither = build(&b, false, false);
+    let inlined = build(&b, true, false);
+    let (s0, r0) = run(&b, &neither);
+    let (s1, r1) = run(&b, &inlined);
+    assert_eq!(r0, r1);
+    assert!(
+        s1.icache_accesses < s0.icache_accesses,
+        "fewer fetches after inlining: {} !< {}",
+        s1.icache_accesses,
+        s0.icache_accesses
+    );
+    assert!(s1.retired < s0.retired);
+}
+
+#[test]
+fn clone_only_is_roughly_neutral() {
+    // The paper: "Cloning by itself does not yield significant
+    // performance improvements" — and must not tank anything either.
+    for name in ["026.compress", "085.gcc"] {
+        let b = suite::benchmark(name).unwrap();
+        let neither = build(&b, false, false);
+        let cloned = build(&b, false, true);
+        let (s0, r0) = run(&b, &neither);
+        let (s1, r1) = run(&b, &cloned);
+        assert_eq!(r0, r1, "{name}");
+        let ratio = s1.cycles / s0.cycles;
+        assert!((0.85..=1.10).contains(&ratio), "{name}: {ratio}");
+    }
+}

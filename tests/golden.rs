@@ -1,0 +1,45 @@
+//! Golden outputs for the benchmark suite.
+//!
+//! The suite is the evaluation's ground truth: if a benchmark's behaviour
+//! drifts (an accidental edit, a VM semantics change, a front-end
+//! regression), every figure silently changes. These pinned values catch
+//! that. They are also what the optimizer's output is compared against —
+//! `retired` is intentionally NOT pinned for optimized builds, only for
+//! the unoptimized baseline.
+
+use aggressive_inlining::{suite, vm};
+
+/// (name, train-run return value, train-run checksum, train-run retired).
+const GOLDEN: &[(&str, i64, u64, u64)] = &[
+    ("008.espresso", 799, 0xcf24e9f44979458b, 1886311),
+    ("022.li", 39199600, 0x2538f58cb89b2830, 2917317),
+    ("023.eqntott", 2100, 0xdf1285a82f01dc44, 690364),
+    ("026.compress", 71647440, 0x461e79bf1d7ecc2c, 599961),
+    ("072.sc", 25332, 0x9790787d67e4e04, 212802),
+    ("085.gcc", 4214793681, 0x6d20cf6fa960d625, 497747),
+    ("099.go", 7947, 0x841fb1627d39dfe7, 1880300),
+    ("124.m88ksim", 3445483525, 0x20b75f66e1887469, 1162981),
+    ("126.gcc", 3475849690, 0x34ae5bb5199ffee2, 725120),
+    ("129.compress", 2116471223, 0x9fea1fce638fb50c, 950031),
+    ("130.li", 387660, 0xe5b2de04bf1083c, 823925),
+    ("132.ijpeg", 71317, 0x2aff41b40cdc3855, 1210941),
+    ("134.perl", 3155157329, 0x2ce2b50e6edab7a5, 214947),
+    ("147.vortex", 2427650897, 0x2a48970fb8b481a5, 547107),
+];
+
+#[test]
+fn train_runs_match_golden_values() {
+    for &(name, ret, checksum, retired) in GOLDEN {
+        let b = suite::benchmark(name).unwrap_or_else(|| panic!("missing {name}"));
+        let p = b.compile().unwrap();
+        let o = vm::run_program(&p, &[b.train_arg], &vm::ExecOptions::default()).unwrap();
+        assert_eq!(o.ret, ret, "{name} return value drifted");
+        assert_eq!(o.checksum, checksum, "{name} checksum drifted");
+        assert_eq!(o.retired, retired, "{name} baseline instruction count drifted");
+    }
+}
+
+#[test]
+fn golden_table_covers_the_whole_suite() {
+    assert_eq!(GOLDEN.len(), suite::all_benchmarks().len());
+}

@@ -1,0 +1,76 @@
+//! The textual IR format must round-trip every real program this
+//! repository can produce: all suite benchmarks, before and after
+//! aggressive optimization.
+
+use aggressive_inlining::{hlo, ir, suite};
+use proptest::prelude::*;
+
+#[test]
+fn suite_programs_roundtrip_unoptimized() {
+    for b in suite::all_benchmarks() {
+        let p = b.compile().unwrap();
+        let text = ir::program_to_text(&p);
+        let q = ir::parse_program_text(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(p, q, "{}", b.name);
+    }
+}
+
+#[test]
+fn suite_programs_roundtrip_optimized() {
+    // Optimized programs contain clones, promoted statics, dead husks and
+    // profile annotations — the format must carry all of it.
+    for b in suite::table1_benchmarks() {
+        let mut p = b.compile().unwrap();
+        hlo::optimize(&mut p, None, &hlo::HloOptions::default());
+        let text = ir::program_to_text(&p);
+        let q = ir::parse_program_text(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(p, q, "{}", b.name);
+        ir::verify_program(&q).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parser must never panic, whatever garbage it is fed —
+    /// including near-valid inputs made by mutating a real dump.
+    #[test]
+    fn parser_never_panics_on_mutated_input(
+        line_to_drop in 0usize..200,
+        splice_at in 0usize..2000,
+        junk in "[ -~]{0,40}",
+    ) {
+        let b = suite::benchmark("023.eqntott").unwrap();
+        let p = b.compile().unwrap();
+        let text = ir::program_to_text(&p);
+        // Mutation 1: drop a line.
+        let dropped: String = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != line_to_drop)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = ir::parse_program_text(&dropped);
+        // Mutation 2: splice junk into the middle.
+        let cut = splice_at.min(text.len());
+        let cut = (0..=cut).rev().find(|&c| text.is_char_boundary(c)).unwrap_or(0);
+        let spliced = format!("{}{}{}", &text[..cut], junk, &text[cut..]);
+        let _ = ir::parse_program_text(&spliced);
+    }
+}
+
+#[test]
+fn reloaded_programs_execute_identically() {
+    use aggressive_inlining::vm::{run_program, ExecOptions};
+    for name in ["022.li", "124.m88ksim"] {
+        let b = suite::benchmark(name).unwrap();
+        let mut p = b.compile().unwrap();
+        hlo::optimize(&mut p, None, &hlo::HloOptions::default());
+        let q = ir::parse_program_text(&ir::program_to_text(&p)).unwrap();
+        let a = run_program(&p, &[b.train_arg], &ExecOptions::default()).unwrap();
+        let c = run_program(&q, &[b.train_arg], &ExecOptions::default()).unwrap();
+        assert_eq!(a.ret, c.ret, "{name}");
+        assert_eq!(a.checksum, c.checksum, "{name}");
+        assert_eq!(a.retired, c.retired, "{name}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's §3.2 observation: "as more information is made available
+//! to the compiler, the quality of the code improves ... By and large,
+//! this monotonic improvement property holds for almost all programs."
+//!
+//! We assert the property in aggregate (geometric mean over the Table 1
+//! subset), not per program — the paper says "by and large", and single
+//! programs are allowed to wobble.
+
+use aggressive_inlining::{sim, suite, vm};
+use hlo_bench::{build, geomean, BuildKind};
+
+fn cycles(b: &suite::Benchmark, kind: BuildKind) -> f64 {
+    let r = build(b, kind, hlo::HloOptions::default());
+    let (stats, _) = sim::simulate(
+        &r.program,
+        &[b.ref_arg],
+        &vm::ExecOptions::default(),
+        &sim::MachineConfig::default(),
+    )
+    .expect("ref run");
+    stats.cycles
+}
+
+#[test]
+fn scope_improvements_are_monotonic_in_aggregate() {
+    let benches = suite::table1_benchmarks();
+    let mut base = Vec::new();
+    let mut cross = Vec::new();
+    let mut prof = Vec::new();
+    let mut cp = Vec::new();
+    for b in &benches {
+        base.push(cycles(b, BuildKind::Base));
+        cross.push(cycles(b, BuildKind::Cross));
+        prof.push(cycles(b, BuildKind::Profile));
+        cp.push(cycles(b, BuildKind::CrossProfile));
+    }
+    let (g_base, g_cross, g_prof, g_cp) = (
+        geomean(&base),
+        geomean(&cross),
+        geomean(&prof),
+        geomean(&cp),
+    );
+    // Allow 2% slack per comparison: "by and large".
+    let slack = 1.02;
+    assert!(
+        g_cross <= g_base * slack,
+        "cross-module must not lose: {g_cross} vs {g_base}"
+    );
+    assert!(
+        g_cp <= g_cross * slack,
+        "cp must not lose to cross: {g_cp} vs {g_cross}"
+    );
+    assert!(
+        g_cp <= g_prof * slack,
+        "cp must not lose to profile: {g_cp} vs {g_prof}"
+    );
+    assert!(
+        g_cp < g_base,
+        "full scope must beat the base: {g_cp} vs {g_base}"
+    );
+}
+
+#[test]
+fn optimization_rarely_lowers_performance() {
+    // The abstract's claim: "very rarely lowers performance". Require
+    // that no benchmark regresses more than 5% under the full build.
+    for b in suite::all_benchmarks() {
+        let neither = build(
+            &b,
+            BuildKind::CrossProfile,
+            hlo::HloOptions {
+                enable_inline: false,
+                enable_clone: false,
+                ..Default::default()
+            },
+        );
+        let full = build(&b, BuildKind::CrossProfile, hlo::HloOptions::default());
+        let opts = vm::ExecOptions::default();
+        let machine = sim::MachineConfig::default();
+        let (s0, _) = sim::simulate(&neither.program, &[b.ref_arg], &opts, &machine).unwrap();
+        let (s1, _) = sim::simulate(&full.program, &[b.ref_arg], &opts, &machine).unwrap();
+        assert!(
+            s1.cycles <= s0.cycles * 1.05,
+            "{} regressed: {} -> {}",
+            b.name,
+            s0.cycles,
+            s1.cycles
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Code-positioning integration: block straightening must reduce the
+//! machine model's retired-instruction count (fall-through elision)
+//! without changing program results, and procedure positioning must
+//! produce valid layouts for optimized programs.
+
+use aggressive_inlining::{analysis, hlo, ir, profile, sim, suite, vm};
+
+#[test]
+fn straightening_reduces_simulated_instructions() {
+    let b = suite::benchmark("085.gcc").unwrap();
+    let p0 = b.compile().unwrap();
+    let (db, _) =
+        profile::collect_profile(&p0, &[b.train_arg], &vm::ExecOptions::default()).unwrap();
+
+    let build = |straighten: bool| {
+        let mut p = p0.clone();
+        hlo::optimize(
+            &mut p,
+            Some(&db),
+            &hlo::HloOptions {
+                enable_straighten: straighten,
+                ..Default::default()
+            },
+        );
+        p
+    };
+    let plain = build(false);
+    let straightened = build(true);
+    let exec = vm::ExecOptions::default();
+    let machine = sim::MachineConfig::default();
+    let (s0, o0) = sim::simulate(&plain, &[b.train_arg], &exec, &machine).unwrap();
+    let (s1, o1) = sim::simulate(&straightened, &[b.train_arg], &exec, &machine).unwrap();
+    assert_eq!(o0.ret, o1.ret);
+    assert_eq!(o0.checksum, o1.checksum);
+    // The VM retires the same instructions either way...
+    assert_eq!(o0.retired, o1.retired);
+    // ...but the machine model elides fall-through jumps.
+    assert!(
+        s1.retired < s0.retired,
+        "straightening should elide jumps: {} vs {}",
+        s1.retired,
+        s0.retired
+    );
+    assert!(s1.cycles <= s0.cycles * 1.01);
+}
+
+#[test]
+fn procedure_positioning_layout_is_valid_for_optimized_programs() {
+    for name in ["124.m88ksim", "147.vortex"] {
+        let b = suite::benchmark(name).unwrap();
+        let mut p = b.compile().unwrap();
+        hlo::optimize(&mut p, None, &hlo::HloOptions::default());
+        let cg = analysis::CallGraph::build(&p);
+        let order = analysis::procedure_order(&p, &cg);
+        assert_eq!(order.len(), p.funcs.len(), "{name}");
+        let layout = ir::CodeLayout::with_order(&p, &order);
+        // Every live function occupies a disjoint, nonzero range.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (id, f) in p.iter_funcs() {
+            if p.module(f.module).funcs.contains(&id) {
+                let fl = layout.func(id);
+                assert!(fl.bytes > 0, "{name}: live function with no code");
+                ranges.push((fl.base, fl.base + fl.bytes));
+            }
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{name}: overlapping placements");
+        }
+        // And the PGO layout executes identically.
+        let exec = vm::ExecOptions::default();
+        let machine = sim::MachineConfig::default();
+        let (_, o_mod) = sim::simulate(&p, &[b.train_arg], &exec, &machine).unwrap();
+        let (_, o_pgo) =
+            sim::simulate_with_layout(&p, &[b.train_arg], &exec, &machine, layout).unwrap();
+        assert_eq!(o_mod.ret, o_pgo.ret, "{name}");
+    }
+}

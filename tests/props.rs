@@ -1,0 +1,284 @@
+//! Property-based testing: random (guaranteed-terminating) MinC programs
+//! must behave identically before and after any combination of HLO
+//! options. This hunts for miscompiles the hand-written suite misses.
+
+use aggressive_inlining::{frontc, hlo, vm};
+use proptest::prelude::*;
+
+/// Expression tree over two params, four locals, two global scalars and
+/// two global arrays. Rendering guards every division.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i8),
+    Param(u8),
+    Local(u8),
+    Global(u8),
+    ArrIdx(u8, Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    DivSafe(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    /// Call to an earlier function (index folded modulo the caller's
+    /// position to keep the call graph acyclic → termination).
+    Call(u8, Box<E>, Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    AssignLocal(u8, E),
+    AssignGlobal(u8, E),
+    AssignArr(u8, E, E),
+    If(E, Vec<S>, Vec<S>),
+    /// Bounded loop of 1..=6 iterations.
+    For(u8, Vec<S>),
+    Sink(E),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(E::Const),
+        (0u8..2).prop_map(E::Param),
+        (0u8..4).prop_map(E::Local),
+        (0u8..2).prop_map(E::Global),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (0u8..2, inner.clone()).prop_map(|(a, e)| E::ArrIdx(a, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::DivSafe(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..7).prop_map(|(a, k)| E::Shl(Box::new(a), k)),
+            (any::<u8>(), inner.clone(), inner).prop_map(|(t, a, b)| E::Call(
+                t,
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let simple = prop_oneof![
+        (0u8..4, expr_strategy()).prop_map(|(l, x)| S::AssignLocal(l, x)),
+        (0u8..2, expr_strategy()).prop_map(|(g, x)| S::AssignGlobal(g, x)),
+        (0u8..2, expr_strategy(), expr_strategy()).prop_map(|(a, i, v)| S::AssignArr(a, i, v)),
+        expr_strategy().prop_map(S::Sink),
+    ];
+    simple.prop_recursive(2, 12, 4, move |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            (expr_strategy(), block.clone(), block.clone())
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            ((1u8..=6), block).prop_map(|(n, b)| S::For(n, b)),
+        ]
+    })
+}
+
+struct Render {
+    loop_counter: usize,
+}
+
+impl Render {
+    fn expr(&mut self, e: &E, fn_idx: usize, out: &mut String) {
+        match e {
+            E::Const(v) => out.push_str(&format!("({v})")),
+            E::Param(p) => out.push_str(&format!("p{p}")),
+            E::Local(l) => out.push_str(&format!("l{l}")),
+            E::Global(g) => out.push_str(&format!("g{g}")),
+            E::ArrIdx(a, i) => {
+                out.push_str(&format!("arr{a}[("));
+                self.expr(i, fn_idx, out);
+                out.push_str(") & 15]");
+            }
+            E::Add(a, b) => self.bin(a, "+", b, fn_idx, out),
+            E::Sub(a, b) => self.bin(a, "-", b, fn_idx, out),
+            E::Mul(a, b) => self.bin(a, "*", b, fn_idx, out),
+            E::Xor(a, b) => self.bin(a, "^", b, fn_idx, out),
+            E::Lt(a, b) => self.bin(a, "<", b, fn_idx, out),
+            E::DivSafe(a, b) => {
+                out.push('(');
+                self.expr(a, fn_idx, out);
+                out.push_str(") / (((");
+                self.expr(b, fn_idx, out);
+                out.push_str(") & 7) + 1)");
+            }
+            E::Shl(a, k) => {
+                out.push_str("((");
+                self.expr(a, fn_idx, out);
+                out.push_str(&format!(") << {k})"));
+            }
+            E::Call(t, a, b) => {
+                if fn_idx == 0 {
+                    // No earlier function to call; degrade to addition.
+                    self.bin(a, "+", b, fn_idx, out);
+                } else {
+                    let target = (*t as usize) % fn_idx;
+                    out.push_str(&format!("f{target}("));
+                    self.expr(a, fn_idx, out);
+                    out.push_str(", ");
+                    self.expr(b, fn_idx, out);
+                    out.push(')');
+                }
+            }
+        }
+    }
+
+    fn bin(&mut self, a: &E, op: &str, b: &E, fn_idx: usize, out: &mut String) {
+        out.push('(');
+        self.expr(a, fn_idx, out);
+        out.push_str(&format!(") {op} ("));
+        self.expr(b, fn_idx, out);
+        out.push(')');
+    }
+
+    fn stmt(&mut self, s: &S, fn_idx: usize, out: &mut String) {
+        match s {
+            S::AssignLocal(l, e) => {
+                out.push_str(&format!("l{l} = "));
+                self.expr(e, fn_idx, out);
+                out.push_str(";\n");
+            }
+            S::AssignGlobal(g, e) => {
+                out.push_str(&format!("g{g} = "));
+                self.expr(e, fn_idx, out);
+                out.push_str(";\n");
+            }
+            S::AssignArr(a, i, v) => {
+                out.push_str(&format!("arr{a}[("));
+                self.expr(i, fn_idx, out);
+                out.push_str(") & 15] = ");
+                self.expr(v, fn_idx, out);
+                out.push_str(";\n");
+            }
+            S::If(c, t, f) => {
+                out.push_str("if (");
+                self.expr(c, fn_idx, out);
+                out.push_str(") {\n");
+                for s in t {
+                    self.stmt(s, fn_idx, out);
+                }
+                out.push_str("} else {\n");
+                for s in f {
+                    self.stmt(s, fn_idx, out);
+                }
+                out.push_str("}\n");
+            }
+            S::For(n, body) => {
+                let v = format!("it{}", self.loop_counter);
+                self.loop_counter += 1;
+                out.push_str(&format!(
+                    "for (var {v} = 0; {v} < {n}; {v} = {v} + 1) {{\n"
+                ));
+                for s in body {
+                    self.stmt(s, fn_idx, out);
+                }
+                out.push_str("}\n");
+            }
+            S::Sink(e) => {
+                out.push_str("sink(");
+                self.expr(e, fn_idx, out);
+                out.push_str(");\n");
+            }
+        }
+    }
+}
+
+/// Renders a full two-module program from generated function bodies.
+fn render_program(funcs: &[Vec<S>]) -> Vec<(String, String)> {
+    let mut lib = String::from(
+        "global g0;\nglobal g1;\nglobal arr0[16];\nglobal arr1[16] = {1,2,3,4};\n",
+    );
+    let mut drv = String::new();
+    let mut r = Render { loop_counter: 0 };
+    for (i, body) in funcs.iter().enumerate() {
+        // Alternate modules so cross-module sites appear.
+        let out = if i % 2 == 0 { &mut lib } else { &mut drv };
+        out.push_str(&format!("fn f{i}(p0, p1) {{\n"));
+        out.push_str("var l0 = p0;\nvar l1 = p1 ^ 3;\nvar l2 = 0;\nvar l3 = 1;\n");
+        for s in body {
+            r.stmt(s, i, out);
+        }
+        out.push_str("return (l0 + l1) ^ (l2 + l3);\n}\n");
+    }
+    drv.push_str("fn main() {\nvar h = 0;\n");
+    for i in 0..funcs.len() {
+        drv.push_str(&format!("h = h * 31 + f{i}({}, {});\n", i * 7 + 1, 13 - i as i64));
+    }
+    drv.push_str("sink(h);\nreturn h;\n}\n");
+    vec![("lib".to_string(), lib), ("driver".to_string(), drv)]
+}
+
+fn options_strategy() -> impl Strategy<Value = hlo::HloOptions> {
+    (
+        prop::bool::ANY,
+        prop_oneof![Just(0u64), Just(25), Just(100), Just(1000)],
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop_oneof![Just(None), (0u64..6).prop_map(Some)],
+        prop::bool::ANY,
+    )
+        .prop_map(|(cross, budget, inline, clone, max_ops, cold)| hlo::HloOptions {
+            scope: if cross {
+                hlo::Scope::CrossModule
+            } else {
+                hlo::Scope::WithinModule
+            },
+            budget_percent: budget,
+            enable_inline: inline,
+            enable_clone: clone,
+            max_ops,
+            cold_site_penalty: cold,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimization_preserves_random_programs(
+        funcs in prop::collection::vec(prop::collection::vec(stmt_strategy(), 0..5), 1..5),
+        opts in options_strategy(),
+    ) {
+        let sources = render_program(&funcs);
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let p0 = frontc::compile(&refs).expect("generated program must parse");
+        aggressive_inlining::ir::verify_program(&p0).expect("generated program must verify");
+        let exec = vm::ExecOptions { fuel: 1 << 24, ..Default::default() };
+        let before = vm::run_program(&p0, &[], &exec).expect("generated program must terminate");
+
+        let mut p = p0.clone();
+        hlo::optimize(&mut p, None, &opts);
+        aggressive_inlining::ir::verify_program(&p).expect("optimized program must verify");
+        let after = vm::run_program(&p, &[], &exec).expect("optimized program must terminate");
+        prop_assert_eq!(before.ret, after.ret);
+        prop_assert_eq!(before.checksum, after.checksum);
+    }
+
+    #[test]
+    fn scalar_optimizer_alone_preserves_random_programs(
+        funcs in prop::collection::vec(prop::collection::vec(stmt_strategy(), 0..5), 1..4),
+    ) {
+        let sources = render_program(&funcs);
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let p0 = frontc::compile(&refs).expect("parses");
+        let exec = vm::ExecOptions { fuel: 1 << 24, ..Default::default() };
+        let before = vm::run_program(&p0, &[], &exec).expect("terminates");
+        let mut p = p0.clone();
+        aggressive_inlining::opt::optimize_program(&mut p);
+        aggressive_inlining::ir::verify_program(&p).expect("verifies");
+        let after = vm::run_program(&p, &[], &exec).expect("terminates");
+        prop_assert_eq!(before.ret, after.ret);
+        prop_assert_eq!(before.checksum, after.checksum);
+        prop_assert!(after.retired <= before.retired);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end semantic preservation: every suite benchmark must produce
+//! identical results before and after HLO, across scopes and option
+//! combinations. This is the repository's ground-truth correctness test.
+
+use aggressive_inlining::{hlo, profile, suite, vm};
+use hlo::{HloOptions, Scope};
+use vm::{run_program, ExecOptions};
+
+fn check(b: &suite::Benchmark, opts: &HloOptions, db: Option<&profile::ProfileDb>) {
+    let p0 = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let exec = ExecOptions::default();
+    let before = run_program(&p0, &[b.train_arg], &exec).unwrap();
+    let mut p = p0.clone();
+    hlo::optimize(&mut p, db, opts);
+    aggressive_inlining::ir::verify_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let after = run_program(&p, &[b.train_arg], &exec).unwrap();
+    assert_eq!(before.ret, after.ret, "{} ret ({:?})", b.name, opts.scope);
+    assert_eq!(
+        before.checksum, after.checksum,
+        "{} checksum ({:?})",
+        b.name, opts.scope
+    );
+    assert_eq!(before.output, after.output, "{} output", b.name);
+}
+
+#[test]
+fn all_benchmarks_cross_module() {
+    for b in suite::all_benchmarks() {
+        check(&b, &HloOptions::default(), None);
+    }
+}
+
+#[test]
+fn all_benchmarks_within_module() {
+    for b in suite::all_benchmarks() {
+        check(
+            &b,
+            &HloOptions {
+                scope: Scope::WithinModule,
+                ..Default::default()
+            },
+            None,
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_profile_guided() {
+    for b in suite::all_benchmarks() {
+        let train = b.compile().unwrap();
+        let (db, _) =
+            profile::collect_profile(&train, &[b.train_arg], &ExecOptions::default()).unwrap();
+        check(&b, &HloOptions::default(), Some(&db));
+    }
+}
+
+#[test]
+fn all_benchmarks_huge_budget() {
+    // Budget 1000 (Figure 8's most aggressive point) must stay correct.
+    for b in suite::all_benchmarks() {
+        check(
+            &b,
+            &HloOptions {
+                budget_percent: 1000,
+                ..Default::default()
+            },
+            None,
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_inline_only_and_clone_only() {
+    for b in suite::all_benchmarks() {
+        check(
+            &b,
+            &HloOptions {
+                enable_clone: false,
+                ..Default::default()
+            },
+            None,
+        );
+        check(
+            &b,
+            &HloOptions {
+                enable_inline: false,
+                ..Default::default()
+            },
+            None,
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_partial_operation_counts() {
+    // Stopping the optimizer mid-flight (Figure 8's knob) must never
+    // break a program, at any cut point.
+    for b in suite::table1_benchmarks() {
+        for k in [1, 3, 7] {
+            check(
+                &b,
+                &HloOptions {
+                    max_ops: Some(k),
+                    ..Default::default()
+                },
+                None,
+            );
+        }
+    }
+}
+
+#[test]
+fn ref_input_preserved_on_selected_benchmarks() {
+    // The heavier check on the ref workload, for a subset.
+    for name in ["022.li", "124.m88ksim", "147.vortex"] {
+        let b = suite::benchmark(name).unwrap();
+        let p0 = b.compile().unwrap();
+        let exec = ExecOptions::default();
+        let before = run_program(&p0, &[b.ref_arg], &exec).unwrap();
+        let mut p = p0.clone();
+        hlo::optimize(&mut p, None, &HloOptions::default());
+        let after = run_program(&p, &[b.ref_arg], &exec).unwrap();
+        assert_eq!(before.ret, after.ret, "{name}");
+        assert_eq!(before.checksum, after.checksum, "{name}");
+    }
+}
