@@ -81,7 +81,11 @@ mod tests {
         let exit = fb.new_block();
         fb.jump(entry, headers[0]);
         for i in 0..6 {
-            let next = if i + 1 < 6 { headers[i + 1] } else { headers[5] };
+            let next = if i + 1 < 6 {
+                headers[i + 1]
+            } else {
+                headers[5]
+            };
             let back = if i == 5 { headers[0] } else { exit };
             // innermost: self loop to headers[0] keeps all nested
             let _ = back;

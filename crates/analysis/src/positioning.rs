@@ -80,13 +80,7 @@ pub fn procedure_order(p: &Program, cg: &CallGraph) -> Vec<FuncId> {
     // Emit chains by total weight? Classic PH emits by density; we emit
     // hottest-entry-first: chains containing hotter functions first, then
     // leftovers. Hotness of a chain = max entry count of its members.
-    let hot = |f: FuncId| {
-        p.func(f)
-            .profile
-            .as_ref()
-            .map(|pr| pr.entry)
-            .unwrap_or(0.0)
-    };
+    let hot = |f: FuncId| p.func(f).profile.as_ref().map(|pr| pr.entry).unwrap_or(0.0);
     let mut chain_ids: Vec<usize> = (0..n).filter(|&c| !chains[c].is_empty()).collect();
     chain_ids.sort_by(|&x, &y| {
         let hx = chains[x].iter().map(|&f| hot(f)).fold(0.0, f64::max);

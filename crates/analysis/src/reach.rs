@@ -28,8 +28,8 @@ pub fn reachable_funcs(p: &Program, cg: &CallGraph, statics_only_roots: bool) ->
         push(e, &mut reachable, &mut work);
     }
     for (id, f) in p.iter_funcs() {
-        let is_root = (!statics_only_roots && f.linkage == Linkage::Public)
-            || cg.address_taken[id.index()];
+        let is_root =
+            (!statics_only_roots && f.linkage == Linkage::Public) || cg.address_taken[id.index()];
         if is_root {
             push(id, &mut reachable, &mut work);
         }
@@ -60,8 +60,11 @@ mod tests {
         main.call_void(e, FuncId(1), vec![]);
         main.ret(e, None);
         pb.add_function(main.finish(Linkage::Public, Type::Void));
-        for (name, link) in [("a", Linkage::Static), ("b", Linkage::Public), ("c", Linkage::Static)]
-        {
+        for (name, link) in [
+            ("a", Linkage::Static),
+            ("b", Linkage::Public),
+            ("c", Linkage::Static),
+        ] {
             let mut f = FunctionBuilder::new(name, m, 0);
             let e = f.entry_block();
             f.ret(e, None);

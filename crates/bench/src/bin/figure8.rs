@@ -15,7 +15,10 @@ const POINTS: u64 = 12;
 fn main() {
     let b = hlo_suite::benchmark("022.li").expect("suite has 022.li");
     println!("Figure 8: incremental benefit of operations on 022.li");
-    println!("{:>7} {:>8} {:>14} {:>10}", "budget", "ops", "run(cycles)", "speedup");
+    println!(
+        "{:>7} {:>8} {:>14} {:>10}",
+        "budget", "ops", "run(cycles)", "speedup"
+    );
     hlo_bench::rule(44);
     for budget in BUDGETS {
         let opts = |max_ops| HloOptions {

@@ -127,8 +127,8 @@ pub fn measure(b: &Benchmark, program: &Program) -> SimStats {
 /// # Panics
 /// Panics if the run traps (a suite bug).
 pub fn measure_with(b: &Benchmark, program: &Program, machine: &MachineConfig) -> SimStats {
-    let (stats, _) = simulate(program, &[b.ref_arg], &ExecOptions::default(), machine)
-        .expect("ref run");
+    let (stats, _) =
+        simulate(program, &[b.ref_arg], &ExecOptions::default(), machine).expect("ref run");
     stats
 }
 

@@ -22,10 +22,7 @@ pub struct CloneSpec {
 impl CloneSpec {
     /// The constant bound to parameter `i`, if any.
     pub fn binding(&self, i: u32) -> Option<ConstVal> {
-        self.bindings
-            .iter()
-            .find(|(p, _)| *p == i)
-            .map(|(_, c)| *c)
+        self.bindings.iter().find(|(p, _)| *p == i).map(|(_, c)| *c)
     }
 }
 
@@ -77,7 +74,7 @@ pub(crate) fn param_usage(f: &Function) -> Vec<f64> {
                     let with_const =
                         matches!(a, Operand::Const(_)) || matches!(b, Operand::Const(_));
                     let base = match (cmp, with_const) {
-                        (true, true) => 6.0,  // foldable test: kills a branch
+                        (true, true) => 6.0, // foldable test: kills a branch
                         (true, false) => 1.0,
                         (false, true) => 2.0, // foldable arithmetic
                         (false, false) => 0.5,
@@ -250,7 +247,11 @@ pub fn clone_pass(
 
     // Rank by benefit and select under the stage budget (Figure 3
     // "select clones").
-    groups.sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).unwrap_or(std::cmp::Ordering::Equal));
+    groups.sort_by(|a, b| {
+        b.benefit
+            .partial_cmp(&a.benefit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     for g in groups {
         if let Some(0) = ops_left {

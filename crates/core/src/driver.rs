@@ -7,6 +7,7 @@ use crate::inliner::inline_pass;
 use crate::report::{HloReport, PassReport};
 use hlo_analysis::estimate_static_profile;
 use hlo_ir::{FuncProfile, Program};
+use hlo_lint::{CheckLevel, Checker};
 use hlo_profile::{apply_profile, ProfileDb};
 
 /// Compilation visibility: the paper's per-module path vs the link-time
@@ -55,6 +56,12 @@ pub struct HloOptions {
     pub enable_straighten: bool,
     /// Outlining thresholds (used when `enable_outline` is set).
     pub outline: crate::OutlineOptions,
+    /// Verify-each: how much pass-boundary checking to run. At
+    /// [`CheckLevel::Structural`] the structural verifier runs after every
+    /// transform stage; at [`CheckLevel::Strict`] the full `hlo-lint`
+    /// battery runs too, and every new finding is attributed to the stage
+    /// that introduced it. Off (and free) by default.
+    pub check: CheckLevel,
 }
 
 impl Default for HloOptions {
@@ -72,6 +79,7 @@ impl Default for HloOptions {
             enable_outline: false,
             enable_straighten: true,
             outline: crate::OutlineOptions::default(),
+            check: CheckLevel::Off,
         }
     }
 }
@@ -82,6 +90,11 @@ impl Default for HloOptions {
 /// hit (Figure 2's `WHILE (C < B AND P < limit)`).
 pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions) -> HloReport {
     let mut report = HloReport::default();
+
+    // Verify-each: record the input program's pre-existing defects first,
+    // so every later boundary only reports what a stage *introduced*.
+    let mut ck = Checker::new(opts.check);
+    ck.baseline(p);
 
     // Frequency annotation: PBO counts when available, the static
     // loop-depth heuristic otherwise. With a profile database, functions
@@ -103,19 +116,22 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
             }
         }
     }
+    ck.check(p, "annotate");
 
     // Input-stage cleanup: classic optimizations "mainly to reduce size",
     // plus interprocedural side-effect deletion on the link-time path.
-    report.pure_calls_removed += optimize_all(p, opts.scope);
+    report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
     report.deletions += delete_unreachable(p, opts.scope);
+    ck.check(p, "delete");
 
     // Optional aggressive outlining (paper §5): shrink hot routines by
     // extracting cold return paths before any budget is computed, so the
     // freed budget goes to inlining the hot code.
     if opts.enable_outline {
         report.outlines = crate::outline_cold_regions(p, &opts.outline);
+        ck.check(p, "outline");
         if report.outlines > 0 {
-            report.pure_calls_removed += optimize_all(p, opts.scope);
+            report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
         }
     }
 
@@ -143,14 +159,18 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
             pr.clones_created = r.clones_created;
             pr.clones_reused = r.clones_reused;
             pr.clone_replacements = r.sites_replaced;
+            ck.check(p, &format!("clone@{pass}"));
         }
         if opts.enable_inline {
             let r = inline_pass(p, &mut budget, pass, opts, &mut ops_left);
             pr.inlines = r.inlines;
+            ck.check(p, &format!("inline@{pass}"));
         }
         pr.deletions = delete_unreachable(p, opts.scope);
-        report.pure_calls_removed += optimize_all(p, opts.scope);
+        ck.check(p, &format!("delete@{pass}"));
+        report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
         pr.deletions += delete_unreachable(p, opts.scope);
+        ck.check(p, &format!("cleanup@{pass}"));
         budget.recalibrate(p.compile_cost());
         pr.cost_after = budget.current();
 
@@ -168,23 +188,30 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
     // replace jumps (does not change VM semantics, only layout quality).
     if opts.enable_straighten {
         report.straightened = hlo_opt::straighten::straighten_program(p);
+        ck.check(p, "straighten");
     }
 
     report.final_cost = p.compile_cost();
+    report.checks_run = ck.checks_run();
+    report.lint_time_us = ck.elapsed().as_micros() as u64;
+    report.diagnostics = ck.into_report().diags;
     report
 }
 
 /// Optimizes every live function; on the whole-program path also deletes
-/// calls to side-effect-free routines. Returns pure calls removed.
-fn optimize_all(p: &mut Program, scope: Scope) -> u64 {
+/// calls to side-effect-free routines. Returns pure calls removed. In
+/// verify-each mode the checker runs after every scalar sub-pass, so
+/// findings carry sub-pass origins like `cse` or `simplify_cfg`.
+fn optimize_all(p: &mut Program, scope: Scope, ck: &mut Checker) -> u64 {
     for f in &mut p.funcs {
-        hlo_opt::optimize_function(f);
+        hlo_opt::optimize_function_checked(f, ck);
     }
     if scope == Scope::CrossModule {
         let n = hlo_opt::pure_calls::eliminate_pure_calls(p);
+        ck.check(p, "pure_calls");
         if n > 0 {
             for f in &mut p.funcs {
-                hlo_opt::optimize_function(f);
+                hlo_opt::optimize_function_checked(f, ck);
             }
         }
         n
@@ -371,10 +398,7 @@ mod tests {
         assert!(report.deletions >= 1, "{report}");
         // module list no longer contains `once`
         let m = &p.modules[0];
-        assert!(m
-            .funcs
-            .iter()
-            .all(|&f| p.func(f).name != "once"));
+        assert!(m.funcs.iter().all(|&f| p.func(f).name != "once"));
     }
 
     #[test]

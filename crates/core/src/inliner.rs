@@ -339,10 +339,7 @@ mod tests {
 
     #[test]
     fn zero_budget_inlines_nothing() {
-        let src = &[(
-            "m",
-            "fn f(x) { return x + 1; } fn main() { return f(1); }",
-        )];
+        let src = &[("m", "fn f(x) { return x + 1; } fn main() { return f(1); }")];
         let mut p = hlo_frontc::compile(src).unwrap();
         annotate(&mut p);
         let c0 = p.compile_cost();

@@ -2,8 +2,8 @@
 //! restrictions (§2.4, and the cloning legality tests of §2.3).
 
 use crate::driver::Scope;
-use hlo_ir::{Callee, Inst, Program, Type};
 use hlo_analysis::CallSiteRef;
+use hlo_ir::{Callee, Inst, Program, Type};
 
 /// Why a call site may not be inlined or cloned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,11 +160,8 @@ mod tests {
 
     #[test]
     fn clean_site_is_unrestricted() {
-        let p = hlo_frontc::compile(&[(
-            "m",
-            "fn f(x) { return x; } fn main() { return f(1); }",
-        )])
-        .unwrap();
+        let p = hlo_frontc::compile(&[("m", "fn f(x) { return x; } fn main() { return f(1); }")])
+            .unwrap();
         let s = site_of(&p, "main", 0);
         assert_eq!(inline_restriction(&p, &s, Scope::CrossModule), None);
         assert_eq!(clone_restriction(&p, &s, Scope::CrossModule), None);
@@ -190,11 +187,8 @@ mod tests {
 
     #[test]
     fn void_result_use_is_type_mismatch() {
-        let p = hlo_frontc::compile(&[(
-            "m",
-            "fn v(x) { sink(x); } fn main() { return v(1); }",
-        )])
-        .unwrap();
+        let p = hlo_frontc::compile(&[("m", "fn v(x) { sink(x); } fn main() { return v(1); }")])
+            .unwrap();
         let s = site_of(&p, "main", 0);
         assert_eq!(
             inline_restriction(&p, &s, Scope::CrossModule),

@@ -57,6 +57,7 @@ pub use budget::Budget;
 pub use cloner::{CloneDb, CloneSpec};
 pub use delete::delete_unreachable;
 pub use driver::{optimize, HloOptions, Scope};
+pub use hlo_lint::{CheckLevel, Checker, Diagnostic, LintReport, Severity};
 pub use inliner::inline_pass;
 pub use legality::{clone_restriction, inline_restriction, Restriction};
 pub use outline::{outline_cold_regions, OutlineOptions};

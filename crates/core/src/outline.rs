@@ -130,7 +130,8 @@ fn find_region(f: &Function, opts: &OutlineOptions) -> Option<Region> {
                     stack.push(s);
                 }
             }
-            if block.successors().is_empty() && !matches!(block.insts.last(), Some(Inst::Ret { .. }))
+            if block.successors().is_empty()
+                && !matches!(block.insts.last(), Some(Inst::Ret { .. }))
             {
                 continue 'heads;
             }
@@ -295,8 +296,7 @@ mod tests {
     }
 
     fn annotate_from_training(p: &mut Program) {
-        let (db, _) =
-            hlo_profile::collect_profile(p, &[], &ExecOptions::default()).unwrap();
+        let (db, _) = hlo_profile::collect_profile(p, &[], &ExecOptions::default()).unwrap();
         hlo_profile::apply_profile(p, &db);
     }
 

@@ -47,6 +47,14 @@ pub struct HloReport {
     pub budget_limit: u64,
     /// Per-pass breakdown.
     pub passes: Vec<PassReport>,
+    /// Verify-each findings (empty when `HloOptions::check` is off, and on
+    /// a healthy pipeline also when it is on). Findings with origin
+    /// `"input"` were present before any pass ran.
+    pub diagnostics: Vec<hlo_lint::Diagnostic>,
+    /// How many pass boundaries the verify-each checker inspected.
+    pub checks_run: u32,
+    /// Time spent in verify-each batteries, in microseconds.
+    pub lint_time_us: u64,
 }
 
 impl HloReport {
@@ -62,6 +70,14 @@ impl HloReport {
     pub fn operations(&self) -> u64 {
         self.inlines + self.clone_replacements
     }
+
+    /// Verify-each findings attributed to a pipeline stage (excluding
+    /// defects already present in the input program).
+    pub fn introduced_diagnostics(&self) -> impl Iterator<Item = &hlo_lint::Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.pass_origin.as_deref() != Some(hlo_lint::INPUT_ORIGIN))
+    }
 }
 
 impl std::fmt::Display for HloReport {
@@ -69,14 +85,30 @@ impl std::fmt::Display for HloReport {
         writeln!(
             f,
             "HLO: {} inlines, {} clones ({} repls), {} deletions, {} pure calls removed",
-            self.inlines, self.clones, self.clone_replacements, self.deletions,
+            self.inlines,
+            self.clones,
+            self.clone_replacements,
+            self.deletions,
             self.pure_calls_removed
         )?;
         write!(
             f,
             "cost {} -> {} (budget {})",
             self.initial_cost, self.final_cost, self.budget_limit
-        )
+        )?;
+        if self.checks_run > 0 {
+            write!(
+                f,
+                "\nverify-each: {} boundaries checked in {} us, {} diagnostics",
+                self.checks_run,
+                self.lint_time_us,
+                self.diagnostics.len()
+            )?;
+            for d in &self.diagnostics {
+                write!(f, "\n  {d}")?;
+            }
+        }
+        Ok(())
     }
 }
 

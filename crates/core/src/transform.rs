@@ -234,13 +234,14 @@ pub fn make_clone(p: &mut Program, spec: &CloneSpec) -> FuncId {
                     fun.name = fresh;
                 }
             }
-            ConstVal::GlobalAddr(g) => {
-                if p.global(*g).linkage == Linkage::Static && p.global(*g).module != clone_module {
-                    let fresh = format!("{}.promoted.{}", p.global(*g).name, g.0);
-                    let gl = &mut p.globals[g.index()];
-                    gl.linkage = Linkage::Public;
-                    gl.name = fresh;
-                }
+            ConstVal::GlobalAddr(g)
+                if p.global(*g).linkage == Linkage::Static
+                    && p.global(*g).module != clone_module =>
+            {
+                let fresh = format!("{}.promoted.{}", p.global(*g).name, g.0);
+                let gl = &mut p.globals[g.index()];
+                gl.linkage = Linkage::Public;
+                gl.name = fresh;
             }
             _ => {}
         }
@@ -432,10 +433,7 @@ mod tests {
 
     #[test]
     fn inline_extends_profile_in_lockstep() {
-        let src = &[(
-            "m",
-            "fn f(x) { return x + 1; } fn main() { return f(3); }",
-        )];
+        let src = &[("m", "fn f(x) { return x + 1; } fn main() { return f(3); }")];
         let mut p = hlo_frontc::compile(src).unwrap();
         for f in &mut p.funcs {
             let n = f.blocks.len();
@@ -445,10 +443,7 @@ mod tests {
         inline_call(&mut p, &s);
         let main = p.entry.unwrap();
         let mf = p.func(main);
-        assert_eq!(
-            mf.profile.as_ref().unwrap().blocks.len(),
-            mf.blocks.len()
-        );
+        assert_eq!(mf.profile.as_ref().unwrap().blocks.len(), mf.blocks.len());
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub struct FrontError {
 
 impl std::fmt::Display for FrontError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}:{}: {}", self.module, self.line, self.col, self.msg)
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.module, self.line, self.col, self.msg
+        )
     }
 }
 

@@ -51,14 +51,12 @@ pub fn link(modules: &[ModuleAst]) -> Result<Program, FrontError> {
                             format!("duplicate function `{}` in module", f.name),
                         ));
                     }
-                    if !f.is_static {
-                        if public_fns.insert(&f.name, id).is_some() {
-                            return Err(err(
-                                m,
-                                f.line,
-                                format!("duplicate public function `{}`", f.name),
-                            ));
-                        }
+                    if !f.is_static && public_fns.insert(&f.name, id).is_some() {
+                        return Err(err(
+                            m,
+                            f.line,
+                            format!("duplicate public function `{}`", f.name),
+                        ));
                     }
                     fn_defs.push((mi, f));
                 }
@@ -68,7 +66,8 @@ pub fn link(modules: &[ModuleAst]) -> Result<Program, FrontError> {
                     } else {
                         Linkage::Public
                     };
-                    let id = pb.add_global(&g.name, module_ids[mi], linkage, g.words, g.init.clone());
+                    let id =
+                        pb.add_global(&g.name, module_ids[mi], linkage, g.words, g.init.clone());
                     if local_globals[mi].insert(&g.name, id).is_some() {
                         return Err(err(
                             m,
@@ -77,7 +76,11 @@ pub fn link(modules: &[ModuleAst]) -> Result<Program, FrontError> {
                         ));
                     }
                     if !g.is_static && public_globals.insert(&g.name, id).is_some() {
-                        return Err(err(m, g.line, format!("duplicate public global `{}`", g.name)));
+                        return Err(err(
+                            m,
+                            g.line,
+                            format!("duplicate public global `{}`", g.name),
+                        ));
                     }
                 }
                 Item::Extern(e) => {
@@ -742,10 +745,7 @@ mod tests {
 
     #[test]
     fn ternary_and_logical_not() {
-        assert_eq!(
-            run(&[("m", "fn main() { return !0 ? 4 : 9; }")]),
-            4
-        );
+        assert_eq!(run(&[("m", "fn main() { return !0 ? 4 : 9; }")]), 4);
     }
 
     #[test]
@@ -826,8 +826,8 @@ mod tests {
 
     #[test]
     fn duplicate_public_function_rejected() {
-        let e = compile(&[("a", "fn f() { return 1; }"), ("b", "fn f() { return 2; }")])
-            .unwrap_err();
+        let e =
+            compile(&[("a", "fn f() { return 1; }"), ("b", "fn f() { return 2; }")]).unwrap_err();
         assert!(e.msg.contains("duplicate public function"));
     }
 

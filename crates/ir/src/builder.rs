@@ -2,8 +2,8 @@
 //! the front end's lowering all use these).
 
 use crate::{
-    BinOp, BlockId, Callee, ConstVal, Extern, ExternId, FuncId, Function, Global, GlobalId,
-    Inst, Linkage, Module, ModuleId, Operand, Program, Reg, SlotId, Type, UnOp,
+    BinOp, BlockId, Callee, ConstVal, Extern, ExternId, FuncId, Function, Global, GlobalId, Inst,
+    Linkage, Module, ModuleId, Operand, Program, Reg, SlotId, Type, UnOp,
 };
 
 /// Incrementally builds a [`Program`].

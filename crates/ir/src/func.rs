@@ -36,7 +36,9 @@ impl Block {
 
     /// Successor block ids of this block's terminator.
     pub fn successors(&self) -> Vec<BlockId> {
-        self.terminator().map(|t| t.successors()).unwrap_or_default()
+        self.terminator()
+            .map(|t| t.successors())
+            .unwrap_or_default()
     }
 }
 

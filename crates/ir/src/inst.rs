@@ -231,7 +231,9 @@ pub enum Inst {
     /// Call. `dst = callee(args...)`; calls whose callee returns `Void`
     /// leave `dst` `None`. Arity mismatches with the callee's signature are
     /// tolerated at run time (missing args read as 0) but make the site
-    /// illegal for inlining/cloning, exactly as in the paper.
+    /// illegal for inlining/cloning, exactly as in the paper — and
+    /// [`crate::verify_program`] rejects them, since no transform should
+    /// ever introduce one.
     Call {
         /// Where the result goes (`None` discards it).
         dst: Option<Reg>,

@@ -60,7 +60,9 @@ pub use module::{Extern, Global, Module};
 pub use program::Program;
 pub use text::{parse_inst, parse_program_text, program_to_text, IrParseError};
 pub use types::{ConstVal, F64Bits, Type};
-pub use verify::{verify_function, verify_program, VerifyError};
+pub use verify::{
+    verify_function, verify_function_all, verify_program, verify_program_all, VerifyError,
+};
 
 /// Identifies a module within a [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

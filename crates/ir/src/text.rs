@@ -59,7 +59,11 @@ pub fn program_to_text(p: &Program) -> String {
         let _ = writeln!(out, "module {}", m.name);
     }
     for g in &p.globals {
-        let link = if g.linkage == Linkage::Public { "pub" } else { "static" };
+        let link = if g.linkage == Linkage::Public {
+            "pub"
+        } else {
+            "static"
+        };
         let _ = write!(out, "global {} {} {} {}", g.name, g.module.0, link, g.words);
         if !g.init.is_empty() {
             let _ = write!(out, " =");
@@ -70,7 +74,11 @@ pub fn program_to_text(p: &Program) -> String {
         out.push('\n');
     }
     for (id, f) in p.iter_funcs() {
-        let link = if f.linkage == Linkage::Public { "pub" } else { "static" };
+        let link = if f.linkage == Linkage::Public {
+            "pub"
+        } else {
+            "static"
+        };
         let dead = if p.module(f.module).funcs.contains(&id) {
             ""
         } else {
@@ -253,14 +261,20 @@ pub fn parse_program_text(text: &str) -> Result<Program, IrParseError> {
                 cur_func = Some((f, dead));
             }
             "slots" => {
-                let f = &mut cur_func.as_mut().ok_or_else(|| err(ln, "slots outside func".into()))?.0;
+                let f = &mut cur_func
+                    .as_mut()
+                    .ok_or_else(|| err(ln, "slots outside func".into()))?
+                    .0;
                 for s in parts {
                     f.slots
                         .push(s.parse().map_err(|_| err(ln, "bad slot".into()))?);
                 }
             }
             "flags" => {
-                let f = &mut cur_func.as_mut().ok_or_else(|| err(ln, "flags outside func".into()))?.0;
+                let f = &mut cur_func
+                    .as_mut()
+                    .ok_or_else(|| err(ln, "flags outside func".into()))?
+                    .0;
                 for fl in parts {
                     match fl {
                         "noinline" => f.flags.noinline = true,
@@ -287,11 +301,16 @@ pub fn parse_program_text(text: &str) -> Result<Program, IrParseError> {
                 f.profile = Some(FuncProfile { entry, blocks });
             }
             "block" => {
-                let f = &mut cur_func.as_mut().ok_or_else(|| err(ln, "block outside func".into()))?.0;
+                let f = &mut cur_func
+                    .as_mut()
+                    .ok_or_else(|| err(ln, "block outside func".into()))?
+                    .0;
                 f.blocks.push(Block::new());
             }
             "endfunc" => {
-                let (f, dead) = cur_func.take().ok_or_else(|| err(ln, "stray endfunc".into()))?;
+                let (f, dead) = cur_func
+                    .take()
+                    .ok_or_else(|| err(ln, "stray endfunc".into()))?;
                 if f.module.index() >= p.modules.len() {
                     return Err(err(ln, "func module out of range".into()));
                 }
@@ -444,7 +463,9 @@ fn parse_call(rest: &str, dst: Option<Reg>) -> Result<Inst, String> {
     } else if let Some(n) = callee_s.strip_prefix('f') {
         Callee::Func(FuncId(n.parse().map_err(|_| "bad func id".to_string())?))
     } else if let Some(n) = callee_s.strip_prefix('e') {
-        Callee::Extern(ExternId(n.parse().map_err(|_| "bad extern id".to_string())?))
+        Callee::Extern(ExternId(
+            n.parse().map_err(|_| "bad extern id".to_string())?,
+        ))
     } else {
         return Err(format!("bad callee `{callee_s}`"));
     };

@@ -1,4 +1,10 @@
 //! Structural verification of IR.
+//!
+//! Two API layers exist: [`verify_function_all`]/[`verify_program_all`]
+//! collect *every* defect (the form the `hlo-lint` diagnostics layer and
+//! the driver's verify-each mode consume), while [`verify_function`]/
+//! [`verify_program`] are thin first-error wrappers kept for callers that
+//! only need a pass/fail answer.
 
 use crate::{BlockId, Callee, FuncId, Function, Inst, Operand, Program, Reg};
 
@@ -50,6 +56,20 @@ pub enum VerifyError {
         /// The missing callee id.
         callee: FuncId,
     },
+    /// A direct call passes a different number of arguments than the
+    /// callee declares. The VM tolerates this at run time (missing
+    /// arguments read as 0), but no front end or transform should ever
+    /// produce such a site, so the verifier rejects it.
+    ArityMismatch {
+        /// Offending (calling) function name.
+        func: String,
+        /// The callee whose signature is violated.
+        callee: FuncId,
+        /// Arguments the callee declares.
+        expected: u32,
+        /// Arguments the call site passes.
+        got: usize,
+    },
     /// A constant references a global or extern outside the program.
     BadSymbol {
         /// Offending function name.
@@ -62,6 +82,36 @@ pub enum VerifyError {
     },
     /// The designated entry function does not exist or is not public.
     BadEntry,
+}
+
+impl VerifyError {
+    /// The function the defect was found in (`None` for program-level
+    /// defects such as [`VerifyError::BadEntry`]).
+    pub fn func_name(&self) -> Option<&str> {
+        match self {
+            VerifyError::MissingTerminator { func, .. }
+            | VerifyError::EarlyTerminator { func, .. }
+            | VerifyError::BadBlockTarget { func, .. }
+            | VerifyError::BadReg { func, .. }
+            | VerifyError::BadSlot { func }
+            | VerifyError::ParamsExceedRegs { func }
+            | VerifyError::BadCallee { func, .. }
+            | VerifyError::ArityMismatch { func, .. }
+            | VerifyError::BadSymbol { func }
+            | VerifyError::ProfileShape { func } => Some(func),
+            VerifyError::BadEntry => None,
+        }
+    }
+
+    /// The block the defect was found in, when block-granular.
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            VerifyError::MissingTerminator { block, .. }
+            | VerifyError::EarlyTerminator { block, .. }
+            | VerifyError::BadBlockTarget { block, .. } => Some(*block),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for VerifyError {
@@ -86,6 +136,17 @@ impl std::fmt::Display for VerifyError {
             VerifyError::BadCallee { func, callee } => {
                 write!(f, "function {func}: call to missing function {callee}")
             }
+            VerifyError::ArityMismatch {
+                func,
+                callee,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function {func}: call to {callee} passes {got} args, callee takes {expected}"
+                )
+            }
             VerifyError::BadSymbol { func } => {
                 write!(f, "function {func}: reference to missing global/extern")
             }
@@ -99,51 +160,44 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Checks one function's structural invariants (terminators, register and
-/// block ranges, slot references, profile shape).
-///
-/// # Errors
-/// Returns the first defect found.
-pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+/// Collects every structural defect of one function: terminators, register
+/// and block ranges, slot references, profile shape.
+pub fn verify_function_all(f: &Function) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
     let name = || f.name.clone();
     if f.params > f.num_regs {
-        return Err(VerifyError::ParamsExceedRegs { func: name() });
+        errs.push(VerifyError::ParamsExceedRegs { func: name() });
     }
     if let Some(p) = &f.profile {
         if p.blocks.len() != f.blocks.len() {
-            return Err(VerifyError::ProfileShape { func: name() });
+            errs.push(VerifyError::ProfileShape { func: name() });
         }
     }
     let nblocks = f.blocks.len() as u32;
-    let check_reg = |r: Reg| -> Result<(), VerifyError> {
-        if r.0 >= f.num_regs {
-            Err(VerifyError::BadReg {
-                func: f.name.clone(),
-                reg: r,
-            })
-        } else {
-            Ok(())
-        }
-    };
     for (bid, block) in f.iter_blocks() {
         match block.insts.last() {
             Some(t) if t.is_terminator() => {}
             _ => {
-                return Err(VerifyError::MissingTerminator {
+                errs.push(VerifyError::MissingTerminator {
                     func: name(),
                     block: bid,
-                })
+                });
             }
         }
         for (i, inst) in block.insts.iter().enumerate() {
             if inst.is_terminator() && i + 1 != block.insts.len() {
-                return Err(VerifyError::EarlyTerminator {
+                errs.push(VerifyError::EarlyTerminator {
                     func: name(),
                     block: bid,
                 });
             }
             if let Some(d) = inst.dst() {
-                check_reg(d)?;
+                if d.0 >= f.num_regs {
+                    errs.push(VerifyError::BadReg {
+                        func: name(),
+                        reg: d,
+                    });
+                }
             }
             let mut bad_use = None;
             inst.for_each_use(|op| {
@@ -154,16 +208,19 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                 }
             });
             if let Some(r) = bad_use {
-                return Err(VerifyError::BadReg { func: name(), reg: r });
+                errs.push(VerifyError::BadReg {
+                    func: name(),
+                    reg: r,
+                });
             }
             if let Inst::FrameAddr { slot, .. } = inst {
                 if slot.index() >= f.slots.len() {
-                    return Err(VerifyError::BadSlot { func: name() });
+                    errs.push(VerifyError::BadSlot { func: name() });
                 }
             }
             for s in inst.successors() {
                 if s.0 >= nblocks {
-                    return Err(VerifyError::BadBlockTarget {
+                    errs.push(VerifyError::BadBlockTarget {
                         func: name(),
                         block: bid,
                     });
@@ -171,34 +228,53 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
             }
         }
     }
-    Ok(())
+    errs
 }
 
-/// Checks the whole program: every function individually, plus that call
-/// targets, globals, externs and the entry point resolve.
+/// Checks one function's structural invariants (terminators, register and
+/// block ranges, slot references, profile shape).
 ///
 /// # Errors
 /// Returns the first defect found.
-pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    match verify_function_all(f).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Collects every structural defect of the whole program: each function
+/// individually, plus call-target resolution and arity, global/extern
+/// references, and the entry point.
+pub fn verify_program_all(p: &Program) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
     if let Some(e) = p.entry {
         if e.index() >= p.funcs.len() {
-            return Err(VerifyError::BadEntry);
+            errs.push(VerifyError::BadEntry);
         }
     }
     for f in &p.funcs {
-        verify_function(f)?;
+        errs.extend(verify_function_all(f));
         for block in &f.blocks {
             for inst in &block.insts {
-                if let Inst::Call { callee, .. } = inst {
+                if let Inst::Call { callee, args, .. } = inst {
                     match callee {
                         Callee::Func(id) if id.index() >= p.funcs.len() => {
-                            return Err(VerifyError::BadCallee {
+                            errs.push(VerifyError::BadCallee {
                                 func: f.name.clone(),
                                 callee: *id,
                             });
                         }
+                        Callee::Func(id) if p.func(*id).params as usize != args.len() => {
+                            errs.push(VerifyError::ArityMismatch {
+                                func: f.name.clone(),
+                                callee: *id,
+                                expected: p.func(*id).params,
+                                got: args.len(),
+                            });
+                        }
                         Callee::Extern(id) if id.index() >= p.externs.len() => {
-                            return Err(VerifyError::BadSymbol {
+                            errs.push(VerifyError::BadSymbol {
                                 func: f.name.clone(),
                             });
                         }
@@ -220,14 +296,27 @@ pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
                     }
                 });
                 if bad {
-                    return Err(VerifyError::BadSymbol {
+                    errs.push(VerifyError::BadSymbol {
                         func: f.name.clone(),
                     });
                 }
             }
         }
     }
-    Ok(())
+    errs
+}
+
+/// Checks the whole program: every function individually, plus that call
+/// targets resolve with matching arity, globals, externs and the entry
+/// point exist.
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+    match verify_program_all(p).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +335,7 @@ mod tests {
     #[test]
     fn accepts_minimal_function() {
         assert!(verify_function(&ret1()).is_ok());
+        assert!(verify_function_all(&ret1()).is_empty());
     }
 
     #[test]
@@ -317,6 +407,46 @@ mod tests {
     }
 
     #[test]
+    fn rejects_arity_mismatch_in_program() {
+        // callee takes 2 params, the site passes 1
+        let mut p = Program::new();
+        p.modules.push(crate::Module::new("m"));
+        let mut caller = ret1();
+        caller.name = "caller".into();
+        caller.num_regs = 1;
+        caller.blocks[0].insts.insert(
+            0,
+            Inst::Call {
+                dst: Some(Reg(0)),
+                callee: Callee::Func(FuncId(1)),
+                args: vec![Operand::imm(1)],
+            },
+        );
+        p.funcs.push(caller);
+        let mut callee = Function::new("callee", ModuleId(0), 2);
+        callee.blocks[0].insts.push(Inst::Ret {
+            value: Some(Operand::imm(0)),
+        });
+        p.funcs.push(callee);
+        p.modules[0].funcs.push(FuncId(0));
+        p.modules[0].funcs.push(FuncId(1));
+        match verify_program(&p) {
+            Err(VerifyError::ArityMismatch {
+                func,
+                callee,
+                expected,
+                got,
+            }) => {
+                assert_eq!(func, "caller");
+                assert_eq!(callee, FuncId(1));
+                assert_eq!(expected, 2);
+                assert_eq!(got, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_profile_shape_mismatch() {
         let mut f = ret1();
         f.profile = Some(crate::FuncProfile {
@@ -327,5 +457,26 @@ mod tests {
             verify_function(&f),
             Err(VerifyError::ProfileShape { .. })
         ));
+    }
+
+    #[test]
+    fn collects_multiple_defects() {
+        // Missing terminator in one block AND a bad register in another.
+        let mut f = ret1();
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Const {
+                dst: Reg(10),
+                value: ConstVal::int(0),
+            },
+        );
+        let b = f.new_block(); // left without a terminator
+        let _ = b;
+        let errs = verify_function_all(&f);
+        assert!(errs.len() >= 2, "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::MissingTerminator { .. })));
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadReg { .. })));
     }
 }

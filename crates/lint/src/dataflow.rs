@@ -1,0 +1,143 @@
+//! Small fixed-width bitsets and CFG helpers shared by the dataflow lints.
+
+use hlo_ir::{BlockId, Function};
+
+/// A fixed-capacity bitset over `0..nbits`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// The empty set over `0..nbits`.
+    pub fn empty(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// The full set `{0, .., nbits-1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; nbits.div_ceil(64)],
+            nbits,
+        };
+        s.mask_tail();
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.nbits % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Membership test; out-of-range indexes are simply absent.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.nbits && self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Inserts `i` (ignored when out of range).
+    pub fn set(&mut self, i: usize) {
+        if i < self.nbits {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Removes `i` (ignored when out of range).
+    pub fn remove(&mut self, i: usize) {
+        if i < self.nbits {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+/// Which blocks are reachable from the entry, by block index.
+pub(crate) fn reachable_blocks(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if f.blocks.is_empty() {
+        return seen;
+    }
+    let mut work = vec![BlockId(0)];
+    seen[0] = true;
+    while let Some(b) = work.pop() {
+        for s in f.block(b).successors() {
+            if s.index() < seen.len() && !seen[s.index()] {
+                seen[s.index()] = true;
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::empty(70);
+        a.set(3);
+        a.set(69);
+        assert!(a.get(3) && a.get(69) && !a.get(4));
+        let mut b = BitSet::full(70);
+        b.remove(3);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert!(u.get(3) && u.get(68));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert!(!i.get(3) && i.get(69));
+        a.subtract(&b);
+        assert!(a.get(3) && !a.get(69));
+        assert!(BitSet::empty(10).is_empty());
+        assert!(!BitSet::full(10).is_empty());
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        let f = BitSet::full(65);
+        assert!(f.get(64));
+        assert!(!f.get(65));
+        assert!(!f.get(127));
+    }
+
+    #[test]
+    fn out_of_range_is_absent() {
+        let mut s = BitSet::empty(8);
+        s.set(100); // ignored
+        assert!(!s.get(100));
+    }
+}

@@ -1,0 +1,208 @@
+//! Structured diagnostics.
+
+use hlo_ir::{BlockId, VerifyError};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Cleanliness observation (pedantic lints); never fails a build.
+    Info,
+    /// Suspicious but tolerated by the VM; a transform bug until proven
+    /// otherwise.
+    Warning,
+    /// A violated invariant: executing this program is meaningless.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: where, what, how bad, and (in verify-each mode) which
+/// pass introduced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The function the finding is in (empty for program-level findings).
+    pub func: String,
+    /// The block, when block-granular.
+    pub block: Option<BlockId>,
+    /// Instruction index within the block, when instruction-granular.
+    pub inst: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// The pipeline pass after which the finding first appeared (set by
+    /// [`crate::Checker`]; `"input"` means it was present before any pass
+    /// ran).
+    pub pass_origin: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; location fields start unset.
+    pub fn new(severity: Severity, func: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            func: func.into(),
+            block: None,
+            inst: None,
+            message: message.into(),
+            pass_origin: None,
+        }
+    }
+
+    /// Sets the block location.
+    pub fn at_block(mut self, b: BlockId) -> Self {
+        self.block = Some(b);
+        self
+    }
+
+    /// Sets the instruction location (implies a block location).
+    pub fn at_inst(mut self, b: BlockId, i: usize) -> Self {
+        self.block = Some(b);
+        self.inst = Some(i);
+        self
+    }
+
+    /// A stable identity used to tell *new* diagnostics from pre-existing
+    /// ones across pipeline passes. Instruction indexes are excluded on
+    /// purpose: passes shift positions without changing the finding.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.severity,
+            self.func,
+            self.block.map(|b| b.0 as i64).unwrap_or(-1),
+            self.message
+        )
+    }
+
+    /// Converts a structural verifier error into an `Error` diagnostic.
+    pub fn from_verify(e: &VerifyError) -> Self {
+        let mut d = Diagnostic::new(
+            Severity::Error,
+            e.func_name().unwrap_or_default(),
+            e.to_string(),
+        );
+        d.block = e.block();
+        d
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.severity)?;
+        if self.func.is_empty() {
+            write!(f, "<program>")?;
+        } else {
+            write!(f, "{}", self.func)?;
+        }
+        if let Some(b) = self.block {
+            write!(f, "@{b}")?;
+            if let Some(i) = self.inst {
+                write!(f, "/i{i}")?;
+            }
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(p) = &self.pass_origin {
+            write!(f, " [introduced by pass `{p}`]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A batch of diagnostics with rendering and counting helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// The findings, in discovery order.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Wraps a diagnostic list.
+    pub fn new(diags: Vec<Diagnostic>) -> Self {
+        LintReport { diags }
+    }
+
+    /// True when nothing at `Warning` or above was found.
+    pub fn is_clean(&self) -> bool {
+        self.count_at_least(Severity::Warning) == 0
+    }
+
+    /// Number of findings at or above `floor`.
+    pub fn count_at_least(&self, floor: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity >= floor).count()
+    }
+
+    /// The most severe finding, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        let errors = self.count_at_least(Severity::Error);
+        let warnings = self.count_at_least(Severity::Warning) - errors;
+        let infos = self.diags.len() - errors - warnings;
+        write!(
+            f,
+            "lint: {} diagnostics ({errors} errors, {warnings} warnings, {infos} notes)",
+            self.diags.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_filtering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_includes_location_and_origin() {
+        let mut d = Diagnostic::new(Severity::Warning, "f", "use of uninitialized register r5")
+            .at_inst(BlockId(3), 2);
+        d.pass_origin = Some("cse".into());
+        let s = d.to_string();
+        assert!(s.contains("warning: f@b3/i2"), "{s}");
+        assert!(s.contains("[introduced by pass `cse`]"), "{s}");
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let r = LintReport::new(vec![
+            Diagnostic::new(Severity::Error, "f", "a"),
+            Diagnostic::new(Severity::Warning, "f", "b"),
+            Diagnostic::new(Severity::Info, "f", "c"),
+        ]);
+        assert!(!r.is_clean());
+        assert_eq!(r.count_at_least(Severity::Warning), 2);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        let s = r.to_string();
+        assert!(
+            s.contains("3 diagnostics (1 errors, 1 warnings, 1 notes)"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn key_ignores_instruction_position() {
+        let a = Diagnostic::new(Severity::Error, "f", "m").at_inst(BlockId(1), 4);
+        let b = Diagnostic::new(Severity::Error, "f", "m").at_inst(BlockId(1), 9);
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -90,16 +90,8 @@ fn rewrite_bin(dst: hlo_ir::Reg, op: BinOp, a: Operand, b: Operand) -> Option<In
                 }
             }
         }
-        BinOp::Div => {
-            if bi == Some(1) {
-                return copy(dst, a);
-            }
-        }
-        BinOp::Rem => {
-            if bi == Some(1) {
-                return konst(dst, 0);
-            }
-        }
+        BinOp::Div if bi == Some(1) => return copy(dst, a),
+        BinOp::Rem if bi == Some(1) => return konst(dst, 0),
         BinOp::And => {
             if bi == Some(0) || ai == Some(0) {
                 return konst(dst, 0);
@@ -145,16 +137,8 @@ fn rewrite_bin(dst: hlo_ir::Reg, op: BinOp, a: Operand, b: Operand) -> Option<In
                 }
             }
         }
-        BinOp::Eq | BinOp::Le | BinOp::Ge => {
-            if same_reg {
-                return konst(dst, 1);
-            }
-        }
-        BinOp::Ne | BinOp::Lt | BinOp::Gt => {
-            if same_reg {
-                return konst(dst, 0);
-            }
-        }
+        BinOp::Eq | BinOp::Le | BinOp::Ge if same_reg => return konst(dst, 1),
+        BinOp::Ne | BinOp::Lt | BinOp::Gt if same_reg => return konst(dst, 0),
         // Floats: no algebraic identities are safe under NaN/-0.0 except
         // none that matter here; leave them alone.
         _ => {}
@@ -191,11 +175,17 @@ mod tests {
         let p0 = Operand::Reg(Reg(0));
         assert_eq!(
             run_one(BinOp::Add, p0, Operand::imm(0)),
-            Inst::Copy { dst: Reg(2), src: p0 }
+            Inst::Copy {
+                dst: Reg(2),
+                src: p0
+            }
         );
         assert_eq!(
             run_one(BinOp::Mul, Operand::imm(1), p0),
-            Inst::Copy { dst: Reg(2), src: p0 }
+            Inst::Copy {
+                dst: Reg(2),
+                src: p0
+            }
         );
         assert_eq!(
             run_one(BinOp::Mul, p0, Operand::imm(0)),
@@ -262,7 +252,10 @@ mod tests {
         );
         assert_eq!(
             run_one(BinOp::And, p0, p0),
-            Inst::Copy { dst: Reg(2), src: p0 }
+            Inst::Copy {
+                dst: Reg(2),
+                src: p0
+            }
         );
     }
 
@@ -271,7 +264,10 @@ mod tests {
         let p0 = Operand::Reg(Reg(0));
         assert_eq!(
             run_one(BinOp::Div, p0, Operand::imm(1)),
-            Inst::Copy { dst: Reg(2), src: p0 }
+            Inst::Copy {
+                dst: Reg(2),
+                src: p0
+            }
         );
         // x / 0 must remain (it traps).
         assert!(matches!(
@@ -297,7 +293,10 @@ mod tests {
         let p0 = Operand::Reg(Reg(0));
         assert_eq!(
             run_one(BinOp::Shl, p0, Operand::imm(64)),
-            Inst::Copy { dst: Reg(2), src: p0 }
+            Inst::Copy {
+                dst: Reg(2),
+                src: p0
+            }
         );
         assert!(matches!(
             run_one(BinOp::Shl, p0, Operand::imm(1)),
@@ -310,7 +309,10 @@ mod tests {
         let p0 = Operand::Reg(Reg(0));
         assert!(matches!(
             run_one(BinOp::FAdd, p0, Operand::Const(ConstVal::float(0.0))),
-            Inst::Bin { op: BinOp::FAdd, .. }
+            Inst::Bin {
+                op: BinOp::FAdd,
+                ..
+            }
         ));
     }
 

@@ -57,8 +57,8 @@ pub fn propagate(f: &mut Function) -> ConstPropStats {
 
     // In-states per block. Entry: params unknown (Bottom), others Top.
     let mut ins: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; nblocks];
-    for r in 0..f.params as usize {
-        ins[0][r] = Lat::Bottom;
+    for l in ins[0].iter_mut().take(f.params as usize) {
+        *l = Lat::Bottom;
     }
 
     // Worklist fixpoint.
@@ -129,25 +129,28 @@ pub fn propagate(f: &mut Function) -> ConstPropStats {
                         }
                     }
                 }
-                Inst::Un { dst, op, a } => {
-                    if let Operand::Const(ca) = *a {
-                        if let Some(c) = fold_un(*op, ca) {
-                            *inst = Inst::Const {
-                                dst: *dst,
-                                value: c,
-                            };
-                            stats.insts_folded += 1;
-                        }
-                    }
-                }
-                Inst::Copy { dst, src } => {
-                    if let Operand::Const(c) = *src {
+                Inst::Un {
+                    dst,
+                    op,
+                    a: Operand::Const(ca),
+                } => {
+                    if let Some(c) = fold_un(*op, *ca) {
                         *inst = Inst::Const {
                             dst: *dst,
                             value: c,
                         };
                         stats.insts_folded += 1;
                     }
+                }
+                Inst::Copy {
+                    dst,
+                    src: Operand::Const(c),
+                } => {
+                    *inst = Inst::Const {
+                        dst: *dst,
+                        value: *c,
+                    };
+                    stats.insts_folded += 1;
                 }
                 Inst::Br { cond, then_, else_ } => {
                     if let Operand::Const(c) = *cond {
@@ -161,11 +164,9 @@ pub fn propagate(f: &mut Function) -> ConstPropStats {
                     }
                 }
                 Inst::Call { callee, .. } => {
-                    if let Callee::Indirect(op) = callee {
-                        if let Operand::Const(ConstVal::FuncAddr(t)) = *op {
-                            *callee = Callee::Func(t);
-                            stats.indirect_promoted += 1;
-                        }
+                    if let Callee::Indirect(Operand::Const(ConstVal::FuncAddr(t))) = callee {
+                        *callee = Callee::Func(*t);
+                        stats.indirect_promoted += 1;
                     }
                 }
                 _ => {}
@@ -181,15 +182,13 @@ fn transfer(inst: &Inst, state: &mut [Lat]) {
         let v = match inst {
             Inst::Const { value, .. } => Lat::Const(*value),
             Inst::Copy { src, .. } => operand_lat(*src, state),
-            Inst::Bin { op, a, b, .. } => {
-                match (operand_lat(*a, state), operand_lat(*b, state)) {
-                    (Lat::Const(ca), Lat::Const(cb)) => {
-                        fold_bin(*op, ca, cb).map(Lat::Const).unwrap_or(Lat::Bottom)
-                    }
-                    (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
-                    _ => Lat::Bottom,
+            Inst::Bin { op, a, b, .. } => match (operand_lat(*a, state), operand_lat(*b, state)) {
+                (Lat::Const(ca), Lat::Const(cb)) => {
+                    fold_bin(*op, ca, cb).map(Lat::Const).unwrap_or(Lat::Bottom)
                 }
-            }
+                (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+                _ => Lat::Bottom,
+            },
             Inst::Un { op, a, .. } => match operand_lat(*a, state) {
                 Lat::Const(c) => fold_un(*op, c).map(Lat::Const).unwrap_or(Lat::Bottom),
                 Lat::Top => Lat::Top,
@@ -347,10 +346,13 @@ mod tests {
         let mut f = fb.finish(Linkage::Public, Type::I64);
         let st = propagate(&mut f);
         assert_eq!(st.indirect_promoted, 1);
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Call { callee: Callee::Func(FuncId(3)), .. })));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::Call {
+                callee: Callee::Func(FuncId(3)),
+                ..
+            }
+        )));
     }
 
     #[test]

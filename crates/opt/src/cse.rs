@@ -36,7 +36,10 @@ pub fn eliminate_common(f: &mut Function) -> u64 {
             };
 
             // Memory clobbers invalidate loads.
-            if matches!(inst, Inst::Store { .. } | Inst::Call { .. } | Inst::Alloca { .. }) {
+            if matches!(
+                inst,
+                Inst::Store { .. } | Inst::Call { .. } | Inst::Alloca { .. }
+            ) {
                 avail.retain(|k, _| !matches!(k, ExprKey::Load(..)));
             }
 

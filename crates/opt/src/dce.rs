@@ -123,7 +123,12 @@ mod tests {
         let mut fb = FunctionBuilder::new("f", ModuleId(0), 1);
         let e = fb.entry_block();
         // store is a side effect; the div may trap
-        fb.store(e, Operand::Reg(fb.param(0)), Operand::imm(0), Operand::imm(1));
+        fb.store(
+            e,
+            Operand::Reg(fb.param(0)),
+            Operand::imm(0),
+            Operand::imm(1),
+        );
         let q = fb.bin(e, BinOp::Div, Operand::imm(1), Operand::Reg(fb.param(0)));
         let _ = q; // unused but trapping
         fb.ret(e, None);

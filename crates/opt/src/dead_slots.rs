@@ -60,7 +60,11 @@ pub fn eliminate_dead_slots(f: &mut Function) -> u64 {
         for inst in &block.insts {
             match inst {
                 Inst::FrameAddr { .. } => {}
-                Inst::Store { base, offset, value } => {
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                } => {
                     // base is fine; offset/value uses escape
                     if let Some(s) = slot_of(offset, &reg_slot) {
                         escaped[s.index()] = true;
@@ -103,10 +107,9 @@ pub fn eliminate_dead_slots(f: &mut Function) -> u64 {
     // Compact the slot table, renumbering survivors.
     let mut remap: Vec<Option<SlotId>> = vec![None; nslots];
     let mut new_slots = Vec::new();
-    for i in 0..nslots {
-        let s = SlotId(i as u32);
-        if !dead(s) {
-            remap[i] = Some(SlotId(new_slots.len() as u32));
+    for (i, slot) in remap.iter_mut().enumerate() {
+        if !dead(SlotId(i as u32)) {
+            *slot = Some(SlotId(new_slots.len() as u32));
             new_slots.push(f.slots[i]);
         }
     }

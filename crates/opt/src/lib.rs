@@ -43,4 +43,7 @@ pub mod pure_calls;
 pub mod simplify_cfg;
 pub mod straighten;
 
-pub use pipeline::{optimize_function, optimize_program, OptStats};
+pub use pipeline::{
+    optimize_function, optimize_function_checked, optimize_program, optimize_program_checked,
+    OptStats,
+};

@@ -142,9 +142,7 @@ pub fn forward_stores(f: &mut Function) -> u64 {
             // and entries whose Reg base is it. Slot/Global-keyed entries
             // survive: their identity does not depend on the register.
             if let Some(d) = inst.dst() {
-                known.retain(|e| {
-                    e.value.as_reg() != Some(d) && e.base != BaseKey::Reg(d)
-                });
+                known.retain(|e| e.value.as_reg() != Some(d) && e.base != BaseKey::Reg(d));
             }
         }
     }
@@ -185,7 +183,11 @@ mod tests {
         fb.ret(e, Some(v.into()));
         let mut f = fb.finish(Linkage::Public, Type::I64);
         assert_eq!(forward_stores(&mut f), 1);
-        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+        match f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| matches!(i, Inst::Copy { .. }))
+        {
             Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::Reg(Reg(0))),
             other => panic!("unexpected {other:?}"),
         }
@@ -205,7 +207,11 @@ mod tests {
         fb.ret(e, Some(v.into()));
         let mut f = fb.finish(Linkage::Public, Type::I64);
         assert_eq!(forward_stores(&mut f), 1);
-        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+        match f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| matches!(i, Inst::Copy { .. }))
+        {
             Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::imm(11)),
             other => panic!("unexpected {other:?}"),
         }
@@ -219,7 +225,12 @@ mod tests {
         let e = fb.entry_block();
         let a = fb.frame_addr(e, s);
         fb.store(e, a.into(), Operand::imm(0), Operand::imm(1));
-        fb.store(e, Operand::Reg(fb.param(0)), Operand::imm(0), Operand::imm(2));
+        fb.store(
+            e,
+            Operand::Reg(fb.param(0)),
+            Operand::imm(0),
+            Operand::imm(2),
+        );
         let v = fb.load(e, a.into(), Operand::imm(0));
         fb.ret(e, Some(v.into()));
         let mut f = fb.finish(Linkage::Public, Type::I64);
@@ -280,7 +291,11 @@ mod tests {
         fb.ret(e, Some(v.into()));
         let mut f = fb.finish(Linkage::Public, Type::I64);
         assert_eq!(forward_stores(&mut f), 1);
-        match f.blocks[0].insts.iter().find(|i| matches!(i, Inst::Copy { .. })) {
+        match f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| matches!(i, Inst::Copy { .. }))
+        {
             Some(Inst::Copy { src, .. }) => assert_eq!(*src, Operand::imm(5)),
             other => panic!("unexpected {other:?}"),
         }

@@ -1,7 +1,10 @@
 //! Fixed-point optimization drivers.
 
-use crate::{algebraic, constprop, copyprop, cse, dce, dead_slots, memfwd, pure_calls, simplify_cfg};
+use crate::{
+    algebraic, constprop, copyprop, cse, dce, dead_slots, memfwd, pure_calls, simplify_cfg,
+};
 use hlo_ir::{Function, Program};
+use hlo_lint::Checker;
 
 /// Aggregate statistics from an optimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,7 +26,14 @@ pub struct OptStats {
 }
 
 impl OptStats {
-    fn absorb_function_round(&mut self, cp: constprop::ConstPropStats, cfg: simplify_cfg::CfgStats, cse_n: u64, copy_n: u64, dce_n: u64) -> bool {
+    fn absorb_function_round(
+        &mut self,
+        cp: constprop::ConstPropStats,
+        cfg: simplify_cfg::CfgStats,
+        cse_n: u64,
+        copy_n: u64,
+        dce_n: u64,
+    ) -> bool {
         self.folded += cp.insts_folded;
         self.branches_folded += cp.branches_folded + cfg.branches_folded;
         self.indirect_promoted += cp.indirect_promoted;
@@ -39,17 +49,34 @@ impl OptStats {
 /// copyprop → CSE → DCE → dead-slot elimination, repeated while anything
 /// changes, at most `MAX_ROUNDS` times.
 pub fn optimize_function(f: &mut Function) -> OptStats {
+    optimize_function_checked(f, &mut Checker::disabled())
+}
+
+/// [`optimize_function`] in verify-each mode: after every sub-pass the
+/// checker's battery runs on the function, so a defect is attributed to
+/// the exact scalar pass that introduced it (e.g. `cse`), not just "the
+/// optimizer". With a disabled checker this is exactly
+/// [`optimize_function`] — the boundary calls return immediately.
+pub fn optimize_function_checked(f: &mut Function, ck: &mut Checker) -> OptStats {
     const MAX_ROUNDS: usize = 8;
     let mut stats = OptStats::default();
     for _ in 0..MAX_ROUNDS {
         let cp = constprop::propagate(f);
+        ck.check_function(f, "constprop");
         let alg_n = algebraic::simplify_algebra(f);
+        ck.check_function(f, "algebraic");
         let cfg = simplify_cfg::simplify(f);
+        ck.check_function(f, "simplify_cfg");
         let fwd_n = memfwd::forward_stores(f);
+        ck.check_function(f, "memfwd");
         let copy_n = copyprop::propagate_copies(f);
+        ck.check_function(f, "copyprop");
         let cse_n = cse::eliminate_common(f);
+        ck.check_function(f, "cse");
         let dce_n = dce::eliminate_dead(f);
+        ck.check_function(f, "dce");
         let slot_n = dead_slots::eliminate_dead_slots(f);
+        ck.check_function(f, "dead_slots");
         stats.folded += alg_n + fwd_n;
         stats.dead_removed += slot_n;
         if !stats.absorb_function_round(cp, cfg, cse_n, copy_n, dce_n)
@@ -65,11 +92,20 @@ pub fn optimize_function(f: &mut Function) -> OptStats {
 /// routines (interprocedural), iterating once more when that deletion
 /// exposes new intraprocedural opportunities.
 pub fn optimize_program(p: &mut Program) -> OptStats {
+    optimize_program_checked(p, &mut Checker::disabled())
+}
+
+/// [`optimize_program`] in verify-each mode; see
+/// [`optimize_function_checked`].
+pub fn optimize_program_checked(p: &mut Program, ck: &mut Checker) -> OptStats {
     let mut stats = OptStats::default();
     for _ in 0..3 {
         let mut changed = false;
-        for f in &mut p.funcs {
-            let s = optimize_function(f);
+        for i in 0..p.funcs.len() {
+            let s = {
+                let f = &mut p.funcs[i];
+                optimize_function_checked(f, ck)
+            };
             changed |= s.folded + s.dead_removed + s.blocks_simplified + s.cse_replaced > 0
                 || s.branches_folded > 0
                 || s.indirect_promoted > 0;
@@ -81,6 +117,7 @@ pub fn optimize_program(p: &mut Program) -> OptStats {
             stats.cse_replaced += s.cse_replaced;
         }
         let pure_n = pure_calls::eliminate_pure_calls(p);
+        ck.check(p, "pure_calls");
         stats.pure_calls_removed += pure_n;
         if pure_n == 0 && !changed {
             break;

@@ -91,7 +91,7 @@ fn thread_jumps(f: &mut Function, stats: &mut CfgStats) -> bool {
     // Resolve each block to its final non-trivial destination, with a hop
     // bound to defuse trivial-jump cycles.
     let mut resolved: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
-    for b in 0..n {
+    for (b, res) in resolved.iter_mut().enumerate() {
         let mut cur = BlockId(b as u32);
         let mut hops = 0;
         while let Some(t) = trivial_target(f, cur) {
@@ -102,7 +102,7 @@ fn thread_jumps(f: &mut Function, stats: &mut CfgStats) -> bool {
                 break;
             }
         }
-        resolved[b] = cur;
+        *res = cur;
     }
     let mut changed = false;
     for block in &mut f.blocks {
@@ -172,11 +172,7 @@ fn merge_chains(f: &mut Function, stats: &mut CfgStats) -> bool {
             continue;
         }
         // Follow the chain greedily from b.
-        loop {
-            let target = match f.blocks[b].insts.last() {
-                Some(Inst::Jump { target }) => *target,
-                _ => break,
-            };
+        while let Some(Inst::Jump { target }) = f.blocks[b].insts.last() {
             let t = target.index();
             if t == b || t == 0 || merged_away[t] || preds[t].len() != 1 {
                 break;
@@ -190,7 +186,9 @@ fn merge_chains(f: &mut Function, stats: &mut CfgStats) -> bool {
             blk.insts.append(&mut tail);
             // Leave a self-consistent husk: the merged-away block becomes
             // unreachable and is collected by remove_unreachable.
-            f.blocks[t].insts.push(Inst::Jump { target: BlockId(b as u32) });
+            f.blocks[t].insts.push(Inst::Jump {
+                target: BlockId(b as u32),
+            });
             merged_away[t] = true;
             stats.blocks_merged += 1;
             changed = true;

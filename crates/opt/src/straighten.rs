@@ -118,11 +118,15 @@ pub fn straighten_blocks(f: &mut Function) -> bool {
                 // Conditional branch: adjacency is only locality. Leave
                 // blocks that an unplaced jump wants as fall-through.
                 let unclaimed = hottest(&mut succs[cur.index()].iter().copied().filter(|s| {
-                    !placed[s.index()]
-                        && !jump_preds[s.index()].iter().any(|q| !placed[q.index()])
+                    !placed[s.index()] && !jump_preds[s.index()].iter().any(|q| !placed[q.index()])
                 }));
                 unclaimed.or_else(|| {
-                    hottest(&mut succs[cur.index()].iter().copied().filter(|s| !placed[s.index()]))
+                    hottest(
+                        &mut succs[cur.index()]
+                            .iter()
+                            .copied()
+                            .filter(|s| !placed[s.index()]),
+                    )
                 })
             };
             match next {

@@ -66,7 +66,7 @@ const LIB_DATA_BASE: u64 = 1 << 34;
 /// registers: between 2 and 8, one per four registers (PA-RISC has a
 /// fixed callee-saved set; bigger routines use more of it).
 fn saves_for(regs: u32) -> u64 {
-    ((regs / 4).max(2).min(8)) as u64
+    (regs / 4).clamp(2, 8) as u64
 }
 
 /// The PA8000-style model; implements [`ExecMonitor`].
@@ -161,7 +161,14 @@ impl ExecMonitor for Pa8000Model {
         }
     }
 
-    fn call(&mut self, _site: SiteId, _callee: FuncId, kind: CallKind, callee_regs: u32, n_args: usize) {
+    fn call(
+        &mut self,
+        _site: SiteId,
+        _callee: FuncId,
+        kind: CallKind,
+        callee_regs: u32,
+        n_args: usize,
+    ) {
         // The call branch itself.
         self.branches += 1;
         if kind == CallKind::Indirect {
@@ -195,7 +202,8 @@ impl ExecMonitor for Pa8000Model {
         self.mispredicts += 1;
         self.retired += self.cfg.extern_cost;
         for _ in 0..self.cfg.extern_dcache {
-            self.dcache.access(LIB_DATA_BASE + (self.lib_cursor % 512) * 8);
+            self.dcache
+                .access(LIB_DATA_BASE + (self.lib_cursor % 512) * 8);
             self.lib_cursor += 1;
         }
     }
@@ -273,7 +281,8 @@ mod tests {
     fn icache_pressure_appears_when_code_exceeds_capacity() {
         // A program whose straight-line hot code is much larger than a
         // tiny I-cache must miss repeatedly.
-        let mut body = String::from("fn main() { var s = 0; for (var r = 0; r < 50; r = r + 1) {\n");
+        let mut body =
+            String::from("fn main() { var s = 0; for (var r = 0; r < 50; r = r + 1) {\n");
         for i in 0..400 {
             body.push_str(&format!("s = s + {i}; s = s ^ {i}; s = s * 3;\n"));
         }

@@ -94,19 +94,35 @@ pub fn benchmark(name: &str) -> Option<Benchmark> {
 
 /// The subset reported in the paper's Table 1.
 pub fn table1_benchmarks() -> Vec<Benchmark> {
-    ["008.espresso", "022.li", "072.sc", "085.gcc", "099.go", "124.m88ksim", "147.vortex"]
-        .iter()
-        .filter_map(|n| benchmark(n))
-        .collect()
+    [
+        "008.espresso",
+        "022.li",
+        "072.sc",
+        "085.gcc",
+        "099.go",
+        "124.m88ksim",
+        "147.vortex",
+    ]
+    .iter()
+    .filter_map(|n| benchmark(n))
+    .collect()
 }
 
 /// The subset simulated in the paper's Figure 7 (SPEC95 programs with
 /// reduced inputs).
 pub fn figure7_benchmarks() -> Vec<Benchmark> {
-    ["099.go", "124.m88ksim", "126.gcc", "130.li", "132.ijpeg", "134.perl", "147.vortex"]
-        .iter()
-        .filter_map(|n| benchmark(n))
-        .collect()
+    [
+        "099.go",
+        "124.m88ksim",
+        "126.gcc",
+        "130.li",
+        "132.ijpeg",
+        "134.perl",
+        "147.vortex",
+    ]
+    .iter()
+    .filter_map(|n| benchmark(n))
+    .collect()
 }
 
 #[cfg(test)]
@@ -122,8 +138,14 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 14);
-        assert_eq!(all.iter().filter(|b| b.suite == SpecSuite::Int92).count(), 6);
-        assert_eq!(all.iter().filter(|b| b.suite == SpecSuite::Int95).count(), 8);
+        assert_eq!(
+            all.iter().filter(|b| b.suite == SpecSuite::Int92).count(),
+            6
+        );
+        assert_eq!(
+            all.iter().filter(|b| b.suite == SpecSuite::Int95).count(),
+            8
+        );
     }
 
     #[test]
@@ -133,7 +155,12 @@ mod tests {
             hlo_ir::verify_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let out = run_program(&p, &[b.train_arg], &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            assert!(out.retired > 1000, "{} too trivial: {}", b.name, out.retired);
+            assert!(
+                out.retired > 1000,
+                "{} too trivial: {}",
+                b.name,
+                out.retired
+            );
         }
     }
 

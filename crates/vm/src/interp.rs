@@ -91,8 +91,16 @@ pub fn run_with_monitor<M: ExecMonitor>(
     let mut retired = 0u64;
 
     let mut frames: Vec<Frame> = Vec::with_capacity(64);
-    push_frame(p, entry, args, &mut sp, mem.stack_limit(), None, &mut frames)
-        .map_err(|t| in_func(t, p, entry))?;
+    push_frame(
+        p,
+        entry,
+        args,
+        &mut sp,
+        mem.stack_limit(),
+        None,
+        &mut frames,
+    )
+    .map_err(|t| in_func(t, p, entry))?;
     monitor.block(entry, BlockId(0));
 
     let final_ret;
@@ -148,8 +156,8 @@ pub fn run_with_monitor<M: ExecMonitor>(
             }
             Inst::Load { dst, base, offset } => {
                 let fr = frames.last_mut().expect("frame");
-                let addr = ev(*base, &fr.regs, &mem).wrapping_add(ev(*offset, &fr.regs, &mem))
-                    as u64;
+                let addr =
+                    ev(*base, &fr.regs, &mem).wrapping_add(ev(*offset, &fr.regs, &mem)) as u64;
                 monitor.mem(addr, false);
                 let v = mem.load(addr).map_err(|t| in_func(t, p, func_id))?;
                 let fr = frames.last_mut().expect("frame");
@@ -162,8 +170,8 @@ pub fn run_with_monitor<M: ExecMonitor>(
                 value,
             } => {
                 let fr = frames.last().expect("frame");
-                let addr = ev(*base, &fr.regs, &mem).wrapping_add(ev(*offset, &fr.regs, &mem))
-                    as u64;
+                let addr =
+                    ev(*base, &fr.regs, &mem).wrapping_add(ev(*offset, &fr.regs, &mem)) as u64;
                 let v = ev(*value, &fr.regs, &mem);
                 monitor.mem(addr, true);
                 mem.store(addr, v).map_err(|t| in_func(t, p, func_id))?;
@@ -326,9 +334,8 @@ fn push_frame(
     // Missing arguments read as 0, extras are dropped: arity-mismatched
     // programs keep running (the paper preserves semantically incorrect
     // programs; HLO just refuses to inline or clone such sites).
-    for i in 0..(f.params as usize).min(args.len()) {
-        regs[i] = args[i];
-    }
+    let n = (f.params as usize).min(args.len());
+    regs[..n].copy_from_slice(&args[..n]);
     frames.push(Frame {
         func,
         block: BlockId(0),

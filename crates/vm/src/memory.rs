@@ -94,7 +94,7 @@ impl Memory {
     }
 
     fn word_index(&self, addr: u64) -> Result<usize, Trap> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(Trap::new(TrapKind::Misaligned { addr }));
         }
         if addr < NULL_GUARD_BYTES || addr >= self.words.len() as u64 * 8 {

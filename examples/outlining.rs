@@ -45,7 +45,10 @@ fn main(n) {
 }
 "#;
 
-fn build(outline: bool, db: &profile::ProfileDb) -> (hlo::HloReport, aggressive_inlining::ir::Program) {
+fn build(
+    outline: bool,
+    db: &profile::ProfileDb,
+) -> (hlo::HloReport, aggressive_inlining::ir::Program) {
     let mut p = aggressive_inlining::frontc::compile(&[("app", SRC)]).expect("valid MinC");
     let opts = hlo::HloOptions {
         budget_percent: 150,
@@ -68,7 +71,10 @@ fn main() {
     let (r_plain, p_plain) = build(false, &db);
     let (r_outl, p_outl) = build(true, &db);
     println!("without outlining: {r_plain}");
-    println!("with outlining   : {r_outl} ({} regions outlined)", r_outl.outlines);
+    println!(
+        "with outlining   : {r_outl} ({} regions outlined)",
+        r_outl.outlines
+    );
 
     // Tiny I-cache so hot-loop footprint matters.
     let machine = sim::MachineConfig {

@@ -39,7 +39,8 @@ fn main() {
     // 3. Measure both on the *ref* input through the PA8000 model.
     let (s_static, o_static) =
         sim::simulate(&static_build, &[bench.ref_arg], &opts, &machine).expect("runs");
-    let (s_pgo, o_pgo) = sim::simulate(&pgo_build, &[bench.ref_arg], &opts, &machine).expect("runs");
+    let (s_pgo, o_pgo) =
+        sim::simulate(&pgo_build, &[bench.ref_arg], &opts, &machine).expect("runs");
     assert_eq!(o_static.ret, o_pgo.ret);
 
     println!("\nstatic heuristics : {r_static}");

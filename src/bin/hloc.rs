@@ -4,6 +4,7 @@
 //! hloc build [OPTIONS] <file.mc>...   compile + optimize, report, optionally run
 //! hloc opt [OPTIONS] <file.ir>        re-optimize dumped IR (isom-style path)
 //! hloc run   <file.mc>... [--arg N]   compile without HLO and execute
+//! hloc lint  <file.mc>... [--pedantic]  static-analysis report (no optimization)
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
 //! hloc help                           this text
 //! ```
@@ -12,9 +13,9 @@
 //! `--scope module|program`, `--budget N`, `--passes N`, `--no-inline`,
 //! `--no-clone`, `--outline`, `--train N` (PGO training run with scale N),
 //! `--emit-ir PATH` (`-` for stdout), `--run`, `--trace N`, `--sim`,
-//! `--arg N`.
+//! `--arg N`, `--verify-each`, `--check off|structural|strict`.
 
-use aggressive_inlining::{analysis, frontc, hlo, ir, profile, sim, vm};
+use aggressive_inlining::{analysis, frontc, hlo, ir, lint, profile, sim, vm};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -24,18 +25,19 @@ fn main() -> ExitCode {
         None => ("help", &args[..]),
     };
     let result = match cmd {
-        "build" => build(rest),
-        "opt" => opt_ir(rest),
-        "run" => run_plain(rest),
-        "classify" => classify(rest),
+        "build" => build(rest).map(|_| ExitCode::SUCCESS),
+        "opt" => opt_ir(rest).map(|_| ExitCode::SUCCESS),
+        "run" => run_plain(rest).map(|_| ExitCode::SUCCESS),
+        "lint" => lint_cmd(rest),
+        "classify" => classify(rest).map(|_| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print_help();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`; try `hloc help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("hloc: {msg}");
             ExitCode::from(2)
@@ -51,6 +53,7 @@ USAGE:
   hloc build [OPTIONS] <file.mc>...
   hloc opt [OPTIONS] <file.ir>         re-optimize dumped IR (isom-style)
   hloc run <file.mc>... [--arg N]
+  hloc lint <file.mc>... [--pedantic]  static-analysis report (exit 1 on findings)
   hloc classify <file.mc>...
 
 BUILD OPTIONS:
@@ -65,7 +68,10 @@ BUILD OPTIONS:
   --emit-ir PATH           write optimized IR text to PATH ('-' = stdout)
   --run                    execute the optimized program on the VM
   --trace N                with --run: print the first N executed instructions
-  --sim                    execute under the PA8000 model and print stats"
+  --sim                    execute under the PA8000 model and print stats
+  --verify-each            run the full hlo-lint battery after every pipeline
+                           stage; fail if any stage introduces a diagnostic
+  --check LEVEL            verify-each level: off, structural, or strict"
     );
 }
 
@@ -119,6 +125,8 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
             "--no-inline" => p.opts.enable_inline = false,
             "--no-clone" => p.opts.enable_clone = false,
             "--outline" => p.opts.enable_outline = true,
+            "--verify-each" => p.opts.check = hlo::CheckLevel::Strict,
+            "--check" => p.opts.check = value("--check")?.parse()?,
             "--train" => {
                 p.train = Some(
                     value("--train")?
@@ -197,6 +205,7 @@ fn build(rest: &[String]) -> Result<(), String> {
     if report.outlines > 0 {
         eprintln!("outlined {} cold regions", report.outlines);
     }
+    check_verify_each(&report)?;
     if let Some(path) = &parsed.emit_ir {
         let text = ir::program_to_text(&program);
         if path == "-" {
@@ -247,6 +256,7 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
     ir::verify_program(&program).map_err(|e| format!("invalid IR: {e}"))?;
     let report = hlo::optimize(&mut program, None, &parsed.opts);
     eprintln!("{report}");
+    check_verify_each(&report)?;
     if let Some(path) = &parsed.emit_ir {
         let out = ir::program_to_text(&program);
         if path == "-" {
@@ -277,6 +287,44 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
         eprintln!("{stats}");
     }
     Ok(())
+}
+
+/// Fails the build when a verify-each run attributed any diagnostic to a
+/// pipeline stage (input defects are reported but do not fail — the
+/// pipeline is not to blame for them).
+fn check_verify_each(report: &hlo::HloReport) -> Result<(), String> {
+    let introduced = report.introduced_diagnostics().count();
+    if introduced > 0 {
+        return Err(format!(
+            "verify-each: {introduced} diagnostics introduced by the pipeline"
+        ));
+    }
+    Ok(())
+}
+
+/// `hloc lint`: compile and report every structural and lint finding
+/// without optimizing. Exit status 1 when anything is found.
+fn lint_cmd(rest: &[String]) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut opts = lint::LintOptions::default();
+    for a in rest {
+        match a.as_str() {
+            "--pedantic" => opts.pedantic = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    let program = compile(&files)?;
+    let report = lint::lint_report(&program, &opts);
+    if report.diags.is_empty() {
+        eprintln!("lint: no diagnostics");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{report}");
+    Ok(ExitCode::from(1))
 }
 
 fn run_maybe_traced(

@@ -1,0 +1,29 @@
+//! `cargo tier2` — the repository's second-tier quality gate: clippy with
+//! warnings denied across all targets, then `rustfmt` in check mode.
+
+use std::process::{Command, ExitCode};
+
+fn run(args: &[&str]) -> bool {
+    eprintln!("tier2: cargo {}", args.join(" "));
+    Command::new(env!("CARGO"))
+        .args(args)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+fn main() -> ExitCode {
+    let clippy = run(&["clippy", "--all-targets", "--", "-D", "warnings"]);
+    let fmt = run(&["fmt", "--all", "--check"]);
+    if clippy && fmt {
+        eprintln!("tier2: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tier2: FAILED ({}{})",
+            if clippy { "" } else { "clippy " },
+            if fmt { "" } else { "fmt" }
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -23,6 +23,7 @@ pub use hlo;
 pub use hlo_analysis as analysis;
 pub use hlo_frontc as frontc;
 pub use hlo_ir as ir;
+pub use hlo_lint as lint;
 pub use hlo_opt as opt;
 pub use hlo_profile as profile;
 pub use hlo_sim as sim;

@@ -40,7 +40,11 @@ fn build_run_produces_program_output() {
         .arg(&main)
         .output()
         .expect("hloc runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // sum of 3*(i+1) for i in 0..100 = 3 * (5050 + 50... ) compute: 3*sum(i+1)=3*5050=15150
     assert_eq!(stdout.trim(), "15150");
@@ -68,7 +72,11 @@ fn emit_ir_then_opt_roundtrip() {
         .arg(&main)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::read_to_string(&ir_path)
         .unwrap()
         .starts_with("hlo-ir v1"));
@@ -78,7 +86,11 @@ fn emit_ir_then_opt_roundtrip() {
         .arg(&ir_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "15150");
 }
 
@@ -86,10 +98,22 @@ fn emit_ir_then_opt_roundtrip() {
 fn classify_prints_all_categories() {
     let dir = tmpdir("classify");
     let (lib, main) = write_sources(&dir);
-    let out = hloc().arg("classify").arg(&lib).arg(&main).output().unwrap();
+    let out = hloc()
+        .arg("classify")
+        .arg(&lib)
+        .arg(&main)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for label in ["external", "indirect", "cross-module", "within-module", "recursive", "total"] {
+    for label in [
+        "external",
+        "indirect",
+        "cross-module",
+        "within-module",
+        "recursive",
+        "total",
+    ] {
         assert!(stdout.contains(label), "{stdout}");
     }
 }

@@ -35,7 +35,10 @@ fn train_runs_match_golden_values() {
         let o = vm::run_program(&p, &[b.train_arg], &vm::ExecOptions::default()).unwrap();
         assert_eq!(o.ret, ret, "{name} return value drifted");
         assert_eq!(o.checksum, checksum, "{name} checksum drifted");
-        assert_eq!(o.retired, retired, "{name} baseline instruction count drifted");
+        assert_eq!(
+            o.retired, retired,
+            "{name} baseline instruction count drifted"
+        );
     }
 }
 

@@ -1,0 +1,133 @@
+//! Golden lint-report tests: the benchmark suite is diagnostic-free, the
+//! full pipeline under verify-each stays diagnostic-free, and deliberately
+//! broken programs produce exactly the expected findings.
+
+use hlo::{optimize, CheckLevel, Checker, HloOptions};
+use hlo_lint::{full_diagnostics, lint_program, lint_report, LintOptions, Severity};
+
+/// Every suite program, freshly compiled, reports zero diagnostics —
+/// structural and lint battery both.
+#[test]
+fn suite_programs_lint_clean() {
+    for b in hlo_suite::all_benchmarks() {
+        let p = b.compile().unwrap();
+        let report = lint_report(&p, &LintOptions::default());
+        assert!(report.diags.is_empty(), "{}:\n{report}", b.name);
+    }
+}
+
+/// The full driver at `CheckLevel::Strict` introduces no diagnostics on
+/// any suite program, at the default budget and at a generous one.
+#[test]
+fn verify_each_pipeline_is_diagnostic_free_on_suite() {
+    for b in hlo_suite::all_benchmarks() {
+        for budget in [100, 400] {
+            let mut p = b.compile().unwrap();
+            let opts = HloOptions {
+                check: CheckLevel::Strict,
+                budget_percent: budget,
+                ..Default::default()
+            };
+            let report = optimize(&mut p, None, &opts);
+            let introduced: Vec<_> = report.introduced_diagnostics().collect();
+            assert!(
+                introduced.is_empty(),
+                "{} (budget {budget}): {introduced:#?}",
+                b.name
+            );
+            assert!(report.checks_run > 0);
+            // The optimized output also lints clean standalone.
+            let post = lint_report(&p, &LintOptions::default());
+            assert!(
+                post.diags.is_empty(),
+                "{} (budget {budget}):\n{post}",
+                b.name
+            );
+        }
+    }
+}
+
+/// A hand-broken program (arity mismatch at the source level) yields
+/// exactly the expected diagnostic, and verify-each attributes it to the
+/// input, not to any pass.
+#[test]
+fn broken_fixture_reports_exact_arity_diagnostic() {
+    let src = "fn callee(a, b) { return a + b; }\n\
+               fn main() { return callee(7); }";
+    let p = hlo_frontc::compile(&[("m", src)]).unwrap();
+    let diags = full_diagnostics(&p, &LintOptions::default());
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.func, "main");
+    assert_eq!(
+        d.message,
+        "call to `callee` passes 1 arguments, callee takes 2"
+    );
+
+    let mut p = p;
+    let report = optimize(
+        &mut p,
+        None,
+        &HloOptions {
+            check: CheckLevel::Strict,
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.introduced_diagnostics().count(), 0, "{report}");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.pass_origin.as_deref() == Some("input")
+                && d.message.contains("passes 1 arguments")),
+        "{report}"
+    );
+}
+
+/// A defect injected *between* pass boundaries is blamed on the pass that
+/// ran in between — the verify-each contract the driver relies on.
+#[test]
+fn injected_defect_names_the_originating_pass() {
+    let mut p = hlo_frontc::compile(&[("m", "fn main() { return 3; }")]).unwrap();
+    let mut ck = Checker::new(CheckLevel::Strict);
+    ck.baseline(&p);
+    // Simulate a buggy transform: corrupt the profile annotation.
+    p.funcs[0].profile = Some(hlo_ir::FuncProfile {
+        entry: -1.0,
+        blocks: vec![-1.0; p.funcs[0].blocks.len()],
+    });
+    ck.check(&p, "inline@0");
+    let report = ck.into_report();
+    assert!(!report.diags.is_empty());
+    assert!(
+        report
+            .diags
+            .iter()
+            .all(|d| d.pass_origin.as_deref() == Some("inline@0")),
+        "{report}"
+    );
+    let rendered = report.to_string();
+    assert!(
+        rendered.contains("introduced by pass `inline@0`"),
+        "{rendered}"
+    );
+}
+
+/// Pedantic lints fire on unoptimized code (which legitimately contains
+/// dead stores) and quiet down after scalar optimization.
+#[test]
+fn pedantic_noise_shrinks_under_optimization() {
+    let b = &hlo_suite::all_benchmarks()[0];
+    let mut p = b.compile().unwrap();
+    let before = lint_program(&p, &LintOptions::pedantic()).len();
+    hlo_opt::optimize_program(&mut p);
+    let after = lint_program(&p, &LintOptions::pedantic()).len();
+    assert!(
+        after <= before,
+        "{}: pedantic findings grew {before} -> {after}",
+        b.name
+    );
+    // The non-pedantic battery is silent on both.
+    assert!(lint_program(&p, &LintOptions::default()).is_empty());
+}

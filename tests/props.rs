@@ -52,8 +52,7 @@ fn expr_strategy() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::DivSafe(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::DivSafe(Box::new(a), Box::new(b))),
             (inner.clone(), 0u8..7).prop_map(|(a, k)| E::Shl(Box::new(a), k)),
             (any::<u8>(), inner.clone(), inner).prop_map(|(t, a, b)| E::Call(
                 t,
@@ -74,8 +73,7 @@ fn stmt_strategy() -> impl Strategy<Value = S> {
     simple.prop_recursive(2, 12, 4, move |inner| {
         let block = prop::collection::vec(inner.clone(), 0..3);
         prop_oneof![
-            (expr_strategy(), block.clone(), block.clone())
-                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            (expr_strategy(), block.clone(), block.clone()).prop_map(|(c, t, f)| S::If(c, t, f)),
             ((1u8..=6), block).prop_map(|(n, b)| S::For(n, b)),
         ]
     })
@@ -173,9 +171,7 @@ impl Render {
             S::For(n, body) => {
                 let v = format!("it{}", self.loop_counter);
                 self.loop_counter += 1;
-                out.push_str(&format!(
-                    "for (var {v} = 0; {v} < {n}; {v} = {v} + 1) {{\n"
-                ));
+                out.push_str(&format!("for (var {v} = 0; {v} < {n}; {v} = {v} + 1) {{\n"));
                 for s in body {
                     self.stmt(s, fn_idx, out);
                 }
@@ -192,9 +188,8 @@ impl Render {
 
 /// Renders a full two-module program from generated function bodies.
 fn render_program(funcs: &[Vec<S>]) -> Vec<(String, String)> {
-    let mut lib = String::from(
-        "global g0;\nglobal g1;\nglobal arr0[16];\nglobal arr1[16] = {1,2,3,4};\n",
-    );
+    let mut lib =
+        String::from("global g0;\nglobal g1;\nglobal arr0[16];\nglobal arr1[16] = {1,2,3,4};\n");
     let mut drv = String::new();
     let mut r = Render { loop_counter: 0 };
     for (i, body) in funcs.iter().enumerate() {
@@ -209,7 +204,11 @@ fn render_program(funcs: &[Vec<S>]) -> Vec<(String, String)> {
     }
     drv.push_str("fn main() {\nvar h = 0;\n");
     for i in 0..funcs.len() {
-        drv.push_str(&format!("h = h * 31 + f{i}({}, {});\n", i * 7 + 1, 13 - i as i64));
+        drv.push_str(&format!(
+            "h = h * 31 + f{i}({}, {});\n",
+            i * 7 + 1,
+            13 - i as i64
+        ));
     }
     drv.push_str("sink(h);\nreturn h;\n}\n");
     vec![("lib".to_string(), lib), ("driver".to_string(), drv)]
@@ -224,19 +223,21 @@ fn options_strategy() -> impl Strategy<Value = hlo::HloOptions> {
         prop_oneof![Just(None), (0u64..6).prop_map(Some)],
         prop::bool::ANY,
     )
-        .prop_map(|(cross, budget, inline, clone, max_ops, cold)| hlo::HloOptions {
-            scope: if cross {
-                hlo::Scope::CrossModule
-            } else {
-                hlo::Scope::WithinModule
+        .prop_map(
+            |(cross, budget, inline, clone, max_ops, cold)| hlo::HloOptions {
+                scope: if cross {
+                    hlo::Scope::CrossModule
+                } else {
+                    hlo::Scope::WithinModule
+                },
+                budget_percent: budget,
+                enable_inline: inline,
+                enable_clone: clone,
+                max_ops,
+                cold_site_penalty: cold,
+                ..Default::default()
             },
-            budget_percent: budget,
-            enable_inline: inline,
-            enable_clone: clone,
-            max_ops,
-            cold_site_penalty: cold,
-            ..Default::default()
-        })
+        )
 }
 
 proptest! {
@@ -261,6 +262,21 @@ proptest! {
         let after = vm::run_program(&p, &[], &exec).expect("optimized program must terminate");
         prop_assert_eq!(before.ret, after.ret);
         prop_assert_eq!(before.checksum, after.checksum);
+    }
+
+    #[test]
+    fn verify_each_pipeline_never_introduces_diagnostics(
+        funcs in prop::collection::vec(prop::collection::vec(stmt_strategy(), 0..5), 1..5),
+        opts in options_strategy(),
+    ) {
+        let sources = render_program(&funcs);
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let mut p = frontc::compile(&refs).expect("generated program must parse");
+        let opts = hlo::HloOptions { check: hlo::CheckLevel::Strict, ..opts };
+        let report = hlo::optimize(&mut p, None, &opts);
+        let introduced: Vec<_> = report.introduced_diagnostics().collect();
+        prop_assert!(introduced.is_empty(), "pipeline introduced: {:#?}", introduced);
     }
 
     #[test]
