@@ -22,6 +22,19 @@ pub struct CallEdge {
     pub callee: FuncId,
 }
 
+/// One weakly connected component of the call graph — an independent
+/// optimization region for the parallel inline/clone planner (see
+/// [`CallGraph::partitions`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallGraphPartition {
+    /// Member functions, ascending. Singleton partitions (functions with
+    /// no direct-call edges at all) are included.
+    pub funcs: Vec<FuncId>,
+    /// Indices into [`CallGraph::edges`] of every edge inside this
+    /// partition, ascending.
+    pub edge_indices: Vec<usize>,
+}
+
 /// The program call graph.
 ///
 /// Only *direct* calls form edges; indirect and external sites are recorded
@@ -45,62 +58,106 @@ pub struct CallGraph {
     pub address_taken: Vec<bool>,
 }
 
-impl CallGraph {
-    /// Builds the call graph of `p`.
-    pub fn build(p: &Program) -> Self {
-        let n = p.funcs.len();
-        let mut edges = Vec::new();
-        let mut callees_of = vec![Vec::new(); n];
-        let mut callers_of = vec![Vec::new(); n];
-        let mut indirect_sites = Vec::new();
-        let mut extern_sites = Vec::new();
-        let mut address_taken = vec![false; n];
+/// The call-relevant facts of a single function body: its direct call
+/// edges, indirect/external sites, and the functions whose address it
+/// takes. This is the unit of incremental invalidation in
+/// [`CallGraphCache`] — editing one function only requires re-scanning
+/// this, not the whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncScan {
+    /// Direct call edges out of this function, in instruction order.
+    pub direct: Vec<CallEdge>,
+    /// Indirect call sites in this function.
+    pub indirect: Vec<CallSiteRef>,
+    /// External call sites in this function.
+    pub externs: Vec<CallSiteRef>,
+    /// Functions whose address this body takes via `FuncAddr` constants.
+    pub takes_address_of: Vec<FuncId>,
+}
 
-        for (caller, f) in p.iter_funcs() {
-            for (bid, block) in f.iter_blocks() {
-                for (idx, inst) in block.insts.iter().enumerate() {
-                    let mut note_const = |c: ConstVal| {
-                        if let ConstVal::FuncAddr(t) = c {
-                            address_taken[t.index()] = true;
-                        }
-                    };
-                    if let Inst::Const { value, .. } = inst {
-                        note_const(*value);
-                    }
-                    inst.for_each_use(|op| {
-                        if let Operand::Const(c) = op {
-                            note_const(*c);
-                        }
-                    });
-                    if let Inst::Call { callee, .. } = inst {
-                        let site = CallSiteRef {
-                            caller,
-                            block: bid,
-                            inst: idx,
-                        };
-                        match callee {
-                            Callee::Func(t) => {
-                                let ei = edges.len();
-                                edges.push(CallEdge { site, callee: *t });
-                                callees_of[caller.index()].push(ei);
-                                callers_of[t.index()].push(ei);
-                            }
-                            Callee::Extern(_) => extern_sites.push(site),
-                            Callee::Indirect(_) => indirect_sites.push(site),
-                        }
-                    }
+/// Scans one function body for the facts [`CallGraph::build`] needs.
+pub fn scan_function(caller: FuncId, f: &hlo_ir::Function) -> FuncScan {
+    let mut scan = FuncScan::default();
+    for (bid, block) in f.iter_blocks() {
+        for (idx, inst) in block.insts.iter().enumerate() {
+            let mut note_const = |c: ConstVal| {
+                if let ConstVal::FuncAddr(t) = c {
+                    scan.takes_address_of.push(t);
+                }
+            };
+            if let Inst::Const { value, .. } = inst {
+                note_const(*value);
+            }
+            inst.for_each_use(|op| {
+                if let Operand::Const(c) = op {
+                    note_const(*c);
+                }
+            });
+            if let Inst::Call { callee, .. } = inst {
+                let site = CallSiteRef {
+                    caller,
+                    block: bid,
+                    inst: idx,
+                };
+                match callee {
+                    Callee::Func(t) => scan.direct.push(CallEdge { site, callee: *t }),
+                    Callee::Extern(_) => scan.externs.push(site),
+                    Callee::Indirect(_) => scan.indirect.push(site),
                 }
             }
         }
+    }
+    scan
+}
 
-        CallGraph {
-            edges,
-            callees_of,
-            callers_of,
-            indirect_sites,
-            extern_sites,
-            address_taken,
+/// Assembles a [`CallGraph`] from per-function scans, in function order.
+/// `CallGraph::build` and [`CallGraphCache`] both go through this, so a
+/// cached graph is byte-identical to a fresh build.
+fn assemble(scans: &[FuncScan]) -> CallGraph {
+    let n = scans.len();
+    let mut edges = Vec::new();
+    let mut callees_of = vec![Vec::new(); n];
+    let mut callers_of = vec![Vec::new(); n];
+    let mut indirect_sites = Vec::new();
+    let mut extern_sites = Vec::new();
+    let mut address_taken = vec![false; n];
+    for (fi, scan) in scans.iter().enumerate() {
+        for edge in &scan.direct {
+            let ei = edges.len();
+            edges.push(*edge);
+            callees_of[fi].push(ei);
+            callers_of[edge.callee.index()].push(ei);
         }
+        indirect_sites.extend_from_slice(&scan.indirect);
+        extern_sites.extend_from_slice(&scan.externs);
+        for &t in &scan.takes_address_of {
+            address_taken[t.index()] = true;
+        }
+    }
+    CallGraph {
+        edges,
+        callees_of,
+        callers_of,
+        indirect_sites,
+        extern_sites,
+        address_taken,
+    }
+}
+
+impl CallGraph {
+    /// Builds the call graph of `p`.
+    pub fn build(p: &Program) -> Self {
+        let scans: Vec<FuncScan> = p
+            .iter_funcs()
+            .map(|(caller, f)| scan_function(caller, f))
+            .collect();
+        assemble(&scans)
+    }
+
+    /// Assembles a graph from per-function scans (the
+    /// [`crate::CallGraphCache`] fast path; same code as `build`).
+    pub(crate) fn assemble_from_scans(scans: &[FuncScan]) -> Self {
+        assemble(scans)
     }
 
     /// Number of functions covered.
@@ -179,6 +236,53 @@ impl CallGraph {
             }
         }
         sccs
+    }
+
+    /// Partitions the program into independent optimization regions: the
+    /// weakly connected components of the SCC condensation of the direct
+    /// call graph (equivalently, of the graph itself — condensing cycles
+    /// never merges or splits weak components). No direct-call edge
+    /// crosses a partition boundary, so inline/clone decisions inside one
+    /// partition cannot affect any other: the HLO driver plans partitions
+    /// concurrently and the result is independent of the worker count.
+    ///
+    /// Partitions are returned in ascending order of their smallest
+    /// member `FuncId`; members and edge indices are ascending too, so
+    /// the decomposition is deterministic.
+    pub fn partitions(&self) -> Vec<CallGraphPartition> {
+        let n = self.num_funcs();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        for e in &self.edges {
+            let a = find(&mut parent, e.site.caller.index());
+            let b = find(&mut parent, e.callee.index());
+            if a != b {
+                // Union by smaller root id keeps roots == smallest member.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi] = lo;
+            }
+        }
+        let mut index_of_root = vec![usize::MAX; n];
+        let mut parts: Vec<CallGraphPartition> = Vec::new();
+        for f in 0..n {
+            let r = find(&mut parent, f);
+            if index_of_root[r] == usize::MAX {
+                index_of_root[r] = parts.len();
+                parts.push(CallGraphPartition::default());
+            }
+            parts[index_of_root[r]].funcs.push(FuncId(f as u32));
+        }
+        for (ei, e) in self.edges.iter().enumerate() {
+            let r = find(&mut parent, e.site.caller.index());
+            parts[index_of_root[r]].edge_indices.push(ei);
+        }
+        parts
     }
 
     /// Whether `f` participates in recursion: a self edge or a nontrivial
@@ -326,6 +430,61 @@ mod tests {
         assert_eq!(sccs.len(), n as usize);
         // bottom-up: the leaf (last function) first
         assert_eq!(sccs[0], vec![FuncId(n - 1)]);
+    }
+
+    #[test]
+    fn partitions_split_weak_components() {
+        // Two islands: {main, a, b, c} (main->a->b->a, main->c direct and
+        // indirect) and two isolated helpers {d}, {e} with d->e.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let base = program(); // main=0,a=1,b=2,c=3
+        let mut p = base;
+        let mut d = FunctionBuilder::new("d", m, 0);
+        let e = d.entry_block();
+        d.call_void(e, FuncId(5), vec![]);
+        d.ret(e, None);
+        let did = FuncId(p.funcs.len() as u32);
+        p.funcs.push(d.finish(Linkage::Public, Type::Void));
+        p.modules[0].funcs.push(did);
+        let mut ef = FunctionBuilder::new("e", m, 0);
+        let b = ef.entry_block();
+        ef.ret(b, None);
+        let eid = FuncId(p.funcs.len() as u32);
+        p.funcs.push(ef.finish(Linkage::Public, Type::Void));
+        p.modules[0].funcs.push(eid);
+        let _ = pb;
+
+        let cg = CallGraph::build(&p);
+        let parts = cg.partitions();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            parts[0].funcs,
+            vec![FuncId(0), FuncId(1), FuncId(2), FuncId(3)]
+        );
+        assert_eq!(parts[1].funcs, vec![FuncId(4), FuncId(5)]);
+        // Every edge is inside exactly one partition.
+        let total: usize = parts.iter().map(|q| q.edge_indices.len()).sum();
+        assert_eq!(total, cg.edges.len());
+        for part in &parts {
+            for &ei in &part.edge_indices {
+                let e = cg.edges[ei];
+                assert!(part.funcs.contains(&e.site.caller));
+                assert!(part.funcs.contains(&e.callee));
+            }
+        }
+    }
+
+    #[test]
+    fn every_function_lands_in_exactly_one_partition() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let parts = cg.partitions();
+        let mut seen: Vec<FuncId> = parts.iter().flat_map(|q| q.funcs.clone()).collect();
+        seen.sort();
+        assert_eq!(seen.len(), p.funcs.len());
+        seen.dedup();
+        assert_eq!(seen.len(), p.funcs.len());
     }
 
     #[allow(unused)]

@@ -1,0 +1,218 @@
+//! An incrementally-invalidated call graph.
+//!
+//! The HLO driver queries the call graph at every pass boundary
+//! (inline, clone, delete, pure-call removal), but each pass edits only a
+//! handful of functions. Rebuilding from scratch re-scans every
+//! instruction of the program; the cache re-scans only the functions whose
+//! bodies changed since the last query and reassembles the graph from the
+//! per-function scans. Assembly goes through the same code path as
+//! [`CallGraph::build`], so the cached graph is always byte-identical to a
+//! fresh build — there is no "approximately right" mode.
+
+use crate::callgraph::{scan_function, CallGraph, FuncScan};
+use hlo_ir::{FuncId, Program};
+
+/// A demand-rebuilt call graph with per-function invalidation.
+///
+/// Usage: call [`CallGraphCache::graph`] to get the current graph; after
+/// mutating a function's body, call [`CallGraphCache::invalidate`] with its
+/// id. Newly appended functions (clones, outlined regions) are picked up
+/// automatically — the cache notices the program grew. Functions are never
+/// removed from a [`Program`] (deletion empties the body and drops the
+/// module-list entry), so shrinkage does not occur.
+#[derive(Debug, Default)]
+pub struct CallGraphCache {
+    scans: Vec<FuncScan>,
+    dirty: Vec<bool>,
+    graph: Option<CallGraph>,
+    rebuilds: u64,
+    rescans: u64,
+}
+
+impl CallGraphCache {
+    /// An empty cache; the first [`CallGraphCache::graph`] call scans the
+    /// whole program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks one function's body as changed. Only its out-edges (and the
+    /// address-taken bits it contributes) are re-scanned at the next query.
+    pub fn invalidate(&mut self, f: FuncId) {
+        if f.index() < self.dirty.len() {
+            self.dirty[f.index()] = true;
+            self.graph = None;
+        }
+        // Ids beyond the scanned range are new functions; growth is
+        // detected in `graph()` regardless.
+    }
+
+    /// Marks every function as changed (used after transforms with
+    /// non-local effects, e.g. outlining).
+    pub fn invalidate_all(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
+        }
+        self.graph = None;
+    }
+
+    /// The call graph of `p`, re-scanning only invalidated or newly
+    /// appended functions.
+    pub fn graph(&mut self, p: &Program) -> &CallGraph {
+        if self.scans.len() < p.funcs.len() {
+            // Program grew: scan the new tail.
+            for i in self.scans.len()..p.funcs.len() {
+                let id = FuncId(i as u32);
+                self.scans.push(scan_function(id, p.func(id)));
+                self.dirty.push(false);
+                self.rescans += 1;
+            }
+            self.graph = None;
+        }
+        debug_assert_eq!(self.scans.len(), p.funcs.len());
+        let mut changed = false;
+        for (i, d) in self.dirty.iter_mut().enumerate() {
+            if *d {
+                let id = FuncId(i as u32);
+                self.scans[i] = scan_function(id, p.func(id));
+                self.rescans += 1;
+                *d = false;
+                changed = true;
+            }
+        }
+        if changed {
+            self.graph = None;
+        }
+        if self.graph.is_none() {
+            self.graph = Some(CallGraph::assemble_from_scans(&self.scans));
+            self.rebuilds += 1;
+        }
+        self.graph.as_ref().expect("graph just assembled")
+    }
+
+    /// How many times the graph was reassembled (cheap, `O(edges)`).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// How many function bodies were re-scanned (the expensive part a
+    /// fresh `CallGraph::build` pays for *every* function, every time).
+    pub fn rescans(&self) -> u64 {
+        self.rescans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_ir::{FuncId, FunctionBuilder, Linkage, ProgramBuilder, Type};
+
+    fn chain_program(n: u32) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        for i in 0..n {
+            let mut f = FunctionBuilder::new(format!("f{i}"), m, 0);
+            let e = f.entry_block();
+            if i + 1 < n {
+                f.call_void(e, FuncId(i + 1), vec![]);
+            }
+            f.ret(e, None);
+            pb.add_function(f.finish(Linkage::Public, Type::Void));
+        }
+        pb.finish(Some(FuncId(0)))
+    }
+
+    fn assert_matches_fresh(cache: &mut CallGraphCache, p: &Program) {
+        let cached = cache.graph(p);
+        let fresh = CallGraph::build(p);
+        assert_eq!(cached.edges, fresh.edges);
+        assert_eq!(cached.callees_of, fresh.callees_of);
+        assert_eq!(cached.callers_of, fresh.callers_of);
+        assert_eq!(cached.indirect_sites, fresh.indirect_sites);
+        assert_eq!(cached.extern_sites, fresh.extern_sites);
+        assert_eq!(cached.address_taken, fresh.address_taken);
+    }
+
+    #[test]
+    fn first_query_matches_fresh_build() {
+        let p = chain_program(5);
+        let mut cache = CallGraphCache::new();
+        assert_matches_fresh(&mut cache, &p);
+        assert_eq!(cache.rescans(), 5);
+        assert_eq!(cache.rebuilds(), 1);
+    }
+
+    #[test]
+    fn unchanged_requery_rescans_nothing() {
+        let p = chain_program(4);
+        let mut cache = CallGraphCache::new();
+        cache.graph(&p);
+        cache.graph(&p);
+        cache.graph(&p);
+        assert_eq!(cache.rescans(), 4);
+        assert_eq!(cache.rebuilds(), 1);
+    }
+
+    #[test]
+    fn invalidation_rescans_only_the_edited_function() {
+        let mut p = chain_program(6);
+        let mut cache = CallGraphCache::new();
+        cache.graph(&p);
+        // Edit f2: retarget its call from f3 to f5.
+        for b in &mut p.funcs[2].blocks {
+            for inst in &mut b.insts {
+                if let hlo_ir::Inst::Call { callee, .. } = inst {
+                    *callee = hlo_ir::Callee::Func(FuncId(5));
+                }
+            }
+        }
+        cache.invalidate(FuncId(2));
+        assert_matches_fresh(&mut cache, &p);
+        assert_eq!(cache.rescans(), 7, "6 initial + 1 invalidated");
+    }
+
+    #[test]
+    fn appended_functions_are_picked_up() {
+        let p = chain_program(3);
+        let mut cache = CallGraphCache::new();
+        cache.graph(&p);
+        // Grow the program by a function that calls f0 and takes f1's
+        // address.
+        let mut p = p;
+        let m = p.funcs[0].module;
+        let mut g = FunctionBuilder::new("g", m, 0);
+        let e = g.entry_block();
+        g.call_void(e, FuncId(0), vec![]);
+        let fp = g.const_(e, hlo_ir::ConstVal::FuncAddr(FuncId(1)));
+        g.call_indirect(e, fp.into(), vec![]);
+        g.ret(e, None);
+        let id = FuncId(p.funcs.len() as u32);
+        p.funcs.push(g.finish(Linkage::Public, Type::Void));
+        p.modules[m.index()].funcs.push(id);
+        assert_matches_fresh(&mut cache, &p);
+        let cg = cache.graph(&p);
+        assert!(cg.address_taken[1]);
+        assert_eq!(cg.callees_of[id.index()].len(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_matches_fresh() {
+        let mut p = chain_program(4);
+        let mut cache = CallGraphCache::new();
+        cache.graph(&p);
+        p.funcs[1].blocks[0].insts.clear();
+        p.funcs[1].blocks[0]
+            .insts
+            .push(hlo_ir::Inst::Ret { value: None });
+        cache.invalidate_all();
+        assert_matches_fresh(&mut cache, &p);
+    }
+
+    #[test]
+    fn invalidating_unknown_id_is_harmless() {
+        let p = chain_program(2);
+        let mut cache = CallGraphCache::new();
+        cache.invalidate(FuncId(99));
+        assert_matches_fresh(&mut cache, &p);
+    }
+}

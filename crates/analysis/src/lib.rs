@@ -6,6 +6,9 @@
 //! * [`CallGraph`] — direct/indirect/external call sites, address-taken
 //!   functions, caller/callee edge indices, and Tarjan SCCs providing the
 //!   bottom-up order the inline scheduler walks (paper §2.4).
+//! * [`CallGraphCache`] — the same graph behind per-function
+//!   invalidation: passes that edit a few functions re-scan only those
+//!   bodies instead of the whole program.
 //! * [`Dominators`] / [`LoopInfo`] — natural-loop nesting used for static
 //!   block-frequency estimation when no profile is available ("without such
 //!   data it uses heuristics to guess at the relative importance", §2.3).
@@ -19,6 +22,7 @@
 //!   roots, used when deleting fully-inlined/cloned routines.
 
 mod callgraph;
+mod cgcache;
 mod classify;
 mod dominators;
 mod freq;
@@ -27,7 +31,10 @@ mod positioning;
 mod purity;
 mod reach;
 
-pub use callgraph::{CallEdge, CallGraph, CallSiteRef};
+pub use callgraph::{
+    scan_function, CallEdge, CallGraph, CallGraphPartition, CallSiteRef, FuncScan,
+};
+pub use cgcache::CallGraphCache;
 pub use classify::{classify_sites, SiteClass, SiteCounts};
 pub use dominators::Dominators;
 pub use freq::estimate_static_profile;

@@ -1,12 +1,24 @@
-//! The cloning pass (paper §2.3, Figure 3).
+//! The cloning pass (paper §2.3, Figure 3), partitioned for the
+//! parallel pipeline.
+//!
+//! Clone groups are built per call-graph partition (a group's sites all
+//! call one callee, and a callee and its callers share a partition by
+//! construction), so group building fans out over the worker pool without
+//! any cross-partition coordination. Selection and materialization stay
+//! sequential in partition order: they mutate the program, the clone
+//! database and the budget, and sequential order is what keeps `FuncId`
+//! allocation — and therefore the printed program — byte-identical at any
+//! worker count.
 
 use crate::budget::Budget;
 use crate::driver::{HloOptions, Scope};
 use crate::legality::clone_restriction;
+use crate::par::{effective_jobs, par_map};
 use crate::transform::{make_clone, redirect_site_to_clone, scale_profile};
-use hlo_analysis::{CallGraph, CallSiteRef};
+use hlo_analysis::{CallGraph, CallGraphCache, CallGraphPartition, CallSiteRef};
 use hlo_ir::{Callee, ConstVal, FuncId, Function, Inst, Linkage, Operand, Program};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// A clone specification: the callee plus the `(parameter, constant)`
 /// bindings the clone hard-wires. Bindings are sorted by parameter index,
@@ -40,6 +52,14 @@ pub struct ClonePassResult {
     pub clones_reused: u64,
     /// Call sites redirected to clones.
     pub sites_replaced: u64,
+    /// Wall-clock time of usage analysis + group building.
+    pub plan_wall: Duration,
+    /// Cumulative planning work summed over workers.
+    pub plan_work: Duration,
+    /// Wall-clock time of selection + materialization (sequential).
+    pub apply_wall: Duration,
+    /// Apply work (== wall; materialization is sequential).
+    pub apply_work: Duration,
 }
 
 /// Parameter-usage weights: how much a routine would benefit from knowing
@@ -131,43 +151,36 @@ struct CloneGroup {
     retires_clonee: bool,
 }
 
-/// Runs one cloning pass under the stage budget. `ops_left` is the
-/// Figure 8 knob: each site replacement consumes one operation.
-pub fn clone_pass(
-    p: &mut Program,
-    budget: &mut Budget,
-    pass: usize,
+/// Per-edge calling context: constant actuals.
+fn context_of(p: &Program, site: &CallSiteRef) -> Vec<Option<ConstVal>> {
+    match &p.func(site.caller).blocks[site.block.index()].insts[site.inst] {
+        Inst::Call { args, .. } => args
+            .iter()
+            .map(|a| match a {
+                Operand::Const(c) => Some(*c),
+                Operand::Reg(_) => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Builds one partition's clone groups greedily (Figure 3 "build clone
+/// groups"), scanning only the partition's own edges. Read-only.
+fn build_groups(
+    p: &Program,
+    cg: &CallGraph,
+    part: &CallGraphPartition,
+    usage: &[Vec<f64>],
     opts: &HloOptions,
-    db: &mut CloneDb,
-    ops_left: &mut Option<u64>,
-) -> ClonePassResult {
-    let mut result = ClonePassResult::default();
-    let cg = CallGraph::build(p);
-
-    // Per-routine parameter usage (Figure 3 "setup").
-    let usage: Vec<Vec<f64>> = p.funcs.iter().map(param_usage).collect();
-
-    // Per-edge calling context: constant actuals.
-    let context_of = |p: &Program, site: &CallSiteRef| -> Vec<Option<ConstVal>> {
-        match &p.func(site.caller).blocks[site.block.index()].insts[site.inst] {
-            Inst::Call { args, .. } => args
-                .iter()
-                .map(|a| match a {
-                    Operand::Const(c) => Some(*c),
-                    Operand::Reg(_) => None,
-                })
-                .collect(),
-            _ => Vec::new(),
-        }
-    };
-
-    // Build clone groups greedily (Figure 3 "build clone groups").
-    let mut claimed: Vec<bool> = vec![false; cg.edges.len()];
+) -> Vec<CloneGroup> {
+    let mut claimed: HashSet<usize> = HashSet::new();
     let mut groups: Vec<CloneGroup> = Vec::new();
-    for (ei, edge) in cg.edges.iter().enumerate() {
-        if claimed[ei] {
+    for &ei in &part.edge_indices {
+        if claimed.contains(&ei) {
             continue;
         }
+        let edge = &cg.edges[ei];
         if clone_restriction(p, &edge.site, opts.scope).is_some() {
             continue;
         }
@@ -187,11 +200,17 @@ pub fn clone_pass(
         }
         let spec = CloneSpec { callee, bindings };
 
-        // Gather all compatible edges into the group.
+        // Gather all compatible edges into the group. Every edge calling
+        // this callee lives in this partition, so the partition-local scan
+        // sees exactly what a whole-program scan would.
         let mut sites = Vec::new();
         let mut member_edges = Vec::new();
-        for (ej, other) in cg.edges.iter().enumerate() {
-            if claimed[ej] || other.callee != callee {
+        for &ej in &part.edge_indices {
+            if claimed.contains(&ej) {
+                continue;
+            }
+            let other = &cg.edges[ej];
+            if other.callee != callee {
                 continue;
             }
             if clone_restriction(p, &other.site, opts.scope).is_some() {
@@ -209,7 +228,7 @@ pub fn clone_pass(
         }
         debug_assert!(!sites.is_empty());
         for ej in member_edges {
-            claimed[ej] = true;
+            claimed.insert(ej);
         }
 
         // Benefit: calls redirected × value of the bound context.
@@ -244,95 +263,185 @@ pub fn clone_pass(
             retires_clonee,
         });
     }
+    groups
+}
 
-    // Rank by benefit and select under the stage budget (Figure 3
-    // "select clones").
-    groups.sort_by(|a, b| {
-        b.benefit
-            .partial_cmp(&a.benefit)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+/// One partition's ranked groups plus its slice of the stage budget.
+struct PartitionGroups {
+    groups: Vec<CloneGroup>,
+    cost: u64,
+    share: u64,
+}
 
-    for g in groups {
-        if let Some(0) = ops_left {
-            break;
-        }
-        // A database entry is only reusable while the clone is still live:
-        // a clone whose callers were all inlined or deleted gets reaped by
-        // routine deletion, and its emptied husk must never be
-        // resurrected (it no longer has the clonee's behaviour).
-        let db_hit = opts.clone_db_reuse
-            && db
-                .get(&g.spec)
-                .is_some_and(|&id| p.module(p.func(id).module).funcs.contains(&id));
-        let callee_size = p.func(g.spec.callee).size();
-        let cost = if g.retires_clonee || db_hit {
-            0
-        } else {
-            callee_size * callee_size
-        };
-        if !budget.fits(pass, cost) {
-            continue; // discarded; may be recreated next pass
-        }
+/// Runs one cloning pass under the stage budget. `ops_left` is the
+/// Figure 8 knob: each site replacement consumes one operation.
+pub fn clone_pass(
+    p: &mut Program,
+    budget: &mut Budget,
+    pass: usize,
+    opts: &HloOptions,
+    db: &mut CloneDb,
+    ops_left: &mut Option<u64>,
+    cache: &mut CallGraphCache,
+) -> ClonePassResult {
+    let mut result = ClonePassResult::default();
+    let jobs = effective_jobs(opts.jobs);
+    let plan_start = Instant::now();
+    let mut par_work = Duration::ZERO;
+    let mut par_wall = Duration::ZERO;
 
-        // Materialize through the database.
-        let mut created = false;
-        let clone_id = match db.get(&g.spec) {
-            Some(&id) if db_hit => {
-                result.clones_reused += 1;
-                id
-            }
-            _ => {
-                let id = make_clone(p, &g.spec);
-                db.insert(g.spec.clone(), id);
-                result.clones_created += 1;
-                // Split the clonee's profile between clone and original by
-                // the group's share of entries.
-                let group_calls: f64 = g
-                    .sites
+    // Per-routine parameter usage (Figure 3 "setup"), one function per
+    // work item.
+    let t = Instant::now();
+    let usage_out = par_map(jobs, &p.funcs, |_, f| param_usage(f));
+    par_wall += t.elapsed();
+    let usage = usage_out.results;
+    par_work += usage_out.work;
+
+    // Build clone groups, one partition per work item.
+    let mut parts: Vec<PartitionGroups> = {
+        let cg = cache.graph(p);
+        let partitions = cg.partitions();
+        let p_ref: &Program = p;
+        let t = Instant::now();
+        let out = par_map(jobs, &partitions, |_, part| {
+            build_groups(p_ref, cg, part, &usage, opts)
+        });
+        par_wall += t.elapsed();
+        par_work += out.work;
+        partitions
+            .iter()
+            .zip(out.results)
+            .filter(|(_, groups)| !groups.is_empty())
+            .map(|(part, mut groups)| {
+                // Rank by benefit (Figure 3 "select clones"); the stable
+                // sort breaks ties by discovery (edge) order.
+                groups.sort_by(|a, b| {
+                    b.benefit
+                        .partial_cmp(&a.benefit)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let cost = part
+                    .funcs
                     .iter()
-                    .map(|s| {
-                        p.func(s.caller)
-                            .profile
-                            .as_ref()
-                            .map(|pr| pr.blocks[s.block.index()])
-                            .unwrap_or(1.0)
+                    .map(|&f| {
+                        let s = p_ref.func(f).size();
+                        s * s
                     })
                     .sum();
-                let entry = p
-                    .func(g.spec.callee)
-                    .entry_count()
-                    .filter(|&e| e > 0.0)
-                    .unwrap_or_else(|| group_calls.max(1.0));
-                let share = (group_calls / entry).clamp(0.0, 1.0);
-                scale_profile(&mut p.func_mut(id).profile, share);
-                scale_profile(&mut p.func_mut(g.spec.callee).profile, 1.0 - share);
-                created = true;
-                id
-            }
-        };
-
-        // Redirect the group's call sites.
-        for site in &g.sites {
-            if let Some(left) = ops_left {
-                if *left == 0 {
-                    break;
+                PartitionGroups {
+                    groups,
+                    cost,
+                    share: 0,
                 }
-                *left -= 1;
-            }
-            redirect_site_to_clone(p, site, &g.spec, clone_id);
-            result.sites_replaced += 1;
-        }
+            })
+            .collect()
+    };
 
-        // Optimize the new clone so the bound constants take effect before
-        // costing (Figure 3 "optimize clones and recalibrate"). Reused
-        // clones were already paid for when they were created.
-        if created {
-            hlo_opt::optimize_function(p.func_mut(clone_id));
-            let s = p.func(clone_id).size();
-            budget.charge(s * s);
+    // Split the stage headroom proportionally to partition compile cost
+    // (floor division: shares never sum past the headroom; one active
+    // partition gets it all, reproducing the unpartitioned behaviour).
+    let headroom = budget.stage_limit(pass).saturating_sub(budget.current());
+    let total_cost: u64 = parts.iter().map(|t| t.cost).sum();
+    for t in &mut parts {
+        t.share = ((headroom as u128 * t.cost as u128) / total_cost.max(1) as u128) as u64;
+    }
+    result.plan_wall = plan_start.elapsed();
+    // Work = the sequential remainder (graph query, ranking, shares) plus
+    // the parallel sections' cumulative worker time.
+    result.plan_work = result.plan_wall.saturating_sub(par_wall) + par_work;
+
+    // Select under the stage budget, sequentially in partition order.
+    let apply_start = Instant::now();
+    'parts: for part in parts {
+        let mut spent = 0u64;
+        for g in part.groups {
+            if let Some(0) = ops_left {
+                break 'parts;
+            }
+            // A database entry is only reusable while the clone is still
+            // live: a clone whose callers were all inlined or deleted gets
+            // reaped by routine deletion, and its emptied husk must never
+            // be resurrected (it no longer has the clonee's behaviour).
+            let db_hit = opts.clone_db_reuse
+                && db
+                    .get(&g.spec)
+                    .is_some_and(|&id| p.module(p.func(id).module).funcs.contains(&id));
+            let callee_size = p.func(g.spec.callee).size();
+            let cost = if g.retires_clonee || db_hit {
+                0
+            } else {
+                callee_size * callee_size
+            };
+            if spent.saturating_add(cost) > part.share || !budget.fits(pass, cost) {
+                continue; // discarded; may be recreated next pass
+            }
+
+            // Materialize through the database.
+            let mut created = false;
+            let clone_id = match db.get(&g.spec) {
+                Some(&id) if db_hit => {
+                    result.clones_reused += 1;
+                    id
+                }
+                _ => {
+                    let id = make_clone(p, &g.spec);
+                    db.insert(g.spec.clone(), id);
+                    result.clones_created += 1;
+                    // Split the clonee's profile between clone and original
+                    // by the group's share of entries.
+                    let group_calls: f64 = g
+                        .sites
+                        .iter()
+                        .map(|s| {
+                            p.func(s.caller)
+                                .profile
+                                .as_ref()
+                                .map(|pr| pr.blocks[s.block.index()])
+                                .unwrap_or(1.0)
+                        })
+                        .sum();
+                    let entry = p
+                        .func(g.spec.callee)
+                        .entry_count()
+                        .filter(|&e| e > 0.0)
+                        .unwrap_or_else(|| group_calls.max(1.0));
+                    let share = (group_calls / entry).clamp(0.0, 1.0);
+                    scale_profile(&mut p.func_mut(id).profile, share);
+                    scale_profile(&mut p.func_mut(g.spec.callee).profile, 1.0 - share);
+                    created = true;
+                    id
+                }
+            };
+
+            // Redirect the group's call sites; each rewritten caller's
+            // cached scan goes stale. (New clone bodies need no
+            // invalidation — the cache picks up appended functions.)
+            for site in &g.sites {
+                if let Some(left) = ops_left {
+                    if *left == 0 {
+                        break;
+                    }
+                    *left -= 1;
+                }
+                redirect_site_to_clone(p, site, &g.spec, clone_id);
+                cache.invalidate(site.caller);
+                result.sites_replaced += 1;
+            }
+
+            // Optimize the new clone so the bound constants take effect
+            // before costing (Figure 3 "optimize clones and recalibrate").
+            // Reused clones were already paid for when they were created.
+            if created {
+                hlo_opt::optimize_function(p.func_mut(clone_id));
+                let s = p.func(clone_id).size();
+                budget.charge(s * s);
+                spent = spent.saturating_add(s * s);
+            }
         }
     }
+    result.apply_wall = apply_start.elapsed();
+    result.apply_work = result.apply_wall;
 
     result
 }
@@ -381,6 +490,7 @@ mod tests {
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, 100, &[1.0]);
         let mut db = CloneDb::default();
+        let mut cache = CallGraphCache::new();
         clone_pass(
             p,
             &mut budget,
@@ -388,6 +498,7 @@ mod tests {
             &HloOptions::default(),
             &mut db,
             &mut None,
+            &mut cache,
         )
     }
 
@@ -476,12 +587,21 @@ mod tests {
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, 1000, &[1.0]);
         let mut db = CloneDb::default();
+        let mut cache = CallGraphCache::new();
         let opts = HloOptions::default();
         let mut ops = Some(1u64);
-        let r1 = clone_pass(&mut p, &mut budget, 0, &opts, &mut db, &mut ops);
+        let r1 = clone_pass(&mut p, &mut budget, 0, &opts, &mut db, &mut ops, &mut cache);
         assert_eq!(r1.clones_created, 1, "{r1:?}");
         assert_eq!(r1.sites_replaced, 1);
-        let r2 = clone_pass(&mut p, &mut budget, 1, &opts, &mut db, &mut None);
+        let r2 = clone_pass(
+            &mut p,
+            &mut budget,
+            1,
+            &opts,
+            &mut db,
+            &mut None,
+            &mut cache,
+        );
         assert_eq!(r2.clones_created, 0, "{r2:?}");
         assert_eq!(r2.clones_reused, 1);
         assert_eq!(r2.sites_replaced, 1);
@@ -507,6 +627,7 @@ mod tests {
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, 0, &[1.0]);
         let mut db = CloneDb::default();
+        let mut cache = CallGraphCache::new();
         let r = clone_pass(
             &mut p,
             &mut budget,
@@ -514,6 +635,7 @@ mod tests {
             &HloOptions::default(),
             &mut db,
             &mut None,
+            &mut cache,
         );
         // f has another caller with a different constant, so neither group
         // retires the clonee; zero budget ⇒ nothing happens.
@@ -569,6 +691,7 @@ mod tests {
         let mut budget = Budget::new(c0, 1000, &[1.0]);
         let mut db = CloneDb::default();
         let mut ops = Some(2u64);
+        let mut cache = CallGraphCache::new();
         let r = clone_pass(
             &mut p,
             &mut budget,
@@ -576,6 +699,7 @@ mod tests {
             &HloOptions::default(),
             &mut db,
             &mut ops,
+            &mut cache,
         );
         assert_eq!(r.sites_replaced, 2);
         assert_eq!(ops, Some(0));

@@ -1,7 +1,7 @@
 //! Deletion of unreachable routines (paper §2.3/§3.2 "Deletions").
 
 use crate::driver::Scope;
-use hlo_analysis::{reachable_funcs, CallGraph};
+use hlo_analysis::{reachable_funcs, CallGraphCache};
 use hlo_ir::{Block, FuncId, Inst, Program};
 
 /// Removes routines that can no longer be called: file-scope functions
@@ -9,13 +9,20 @@ use hlo_ir::{Block, FuncId, Inst, Program};
 /// Under `Scope::CrossModule` (the link-time path) unused public routines
 /// are deletable too, since the whole program is visible.
 ///
+/// Reachability is computed over the cached call graph (the driver shares
+/// one [`CallGraphCache`] across the whole pipeline); each deleted routine
+/// is invalidated in the cache, since emptying its body drops its
+/// out-edges.
+///
 /// Deleted functions keep their `FuncId` (ids are never reused) but their
 /// bodies are emptied and they leave their module's function list, so code
 /// layout, classification and cost models no longer see them. Returns the
 /// number of routines deleted.
-pub fn delete_unreachable(p: &mut Program, scope: Scope) -> u64 {
-    let cg = CallGraph::build(p);
-    let reach = reachable_funcs(p, &cg, scope == Scope::CrossModule);
+pub fn delete_unreachable(p: &mut Program, scope: Scope, cache: &mut CallGraphCache) -> u64 {
+    let reach = {
+        let cg = cache.graph(p);
+        reachable_funcs(p, cg, scope == Scope::CrossModule)
+    };
     let mut deleted = 0;
     for (fi, alive) in reach.iter().enumerate() {
         if *alive {
@@ -36,6 +43,7 @@ pub fn delete_unreachable(p: &mut Program, scope: Scope) -> u64 {
         f.profile = None;
         let m = &mut p.modules[module.index()];
         m.funcs.retain(|&x| x != id);
+        cache.invalidate(id);
         deleted += 1;
     }
     deleted
@@ -45,6 +53,10 @@ pub fn delete_unreachable(p: &mut Program, scope: Scope) -> u64 {
 mod tests {
     use super::*;
     use hlo_ir::verify_program;
+
+    fn delete(p: &mut Program, scope: Scope) -> u64 {
+        delete_unreachable(p, scope, &mut CallGraphCache::new())
+    }
 
     #[test]
     fn deletes_orphaned_static_keeps_public_in_module_scope() {
@@ -58,10 +70,10 @@ mod tests {
         )])
         .unwrap();
         let mut per_module = p.clone();
-        assert_eq!(delete_unreachable(&mut per_module, Scope::WithinModule), 1);
+        assert_eq!(delete(&mut per_module, Scope::WithinModule), 1);
         verify_program(&per_module).unwrap();
         let mut whole = p;
-        assert_eq!(delete_unreachable(&mut whole, Scope::CrossModule), 2);
+        assert_eq!(delete(&mut whole, Scope::CrossModule), 2);
         verify_program(&whole).unwrap();
     }
 
@@ -75,7 +87,7 @@ mod tests {
             "#,
         )])
         .unwrap();
-        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 0);
+        assert_eq!(delete(&mut p, Scope::CrossModule), 0);
     }
 
     #[test]
@@ -85,8 +97,16 @@ mod tests {
             "static fn dead() { return 1; } fn main() { return 0; }",
         )])
         .unwrap();
-        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 1);
-        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 0);
+        // One shared cache across both queries, exercising invalidation.
+        let mut cache = CallGraphCache::new();
+        assert_eq!(
+            delete_unreachable(&mut p, Scope::CrossModule, &mut cache),
+            1
+        );
+        assert_eq!(
+            delete_unreachable(&mut p, Scope::CrossModule, &mut cache),
+            0
+        );
     }
 
     #[test]
@@ -101,7 +121,7 @@ mod tests {
         )])
         .unwrap();
         // mid and leaf are both unreachable: a single pass removes both.
-        assert_eq!(delete_unreachable(&mut p, Scope::CrossModule), 2);
+        assert_eq!(delete(&mut p, Scope::CrossModule), 2);
     }
 
     #[test]
@@ -117,7 +137,38 @@ mod tests {
         )])
         .unwrap();
         let before = p.compile_cost();
-        delete_unreachable(&mut p, Scope::CrossModule);
+        delete(&mut p, Scope::CrossModule);
         assert!(p.compile_cost() < before);
+    }
+
+    #[test]
+    fn stale_cache_entries_do_not_resurrect_deleted_callees() {
+        // After deleting `mid` (which called `leaf`), a cached graph must
+        // not still show the mid -> leaf edge: a second query sees leaf as
+        // unreachable too only because mid's scan was invalidated.
+        let mut p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            static fn leaf() { return 1; }
+            fn mid() { return leaf(); }
+            fn main() { return 0; }
+            "#,
+        )])
+        .unwrap();
+        let mut cache = CallGraphCache::new();
+        // Per-module scope keeps public `mid` alive, so only nothing dies
+        // yet; then cross-module deletes mid, and leaf must cascade within
+        // the same cache.
+        assert_eq!(
+            delete_unreachable(&mut p, Scope::WithinModule, &mut cache),
+            0
+        );
+        assert_eq!(
+            delete_unreachable(&mut p, Scope::CrossModule, &mut cache),
+            2
+        );
+        let cg = cache.graph(&p);
+        let mid = p.find_func("m", "mid").unwrap();
+        assert!(cg.callees_of[mid.index()].is_empty());
     }
 }

@@ -1,14 +1,24 @@
-//! The multi-pass driver (paper §2.2, Figure 2).
+//! The multi-pass driver (paper §2.2, Figure 2), parallel edition.
+//!
+//! One [`CallGraphCache`] is shared across every stage of the pipeline, so
+//! passes re-scan only the functions they actually edited. Per-function
+//! stages (frequency annotation, scalar cleanup) and per-partition stages
+//! (inline/clone planning) fan out over the [`crate::par`] worker pool;
+//! everything that allocates `FuncId`s or charges the budget stays
+//! sequential, which is why the output is byte-identical at any
+//! [`HloOptions::jobs`] value.
 
 use crate::budget::Budget;
 use crate::cloner::{clone_pass, CloneDb};
 use crate::delete::delete_unreachable;
 use crate::inliner::inline_pass;
+use crate::par::{effective_jobs, par_map_funcs, StageTimings};
 use crate::report::{HloReport, PassReport};
-use hlo_analysis::estimate_static_profile;
-use hlo_ir::{FuncProfile, Program};
+use hlo_analysis::{estimate_static_profile, CallGraphCache};
+use hlo_ir::{FuncId, FuncProfile, Program};
 use hlo_lint::{CheckLevel, Checker};
 use hlo_profile::{apply_profile, ProfileDb};
+use std::time::Instant;
 
 /// Compilation visibility: the paper's per-module path vs the link-time
 /// ("isom") whole-program path.
@@ -62,6 +72,11 @@ pub struct HloOptions {
     /// battery runs too, and every new finding is attributed to the stage
     /// that introduced it. Off (and free) by default.
     pub check: CheckLevel,
+    /// Worker threads for the parallel stages: `1` (the default) runs
+    /// everything inline, `0` means "all available hardware parallelism".
+    /// The produced program is byte-identical for every value — only
+    /// wall-clock time changes.
+    pub jobs: usize,
 }
 
 impl Default for HloOptions {
@@ -80,6 +95,7 @@ impl Default for HloOptions {
             enable_straighten: true,
             outline: crate::OutlineOptions::default(),
             check: CheckLevel::Off,
+            jobs: 1,
         }
     }
 }
@@ -90,6 +106,9 @@ impl Default for HloOptions {
 /// hit (Figure 2's `WHILE (C < B AND P < limit)`).
 pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions) -> HloReport {
     let mut report = HloReport::default();
+    let jobs = effective_jobs(opts.jobs);
+    let mut timings = StageTimings::default();
+    let mut cache = CallGraphCache::new();
 
     // Verify-each: record the input program's pre-existing defects first,
     // so every later boundary only reports what a stage *introduced*.
@@ -98,40 +117,51 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
 
     // Frequency annotation: PBO counts when available, the static
     // loop-depth heuristic otherwise. With a profile database, functions
-    // never executed in training are cold, not unknown.
-    let annotated = match profile {
-        Some(db) => apply_profile(p, db),
+    // never executed in training are cold, not unknown. The per-function
+    // fallback fans out over the worker pool.
+    let t0 = Instant::now();
+    report.profile_annotations = match profile {
+        Some(db) => apply_profile(p, db) as u64,
         None => 0,
     };
-    let _ = annotated;
-    for f in &mut p.funcs {
+    let seq = t0.elapsed();
+    let has_profile = profile.is_some();
+    let t1 = Instant::now();
+    let out = par_map_funcs(jobs, p, |_, f| {
         if f.profile.is_none() {
-            if profile.is_some() {
-                f.profile = Some(FuncProfile {
+            f.profile = Some(if has_profile {
+                FuncProfile {
                     entry: 0.0,
                     blocks: vec![0.0; f.blocks.len()],
-                });
+                }
             } else {
-                f.profile = Some(estimate_static_profile(f));
-            }
+                estimate_static_profile(f)
+            });
         }
-    }
+    });
+    timings.record("annotate", seq + t1.elapsed(), seq + out.work);
     ck.check(p, "annotate");
 
     // Input-stage cleanup: classic optimizations "mainly to reduce size",
     // plus interprocedural side-effect deletion on the link-time path.
-    report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
-    report.deletions += delete_unreachable(p, opts.scope);
+    report.pure_calls_removed +=
+        optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
+    let t = Instant::now();
+    report.deletions += delete_unreachable(p, opts.scope, &mut cache);
+    timings.record_seq("delete", t.elapsed());
     ck.check(p, "delete");
 
     // Optional aggressive outlining (paper §5): shrink hot routines by
     // extracting cold return paths before any budget is computed, so the
-    // freed budget goes to inlining the hot code.
+    // freed budget goes to inlining the hot code. Outlining rewrites call
+    // coordinates program-wide, so the whole cache is invalidated.
     if opts.enable_outline {
         report.outlines = crate::outline_cold_regions(p, &opts.outline);
+        cache.invalidate_all();
         ck.check(p, "outline");
         if report.outlines > 0 {
-            report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
+            report.pure_calls_removed +=
+                optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
         }
     }
 
@@ -155,21 +185,38 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
             ..Default::default()
         };
         if opts.enable_clone {
-            let r = clone_pass(p, &mut budget, pass, opts, &mut clone_db, &mut ops_left);
+            let r = clone_pass(
+                p,
+                &mut budget,
+                pass,
+                opts,
+                &mut clone_db,
+                &mut ops_left,
+                &mut cache,
+            );
             pr.clones_created = r.clones_created;
             pr.clones_reused = r.clones_reused;
             pr.clone_replacements = r.sites_replaced;
+            timings.record("clone.plan", r.plan_wall, r.plan_work);
+            timings.record("clone.apply", r.apply_wall, r.apply_work);
             ck.check(p, &format!("clone@{pass}"));
         }
         if opts.enable_inline {
-            let r = inline_pass(p, &mut budget, pass, opts, &mut ops_left);
+            let r = inline_pass(p, &mut budget, pass, opts, &mut ops_left, &mut cache);
             pr.inlines = r.inlines;
+            timings.record("inline.plan", r.plan_wall, r.plan_work);
+            timings.record("inline.apply", r.apply_wall, r.apply_work);
             ck.check(p, &format!("inline@{pass}"));
         }
-        pr.deletions = delete_unreachable(p, opts.scope);
+        let t = Instant::now();
+        pr.deletions = delete_unreachable(p, opts.scope, &mut cache);
+        timings.record_seq("delete", t.elapsed());
         ck.check(p, &format!("delete@{pass}"));
-        report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck);
-        pr.deletions += delete_unreachable(p, opts.scope);
+        report.pure_calls_removed +=
+            optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
+        let t = Instant::now();
+        pr.deletions += delete_unreachable(p, opts.scope, &mut cache);
+        timings.record_seq("delete", t.elapsed());
         ck.check(p, &format!("cleanup@{pass}"));
         budget.recalibrate(p.compile_cost());
         pr.cost_after = budget.current();
@@ -186,35 +233,83 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
 
     // Final PBO code positioning: straighten hot paths so fall-throughs
     // replace jumps (does not change VM semantics, only layout quality).
+    // Block reordering shifts every call-site coordinate.
     if opts.enable_straighten {
+        let t = Instant::now();
         report.straightened = hlo_opt::straighten::straighten_program(p);
+        cache.invalidate_all();
+        timings.record_seq("straighten", t.elapsed());
         ck.check(p, "straighten");
     }
 
     report.final_cost = p.compile_cost();
+    report.jobs = jobs as u64;
+    report.stage_timings = timings.into_entries();
     report.checks_run = ck.checks_run();
     report.lint_time_us = ck.elapsed().as_micros() as u64;
     report.diagnostics = ck.into_report().diags;
     report
 }
 
-/// Optimizes every live function; on the whole-program path also deletes
-/// calls to side-effect-free routines. Returns pure calls removed. In
-/// verify-each mode the checker runs after every scalar sub-pass, so
-/// findings carry sub-pass origins like `cse` or `simplify_cfg`.
-fn optimize_all(p: &mut Program, scope: Scope, ck: &mut Checker) -> u64 {
-    for f in &mut p.funcs {
-        hlo_opt::optimize_function_checked(f, ck);
-    }
-    if scope == Scope::CrossModule {
-        let n = hlo_opt::pure_calls::eliminate_pure_calls(p);
-        ck.check(p, "pure_calls");
-        if n > 0 {
-            for f in &mut p.funcs {
-                hlo_opt::optimize_function_checked(f, ck);
-            }
+/// One parallel scalar-cleanup round: every function is optimized on the
+/// worker pool, each worker driving its function's sub-pass boundaries
+/// through a forked child checker. Children are absorbed in function
+/// order, reproducing the sequential run's diagnostics exactly; functions
+/// whose bodies changed are invalidated in the call-graph cache.
+fn cleanup_round(
+    p: &mut Program,
+    ck: &mut Checker,
+    cache: &mut CallGraphCache,
+    jobs: usize,
+    timings: &mut StageTimings,
+) {
+    let t = Instant::now();
+    let parent: &Checker = ck;
+    let out = par_map_funcs(jobs, p, |_, f| {
+        let mut child = parent.fork();
+        let stats = hlo_opt::optimize_function_checked(f, &mut child);
+        (child, stats.changed)
+    });
+    let wall = t.elapsed();
+    let work = out.work;
+    for (i, (child, changed)) in out.results.into_iter().enumerate() {
+        ck.absorb(child);
+        if changed {
+            cache.invalidate(FuncId(i as u32));
         }
-        n
+    }
+    timings.record("cleanup", wall, work);
+}
+
+/// Optimizes every live function; on the whole-program path also deletes
+/// calls to side-effect-free routines (against the cached call graph).
+/// Returns pure calls removed. In verify-each mode the checker runs after
+/// every scalar sub-pass, so findings carry sub-pass origins like `cse` or
+/// `simplify_cfg`.
+fn optimize_all(
+    p: &mut Program,
+    scope: Scope,
+    ck: &mut Checker,
+    cache: &mut CallGraphCache,
+    jobs: usize,
+    timings: &mut StageTimings,
+) -> u64 {
+    cleanup_round(p, ck, cache, jobs, timings);
+    if scope == Scope::CrossModule {
+        let t = Instant::now();
+        let removal = {
+            let cg = cache.graph(p);
+            hlo_opt::eliminate_pure_calls_with(p, cg)
+        };
+        for &f in &removal.changed {
+            cache.invalidate(f);
+        }
+        timings.record_seq("pure_calls", t.elapsed());
+        ck.check(p, "pure_calls");
+        if removal.removed > 0 {
+            cleanup_round(p, ck, cache, jobs, timings);
+        }
+        removal.removed
     } else {
         0
     }
@@ -294,9 +389,11 @@ mod tests {
             budget_percent: 30,
             ..Default::default()
         };
-        optimize(&mut static_p, None, &tight);
+        let rs = optimize(&mut static_p, None, &tight);
+        assert_eq!(rs.profile_annotations, 0);
         let mut pgo_p = p0.clone();
-        optimize(&mut pgo_p, Some(&db), &tight);
+        let rg = optimize(&mut pgo_p, Some(&db), &tight);
+        assert!(rg.profile_annotations >= 1, "{rg}");
         let s = run_program(&static_p, &[], &ExecOptions::default()).unwrap();
         let g = run_program(&pgo_p, &[], &ExecOptions::default()).unwrap();
         assert_eq!(s.ret, g.ret);
@@ -498,5 +595,56 @@ mod tests {
             report.inlines,
             report.passes.iter().map(|q| q.inlines).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn any_job_count_produces_identical_output() {
+        let p0 = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let mut base = p0.clone();
+        let r1 = optimize(&mut base, None, &HloOptions::default());
+        let base_text = hlo_ir::program_to_text(&base);
+        for jobs in [2usize, 8] {
+            let mut q = p0.clone();
+            let r = optimize(
+                &mut q,
+                None,
+                &HloOptions {
+                    jobs,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(base_text, hlo_ir::program_to_text(&q), "jobs={jobs}");
+            assert_eq!(r.inlines, r1.inlines);
+            assert_eq!(r.compile_time_units(), r1.compile_time_units());
+            assert_eq!(r.operations(), r1.operations());
+            assert_eq!(r.jobs, jobs as u64);
+        }
+        assert_eq!(r1.jobs, 1);
+        assert!(!r1.stage_timings.is_empty());
+        assert!(r1.stage_timings.iter().any(|s| s.stage == "cleanup"));
+    }
+
+    #[test]
+    fn strict_checking_is_deterministic_across_jobs() {
+        let p0 = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let opts1 = HloOptions {
+            check: CheckLevel::Strict,
+            ..Default::default()
+        };
+        let mut a = p0.clone();
+        let ra = optimize(&mut a, None, &opts1);
+        let mut b = p0.clone();
+        let rb = optimize(
+            &mut b,
+            None,
+            &HloOptions {
+                jobs: 4,
+                ..opts1.clone()
+            },
+        );
+        assert_eq!(hlo_ir::program_to_text(&a), hlo_ir::program_to_text(&b));
+        assert_eq!(ra.diagnostics, rb.diagnostics);
+        assert_eq!(ra.checks_run, rb.checks_run);
+        assert_eq!(ra.introduced_diagnostics().count(), 0, "{ra}");
     }
 }

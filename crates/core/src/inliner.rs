@@ -1,12 +1,27 @@
-//! The inlining pass (paper §2.4, Figure 4).
+//! The inlining pass (paper §2.4, Figure 4), partitioned for the
+//! parallel pipeline.
+//!
+//! Inlining never crosses a weakly connected component of the direct-call
+//! graph, so the pass splits the program into call-graph *partitions*
+//! (independent condensation subtrees), hands each a proportional share of
+//! the stage-budget headroom, and plans them concurrently. Planning is
+//! read-only; the accepted schedules are then performed sequentially in
+//! partition order and the budget is charged once at the barrier, so
+//! [`hlo_ir::Program::compile_cost`] accounting — and therefore every
+//! decision — is byte-identical at any worker count. A program whose live
+//! code is one component (the common case: everything reachable from
+//! `main`) forms a single partition that receives the full headroom, which
+//! reproduces the unpartitioned algorithm exactly.
 
 use crate::budget::Budget;
 use crate::driver::HloOptions;
 use crate::legality::inline_restriction;
+use crate::par::{effective_jobs, par_funcs_mut, par_map};
 use crate::transform::{inline_call, scale_profile};
-use hlo_analysis::{CallGraph, CallSiteRef};
+use hlo_analysis::{CallGraphCache, CallSiteRef};
 use hlo_ir::{FuncId, Program};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Result of one inlining pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -16,6 +31,14 @@ pub struct InlinePassResult {
     /// Viable sites discarded for budget reasons (they may be
     /// reconsidered next pass).
     pub deferred: u64,
+    /// Wall-clock time of screening + per-partition planning.
+    pub plan_wall: Duration,
+    /// Cumulative planning work summed over workers.
+    pub plan_work: Duration,
+    /// Wall-clock time of splicing + caller re-optimization.
+    pub apply_wall: Duration,
+    /// Cumulative apply work summed over workers.
+    pub apply_work: Duration,
 }
 
 /// Penalty multiplier for sites colder than their caller's entry (the
@@ -32,131 +55,246 @@ struct Candidate {
     merit: f64,
 }
 
+/// One partition's screened candidates plus its slice of the stage budget.
+struct PartitionTask {
+    candidates: Vec<Candidate>,
+    cost: u64,
+    share: u64,
+}
+
+/// What one partition's planner decided.
+struct PartitionPlan {
+    schedule: Vec<Candidate>,
+    delta: u64,
+    deferred: u64,
+    ops: u64,
+}
+
 /// Runs one inlining pass under the stage budget.
 ///
-/// Viable sites are ranked by a run-time figure of merit (site frequency,
-/// with a cold-site penalty), then accepted greedily: each acceptance is
-/// costed against a *schedule* kept in bottom-up call-graph order so that
-/// cascaded inlines (B into A after C into B) are charged at B's grown
-/// size, exactly as Figure 4 prescribes. Accepted inlines are then
-/// performed in schedule order.
+/// Viable sites are screened per call-graph partition, ranked by a
+/// run-time figure of merit (site frequency, with a cold-site penalty),
+/// then accepted greedily against the partition's budget share: each
+/// acceptance is costed against a *schedule* kept in bottom-up call-graph
+/// order so that cascaded inlines (B into A after C into B) are charged at
+/// B's grown size, exactly as Figure 4 prescribes. Partition planning runs
+/// on the worker pool unless the Figure 8 operation cap is active (a
+/// global sequential counter). Accepted inlines are then performed in
+/// partition order, schedule order within each.
 pub fn inline_pass(
     p: &mut Program,
     budget: &mut Budget,
     pass: usize,
     opts: &HloOptions,
     ops_left: &mut Option<u64>,
+    cache: &mut CallGraphCache,
 ) -> InlinePassResult {
     let mut result = InlinePassResult::default();
-    let cg = CallGraph::build(p);
-    let sccs = cg.sccs();
-    let mut scc_rank = vec![0usize; p.funcs.len()];
-    for (i, comp) in sccs.iter().enumerate() {
-        for &f in comp {
-            scc_rank[f.index()] = i;
-        }
-    }
+    let jobs = effective_jobs(opts.jobs);
+    let plan_start = Instant::now();
 
-    // Screen and rank (Figure 4 "screen inline candidates").
-    let mut candidates: Vec<Candidate> = Vec::new();
-    for edge in &cg.edges {
-        if inline_restriction(p, &edge.site, opts.scope).is_some() {
-            continue;
+    // Screen candidates partition by partition (Figure 4 "screen inline
+    // candidates"). All screening data is copied out so the call-graph
+    // borrow ends before any mutation.
+    let (scc_rank, mut tasks) = {
+        let cg = cache.graph(p);
+        let sccs = cg.sccs();
+        let mut scc_rank = vec![0usize; p.funcs.len()];
+        for (i, comp) in sccs.iter().enumerate() {
+            for &f in comp {
+                scc_rank[f.index()] = i;
+            }
         }
-        let caller = p.func(edge.site.caller);
-        let callee = p.func(edge.callee);
-        let (site_cnt, entry_cnt) = match &caller.profile {
-            Some(pr) => (pr.blocks[edge.site.block.index()], pr.entry),
-            None => (1.0, 1.0),
-        };
-        let mut merit = site_cnt;
-        if opts.cold_site_penalty && site_cnt < entry_cnt {
-            merit *= COLD_SITE_PENALTY;
+        let mut tasks: Vec<PartitionTask> = Vec::new();
+        for part in cg.partitions() {
+            let mut candidates: Vec<Candidate> = Vec::new();
+            for &ei in &part.edge_indices {
+                let edge = &cg.edges[ei];
+                if inline_restriction(p, &edge.site, opts.scope).is_some() {
+                    continue;
+                }
+                let caller = p.func(edge.site.caller);
+                let callee = p.func(edge.callee);
+                let (site_cnt, entry_cnt) = match &caller.profile {
+                    Some(pr) => (pr.blocks[edge.site.block.index()], pr.entry),
+                    None => (1.0, 1.0),
+                };
+                let mut merit = site_cnt;
+                if opts.cold_site_penalty && site_cnt < entry_cnt {
+                    merit *= COLD_SITE_PENALTY;
+                }
+                if callee.flags.inline_hint {
+                    merit *= HINT_BONUS;
+                }
+                candidates.push(Candidate {
+                    site: edge.site,
+                    target: edge.callee,
+                    merit,
+                });
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let cost: u64 = part
+                .funcs
+                .iter()
+                .map(|&f| {
+                    let s = p.func(f).size();
+                    s * s
+                })
+                .sum();
+            tasks.push(PartitionTask {
+                candidates,
+                cost,
+                share: 0,
+            });
         }
-        if callee.flags.inline_hint {
-            merit *= HINT_BONUS;
-        }
-        candidates.push(Candidate {
-            site: edge.site,
-            target: edge.callee,
-            merit,
-        });
+        (scc_rank, tasks)
+    };
+
+    // Split the stage headroom proportionally to partition compile cost.
+    // Shares floor-divide, so their sum never exceeds the headroom; one
+    // active partition gets it all (the unpartitioned behaviour).
+    let headroom = budget.stage_limit(pass).saturating_sub(budget.current());
+    let total_cost: u64 = tasks.iter().map(|t| t.cost).sum();
+    for t in &mut tasks {
+        t.share = ((headroom as u128 * t.cost as u128) / total_cost.max(1) as u128) as u64;
     }
-    candidates.sort_by(|a, b| {
+    let screen_elapsed = plan_start.elapsed();
+
+    // Plan: greedy selection with cascaded cost over a bottom-up schedule
+    // (Figure 4 "select inline sites"), one planner per partition.
+    let par_start = Instant::now();
+    let (plans, par_work): (Vec<PartitionPlan>, Duration) = match ops_left {
+        Some(left) => {
+            // The Figure 8 operation cap is a single global counter, so
+            // partitions plan sequentially in partition order, sharing it.
+            let mut remaining = *left;
+            let mut plans = Vec::with_capacity(tasks.len());
+            for t in &tasks {
+                let plan = plan_partition(p, &scc_rank, &t.candidates, t.share, Some(remaining));
+                remaining -= plan.ops.min(remaining);
+                plans.push(plan);
+            }
+            *ops_left = Some(remaining);
+            (plans, par_start.elapsed())
+        }
+        None => {
+            let out = par_map(jobs, &tasks, |_, t| {
+                plan_partition(p, &scc_rank, &t.candidates, t.share, None)
+            });
+            (out.results, out.work)
+        }
+    };
+    result.plan_wall = screen_elapsed + par_start.elapsed();
+    result.plan_work = screen_elapsed + par_work;
+
+    // Barrier: reconcile the partition plans against the one budget.
+    let mut total_delta = 0u64;
+    for plan in &plans {
+        total_delta += plan.delta;
+        result.deferred += plan.deferred;
+    }
+    budget.charge(total_delta);
+
+    // Perform in partition order, bottom-up within each (Figure 4
+    // "perform inlines"), fixing the coordinates of later sites that
+    // shared the split block. Splicing is sequential — it appends no
+    // functions but rewrites caller bodies — and stays deterministic
+    // because partition order is.
+    let apply_start = Instant::now();
+    let mut touched: Vec<FuncId> = Vec::new();
+    for plan in plans {
+        let mut schedule = plan.schedule;
+        schedule.sort_by_key(|c| scc_rank[c.site.caller.index()]);
+        let mut i = 0;
+        while i < schedule.len() {
+            let cand = schedule[i].clone();
+            let splice = inline_call(p, &cand.site);
+            result.inlines += 1;
+            // Deduct the moved executions from the callee's surviving
+            // profile.
+            let callee_entry = p.func(cand.target).entry_count().unwrap_or(0.0);
+            if callee_entry > 0.0 {
+                let keep = ((callee_entry - splice.site_count) / callee_entry).max(0.0);
+                scale_profile(&mut p.func_mut(cand.target).profile, keep);
+            }
+            for later in schedule.iter_mut().skip(i + 1) {
+                if later.site.caller == cand.site.caller
+                    && later.site.block == splice.split_block
+                    && later.site.inst > splice.call_index
+                {
+                    later.site.block = splice.continuation;
+                    later.site.inst -= splice.call_index + 1;
+                }
+            }
+            i += 1;
+        }
+        for c in &schedule {
+            touched.push(c.site.caller);
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let splice_elapsed = apply_start.elapsed();
+
+    // Re-optimize the callers that grew (Figure 4 "optimize inlines") on
+    // the worker pool, then recalibrate from measured sizes. Each touched
+    // caller's cached call-graph scan is stale now.
+    let reopt_start = Instant::now();
+    let out = par_funcs_mut(jobs, p, &touched, |_, f| hlo_opt::optimize_function(f));
+    for &f in &touched {
+        cache.invalidate(f);
+    }
+    budget.recalibrate(p.compile_cost());
+    result.apply_wall = splice_elapsed + reopt_start.elapsed();
+    result.apply_work = splice_elapsed + out.work;
+
+    result
+}
+
+/// Greedy planner for one partition: rank by merit, accept while the
+/// cascaded schedule delta stays within the partition's budget share.
+fn plan_partition(
+    p: &Program,
+    scc_rank: &[usize],
+    candidates: &[Candidate],
+    share: u64,
+    ops_cap: Option<u64>,
+) -> PartitionPlan {
+    let mut ranked: Vec<Candidate> = candidates.to_vec();
+    ranked.sort_by(|a, b| {
         b.merit
             .partial_cmp(&a.merit)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-
-    // Greedy selection with cascaded cost over a bottom-up schedule
-    // (Figure 4 "select inline sites").
-    let base_cost = budget.current();
-    let mut schedule: Vec<Candidate> = Vec::new();
-    let mut accepted_delta: u64 = 0;
-    let mut accepted_ops = 0u64;
-    for cand in candidates {
-        if let Some(left) = ops_left {
-            if accepted_ops >= *left {
+    let mut plan = PartitionPlan {
+        schedule: Vec::new(),
+        delta: 0,
+        deferred: 0,
+        ops: 0,
+    };
+    for cand in ranked {
+        if let Some(cap) = ops_cap {
+            if plan.ops >= cap {
                 break;
             }
         }
-        let mut tentative: Vec<&Candidate> = schedule.iter().collect();
+        let mut tentative: Vec<&Candidate> = plan.schedule.iter().collect();
         tentative.push(&cand);
         // Bottom-up order: deepest sources first, so a callee's own
         // accepted inlines are counted before it is spliced elsewhere.
         tentative.sort_by_key(|c| scc_rank[c.site.caller.index()]);
         let delta = schedule_cost_delta(p, &tentative);
-        if base_cost.saturating_add(delta) <= budget.stage_limit(pass) {
-            schedule.push(cand);
-            accepted_delta = delta;
-            accepted_ops += 1;
+        if delta <= share {
+            plan.schedule.push(cand);
+            plan.delta = delta;
+            plan.ops += 1;
         } else {
-            result.deferred += 1;
+            plan.deferred += 1;
         }
     }
-    if let Some(left) = ops_left {
-        *left -= accepted_ops.min(*left);
-    }
-    budget.charge(accepted_delta);
-
-    // Perform in bottom-up order (Figure 4 "perform inlines"), fixing the
-    // coordinates of later sites that shared the split block.
-    schedule.sort_by_key(|c| scc_rank[c.site.caller.index()]);
-    let mut i = 0;
-    while i < schedule.len() {
-        let cand = schedule[i].clone();
-        let splice = inline_call(p, &cand.site);
-        result.inlines += 1;
-        // Deduct the moved executions from the callee's surviving profile.
-        let callee_entry = p.func(cand.target).entry_count().unwrap_or(0.0);
-        if callee_entry > 0.0 {
-            let keep = ((callee_entry - splice.site_count) / callee_entry).max(0.0);
-            scale_profile(&mut p.func_mut(cand.target).profile, keep);
-        }
-        for later in schedule.iter_mut().skip(i + 1) {
-            if later.site.caller == cand.site.caller
-                && later.site.block == splice.split_block
-                && later.site.inst > splice.call_index
-            {
-                later.site.block = splice.continuation;
-                later.site.inst -= splice.call_index + 1;
-            }
-        }
-        i += 1;
-    }
-
-    // Re-optimize the callers that grew (Figure 4 "optimize inlines"),
-    // then recalibrate from measured sizes.
-    let mut touched: HashMap<FuncId, ()> = HashMap::new();
-    for c in &schedule {
-        touched.entry(c.site.caller).or_insert(());
-    }
-    for (f, _) in touched {
-        hlo_opt::optimize_function(p.func_mut(f));
-    }
-    budget.recalibrate(p.compile_cost());
-
-    result
+    plan
 }
 
 /// Total compile-cost increase of performing `schedule` (bottom-up order),
@@ -184,6 +322,7 @@ fn schedule_cost_delta(p: &Program, schedule: &[&Candidate]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hlo_analysis::CallGraph;
     use hlo_ir::verify_program;
     use hlo_vm::{run_program, ExecOptions};
 
@@ -199,7 +338,15 @@ mod tests {
         annotate(p);
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, budget_pct, &[1.0]);
-        inline_pass(p, &mut budget, 0, &HloOptions::default(), &mut None)
+        let mut cache = CallGraphCache::new();
+        inline_pass(
+            p,
+            &mut budget,
+            0,
+            &HloOptions::default(),
+            &mut None,
+            &mut cache,
+        )
     }
 
     #[test]
@@ -243,7 +390,15 @@ mod tests {
         let c0 = p.compile_cost();
         // Budget that fits roughly one medium inline but not both.
         let mut budget = Budget::new(c0, 100, &[1.0]);
-        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut None);
+        let mut cache = CallGraphCache::new();
+        let r = inline_pass(
+            &mut p,
+            &mut budget,
+            0,
+            &HloOptions::default(),
+            &mut None,
+            &mut cache,
+        );
         assert!(r.inlines >= 1);
         assert!(r.deferred >= 1, "{r:?}");
         // `hot` must no longer be called from main's loop.
@@ -331,7 +486,15 @@ mod tests {
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, 5000, &[1.0]);
         let mut ops = Some(2u64);
-        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut ops);
+        let mut cache = CallGraphCache::new();
+        let r = inline_pass(
+            &mut p,
+            &mut budget,
+            0,
+            &HloOptions::default(),
+            &mut ops,
+            &mut cache,
+        );
         assert_eq!(r.inlines, 2);
         assert_eq!(ops, Some(0));
         verify_program(&p).unwrap();
@@ -344,7 +507,15 @@ mod tests {
         annotate(&mut p);
         let c0 = p.compile_cost();
         let mut budget = Budget::new(c0, 0, &[1.0]);
-        let r = inline_pass(&mut p, &mut budget, 0, &HloOptions::default(), &mut None);
+        let mut cache = CallGraphCache::new();
+        let r = inline_pass(
+            &mut p,
+            &mut budget,
+            0,
+            &HloOptions::default(),
+            &mut None,
+            &mut cache,
+        );
         assert_eq!(r.inlines, 0);
         assert_eq!(r.deferred, 1);
     }
@@ -360,5 +531,79 @@ mod tests {
         run_pass(&mut p, 2000);
         let main = p.entry.unwrap();
         assert_eq!(p.func(main).size(), 1, "{}", p.func(main));
+    }
+
+    #[test]
+    fn disjoint_islands_plan_independently_and_identically() {
+        // Two call islands (main's and an address-escaped helper chain
+        // that stays reachable). The pass must inline in both, and the
+        // result must not depend on the job count.
+        let src = &[(
+            "m",
+            r#"
+            fn tiny(x) { return x + 1; }
+            fn island() { return tiny(1) + tiny(2); }
+            fn main() { var f = &island; return f(); }
+            "#,
+        )];
+        let p0 = {
+            let mut p = hlo_frontc::compile(src).unwrap();
+            annotate(&mut p);
+            p
+        };
+        let mut outs: Vec<String> = Vec::new();
+        for jobs in [1usize, 4] {
+            let mut p = p0.clone();
+            let c0 = p.compile_cost();
+            let mut budget = Budget::new(c0, 1000, &[1.0]);
+            let mut cache = CallGraphCache::new();
+            let opts = HloOptions {
+                jobs,
+                ..Default::default()
+            };
+            let r = inline_pass(&mut p, &mut budget, 0, &opts, &mut None, &mut cache);
+            assert!(r.inlines >= 2, "{r:?}");
+            verify_program(&p).unwrap();
+            outs.push(hlo_ir::program_to_text(&p));
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn passes_reuse_the_cached_call_graph() {
+        let src = &[(
+            "m",
+            "fn f(x) { return x + 1; } fn main() { return f(1) + f(2); }",
+        )];
+        let mut p = hlo_frontc::compile(src).unwrap();
+        annotate(&mut p);
+        let c0 = p.compile_cost();
+        let mut budget = Budget::new(c0, 2000, &[1.0, 1.0]);
+        let mut cache = CallGraphCache::new();
+        inline_pass(
+            &mut p,
+            &mut budget,
+            0,
+            &HloOptions::default(),
+            &mut None,
+            &mut cache,
+        );
+        let scans_after_first = cache.rescans();
+        inline_pass(
+            &mut p,
+            &mut budget,
+            1,
+            &HloOptions::default(),
+            &mut None,
+            &mut cache,
+        );
+        // The second pass re-scanned only the invalidated caller (main),
+        // not the whole program.
+        assert!(
+            cache.rescans() - scans_after_first <= 1,
+            "rescans {} -> {}",
+            scans_after_first,
+            cache.rescans()
+        );
     }
 }

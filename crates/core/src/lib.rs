@@ -50,6 +50,7 @@ mod driver;
 mod inliner;
 mod legality;
 mod outline;
+pub mod par;
 mod report;
 mod transform;
 
@@ -57,9 +58,10 @@ pub use budget::Budget;
 pub use cloner::{CloneDb, CloneSpec};
 pub use delete::delete_unreachable;
 pub use driver::{optimize, HloOptions, Scope};
+pub use hlo_analysis::CallGraphCache;
 pub use hlo_lint::{CheckLevel, Checker, Diagnostic, LintReport, Severity};
 pub use inliner::inline_pass;
 pub use legality::{clone_restriction, inline_restriction, Restriction};
 pub use outline::{outline_cold_regions, OutlineOptions};
-pub use report::{HloReport, PassReport};
+pub use report::{HloReport, PassReport, StageTiming};
 pub use transform::{inline_call, make_clone, redirect_site_to_clone, InlineSplice};

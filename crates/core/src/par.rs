@@ -1,0 +1,335 @@
+//! A dependency-free scoped worker pool for the parallel HLO pipeline.
+//!
+//! The registry is offline, so no rayon: this is `std::thread::scope` plus
+//! an atomic work counter. Determinism is the design constraint — every
+//! helper returns results **in input order** regardless of which worker
+//! claimed which item, so a caller that merges results index-by-index
+//! produces byte-identical output at any job count. Each helper also
+//! reports *cumulative work* (the sum of per-worker busy time) next to the
+//! caller's wall clock, which is how [`crate::HloReport`] makes the
+//! parallel speedup observable: `work / wall ≈ effective parallelism`.
+
+use hlo_ir::{FuncId, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resolves a requested job count: `0` means "use all available
+/// hardware parallelism", anything else is taken literally.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Results of one parallel stage: per-item outputs in input order, plus
+/// the cumulative busy time across workers.
+#[derive(Debug)]
+pub struct ParOutcome<R> {
+    /// One result per input item, in input order.
+    pub results: Vec<R>,
+    /// Total busy time summed over workers (≈ `jobs ×` wall time when the
+    /// stage scales perfectly; == wall time when `jobs == 1`).
+    pub work: Duration,
+}
+
+/// Maps `f` over `items` with up to `jobs` workers. Results come back in
+/// input order; `f` receives the item index. With `jobs <= 1` (or one
+/// item) this runs inline with zero thread overhead.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> ParOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        let start = Instant::now();
+        let results = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return ParOutcome {
+            results,
+            work: start.elapsed(),
+        };
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut work = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let start = Instant::now();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    (local, start.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, busy) = match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            work += busy;
+            for (i, r) in local {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    ParOutcome {
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect(),
+        work,
+    }
+}
+
+/// A raw pointer to the function table that workers index *disjointly*.
+/// Soundness: each index is claimed by exactly one worker via the atomic
+/// counter (or the indices are distinct by construction in
+/// [`par_funcs_mut`]), so no `&mut Function` aliases another.
+struct FuncTablePtr(*mut hlo_ir::Function);
+unsafe impl Sync for FuncTablePtr {}
+
+/// Maps `f` mutably over every function of `p` with up to `jobs` workers.
+/// Each function is visited by exactly one worker; results come back in
+/// function order.
+pub fn par_map_funcs<R, F>(jobs: usize, p: &mut Program, f: F) -> ParOutcome<R>
+where
+    R: Send,
+    F: Fn(FuncId, &mut hlo_ir::Function) -> R + Sync,
+{
+    let all: Vec<FuncId> = (0..p.funcs.len()).map(|i| FuncId(i as u32)).collect();
+    par_funcs_mut(jobs, p, &all, f)
+}
+
+/// Maps `f` mutably over the distinct functions named by `ids` with up to
+/// `jobs` workers. Results come back in `ids` order.
+///
+/// # Panics
+/// Panics (debug builds) if `ids` contains duplicates — disjointness is
+/// what makes the parallel mutable access sound.
+pub fn par_funcs_mut<R, F>(jobs: usize, p: &mut Program, ids: &[FuncId], f: F) -> ParOutcome<R>
+where
+    R: Send,
+    F: Fn(FuncId, &mut hlo_ir::Function) -> R + Sync,
+{
+    debug_assert!(
+        {
+            let mut seen = ids.to_vec();
+            seen.sort();
+            seen.windows(2).all(|w| w[0] != w[1])
+        },
+        "par_funcs_mut requires distinct function ids"
+    );
+    let n = ids.len();
+    if jobs <= 1 || n <= 1 {
+        let start = Instant::now();
+        let results = ids.iter().map(|&id| f(id, p.func_mut(id))).collect();
+        return ParOutcome {
+            results,
+            work: start.elapsed(),
+        };
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let table = FuncTablePtr(p.funcs.as_mut_ptr());
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut work = Duration::ZERO;
+    std::thread::scope(|s| {
+        let table = &table;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let start = Instant::now();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let id = ids[i];
+                        // SAFETY: `ids` are distinct and each list index is
+                        // claimed by exactly one worker, so this `&mut` does
+                        // not alias any other worker's. The table itself is
+                        // not resized while the scope is alive (we hold the
+                        // only `&mut Program`).
+                        let func = unsafe { &mut *table.0.add(id.index()) };
+                        local.push((i, f(id, func)));
+                    }
+                    (local, start.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, busy) = match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            work += busy;
+            for (i, r) in local {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    ParOutcome {
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect(),
+        work,
+    }
+}
+
+/// Accumulates per-stage wall-clock and cumulative-work timings for
+/// [`crate::HloReport::stage_timings`]. Repeated records under one stage
+/// name are summed, so per-pass stages aggregate across passes.
+#[derive(Debug, Default)]
+pub struct StageTimings {
+    entries: Vec<crate::report::StageTiming>,
+}
+
+impl StageTimings {
+    /// Adds `wall`/`work` to the totals for `stage`.
+    pub fn record(&mut self, stage: &str, wall: Duration, work: Duration) {
+        let wall_us = wall.as_micros() as u64;
+        let work_us = work.as_micros() as u64;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.stage == stage) {
+            e.wall_us += wall_us;
+            e.work_us += work_us;
+        } else {
+            self.entries.push(crate::report::StageTiming {
+                stage: stage.to_string(),
+                wall_us,
+                work_us,
+            });
+        }
+    }
+
+    /// Records a stage that ran sequentially (work == wall).
+    pub fn record_seq(&mut self, stage: &str, wall: Duration) {
+        self.record(stage, wall, wall);
+    }
+
+    /// Consumes the accumulator into report entries, in first-recorded
+    /// order.
+    pub fn into_entries(self) -> Vec<crate::report::StageTiming> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        for jobs in [1, 2, 4, 8] {
+            let out = par_map(jobs, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out.results.len(), items.len());
+            for (i, r) in out.results.iter().enumerate() {
+                assert_eq!(*r, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).results.is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1).results, vec![8]);
+    }
+
+    #[test]
+    fn effective_jobs_zero_means_hardware() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn par_funcs_mut_touches_each_function_once() {
+        let p = test_program(9);
+        for jobs in [1, 2, 8] {
+            let mut q = p.clone();
+            let ids: Vec<FuncId> = (0..q.funcs.len()).map(|i| FuncId(i as u32)).collect();
+            let out = par_funcs_mut(jobs, &mut q, &ids, |id, f| {
+                f.num_regs += 1;
+                id.index() as u64
+            });
+            assert_eq!(out.results, (0..9u64).collect::<Vec<_>>());
+            for (i, f) in q.funcs.iter().enumerate() {
+                assert_eq!(f.num_regs, p.funcs[i].num_regs + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_funcs_matches_sequential_result() {
+        let p0 = test_program(17);
+        let mut seq = p0.clone();
+        let seq_out = par_map_funcs(1, &mut seq, |id, f| {
+            f.num_regs += id.0;
+            f.num_regs
+        });
+        let mut par = p0;
+        let par_out = par_map_funcs(8, &mut par, |id, f| {
+            f.num_regs += id.0;
+            f.num_regs
+        });
+        assert_eq!(seq_out.results, par_out.results);
+        for (a, b) in seq.funcs.iter().zip(par.funcs.iter()) {
+            assert_eq!(a.num_regs, b.num_regs);
+        }
+    }
+
+    #[test]
+    fn stage_timings_accumulate_by_name() {
+        let mut t = StageTimings::default();
+        t.record(
+            "inline.plan",
+            Duration::from_micros(10),
+            Duration::from_micros(30),
+        );
+        t.record(
+            "inline.plan",
+            Duration::from_micros(5),
+            Duration::from_micros(15),
+        );
+        t.record_seq("delete", Duration::from_micros(7));
+        let entries = t.into_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].stage, "inline.plan");
+        assert_eq!(entries[0].wall_us, 15);
+        assert_eq!(entries[0].work_us, 45);
+        assert_eq!(entries[1].stage, "delete");
+        assert_eq!(entries[1].work_us, 7);
+    }
+
+    fn test_program(n: u32) -> Program {
+        use hlo_ir::{FunctionBuilder, Linkage, ProgramBuilder, Type};
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        for i in 0..n {
+            let mut f = FunctionBuilder::new(format!("f{i}"), m, 0);
+            let e = f.entry_block();
+            f.ret(e, None);
+            pb.add_function(f.finish(Linkage::Public, Type::Void));
+        }
+        pb.finish(Some(FuncId(0)))
+    }
+}

@@ -1,5 +1,21 @@
 //! Optimization reports — the raw material of the paper's Table 1.
 
+/// Wall-clock vs cumulative-work time of one pipeline stage. For stages
+/// that fan out over the worker pool, `work_us / wall_us` approximates the
+/// effective parallelism (`≈ 1` at `jobs = 1`, `≈ N` on an
+/// embarrassingly-parallel stage at `jobs = N`); sequential stages report
+/// `work_us == wall_us`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageTiming {
+    /// Stage name (`annotate`, `cleanup`, `inline.plan`, …). Per-pass
+    /// stages are aggregated across passes under one name.
+    pub stage: String,
+    /// Elapsed wall-clock time, microseconds.
+    pub wall_us: u64,
+    /// Cumulative busy time summed over workers, microseconds.
+    pub work_us: u64,
+}
+
 /// What one Clone+Inline pass did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PassReport {
@@ -53,8 +69,19 @@ pub struct HloReport {
     pub diagnostics: Vec<hlo_lint::Diagnostic>,
     /// How many pass boundaries the verify-each checker inspected.
     pub checks_run: u32,
-    /// Time spent in verify-each batteries, in microseconds.
+    /// Time spent in verify-each batteries, in microseconds. Under
+    /// parallel cleanup this is cumulative work across workers, not wall
+    /// time.
     pub lint_time_us: u64,
+    /// Functions annotated from the training-run profile database (0 for
+    /// static-heuristic builds).
+    pub profile_annotations: u64,
+    /// The worker count the run actually used (after resolving
+    /// `HloOptions::jobs == 0` to the hardware parallelism).
+    pub jobs: u64,
+    /// Per-stage wall-clock vs cumulative-work timings; the parallel
+    /// speedup is `work_us / wall_us` per stage.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 impl HloReport {
@@ -96,6 +123,22 @@ impl std::fmt::Display for HloReport {
             "cost {} -> {} (budget {})",
             self.initial_cost, self.final_cost, self.budget_limit
         )?;
+        if self.jobs > 1 {
+            let wall: u64 = self.stage_timings.iter().map(|s| s.wall_us).sum();
+            let work: u64 = self.stage_timings.iter().map(|s| s.work_us).sum();
+            write!(
+                f,
+                "\njobs {}: {} us wall, {} us work ({:.2}x effective)",
+                self.jobs,
+                wall,
+                work,
+                if wall > 0 {
+                    work as f64 / wall as f64
+                } else {
+                    1.0
+                }
+            )?;
+        }
         if self.checks_run > 0 {
             write!(
                 f,

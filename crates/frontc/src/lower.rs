@@ -866,8 +866,16 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_representable() {
-        // Calling a 2-param function with 1 arg parses, links and runs.
+        // Calling a 2-param function with 1 arg parses, links and runs on
+        // the VM (missing args read as 0), but the structural verifier
+        // rejects it — such sites are inline-illegal (paper §2.3).
         let src = "fn two(a, b) { return a + b; } fn main() { return two(5); }";
-        assert_eq!(run(&[("m", src)]), 5);
+        let p = compile(&[("m", src)]).unwrap();
+        assert!(matches!(
+            verify_program(&p),
+            Err(hlo_ir::VerifyError::ArityMismatch { .. })
+        ));
+        let ret = run_program(&p, &[], &ExecOptions::default()).unwrap().ret;
+        assert_eq!(ret, 5);
     }
 }

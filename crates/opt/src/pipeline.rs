@@ -23,6 +23,11 @@ pub struct OptStats {
     pub cse_replaced: u64,
     /// Calls to side-effect-free routines deleted (program-level only).
     pub pure_calls_removed: u64,
+    /// Whether anything at all changed. This is the cache-invalidation
+    /// signal: a function whose run reports `changed` may have shifted
+    /// instruction indices, so any cached [`hlo_analysis::CallGraph`]
+    /// sites into it are stale even when no call was touched.
+    pub changed: bool,
 }
 
 impl OptStats {
@@ -79,9 +84,10 @@ pub fn optimize_function_checked(f: &mut Function, ck: &mut Checker) -> OptStats
         ck.check_function(f, "dead_slots");
         stats.folded += alg_n + fwd_n;
         stats.dead_removed += slot_n;
-        if !stats.absorb_function_round(cp, cfg, cse_n, copy_n, dce_n)
-            && alg_n + fwd_n + slot_n == 0
-        {
+        let round_changed = stats.absorb_function_round(cp, cfg, cse_n, copy_n, dce_n)
+            || alg_n + fwd_n + slot_n > 0;
+        stats.changed |= round_changed;
+        if !round_changed {
             break;
         }
     }
@@ -106,9 +112,8 @@ pub fn optimize_program_checked(p: &mut Program, ck: &mut Checker) -> OptStats {
                 let f = &mut p.funcs[i];
                 optimize_function_checked(f, ck)
             };
-            changed |= s.folded + s.dead_removed + s.blocks_simplified + s.cse_replaced > 0
-                || s.branches_folded > 0
-                || s.indirect_promoted > 0;
+            changed |= s.changed;
+            stats.changed |= s.changed;
             stats.folded += s.folded;
             stats.branches_folded += s.branches_folded;
             stats.indirect_promoted += s.indirect_promoted;
@@ -119,6 +124,7 @@ pub fn optimize_program_checked(p: &mut Program, ck: &mut Checker) -> OptStats {
         let pure_n = pure_calls::eliminate_pure_calls(p);
         ck.check(p, "pure_calls");
         stats.pure_calls_removed += pure_n;
+        stats.changed |= pure_n > 0;
         if pure_n == 0 && !changed {
             break;
         }

@@ -6,16 +6,40 @@
 
 use crate::dce::live_out_sets;
 use hlo_analysis::{side_effect_free_funcs, CallGraph};
-use hlo_ir::{Callee, Inst, Operand, Program};
+use hlo_ir::{Callee, FuncId, Inst, Operand, Program};
+
+/// What one [`eliminate_pure_calls_with`] run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PureCallRemoval {
+    /// Call sites deleted.
+    pub removed: u64,
+    /// Functions whose bodies changed (their call-graph out-edges and
+    /// instruction indices are stale; callers holding a cached call graph
+    /// must invalidate exactly these).
+    pub changed: Vec<FuncId>,
+}
 
 /// Removes direct calls to side-effect-free functions whose results are
 /// unused (or ignored). Returns the number of call sites deleted.
+///
+/// Convenience wrapper over [`eliminate_pure_calls_with`] that builds its
+/// own call graph; callers that already hold one (or a
+/// [`hlo_analysis::CallGraphCache`]) should pass it instead of paying for
+/// a rebuild.
 pub fn eliminate_pure_calls(p: &mut Program) -> u64 {
     let cg = CallGraph::build(p);
-    let free = side_effect_free_funcs(p, &cg);
+    eliminate_pure_calls_with(p, &cg).removed
+}
+
+/// [`eliminate_pure_calls`] against a caller-supplied call graph, with a
+/// report of which functions were edited.
+pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRemoval {
+    let free = side_effect_free_funcs(p, cg);
     let mut removed = 0;
-    for f in &mut p.funcs {
+    let mut changed = Vec::new();
+    for (fi, f) in p.funcs.iter_mut().enumerate() {
         let live_out = live_out_sets(f);
+        let mut func_changed = false;
         for (bi, block) in f.blocks.iter_mut().enumerate() {
             // Backward scan to know liveness of each call's destination.
             let mut live = live_out[bi].clone();
@@ -35,6 +59,7 @@ pub fn eliminate_pure_calls(p: &mut Program) -> u64 {
                 if removable {
                     keep[ii] = false;
                     removed += 1;
+                    func_changed = true;
                     continue;
                 }
                 if let Some(d) = inst.dst() {
@@ -49,8 +74,11 @@ pub fn eliminate_pure_calls(p: &mut Program) -> u64 {
             let mut it = keep.iter();
             block.insts.retain(|_| *it.next().expect("len"));
         }
+        if func_changed {
+            changed.push(FuncId(fi as u32));
+        }
     }
-    removed
+    PureCallRemoval { removed, changed }
 }
 
 #[cfg(test)]

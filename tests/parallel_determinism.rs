@@ -1,0 +1,83 @@
+//! The parallel pipeline's contract: `--jobs N` is a scheduling knob, not
+//! an algorithm knob. For every suite program the optimized IR, the
+//! operation counts and the budget accounting must be byte-identical at
+//! any job count — partition planning, parallel cleanup and the shared
+//! call-graph cache may only change *when* work happens, never *what*.
+
+use aggressive_inlining::{hlo, ir, suite};
+
+fn optimized_text(b: &suite::Benchmark, opts: &hlo::HloOptions) -> (String, hlo::HloReport) {
+    let mut p = b.compile().expect("suite program compiles");
+    let report = hlo::optimize(&mut p, None, opts);
+    (ir::program_to_text(&p), report)
+}
+
+#[test]
+fn suite_ir_is_identical_across_job_counts() {
+    for b in suite::all_benchmarks() {
+        for budget in [100, 400] {
+            let opts = |jobs| hlo::HloOptions {
+                jobs,
+                budget_percent: budget,
+                scope: hlo::Scope::CrossModule,
+                ..Default::default()
+            };
+            let (base_text, base) = optimized_text(&b, &opts(1));
+            for jobs in [2, 8] {
+                let (text, report) = optimized_text(&b, &opts(jobs));
+                assert_eq!(
+                    base_text, text,
+                    "{} diverged at jobs={jobs} budget={budget}",
+                    b.name
+                );
+                assert_eq!(base.inlines, report.inlines, "{} inlines", b.name);
+                assert_eq!(base.clones, report.clones, "{} clones", b.name);
+                assert_eq!(
+                    base.clone_replacements, report.clone_replacements,
+                    "{} clone repls",
+                    b.name
+                );
+                assert_eq!(base.deletions, report.deletions, "{} deletions", b.name);
+                assert_eq!(
+                    base.compile_time_units(),
+                    report.compile_time_units(),
+                    "{} budget accounting",
+                    b.name
+                );
+                assert_eq!(report.jobs, jobs as u64, "{} reported jobs", b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_checking_stays_identical_and_clean_in_parallel() {
+    // The verify-each battery forks the checker per function under
+    // parallel cleanup; diagnostics must merge back in function order and
+    // no job count may introduce (or hide) a finding. A subset keeps the
+    // debug-mode runtime bounded; it covers the star cloning target
+    // (022.li), the dispatch-table showcase (124.m88ksim) and the
+    // pure-call-deletion program (072.sc).
+    for name in ["022.li", "124.m88ksim", "072.sc"] {
+        let b = suite::benchmark(name).expect("suite has the benchmark");
+        let opts = |jobs| hlo::HloOptions {
+            jobs,
+            check: hlo::CheckLevel::Strict,
+            scope: hlo::Scope::CrossModule,
+            ..Default::default()
+        };
+        let (base_text, base) = optimized_text(&b, &opts(1));
+        let (text, report) = optimized_text(&b, &opts(8));
+        assert_eq!(base_text, text, "{name} diverged under strict checking");
+        assert_eq!(
+            base.diagnostics, report.diagnostics,
+            "{name} diagnostics differ across job counts"
+        );
+        assert_eq!(base.checks_run, report.checks_run, "{name} checks_run");
+        assert_eq!(
+            report.introduced_diagnostics().count(),
+            0,
+            "{name} introduced a diagnostic"
+        );
+    }
+}
