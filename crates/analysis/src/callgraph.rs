@@ -285,6 +285,107 @@ impl CallGraph {
         parts
     }
 
+    /// Combines per-function content hashes into **cone hashes**: the hash
+    /// of everything inlining into `f` could possibly read — `f`'s own
+    /// content plus, transitively, every function reachable from `f`
+    /// through direct calls (its *inline-reachable cone*). Two programs
+    /// assign a function equal cone hashes exactly when the function and
+    /// its whole cone are textually identical, which is what lets a result
+    /// cache invalidate only the dependence cone of an edit: callers of a
+    /// changed function change, untouched siblings do not.
+    ///
+    /// Cycles are handled by SCC condensation (every member of a recursive
+    /// component shares the component's combined hash). Functions whose
+    /// cone contains an **indirect** call site additionally absorb a hash
+    /// of every address-taken function's cone — an indirect site can reach
+    /// any of them, so all of them must invalidate it. Extern callees are
+    /// fixed by the runtime and contribute only through the call site text
+    /// already covered by `own`.
+    ///
+    /// `own[i]` is the content hash of function `i` (normally
+    /// [`hlo_ir::hash_function`]).
+    ///
+    /// # Panics
+    /// Panics if `own.len()` differs from the number of functions.
+    pub fn cone_hashes(&self, own: &[u64]) -> Vec<u64> {
+        assert_eq!(own.len(), self.num_funcs(), "one hash per function");
+        let n = self.num_funcs();
+        let sccs = self.sccs(); // reverse topological: callees first
+        let mut scc_of = vec![usize::MAX; n];
+        for (si, comp) in sccs.iter().enumerate() {
+            for &f in comp {
+                scc_of[f.index()] = si;
+            }
+        }
+        let mut has_indirect = vec![false; n];
+        for s in &self.indirect_sites {
+            has_indirect[s.caller.index()] = true;
+        }
+
+        // Pass 1 (callees before callers): per-SCC combined hash over the
+        // members and their external callee SCCs, plus whether the cone
+        // transitively contains an indirect site.
+        let mut scc_hash = vec![0u64; sccs.len()];
+        let mut scc_indirect = vec![false; sccs.len()];
+        for (si, comp) in sccs.iter().enumerate() {
+            let mut callee_sccs: Vec<usize> = Vec::new();
+            let mut indirect = false;
+            let mut h = hlo_ir::Fnv64::new();
+            for &f in comp {
+                // Members are sorted ascending, so this is deterministic.
+                h.write_u64(own[f.index()]);
+                indirect |= has_indirect[f.index()];
+                for &e in &self.callees_of[f.index()] {
+                    let cs = scc_of[self.edges[e].callee.index()];
+                    if cs != si {
+                        callee_sccs.push(cs);
+                    }
+                }
+            }
+            callee_sccs.sort_unstable();
+            callee_sccs.dedup();
+            for cs in callee_sccs {
+                h.write_u64(scc_hash[cs]);
+                indirect |= scc_indirect[cs];
+            }
+            scc_hash[si] = h.finish();
+            scc_indirect[si] = indirect;
+        }
+
+        // A function's direct cone hash: its own content plus its SCC's
+        // combined cone (which already includes `own[f]`, but mixing it
+        // again keeps members of one SCC distinguishable).
+        let direct: Vec<u64> = (0..n)
+            .map(|f| {
+                let mut h = hlo_ir::Fnv64::new();
+                h.write_u64(own[f]).write_u64(scc_hash[scc_of[f]]);
+                h.finish()
+            })
+            .collect();
+
+        // Pass 2: one environment hash over every address-taken function's
+        // direct cone; any cone containing an indirect site absorbs it.
+        let mut env = hlo_ir::Fnv64::new();
+        env.write(b"indirect-env");
+        for (f, &d) in direct.iter().enumerate() {
+            if self.address_taken[f] {
+                env.write_u64(d);
+            }
+        }
+        let env = env.finish();
+        (0..n)
+            .map(|f| {
+                if scc_indirect[scc_of[f]] {
+                    let mut h = hlo_ir::Fnv64::new();
+                    h.write_u64(direct[f]).write_u64(env);
+                    h.finish()
+                } else {
+                    direct[f]
+                }
+            })
+            .collect()
+    }
+
     /// Whether `f` participates in recursion: a self edge or a nontrivial
     /// SCC. Computed from a supplied SCC decomposition to avoid rebuilding.
     pub fn in_recursion(&self, sccs: &[Vec<FuncId>], f: FuncId) -> bool {

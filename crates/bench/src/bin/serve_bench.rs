@@ -1,0 +1,171 @@
+//! `serve_bench` — the daemon-path gate (`cargo servebench`).
+//!
+//! Spawns an in-process `hlo-serve` daemon and replays all 14 suite
+//! programs through it twice — cold, then warm — each with its trained
+//! profile shipped over the wire. Three properties gate the run:
+//!
+//! 1. the daemon's cold output is **byte-identical** to a direct
+//!    in-process `hlo::optimize` call with the same inputs;
+//! 2. the warm replay is byte-identical to the cold one;
+//! 3. the warm replay hits the cache on every program (100% hit rate —
+//!    warm requests are pure lookups).
+//!
+//! Latencies and the hit rate are printed and written to
+//! `BENCH_serve.json`. Warm speedup on this suite is large (lookups skip
+//! the optimizer entirely) but the gate is identity, not speed.
+
+use hlo::HloOptions;
+use hlo_profile::collect_profile;
+use hlo_serve::{Client, OptimizeRequest, ServeConfig, Server, SourceKind};
+use hlo_vm::ExecOptions;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    cold_identical: bool,
+    warm_identical: bool,
+    warm_hit: bool,
+    cold_us: u64,
+    warm_us: u64,
+}
+
+fn main() -> ExitCode {
+    let server = match Server::spawn("127.0.0.1:0", ServeConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_bench: cannot spawn daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect to in-process daemon");
+
+    println!("serve_bench: suite through hlod at {addr} (gate: byte-identity + warm hits)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>5} {:>5}",
+        "program", "cold(us)", "warm(us)", "speedup", "cold=", "warm="
+    );
+    hlo_bench::rule(62);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+    for b in hlo_suite::all_benchmarks() {
+        // Ground truth: the exact same inputs, optimized in-process.
+        let baseline = b.compile().expect("suite program compiles");
+        let (db, _) = collect_profile(&baseline, &[b.train_arg], &ExecOptions::default())
+            .expect("training run");
+        let profile_text = db.to_text();
+        let opts = HloOptions::default();
+        let mut expect_program = baseline;
+        let _ = hlo::optimize(&mut expect_program, Some(&db), &opts);
+        let expect_ir = hlo_ir::program_to_text(&expect_program);
+
+        let req = OptimizeRequest {
+            options: opts,
+            source: SourceKind::Minc(
+                b.sources
+                    .iter()
+                    .map(|(n, s)| (n.to_string(), s.to_string()))
+                    .collect(),
+            ),
+            profile: Some(profile_text),
+            deadline_ms: None,
+        };
+        let t = Instant::now();
+        let cold = client.optimize(&req).expect("cold request");
+        let cold_us = t.elapsed().as_micros() as u64;
+        let t = Instant::now();
+        let warm = client.optimize(&req).expect("warm request");
+        let warm_us = t.elapsed().as_micros() as u64;
+
+        let row = Row {
+            name: b.name,
+            cold_identical: cold.ir_text == expect_ir && !cold.outcome.hit,
+            warm_identical: warm.ir_text == cold.ir_text,
+            warm_hit: warm.outcome.hit && warm.outcome.func_misses == 0,
+            cold_us,
+            warm_us,
+        };
+        ok &= row.cold_identical && row.warm_identical && row.warm_hit;
+        println!(
+            "{:<14} {:>12} {:>12} {:>7.1}x {:>5} {:>5}",
+            row.name,
+            row.cold_us,
+            row.warm_us,
+            row.cold_us as f64 / row.warm_us.max(1) as f64,
+            if row.cold_identical { "yes" } else { "NO" },
+            if row.warm_identical && row.warm_hit {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        rows.push(row);
+    }
+    hlo_bench::rule(62);
+
+    let stats = client.stats().expect("stats request");
+    let hits_expected = rows.len() as u64;
+    let hit_rate = stats.hits as f64 / hits_expected as f64;
+    let cold_total: u64 = rows.iter().map(|r| r.cold_us).sum();
+    let warm_total: u64 = rows.iter().map(|r| r.warm_us).sum();
+    println!(
+        "total: {cold_total} us cold, {warm_total} us warm ({:.1}x), warm hit rate {:.0}%",
+        cold_total as f64 / warm_total.max(1) as f64,
+        hit_rate * 100.0
+    );
+    ok &= stats.hits == hits_expected && stats.misses == hits_expected;
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    let json = render_json(hit_rate, cold_total, warm_total, &rows);
+    let path = "BENCH_serve.json";
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("serve_bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve_bench: IDENTITY OR HIT-RATE GATE FAILED — see rows marked NO");
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON (the registry is offline; no serde). All strings are
+/// benchmark names — `[0-9A-Za-z._]` — so quoting suffices.
+fn render_json(hit_rate: f64, cold_total: u64, warm_total: u64, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"warm_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(s, "  \"cold_total_us\": {cold_total},");
+    let _ = writeln!(s, "  \"warm_total_us\": {warm_total},");
+    let _ = writeln!(
+        s,
+        "  \"warm_speedup\": {:.4},",
+        cold_total as f64 / warm_total.max(1) as f64
+    );
+    let _ = writeln!(s, "  \"benchmarks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"cold_us\": {}, \"warm_us\": {}, \
+             \"cold_identical\": {}, \"warm_identical\": {}, \"warm_hit\": {}}}{}",
+            r.name,
+            r.cold_us,
+            r.warm_us,
+            r.cold_identical,
+            r.warm_identical,
+            r.warm_hit,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = write!(s, "}}");
+    s
+}

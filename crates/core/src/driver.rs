@@ -79,6 +79,143 @@ pub struct HloOptions {
     pub jobs: usize,
 }
 
+impl HloOptions {
+    /// Serializes to a stable, line-oriented `key value` text form — the
+    /// wire format of the optimization service and the canonical input of
+    /// [`HloOptions::fingerprint`]. Every field is written, one per line,
+    /// in declaration order.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let onoff = |b: bool| if b { "on" } else { "off" };
+        let _ = writeln!(
+            s,
+            "scope {}",
+            match self.scope {
+                Scope::WithinModule => "module",
+                Scope::CrossModule => "program",
+            }
+        );
+        let _ = writeln!(s, "budget {}", self.budget_percent);
+        let _ = writeln!(s, "passes {}", self.passes);
+        let mut stages = String::from("stages");
+        for f in &self.stage_fractions {
+            let _ = write!(stages, " {f}");
+        }
+        let _ = writeln!(s, "{stages}");
+        let _ = writeln!(s, "inline {}", onoff(self.enable_inline));
+        let _ = writeln!(s, "clone {}", onoff(self.enable_clone));
+        let _ = writeln!(
+            s,
+            "max_ops {}",
+            self.max_ops.map_or("none".to_string(), |n| n.to_string())
+        );
+        let _ = writeln!(s, "cold_site_penalty {}", onoff(self.cold_site_penalty));
+        let _ = writeln!(s, "clone_db_reuse {}", onoff(self.clone_db_reuse));
+        let _ = writeln!(s, "outline {}", onoff(self.enable_outline));
+        let _ = writeln!(s, "straighten {}", onoff(self.enable_straighten));
+        let _ = writeln!(s, "outline.cold_fraction {}", self.outline.cold_fraction);
+        let _ = writeln!(s, "outline.max_params {}", self.outline.max_params);
+        let _ = writeln!(
+            s,
+            "outline.min_region_size {}",
+            self.outline.min_region_size
+        );
+        let _ = writeln!(
+            s,
+            "check {}",
+            match self.check {
+                CheckLevel::Off => "off",
+                CheckLevel::Structural => "structural",
+                CheckLevel::Strict => "strict",
+            }
+        );
+        let _ = writeln!(s, "jobs {}", self.jobs);
+        s
+    }
+
+    /// Parses the form produced by [`HloOptions::to_text`]. Unknown keys
+    /// and malformed values are errors; omitted keys keep their defaults
+    /// (so older clients can talk to newer daemons).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut o = HloOptions::default();
+        let bool_of = |v: &str| match v {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(format!("expected on/off, got `{other}`")),
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+            let val = val.trim();
+            let num = |what: &str| -> Result<u64, String> {
+                val.parse().map_err(|_| format!("bad {what} `{val}`"))
+            };
+            match key {
+                "scope" => {
+                    o.scope = match val {
+                        "module" => Scope::WithinModule,
+                        "program" => Scope::CrossModule,
+                        other => return Err(format!("bad scope `{other}`")),
+                    }
+                }
+                "budget" => o.budget_percent = num("budget")?,
+                "passes" => o.passes = num("passes")? as usize,
+                "stages" => {
+                    o.stage_fractions = val
+                        .split_whitespace()
+                        .map(|f| f.parse().map_err(|_| format!("bad stage fraction `{f}`")))
+                        .collect::<Result<_, _>>()?
+                }
+                "inline" => o.enable_inline = bool_of(val)?,
+                "clone" => o.enable_clone = bool_of(val)?,
+                "max_ops" => {
+                    o.max_ops = if val == "none" {
+                        None
+                    } else {
+                        Some(num("max_ops")?)
+                    }
+                }
+                "cold_site_penalty" => o.cold_site_penalty = bool_of(val)?,
+                "clone_db_reuse" => o.clone_db_reuse = bool_of(val)?,
+                "outline" => o.enable_outline = bool_of(val)?,
+                "straighten" => o.enable_straighten = bool_of(val)?,
+                "outline.cold_fraction" => {
+                    o.outline.cold_fraction = val
+                        .parse()
+                        .map_err(|_| format!("bad cold_fraction `{val}`"))?
+                }
+                "outline.max_params" => o.outline.max_params = num("max_params")? as u32,
+                "outline.min_region_size" => o.outline.min_region_size = num("min_region_size")?,
+                "check" => o.check = val.parse()?,
+                "jobs" => o.jobs = num("jobs")? as usize,
+                other => return Err(format!("unknown option key `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    /// A stable 64-bit fingerprint of every option that can change the
+    /// *produced program*. `jobs` and `check` are normalized out: the
+    /// pipeline guarantees byte-identical output at any worker count, and
+    /// verify-each only observes — so a result cached at `jobs=8` is a
+    /// valid hit for a `jobs=1 --verify-each` request.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = HloOptions {
+            jobs: 1,
+            check: CheckLevel::Off,
+            ..self.clone()
+        };
+        hlo_ir::fnv1a_64(canonical.to_text().as_bytes())
+    }
+}
+
 impl Default for HloOptions {
     fn default() -> Self {
         HloOptions {
@@ -622,6 +759,47 @@ mod tests {
         assert_eq!(r1.jobs, 1);
         assert!(!r1.stage_timings.is_empty());
         assert!(r1.stage_timings.iter().any(|s| s.stage == "cleanup"));
+    }
+
+    #[test]
+    fn options_text_roundtrip() {
+        let mut o = HloOptions {
+            scope: Scope::WithinModule,
+            budget_percent: 250,
+            passes: 7,
+            stage_fractions: vec![0.1, 0.5, 1.0],
+            enable_inline: false,
+            max_ops: Some(42),
+            enable_outline: true,
+            check: CheckLevel::Strict,
+            jobs: 9,
+            ..Default::default()
+        };
+        o.outline.cold_fraction = 0.125;
+        let back = HloOptions::from_text(&o.to_text()).unwrap();
+        assert_eq!(o, back);
+        // Omitted keys keep defaults; unknown keys are rejected.
+        assert_eq!(
+            HloOptions::from_text("budget 30").unwrap().budget_percent,
+            30
+        );
+        assert!(HloOptions::from_text("zzz 1").is_err());
+        assert!(HloOptions::from_text("scope galaxy").is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_jobs_and_check_only() {
+        let base = HloOptions::default();
+        let mut same = base.clone();
+        same.jobs = 16;
+        same.check = CheckLevel::Strict;
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let mut diff = base.clone();
+        diff.budget_percent = 99;
+        assert_ne!(base.fingerprint(), diff.fingerprint());
+        let mut diff2 = base.clone();
+        diff2.stage_fractions = vec![1.0];
+        assert_ne!(base.fingerprint(), diff2.fingerprint());
     }
 
     #[test]

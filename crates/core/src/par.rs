@@ -36,9 +36,23 @@ pub struct ParOutcome<R> {
     pub work: Duration,
 }
 
+/// Below this many items per requested worker a stage runs inline: with
+/// fewer than two items to amortize each spawned thread, pool spin-up
+/// costs more wall time than it saves (BENCH_parallel.json measured the
+/// `annotate` stage at ~2.4 ms wall for ~70 µs of work — pure overhead).
+/// The sequential and parallel paths produce identical results, so the
+/// cutover is invisible except in wall time.
+const MIN_ITEMS_PER_WORKER: usize = 2;
+
+/// True when a stage of `n` items should skip the pool and run inline.
+fn too_small_for_pool(jobs: usize, n: usize) -> bool {
+    jobs <= 1 || n <= 1 || n < jobs * MIN_ITEMS_PER_WORKER
+}
+
 /// Maps `f` over `items` with up to `jobs` workers. Results come back in
-/// input order; `f` receives the item index. With `jobs <= 1` (or one
-/// item) this runs inline with zero thread overhead.
+/// input order; `f` receives the item index. Small batches (`jobs <= 1`,
+/// one item, or fewer than two items per worker) run inline with zero
+/// thread overhead.
 pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> ParOutcome<R>
 where
     T: Sync,
@@ -46,7 +60,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    if jobs <= 1 || n <= 1 {
+    if too_small_for_pool(jobs, n) {
         let start = Instant::now();
         let results = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         return ParOutcome {
@@ -134,7 +148,7 @@ where
         "par_funcs_mut requires distinct function ids"
     );
     let n = ids.len();
-    if jobs <= 1 || n <= 1 {
+    if too_small_for_pool(jobs, n) {
         let start = Instant::now();
         let results = ids.iter().map(|&id| f(id, p.func_mut(id))).collect();
         return ParOutcome {
@@ -253,6 +267,18 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(4, &empty, |_, &x| x).results.is_empty());
         assert_eq!(par_map(4, &[7u32], |_, &x| x + 1).results, vec![8]);
+    }
+
+    #[test]
+    fn small_batches_run_inline_with_identical_results() {
+        // 7 items at jobs=8 is below the 2-items-per-worker floor: the
+        // stage must run inline (work == wall, no pool) and still return
+        // the same results as the pooled path.
+        assert!(too_small_for_pool(8, 7));
+        assert!(!too_small_for_pool(4, 8));
+        let items: Vec<u64> = (0..7).collect();
+        let out = par_map(8, &items, |_, &x| x + 1);
+        assert_eq!(out.results, (1..=7).collect::<Vec<_>>());
     }
 
     #[test]

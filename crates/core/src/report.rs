@@ -107,6 +107,124 @@ impl HloReport {
     }
 }
 
+impl HloReport {
+    /// Serializes the report to the line-oriented wire form the
+    /// optimization service ships back with cached results. Diagnostics
+    /// are **elided** (only their count travels): the daemon runs with
+    /// checking off by default, and a `Diagnostic` is a display artifact,
+    /// not something a remote client replays.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("hlo-report v1\n");
+        let mut n = |k: &str, v: u64| {
+            let _ = writeln!(s, "{k} {v}");
+        };
+        n("inlines", self.inlines);
+        n("clones", self.clones);
+        n("clone_replacements", self.clone_replacements);
+        n("deletions", self.deletions);
+        n("pure_calls_removed", self.pure_calls_removed);
+        n("outlines", self.outlines);
+        n("straightened", self.straightened);
+        n("initial_cost", self.initial_cost);
+        n("final_cost", self.final_cost);
+        n("budget_limit", self.budget_limit);
+        n("checks_run", self.checks_run as u64);
+        n("lint_time_us", self.lint_time_us);
+        n("profile_annotations", self.profile_annotations);
+        n("jobs", self.jobs);
+        n("diagnostics_elided", self.diagnostics.len() as u64);
+        for p in &self.passes {
+            let _ = writeln!(
+                s,
+                "pass {} {} {} {} {} {} {}",
+                p.pass,
+                p.inlines,
+                p.clones_created,
+                p.clones_reused,
+                p.clone_replacements,
+                p.deletions,
+                p.cost_after
+            );
+        }
+        for t in &self.stage_timings {
+            let _ = writeln!(s, "stage {} {} {}", t.stage, t.wall_us, t.work_us);
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses [`HloReport::to_text`] output. The elided diagnostics come
+    /// back as an empty list regardless of `diagnostics_elided`.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("hlo-report v1") {
+            return Err("missing `hlo-report v1` header".to_string());
+        }
+        let mut r = HloReport::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("bad count `{v}` in `{line}`"))
+            };
+            match key {
+                "inlines" => r.inlines = num(val)?,
+                "clones" => r.clones = num(val)?,
+                "clone_replacements" => r.clone_replacements = num(val)?,
+                "deletions" => r.deletions = num(val)?,
+                "pure_calls_removed" => r.pure_calls_removed = num(val)?,
+                "outlines" => r.outlines = num(val)?,
+                "straightened" => r.straightened = num(val)?,
+                "initial_cost" => r.initial_cost = num(val)?,
+                "final_cost" => r.final_cost = num(val)?,
+                "budget_limit" => r.budget_limit = num(val)?,
+                "checks_run" => r.checks_run = num(val)? as u32,
+                "lint_time_us" => r.lint_time_us = num(val)?,
+                "profile_annotations" => r.profile_annotations = num(val)?,
+                "jobs" => r.jobs = num(val)?,
+                "diagnostics_elided" => {}
+                "pass" => {
+                    let f: Vec<u64> = val.split_whitespace().map(num).collect::<Result<_, _>>()?;
+                    if f.len() != 7 {
+                        return Err(format!("pass record needs 7 fields: `{line}`"));
+                    }
+                    r.passes.push(PassReport {
+                        pass: f[0] as usize,
+                        inlines: f[1],
+                        clones_created: f[2],
+                        clones_reused: f[3],
+                        clone_replacements: f[4],
+                        deletions: f[5],
+                        cost_after: f[6],
+                    });
+                }
+                "stage" => {
+                    let mut parts = val.split_whitespace();
+                    let stage = parts.next().unwrap_or_default().to_string();
+                    let wall_us = num(parts.next().ok_or("stage needs wall_us")?)?;
+                    let work_us = num(parts.next().ok_or("stage needs work_us")?)?;
+                    r.stage_timings.push(StageTiming {
+                        stage,
+                        wall_us,
+                        work_us,
+                    });
+                }
+                "end" => break,
+                other => return Err(format!("unknown report key `{other}`")),
+            }
+        }
+        Ok(r)
+    }
+}
+
 impl std::fmt::Display for HloReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -167,6 +285,43 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.operations(), 5);
+    }
+
+    #[test]
+    fn wire_text_roundtrip() {
+        let r = HloReport {
+            inlines: 12,
+            clones: 3,
+            clone_replacements: 5,
+            deletions: 2,
+            pure_calls_removed: 1,
+            initial_cost: 1000,
+            final_cost: 1900,
+            budget_limit: 2000,
+            checks_run: 4,
+            lint_time_us: 77,
+            profile_annotations: 6,
+            jobs: 2,
+            passes: vec![PassReport {
+                pass: 0,
+                inlines: 12,
+                clones_created: 3,
+                clones_reused: 1,
+                clone_replacements: 5,
+                deletions: 2,
+                cost_after: 1900,
+            }],
+            stage_timings: vec![StageTiming {
+                stage: "inline.plan".to_string(),
+                wall_us: 10,
+                work_us: 30,
+            }],
+            ..Default::default()
+        };
+        let back = HloReport::from_text(&r.to_text()).unwrap();
+        assert_eq!(r, back);
+        assert!(HloReport::from_text("not a report").is_err());
+        assert!(HloReport::from_text("hlo-report v1\nbogus 3\nend").is_err());
     }
 
     #[test]

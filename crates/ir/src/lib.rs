@@ -43,6 +43,7 @@
 mod builder;
 mod display;
 mod func;
+mod hash;
 mod inst;
 mod layout;
 mod module;
@@ -54,11 +55,12 @@ mod verify;
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use display::dump_program;
 pub use func::{Block, FuncFlags, FuncProfile, Function, Linkage};
+pub use hash::{fnv1a_64, hash_function, hash_program, Fnv64};
 pub use inst::{BinOp, Callee, Inst, Operand, UnOp};
 pub use layout::{CodeLayout, FuncLayout, INST_BYTES};
 pub use module::{Extern, Global, Module};
 pub use program::Program;
-pub use text::{parse_inst, parse_program_text, program_to_text, IrParseError};
+pub use text::{function_to_text, parse_inst, parse_program_text, program_to_text, IrParseError};
 pub use types::{ConstVal, F64Bits, Type};
 pub use verify::{
     verify_function, verify_function_all, verify_program, verify_program_all, VerifyError,

@@ -74,63 +74,74 @@ pub fn program_to_text(p: &Program) -> String {
         out.push('\n');
     }
     for (id, f) in p.iter_funcs() {
-        let link = if f.linkage == Linkage::Public {
-            "pub"
-        } else {
-            "static"
-        };
-        let dead = if p.module(f.module).funcs.contains(&id) {
-            ""
-        } else {
-            " dead"
-        };
-        let _ = writeln!(
-            out,
-            "func {} {} {} params={} regs={} ret={}{}",
-            f.name, f.module.0, link, f.params, f.num_regs, f.ret, dead
-        );
-        if !f.slots.is_empty() {
-            let _ = write!(out, "slots");
-            for s in &f.slots {
-                let _ = write!(out, " {s}");
-            }
-            out.push('\n');
-        }
-        let mut flags = Vec::new();
-        if f.flags.noinline {
-            flags.push("noinline");
-        }
-        if f.flags.inline_hint {
-            flags.push("inline_hint");
-        }
-        if f.flags.strict_fp {
-            flags.push("strict_fp");
-        }
-        if f.flags.varargs {
-            flags.push("varargs");
-        }
-        if !flags.is_empty() {
-            let _ = writeln!(out, "flags {}", flags.join(" "));
-        }
-        if let Some(pr) = &f.profile {
-            let _ = write!(out, "profile {}", pr.entry);
-            for b in &pr.blocks {
-                let _ = write!(out, " {b}");
-            }
-            out.push('\n');
-        }
-        for b in &f.blocks {
-            out.push_str("block\n");
-            for inst in &b.insts {
-                let _ = writeln!(out, "  {inst}");
-            }
-        }
-        out.push_str("endfunc\n");
+        let dead = !p.module(f.module).funcs.contains(&id);
+        write_function(&mut out, f, dead);
     }
     if let Some(e) = p.entry {
         let _ = writeln!(out, "entry {}", e.0);
     }
     out
+}
+
+/// Serializes one function exactly as [`program_to_text`] prints it inside
+/// a program (minus the surrounding program context). This is the
+/// canonical form content hashing is defined over — see
+/// [`crate::hash_function`].
+pub fn function_to_text(f: &Function) -> String {
+    let mut out = String::new();
+    write_function(&mut out, f, false);
+    out
+}
+
+fn write_function(out: &mut String, f: &Function, dead: bool) {
+    let link = if f.linkage == Linkage::Public {
+        "pub"
+    } else {
+        "static"
+    };
+    let dead = if dead { " dead" } else { "" };
+    let _ = writeln!(
+        out,
+        "func {} {} {} params={} regs={} ret={}{}",
+        f.name, f.module.0, link, f.params, f.num_regs, f.ret, dead
+    );
+    if !f.slots.is_empty() {
+        let _ = write!(out, "slots");
+        for s in &f.slots {
+            let _ = write!(out, " {s}");
+        }
+        out.push('\n');
+    }
+    let mut flags = Vec::new();
+    if f.flags.noinline {
+        flags.push("noinline");
+    }
+    if f.flags.inline_hint {
+        flags.push("inline_hint");
+    }
+    if f.flags.strict_fp {
+        flags.push("strict_fp");
+    }
+    if f.flags.varargs {
+        flags.push("varargs");
+    }
+    if !flags.is_empty() {
+        let _ = writeln!(out, "flags {}", flags.join(" "));
+    }
+    if let Some(pr) = &f.profile {
+        let _ = write!(out, "profile {}", pr.entry);
+        for b in &pr.blocks {
+            let _ = write!(out, " {b}");
+        }
+        out.push('\n');
+    }
+    for b in &f.blocks {
+        out.push_str("block\n");
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {inst}");
+        }
+    }
+    out.push_str("endfunc\n");
 }
 
 /// Parses the text format back into a [`Program`].

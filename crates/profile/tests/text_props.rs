@@ -1,0 +1,98 @@
+//! Wire-format guarantees for the profile database text form.
+//!
+//! The serve path ships profiles over the socket as `to_text` and keys its
+//! cache on the re-serialized parse, so `from_text(to_text(db)) == db`
+//! must hold for arbitrary databases, and malformed lines must be rejected
+//! with an accurate line number.
+
+use hlo_profile::{FuncCounts, ProfileDb, ProfileParseError};
+use proptest::prelude::*;
+
+/// `(module, func, entry, blocks, edges)` tuples; names are drawn from a
+/// small pool so duplicate keys (later insert wins, like `to_text`'s
+/// one-record-per-function form) get exercised too.
+fn db_strategy() -> impl Strategy<Value = ProfileDb> {
+    let func = (
+        (0u8..4, 0u8..6),
+        any::<u32>(),
+        prop::collection::vec(any::<u64>(), 0..8),
+        prop::collection::vec(((0u32..16, 0u32..16), any::<u64>()), 0..8),
+    );
+    prop::collection::vec(func, 0..10).prop_map(|funcs| {
+        let mut db = ProfileDb::new();
+        for ((m, f), entry, blocks, edges) in funcs {
+            db.insert(
+                format!("mod{m}"),
+                format!("fn{f}"),
+                FuncCounts {
+                    entry: u64::from(entry),
+                    blocks,
+                    edges: edges.into_iter().collect(),
+                },
+            );
+        }
+        db
+    })
+}
+
+proptest! {
+    #[test]
+    fn text_roundtrip_is_identity(db in db_strategy()) {
+        let text = db.to_text();
+        let back = ProfileDb::from_text(&text).expect("to_text output parses");
+        prop_assert_eq!(&db, &back);
+        // And the canonical form is a fixpoint: re-serializing the parse
+        // yields the same bytes, which is what the serve cache keys on.
+        prop_assert_eq!(text, back.to_text());
+    }
+}
+
+fn err_of(text: &str) -> ProfileParseError {
+    ProfileDb::from_text(text).expect_err("must not parse")
+}
+
+#[test]
+fn unknown_record_reports_its_line() {
+    let e = err_of("func m f 1\nblocks 1 2\nend\nbogus 9\n");
+    assert_eq!(e.line, 4);
+    assert!(e.msg.contains("bogus"), "{}", e.msg);
+}
+
+#[test]
+fn bad_block_count_reports_its_line() {
+    let e = err_of("func m f 1\nblocks 1 two 3\nend\n");
+    assert_eq!(e.line, 2);
+    assert!(e.msg.contains("block"), "{}", e.msg);
+}
+
+#[test]
+fn bad_edge_reports_its_line() {
+    let e = err_of("func m f 1\nedge 0 x 5\nend\n");
+    assert_eq!(e.line, 2);
+    let e = err_of("func m f 1\nedge 0 1\nend\n");
+    assert_eq!(e.line, 2, "missing edge count");
+}
+
+#[test]
+fn records_outside_func_report_their_line() {
+    assert_eq!(err_of("blocks 1 2\n").line, 1);
+    assert_eq!(err_of("\n\nedge 0 1 5\n").line, 3);
+    assert_eq!(err_of("end\n").line, 1);
+}
+
+#[test]
+fn nested_and_unterminated_funcs_are_rejected() {
+    let e = err_of("func m f 1\nfunc m g 2\n");
+    assert_eq!(e.line, 2);
+    assert!(e.msg.contains("nested"), "{}", e.msg);
+    let e = err_of("func m f 1\nblocks 1\n");
+    assert_eq!(e.line, 2, "error points at the last line of the record");
+    assert!(e.msg.contains("unterminated"), "{}", e.msg);
+}
+
+#[test]
+fn missing_entry_count_reports_its_line() {
+    let e = err_of("func m f\n");
+    assert_eq!(e.line, 1);
+    assert!(e.msg.contains("entry"), "{}", e.msg);
+}

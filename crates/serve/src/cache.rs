@@ -1,0 +1,374 @@
+//! The content-addressed result cache.
+//!
+//! Two layers share one lock in the daemon:
+//!
+//! * the **program cache** maps a *request key* — a stable hash of the
+//!   canonical input program text, the option fingerprint and the profile
+//!   text — to the optimized IR text and report. A warm request for an
+//!   unchanged program is a pure lookup; the optimizer never runs.
+//! * the **function store** is a content-addressed set of per-function
+//!   *cone keys*: the FNV hash of the function's canonical
+//!   `program_to_text` form combined (via [`CallGraphCache::cone_hashes`])
+//!   with the hashes of every inline-reachable callee, plus the option
+//!   fingerprint, profile hash and the program environment (globals,
+//!   externs, entry). Editing one function changes the cone keys of
+//!   exactly that function and its transitive callers — its *dependence
+//!   cone* — so the store's hit/miss split on the next request reports
+//!   precisely which functions an edit invalidated. Functions outside the
+//!   cone keep hitting.
+//!
+//! Inline and clone decisions couple functions through the shared global
+//! budget (partition shares are computed from whole-program headroom), so
+//! a partial function-store hit does **not** let the daemon splice stale
+//! per-function output — any program-cache miss re-optimizes the whole
+//! program, which is what keeps warm responses byte-identical to a cold
+//! in-process `optimize` call. The function store buys observability
+//! (cone-sized invalidation, reported per request) and a cheap early
+//! answer to "what did this edit dirty", not unsound splicing.
+
+use hlo::{CallGraphCache, HloOptions};
+use hlo_ir::{program_to_text, Fnv64, Program};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The two-level key of one optimize request.
+#[derive(Debug, Clone)]
+pub struct RequestKey {
+    /// Whole-request key: program text + options fingerprint + profile.
+    pub program: u64,
+    /// Per-function cone keys, indexed like `Program::funcs`.
+    pub funcs: Vec<u64>,
+}
+
+/// Computes the request key for a canonicalized input program.
+///
+/// `profile_text` must be the exact profile the optimizer will be handed
+/// (its serialized form), or empty when optimizing profile-free.
+pub fn request_key(
+    p: &Program,
+    opts: &HloOptions,
+    profile_text: &str,
+    cg: &mut CallGraphCache,
+) -> RequestKey {
+    let canonical = program_to_text(p);
+    let opts_fp = opts.fingerprint();
+    let profile_hash = hlo_ir::fnv1a_64(profile_text.as_bytes());
+
+    let mut program = Fnv64::new();
+    program
+        .write(b"hlo-serve request v1")
+        .write_u64(opts_fp)
+        .write_u64(profile_hash)
+        .write(canonical.as_bytes());
+
+    // The program environment a function's optimization can observe
+    // beyond its call cone: externs, module list, globals, entry. That is
+    // the canonical text minus the function bodies.
+    let mut env = Fnv64::new();
+    let mut in_func = false;
+    for line in canonical.lines() {
+        if line.starts_with("func ") {
+            in_func = true;
+        }
+        if !in_func {
+            env.write(line.as_bytes()).write(b"\n");
+        }
+        if line == "endfunc" {
+            in_func = false;
+        }
+    }
+    let env = env.finish();
+
+    let funcs = cg
+        .cone_hashes(p)
+        .into_iter()
+        .map(|cone| {
+            let mut h = Fnv64::new();
+            h.write_u64(cone)
+                .write_u64(opts_fp)
+                .write_u64(profile_hash)
+                .write_u64(env);
+            h.finish()
+        })
+        .collect();
+
+    RequestKey {
+        program: program.finish(),
+        funcs,
+    }
+}
+
+/// A cached optimization result.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Optimized program text (byte-identical to what a cold run emits).
+    pub ir_text: String,
+    /// The cold run's report, wire-serialized.
+    pub report_text: String,
+}
+
+/// What the cache had to say about one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whole-program hit: the response was a pure lookup.
+    pub hit: bool,
+    /// Functions whose cone keys were already in the function store.
+    pub func_hits: u64,
+    /// Functions whose cone keys were new — the dependence cone of
+    /// whatever changed since the daemon last saw this program.
+    pub func_misses: u64,
+}
+
+/// Aggregate counters, served by the `stats` request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Whole-program lookups that hit.
+    pub hits: u64,
+    /// Whole-program lookups that missed.
+    pub misses: u64,
+    /// Program entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Cumulative function-store hits.
+    pub func_hits: u64,
+    /// Cumulative function-store misses.
+    pub func_misses: u64,
+    /// Program entries currently resident.
+    pub entries: u64,
+}
+
+/// Bounded program cache + function store. Not internally synchronized —
+/// the daemon wraps it in its shared-state lock.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    entries: HashMap<u64, CachedResult>,
+    /// LRU order, front = coldest. Touched on hit and insert.
+    order: VecDeque<u64>,
+    /// Content-addressed cone-key set; bounded at `16 × cap` keys (a
+    /// program is tens of functions, so the store outlives its programs
+    /// slightly — enough for cone accounting across edits).
+    func_keys: HashSet<u64>,
+    func_order: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` program results (`cap == 0` disables
+    /// program caching but keeps function-store accounting).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            func_keys: HashSet::new(),
+            func_order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a request: returns the cached result on a program hit and
+    /// updates every counter either way. Function-store accounting runs on
+    /// hits too (a hit means every cone key hits).
+    pub fn lookup(&mut self, key: &RequestKey) -> (Option<CachedResult>, CacheOutcome) {
+        let mut outcome = CacheOutcome::default();
+        for &fk in &key.funcs {
+            if self.func_keys.contains(&fk) {
+                outcome.func_hits += 1;
+            } else {
+                outcome.func_misses += 1;
+            }
+        }
+        self.stats.func_hits += outcome.func_hits;
+        self.stats.func_misses += outcome.func_misses;
+
+        let hit = self.entries.get(&key.program).cloned();
+        if hit.is_some() {
+            outcome.hit = true;
+            self.stats.hits += 1;
+            self.touch(key.program);
+        } else {
+            self.stats.misses += 1;
+        }
+        self.stats.entries = self.entries.len() as u64;
+        (hit, outcome)
+    }
+
+    /// Inserts a freshly computed result and registers its cone keys.
+    /// Evicts the least-recently-used program past capacity.
+    pub fn insert(&mut self, key: &RequestKey, result: CachedResult) {
+        if self.cap > 0 {
+            match self.entries.entry(key.program) {
+                MapEntry::Occupied(mut e) => {
+                    e.insert(result);
+                    self.touch(key.program);
+                }
+                MapEntry::Vacant(e) => {
+                    e.insert(result);
+                    self.order.push_back(key.program);
+                }
+            }
+            while self.entries.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let func_cap = self.cap.max(1) * 16;
+        for &fk in &key.funcs {
+            if self.func_keys.insert(fk) {
+                self.func_order.push_back(fk);
+            }
+        }
+        while self.func_keys.len() > func_cap {
+            if let Some(old) = self.func_order.pop_front() {
+                self.func_keys.remove(&old);
+            } else {
+                break;
+            }
+        }
+        self.stats.entries = self.entries.len() as u64;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, program: u64) {
+        if let Some(i) = self.order.iter().position(|&k| k == program) {
+            self.order.remove(i);
+        }
+        self.order.push_back(program);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo::HloOptions;
+
+    fn compile(srcs: &[(&str, &str)]) -> Program {
+        hlo_frontc::compile(srcs).unwrap()
+    }
+
+    fn key_of(p: &Program) -> RequestKey {
+        request_key(p, &HloOptions::default(), "", &mut CallGraphCache::new())
+    }
+
+    const TWO_CHAINS: &[(&str, &str)] = &[(
+        "m",
+        "static fn leaf_a(x) { return x + 1; }
+         static fn mid_a(x) { return leaf_a(x) * 2; }
+         static fn leaf_b(x) { return x - 1; }
+         static fn mid_b(x) { return leaf_b(x) * 3; }
+         fn main() { return mid_a(4) + mid_b(5); }",
+    )];
+
+    #[test]
+    fn identical_programs_share_keys() {
+        let a = key_of(&compile(TWO_CHAINS));
+        let b = key_of(&compile(TWO_CHAINS));
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.funcs, b.funcs);
+    }
+
+    #[test]
+    fn edit_invalidates_exactly_the_dependence_cone() {
+        let base = key_of(&compile(TWO_CHAINS));
+        // Edit leaf_a: its own key, mid_a's and main's must change;
+        // leaf_b and mid_b must not (they are outside the cone).
+        let edited = key_of(&compile(&[(
+            "m",
+            "static fn leaf_a(x) { return x + 2; }
+             static fn mid_a(x) { return leaf_a(x) * 2; }
+             static fn leaf_b(x) { return x - 1; }
+             static fn mid_b(x) { return leaf_b(x) * 3; }
+             fn main() { return mid_a(4) + mid_b(5); }",
+        )]));
+        assert_ne!(base.program, edited.program);
+        // Function order follows source order: leaf_a, mid_a, leaf_b,
+        // mid_b, main.
+        assert_ne!(base.funcs[0], edited.funcs[0], "leaf_a changed");
+        assert_ne!(base.funcs[1], edited.funcs[1], "mid_a calls leaf_a");
+        assert_eq!(base.funcs[2], edited.funcs[2], "leaf_b untouched");
+        assert_eq!(base.funcs[3], edited.funcs[3], "mid_b untouched");
+        assert_ne!(base.funcs[4], edited.funcs[4], "main reaches leaf_a");
+    }
+
+    #[test]
+    fn options_and_profile_change_every_key() {
+        let p = compile(TWO_CHAINS);
+        let base = key_of(&p);
+        let tight = request_key(
+            &p,
+            &HloOptions {
+                budget_percent: 25,
+                ..Default::default()
+            },
+            "",
+            &mut CallGraphCache::new(),
+        );
+        assert_ne!(base.program, tight.program);
+        for (a, b) in base.funcs.iter().zip(&tight.funcs) {
+            assert_ne!(a, b);
+        }
+        let with_profile = request_key(
+            &p,
+            &HloOptions::default(),
+            "func m main 1\nblocks 1\nend\n",
+            &mut CallGraphCache::new(),
+        );
+        assert_ne!(base.program, with_profile.program);
+    }
+
+    #[test]
+    fn jobs_and_check_do_not_change_keys() {
+        let p = compile(TWO_CHAINS);
+        let base = key_of(&p);
+        let parallel = request_key(
+            &p,
+            &HloOptions {
+                jobs: 8,
+                check: hlo::CheckLevel::Strict,
+                ..Default::default()
+            },
+            "",
+            &mut CallGraphCache::new(),
+        );
+        assert_eq!(base.program, parallel.program);
+        assert_eq!(base.funcs, parallel.funcs);
+    }
+
+    #[test]
+    fn lru_eviction_and_counters() {
+        let mut cache = ResultCache::new(2);
+        let k = |n: u64| RequestKey {
+            program: n,
+            funcs: vec![n * 10, n * 10 + 1],
+        };
+        let r = |n: u64| CachedResult {
+            ir_text: format!("ir{n}"),
+            report_text: String::new(),
+        };
+        assert!(!cache.lookup(&k(1)).1.hit);
+        cache.insert(&k(1), r(1));
+        cache.insert(&k(2), r(2));
+        let (got, out) = cache.lookup(&k(1));
+        assert_eq!(got.unwrap().ir_text, "ir1");
+        assert!(out.hit);
+        assert_eq!(out.func_hits, 2);
+        // Insert a third: 2 is now LRU and gets evicted.
+        cache.insert(&k(3), r(3));
+        assert!(!cache.lookup(&k(2)).1.hit);
+        assert!(cache.lookup(&k(1)).1.hit);
+        assert!(cache.lookup(&k(3)).1.hit);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+    }
+}

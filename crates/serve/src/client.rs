@@ -1,0 +1,249 @@
+//! Blocking client for the daemon — what `hloc serve` / `hloc remote`
+//! and the serve benchmark speak.
+
+use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
+use crate::{OptimizeRequest, OptimizeResponse};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Anything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// A frame that could not be decoded.
+    Frame(FrameError),
+    /// The daemon answered with an error frame; the payload message.
+    Remote(String),
+    /// The daemon's request queue is full; retry later.
+    Busy,
+    /// A structurally valid frame of an unexpected kind or shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Frame(e) => write!(f, "frame error: {e}"),
+            ServeError::Remote(msg) => write!(f, "daemon error: {msg}"),
+            ServeError::Busy => write!(f, "daemon is busy (queue full)"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ServeError::Io(io),
+            other => ServeError::Frame(other),
+        }
+    }
+}
+
+/// Daemon-side counters, as returned by [`Client::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Optimize requests accepted into the queue.
+    pub requests: u64,
+    /// Requests turned away with `Busy`.
+    pub busy: u64,
+    /// Requests that failed (bad input, compile error, …).
+    pub errors: u64,
+    /// Requests whose deadline expired while queued.
+    pub deadline_missed: u64,
+    /// Whole-program cache hits (pure lookups).
+    pub hits: u64,
+    /// Whole-program cache misses (full optimizations).
+    pub misses: u64,
+    /// Programs evicted by the LRU bound.
+    pub evictions: u64,
+    /// Function cone keys already known at lookup time.
+    pub func_hits: u64,
+    /// Function cone keys first seen at lookup time.
+    pub func_misses: u64,
+    /// Programs currently cached.
+    pub entries: u64,
+    /// Aggregate `(stage, wall_us, work_us)` over all non-cached runs.
+    pub stages: Vec<(String, u64, u64)>,
+}
+
+impl ServeStats {
+    fn from_text(text: &str) -> Result<ServeStats, String> {
+        fn num(parts: &mut std::str::SplitWhitespace, line: &str) -> Result<u64, String> {
+            parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| format!("bad stats line `{line}`"))
+        }
+        let mut st = ServeStats::default();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "" => {}
+                "uptime_ms" => st.uptime_ms = num(&mut parts, line)?,
+                "requests" => st.requests = num(&mut parts, line)?,
+                "busy" => st.busy = num(&mut parts, line)?,
+                "errors" => st.errors = num(&mut parts, line)?,
+                "deadline_missed" => st.deadline_missed = num(&mut parts, line)?,
+                "hits" => st.hits = num(&mut parts, line)?,
+                "misses" => st.misses = num(&mut parts, line)?,
+                "evictions" => st.evictions = num(&mut parts, line)?,
+                "func_hits" => st.func_hits = num(&mut parts, line)?,
+                "func_misses" => st.func_misses = num(&mut parts, line)?,
+                "entries" => st.entries = num(&mut parts, line)?,
+                "stage" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("bad stats line `{line}`"))?
+                        .to_string();
+                    let wall = num(&mut parts, line)?;
+                    let work = num(&mut parts, line)?;
+                    st.stages.push((name, wall, work));
+                }
+                _ => {} // forward compatibility: ignore unknown counters
+            }
+        }
+        Ok(st)
+    }
+}
+
+/// A blocking connection to a running `hlod`. One request is in flight at
+/// a time per client; open several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Raises or lowers the largest response payload this client accepts.
+    pub fn set_max_payload(&mut self, bytes: u32) {
+        self.max_payload = bytes;
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ServeError> {
+        frame.write_to(&mut self.stream)?;
+        Ok(Frame::read_from(&mut self.stream, self.max_payload)?)
+    }
+
+    fn remote_error(frame: &Frame) -> ServeError {
+        let msg = Sections::decode(&frame.payload)
+            .ok()
+            .and_then(|s| s.text("message").ok().map(str::to_string))
+            .unwrap_or_else(|| "unspecified daemon error".to_string());
+        ServeError::Remote(msg)
+    }
+
+    /// Submits one optimize request and blocks for the response.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] when the daemon queue is full,
+    /// [`ServeError::Remote`] for request-level failures.
+    pub fn optimize(&mut self, req: &OptimizeRequest) -> Result<OptimizeResponse, ServeError> {
+        let reply = self.roundtrip(&Frame::new(Kind::Optimize, &req.to_sections()))?;
+        match reply.kind {
+            Kind::Result => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                OptimizeResponse::from_sections(&s).map_err(ServeError::Protocol)
+            }
+            Kind::Busy => Err(ServeError::Busy),
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
+    /// Fetches daemon counters.
+    ///
+    /// # Errors
+    /// I/O, frame or protocol failures.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        let reply = self.roundtrip(&Frame::bare(Kind::Stats))?;
+        match reply.kind {
+            Kind::StatsReply => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                ServeStats::from_text(s.text("stats").map_err(ServeError::Protocol)?)
+                    .map_err(ServeError::Protocol)
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// I/O, frame or protocol failures.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let reply = self.roundtrip(&Frame::bare(Kind::Ping))?;
+        match reply.kind {
+            Kind::Pong => Ok(()),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. Returns once the daemon has
+    /// acknowledged; in-flight work still completes server-side.
+    ///
+    /// # Errors
+    /// I/O, frame or protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let reply = self.roundtrip(&Frame::bare(Kind::Shutdown))?;
+        match reply.kind {
+            Kind::ShutdownAck => Ok(()),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_text_parses() {
+        let text = "uptime_ms 1234\nrequests 10\nbusy 1\nerrors 2\ndeadline_missed 0\n\
+                    hits 6\nmisses 4\nevictions 0\nfunc_hits 40\nfunc_misses 9\nentries 4\n\
+                    stage inline 500 1200\nstage clone 80 90\nfuture_counter 7\n";
+        let st = ServeStats::from_text(text).unwrap();
+        assert_eq!(st.uptime_ms, 1234);
+        assert_eq!(st.requests, 10);
+        assert_eq!(st.hits, 6);
+        assert_eq!(st.entries, 4);
+        assert_eq!(
+            st.stages,
+            vec![
+                ("inline".to_string(), 500, 1200),
+                ("clone".to_string(), 80, 90)
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_stats_line_is_an_error() {
+        assert!(ServeStats::from_text("requests ten\n").is_err());
+        assert!(ServeStats::from_text("stage inline 5\n").is_err());
+    }
+}

@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+//! **hlo-serve** — the persistent optimization service.
+//!
+//! The batch `hloc` driver re-optimizes the world on every invocation;
+//! build services don't. This crate turns the optimizer into a long-lived
+//! daemon (`hlod`) that answers framed requests over TCP and never
+//! re-optimizes a function it has already seen:
+//!
+//! * [`wire`] — the length-prefixed, versioned frame protocol (std-only).
+//! * [`cache`] — the content-addressed result cache: whole-program hits
+//!   are pure lookups; per-function *cone keys* (function hash + option
+//!   fingerprint + inline-reachable callee hashes via
+//!   [`hlo::CallGraphCache`]) make invalidation exactly as big as the
+//!   dependence cone of an edit.
+//! * [`server`] — the daemon: a bounded-queue session scheduler over a
+//!   fixed worker pool, per-request deadlines, `Busy` backpressure and
+//!   graceful drain-on-shutdown.
+//! * [`client`] — the blocking client `hloc serve` / `hloc remote` use.
+//!
+//! A request carries MinC sources or IR text plus [`HloOptions`]; the
+//! response carries optimized IR text, the [`HloReport`] and the cache
+//! outcome. Warm responses are byte-identical to cold ones and to an
+//! in-process [`hlo::optimize`] call — proved suite-wide by
+//! `cargo servebench` (see `crates/bench/src/bin/serve_bench.rs`).
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheOutcome, CacheStats, CachedResult, RequestKey, ResultCache};
+pub use client::{Client, ServeError, ServeStats};
+pub use server::{ServeConfig, Server};
+
+use hlo::{HloOptions, HloReport};
+use wire::Sections;
+
+/// What an optimize request carries to be compiled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceKind {
+    /// MinC sources as `(module name, source)` pairs — the `build` path.
+    Minc(Vec<(String, String)>),
+    /// Already-dumped IR text — the isom-style `opt` path.
+    Ir(String),
+}
+
+/// One optimize request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// Optimizer options (serialized as [`HloOptions::to_text`]).
+    pub options: HloOptions,
+    /// What to optimize.
+    pub source: SourceKind,
+    /// Optional profile database text ([`hlo_profile::ProfileDb::to_text`]).
+    pub profile: Option<String>,
+    /// Per-request deadline in milliseconds, measured from enqueue. A
+    /// request still queued when it expires is answered with an error
+    /// instead of being optimized.
+    pub deadline_ms: Option<u64>,
+}
+
+impl OptimizeRequest {
+    /// A request with default options and no profile or deadline.
+    pub fn from_minc(sources: Vec<(String, String)>) -> Self {
+        OptimizeRequest {
+            options: HloOptions::default(),
+            source: SourceKind::Minc(sources),
+            profile: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// Encodes to wire sections.
+    pub fn to_sections(&self) -> Sections {
+        let mut s = Sections::new();
+        s.push("options", self.options.to_text());
+        match &self.source {
+            SourceKind::Minc(mods) => {
+                for (name, src) in mods {
+                    s.push(&format!("minc:{name}"), src.as_str());
+                }
+            }
+            SourceKind::Ir(text) => {
+                s.push("ir", text.as_str());
+            }
+        }
+        if let Some(p) = &self.profile {
+            s.push("profile", p.as_str());
+        }
+        if let Some(d) = self.deadline_ms {
+            s.push("deadline_ms", d.to_string());
+        }
+        s
+    }
+
+    /// Decodes from wire sections.
+    ///
+    /// # Errors
+    /// Describes missing/duplicate sources or malformed options.
+    pub fn from_sections(s: &Sections) -> Result<Self, String> {
+        let options = HloOptions::from_text(s.text("options")?)?;
+        let mut minc: Vec<(String, String)> = Vec::new();
+        for (name, body) in s.iter() {
+            if let Some(module) = name.strip_prefix("minc:") {
+                let src = std::str::from_utf8(body)
+                    .map_err(|_| format!("module `{module}` is not UTF-8"))?;
+                minc.push((module.to_string(), src.to_string()));
+            }
+        }
+        let source = match (minc.is_empty(), s.get("ir")) {
+            (false, None) => SourceKind::Minc(minc),
+            (true, Some(_)) => SourceKind::Ir(s.text("ir")?.to_string()),
+            (true, None) => return Err("request has neither `minc:*` nor `ir` sections".into()),
+            (false, Some(_)) => return Err("request has both `minc:*` and `ir` sections".into()),
+        };
+        let profile = match s.get("profile") {
+            Some(_) => Some(s.text("profile")?.to_string()),
+            None => None,
+        };
+        let deadline_ms = match s.get("deadline_ms") {
+            Some(_) => Some(
+                s.text("deadline_ms")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad deadline_ms".to_string())?,
+            ),
+            None => None,
+        };
+        Ok(OptimizeRequest {
+            options,
+            source,
+            profile,
+            deadline_ms,
+        })
+    }
+}
+
+/// A successful optimize response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResponse {
+    /// Optimized program text — byte-identical whether it came from the
+    /// cache or a fresh run.
+    pub ir_text: String,
+    /// The (possibly cached) optimization report. Diagnostics are elided
+    /// in transit; see [`HloReport::to_text`].
+    pub report: HloReport,
+    /// What the cache did with this request.
+    pub outcome: CacheOutcome,
+}
+
+impl OptimizeResponse {
+    /// Encodes to wire sections.
+    pub fn to_sections(&self) -> Sections {
+        let mut s = Sections::new();
+        s.push("ir", self.ir_text.as_str());
+        s.push("report", self.report.to_text());
+        s.push(
+            "cache",
+            format!(
+                "hit {}\nfunc_hits {}\nfunc_misses {}\n",
+                self.outcome.hit as u8, self.outcome.func_hits, self.outcome.func_misses
+            ),
+        );
+        s
+    }
+
+    /// Decodes from wire sections.
+    ///
+    /// # Errors
+    /// Describes the first missing or malformed section.
+    pub fn from_sections(s: &Sections) -> Result<Self, String> {
+        let ir_text = s.text("ir")?.to_string();
+        let report = HloReport::from_text(s.text("report")?)?;
+        let mut outcome = CacheOutcome::default();
+        for line in s.text("cache")?.lines() {
+            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "hit" => outcome.hit = val == "1",
+                "func_hits" => {
+                    outcome.func_hits = val.parse().map_err(|_| "bad func_hits")?;
+                }
+                "func_misses" => {
+                    outcome.func_misses = val.parse().map_err(|_| "bad func_misses")?;
+                }
+                _ => {}
+            }
+        }
+        Ok(OptimizeResponse {
+            ir_text,
+            report,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sections_roundtrip() {
+        let req = OptimizeRequest {
+            options: HloOptions {
+                budget_percent: 50,
+                ..Default::default()
+            },
+            source: SourceKind::Minc(vec![
+                ("a".to_string(), "fn main() { return util(); }".to_string()),
+                ("b".to_string(), "fn util() { return 7; }".to_string()),
+            ]),
+            profile: Some("func a main 1\nblocks 1\nend\n".to_string()),
+            deadline_ms: Some(250),
+        };
+        let back = OptimizeRequest::from_sections(&req.to_sections()).unwrap();
+        assert_eq!(req, back);
+
+        let ir_req = OptimizeRequest {
+            options: HloOptions::default(),
+            source: SourceKind::Ir("hlo-ir v1\nentry 0\n".to_string()),
+            profile: None,
+            deadline_ms: None,
+        };
+        let back = OptimizeRequest::from_sections(&ir_req.to_sections()).unwrap();
+        assert_eq!(ir_req, back);
+    }
+
+    #[test]
+    fn request_without_source_is_rejected() {
+        let mut s = Sections::new();
+        s.push("options", HloOptions::default().to_text());
+        assert!(OptimizeRequest::from_sections(&s).is_err());
+        s.push("ir", "hlo-ir v1\n");
+        s.push("minc:m", "fn main() { return 0; }");
+        assert!(OptimizeRequest::from_sections(&s).is_err());
+    }
+
+    #[test]
+    fn response_sections_roundtrip() {
+        let resp = OptimizeResponse {
+            ir_text: "hlo-ir v1\nentry 0\n".to_string(),
+            report: HloReport {
+                inlines: 3,
+                ..Default::default()
+            },
+            outcome: CacheOutcome {
+                hit: true,
+                func_hits: 5,
+                func_misses: 2,
+            },
+        };
+        let back = OptimizeResponse::from_sections(&resp.to_sections()).unwrap();
+        assert_eq!(resp, back);
+    }
+}

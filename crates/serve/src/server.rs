@@ -1,0 +1,450 @@
+//! The daemon: accept loop, session scheduler, worker pool, drain.
+//!
+//! One connection thread per client reads frames and answers `ping`,
+//! `stats` and `shutdown` inline; `optimize` requests go through the
+//! **session scheduler** — a bounded queue in front of a fixed worker
+//! pool. A full queue answers [`wire::Kind::Busy`] immediately instead of
+//! buffering without bound; each request's deadline is checked when a
+//! worker picks it up, so a queue stuffed by a slow burst sheds expired
+//! work instead of optimizing it late. Workers run the ordinary
+//! [`hlo::optimize`] pipeline, whose per-function stages fan out over the
+//! `hlo::par` pool at the request's `jobs` setting.
+//!
+//! Shutdown is graceful: draining stops the accept loop and makes new
+//! optimize requests fail fast, but everything already queued or running
+//! is finished and its response written before [`Server::wait`] returns.
+
+use crate::cache::{request_key, CachedResult, ResultCache};
+use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
+use crate::{OptimizeRequest, SourceKind};
+use hlo::par::effective_jobs;
+use hlo::CallGraphCache;
+use hlo_profile::ProfileDb;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing optimize requests (`0` = all hardware
+    /// parallelism).
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue answers `Busy`.
+    pub queue_cap: usize,
+    /// Program results kept in the cache (LRU past this).
+    pub cache_cap: usize,
+    /// Largest accepted frame payload, bytes.
+    pub max_payload: u32,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: 128,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One queued optimize request.
+struct Job {
+    req: OptimizeRequest,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Frame>,
+}
+
+/// Counters behind the `stats` request (cache counters live in
+/// [`ResultCache`]).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: u64,
+    busy: u64,
+    errors: u64,
+    deadline_missed: u64,
+    /// Aggregated per-stage `(name, wall_us, work_us)` over every
+    /// non-cached optimize this daemon ran.
+    stages: Vec<(String, u64, u64)>,
+}
+
+impl Counters {
+    fn add_stages(&mut self, report: &hlo::HloReport) {
+        for t in &report.stage_timings {
+            if let Some(e) = self.stages.iter_mut().find(|(n, _, _)| *n == t.stage) {
+                e.1 += t.wall_us;
+                e.2 += t.work_us;
+            } else {
+                self.stages.push((t.stage.clone(), t.wall_us, t.work_us));
+            }
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<std::collections::VecDeque<Job>>,
+    work_ready: Condvar,
+    draining: AtomicBool,
+    /// Requests popped by a worker whose response has not been written to
+    /// the client yet; drain waits for this to reach zero.
+    in_flight: AtomicU64,
+    cache: Mutex<ResultCache>,
+    counters: Mutex<Counters>,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or send a `shutdown` frame) then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7457"`, port 0 for ephemeral) and
+    /// spawns the accept loop and worker pool.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            work_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            counters: Mutex::new(Counters::default()),
+            started: Instant::now(),
+            addr: local,
+            cfg,
+        });
+        let workers = (0..effective_jobs(shared.cfg.workers))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        let accept = {
+            let sh = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&sh, listener))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts draining: stop accepting, finish queued and in-flight work.
+    /// Idempotent; returns immediately — pair with [`Server::wait`].
+    pub fn shutdown(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Blocks until the daemon has drained: the accept loop has stopped,
+    /// every queued request has been optimized and every response written.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Workers are gone, so nothing new enters flight; wait for the
+        // connection threads to finish writing the last responses.
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn begin_drain(shared: &Arc<Shared>) {
+    // Flip the flag while holding the queue lock: `submit` checks it under
+    // the same lock, so a job is either enqueued before draining is
+    // visible (workers drain the queue before exiting) or refused — never
+    // stranded in a queue no worker will look at again.
+    {
+        let _q = shared.queue.lock().unwrap();
+        if shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+    }
+    shared.work_ready.notify_all();
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let sh = Arc::clone(shared);
+        // Connection threads are detached: they die with the process (or
+        // sit in `read` until the client goes away). Drain correctness is
+        // carried by the queue + in_flight counter, not by joining them.
+        std::thread::spawn(move || connection_loop(&sh, stream));
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let frame = match Frame::read_from(&mut stream, shared.cfg.max_payload) {
+            Ok(f) => f,
+            Err(FrameError::Io(_)) => return, // disconnect / EOF
+            Err(e) => {
+                // Malformed or oversized: tell the client why, then hang
+                // up — the stream position is unrecoverable.
+                let _ = error_frame(&e.to_string()).write_to(&mut stream);
+                return;
+            }
+        };
+        let reply = match frame.kind {
+            Kind::Ping => Frame::bare(Kind::Pong),
+            Kind::Stats => stats_frame(shared),
+            Kind::Shutdown => {
+                begin_drain(shared);
+                Frame::bare(Kind::ShutdownAck)
+            }
+            Kind::Optimize => match submit(shared, &frame) {
+                Submitted::Reply(f) => f,
+                Submitted::Pending(rx) => match rx.recv() {
+                    Ok(f) => f,
+                    Err(_) => error_frame("worker dropped the request"),
+                },
+            },
+            _ => error_frame(&format!("unexpected frame kind {:?}", frame.kind)),
+        };
+        let is_optimize = frame.kind == Kind::Optimize;
+        let write_res = reply.write_to(&mut stream);
+        if is_optimize {
+            // Counted up either at submit (fast-path replies) or when a
+            // worker popped the job; the response is on the wire (or the
+            // client is gone) — flight over.
+            shared.in_flight.fetch_sub(1, Ordering::Release);
+        }
+        if write_res.is_err() {
+            return; // client went away mid-response
+        }
+    }
+}
+
+enum Submitted {
+    /// Fast-path reply (busy, draining, parse error): no worker involved.
+    Reply(Frame),
+    /// Queued; the worker will send the response frame here.
+    Pending(mpsc::Receiver<Frame>),
+}
+
+/// Parses and enqueues one optimize request, applying backpressure.
+/// Whatever the outcome, `in_flight` has been incremented exactly once
+/// (the connection loop decrements after writing the response).
+fn submit(shared: &Arc<Shared>, frame: &Frame) -> Submitted {
+    shared.in_flight.fetch_add(1, Ordering::Acquire);
+    let sections = match Sections::decode(&frame.payload) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.counters.lock().unwrap().errors += 1;
+            return Submitted::Reply(error_frame(&format!("bad request payload: {e}")));
+        }
+    };
+    let req = match OptimizeRequest::from_sections(&sections) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.lock().unwrap().errors += 1;
+            return Submitted::Reply(error_frame(&format!("bad request: {e}")));
+        }
+    };
+    let deadline_ms = req.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap();
+        // Checked under the queue lock — see `begin_drain`.
+        if shared.draining.load(Ordering::SeqCst) {
+            return Submitted::Reply(error_frame("daemon is draining"));
+        }
+        if q.len() >= shared.cfg.queue_cap {
+            shared.counters.lock().unwrap().busy += 1;
+            return Submitted::Reply(Frame::bare(Kind::Busy));
+        }
+        q.push_back(Job {
+            req,
+            deadline,
+            reply: tx,
+        });
+        shared.counters.lock().unwrap().requests += 1;
+    }
+    shared.work_ready.notify_one();
+    Submitted::Pending(rx)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.work_ready.wait(q).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        let reply = run_job(shared, &job);
+        // The connection thread may have died with its client; a closed
+        // channel just means nobody wants the answer any more.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Executes one optimize request: deadline check, compile, cache lookup,
+/// optimize on miss, cache fill.
+fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
+    if let Some(d) = job.deadline {
+        if Instant::now() > d {
+            let mut c = shared.counters.lock().unwrap();
+            c.deadline_missed += 1;
+            return error_frame("deadline exceeded while queued");
+        }
+    }
+    let req = &job.req;
+    let mut program = match &req.source {
+        SourceKind::Minc(mods) => {
+            let refs: Vec<(&str, &str)> =
+                mods.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+            match hlo_frontc::compile(&refs) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.counters.lock().unwrap().errors += 1;
+                    return error_frame(&format!("compile failed: {e}"));
+                }
+            }
+        }
+        SourceKind::Ir(text) => match hlo_ir::parse_program_text(text) {
+            Ok(p) => {
+                if let Err(e) = hlo_ir::verify_program(&p) {
+                    shared.counters.lock().unwrap().errors += 1;
+                    return error_frame(&format!("invalid IR: {e}"));
+                }
+                p
+            }
+            Err(e) => {
+                shared.counters.lock().unwrap().errors += 1;
+                return error_frame(&format!("bad IR text: {e}"));
+            }
+        },
+    };
+    let profile = match &req.profile {
+        Some(text) => match ProfileDb::from_text(text) {
+            Ok(db) => Some(db),
+            Err(e) => {
+                shared.counters.lock().unwrap().errors += 1;
+                return error_frame(&format!("bad profile: {e}"));
+            }
+        },
+        None => None,
+    };
+    // Key on the canonical (re-serialized) profile so equivalent profile
+    // texts address the same result.
+    let profile_text = profile.as_ref().map(ProfileDb::to_text).unwrap_or_default();
+
+    let mut cg = CallGraphCache::new();
+    let key = request_key(&program, &req.options, &profile_text, &mut cg);
+    let (cached, outcome) = shared.cache.lock().unwrap().lookup(&key);
+
+    let (ir_text, report_text) = match cached {
+        Some(c) => (c.ir_text, c.report_text),
+        None => {
+            let report = hlo::optimize(&mut program, profile.as_ref(), &req.options);
+            let ir_text = hlo_ir::program_to_text(&program);
+            let report_text = report.to_text();
+            shared.counters.lock().unwrap().add_stages(&report);
+            shared.cache.lock().unwrap().insert(
+                &key,
+                CachedResult {
+                    ir_text: ir_text.clone(),
+                    report_text: report_text.clone(),
+                },
+            );
+            (ir_text, report_text)
+        }
+    };
+    let mut s = Sections::new();
+    s.push("ir", ir_text);
+    s.push("report", report_text);
+    s.push(
+        "cache",
+        format!(
+            "hit {}\nfunc_hits {}\nfunc_misses {}\n",
+            outcome.hit as u8, outcome.func_hits, outcome.func_misses
+        ),
+    );
+    Frame::new(Kind::Result, &s)
+}
+
+fn error_frame(msg: &str) -> Frame {
+    let mut s = Sections::new();
+    s.push("message", msg);
+    Frame::new(Kind::Error, &s)
+}
+
+fn stats_frame(shared: &Arc<Shared>) -> Frame {
+    use std::fmt::Write as _;
+    let cache = shared.cache.lock().unwrap().stats();
+    let c = shared.counters.lock().unwrap();
+    let mut text = String::new();
+    let _ = writeln!(text, "uptime_ms {}", shared.started.elapsed().as_millis());
+    let _ = writeln!(text, "requests {}", c.requests);
+    let _ = writeln!(text, "busy {}", c.busy);
+    let _ = writeln!(text, "errors {}", c.errors);
+    let _ = writeln!(text, "deadline_missed {}", c.deadline_missed);
+    let _ = writeln!(text, "hits {}", cache.hits);
+    let _ = writeln!(text, "misses {}", cache.misses);
+    let _ = writeln!(text, "evictions {}", cache.evictions);
+    let _ = writeln!(text, "func_hits {}", cache.func_hits);
+    let _ = writeln!(text, "func_misses {}", cache.func_misses);
+    let _ = writeln!(text, "entries {}", cache.entries);
+    for (name, wall, work) in &c.stages {
+        let _ = writeln!(text, "stage {name} {wall} {work}");
+    }
+    drop(c);
+    let mut s = Sections::new();
+    s.push("stats", text);
+    Frame::new(Kind::StatsReply, &s)
+}
+
+/// Flush helper for `hlod`'s startup banner; kept here so the binary
+/// stays a thin argument parser.
+pub fn banner(addr: SocketAddr, cfg: &ServeConfig) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "hlod listening on {addr} ({} workers, queue {}, cache {} programs)",
+        effective_jobs(cfg.workers),
+        cfg.queue_cap,
+        cfg.cache_cap
+    );
+}

@@ -1,0 +1,387 @@
+//! The framed wire protocol.
+//!
+//! Everything on the socket is a **frame**: a fixed 12-byte header
+//! followed by a length-prefixed payload. Std-only and byte-order
+//! explicit, matching the repo's dependency-free style.
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic   b"HLOS"
+//! 4      2    version u16 LE (currently 1)
+//! 6      1    kind    u8 (see [`Kind`])
+//! 7      1    reserved, must be 0
+//! 8      4    payload length u32 LE
+//! 12     n    payload bytes
+//! ```
+//!
+//! Payloads are sequences of named **sections**, each a header line
+//! `name length\n` followed by exactly `length` raw bytes and a closing
+//! newline. Section bodies are opaque bytes (in practice the repo's
+//! existing text serializations: IR text, `HloOptions::to_text`,
+//! `ProfileDb::to_text`, `HloReport::to_text`), so the protocol gains new
+//! fields without a version bump — unknown sections are skipped.
+
+use std::io::{Read, Write};
+
+/// Frame magic: `HLOS`.
+pub const MAGIC: [u8; 4] = *b"HLOS";
+/// Protocol version carried in every frame header.
+pub const VERSION: u16 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Default cap on payload size; a frame announcing more is rejected
+/// without allocating.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Frame kinds. Requests are < 128, responses ≥ 128.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Optimize a program (MinC sources or IR text + options + profile).
+    Optimize = 1,
+    /// Ask for daemon statistics.
+    Stats = 2,
+    /// Drain in-flight work and exit.
+    Shutdown = 3,
+    /// Liveness probe.
+    Ping = 4,
+    /// Optimized result (IR text + report + cache outcome).
+    Result = 129,
+    /// Statistics text.
+    StatsReply = 130,
+    /// Shutdown acknowledged; the daemon is draining.
+    ShutdownAck = 131,
+    /// Backpressure: the request queue is full, retry later.
+    Busy = 132,
+    /// Request failed; payload is a `message` section.
+    Error = 133,
+    /// Liveness reply.
+    Pong = 134,
+}
+
+impl Kind {
+    fn from_u8(v: u8) -> Option<Kind> {
+        Some(match v {
+            1 => Kind::Optimize,
+            2 => Kind::Stats,
+            3 => Kind::Shutdown,
+            4 => Kind::Ping,
+            129 => Kind::Result,
+            130 => Kind::StatsReply,
+            131 => Kind::ShutdownAck,
+            132 => Kind::Busy,
+            133 => Kind::Error,
+            134 => Kind::Pong,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket error or EOF mid-frame.
+    Io(std::io::Error),
+    /// Header bytes are not a frame: wrong magic, version, kind or
+    /// nonzero reserved byte.
+    Malformed(String),
+    /// The announced payload exceeds the receiver's limit.
+    Oversized {
+        /// Announced payload length.
+        announced: u32,
+        /// The receiver's cap.
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Oversized { announced, limit } => {
+                write!(f, "oversized frame: {announced} bytes (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame is.
+    pub kind: Kind,
+    /// Raw payload (usually section-encoded; see [`Sections`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with a section-encoded payload.
+    pub fn new(kind: Kind, sections: &Sections) -> Frame {
+        Frame {
+            kind,
+            payload: sections.encode(),
+        }
+    }
+
+    /// An empty-payload frame.
+    pub fn bare(kind: Kind) -> Frame {
+        Frame {
+            kind,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Writes the frame to `w` (header + payload, single flush).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(self.kind as u8);
+        buf.push(0);
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Reads one frame from `r`, rejecting bad headers before reading any
+    /// payload and refusing to allocate more than `max_payload` bytes.
+    ///
+    /// # Errors
+    /// [`FrameError::Io`] on socket errors/EOF, [`FrameError::Malformed`]
+    /// on header garbage, [`FrameError::Oversized`] past the cap.
+    pub fn read_from(r: &mut impl Read, max_payload: u32) -> Result<Frame, FrameError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(FrameError::Malformed("bad magic".to_string()));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(FrameError::Malformed(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let kind = Kind::from_u8(header[6])
+            .ok_or_else(|| FrameError::Malformed(format!("unknown kind {}", header[6])))?;
+        if header[7] != 0 {
+            return Err(FrameError::Malformed("reserved byte set".to_string()));
+        }
+        let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if len > max_payload {
+            return Err(FrameError::Oversized {
+                announced: len,
+                limit: max_payload,
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Frame { kind, payload })
+    }
+}
+
+/// An ordered list of named payload sections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sections {
+    entries: Vec<(String, Vec<u8>)>,
+}
+
+impl Sections {
+    /// An empty section list.
+    pub fn new() -> Self {
+        Sections::default()
+    }
+
+    /// Appends a section. Names must be non-empty and contain no
+    /// whitespace (they share a line with the length).
+    pub fn push(&mut self, name: &str, body: impl Into<Vec<u8>>) -> &mut Self {
+        debug_assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "section names are single tokens"
+        );
+        self.entries.push((name.to_string(), body.into()));
+        self
+    }
+
+    /// First section named `name`, as bytes.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// First section named `name`, as UTF-8 text.
+    ///
+    /// # Errors
+    /// Describes the missing section or invalid UTF-8.
+    pub fn text(&self, name: &str) -> Result<&str, String> {
+        let b = self
+            .get(name)
+            .ok_or_else(|| format!("missing `{name}` section"))?;
+        std::str::from_utf8(b).map_err(|_| format!("section `{name}` is not UTF-8"))
+    }
+
+    /// All sections, in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries.iter().map(|(n, b)| (n.as_str(), b.as_slice()))
+    }
+
+    /// Serializes to the `name length\n<bytes>\n` stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, body) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(format!(" {}\n", body.len()).as_bytes());
+            out.extend_from_slice(body);
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Parses a section stream.
+    ///
+    /// # Errors
+    /// Describes the first malformed header line or truncated body.
+    pub fn decode(bytes: &[u8]) -> Result<Sections, String> {
+        let mut s = Sections::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let nl = bytes[pos..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .ok_or("truncated section header")?;
+            let header = std::str::from_utf8(&bytes[pos..pos + nl])
+                .map_err(|_| "section header is not UTF-8".to_string())?;
+            let (name, len) = header
+                .split_once(' ')
+                .ok_or_else(|| format!("bad section header `{header}`"))?;
+            let len: usize = len
+                .parse()
+                .map_err(|_| format!("bad section length in `{header}`"))?;
+            pos += nl + 1;
+            if pos + len + 1 > bytes.len() {
+                return Err(format!("section `{name}` truncated"));
+            }
+            s.push(name, bytes[pos..pos + len].to_vec());
+            pos += len;
+            if bytes[pos] != b'\n' {
+                return Err(format!("section `{name}` missing terminator"));
+            }
+            pos += 1;
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut s = Sections::new();
+        s.push("options", "budget 100\n").push("ir", "hlo-ir v1\n");
+        let f = Frame::new(Kind::Optimize, &s);
+        let mut buf = Vec::new();
+        f.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(f, back);
+        let sections = Sections::decode(&back.payload).unwrap();
+        assert_eq!(sections.text("options").unwrap(), "budget 100\n");
+        assert_eq!(sections.text("ir").unwrap(), "hlo-ir v1\n");
+        assert!(sections.text("nope").is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_malformed() {
+        let mut buf = Vec::new();
+        Frame::bare(Kind::Ping).write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        match Frame::read_from(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("magic")),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_kind_are_malformed() {
+        let mut buf = Vec::new();
+        Frame::bare(Kind::Ping).write_to(&mut buf).unwrap();
+        buf[4] = 9;
+        assert!(matches!(
+            Frame::read_from(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Malformed(_))
+        ));
+        let mut buf2 = Vec::new();
+        Frame::bare(Kind::Ping).write_to(&mut buf2).unwrap();
+        buf2[6] = 77;
+        assert!(matches!(
+            Frame::read_from(&mut buf2.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        Frame {
+            kind: Kind::Optimize,
+            payload: vec![0u8; 100],
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        match Frame::read_from(&mut buf.as_slice(), 10) {
+            Err(FrameError::Oversized { announced, limit }) => {
+                assert_eq!(announced, 100);
+                assert_eq!(limit, 10);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        Frame {
+            kind: Kind::Optimize,
+            payload: vec![1, 2, 3, 4],
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            Frame::read_from(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn sections_reject_garbage() {
+        assert!(Sections::decode(b"no-length-line").is_err());
+        assert!(Sections::decode(b"name x\nbody\n").is_err());
+        assert!(Sections::decode(b"name 100\nshort\n").is_err());
+        // Missing terminator after the body.
+        assert!(Sections::decode(b"name 4\nbodyX").is_err());
+    }
+
+    #[test]
+    fn binary_section_bodies_survive() {
+        let mut s = Sections::new();
+        s.push("blob", vec![0u8, 255, 10, 13, 0]);
+        let back = Sections::decode(&s.encode()).unwrap();
+        assert_eq!(back.get("blob").unwrap(), &[0u8, 255, 10, 13, 0]);
+    }
+}

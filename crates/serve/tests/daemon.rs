@@ -1,0 +1,305 @@
+//! End-to-end daemon tests: real sockets, hostile clients, graceful drain.
+
+use hlo_serve::wire::{Frame, Kind, HEADER_LEN, MAGIC, VERSION};
+use hlo_serve::{Client, OptimizeRequest, ServeConfig, ServeError, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SOURCES: &[(&str, &str)] = &[(
+    "m",
+    "static fn sq(x) { return x * x; }
+     static fn cube(x) { return sq(x) * x; }
+     fn main() { var s = 0;
+         for (var i = 0; i < 20; i = i + 1) { s = s + cube(i); }
+         return s; }",
+)];
+
+fn spawn_default() -> Server {
+    Server::spawn("127.0.0.1:0", ServeConfig::default()).unwrap()
+}
+
+fn minc_request() -> OptimizeRequest {
+    OptimizeRequest::from_minc(
+        SOURCES
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .collect(),
+    )
+}
+
+#[test]
+fn optimize_roundtrip_matches_in_process_and_warms_the_cache() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+
+    // The ground truth: optimize the same program in-process.
+    let mut program = hlo_frontc::compile(SOURCES).unwrap();
+    let opts = hlo::HloOptions::default();
+    let report = hlo::optimize(&mut program, None, &opts);
+    let expect_ir = hlo_ir::program_to_text(&program);
+
+    let mut client = Client::connect(addr).unwrap();
+    let cold = client.optimize(&minc_request()).unwrap();
+    assert!(!cold.outcome.hit, "first request must be a miss");
+    assert_eq!(
+        cold.ir_text, expect_ir,
+        "daemon output differs from in-process"
+    );
+    assert_eq!(cold.report.inlines, report.inlines);
+    assert_eq!(cold.report.final_cost, report.final_cost);
+
+    let warm = client.optimize(&minc_request()).unwrap();
+    assert!(warm.outcome.hit, "identical request must be a pure lookup");
+    assert_eq!(
+        warm.ir_text, cold.ir_text,
+        "warm response must be byte-identical"
+    );
+    assert_eq!(
+        warm.outcome.func_misses, 0,
+        "no cone key may be new on a warm hit"
+    );
+    assert!(warm.outcome.func_hits > 0);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.entries, 1);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_an_error_not_a_crash() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+
+    // Garbage magic: daemon answers with an error frame and hangs up.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let reply = Frame::read_from(&mut raw, 1 << 20).unwrap();
+    assert_eq!(reply.kind, Kind::Error);
+    // The daemon hangs up after the error (FIN, or RST if our garbage had
+    // unread bytes left); either way no further frame arrives.
+    let mut rest = Vec::new();
+    let _ = raw.read_to_end(&mut rest);
+    assert!(rest.is_empty());
+
+    // Announcing an absurd payload length is rejected before allocation.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.push(Kind::Optimize as u8);
+    header.push(0);
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(header.len(), HEADER_LEN);
+    raw.write_all(&header).unwrap();
+    let reply = Frame::read_from(&mut raw, 1 << 20).unwrap();
+    assert_eq!(reply.kind, Kind::Error);
+
+    // A structurally valid optimize frame with an undecodable payload gets
+    // a per-request error and the connection stays usable.
+    let mut client = Client::connect(addr).unwrap();
+    let mut bogus = Frame::bare(Kind::Optimize);
+    bogus.payload = b"not sections at all".to_vec();
+    // Reach into the stream via a raw frame write on a fresh connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    bogus.write_to(&mut raw).unwrap();
+    let reply = Frame::read_from(&mut raw, 1 << 20).unwrap();
+    assert_eq!(reply.kind, Kind::Error);
+
+    // The daemon survived all three abuses.
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn client_disconnect_mid_request_does_not_kill_the_daemon() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+
+    // Half a header, then hang up.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&MAGIC[..2]).unwrap();
+    drop(raw);
+
+    // A full optimize request, then hang up without reading the reply:
+    // the worker still runs the job; the write to the dead socket is
+    // swallowed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    Frame::new(Kind::Optimize, &minc_request().to_sections())
+        .write_to(&mut raw)
+        .unwrap();
+    drop(raw);
+
+    // Give the abandoned job time to finish, then prove the daemon is
+    // healthy and that the abandoned request warmed the cache.
+    let mut client = Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.misses >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned job never ran"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let resp = client.optimize(&minc_request()).unwrap();
+    assert!(
+        resp.outcome.hit,
+        "abandoned request should have filled the cache"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_byte_identical_answers() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.optimize(&minc_request()).unwrap().ir_text
+            })
+        })
+        .collect();
+    let texts: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for t in &texts[1..] {
+        assert_eq!(*t, texts[0]);
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.hits + stats.misses, 8);
+    assert!(stats.misses >= 1);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    // One worker and a deep queue: stack up several requests, shut down
+    // while they are pending, and require every response to arrive.
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.optimize(&minc_request())
+            })
+        })
+        .collect();
+    // Let the requests reach the queue before pulling the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    server.wait();
+
+    let mut answered = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(resp) => {
+                assert!(!resp.ir_text.is_empty());
+                answered += 1;
+            }
+            // A request that raced the drain flag gets a clean error; one
+            // that raced the listener teardown gets a socket error.
+            Err(ServeError::Remote(msg)) => assert!(msg.contains("draining"), "{msg}"),
+            Err(ServeError::Io(_)) => {}
+            Err(e) => panic!("unexpected failure during drain: {e}"),
+        }
+    }
+    assert!(
+        answered >= 1,
+        "drain must finish work that was already queued"
+    );
+
+    // The listener is gone.
+    assert!(
+        Client::connect(addr).is_err() || {
+            // Accept may race OS-side; a connected socket must at least be
+            // dead on arrival.
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
+
+#[test]
+fn busy_backpressure_when_the_queue_is_full() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Flood with more concurrent requests than worker+queue can hold;
+    // every client must get either a result or a clean Busy.
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.optimize(&minc_request())
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut busy = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(_) => ok += 1,
+            Err(ServeError::Busy) => busy += 1,
+            Err(e) => panic!("unexpected failure under load: {e}"),
+        }
+    }
+    assert!(ok >= 1);
+    assert_eq!(ok + busy, 6);
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.busy, busy);
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn queued_deadline_expiry_is_reported() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let mut req = minc_request();
+    req.deadline_ms = Some(0); // expires the moment it is queued
+    std::thread::sleep(Duration::from_millis(5));
+    match client.optimize(&req) {
+        Err(ServeError::Remote(msg)) => assert!(msg.contains("deadline"), "{msg}"),
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    server.wait();
+}

@@ -6,6 +6,10 @@
 //! hloc run   <file.mc>... [--arg N]   compile without HLO and execute
 //! hloc lint  <file.mc>... [--pedantic]  static-analysis report (no optimization)
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
+//! hloc serve [OPTIONS]                run the optimization daemon in-process
+//! hloc remote <addr> build|stats|ping|shutdown
+//!                                     talk to a running daemon (hlod)
+//! hloc --version                      version + enabled features
 //! hloc help                           this text
 //! ```
 //!
@@ -17,8 +21,12 @@
 //! `--trace N`, `--sim`, `--arg N`, `--verify-each`,
 //! `--check off|structural|strict`.
 
-use aggressive_inlining::{analysis, frontc, hlo, ir, lint, profile, sim, vm};
+use aggressive_inlining::{analysis, frontc, hlo, ir, lint, profile, serve, sim, vm};
 use std::process::ExitCode;
+
+/// Compile-time capabilities baked into this binary; the workspace has no
+/// optional cargo features, so the list is static.
+const FEATURES: &str = "serve pgo clone outline sim lint";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +40,12 @@ fn main() -> ExitCode {
         "run" => run_plain(rest).map(|_| ExitCode::SUCCESS),
         "lint" => lint_cmd(rest),
         "classify" => classify(rest).map(|_| ExitCode::SUCCESS),
+        "serve" => serve_cmd(rest).map(|_| ExitCode::SUCCESS),
+        "remote" => remote_cmd(rest).map(|_| ExitCode::SUCCESS),
+        "--version" | "-V" | "version" => {
+            println!("hloc {} (features: {FEATURES})", env!("CARGO_PKG_VERSION"));
+            Ok(ExitCode::SUCCESS)
+        }
         "help" | "--help" | "-h" => {
             print_help();
             Ok(ExitCode::SUCCESS)
@@ -57,6 +71,12 @@ USAGE:
   hloc run <file.mc>... [--arg N]
   hloc lint <file.mc>... [--pedantic]  static-analysis report (exit 1 on findings)
   hloc classify <file.mc>...
+  hloc serve [--addr A] [--workers N] [--queue N] [--cache N]
+                                       run the optimization daemon in-process
+  hloc remote <addr> build [OPTIONS] <file.mc>...
+                                       optimize on a running daemon
+  hloc remote <addr> stats|ping|shutdown
+  hloc --version                       version + enabled features
 
 BUILD OPTIONS:
   --scope module|program   visibility scope (default: program)
@@ -382,6 +402,169 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
         "exit value {} ({} instructions, checksum {:#x})",
         out.ret, out.retired, out.checksum
     );
+    Ok(())
+}
+
+/// `hloc serve`: run the optimization daemon in the foreground — the same
+/// server `hlod` wraps, for when a separate binary is inconvenient.
+fn serve_cmd(rest: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7457".to_string();
+    let mut cfg = serve::ServeConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value".to_string())?
+            }
+            "--queue" => {
+                cfg.queue_cap = value("--queue")?
+                    .parse()
+                    .map_err(|_| "bad --queue value".to_string())?
+            }
+            "--cache" => {
+                cfg.cache_cap = value("--cache")?
+                    .parse()
+                    .map_err(|_| "bad --cache value".to_string())?
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let banner_cfg = cfg.clone();
+    let server =
+        serve::Server::spawn(addr.as_str(), cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    serve::server::banner(server.local_addr(), &banner_cfg);
+    server.wait();
+    eprintln!("hloc serve: drained, exiting");
+    Ok(())
+}
+
+/// `hloc remote <addr> build ...`: ship a build to a running daemon. Takes
+/// the optimizer subset of the `build` options plus `--profile PATH` and
+/// `--deadline-ms N`; run/sim/train stay local-only.
+fn remote_cmd(rest: &[String]) -> Result<(), String> {
+    let (addr, rest) = rest
+        .split_first()
+        .ok_or("usage: hloc remote <addr> build|stats|ping|shutdown")?;
+    let (sub, rest) = rest
+        .split_first()
+        .ok_or("usage: hloc remote <addr> build|stats|ping|shutdown")?;
+    let mut client =
+        serve::Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    match sub.as_str() {
+        "build" => remote_build(&mut client, rest),
+        "stats" => {
+            let st = client.stats().map_err(|e| e.to_string())?;
+            println!("uptime          {} ms", st.uptime_ms);
+            println!("requests        {}", st.requests);
+            println!("cache hits      {}", st.hits);
+            println!("cache misses    {}", st.misses);
+            println!("evictions       {}", st.evictions);
+            println!("func cone hits  {}", st.func_hits);
+            println!("func cone new   {}", st.func_misses);
+            println!("cached programs {}", st.entries);
+            println!("busy rejections {}", st.busy);
+            println!("deadline missed {}", st.deadline_missed);
+            println!("request errors  {}", st.errors);
+            for (stage, wall, work) in &st.stages {
+                println!("stage {stage:<12} {wall:>10} us wall {work:>10} us work");
+            }
+            Ok(())
+        }
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("daemon draining");
+            Ok(())
+        }
+        other => Err(format!("unknown remote subcommand `{other}`")),
+    }
+}
+
+fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut opts = hlo::HloOptions::default();
+    let mut profile_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut emit_ir: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--scope" => {
+                opts.scope = match value("--scope")?.as_str() {
+                    "module" => hlo::Scope::WithinModule,
+                    "program" => hlo::Scope::CrossModule,
+                    other => return Err(format!("bad scope `{other}`")),
+                }
+            }
+            "--budget" => {
+                opts.budget_percent = value("--budget")?
+                    .parse()
+                    .map_err(|_| "bad --budget value".to_string())?
+            }
+            "--passes" => {
+                opts.passes = value("--passes")?
+                    .parse()
+                    .map_err(|_| "bad --passes value".to_string())?
+            }
+            "--no-inline" => opts.enable_inline = false,
+            "--no-clone" => opts.enable_clone = false,
+            "--outline" => opts.enable_outline = true,
+            "--profile" => profile_path = Some(value("--profile")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value".to_string())?,
+                )
+            }
+            "--emit-ir" => emit_ir = Some(value("--emit-ir")?),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown remote build option `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    let profile = match &profile_path {
+        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
+        None => None,
+    };
+    let req = serve::OptimizeRequest {
+        options: opts,
+        source: serve::SourceKind::Minc(load_sources(&files)?),
+        profile,
+        deadline_ms,
+    };
+    let resp = client.optimize(&req).map_err(|e| e.to_string())?;
+    eprintln!("{}", resp.report);
+    eprintln!(
+        "cache: {} (cone keys: {} known, {} new)",
+        if resp.outcome.hit { "hit" } else { "miss" },
+        resp.outcome.func_hits,
+        resp.outcome.func_misses
+    );
+    match emit_ir.as_deref() {
+        Some("-") => print!("{}", resp.ir_text),
+        Some(path) => std::fs::write(path, &resp.ir_text).map_err(|e| format!("{path}: {e}"))?,
+        None => {}
+    }
     Ok(())
 }
 

@@ -15,6 +15,8 @@
 //! * [`vm`] — the IR interpreter used for training runs and measurement.
 //! * [`sim`] — the PA8000-style machine model behind Figure 7.
 //! * [`suite`] — the 14 SPEC-shaped benchmark programs.
+//! * [`serve`] — the persistent optimization daemon (`hlod`) and its
+//!   content-addressed result cache.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -26,6 +28,7 @@ pub use hlo_ir as ir;
 pub use hlo_lint as lint;
 pub use hlo_opt as opt;
 pub use hlo_profile as profile;
+pub use hlo_serve as serve;
 pub use hlo_sim as sim;
 pub use hlo_suite as suite;
 pub use hlo_vm as vm;
