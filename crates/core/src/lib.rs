@@ -47,6 +47,7 @@ mod budget;
 mod cloner;
 mod delete;
 mod driver;
+pub mod fault;
 mod inliner;
 mod legality;
 mod outline;

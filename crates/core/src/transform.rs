@@ -109,6 +109,7 @@ pub fn inline_call(p: &mut Program, site: &CallSiteRef) -> InlineSplice {
     });
 
     // Splice the callee body.
+    let mut fault_pending = crate::fault::armed();
     for cb in &callee.blocks {
         let mut nb = Block::new();
         for inst in &cb.insts {
@@ -143,6 +144,14 @@ pub fn inline_call(p: &mut Program, site: &CallSiteRef) -> InlineSplice {
                     });
                 }
                 mut other => {
+                    if fault_pending {
+                        if let Inst::Bin { op, .. } = &mut other {
+                            if *op == hlo_ir::BinOp::Add {
+                                *op = hlo_ir::BinOp::Sub;
+                                fault_pending = false;
+                            }
+                        }
+                    }
                     other.map_successors(|s| BlockId(s.0 + block_base));
                     nb.insts.push(other);
                 }

@@ -1,0 +1,396 @@
+//! The fuzzing campaign driver.
+//!
+//! A campaign derives one independent PRNG stream per iteration from a
+//! single master seed (`Rng::new(seed).derive(i)`), so any iteration can
+//! be replayed in isolation and the whole run is reproducible regardless
+//! of how it is scheduled. Each iteration draws a candidate from one of
+//! three sources — the MinC generator (~70%), the mutator applied to a
+//! recently passing program (~15%), or the direct IR generator (~15%) —
+//! and feeds it to the differential oracle. Failures are shrunk (MinC
+//! cases) and written to the corpus directory as self-contained
+//! reproducers.
+//!
+//! Optionally, every N-th passing MinC case is also round-tripped through
+//! a live `hlo-serve` daemon: the daemon's cold response must equal an
+//! in-process optimize byte-for-byte, and its warm (cached) response must
+//! equal the cold one. A mismatch is a [`FindingKind::DaemonMismatch`].
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hlo_frontc::ModuleAst;
+
+use crate::corpus::{write_reproducer, ReproBody, Reproducer};
+use crate::gen::{generate_modules, GenConfig};
+use crate::irgen::{generate_program, IrGenConfig};
+use crate::mutate::mutate;
+use crate::oracle::{
+    check_program, check_sources, CaseOutcome, Finding, FindingKind, OracleConfig,
+};
+use crate::print::{print_sources, source_lines};
+use crate::rng::Rng;
+use crate::shrink::{shrink, ShrinkConfig};
+
+/// Everything a campaign needs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; every iteration derives its own stream from it.
+    pub seed: u64,
+    /// Iteration count.
+    pub iters: u64,
+    /// Optional wall-clock budget; the campaign stops early when spent.
+    pub budget: Option<Duration>,
+    /// Where to write reproducers (`None` keeps findings in memory only).
+    pub corpus_dir: Option<PathBuf>,
+    /// Stop after this many findings (0 = never stop early).
+    pub stop_after: usize,
+    /// Round-trip every N-th passing MinC case through a live daemon
+    /// (0 disables the check).
+    pub daemon_every: u64,
+    /// Shrinker limits.
+    pub shrink: ShrinkConfig,
+    /// MinC generator shape.
+    pub gen: GenConfig,
+    /// IR generator shape.
+    pub irgen: IrGenConfig,
+    /// Oracle matrix.
+    pub oracle: OracleConfig,
+    /// Suppress progress output on stderr.
+    pub quiet: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x5eed,
+            iters: 200,
+            budget: None,
+            corpus_dir: None,
+            stop_after: 0,
+            daemon_every: 0,
+            shrink: ShrinkConfig::default(),
+            gen: GenConfig::default(),
+            irgen: IrGenConfig::default(),
+            oracle: OracleConfig::default(),
+            quiet: true,
+        }
+    }
+}
+
+/// A finding after shrinking, with its reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrunkFinding {
+    /// Iteration that produced the failing case.
+    pub iter: u64,
+    /// The original oracle finding.
+    pub finding: Finding,
+    /// The (shrunk, for MinC) reproducer.
+    pub repro: Reproducer,
+    /// Source lines of the reproducer payload.
+    pub lines: usize,
+    /// Where the reproducer was written, when a corpus dir is set.
+    pub path: Option<PathBuf>,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Cases that reached the oracle.
+    pub executed: u64,
+    /// Cases where every matrix entry reproduced the baseline.
+    pub passed: u64,
+    /// Cases skipped (trapping baseline).
+    pub skipped: u64,
+    /// Mutants discarded because they no longer compiled.
+    pub mutants_discarded: u64,
+    /// Daemon round-trips performed.
+    pub daemon_checks: u64,
+    /// All findings, shrunk where possible.
+    pub findings: Vec<ShrunkFinding>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+enum Case {
+    Minc(u64, Vec<ModuleAst>),
+    Ir(u64, hlo_ir::Program),
+}
+
+/// Runs a campaign to completion (iterations, budget, or `stop_after`,
+/// whichever comes first).
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let mut report = CampaignReport::default();
+    // Recently passing programs, the mutator's seed pool.
+    let mut pool: Vec<Vec<ModuleAst>> = Vec::new();
+    let mut daemon = DaemonCheck::new();
+
+    for i in 0..cfg.iters {
+        if let Some(b) = cfg.budget {
+            if start.elapsed() >= b {
+                if !cfg.quiet {
+                    eprintln!("hlo-fuzz: time budget spent after {i} iterations");
+                }
+                break;
+            }
+        }
+        let mut rng = Rng::new(cfg.seed).derive(i);
+        let roll = rng.below(100);
+        let case = if roll < 15 && !pool.is_empty() {
+            let base = rng.pick(&pool).clone();
+            let mutant = mutate(&base, &mut rng);
+            if crate::oracle::compile_sources(&print_sources(&mutant)).is_err() {
+                report.mutants_discarded += 1;
+                continue;
+            }
+            Case::Minc(cfg.seed ^ i, mutant)
+        } else if roll < 30 {
+            let s = rng.next_u64();
+            Case::Ir(s, generate_program(s, &cfg.irgen))
+        } else {
+            let s = rng.next_u64();
+            Case::Minc(s, generate_modules(s, &cfg.gen))
+        };
+
+        report.executed += 1;
+        let outcome = match &case {
+            Case::Minc(_, modules) => check_sources(&print_sources(modules), &cfg.oracle),
+            Case::Ir(_, p) => check_program(p, &cfg.oracle),
+        };
+        match outcome {
+            CaseOutcome::Pass => {
+                report.passed += 1;
+                if let Case::Minc(_, modules) = &case {
+                    pool.push(modules.clone());
+                    if pool.len() > 16 {
+                        pool.remove(0);
+                    }
+                    if cfg.daemon_every > 0 && report.passed % cfg.daemon_every == 0 {
+                        report.daemon_checks += 1;
+                        if let Err(detail) = daemon.check(&print_sources(modules)) {
+                            let finding = Finding {
+                                kind: FindingKind::DaemonMismatch,
+                                config: "daemon-default".to_string(),
+                                options_fingerprint: hlo::HloOptions::default().fingerprint(),
+                                detail,
+                            };
+                            record(cfg, &mut report, i, case_seed(&case), finding, &case);
+                        }
+                    }
+                }
+            }
+            CaseOutcome::Skip(_) => report.skipped += 1,
+            CaseOutcome::Fail(finding) => {
+                record(cfg, &mut report, i, case_seed(&case), finding, &case);
+            }
+        }
+        if !cfg.quiet && (i + 1) % 50 == 0 {
+            eprintln!(
+                "hlo-fuzz: {} iters, {} passed, {} skipped, {} findings",
+                i + 1,
+                report.passed,
+                report.skipped,
+                report.findings.len()
+            );
+        }
+        if cfg.stop_after > 0 && report.findings.len() >= cfg.stop_after {
+            if !cfg.quiet {
+                eprintln!(
+                    "hlo-fuzz: stopping after {} findings",
+                    report.findings.len()
+                );
+            }
+            break;
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+fn case_seed(case: &Case) -> u64 {
+    match case {
+        Case::Minc(s, _) | Case::Ir(s, _) => *s,
+    }
+}
+
+/// Shrinks (MinC only), builds the reproducer, writes it, records it.
+fn record(
+    cfg: &CampaignConfig,
+    report: &mut CampaignReport,
+    iter: u64,
+    seed: u64,
+    finding: Finding,
+    case: &Case,
+) {
+    let body = match case {
+        Case::Minc(_, modules) => {
+            let want = finding.kind;
+            let oracle = cfg.oracle.clone();
+            let mut pred = |sources: &[(String, String)]| {
+                matches!(check_sources(sources, &oracle),
+                         CaseOutcome::Fail(f) if f.kind == want)
+            };
+            // Daemon mismatches are not reproduced by `check_sources`, so
+            // they are recorded unshrunk.
+            if want == FindingKind::DaemonMismatch {
+                ReproBody::Minc(print_sources(modules))
+            } else {
+                let out = shrink(modules.clone(), &cfg.shrink, &mut pred);
+                ReproBody::Minc(out.sources)
+            }
+        }
+        Case::Ir(_, p) => ReproBody::Ir(hlo_ir::program_to_text(p)),
+    };
+    let lines = match &body {
+        ReproBody::Minc(s) => source_lines(s),
+        ReproBody::Ir(t) => t.lines().count(),
+    };
+    let repro = Reproducer {
+        kind: finding.kind.to_string(),
+        config: finding.config.clone(),
+        seed,
+        iter,
+        fingerprint: finding.options_fingerprint,
+        body,
+    };
+    let path = cfg
+        .corpus_dir
+        .as_ref()
+        .and_then(|dir| write_reproducer(dir, &repro).ok());
+    if !cfg.quiet {
+        eprintln!(
+            "hlo-fuzz: FINDING {} ({}) at iter {iter}, shrunk to {lines} lines{}",
+            finding.kind,
+            finding.config,
+            path.as_deref()
+                .map(|p| format!(", wrote {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    report.findings.push(ShrunkFinding {
+        iter,
+        finding,
+        repro,
+        lines,
+        path,
+    });
+}
+
+/// Lazily-spawned daemon used for serve-cache cross-checks.
+struct DaemonCheck {
+    server: Option<hlo_serve::Server>,
+}
+
+impl DaemonCheck {
+    fn new() -> Self {
+        DaemonCheck { server: None }
+    }
+
+    /// Cold + warm round-trip of `sources`; both must match an in-process
+    /// optimize byte-for-byte.
+    fn check(&mut self, sources: &[(String, String)]) -> Result<(), String> {
+        if self.server.is_none() {
+            self.server = Some(
+                hlo_serve::Server::spawn("127.0.0.1:0", hlo_serve::ServeConfig::default())
+                    .map_err(|e| format!("daemon spawn failed: {e}"))?,
+            );
+        }
+        let server = self.server.as_ref().expect("just spawned");
+
+        let mut program = crate::oracle::compile_sources(sources)?;
+        let opts = hlo::HloOptions::default();
+        hlo::optimize(&mut program, None, &opts);
+        let expect = hlo_ir::program_to_text(&program);
+
+        let mut client = hlo_serve::Client::connect(server.local_addr())
+            .map_err(|e| format!("daemon connect failed: {e}"))?;
+        let req = hlo_serve::OptimizeRequest::from_minc(sources.to_vec());
+        let cold = client
+            .optimize(&req)
+            .map_err(|e| format!("daemon request failed: {e}"))?;
+        if cold.ir_text != expect {
+            return Err("cold daemon response differs from in-process optimize".to_string());
+        }
+        let warm = client
+            .optimize(&req)
+            .map_err(|e| format!("warm daemon request failed: {e}"))?;
+        if !warm.outcome.hit {
+            return Err("repeat request did not hit the daemon cache".to_string());
+        }
+        if warm.ir_text != cold.ir_text {
+            return Err("warm daemon response is not byte-identical to cold".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(iters: u64) -> CampaignConfig {
+        CampaignConfig {
+            iters,
+            oracle: OracleConfig::quick(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_campaign_has_no_findings() {
+        let report = run_campaign(&quick_cfg(25));
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.passed > 0);
+        assert_eq!(
+            report.executed,
+            report.passed + report.skipped,
+            "every executed case must pass or be skipped"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(&quick_cfg(15));
+        let b = run_campaign(&quick_cfg(15));
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn planted_fault_yields_shrunk_findings_and_reproducers() {
+        let _guard = hlo::fault::FaultGuard::arm();
+        let dir = std::env::temp_dir().join(format!("hlo-fuzz-camp-{}", std::process::id()));
+        let cfg = CampaignConfig {
+            iters: 120,
+            stop_after: 1,
+            corpus_dir: Some(dir.clone()),
+            ..quick_cfg(120)
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            !report.findings.is_empty(),
+            "planted fault produced no findings in {} executed cases",
+            report.executed
+        );
+        let f = &report.findings[0];
+        let path = f.path.as_ref().expect("reproducer must be written");
+        let loaded = crate::corpus::load_reproducer(path).unwrap();
+        assert_eq!(loaded, f.repro);
+        loaded.compile().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_round_trip_matches_in_process() {
+        let cfg = CampaignConfig {
+            iters: 12,
+            daemon_every: 2,
+            ..quick_cfg(12)
+        };
+        let report = run_campaign(&cfg);
+        assert!(report.daemon_checks > 0, "daemon check never ran");
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+}

@@ -1,0 +1,276 @@
+//! Self-contained reproducer files.
+//!
+//! A finding is only useful if it survives the fuzzing process, so every
+//! shrunk failure is written to the corpus directory as a single file
+//! carrying everything needed to replay it: the program text (MinC
+//! sources or IR), the originating seed and iteration, the finding kind,
+//! and the options fingerprint of the configuration that exposed it.
+//! Checked-in reproducers become permanent regression tests
+//! (`crates/fuzz/tests/regressions.rs`).
+
+use std::path::{Path, PathBuf};
+
+use hlo_ir::Program;
+
+/// Marker on the first line of every reproducer file.
+const MAGIC: &str = "// hlo-fuzz reproducer";
+/// Separator introducing each MinC module section.
+const MODULE_SEP: &str = "//--- module ";
+
+/// The program payload of a reproducer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReproBody {
+    /// MinC `(module name, source)` pairs, replayed through the front end.
+    Minc(Vec<(String, String)>),
+    /// IR program text, replayed through [`hlo_ir::parse_program_text`].
+    Ir(String),
+}
+
+/// A replayable finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reproducer {
+    /// Finding kind in kebab-case (e.g. `behavior-divergence`).
+    pub kind: String,
+    /// Label of the oracle matrix entry that exposed the finding.
+    pub config: String,
+    /// Campaign seed the case derives from.
+    pub seed: u64,
+    /// Iteration index within the campaign.
+    pub iter: u64,
+    /// `HloOptions::fingerprint()` of the failing configuration.
+    pub fingerprint: u64,
+    /// The program itself.
+    pub body: ReproBody,
+}
+
+impl Reproducer {
+    /// Canonical file name: `<kind>-<seed as 16 hex digits>.<mc|hlo>`.
+    pub fn file_name(&self) -> String {
+        let ext = match self.body {
+            ReproBody::Minc(_) => "mc",
+            ReproBody::Ir(_) => "hlo",
+        };
+        format!("{}-{:016x}.{ext}", self.kind, self.seed)
+    }
+
+    /// Serializes to the on-disk format.
+    pub fn format(&self) -> String {
+        let lang = match self.body {
+            ReproBody::Minc(_) => "minc",
+            ReproBody::Ir(_) => "ir",
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{MAGIC} ({lang})\n"));
+        out.push_str(&format!("// seed {:#018x} iter {}\n", self.seed, self.iter));
+        out.push_str(&format!(
+            "// finding {} config {}\n",
+            self.kind, self.config
+        ));
+        out.push_str(&format!(
+            "// options-fingerprint {:#018x}\n",
+            self.fingerprint
+        ));
+        match &self.body {
+            ReproBody::Minc(sources) => {
+                for (name, src) in sources {
+                    out.push_str(&format!("{MODULE_SEP}{name}\n"));
+                    out.push_str(src);
+                    if !src.ends_with('\n') {
+                        out.push('\n');
+                    }
+                }
+            }
+            ReproBody::Ir(text) => {
+                out.push_str(text);
+                if !text.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the on-disk format back.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed header line.
+    pub fn parse(text: &str) -> Result<Reproducer, String> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty reproducer")?;
+        let lang = first
+            .strip_prefix(MAGIC)
+            .ok_or_else(|| format!("missing magic line, got {first:?}"))?
+            .trim()
+            .trim_matches(['(', ')']);
+        let seed_line = lines.next().unwrap_or_default();
+        let (seed, iter) = parse_seed_line(seed_line)?;
+        let finding_line = lines.next().unwrap_or_default();
+        let (kind, config) = parse_finding_line(finding_line)?;
+        let fp_line = lines.next().unwrap_or_default();
+        let fingerprint = parse_hex_field(fp_line, "// options-fingerprint ")?;
+
+        let rest: Vec<&str> = lines.collect();
+        let body = match lang {
+            "minc" => ReproBody::Minc(split_modules(&rest)?),
+            "ir" => ReproBody::Ir(format!("{}\n", rest.join("\n"))),
+            other => return Err(format!("unknown reproducer language {other:?}")),
+        };
+        Ok(Reproducer {
+            kind,
+            config,
+            seed,
+            iter,
+            fingerprint,
+            body,
+        })
+    }
+
+    /// Compiles the payload back to a [`Program`].
+    ///
+    /// # Errors
+    /// Returns the front-end or IR-parser error message.
+    pub fn compile(&self) -> Result<Program, String> {
+        match &self.body {
+            ReproBody::Minc(sources) => crate::oracle::compile_sources(sources),
+            ReproBody::Ir(text) => hlo_ir::parse_program_text(text).map_err(|e| format!("{e:?}")),
+        }
+    }
+}
+
+/// Writes `r` into `dir` (created if absent) under its canonical name.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_reproducer(dir: &Path, r: &Reproducer) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(r.file_name());
+    std::fs::write(&path, r.format())?;
+    Ok(path)
+}
+
+/// Reads and parses a reproducer file.
+///
+/// # Errors
+/// Returns filesystem or format errors as a message.
+pub fn load_reproducer(path: &Path) -> Result<Reproducer, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Reproducer::parse(&text)
+}
+
+fn parse_seed_line(line: &str) -> Result<(u64, u64), String> {
+    let rest = line
+        .strip_prefix("// seed ")
+        .ok_or_else(|| format!("bad seed line {line:?}"))?;
+    let (seed_s, iter_s) = rest
+        .split_once(" iter ")
+        .ok_or_else(|| format!("bad seed line {line:?}"))?;
+    let seed = parse_hex(seed_s)?;
+    let iter = iter_s
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("bad iter in {line:?}: {e}"))?;
+    Ok((seed, iter))
+}
+
+fn parse_finding_line(line: &str) -> Result<(String, String), String> {
+    let rest = line
+        .strip_prefix("// finding ")
+        .ok_or_else(|| format!("bad finding line {line:?}"))?;
+    let (kind, config) = rest
+        .split_once(" config ")
+        .ok_or_else(|| format!("bad finding line {line:?}"))?;
+    Ok((kind.trim().to_string(), config.trim().to_string()))
+}
+
+fn parse_hex_field(line: &str, prefix: &str) -> Result<u64, String> {
+    parse_hex(
+        line.strip_prefix(prefix)
+            .ok_or_else(|| format!("bad header line {line:?}"))?,
+    )
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(digits, 16).map_err(|e| format!("bad hex {s:?}: {e}"))
+}
+
+fn split_modules(lines: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if let Some(name) = line.strip_prefix(MODULE_SEP) {
+            sources.push((name.trim().to_string(), String::new()));
+        } else if let Some((_, src)) = sources.last_mut() {
+            src.push_str(line);
+            src.push('\n');
+        } else if !line.trim().is_empty() {
+            return Err(format!("source text before any module marker: {line:?}"));
+        }
+    }
+    if sources.is_empty() {
+        return Err("reproducer contains no modules".into());
+    }
+    Ok(sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_sources, GenConfig};
+    use crate::irgen::{generate_program, IrGenConfig};
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            kind: "behavior-divergence".into(),
+            config: "b100-program".into(),
+            seed: 0xdead_beef,
+            iter: 42,
+            fingerprint: 0x1234_5678_9abc_def0,
+            body: ReproBody::Minc(generate_sources(3, &GenConfig::default())),
+        }
+    }
+
+    #[test]
+    fn minc_reproducer_round_trips_and_compiles() {
+        let r = sample();
+        let parsed = Reproducer::parse(&r.format()).unwrap();
+        assert_eq!(parsed, r);
+        parsed.compile().unwrap();
+        assert_eq!(r.file_name(), "behavior-divergence-00000000deadbeef.mc");
+    }
+
+    #[test]
+    fn ir_reproducer_round_trips_and_compiles() {
+        let p = generate_program(7, &IrGenConfig::default());
+        let r = Reproducer {
+            kind: "optimizer-panic".into(),
+            config: "b400-program".into(),
+            seed: 7,
+            iter: 0,
+            fingerprint: 1,
+            body: ReproBody::Ir(hlo_ir::program_to_text(&p)),
+        };
+        let parsed = Reproducer::parse(&r.format()).unwrap();
+        assert_eq!(parsed, r);
+        let back = parsed.compile().unwrap();
+        assert_eq!(hlo_ir::program_to_text(&back), hlo_ir::program_to_text(&p));
+    }
+
+    #[test]
+    fn write_and_load_via_disk() {
+        let dir = std::env::temp_dir().join(format!("hlo-fuzz-corpus-{}", std::process::id()));
+        let r = sample();
+        let path = write_reproducer(&dir, &r).unwrap();
+        let loaded = load_reproducer(&path).unwrap();
+        assert_eq!(loaded, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        assert!(Reproducer::parse("").is_err());
+        assert!(Reproducer::parse("// wrong magic\n").is_err());
+        let r = sample().format().replace("// seed", "// sead");
+        assert!(Reproducer::parse(&r).is_err());
+    }
+}

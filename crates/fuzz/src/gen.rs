@@ -1,0 +1,892 @@
+//! Seeded generator of well-typed, terminating, multi-module MinC
+//! programs.
+//!
+//! Differential fuzzing only works on programs whose behaviour is defined
+//! and finite, so everything here is *correct by construction*:
+//!
+//! * **termination** — direct calls go strictly from lower to higher
+//!   function index (a DAG); recursive functions guard on a depth
+//!   parameter that every call site masks to `0..=15` and every self-call
+//!   decrements; loops either count a fresh induction variable (which no
+//!   generated statement may reassign) toward a fixed bound or count a
+//!   dedicated counter down with the decrement as the final body
+//!   statement (`continue` is only emitted inside `for` bodies, where the
+//!   step always runs);
+//! * **no undefined behaviour** — divisions guard the divisor with
+//!   `| 1`, array indices are masked with `& (words - 1)` (all array
+//!   sizes are powers of two), and local arrays are fully initialized
+//!   before first read (stack memory is otherwise frame-layout dependent,
+//!   which inlining legitimately changes);
+//! * **linkage and scoping soundness** — `static` functions and globals
+//!   are only referenced from their own module, calls match the callee's
+//!   arity, and the generator mirrors MinC's block scoping so a local is
+//!   never read outside the block that declared it;
+//! * **stable observables** — function-pointer values never flow into
+//!   arithmetic or the output channels (optimization legitimately
+//!   renumbers functions); pointers are only taken of public arity-1
+//!   leaves and only flow into dedicated dispatcher parameters that call
+//!   them.
+//!
+//! Within those fences the generator aims for breadth: recursion (single
+//! and double), `static` linkage, `#[noinline]`/`#[inline]`/`#[strict_fp]`
+//! pragmas, function-pointer dispatch, data-dependent trip counts,
+//! short-circuit operators, ternaries, global and local arrays, float
+//! intrinsic chains, and observable effects (`print_i64`, `sink`,
+//! `checksum`) sprinkled through the call graph.
+
+use crate::print::print_sources;
+use crate::rng::Rng;
+use hlo_frontc::{BinAst, Expr, FnAttrs, FnDef, GlobalDef, Item, LValue, ModuleAst, Stmt, UnAst};
+
+/// Tunable generator shape. The defaults match what the fuzz gate runs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of modules (at least 1).
+    pub max_modules: u64,
+    /// Minimum number of functions, including `main`.
+    pub min_funcs: u64,
+    /// Maximum number of functions.
+    pub max_funcs: u64,
+    /// Maximum statements drawn per block.
+    pub max_stmts: u64,
+    /// Maximum expression nesting depth.
+    pub max_expr_depth: u32,
+    /// Whether to emit float intrinsic chains.
+    pub float_chains: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_modules: 3,
+            min_funcs: 3,
+            max_funcs: 7,
+            max_stmts: 4,
+            max_expr_depth: 3,
+            float_chains: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FnKind {
+    /// No calls at all — safe for any argument, usable as a fptr target.
+    Leaf,
+    /// Calls strictly-higher-indexed functions.
+    Normal,
+    /// Param 0 is a depth counter; self-calls decrement it.
+    Recursive,
+    /// Param 0 is a function pointer that gets called with one argument.
+    Dispatcher,
+}
+
+struct FnPlan {
+    name: String,
+    module: usize,
+    params: Vec<String>,
+    kind: FnKind,
+    is_static: bool,
+    attrs: FnAttrs,
+}
+
+struct GlobalPlan {
+    name: String,
+    module: usize,
+    words: u32,
+    is_static: bool,
+    init: Vec<i64>,
+}
+
+/// Generates a deterministic multi-module program from `seed`.
+pub fn generate_modules(seed: u64, cfg: &GenConfig) -> Vec<ModuleAst> {
+    let mut rng = Rng::new(seed);
+    let n_modules = rng.range(1, cfg.max_modules.max(1)) as usize;
+    let n_funcs = rng.range(
+        cfg.min_funcs.max(2),
+        cfg.max_funcs.max(cfg.min_funcs.max(2)),
+    ) as usize;
+
+    let mut plans: Vec<FnPlan> = Vec::with_capacity(n_funcs);
+    for i in 0..n_funcs {
+        let module = if i == 0 {
+            0
+        } else {
+            rng.below(n_modules as u64) as usize
+        };
+        let kind = if i == 0 {
+            FnKind::Normal
+        } else if i == n_funcs - 1 {
+            FnKind::Leaf // the function-pointer pool target
+        } else {
+            match rng.below(100) {
+                0..=29 => FnKind::Leaf,
+                30..=49 => FnKind::Recursive,
+                50..=64 if i + 2 < n_funcs => FnKind::Dispatcher,
+                _ => FnKind::Normal,
+            }
+        };
+        let n_params = match kind {
+            _ if i == 0 => 1, // main(p0): the oracle passes one argument
+            FnKind::Recursive => rng.range(1, 2),
+            FnKind::Dispatcher => 2,
+            FnKind::Leaf if i == n_funcs - 1 => 1,
+            _ => rng.range(0, 3),
+        } as usize;
+        let params = (0..n_params).map(|k| format!("p{k}")).collect();
+        // The pool leaf must stay public so any module may take its address.
+        let is_static = i != 0 && i != n_funcs - 1 && rng.chance(25);
+        let attrs = FnAttrs {
+            noinline: i != 0 && rng.chance(12),
+            inline_hint: rng.chance(12),
+            strict_fp: rng.chance(8),
+        };
+        plans.push(FnPlan {
+            name: if i == 0 {
+                "main".into()
+            } else {
+                format!("f{i}")
+            },
+            module,
+            params,
+            kind,
+            is_static,
+            attrs,
+        });
+    }
+
+    let n_globals = rng.range(1, 4) as usize;
+    let globals: Vec<GlobalPlan> = (0..n_globals)
+        .map(|i| {
+            let words = *rng.pick(&[1u32, 1, 8, 16]);
+            let init_len = rng.below(words as u64 + 1) as usize;
+            GlobalPlan {
+                name: format!("g{i}"),
+                module: rng.below(n_modules as u64) as usize,
+                words,
+                is_static: rng.chance(20),
+                // Global initializers print as plain literals, and the
+                // parser rejects `-9223372036854775808` (the magnitude
+                // overflows before negation) — so avoid `i64::MIN` here.
+                init: (0..init_len)
+                    .map(|_| match rng.interesting_int() {
+                        i64::MIN => i64::MAX,
+                        v => v,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let mut modules: Vec<ModuleAst> = (0..n_modules)
+        .map(|i| ModuleAst {
+            name: format!("m{i}"),
+            items: Vec::new(),
+        })
+        .collect();
+    for g in &globals {
+        modules[g.module].items.push(Item::Global(GlobalDef {
+            name: g.name.clone(),
+            is_static: g.is_static,
+            words: g.words,
+            init: g.init.clone(),
+            line: 0,
+        }));
+    }
+    for (i, plan) in plans.iter().enumerate() {
+        let body = gen_body(&mut rng, cfg, &plans, &globals, i);
+        modules[plan.module].items.push(Item::Fn(FnDef {
+            name: plan.name.clone(),
+            is_static: plan.is_static,
+            attrs: plan.attrs,
+            params: plan.params.clone(),
+            body,
+            line: 0,
+        }));
+    }
+    modules
+}
+
+/// Generates a program and prints it — the form the oracle consumes.
+pub fn generate_sources(seed: u64, cfg: &GenConfig) -> Vec<(String, String)> {
+    print_sources(&generate_modules(seed, cfg))
+}
+
+struct BodyCtx<'a> {
+    rng: &'a mut Rng,
+    cfg: &'a GenConfig,
+    plans: &'a [FnPlan],
+    globals: &'a [GlobalPlan],
+    me: usize,
+    /// Readable scalar locals currently in scope (params included).
+    readable: Vec<String>,
+    /// Locals random assignments may target — excludes induction
+    /// variables, countdown counters and function-pointer params, whose
+    /// values are structural.
+    assignable: Vec<String>,
+    /// Initialized local arrays in scope: `(name, words)`.
+    arrays: Vec<(String, u32)>,
+    next_tmp: u32,
+    loop_depth: u32,
+    /// True while inside a `for` body (where `continue` is safe).
+    in_for: bool,
+    /// Remaining non-self call sites this body may still emit.
+    calls_left: u32,
+}
+
+/// Scope snapshot: MinC locals are block-scoped, so the generator must
+/// forget names when the block that declared them closes.
+struct Mark(usize, usize, usize);
+
+impl BodyCtx<'_> {
+    fn fresh(&mut self, prefix: &str) -> String {
+        let n = format!("{prefix}{}", self.next_tmp);
+        self.next_tmp += 1;
+        n
+    }
+
+    fn mark(&self) -> Mark {
+        Mark(
+            self.readable.len(),
+            self.assignable.len(),
+            self.arrays.len(),
+        )
+    }
+
+    fn close_scope(&mut self, m: Mark) {
+        self.readable.truncate(m.0);
+        self.assignable.truncate(m.1);
+        self.arrays.truncate(m.2);
+    }
+
+    fn me(&self) -> &FnPlan {
+        &self.plans[self.me]
+    }
+
+    /// Functions this body may call directly: strictly higher index and
+    /// visible from this module.
+    fn callees(&self) -> Vec<usize> {
+        (self.me + 1..self.plans.len())
+            .filter(|&j| {
+                let p = &self.plans[j];
+                !p.is_static || p.module == self.me().module
+            })
+            .collect()
+    }
+
+    /// Public arity-1 leaves above `above` whose address may be taken here.
+    fn fptr_targets(&self, above: usize) -> Vec<usize> {
+        (above + 1..self.plans.len())
+            .filter(|&j| {
+                let p = &self.plans[j];
+                p.kind == FnKind::Leaf
+                    && p.params.len() == 1
+                    && (!p.is_static || p.module == self.me().module)
+            })
+            .collect()
+    }
+
+    fn visible_globals(&self) -> Vec<usize> {
+        (0..self.globals.len())
+            .filter(|&i| {
+                let g = &self.globals[i];
+                !g.is_static || g.module == self.me().module
+            })
+            .collect()
+    }
+}
+
+fn gen_body(
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    plans: &[FnPlan],
+    globals: &[GlobalPlan],
+    me: usize,
+) -> Vec<Stmt> {
+    let params = plans[me].params.clone();
+    let kind = plans[me].kind;
+    let mut ctx = BodyCtx {
+        rng,
+        cfg,
+        plans,
+        globals,
+        me,
+        // A dispatcher's param 0 is a function pointer. Its numeric value
+        // depends on function numbering, which optimization legitimately
+        // changes — so it is neither readable nor assignable, only called.
+        readable: match kind {
+            FnKind::Dispatcher => params[1..].to_vec(),
+            _ => params.clone(),
+        },
+        assignable: match kind {
+            // A recursive function's depth param guards termination.
+            FnKind::Dispatcher | FnKind::Recursive => params[1..].to_vec(),
+            _ => params,
+        },
+        arrays: Vec::new(),
+        next_tmp: 0,
+        loop_depth: 0,
+        in_for: false,
+        calls_left: match kind {
+            _ if me == 0 => 4,
+            FnKind::Leaf => 0,
+            FnKind::Recursive => 1,
+            _ => 2,
+        },
+    };
+
+    let mut body = Vec::new();
+    match kind {
+        FnKind::Recursive => {
+            // Depth guard first: any masked depth bottoms out here.
+            let base = gen_expr(&mut ctx, 1, false);
+            body.push(Stmt::If {
+                cond: bin(BinAst::Le, name(&ctx.plans[me].params[0]), Expr::Int(1)),
+                then_: vec![Stmt::Return(Some(base))],
+                else_: vec![],
+            });
+            gen_stmts(&mut ctx, &mut body, 2);
+            let tail = gen_recursive_tail(&mut ctx);
+            body.push(Stmt::Return(Some(tail)));
+        }
+        FnKind::Dispatcher => {
+            gen_stmts(&mut ctx, &mut body, 2);
+            // The whole point of a dispatcher: an indirect call that the
+            // cloner can turn direct once the pointer constant propagates.
+            let arg = bin(BinAst::And, gen_expr(&mut ctx, 1, false), Expr::Int(7));
+            let call = Expr::Call(Box::new(name(&ctx.plans[me].params[0])), vec![arg]);
+            let rest = gen_expr(&mut ctx, 1, false);
+            body.push(Stmt::Return(Some(bin(
+                *ctx.rng.pick(&[BinAst::Add, BinAst::Xor, BinAst::Sub]),
+                call,
+                rest,
+            ))));
+        }
+        _ => {
+            let n =
+                ctx.rng.range(1, ctx.cfg.max_stmts.max(1)) as usize + if me == 0 { 2 } else { 0 };
+            gen_stmts(&mut ctx, &mut body, n);
+            if me == 0 {
+                // main always observes something through both channels so
+                // every run produces comparable output and checksum.
+                let e1 = gen_expr(&mut ctx, 2, true);
+                body.push(Stmt::Expr(Expr::Call(
+                    Box::new(name("print_i64")),
+                    vec![e1],
+                )));
+                let e2 = gen_expr(&mut ctx, 2, true);
+                body.push(Stmt::Expr(Expr::Call(Box::new(name("sink")), vec![e2])));
+            }
+            let depth = ctx.cfg.max_expr_depth;
+            let ret = gen_expr(&mut ctx, depth, true);
+            body.push(Stmt::Return(Some(ret)));
+        }
+    }
+    body
+}
+
+fn gen_recursive_tail(ctx: &mut BodyCtx) -> Expr {
+    let me = ctx.me;
+    let depth = name(&ctx.plans[me].params[0]);
+    let self_call = |dec: i64, ctx: &mut BodyCtx| {
+        let mut args = vec![bin(BinAst::Sub, depth.clone(), Expr::Int(dec))];
+        for _ in 1..ctx.plans[me].params.len() {
+            args.push(gen_expr(ctx, 1, false));
+        }
+        Expr::Call(Box::new(name(&ctx.plans[me].name)), args)
+    };
+    if ctx.rng.chance(25) {
+        // Fibonacci-shaped double recursion: ~1000 activations at depth 15.
+        let a = self_call(1, ctx);
+        let b = self_call(2, ctx);
+        bin(BinAst::Add, a, b)
+    } else {
+        let a = self_call(1, ctx);
+        let rest = gen_expr(ctx, 1, false);
+        bin(
+            *ctx.rng.pick(&[BinAst::Add, BinAst::Xor, BinAst::Mul]),
+            a,
+            rest,
+        )
+    }
+}
+
+fn gen_stmts(ctx: &mut BodyCtx, out: &mut Vec<Stmt>, n: usize) {
+    for _ in 0..n {
+        gen_stmt_into(ctx, out);
+    }
+}
+
+/// Generates one statement block with its own scope: names declared
+/// inside are forgotten when it closes.
+fn gen_block(ctx: &mut BodyCtx, n: usize) -> Vec<Stmt> {
+    let m = ctx.mark();
+    let mut v = Vec::new();
+    gen_stmts(ctx, &mut v, n);
+    ctx.close_scope(m);
+    v
+}
+
+/// Appends one logical statement (occasionally a declaration pair, e.g. a
+/// countdown counter plus its `while`) to `out`.
+fn gen_stmt_into(ctx: &mut BodyCtx, out: &mut Vec<Stmt>) {
+    let in_loop = ctx.loop_depth > 0;
+    loop {
+        match ctx.rng.below(100) {
+            // New scalar local.
+            0..=19 => {
+                let init = gen_expr(ctx, ctx.cfg.max_expr_depth, true);
+                let v = ctx.fresh("v");
+                ctx.readable.push(v.clone());
+                ctx.assignable.push(v.clone());
+                out.push(Stmt::VarDecl {
+                    name: v,
+                    init: Some(init),
+                });
+                return;
+            }
+            // Assign an existing local.
+            20..=31 if !ctx.assignable.is_empty() => {
+                let t = ctx.rng.pick(&ctx.assignable).clone();
+                out.push(Stmt::Assign {
+                    target: LValue::Name(t),
+                    value: gen_expr(ctx, ctx.cfg.max_expr_depth, true),
+                });
+                return;
+            }
+            // Store to a visible global (scalar or array slot).
+            32..=41 => {
+                let vis = ctx.visible_globals();
+                if vis.is_empty() {
+                    continue;
+                }
+                let gi = *ctx.rng.pick(&vis);
+                let (gname, words) = (ctx.globals[gi].name.clone(), ctx.globals[gi].words);
+                let value = gen_expr(ctx, 2, true);
+                out.push(if words == 1 {
+                    Stmt::Assign {
+                        target: LValue::Name(gname),
+                        value,
+                    }
+                } else {
+                    let idx = masked_index(ctx, words);
+                    Stmt::Assign {
+                        target: LValue::Index(Box::new(name(&gname)), Box::new(idx)),
+                        value,
+                    }
+                });
+                return;
+            }
+            // If / if-else, occasionally with an early return inside.
+            42..=55 => {
+                let cond = gen_expr(ctx, 2, true);
+                let m = ctx.mark();
+                let mut then_ = Vec::new();
+                let n_then = ctx.rng.range(1, 2) as usize;
+                gen_stmts(ctx, &mut then_, n_then);
+                if !in_loop && ctx.rng.chance(25) {
+                    let e = gen_expr(ctx, 1, false);
+                    then_.push(Stmt::Return(Some(e)));
+                }
+                ctx.close_scope(m);
+                let else_ = if ctx.rng.chance(45) {
+                    let n_else = ctx.rng.range(1, 2) as usize;
+                    gen_block(ctx, n_else)
+                } else {
+                    Vec::new()
+                };
+                out.push(Stmt::If { cond, then_, else_ });
+                return;
+            }
+            // Counted `for` loop over a fresh induction variable.
+            56..=67 if ctx.loop_depth < 2 => {
+                out.push(gen_for(ctx));
+                return;
+            }
+            // Countdown `while` loop (its counter is declared alongside).
+            68..=74 if ctx.loop_depth < 2 => {
+                gen_while_into(ctx, out);
+                return;
+            }
+            // Observable effect.
+            75..=84 => {
+                let f = if ctx.rng.chance(50) {
+                    "print_i64"
+                } else {
+                    "sink"
+                };
+                let e = gen_expr(ctx, 2, true);
+                out.push(Stmt::Expr(Expr::Call(Box::new(name(f)), vec![e])));
+                return;
+            }
+            // Call for effect / into a local.
+            85..=90 if ctx.calls_left > 0 => {
+                if let Some(call) = gen_call(ctx) {
+                    if ctx.rng.chance(60) {
+                        let v = ctx.fresh("v");
+                        ctx.readable.push(v.clone());
+                        ctx.assignable.push(v.clone());
+                        out.push(Stmt::VarDecl {
+                            name: v,
+                            init: Some(call),
+                        });
+                    } else {
+                        out.push(Stmt::Expr(call));
+                    }
+                    return;
+                }
+                continue;
+            }
+            // Local array: declared, then fully initialized (never read
+            // uninitialized — stack residue is frame-layout dependent).
+            91..=94 if ctx.arrays.len() < 2 && ctx.loop_depth == 0 => {
+                gen_local_array_into(ctx, out);
+                return;
+            }
+            // break / continue, guarded so loops still terminate.
+            95..=97 if in_loop => {
+                out.push(if ctx.in_for && ctx.rng.chance(50) {
+                    Stmt::Continue
+                } else {
+                    Stmt::Break
+                });
+                return;
+            }
+            _ => {
+                // Fall through to a plain effect statement.
+                let e = gen_expr(ctx, 2, true);
+                out.push(Stmt::Expr(Expr::Call(Box::new(name("sink")), vec![e])));
+                return;
+            }
+        }
+    }
+}
+
+fn gen_for(ctx: &mut BodyCtx) -> Stmt {
+    let i = ctx.fresh("i");
+    // Bound: constant, or data-dependent (masked so it stays small).
+    let bound = if !ctx.readable.is_empty() && ctx.rng.chance(50) {
+        let v = ctx.rng.pick(&ctx.readable).clone();
+        bin(
+            BinAst::Add,
+            bin(BinAst::And, name(&v), Expr::Int(7)),
+            Expr::Int(1),
+        )
+    } else {
+        Expr::Int(ctx.rng.range(2, 8) as i64)
+    };
+    let init = Stmt::VarDecl {
+        name: i.clone(),
+        init: Some(Expr::Int(0)),
+    };
+    let cond = bin(BinAst::Lt, name(&i), bound);
+    let step = Stmt::Assign {
+        target: LValue::Name(i.clone()),
+        value: bin(BinAst::Add, name(&i), Expr::Int(1)),
+    };
+    // The induction variable is readable in the body but never a random
+    // assignment target — that is the termination argument. The for-scope
+    // covers init and body, so it is forgotten afterwards.
+    let m = ctx.mark();
+    ctx.readable.push(i);
+    ctx.loop_depth += 1;
+    let was_in_for = ctx.in_for;
+    ctx.in_for = true;
+    let mut body = Vec::new();
+    let n_body = ctx.rng.range(1, 3) as usize;
+    gen_stmts(ctx, &mut body, n_body);
+    ctx.in_for = was_in_for;
+    ctx.loop_depth -= 1;
+    ctx.close_scope(m);
+    Stmt::For {
+        init: Some(Box::new(init)),
+        cond: Some(cond),
+        step: Some(Box::new(step)),
+        body,
+    }
+}
+
+fn gen_while_into(ctx: &mut BodyCtx, out: &mut Vec<Stmt>) {
+    // `var w = (e & 7) + 1; while (w > 0) { ...; w = w - 1; }` with the
+    // decrement appended last and `continue` banned in `while` bodies.
+    let w = ctx.fresh("w");
+    let seed = gen_expr(ctx, 1, false);
+    out.push(Stmt::VarDecl {
+        name: w.clone(),
+        init: Some(bin(
+            BinAst::Add,
+            bin(BinAst::And, seed, Expr::Int(7)),
+            Expr::Int(1),
+        )),
+    });
+    // The counter stays readable (it is in the enclosing scope) but is
+    // never a random assignment target.
+    ctx.readable.push(w.clone());
+    ctx.loop_depth += 1;
+    let was_in_for = ctx.in_for;
+    ctx.in_for = false;
+    let n_body = ctx.rng.range(1, 2) as usize;
+    let mut body = gen_block(ctx, n_body);
+    ctx.in_for = was_in_for;
+    ctx.loop_depth -= 1;
+    body.push(Stmt::Assign {
+        target: LValue::Name(w.clone()),
+        value: bin(BinAst::Sub, name(&w), Expr::Int(1)),
+    });
+    out.push(Stmt::While {
+        cond: bin(BinAst::Gt, name(&w), Expr::Int(0)),
+        body,
+    });
+}
+
+fn gen_local_array_into(ctx: &mut BodyCtx, out: &mut Vec<Stmt>) {
+    let a = ctx.fresh("t");
+    let words: u32 = *ctx.rng.pick(&[8u32, 8, 16]);
+    let i = ctx.fresh("i");
+    let fill = gen_expr(ctx, 1, false);
+    out.push(Stmt::ArrayDecl {
+        name: a.clone(),
+        words,
+    });
+    out.push(Stmt::For {
+        init: Some(Box::new(Stmt::VarDecl {
+            name: i.clone(),
+            init: Some(Expr::Int(0)),
+        })),
+        cond: Some(bin(BinAst::Lt, name(&i), Expr::Int(words as i64))),
+        step: Some(Box::new(Stmt::Assign {
+            target: LValue::Name(i.clone()),
+            value: bin(BinAst::Add, name(&i), Expr::Int(1)),
+        })),
+        body: vec![Stmt::Assign {
+            target: LValue::Index(Box::new(name(&a)), Box::new(name(&i))),
+            value: bin(BinAst::Xor, fill, name(&i)),
+        }],
+    });
+    ctx.arrays.push((a, words));
+}
+
+fn masked_index(ctx: &mut BodyCtx, words: u32) -> Expr {
+    let e = gen_expr(ctx, 1, false);
+    bin(BinAst::And, e, Expr::Int(words as i64 - 1))
+}
+
+/// Generates a direct call expression to a randomly-chosen visible callee.
+/// Returns `None` if nothing is callable from here.
+fn gen_call(ctx: &mut BodyCtx) -> Option<Expr> {
+    if ctx.calls_left == 0 {
+        return None;
+    }
+    let callees = ctx.callees();
+    if callees.is_empty() {
+        return None;
+    }
+    let j = *ctx.rng.pick(&callees);
+    let kind = ctx.plans[j].kind;
+    if kind == FnKind::Dispatcher && ctx.fptr_targets(j).is_empty() {
+        return None;
+    }
+    ctx.calls_left -= 1;
+    let n_params = ctx.plans[j].params.len();
+    let mut args = Vec::with_capacity(n_params);
+    for k in 0..n_params {
+        let a = match (kind, k) {
+            // Depth argument: masked so recursion is bounded.
+            (FnKind::Recursive, 0) => bin(BinAst::And, gen_expr(ctx, 1, false), Expr::Int(15)),
+            // Function-pointer argument: address of a public arity-1 leaf
+            // with a strictly higher index (keeps the call DAG acyclic).
+            (FnKind::Dispatcher, 0) => {
+                let pool = ctx.fptr_targets(j);
+                let leaf = *ctx.rng.pick(&pool);
+                Expr::AddrOf(ctx.plans[leaf].name.clone())
+            }
+            _ => gen_expr(ctx, 1, true),
+        };
+        args.push(a);
+    }
+    Some(Expr::Call(Box::new(name(&ctx.plans[j].name)), args))
+}
+
+fn gen_expr(ctx: &mut BodyCtx, depth: u32, allow_calls: bool) -> Expr {
+    if depth == 0 {
+        return gen_atom(ctx);
+    }
+    match ctx.rng.below(100) {
+        0..=24 => gen_atom(ctx),
+        // Plain binary operator (division handled separately below).
+        25..=49 => {
+            let op = *ctx.rng.pick(&[
+                BinAst::Add,
+                BinAst::Add,
+                BinAst::Sub,
+                BinAst::Mul,
+                BinAst::And,
+                BinAst::Or,
+                BinAst::Xor,
+                BinAst::Shl,
+                BinAst::Shr,
+                BinAst::Lt,
+                BinAst::Le,
+                BinAst::Gt,
+                BinAst::Ge,
+                BinAst::Eq,
+                BinAst::Ne,
+            ]);
+            let a = gen_expr(ctx, depth - 1, allow_calls);
+            let b = gen_expr(ctx, depth - 1, false);
+            bin(op, a, b)
+        }
+        // Guarded division: `| 1` keeps the divisor non-zero.
+        50..=56 => {
+            let op = if ctx.rng.chance(50) {
+                BinAst::Div
+            } else {
+                BinAst::Rem
+            };
+            let a = gen_expr(ctx, depth - 1, allow_calls);
+            let d = bin(BinAst::Or, gen_expr(ctx, depth - 1, false), Expr::Int(1));
+            bin(op, a, d)
+        }
+        // Short-circuit operators (these lower to control flow).
+        57..=63 => {
+            let op = if ctx.rng.chance(50) {
+                BinAst::LogAnd
+            } else {
+                BinAst::LogOr
+            };
+            let a = gen_expr(ctx, depth - 1, false);
+            let b = gen_expr(ctx, depth - 1, allow_calls);
+            bin(op, a, b)
+        }
+        64..=69 => {
+            let op = *ctx.rng.pick(&[UnAst::Neg, UnAst::Not, UnAst::LogNot]);
+            Expr::Un(op, Box::new(gen_expr(ctx, depth - 1, allow_calls)))
+        }
+        70..=76 => {
+            let c = gen_expr(ctx, depth - 1, false);
+            let a = gen_expr(ctx, depth - 1, allow_calls);
+            let b = gen_expr(ctx, depth - 1, false);
+            Expr::Ternary(Box::new(c), Box::new(a), Box::new(b))
+        }
+        // Array load with a masked index.
+        77..=83 => {
+            let arrays: Vec<(String, u32)> = ctx
+                .visible_globals()
+                .into_iter()
+                .filter(|&i| ctx.globals[i].words > 1)
+                .map(|i| (ctx.globals[i].name.clone(), ctx.globals[i].words))
+                .chain(ctx.arrays.iter().cloned())
+                .collect();
+            match arrays.is_empty() {
+                true => gen_atom(ctx),
+                false => {
+                    let (a, words) = ctx.rng.pick(&arrays).clone();
+                    let idx = masked_index(ctx, words);
+                    Expr::Index(Box::new(name(&a)), Box::new(idx))
+                }
+            }
+        }
+        // Direct call.
+        84..=92 if allow_calls => match gen_call(ctx) {
+            Some(c) => c,
+            None => gen_atom(ctx),
+        },
+        // Float intrinsic chain: int -> float -> arithmetic -> int.
+        93..=96 if ctx.cfg.float_chains && (ctx.me().attrs.strict_fp || ctx.rng.chance(30)) => {
+            let fa = Expr::Intrinsic("__itof".into(), vec![gen_expr(ctx, depth - 1, false)]);
+            let fb = Expr::Intrinsic("__itof".into(), vec![gen_expr(ctx, depth - 1, false)]);
+            let op = *ctx.rng.pick(&["__fadd", "__fsub", "__fmul"]);
+            Expr::Intrinsic(
+                "__ftoi".into(),
+                vec![Expr::Intrinsic(op.into(), vec![fa, fb])],
+            )
+        }
+        // Read back the running checksum (observable, deterministic).
+        97 => Expr::Call(Box::new(name("checksum")), vec![]),
+        _ => gen_atom(ctx),
+    }
+}
+
+fn gen_atom(ctx: &mut BodyCtx) -> Expr {
+    match ctx.rng.below(100) {
+        0..=39 if !ctx.readable.is_empty() => name(&ctx.rng.pick(&ctx.readable).clone()),
+        40..=59 => {
+            let scalars: Vec<String> = ctx
+                .visible_globals()
+                .into_iter()
+                .filter(|&i| ctx.globals[i].words == 1)
+                .map(|i| ctx.globals[i].name.clone())
+                .collect();
+            match scalars.is_empty() {
+                true => Expr::Int(ctx.rng.range(0, 64) as i64),
+                false => name(&ctx.rng.pick(&scalars).clone()),
+            }
+        }
+        60..=69 => {
+            let v = *ctx.rng.pick(&[0i64, 1, 2, 3, 5, 7, 8, 15, 63, 64]);
+            Expr::Int(v)
+        }
+        70..=74 => Expr::Un(
+            UnAst::Neg,
+            Box::new(Expr::Int(ctx.rng.range(1, 100) as i64)),
+        ),
+        _ => Expr::Int(ctx.rng.range(0, 100) as i64),
+    }
+}
+
+fn name(n: &str) -> Expr {
+    Expr::Name(n.to_string())
+}
+
+fn bin(op: BinAst, a: Expr, b: Expr) -> Expr {
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_vm::{run_program, ExecOptions};
+
+    #[test]
+    fn generated_programs_compile_and_terminate() {
+        let cfg = GenConfig::default();
+        let opts = ExecOptions {
+            fuel: 1 << 22,
+            ..Default::default()
+        };
+        let mut ran = 0;
+        for seed in 0..60u64 {
+            let sources = generate_sources(seed, &cfg);
+            let refs: Vec<(&str, &str)> = sources
+                .iter()
+                .map(|(n, s)| (n.as_str(), s.as_str()))
+                .collect();
+            let p = hlo_frontc::compile(&refs)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to compile: {e}\n{sources:?}"));
+            match run_program(&p, &[5], &opts) {
+                Ok(_) => ran += 1,
+                Err(t) => panic!("seed {seed} trapped: {t}\n{}", sources[0].1),
+            }
+        }
+        assert_eq!(ran, 60, "every generated program must run clean");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 1, 99, 0xDEAD_BEEF] {
+            assert_eq!(
+                generate_sources(seed, &cfg),
+                generate_sources(seed, &cfg),
+                "seed {seed} not reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_programs() {
+        let cfg = GenConfig::default();
+        let a = generate_sources(1, &cfg);
+        let b = generate_sources(2, &cfg);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,357 @@
+//! Direct IR-level program generator.
+//!
+//! The MinC generator ([`crate::gen`]) only produces shapes the front end
+//! can emit. Building [`Program`]s straight through the IR builders
+//! reaches the rest of the space: unreachable blocks, registers mutated
+//! across blocks in patterns the lowering never creates, indirect calls
+//! through constant function addresses, and frame-slot traffic with no
+//! array syntax behind it. Every generated program passes
+//! `verify_program` and terminates by construction: direct and indirect
+//! calls go strictly "upward" (function `i` calls only `j > i`, so the
+//! call graph is a DAG) and every loop counts a fresh register down from
+//! a small constant.
+
+use crate::rng::Rng;
+use hlo_ir::{
+    verify_program, BinOp, BlockId, ConstVal, FuncId, FunctionBuilder, GlobalId, Linkage, Operand,
+    Program, ProgramBuilder, Reg, Type, UnOp,
+};
+
+/// Shape limits for the IR generator.
+#[derive(Debug, Clone)]
+pub struct IrGenConfig {
+    /// Number of modules (at least 1).
+    pub modules: usize,
+    /// Inclusive upper bound on the function count (at least 2).
+    pub max_funcs: usize,
+    /// Inclusive upper bound on the global count.
+    pub max_globals: usize,
+}
+
+impl Default for IrGenConfig {
+    fn default() -> Self {
+        IrGenConfig {
+            modules: 2,
+            max_funcs: 6,
+            max_globals: 3,
+        }
+    }
+}
+
+struct FnPlan {
+    params: u32,
+    module: usize,
+    linkage: Linkage,
+    noinline: bool,
+    inline_hint: bool,
+}
+
+/// Generates a deterministic, verifier-clean, terminating [`Program`].
+/// Function 0 is the public entry (`main`, one parameter).
+pub fn generate_program(seed: u64, cfg: &IrGenConfig) -> Program {
+    let mut rng = Rng::new(seed ^ 0x1297_c0de);
+    let mut pb = ProgramBuilder::new();
+    let modules: Vec<_> = (0..cfg.modules.max(1))
+        .map(|i| pb.add_module(format!("ir{i}")))
+        .collect();
+
+    let print = pb.declare_extern("print_i64", Some(1), false);
+    let sink = pb.declare_extern("sink", Some(1), false);
+    let checksum = pb.declare_extern("checksum", Some(0), true);
+
+    let n_globals = 1 + rng.below(cfg.max_globals.max(1) as u64) as usize;
+    let globals: Vec<(GlobalId, u32)> = (0..n_globals)
+        .map(|i| {
+            let words: u32 = *rng.pick(&[1, 1, 8]);
+            let init = (0..words as i64).map(|w| w * 3 + i as i64).collect();
+            let linkage = if rng.chance(25) {
+                Linkage::Static
+            } else {
+                Linkage::Public
+            };
+            let m = modules[rng.below(modules.len() as u64) as usize];
+            (
+                pb.add_global(format!("ig{i}"), m, linkage, words, init),
+                words,
+            )
+        })
+        .collect();
+
+    let n_funcs = 2 + rng.below((cfg.max_funcs.max(2) - 1) as u64) as usize;
+    let plans: Vec<FnPlan> = (0..n_funcs)
+        .map(|i| {
+            let is_main = i == 0;
+            FnPlan {
+                params: if is_main { 1 } else { 1 + rng.below(2) as u32 },
+                module: rng.below(modules.len() as u64) as usize,
+                linkage: if !is_main && rng.chance(25) {
+                    Linkage::Static
+                } else {
+                    Linkage::Public
+                },
+                noinline: !is_main && rng.chance(15),
+                inline_hint: !is_main && rng.chance(20),
+            }
+        })
+        .collect();
+
+    let mut entry = None;
+    for (i, plan) in plans.iter().enumerate() {
+        let name = if i == 0 {
+            "main".to_string()
+        } else {
+            format!("irf{i}")
+        };
+        let mut fb = FunctionBuilder::new(name, modules[plan.module], plan.params);
+        fb.flags_mut().noinline = plan.noinline;
+        fb.flags_mut().inline_hint = plan.inline_hint;
+
+        let mut g = BodyGen {
+            fb: &mut fb,
+            rng: &mut rng,
+            plans: &plans,
+            me: i,
+            globals: &globals,
+            print,
+            sink,
+            checksum,
+        };
+        g.emit_body();
+
+        let id = pb.add_function(fb.finish(plan.linkage, Type::I64));
+        if i == 0 {
+            entry = Some(id);
+        }
+    }
+
+    let p = pb.finish(entry);
+    debug_assert!(verify_program(&p).is_ok());
+    p
+}
+
+struct BodyGen<'a> {
+    fb: &'a mut FunctionBuilder,
+    rng: &'a mut Rng,
+    plans: &'a [FnPlan],
+    me: usize,
+    globals: &'a [(GlobalId, u32)],
+    print: hlo_ir::ExternId,
+    sink: hlo_ir::ExternId,
+    checksum: hlo_ir::ExternId,
+}
+
+impl BodyGen<'_> {
+    fn emit_body(&mut self) {
+        let b0 = self.fb.entry_block();
+        let p0 = self.fb.param(0);
+        let acc = self.fb.new_reg();
+        self.fb.copy_to(b0, acc, p0.into());
+
+        self.emit_arith(b0, acc);
+        if self.rng.chance(60) && !self.globals.is_empty() {
+            self.emit_global_traffic(b0, acc);
+        }
+        if self.rng.chance(40) {
+            self.emit_slot_traffic(b0, acc);
+        }
+        let call_in_loop = self.me + 1 < self.plans.len() && self.rng.chance(50);
+        if !call_in_loop && self.me + 1 < self.plans.len() && self.rng.chance(70) {
+            self.emit_call(b0, acc);
+        }
+
+        // A counted-down loop; the trip count stays tiny when a call sits
+        // inside the body so DAG-chained loops cannot exhaust oracle fuel.
+        let trip = if call_in_loop {
+            2 + self.rng.below(2) as i64
+        } else {
+            2 + self.rng.below(7) as i64
+        };
+        let counter = self.fb.new_reg();
+        self.fb.copy_to(b0, counter, Operand::imm(trip));
+        let header = self.fb.new_block();
+        let body = self.fb.new_block();
+        let exit = self.fb.new_block();
+        self.fb.jump(b0, header);
+
+        let cond = self
+            .fb
+            .bin(header, BinOp::Gt, counter.into(), Operand::imm(0));
+        self.fb.br(header, cond.into(), body, exit);
+
+        self.emit_arith(body, acc);
+        if call_in_loop {
+            self.emit_call(body, acc);
+        }
+        if self.rng.chance(35) {
+            let arg: Operand = acc.into();
+            self.fb.call_extern(body, self.sink, vec![arg], false);
+        }
+        let dec = self
+            .fb
+            .bin(body, BinOp::Sub, counter.into(), Operand::imm(1));
+        self.fb.copy_to(body, counter, dec.into());
+        self.fb.jump(body, header);
+
+        // Exit: optional diamond, observable prints, return.
+        let ret_block = if self.rng.chance(60) {
+            let t = self.fb.new_block();
+            let f = self.fb.new_block();
+            let join = self.fb.new_block();
+            let c = self.fb.bin(exit, BinOp::Lt, acc.into(), p0.into());
+            self.fb.br(exit, c.into(), t, f);
+            let tv = self.fb.bin(t, BinOp::Add, acc.into(), Operand::imm(7));
+            self.fb.copy_to(t, acc, tv.into());
+            self.fb.jump(t, join);
+            let fv = self.fb.un(f, UnOp::Not, acc.into());
+            self.fb.copy_to(f, acc, fv.into());
+            self.fb.jump(f, join);
+            join
+        } else {
+            exit
+        };
+        if self.me == 0 {
+            self.fb
+                .call_extern(ret_block, self.print, vec![acc.into()], false);
+            let ck = self
+                .fb
+                .call_extern(ret_block, self.checksum, vec![], true)
+                .expect("checksum returns a value");
+            let mixed = self.fb.bin(ret_block, BinOp::Xor, acc.into(), ck.into());
+            self.fb.copy_to(ret_block, acc, mixed.into());
+        } else if self.rng.chance(30) {
+            self.fb
+                .call_extern(ret_block, self.print, vec![acc.into()], false);
+        }
+        self.fb.ret(ret_block, Some(acc.into()));
+
+        // An unreachable but well-formed block: nothing jumps here, so
+        // cleanup passes must delete it without disturbing behaviour.
+        if self.rng.chance(50) {
+            let dead = self.fb.new_block();
+            let v = self.fb.bin(dead, BinOp::Mul, acc.into(), Operand::imm(3));
+            self.fb.ret(dead, Some(v.into()));
+        }
+    }
+
+    /// A short run of integer arithmetic folded into `acc`, including a
+    /// division whose divisor is forced into `1..=7` (never zero, never
+    /// negative, so it cannot trap or overflow).
+    fn emit_arith(&mut self, b: BlockId, acc: Reg) {
+        let steps = 1 + self.rng.below(3);
+        for _ in 0..steps {
+            let params = self.plans[self.me].params;
+            let rhs: Operand = if self.rng.chance(50) {
+                Operand::imm(self.rng.interesting_int())
+            } else {
+                self.fb.param(self.rng.below(params as u64) as u32).into()
+            };
+            let op = *self.rng.pick(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Xor,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Shr,
+            ]);
+            let v = self.fb.bin(b, op, acc.into(), rhs);
+            self.fb.copy_to(b, acc, v.into());
+        }
+        if self.rng.chance(30) {
+            let masked = self.fb.bin(b, BinOp::And, acc.into(), Operand::imm(7));
+            let div = self.fb.bin(b, BinOp::Or, masked.into(), Operand::imm(1));
+            let q = self.fb.bin(
+                b,
+                *self.rng.pick(&[BinOp::Div, BinOp::Rem]),
+                acc.into(),
+                div.into(),
+            );
+            self.fb.copy_to(b, acc, q.into());
+        }
+    }
+
+    /// Load-modify-store on a random global, index masked into range.
+    fn emit_global_traffic(&mut self, b: BlockId, acc: Reg) {
+        let (gid, words) = self.globals[self.rng.below(self.globals.len() as u64) as usize];
+        let base = self.fb.const_(b, ConstVal::GlobalAddr(gid));
+        let idx = self
+            .fb
+            .bin(b, BinOp::And, acc.into(), Operand::imm(words as i64 - 1));
+        let off = self.fb.bin(b, BinOp::Shl, idx.into(), Operand::imm(3));
+        let v = self.fb.load(b, base.into(), off.into());
+        let sum = self.fb.bin(b, BinOp::Add, v.into(), acc.into());
+        self.fb.store(b, base.into(), off.into(), sum.into());
+        self.fb.copy_to(b, acc, sum.into());
+    }
+
+    /// Store-then-load through a frame slot (always initialized first).
+    fn emit_slot_traffic(&mut self, b: BlockId, acc: Reg) {
+        let slot = self.fb.new_slot(8);
+        let addr = self.fb.frame_addr(b, slot);
+        self.fb.store(b, addr.into(), Operand::imm(0), acc.into());
+        let v = self.fb.load(b, addr.into(), Operand::imm(0));
+        let mixed = self.fb.bin(b, BinOp::Add, v.into(), Operand::imm(1));
+        self.fb.copy_to(b, acc, mixed.into());
+    }
+
+    /// A direct or indirect call to a strictly-higher-index function
+    /// (keeps the call graph a DAG, so termination is structural).
+    fn emit_call(&mut self, b: BlockId, acc: Reg) {
+        let lo = self.me + 1;
+        let j = lo + self.rng.below((self.plans.len() - lo) as u64) as usize;
+        let callee = FuncId(j as u32);
+        let args: Vec<Operand> = (0..self.plans[j].params)
+            .map(|k| {
+                if k == 0 {
+                    acc.into()
+                } else {
+                    Operand::imm(self.rng.below(16) as i64)
+                }
+            })
+            .collect();
+        let r = if self.rng.chance(25) {
+            // Indirect through a constant function address; the optimizer
+            // must keep the target alive and renumber the constant.
+            let fptr = self.fb.const_(b, ConstVal::FuncAddr(callee));
+            self.fb.call_indirect(b, fptr.into(), args)
+        } else {
+            self.fb.call(b, callee, args)
+        };
+        let folded = self.fb.bin(b, BinOp::Add, acc.into(), r.into());
+        self.fb.copy_to(b, acc, folded.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{check_program, CaseOutcome, OracleConfig, ORACLE_FUEL};
+
+    #[test]
+    fn ir_programs_verify_and_terminate() {
+        for seed in 0..40u64 {
+            let p = generate_program(seed, &IrGenConfig::default());
+            verify_program(&p).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            crate::oracle::observe(&p, &[5], ORACLE_FUEL)
+                .unwrap_or_else(|t| panic!("seed {seed} trapped: {t:?}"));
+        }
+    }
+
+    #[test]
+    fn ir_generation_is_deterministic() {
+        let a = generate_program(9, &IrGenConfig::default());
+        let b = generate_program(9, &IrGenConfig::default());
+        assert_eq!(hlo_ir::program_to_text(&a), hlo_ir::program_to_text(&b));
+    }
+
+    #[test]
+    fn ir_programs_pass_the_oracle() {
+        let oc = OracleConfig::quick();
+        for seed in [1u64, 2, 3, 5, 8] {
+            let p = generate_program(seed, &IrGenConfig::default());
+            if let CaseOutcome::Fail(f) = check_program(&p, &oc) {
+                panic!("seed {seed}: {f:?}");
+            }
+        }
+    }
+}

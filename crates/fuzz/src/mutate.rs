@@ -1,0 +1,200 @@
+//! Corpus mutator: small random edits to a previously-interesting AST.
+//!
+//! Mutation deliberately steps *outside* the generator's
+//! correct-by-construction fences (an operator swap can unguard a
+//! division; a literal tweak can change a loop bound): programs near the
+//! edge of validity exercise optimizer paths that clean generated code
+//! never reaches. The oracle copes — candidates whose baseline traps are
+//! skipped, and candidates that no longer compile are discarded by the
+//! campaign before the oracle ever sees them.
+
+use crate::rng::Rng;
+use crate::walk::{expr_count, mutate_expr_at, remove_stmt_at, stmt_count};
+use hlo_frontc::{BinAst, Expr, Item, ModuleAst};
+
+/// Applies 1–3 random edits to a copy of `modules`. The result may fail
+/// to compile; callers filter.
+pub fn mutate(modules: &[ModuleAst], rng: &mut Rng) -> Vec<ModuleAst> {
+    let mut out = modules.to_vec();
+    let edits = rng.range(1, 3);
+    for _ in 0..edits {
+        apply_one(&mut out, rng);
+    }
+    out
+}
+
+fn apply_one(modules: &mut [ModuleAst], rng: &mut Rng) {
+    match rng.below(100) {
+        // Perturb an integer literal.
+        0..=29 => {
+            let n = expr_count(modules);
+            if n == 0 {
+                return;
+            }
+            let target = rng.below(n as u64) as usize;
+            let delta = rng.interesting_int();
+            mutate_expr_at(modules, target, |e| {
+                if let Expr::Int(v) = e {
+                    *e = Expr::Int(v.wrapping_add(delta));
+                }
+            });
+        }
+        // Swap a binary operator for a near neighbour.
+        30..=54 => {
+            let n = expr_count(modules);
+            if n == 0 {
+                return;
+            }
+            let target = rng.below(n as u64) as usize;
+            let roll = rng.next_u64();
+            mutate_expr_at(modules, target, |e| {
+                if let Expr::Bin(op, _, _) = e {
+                    *op = swap_op(*op, roll);
+                }
+            });
+        }
+        // Wrap an expression in an optimizer-visible identity.
+        55..=69 => {
+            let n = expr_count(modules);
+            if n == 0 {
+                return;
+            }
+            let target = rng.below(n as u64) as usize;
+            let which = rng.below(3);
+            mutate_expr_at(modules, target, |e| {
+                let inner = std::mem::replace(e, Expr::Int(0));
+                let (op, k) = match which {
+                    0 => (BinAst::Add, 0),
+                    1 => (BinAst::Mul, 1),
+                    _ => (BinAst::Xor, 0),
+                };
+                *e = Expr::Bin(op, Box::new(inner), Box::new(Expr::Int(k)));
+            });
+        }
+        // Toggle a function attribute or its linkage.
+        70..=84 => {
+            let fns: Vec<(usize, usize)> = fn_slots(modules);
+            if fns.is_empty() {
+                return;
+            }
+            let (m, i) = *rng.pick(&fns);
+            let which = rng.below(4);
+            if let Item::Fn(f) = &mut modules[m].items[i] {
+                if f.name == "main" {
+                    return; // main must stay public and un-pragma'd
+                }
+                match which {
+                    0 => f.attrs.noinline = !f.attrs.noinline,
+                    1 => f.attrs.inline_hint = !f.attrs.inline_hint,
+                    2 => f.attrs.strict_fp = !f.attrs.strict_fp,
+                    _ => f.is_static = !f.is_static,
+                }
+            }
+        }
+        // Delete a random statement.
+        85..=92 => {
+            let n = stmt_count(modules);
+            if n == 0 {
+                return;
+            }
+            let target = rng.below(n as u64) as usize;
+            remove_stmt_at(modules, target);
+        }
+        // Duplicate a function as dead code (exercises deletion passes).
+        _ => {
+            let fns = fn_slots(modules);
+            if fns.is_empty() {
+                return;
+            }
+            let (m, i) = *rng.pick(&fns);
+            if let Item::Fn(f) = &modules[m].items[i] {
+                if f.name == "main" {
+                    return;
+                }
+                let mut copy = f.clone();
+                copy.name = format!("{}x", copy.name);
+                // Dead (never called) and module-local, so `CrossModule`
+                // deletion and `WithinModule` retention differ on it.
+                copy.is_static = true;
+                modules[m].items.push(Item::Fn(copy));
+            }
+        }
+    }
+}
+
+fn fn_slots(modules: &[ModuleAst]) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for (m, module) in modules.iter().enumerate() {
+        for (i, item) in module.items.iter().enumerate() {
+            if matches!(item, Item::Fn(_)) {
+                v.push((m, i));
+            }
+        }
+    }
+    v
+}
+
+fn swap_op(op: BinAst, roll: u64) -> BinAst {
+    let alt = |a: BinAst, b: BinAst| if roll.is_multiple_of(2) { a } else { b };
+    match op {
+        BinAst::Add => alt(BinAst::Sub, BinAst::Xor),
+        BinAst::Sub => alt(BinAst::Add, BinAst::Or),
+        BinAst::Mul => alt(BinAst::Add, BinAst::And),
+        BinAst::Div => BinAst::Mul,
+        BinAst::Rem => BinAst::And,
+        BinAst::And => alt(BinAst::Or, BinAst::Mul),
+        BinAst::Or => alt(BinAst::Xor, BinAst::Add),
+        BinAst::Xor => alt(BinAst::And, BinAst::Sub),
+        BinAst::Shl => BinAst::Shr,
+        BinAst::Shr => BinAst::Shl,
+        BinAst::Lt => alt(BinAst::Le, BinAst::Ge),
+        BinAst::Le => alt(BinAst::Lt, BinAst::Eq),
+        BinAst::Gt => alt(BinAst::Ge, BinAst::Ne),
+        BinAst::Ge => alt(BinAst::Gt, BinAst::Lt),
+        BinAst::Eq => BinAst::Ne,
+        BinAst::Ne => BinAst::Eq,
+        BinAst::LogAnd => BinAst::LogOr,
+        BinAst::LogOr => BinAst::LogAnd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_modules, GenConfig};
+    use crate::print::print_sources;
+
+    #[test]
+    fn mutants_differ_and_are_deterministic() {
+        let base = generate_modules(3, &GenConfig::default());
+        let mut r1 = Rng::new(77);
+        let mut r2 = Rng::new(77);
+        let a = mutate(&base, &mut r1);
+        let b = mutate(&base, &mut r2);
+        assert_eq!(a, b, "same mutation seed must give the same mutant");
+        let mut any_change = false;
+        let mut r = Rng::new(1);
+        for _ in 0..20 {
+            if mutate(&base, &mut r) != base {
+                any_change = true;
+                break;
+            }
+        }
+        assert!(any_change, "20 mutation draws never changed the program");
+    }
+
+    #[test]
+    fn most_mutants_still_compile() {
+        let base = generate_modules(9, &GenConfig::default());
+        let mut rng = Rng::new(5);
+        let mut ok = 0;
+        for _ in 0..30 {
+            let m = mutate(&base, &mut rng);
+            if crate::oracle::compile_sources(&print_sources(&m)).is_ok() {
+                ok += 1;
+            }
+        }
+        // Linkage toggles can break the build; most edits must not.
+        assert!(ok >= 15, "only {ok}/30 mutants compiled");
+    }
+}

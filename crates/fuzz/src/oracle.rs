@@ -1,0 +1,503 @@
+//! The differential oracle: translation validation by execution.
+//!
+//! A candidate program is executed once on the VM to establish its
+//! *baseline* observable behaviour — return value, `print_i64` output in
+//! order, `sink` checksum, and the exact sequence of extern calls. Then
+//! the optimizer runs under every configuration in a matrix (budgets,
+//! scopes, profile/no-profile, check levels), and each optimized program
+//! must reproduce the baseline exactly. Any deviation is a **finding**:
+//!
+//! * the optimizer panicking ([`FindingKind::OptimizerPanic`]);
+//! * the optimized program failing the IR verifier
+//!   ([`FindingKind::VerifierRejected`]);
+//! * verify-each attributing a new warning-or-worse diagnostic to a
+//!   pipeline stage ([`FindingKind::CheckRegression`]);
+//! * different observable behaviour, including a trap the baseline did
+//!   not have ([`FindingKind::BehaviorDivergence`]);
+//! * output that is not byte-identical across `--jobs` values
+//!   ([`FindingKind::JobsNondeterminism`]).
+//!
+//! Baselines that trap are **skipped**, not reported: the generator
+//! produces clean programs by construction, but mutants may divide by
+//! zero or run off an array — and for trapping executions the optimizer's
+//! obligations are weaker (dead trapping loads may legally disappear), so
+//! differential comparison would report noise.
+
+use crate::print::source_lines;
+use hlo::{optimize, CheckLevel, HloOptions, Scope};
+use hlo_ir::{program_to_text, verify_program, Program};
+use hlo_profile::ProfileDb;
+use hlo_vm::{run_with_monitor, ExecMonitor, ExecOptions, ExecOutcome, SiteId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fuel for baseline runs. Optimized runs get [`FUEL_HEADROOM`]× this, so
+/// a legitimate optimized program can never exhaust fuel the baseline had
+/// left, while a transform that manufactures an infinite loop still gets
+/// caught (as a divergence) instead of hanging the fuzzer.
+pub const ORACLE_FUEL: u64 = 1 << 22;
+
+/// Fuel multiplier for post-optimization runs.
+pub const FUEL_HEADROOM: u64 = 4;
+
+/// What one execution observably did. Two runs of semantically equivalent
+/// programs must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observed {
+    /// `main`'s return value.
+    pub ret: i64,
+    /// `print_i64` values, in order.
+    pub output: Vec<i64>,
+    /// Final `sink` checksum.
+    pub checksum: u64,
+    /// Extern-call names, in call order (`print_i64`, `sink`, ...).
+    pub externs: Vec<String>,
+}
+
+/// Categories of oracle findings, ordered roughly by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The front end rejected a program the generator claims is valid.
+    CompileError,
+    /// `optimize` panicked.
+    OptimizerPanic,
+    /// The optimized program failed `verify_program`.
+    VerifierRejected,
+    /// Verify-each attributed a warning-or-worse diagnostic to a stage.
+    CheckRegression,
+    /// The optimized program behaved differently from the baseline.
+    BehaviorDivergence,
+    /// Output differed between `--jobs` values.
+    JobsNondeterminism,
+    /// The `hlo-serve` daemon returned different IR than an in-process
+    /// optimize of the same request (cold), or its warm cached response
+    /// was not byte-identical to the cold one.
+    DaemonMismatch,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FindingKind::CompileError => "compile-error",
+            FindingKind::OptimizerPanic => "optimizer-panic",
+            FindingKind::VerifierRejected => "verifier-rejected",
+            FindingKind::CheckRegression => "check-regression",
+            FindingKind::BehaviorDivergence => "behavior-divergence",
+            FindingKind::JobsNondeterminism => "jobs-nondeterminism",
+            FindingKind::DaemonMismatch => "daemon-mismatch",
+        })
+    }
+}
+
+/// One confirmed oracle failure.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// Label of the matrix entry that exposed it.
+    pub config: String,
+    /// [`HloOptions::fingerprint`] of that entry — reproducers record it
+    /// so a regression test can re-run the exact configuration.
+    pub options_fingerprint: u64,
+    /// Human-readable specifics (the two behaviours, the panic payload,
+    /// the verifier error, ...).
+    pub detail: String,
+}
+
+/// The verdict on one candidate program.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// Every matrix entry reproduced the baseline.
+    Pass,
+    /// The case was not usable for differential comparison (e.g. the
+    /// baseline trapped); not a finding.
+    Skip(String),
+    /// A divergence, panic, or verifier rejection.
+    Fail(Finding),
+}
+
+/// One optimizer configuration the oracle runs.
+#[derive(Debug, Clone)]
+pub struct MatrixEntry {
+    /// Short stable label (appears in reproducer headers).
+    pub label: String,
+    /// The options under test (`jobs` is always 1 here).
+    pub opts: HloOptions,
+    /// Synthesize a profile from a baseline VM trace and optimize with it.
+    pub with_profile: bool,
+    /// Re-run the same optimization at `jobs = N` and require the result
+    /// to be byte-identical.
+    pub probe_jobs: bool,
+}
+
+/// Oracle configuration: program arguments, fuel, and the config matrix.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Arguments passed to `main`.
+    pub args: Vec<i64>,
+    /// Baseline fuel (optimized runs get [`FUEL_HEADROOM`]× more).
+    pub fuel: u64,
+    /// Worker count used by jobs-determinism probes.
+    pub probe_jobs: usize,
+    /// The configurations to test.
+    pub entries: Vec<MatrixEntry>,
+}
+
+fn entry(label: &str, opts: HloOptions, with_profile: bool, probe_jobs: bool) -> MatrixEntry {
+    MatrixEntry {
+        label: label.to_string(),
+        opts,
+        with_profile,
+        probe_jobs,
+    }
+}
+
+impl OracleConfig {
+    /// The full matrix the fuzz gate runs: budgets {0, 100, 400} crossed
+    /// with both scopes, plus profile-guided, strict-checked, and
+    /// outlining configurations, with jobs-determinism probes on the two
+    /// aggressive entries.
+    pub fn full() -> Self {
+        let base = HloOptions::default(); // CrossModule, budget 100
+        let with = |scope, budget: u64| HloOptions {
+            scope,
+            budget_percent: budget,
+            ..base.clone()
+        };
+        OracleConfig {
+            args: vec![5],
+            fuel: ORACLE_FUEL,
+            probe_jobs: 4,
+            entries: vec![
+                entry("b0-module", with(Scope::WithinModule, 0), false, false),
+                entry("b0-program", with(Scope::CrossModule, 0), false, false),
+                entry("b100-module", with(Scope::WithinModule, 100), false, false),
+                entry("b100-program", with(Scope::CrossModule, 100), false, true),
+                entry(
+                    "b100-program-pgo",
+                    with(Scope::CrossModule, 100),
+                    true,
+                    false,
+                ),
+                entry("b400-program", with(Scope::CrossModule, 400), false, true),
+                entry(
+                    "b400-module-pgo",
+                    with(Scope::WithinModule, 400),
+                    true,
+                    false,
+                ),
+                entry(
+                    "b100-program-strict",
+                    HloOptions {
+                        check: CheckLevel::Strict,
+                        ..with(Scope::CrossModule, 100)
+                    },
+                    false,
+                    false,
+                ),
+                entry(
+                    "b100-program-outline-pgo",
+                    HloOptions {
+                        enable_outline: true,
+                        ..with(Scope::CrossModule, 100)
+                    },
+                    true,
+                    false,
+                ),
+            ],
+        }
+    }
+
+    /// A three-entry matrix for unit tests and quick smoke runs.
+    pub fn quick() -> Self {
+        let full = Self::full();
+        OracleConfig {
+            entries: full
+                .entries
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.label.as_str(),
+                        "b0-program" | "b100-program" | "b100-program-pgo"
+                    )
+                })
+                .cloned()
+                .collect(),
+            ..full
+        }
+    }
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Records the extern-call name sequence of one run.
+struct ExternTrace {
+    names: Vec<String>,
+    calls: Vec<String>,
+}
+
+impl ExecMonitor for ExternTrace {
+    fn extern_call(&mut self, _site: SiteId, ext: hlo_ir::ExternId) {
+        self.calls.push(self.names[ext.0 as usize].clone());
+    }
+}
+
+/// Runs `p` and collects its observable behaviour.
+///
+/// # Errors
+/// Propagates the VM trap when the run faults.
+pub fn observe(p: &Program, args: &[i64], fuel: u64) -> Result<Observed, hlo_vm::Trap> {
+    let mut tracer = ExternTrace {
+        names: p.externs.iter().map(|e| e.name.clone()).collect(),
+        calls: Vec::new(),
+    };
+    let opts = ExecOptions {
+        fuel,
+        ..Default::default()
+    };
+    let out: ExecOutcome = run_with_monitor(p, args, &opts, &mut tracer)?;
+    Ok(Observed {
+        ret: out.ret,
+        output: out.output,
+        checksum: out.checksum,
+        externs: tracer.calls,
+    })
+}
+
+/// Compiles `(module, source)` pairs through the real front end.
+///
+/// # Errors
+/// Returns the front-end error message.
+pub fn compile_sources(sources: &[(String, String)]) -> Result<Program, String> {
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    hlo_frontc::compile(&refs).map_err(|e| e.to_string())
+}
+
+/// Oracle entry point for source-level cases: compile, then run the
+/// matrix. A front-end rejection is itself a finding — the generator and
+/// shrinker only emit programs they believe are valid.
+pub fn check_sources(sources: &[(String, String)], oc: &OracleConfig) -> CaseOutcome {
+    match compile_sources(sources) {
+        Ok(p) => check_program(&p, oc),
+        Err(e) => CaseOutcome::Fail(Finding {
+            kind: FindingKind::CompileError,
+            config: "frontc".to_string(),
+            options_fingerprint: 0,
+            detail: format!("{e} ({} source lines)", source_lines(sources)),
+        }),
+    }
+}
+
+/// Oracle entry point for already-compiled programs (the IR generator and
+/// the daemon cross-check use this).
+pub fn check_program(p0: &Program, oc: &OracleConfig) -> CaseOutcome {
+    let baseline = match observe(p0, &oc.args, oc.fuel) {
+        Ok(b) => b,
+        Err(t) => return CaseOutcome::Skip(format!("baseline trapped: {t}")),
+    };
+    let opt_fuel = oc.fuel.saturating_mul(FUEL_HEADROOM);
+
+    for entry in &oc.entries {
+        let fp = entry.opts.fingerprint();
+        let fail = |kind, detail: String| {
+            CaseOutcome::Fail(Finding {
+                kind,
+                config: entry.label.clone(),
+                options_fingerprint: fp,
+                detail,
+            })
+        };
+
+        let profile = entry.with_profile.then(|| {
+            let exec = ExecOptions {
+                fuel: oc.fuel,
+                ..Default::default()
+            };
+            ProfileDb::from_vm_trace(p0, &oc.args, &exec)
+        });
+
+        let mut optimized = p0.clone();
+        let report = match catch_unwind(AssertUnwindSafe(|| {
+            optimize(&mut optimized, profile.as_ref(), &entry.opts)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                return fail(FindingKind::OptimizerPanic, panic_message(payload));
+            }
+        };
+
+        if let Err(e) = verify_program(&optimized) {
+            return fail(FindingKind::VerifierRejected, format!("{e:?}"));
+        }
+
+        if entry.opts.check != CheckLevel::Off {
+            let introduced: Vec<String> = report
+                .introduced_diagnostics()
+                .filter(|d| d.severity >= hlo::Severity::Warning)
+                .map(|d| d.to_string())
+                .collect();
+            if !introduced.is_empty() {
+                return fail(
+                    FindingKind::CheckRegression,
+                    format!("{} introduced: {}", introduced.len(), introduced.join("; ")),
+                );
+            }
+        }
+
+        match observe(&optimized, &oc.args, opt_fuel) {
+            Ok(obs) => {
+                if obs != baseline {
+                    return fail(
+                        FindingKind::BehaviorDivergence,
+                        diff_detail(&baseline, &obs),
+                    );
+                }
+            }
+            Err(t) => {
+                return fail(
+                    FindingKind::BehaviorDivergence,
+                    format!("baseline ran clean, optimized trapped: {t}"),
+                );
+            }
+        }
+
+        if entry.probe_jobs {
+            let mut parallel = p0.clone();
+            let opts_n = HloOptions {
+                jobs: oc.probe_jobs,
+                ..entry.opts.clone()
+            };
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                optimize(&mut parallel, profile.as_ref(), &opts_n)
+            }));
+            if r.is_err() {
+                return fail(
+                    FindingKind::OptimizerPanic,
+                    format!("panicked only at jobs={}", oc.probe_jobs),
+                );
+            }
+            if program_to_text(&parallel) != program_to_text(&optimized) {
+                return fail(
+                    FindingKind::JobsNondeterminism,
+                    format!(
+                        "jobs=1 and jobs={} produced different programs",
+                        oc.probe_jobs
+                    ),
+                );
+            }
+        }
+    }
+    CaseOutcome::Pass
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn diff_detail(base: &Observed, got: &Observed) -> String {
+    let mut parts = Vec::new();
+    if base.ret != got.ret {
+        parts.push(format!("ret {} vs {}", base.ret, got.ret));
+    }
+    if base.output != got.output {
+        parts.push(format!("output {:?} vs {:?}", base.output, got.output));
+    }
+    if base.checksum != got.checksum {
+        parts.push(format!(
+            "checksum {:#x} vs {:#x}",
+            base.checksum, got.checksum
+        ));
+    }
+    if base.externs != got.externs {
+        parts.push(format!(
+            "extern trace {:?} vs {:?}",
+            base.externs, got.externs
+        ));
+    }
+    parts.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources_of(src: &str) -> Vec<(String, String)> {
+        vec![("m".to_string(), src.to_string())]
+    }
+
+    #[test]
+    fn clean_program_passes_the_full_matrix() {
+        let out = check_sources(
+            &sources_of(
+                r#"
+                fn helper(x) { return x * 3 + 1; }
+                fn main(a) {
+                    var s = 0;
+                    for (var i = 0; i < (a & 7) + 2; i = i + 1) { s = s + helper(i); }
+                    print_i64(s);
+                    sink(s);
+                    return s;
+                }
+                "#,
+            ),
+            &OracleConfig::full(),
+        );
+        assert!(matches!(out, CaseOutcome::Pass), "{out:?}");
+    }
+
+    #[test]
+    fn trapping_baseline_is_skipped() {
+        let out = check_sources(
+            &sources_of("fn main(a) { return a / (a - a); }"),
+            &OracleConfig::quick(),
+        );
+        assert!(matches!(out, CaseOutcome::Skip(_)), "{out:?}");
+    }
+
+    #[test]
+    fn unparseable_source_is_a_compile_finding() {
+        let out = check_sources(
+            &sources_of("fn main( { return 0; }"),
+            &OracleConfig::quick(),
+        );
+        match out {
+            CaseOutcome::Fail(f) => assert_eq!(f.kind, FindingKind::CompileError),
+            other => panic!("expected compile finding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planted_fault_is_detected_as_divergence() {
+        // Arm the inliner fault: the first spliced Add becomes a Sub, so
+        // any inlined callee computing `x + y` diverges observably. The
+        // arguments are deliberately non-constant — with a constant
+        // argument the cloner specializes the callee instead of inlining
+        // it, and the fault (which lives in `inline_call`) stays silent.
+        let _guard = hlo::fault::FaultGuard::arm();
+        let out = check_sources(
+            &sources_of(
+                r#"
+                fn add(x, y) { return x + y; }
+                fn main(a) { print_i64(add(a, a + 1)); return add(a, a * 2); }
+                "#,
+            ),
+            &OracleConfig::quick(),
+        );
+        match out {
+            CaseOutcome::Fail(f) => assert_eq!(f.kind, FindingKind::BehaviorDivergence),
+            other => panic!("expected divergence under fault, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! MinC pretty-printer: turns `hlo_frontc` ASTs back into source text.
+//!
+//! The fuzzer generates and shrinks *ASTs*, but every artifact it keeps —
+//! reproducer files, corpus entries, the candidate programs the oracle
+//! evaluates — is source **text** that goes back through the real lexer
+//! and parser. Printing is therefore the canonical serialization: if the
+//! printer emitted something the parser rejects (or reads differently),
+//! a reproducer would not reproduce. Expressions are printed fully
+//! parenthesized so operator precedence can never reintroduce ambiguity.
+
+use hlo_frontc::{BinAst, Expr, FnDef, GlobalDef, Item, LValue, ModuleAst, Stmt, UnAst};
+use std::fmt::Write as _;
+
+/// Prints one module as parseable MinC source.
+pub fn print_module(m: &ModuleAst) -> String {
+    let mut out = String::new();
+    for item in &m.items {
+        match item {
+            Item::Fn(f) => print_fn(&mut out, f),
+            Item::Global(g) => print_global(&mut out, g),
+            Item::Extern(e) => {
+                let _ = writeln!(out, "extern fn {}({});", e.name, e.arity);
+            }
+        }
+    }
+    out
+}
+
+/// Prints a whole program as `(module name, source)` pairs — the form the
+/// front end, the oracle and the daemon all consume.
+pub fn print_sources(modules: &[ModuleAst]) -> Vec<(String, String)> {
+    modules
+        .iter()
+        .map(|m| (m.name.clone(), print_module(m)))
+        .collect()
+}
+
+/// Total line count of a printed program — the size the shrinker minimizes
+/// and the measure the fuzz gate's "shrunk to N lines" criterion uses.
+pub fn source_lines(sources: &[(String, String)]) -> usize {
+    sources.iter().map(|(_, s)| s.lines().count()).sum()
+}
+
+fn print_global(out: &mut String, g: &GlobalDef) {
+    if g.is_static {
+        out.push_str("static ");
+    }
+    let _ = write!(out, "global {}", g.name);
+    if g.words != 1 {
+        let _ = write!(out, "[{}]", g.words);
+    }
+    if !g.init.is_empty() {
+        if g.words == 1 {
+            let _ = write!(out, " = {}", g.init[0]);
+        } else {
+            let vals: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+            let _ = write!(out, " = {{{}}}", vals.join(", "));
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_fn(out: &mut String, f: &FnDef) {
+    if f.attrs.noinline {
+        out.push_str("#[noinline] ");
+    }
+    if f.attrs.inline_hint {
+        out.push_str("#[inline] ");
+    }
+    if f.attrs.strict_fp {
+        out.push_str("#[strict_fp] ");
+    }
+    if f.is_static {
+        out.push_str("static ");
+    }
+    let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+    print_stmts(out, &f.body, 1);
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        print_stmt(out, s, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::VarDecl { name, init } => match init {
+            Some(e) => {
+                let _ = writeln!(out, "var {name} = {};", expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "var {name};");
+            }
+        },
+        Stmt::ArrayDecl { name, words } => {
+            let _ = writeln!(out, "var {name}[{words}];");
+        }
+        Stmt::Assign { target, value } => match target {
+            LValue::Name(n) => {
+                let _ = writeln!(out, "{n} = {};", expr(value));
+            }
+            LValue::Index(base, idx) => {
+                let _ = writeln!(out, "{}[{}] = {};", expr(base), expr(idx), expr(value));
+            }
+        },
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr(e));
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            print_stmts(out, then_, depth + 1);
+            if else_.is_empty() {
+                indent(out, depth);
+                out.push_str("}\n");
+            } else {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                print_stmts(out, else_, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let i = init.as_deref().map(simple_stmt).unwrap_or_default();
+            let c = cond.as_ref().map(expr).unwrap_or_default();
+            let st = step.as_deref().map(simple_stmt).unwrap_or_default();
+            let _ = writeln!(out, "for ({i}; {c}; {st}) {{");
+            print_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(v) => match v {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+    }
+}
+
+/// A statement in `for (...)` header position — no trailing `;`.
+fn simple_stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::VarDecl {
+            name,
+            init: Some(e),
+        } => format!("var {name} = {}", expr(e)),
+        Stmt::VarDecl { name, init: None } => format!("var {name} = 0"),
+        Stmt::Assign {
+            target: LValue::Name(n),
+            value,
+        } => format!("{n} = {}", expr(value)),
+        Stmt::Assign {
+            target: LValue::Index(b, i),
+            value,
+        } => format!("{}[{}] = {}", expr(b), expr(i), expr(value)),
+        Stmt::Expr(e) => expr(e),
+        // The parser only produces the forms above in header position;
+        // anything else would be a shrinker bug — print something valid.
+        _ => "0".to_string(),
+    }
+}
+
+fn bin_op(op: BinAst) -> &'static str {
+    match op {
+        BinAst::Add => "+",
+        BinAst::Sub => "-",
+        BinAst::Mul => "*",
+        BinAst::Div => "/",
+        BinAst::Rem => "%",
+        BinAst::And => "&",
+        BinAst::Or => "|",
+        BinAst::Xor => "^",
+        BinAst::Shl => "<<",
+        BinAst::Shr => ">>",
+        BinAst::Lt => "<",
+        BinAst::Le => "<=",
+        BinAst::Gt => ">",
+        BinAst::Ge => ">=",
+        BinAst::Eq => "==",
+        BinAst::Ne => "!=",
+        BinAst::LogAnd => "&&",
+        BinAst::LogOr => "||",
+    }
+}
+
+/// Prints an expression. Composite forms are parenthesized; negative
+/// literals are printed as subtractions because the grammar has no
+/// negative integer tokens (unary minus parses to `Un(Neg, _)`, a
+/// different — but semantically identical — tree).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) if *v >= 0 => v.to_string(),
+        Expr::Int(v) if *v == i64::MIN => format!("((0 - {}) - 1)", i64::MAX),
+        Expr::Int(v) => format!("(0 - {})", v.unsigned_abs()),
+        Expr::Name(n) => n.clone(),
+        Expr::AddrOf(n) => format!("(&{n})"),
+        Expr::Un(op, a) => {
+            let t = match op {
+                UnAst::Neg => "-",
+                UnAst::Not => "~",
+                UnAst::LogNot => "!",
+            };
+            format!("({t}{})", expr(a))
+        }
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), bin_op(*op), expr(b)),
+        Expr::Ternary(c, a, b) => format!("({} ? {} : {})", expr(c), expr(a), expr(b)),
+        Expr::Index(b, i) => format!("({}[{}])", expr(b), expr(i)),
+        Expr::Call(callee, args) => {
+            let a: Vec<String> = args.iter().map(expr).collect();
+            format!("{}({})", expr(callee), a.join(", "))
+        }
+        Expr::Intrinsic(name, args) => {
+            let a: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", a.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_frontc::parse_module;
+
+    #[test]
+    fn printed_text_reparses_to_the_same_text() {
+        let src = r#"
+            global errs = 3;
+            static global tab[4] = {1, 2, 3, 4};
+            #[noinline] static fn f(a, b) {
+                var s = 0;
+                for (var i = 0; i < (a & 7); i = i + 1) {
+                    if (i % 2 == 0) { s = s + tab[i & 3]; } else { continue; }
+                }
+                while (s > 100) { s = s - 1; break; }
+                return s ? a : -b;
+            }
+            fn main() { var h = &f; return h(2, 3) + f(4, errs); }
+        "#;
+        let ast1 = parse_module("m", src).unwrap();
+        let printed1 = print_module(&ast1);
+        let ast2 = parse_module("m", &printed1).unwrap();
+        let printed2 = print_module(&ast2);
+        assert_eq!(printed1, printed2, "printing must be a fixed point");
+    }
+
+    #[test]
+    fn negative_and_extreme_literals_survive() {
+        for v in [-1i64, -100, i64::MIN, i64::MAX] {
+            let src = format!("fn main() {{ return {}; }}", expr(&Expr::Int(v)));
+            let p = hlo_frontc::compile(&[("m", src.as_str())]).unwrap();
+            let out = hlo_vm::run_program(&p, &[], &hlo_vm::ExecOptions::default()).unwrap();
+            assert_eq!(out.ret, v, "literal {v} mangled by printing");
+        }
+    }
+
+    #[test]
+    fn source_lines_counts_all_modules() {
+        let sources = vec![
+            ("a".to_string(), "fn main() {\nreturn 0;\n}\n".to_string()),
+            ("b".to_string(), "global g;\n".to_string()),
+        ];
+        assert_eq!(source_lines(&sources), 4);
+    }
+}

@@ -1,0 +1,318 @@
+//! Flat-index traversal over MinC ASTs.
+//!
+//! The mutator and the shrinker both need to address "the N-th expression"
+//! or "the N-th statement" of a whole multi-module program without caring
+//! where it nests. These helpers assign every node a stable pre-order
+//! index (modules in order, items in order, statements depth-first, then
+//! each statement's expressions depth-first) so a single `u64` from the
+//! PRNG — or a loop counter in the shrinker — selects a unique edit site.
+
+use hlo_frontc::{Expr, Item, LValue, ModuleAst, Stmt};
+
+/// Applies `f` to every expression in the program, pre-order (parents
+/// before children). Only function bodies contain expressions — global
+/// initializers are plain `i64` constants.
+pub fn for_each_expr_mut(modules: &mut [ModuleAst], f: &mut impl FnMut(&mut Expr)) {
+    for m in modules {
+        for item in &mut m.items {
+            if let Item::Fn(fun) = item {
+                for s in &mut fun.body {
+                    stmt_exprs_mut(s, f);
+                }
+            }
+        }
+    }
+}
+
+fn expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(e);
+    match e {
+        Expr::Int(_) | Expr::Name(_) | Expr::AddrOf(_) => {}
+        Expr::Un(_, a) => expr_mut(a, f),
+        Expr::Bin(_, a, b) => {
+            expr_mut(a, f);
+            expr_mut(b, f);
+        }
+        Expr::Ternary(c, a, b) => {
+            expr_mut(c, f);
+            expr_mut(a, f);
+            expr_mut(b, f);
+        }
+        Expr::Index(b, i) => {
+            expr_mut(b, f);
+            expr_mut(i, f);
+        }
+        Expr::Call(c, args) => {
+            expr_mut(c, f);
+            for a in args {
+                expr_mut(a, f);
+            }
+        }
+        Expr::Intrinsic(_, args) => {
+            for a in args {
+                expr_mut(a, f);
+            }
+        }
+    }
+}
+
+fn stmt_exprs_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match s {
+        Stmt::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                expr_mut(e, f);
+            }
+        }
+        Stmt::ArrayDecl { .. } | Stmt::Break | Stmt::Continue => {}
+        Stmt::Assign { target, value } => {
+            if let LValue::Index(b, i) = target {
+                expr_mut(b, f);
+                expr_mut(i, f);
+            }
+            expr_mut(value, f);
+        }
+        Stmt::Expr(e) => expr_mut(e, f),
+        Stmt::If { cond, then_, else_ } => {
+            expr_mut(cond, f);
+            for s in then_ {
+                stmt_exprs_mut(s, f);
+            }
+            for s in else_ {
+                stmt_exprs_mut(s, f);
+            }
+        }
+        Stmt::While { cond, body } => {
+            expr_mut(cond, f);
+            for s in body {
+                stmt_exprs_mut(s, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                stmt_exprs_mut(s, f);
+            }
+            if let Some(e) = cond {
+                expr_mut(e, f);
+            }
+            if let Some(s) = step {
+                stmt_exprs_mut(s, f);
+            }
+            for s in body {
+                stmt_exprs_mut(s, f);
+            }
+        }
+        Stmt::Return(v) => {
+            if let Some(e) = v {
+                expr_mut(e, f);
+            }
+        }
+    }
+}
+
+/// Number of expression nodes in the program.
+pub fn expr_count(modules: &mut [ModuleAst]) -> usize {
+    let mut n = 0usize;
+    for_each_expr_mut(modules, &mut |_| n += 1);
+    n
+}
+
+/// Applies `f` to the expression with pre-order index `target`.
+/// Returns false when `target` is out of range.
+pub fn mutate_expr_at(modules: &mut [ModuleAst], target: usize, f: impl FnOnce(&mut Expr)) -> bool {
+    let mut i = 0usize;
+    let mut f = Some(f);
+    for_each_expr_mut(modules, &mut |e| {
+        if i == target {
+            if let Some(f) = f.take() {
+                f(e);
+            }
+        }
+        i += 1;
+    });
+    i > target
+}
+
+/// What to do with an addressed statement.
+enum StmtEdit {
+    /// Delete the statement (and everything nested inside it).
+    Remove,
+    /// Replace a compound statement by its children: `if` becomes
+    /// then-branch followed by else-branch; `while`/`for` become their
+    /// body. Leaf statements are left alone (the edit reports failure).
+    Unnest,
+}
+
+/// Number of statement nodes (at any nesting depth) in the program.
+pub fn stmt_count(modules: &[ModuleAst]) -> usize {
+    let mut n = 0;
+    for m in modules {
+        for item in &m.items {
+            if let Item::Fn(f) = item {
+                n += count_in(&f.body);
+            }
+        }
+    }
+    n
+}
+
+fn count_in(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        n += 1;
+        match s {
+            Stmt::If { then_, else_, .. } => n += count_in(then_) + count_in(else_),
+            Stmt::While { body, .. } => n += count_in(body),
+            Stmt::For { body, .. } => n += count_in(body),
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Removes the statement with depth-first index `target`. Returns false if
+/// the index is out of range.
+pub fn remove_stmt_at(modules: &mut [ModuleAst], target: usize) -> bool {
+    edit_stmt_at(modules, target, StmtEdit::Remove)
+}
+
+/// Replaces compound statement `target` with its children (see
+/// [`StmtEdit::Unnest`]). Returns false for leaf statements or an
+/// out-of-range index.
+pub fn unnest_stmt_at(modules: &mut [ModuleAst], target: usize) -> bool {
+    edit_stmt_at(modules, target, StmtEdit::Unnest)
+}
+
+fn edit_stmt_at(modules: &mut [ModuleAst], target: usize, edit: StmtEdit) -> bool {
+    let mut counter = 0usize;
+    for m in modules {
+        for item in &mut m.items {
+            if let Item::Fn(f) = item {
+                match edit_in(&mut f.body, target, &mut counter, &edit) {
+                    Outcome::Done => return true,
+                    Outcome::Failed => return false,
+                    Outcome::NotHere => {}
+                }
+            }
+        }
+    }
+    false
+}
+
+enum Outcome {
+    Done,
+    Failed,
+    NotHere,
+}
+
+fn edit_in(stmts: &mut Vec<Stmt>, target: usize, counter: &mut usize, edit: &StmtEdit) -> Outcome {
+    let mut i = 0usize;
+    while i < stmts.len() {
+        if *counter == target {
+            match edit {
+                StmtEdit::Remove => {
+                    stmts.remove(i);
+                    return Outcome::Done;
+                }
+                StmtEdit::Unnest => {
+                    let children = match &mut stmts[i] {
+                        Stmt::If { then_, else_, .. } => {
+                            let mut c = std::mem::take(then_);
+                            c.append(else_);
+                            c
+                        }
+                        Stmt::While { body, .. } | Stmt::For { body, .. } => std::mem::take(body),
+                        _ => return Outcome::Failed,
+                    };
+                    stmts.splice(i..=i, children);
+                    return Outcome::Done;
+                }
+            }
+        }
+        *counter += 1;
+        let nested = match &mut stmts[i] {
+            Stmt::If { then_, else_, .. } => match edit_in(then_, target, counter, edit) {
+                Outcome::NotHere => edit_in(else_, target, counter, edit),
+                done => done,
+            },
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                edit_in(body, target, counter, edit)
+            }
+            _ => Outcome::NotHere,
+        };
+        match nested {
+            Outcome::NotHere => {}
+            done => return done,
+        }
+        i += 1;
+    }
+    Outcome::NotHere
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_frontc::parse_module;
+
+    fn prog() -> Vec<ModuleAst> {
+        vec![parse_module(
+            "m",
+            r#"
+            fn main() {
+                var s = 1 + 2;
+                if (s > 2) { s = s * 3; } else { s = 0; }
+                while (s > 0) { s = s - 1; }
+                return s;
+            }
+            "#,
+        )
+        .unwrap()]
+    }
+
+    #[test]
+    fn counts_are_stable_and_nested() {
+        let mut p = prog();
+        // main: var, if, then-assign, else-assign, while, body-assign, return = 7
+        assert_eq!(stmt_count(&p), 7);
+        assert!(expr_count(&mut p) > 10);
+    }
+
+    #[test]
+    fn remove_targets_nested_statements() {
+        let mut p = prog();
+        // Index 2 is the then-branch assignment.
+        assert!(remove_stmt_at(&mut p, 2));
+        assert_eq!(stmt_count(&p), 6);
+        assert!(!remove_stmt_at(&mut p, 99));
+    }
+
+    #[test]
+    fn unnest_flattens_if_and_loops() {
+        let mut p = prog();
+        // Index 1 is the `if`: unnesting replaces it by both branch bodies.
+        assert!(unnest_stmt_at(&mut p, 1));
+        assert_eq!(stmt_count(&p), 6);
+        // A leaf cannot be unnested.
+        assert!(!unnest_stmt_at(&mut p, 0));
+    }
+
+    #[test]
+    fn mutate_expr_hits_the_indexed_node() {
+        let mut p = prog();
+        let n = expr_count(&mut p);
+        let mut changed = 0;
+        for i in 0..n {
+            let mut q = p.clone();
+            assert!(mutate_expr_at(&mut q, i, |e| *e = Expr::Int(7)));
+            if q != p {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, n, "every index must address a distinct node");
+        assert!(!mutate_expr_at(&mut p, n, |e| *e = Expr::Int(7)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Regression corpus replay.
+//!
+//! `crates/fuzz/corpus/` holds checked-in reproducers produced by the
+//! shrinker from campaigns against the planted inliner fault
+//! (`hlo::fault`). Two properties must hold forever:
+//!
+//! 1. on the *current* optimizer every reproducer replays clean — the
+//!    corpus is the gate's institutional memory of past divergences;
+//! 2. with the planted fault armed every reproducer still trips the
+//!    finding recorded in its header — proving the files are live
+//!    reproducers, not stale text.
+//!
+//! Regenerate with
+//! `cargo test -p hlo-fuzz --test regressions regenerate -- --ignored`.
+
+use std::path::{Path, PathBuf};
+
+use hlo_fuzz::{
+    gen, load_reproducer, oracle, shrink, write_reproducer, CaseOutcome, GenConfig, OracleConfig,
+    ReproBody, Reproducer, ShrinkConfig,
+};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every reproducer in the corpus, sorted by file name so the
+/// assertion order is stable.
+fn load_corpus() -> Vec<(PathBuf, Reproducer)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("mc") | Some("hlo")
+            )
+        })
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let r = load_reproducer(&p)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.display()));
+            (p, r)
+        })
+        .collect()
+}
+
+fn replay(r: &Reproducer, oc: &OracleConfig) -> CaseOutcome {
+    match &r.body {
+        ReproBody::Minc(sources) => oracle::check_sources(sources, oc),
+        ReproBody::Ir(text) => {
+            let p = hlo_ir::parse_program_text(text).expect("corpus IR parses");
+            oracle::check_program(&p, oc)
+        }
+    }
+}
+
+/// Property 1: the corpus replays clean on today's optimizer, through the
+/// full config matrix.
+#[test]
+fn corpus_replays_clean_on_the_current_optimizer() {
+    let corpus = load_corpus();
+    assert!(
+        corpus.len() >= 3,
+        "expected at least 3 checked-in reproducers, found {}",
+        corpus.len()
+    );
+    let oc = OracleConfig::default();
+    for (path, r) in &corpus {
+        r.compile()
+            .unwrap_or_else(|e| panic!("{} does not compile: {e}", path.display()));
+        match replay(r, &oc) {
+            CaseOutcome::Pass | CaseOutcome::Skip(_) => {}
+            CaseOutcome::Fail(f) => panic!(
+                "{} regressed: {} ({}) — {}",
+                path.display(),
+                f.kind,
+                f.config,
+                f.detail
+            ),
+        }
+    }
+}
+
+/// Property 2: each reproducer is live — arming the fault it was shrunk
+/// against reproduces the recorded finding kind.
+#[test]
+fn corpus_still_trips_the_fault_it_was_shrunk_from() {
+    let _guard = hlo::fault::FaultGuard::arm();
+    let oc = OracleConfig::default();
+    for (path, r) in load_corpus() {
+        match replay(&r, &oc) {
+            CaseOutcome::Fail(f) => assert_eq!(
+                f.kind.to_string(),
+                r.kind,
+                "{} tripped a different finding than recorded",
+                path.display()
+            ),
+            other => panic!(
+                "{} no longer reproduces with the fault armed: {other:?}",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// Rebuilds the corpus: scans seeds for programs that trip the planted
+/// fault, shrinks each, and writes the first three reproducers. Run
+/// explicitly (`-- --ignored`) after generator or printer changes, then
+/// review and commit the files.
+#[test]
+#[ignore = "writes into crates/fuzz/corpus; run explicitly to regenerate"]
+fn regenerate() {
+    let _guard = hlo::fault::FaultGuard::arm();
+    let oc = OracleConfig::quick();
+    let mut written = 0usize;
+    for seed in 0..400u64 {
+        let modules = gen::generate_modules(seed, &GenConfig::default());
+        let sources = hlo_fuzz::print::print_sources(&modules);
+        let finding = match oracle::check_sources(&sources, &oc) {
+            CaseOutcome::Fail(f) => f,
+            _ => continue,
+        };
+        let want = finding.kind;
+        let mut pred = |s: &[(String, String)]| {
+            matches!(oracle::check_sources(s, &oc),
+                     CaseOutcome::Fail(f) if f.kind == want)
+        };
+        let out = shrink(modules, &ShrinkConfig::default(), &mut pred);
+        let repro = Reproducer {
+            kind: finding.kind.to_string(),
+            config: finding.config,
+            seed,
+            iter: seed,
+            fingerprint: finding.options_fingerprint,
+            body: ReproBody::Minc(out.sources),
+        };
+        let path = write_reproducer(&corpus_dir(), &repro).expect("corpus write");
+        eprintln!("regenerated {}", path.display());
+        written += 1;
+        if written == 3 {
+            return;
+        }
+    }
+    panic!("only {written} of 3 reproducers regenerated in 400 seeds");
+}

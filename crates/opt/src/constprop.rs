@@ -174,7 +174,66 @@ pub fn propagate(f: &mut Function) -> ConstPropStats {
             transfer(inst, &mut state);
         }
     }
+    if stats.branches_folded > 0 {
+        repair_profile(f);
+    }
     stats
+}
+
+/// Folding a branch disconnects CFG edges, which can strand profile
+/// estimates: a loop header annotated for N iterations keeps its count
+/// after the back edge is proven dead, violating flow conservation
+/// (checked by `hlo-lint`). Zero the counts of blocks that became
+/// unreachable and clamp every reachable block to its inflow (entry count
+/// plus reachable-predecessor counts). The clamp is swept in block order
+/// until fixpoint; deficits only propagate along acyclic paths — a cycle
+/// justifies its members through its own back edge — so `n` sweeps
+/// suffice.
+fn repair_profile(f: &mut Function) {
+    let n = f.blocks.len();
+    match &f.profile {
+        Some(p) if p.blocks.len() == n => {}
+        _ => return,
+    }
+    let mut reach = vec![false; n];
+    reach[0] = true;
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        for s in f.blocks[b].successors() {
+            if !reach[s.index()] {
+                reach[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in (0..n).filter(|&b| reach[b]) {
+        for s in f.blocks[b].successors() {
+            preds[s.index()].push(b);
+        }
+    }
+    let p = f.profile.as_mut().expect("checked above");
+    for (b, r) in reach.iter().enumerate() {
+        if !r {
+            p.blocks[b] = 0.0;
+        }
+    }
+    for _ in 0..n {
+        let mut changed = false;
+        for b in (0..n).filter(|&b| reach[b]) {
+            let mut inflow = if b == 0 { p.entry } else { 0.0 };
+            for &pr in &preds[b] {
+                inflow += p.blocks[pr];
+            }
+            if p.blocks[b] > inflow {
+                p.blocks[b] = inflow;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 fn transfer(inst: &Inst, state: &mut [Lat]) {
@@ -334,6 +393,34 @@ mod tests {
         let st = propagate(&mut f);
         assert_eq!(st.branches_folded, 1);
         assert!(matches!(f.blocks[0].insts.last(), Some(Inst::Jump { target }) if *target == z));
+    }
+
+    #[test]
+    fn folding_a_dead_loop_repairs_the_profile() {
+        // while (0) { }: entry -> header; header -> body | exit on a
+        // constant-false condition; body -> header. The static estimate
+        // gives the header a looping count; once the branch folds, the
+        // body is unreachable and the header must drop to its acyclic
+        // inflow or the flow-conservation lint fires mid-pipeline.
+        let mut fb = FunctionBuilder::new("f", ModuleId(0), 0);
+        let e = fb.entry_block();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(e, header);
+        let c = fb.iconst(header, 0);
+        fb.br(header, c.into(), body, exit);
+        fb.jump(body, header);
+        fb.ret(exit, None);
+        let mut f = fb.finish(Linkage::Public, Type::Void);
+        f.profile = Some(hlo_ir::FuncProfile {
+            entry: 1.0,
+            blocks: vec![1.0, 11.0, 10.0, 1.0],
+        });
+        let st = propagate(&mut f);
+        assert_eq!(st.branches_folded, 1);
+        let p = f.profile.as_ref().unwrap();
+        assert_eq!(p.blocks, vec![1.0, 1.0, 0.0, 1.0]);
     }
 
     #[test]

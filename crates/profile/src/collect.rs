@@ -76,6 +76,24 @@ pub fn collect_profile(
     Ok((c.finish(p), out))
 }
 
+impl ProfileDb {
+    /// Synthesizes a database from one instrumented VM execution of `p` —
+    /// the training-run loop as a single call, for callers (the fuzzer,
+    /// generated-program harnesses) that want *real* counts for an
+    /// arbitrary program instead of a hand-written profile.
+    ///
+    /// Unlike [`collect_profile`] this tolerates trapping programs: a run
+    /// that traps after executing some code still yields the counts
+    /// gathered up to the fault (the training run "crashed", but the
+    /// profile is genuine). Only a run that traps before entering `main`
+    /// produces an empty database.
+    pub fn from_vm_trace(p: &Program, args: &[i64], opts: &ExecOptions) -> ProfileDb {
+        let mut c = ProfileCollector::new(p);
+        let _ = run_with_monitor(p, args, opts, &mut c);
+        c.finish(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +131,38 @@ mod tests {
         let (db, _) = collect_profile(&p, &[], &ExecOptions::default()).unwrap();
         assert!(db.get("m", "cold").is_none());
         assert!(db.get("m", "main").is_some());
+    }
+
+    #[test]
+    fn from_vm_trace_matches_collect_and_roundtrips_text() {
+        let p = looping_program();
+        let db = ProfileDb::from_vm_trace(&p, &[], &ExecOptions::default());
+        let (collected, _) = collect_profile(&p, &[], &ExecOptions::default()).unwrap();
+        assert_eq!(db, collected);
+        // Round-trip through the on-disk text form.
+        let back = ProfileDb::from_text(&db.to_text()).unwrap();
+        assert_eq!(db, back);
+        assert!(back.get("m", "work").is_some());
+    }
+
+    #[test]
+    fn from_vm_trace_keeps_counts_from_a_trapping_run() {
+        let p = hlo_frontc::compile(&[(
+            "m",
+            r#"
+            fn crash(n) {
+                var s = 0;
+                for (var i = 0; i < n; i = i + 1) { s = s + i; }
+                return s / (n - n);
+            }
+            fn main() { return crash(10); }
+            "#,
+        )])
+        .unwrap();
+        let db = ProfileDb::from_vm_trace(&p, &[], &ExecOptions::default());
+        let c = db.get("m", "crash").expect("crash ran before trapping");
+        assert_eq!(c.entry, 1);
+        assert!(c.blocks.iter().any(|&b| b >= 10), "{:?}", c.blocks);
     }
 
     #[test]

@@ -72,6 +72,52 @@ fn optimize_roundtrip_matches_in_process_and_warms_the_cache() {
 }
 
 #[test]
+fn fuzz_generated_programs_round_trip_byte_identical() {
+    // The cache key must be a pure function of (sources, options): for
+    // arbitrary generated programs the daemon's cold answer equals a
+    // fresh in-process optimize byte for byte, and the warm answer is a
+    // pure lookup returning the same bytes.
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    for seed in 0..8u64 {
+        let sources = hlo_fuzz::gen::generate_sources(seed, &hlo_fuzz::GenConfig::default());
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_str()))
+            .collect();
+        let mut program = hlo_frontc::compile(&refs).unwrap();
+        hlo::optimize(&mut program, None, &hlo::HloOptions::default());
+        let expect_ir = hlo_ir::program_to_text(&program);
+
+        let req = OptimizeRequest::from_minc(sources.clone());
+        let cold = client.optimize(&req).unwrap();
+        assert!(!cold.outcome.hit, "seed {seed}: first sight must miss");
+        assert_eq!(
+            cold.ir_text, expect_ir,
+            "seed {seed}: daemon differs from in-process optimize"
+        );
+
+        let warm = client.optimize(&req).unwrap();
+        assert!(warm.outcome.hit, "seed {seed}: repeat must be a cache hit");
+        assert_eq!(
+            warm.ir_text, cold.ir_text,
+            "seed {seed}: warm response not byte-identical"
+        );
+        assert_eq!(warm.outcome.func_misses, 0, "seed {seed}: warm cone miss");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 16);
+    assert_eq!(stats.hits, 8);
+    assert_eq!(stats.misses, 8);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
 fn malformed_and_oversized_frames_get_an_error_not_a_crash() {
     let server = spawn_default();
     let addr = server.local_addr();

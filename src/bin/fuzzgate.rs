@@ -1,0 +1,98 @@
+//! `cargo fuzzgate` — the CI fuzzing gate.
+//!
+//! Two phases, both with fixed seeds so the gate is deterministic:
+//!
+//! 1. **Clean sweep** — ≥500 generated cases through the full oracle
+//!    matrix. Any finding fails the gate: the optimizer must not
+//!    miscompile, panic, emit unverifiable IR, or be jobs-nondeterministic
+//!    on anything the generators produce.
+//! 2. **Sensitivity check** — the same pipeline with the planted inliner
+//!    fault armed (`hlo::fault`). The gate *must* find at least one
+//!    divergence and shrink it to a small reproducer; if it cannot, the
+//!    oracle has gone blind and a green phase 1 means nothing.
+//!
+//! Usage: `cargo fuzzgate [iters]` (default 500 phase-1 iterations).
+
+use aggressive_inlining::{fuzz, hlo};
+use std::process::ExitCode;
+
+/// Phase-2 reproducers must shrink to at most this many source lines.
+const MAX_SHRUNK_LINES: usize = 15;
+
+fn main() -> ExitCode {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("usage: fuzzgate [iters]"))
+        .unwrap_or(500);
+
+    // Phase 1: the optimizer must survive a clean sweep.
+    let clean = fuzz::run_campaign(&fuzz::CampaignConfig {
+        seed: 0x5eed_0001,
+        iters,
+        daemon_every: 25,
+        quiet: true,
+        ..Default::default()
+    });
+    eprintln!(
+        "fuzzgate phase 1: {} executed ({} passed, {} skipped), {} daemon checks, \
+         {} findings in {:.1?}",
+        clean.executed,
+        clean.passed,
+        clean.skipped,
+        clean.daemon_checks,
+        clean.findings.len(),
+        clean.elapsed
+    );
+    if !clean.findings.is_empty() {
+        for f in &clean.findings {
+            eprintln!(
+                "fuzzgate: FINDING {} ({}) at iter {}, {} lines",
+                f.finding.kind, f.finding.config, f.iter, f.lines
+            );
+            eprintln!("{}", f.repro.format());
+        }
+        return ExitCode::from(1);
+    }
+
+    // Phase 2: with a planted fault the gate must light up, and the
+    // shrinker must get the reproducer small.
+    let faulty = {
+        let _guard = hlo::fault::FaultGuard::arm();
+        fuzz::run_campaign(&fuzz::CampaignConfig {
+            seed: 0x5eed_0002,
+            iters: 200,
+            stop_after: 1,
+            oracle: fuzz::OracleConfig::quick(),
+            quiet: true,
+            ..Default::default()
+        })
+    };
+    let caught = faulty
+        .findings
+        .iter()
+        .find(|f| f.finding.kind == fuzz::FindingKind::BehaviorDivergence);
+    match caught {
+        None => {
+            eprintln!(
+                "fuzzgate phase 2: planted fault NOT caught in {} cases — oracle is blind",
+                faulty.executed
+            );
+            ExitCode::from(1)
+        }
+        Some(f) if f.lines > MAX_SHRUNK_LINES => {
+            eprintln!(
+                "fuzzgate phase 2: caught the planted fault but shrank it to {} lines \
+                 (limit {MAX_SHRUNK_LINES})",
+                f.lines
+            );
+            ExitCode::from(1)
+        }
+        Some(f) => {
+            eprintln!(
+                "fuzzgate phase 2: planted fault caught at iter {} and shrunk to {} lines; gate green",
+                f.iter, f.lines
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

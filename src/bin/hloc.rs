@@ -6,6 +6,7 @@
 //! hloc run   <file.mc>... [--arg N]   compile without HLO and execute
 //! hloc lint  <file.mc>... [--pedantic]  static-analysis report (no optimization)
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
+//! hloc fuzz [OPTIONS]                 differential-fuzz the optimizer
 //! hloc serve [OPTIONS]                run the optimization daemon in-process
 //! hloc remote <addr> build|stats|ping|shutdown
 //!                                     talk to a running daemon (hlod)
@@ -21,7 +22,7 @@
 //! `--trace N`, `--sim`, `--arg N`, `--verify-each`,
 //! `--check off|structural|strict`.
 
-use aggressive_inlining::{analysis, frontc, hlo, ir, lint, profile, serve, sim, vm};
+use aggressive_inlining::{analysis, frontc, fuzz, hlo, ir, lint, profile, serve, sim, vm};
 use std::process::ExitCode;
 
 /// Compile-time capabilities baked into this binary; the workspace has no
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "run" => run_plain(rest).map(|_| ExitCode::SUCCESS),
         "lint" => lint_cmd(rest),
         "classify" => classify(rest).map(|_| ExitCode::SUCCESS),
+        "fuzz" => fuzz_cmd(rest),
         "serve" => serve_cmd(rest).map(|_| ExitCode::SUCCESS),
         "remote" => remote_cmd(rest).map(|_| ExitCode::SUCCESS),
         "--version" | "-V" | "version" => {
@@ -71,6 +73,10 @@ USAGE:
   hloc run <file.mc>... [--arg N]
   hloc lint <file.mc>... [--pedantic]  static-analysis report (exit 1 on findings)
   hloc classify <file.mc>...
+  hloc fuzz [--seed S] [--iters N] [--budget-secs T] [--corpus DIR]
+            [--stop-after N] [--daemon-every N] [--quick] [--quiet]
+                                       differential-fuzz the optimizer
+                                       (exit 1 when findings are written)
   hloc serve [--addr A] [--workers N] [--queue N] [--cache N]
                                        run the optimization daemon in-process
   hloc remote <addr> build [OPTIONS] <file.mc>...
@@ -566,6 +572,89 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
         None => {}
     }
     Ok(())
+}
+
+/// `hloc fuzz`: run a differential fuzzing campaign against the optimizer
+/// and write shrunk reproducers for anything it finds. Exit status 1 when
+/// there are findings.
+fn fuzz_cmd(rest: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = fuzz::CampaignConfig {
+        corpus_dir: Some(std::path::PathBuf::from("crates/fuzz/corpus")),
+        quiet: false,
+        ..Default::default()
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                let digits = v.strip_prefix("0x").unwrap_or(&v);
+                let radix = if digits.len() < v.len() { 16 } else { 10 };
+                cfg.seed = u64::from_str_radix(digits, radix)
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--iters" => {
+                cfg.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "bad --iters value".to_string())?
+            }
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs")?
+                    .parse()
+                    .map_err(|_| "bad --budget-secs value".to_string())?;
+                cfg.budget = Some(std::time::Duration::from_secs(secs));
+            }
+            "--corpus" => cfg.corpus_dir = Some(value("--corpus")?.into()),
+            "--stop-after" => {
+                cfg.stop_after = value("--stop-after")?
+                    .parse()
+                    .map_err(|_| "bad --stop-after value".to_string())?
+            }
+            "--daemon-every" => {
+                cfg.daemon_every = value("--daemon-every")?
+                    .parse()
+                    .map_err(|_| "bad --daemon-every value".to_string())?
+            }
+            "--quick" => cfg.oracle = fuzz::OracleConfig::quick(),
+            "--quiet" => cfg.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let report = fuzz::run_campaign(&cfg);
+    eprintln!(
+        "fuzz: {} executed ({} passed, {} skipped, {} mutants discarded), \
+         {} daemon checks, {} findings in {:.1?}",
+        report.executed,
+        report.passed,
+        report.skipped,
+        report.mutants_discarded,
+        report.daemon_checks,
+        report.findings.len(),
+        report.elapsed
+    );
+    for f in &report.findings {
+        eprintln!(
+            "  {} ({}) iter {} -> {} lines{}",
+            f.finding.kind,
+            f.finding.config,
+            f.iter,
+            f.lines,
+            f.path
+                .as_deref()
+                .map(|p| format!(", {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    Ok(if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn classify(rest: &[String]) -> Result<(), String> {

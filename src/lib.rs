@@ -17,6 +17,8 @@
 //! * [`suite`] — the 14 SPEC-shaped benchmark programs.
 //! * [`serve`] — the persistent optimization daemon (`hlod`) and its
 //!   content-addressed result cache.
+//! * [`fuzz`] — the differential fuzzer: program generators, the VM
+//!   translation-validation oracle, and the failure shrinker.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -24,6 +26,7 @@
 pub use hlo;
 pub use hlo_analysis as analysis;
 pub use hlo_frontc as frontc;
+pub use hlo_fuzz as fuzz;
 pub use hlo_ir as ir;
 pub use hlo_lint as lint;
 pub use hlo_opt as opt;

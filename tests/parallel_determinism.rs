@@ -4,7 +4,7 @@
 //! any job count — partition planning, parallel cleanup and the shared
 //! call-graph cache may only change *when* work happens, never *what*.
 
-use aggressive_inlining::{hlo, ir, suite};
+use aggressive_inlining::{fuzz, hlo, ir, suite};
 
 fn optimized_text(b: &suite::Benchmark, opts: &hlo::HloOptions) -> (String, hlo::HloReport) {
     let mut p = b.compile().expect("suite program compiles");
@@ -46,6 +46,39 @@ fn suite_ir_is_identical_across_job_counts() {
                 );
                 assert_eq!(report.jobs, jobs as u64, "{} reported jobs", b.name);
             }
+        }
+    }
+}
+
+#[test]
+fn fuzz_generated_programs_are_identical_across_job_counts() {
+    // The suite programs above are hand-written and fixed; fuzz-generated
+    // programs sweep shapes the suite never takes (deep recursion,
+    // dispatchers through function pointers, pragma mixes). Same contract:
+    // byte-identical IR at any job count.
+    for seed in 0..8u64 {
+        let sources = fuzz::generate_sources(seed, &fuzz::GenConfig::default());
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_str()))
+            .collect();
+        let compile = || aggressive_inlining::frontc::compile(&refs).expect("generated compiles");
+        let opts = |jobs| hlo::HloOptions {
+            jobs,
+            scope: hlo::Scope::CrossModule,
+            ..Default::default()
+        };
+        let mut base = compile();
+        hlo::optimize(&mut base, None, &opts(1));
+        let base_text = ir::program_to_text(&base);
+        for jobs in [2, 8] {
+            let mut p = compile();
+            hlo::optimize(&mut p, None, &opts(jobs));
+            assert_eq!(
+                base_text,
+                ir::program_to_text(&p),
+                "fuzz seed {seed} diverged at jobs={jobs}"
+            );
         }
     }
 }
