@@ -12,11 +12,13 @@
 
 use crate::budget::Budget;
 use crate::driver::{HloOptions, Scope};
+use crate::inliner::site_str;
 use crate::legality::clone_restriction;
 use crate::par::{effective_jobs, par_map};
 use crate::transform::{make_clone, redirect_site_to_clone, scale_profile};
 use hlo_analysis::{CallGraph, CallGraphCache, CallGraphPartition, CallSiteRef};
 use hlo_ir::{Callee, ConstVal, FuncId, Function, Inst, Linkage, Operand, Program};
+use hlo_trace::{DecisionEvent, DecisionKind, Tracer, Verdict};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -166,22 +168,42 @@ fn context_of(p: &Program, site: &CallSiteRef) -> Vec<Option<ConstVal>> {
 }
 
 /// Builds one partition's clone groups greedily (Figure 3 "build clone
-/// groups"), scanning only the partition's own edges. Read-only.
+/// groups"), scanning only the partition's own edges. Read-only; when
+/// `explain` is set, legality rejections come back as decision events
+/// (seed-loop only, so each restricted edge reports exactly once).
 fn build_groups(
     p: &Program,
     cg: &CallGraph,
     part: &CallGraphPartition,
     usage: &[Vec<f64>],
     opts: &HloOptions,
-) -> Vec<CloneGroup> {
+    pass: u32,
+    explain: bool,
+) -> (Vec<CloneGroup>, Vec<DecisionEvent>) {
     let mut claimed: HashSet<usize> = HashSet::new();
     let mut groups: Vec<CloneGroup> = Vec::new();
+    let mut events: Vec<DecisionEvent> = Vec::new();
     for &ei in &part.edge_indices {
         if claimed.contains(&ei) {
             continue;
         }
         let edge = &cg.edges[ei];
-        if clone_restriction(p, &edge.site, opts.scope).is_some() {
+        if let Some(r) = clone_restriction(p, &edge.site, opts.scope) {
+            if explain {
+                events.push(DecisionEvent {
+                    pass,
+                    kind: DecisionKind::Clone,
+                    site: site_str(p, &edge.site),
+                    callee: p.func(edge.callee).name.clone(),
+                    verdict: Verdict::Rejected,
+                    reason: r.code(),
+                    benefit: 0.0,
+                    cost: 0,
+                    budget_before: 0,
+                    budget_after: 0,
+                    profile_weight: site_weight(p, &edge.site),
+                });
+            }
             continue;
         }
         let callee = edge.callee;
@@ -263,7 +285,16 @@ fn build_groups(
             retires_clonee,
         });
     }
-    groups
+    (groups, events)
+}
+
+/// The profile count of a call site's block (1.0 when unannotated).
+fn site_weight(p: &Program, site: &CallSiteRef) -> f64 {
+    p.func(site.caller)
+        .profile
+        .as_ref()
+        .map(|pr| pr.blocks[site.block.index()])
+        .unwrap_or(1.0)
 }
 
 /// One partition's ranked groups plus its slice of the stage budget.
@@ -275,6 +306,7 @@ struct PartitionGroups {
 
 /// Runs one cloning pass under the stage budget. `ops_left` is the
 /// Figure 8 knob: each site replacement consumes one operation.
+#[allow(clippy::too_many_arguments)] // mirrors `inline_pass` plus the cross-pass clone database
 pub fn clone_pass(
     p: &mut Program,
     budget: &mut Budget,
@@ -283,9 +315,11 @@ pub fn clone_pass(
     db: &mut CloneDb,
     ops_left: &mut Option<u64>,
     cache: &mut CallGraphCache,
+    tracer: &mut Tracer,
 ) -> ClonePassResult {
     let mut result = ClonePassResult::default();
     let jobs = effective_jobs(opts.jobs);
+    let explain = tracer.decisions_enabled();
     let plan_start = Instant::now();
     let mut par_work = Duration::ZERO;
     let mut par_wall = Duration::ZERO;
@@ -298,44 +332,49 @@ pub fn clone_pass(
     let usage = usage_out.results;
     par_work += usage_out.work;
 
-    // Build clone groups, one partition per work item.
+    // Build clone groups, one partition per work item. The workers'
+    // legality-rejection events are absorbed sequentially in partition
+    // order — the order a sequential run would emit them.
     let mut parts: Vec<PartitionGroups> = {
         let cg = cache.graph(p);
         let partitions = cg.partitions();
         let p_ref: &Program = p;
         let t = Instant::now();
         let out = par_map(jobs, &partitions, |_, part| {
-            build_groups(p_ref, cg, part, &usage, opts)
+            build_groups(p_ref, cg, part, &usage, opts, pass as u32, explain)
         });
         par_wall += t.elapsed();
         par_work += out.work;
-        partitions
-            .iter()
-            .zip(out.results)
-            .filter(|(_, groups)| !groups.is_empty())
-            .map(|(part, mut groups)| {
-                // Rank by benefit (Figure 3 "select clones"); the stable
-                // sort breaks ties by discovery (edge) order.
-                groups.sort_by(|a, b| {
-                    b.benefit
-                        .partial_cmp(&a.benefit)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                let cost = part
-                    .funcs
-                    .iter()
-                    .map(|&f| {
-                        let s = p_ref.func(f).size();
-                        s * s
-                    })
-                    .sum();
-                PartitionGroups {
-                    groups,
-                    cost,
-                    share: 0,
-                }
-            })
-            .collect()
+        let mut parts = Vec::new();
+        for (part, (mut groups, events)) in partitions.iter().zip(out.results) {
+            for e in events {
+                tracer.decision(e);
+            }
+            if groups.is_empty() {
+                continue;
+            }
+            // Rank by benefit (Figure 3 "select clones"); the stable
+            // sort breaks ties by discovery (edge) order.
+            groups.sort_by(|a, b| {
+                b.benefit
+                    .partial_cmp(&a.benefit)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let cost = part
+                .funcs
+                .iter()
+                .map(|&f| {
+                    let s = p_ref.func(f).size();
+                    s * s
+                })
+                .sum();
+            parts.push(PartitionGroups {
+                groups,
+                cost,
+                share: 0,
+            });
+        }
+        parts
     };
 
     // Split the stage headroom proportionally to partition compile cost
@@ -374,8 +413,25 @@ pub fn clone_pass(
                 callee_size * callee_size
             };
             if spent.saturating_add(cost) > part.share || !budget.fits(pass, cost) {
+                if explain {
+                    tracer.decision(DecisionEvent {
+                        pass: pass as u32,
+                        kind: DecisionKind::Clone,
+                        site: site_str(p, &g.sites[0]),
+                        callee: p.func(g.spec.callee).name.clone(),
+                        verdict: Verdict::Deferred,
+                        reason: "budget-discarded",
+                        benefit: g.benefit,
+                        cost,
+                        budget_before: budget.current(),
+                        budget_after: budget.current(),
+                        profile_weight: site_weight(p, &g.sites[0]),
+                    });
+                }
                 continue; // discarded; may be recreated next pass
             }
+            let budget_before = budget.current();
+            let first_site = g.sites[0];
 
             // Materialize through the database.
             let mut created = false;
@@ -432,11 +488,36 @@ pub fn clone_pass(
             // Optimize the new clone so the bound constants take effect
             // before costing (Figure 3 "optimize clones and recalibrate").
             // Reused clones were already paid for when they were created.
+            let mut charged = 0u64;
             if created {
                 hlo_opt::optimize_function(p.func_mut(clone_id));
                 let s = p.func(clone_id).size();
                 budget.charge(s * s);
                 spent = spent.saturating_add(s * s);
+                charged = s * s;
+            }
+            if explain {
+                // One event per group: the first site stands for the
+                // group, the cost is what was actually charged.
+                tracer.decision(DecisionEvent {
+                    pass: pass as u32,
+                    kind: DecisionKind::Clone,
+                    site: site_str(p, &first_site),
+                    callee: p.func(clone_id).name.clone(),
+                    verdict: Verdict::Performed,
+                    reason: if db_hit {
+                        "db-reuse"
+                    } else if g.retires_clonee {
+                        "retires-clonee"
+                    } else {
+                        "accepted"
+                    },
+                    benefit: g.benefit,
+                    cost: charged,
+                    budget_before,
+                    budget_after: budget.current(),
+                    profile_weight: site_weight(p, &first_site),
+                });
             }
         }
     }
@@ -499,6 +580,7 @@ mod tests {
             &mut db,
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         )
     }
 
@@ -590,7 +672,16 @@ mod tests {
         let mut cache = CallGraphCache::new();
         let opts = HloOptions::default();
         let mut ops = Some(1u64);
-        let r1 = clone_pass(&mut p, &mut budget, 0, &opts, &mut db, &mut ops, &mut cache);
+        let r1 = clone_pass(
+            &mut p,
+            &mut budget,
+            0,
+            &opts,
+            &mut db,
+            &mut ops,
+            &mut cache,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(r1.clones_created, 1, "{r1:?}");
         assert_eq!(r1.sites_replaced, 1);
         let r2 = clone_pass(
@@ -601,6 +692,7 @@ mod tests {
             &mut db,
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         assert_eq!(r2.clones_created, 0, "{r2:?}");
         assert_eq!(r2.clones_reused, 1);
@@ -636,6 +728,7 @@ mod tests {
             &mut db,
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         // f has another caller with a different constant, so neither group
         // retires the clonee; zero budget ⇒ nothing happens.
@@ -700,6 +793,7 @@ mod tests {
             &mut db,
             &mut ops,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         assert_eq!(r.sites_replaced, 2);
         assert_eq!(ops, Some(0));

@@ -12,12 +12,13 @@ use crate::budget::Budget;
 use crate::cloner::{clone_pass, CloneDb};
 use crate::delete::delete_unreachable;
 use crate::inliner::inline_pass;
-use crate::par::{effective_jobs, par_map_funcs, StageTimings};
-use crate::report::{HloReport, PassReport};
+use crate::par::{effective_jobs, par_map_funcs};
+use crate::report::{HloReport, PassReport, StageTiming};
 use hlo_analysis::{estimate_static_profile, CallGraphCache};
 use hlo_ir::{FuncId, FuncProfile, Program};
 use hlo_lint::{CheckLevel, Checker};
 use hlo_profile::{apply_profile, ProfileDb};
+use hlo_trace::{DecisionEvent, DecisionKind, TraceLevel, Tracer, Verdict};
 use std::time::Instant;
 
 /// Compilation visibility: the paper's per-module path vs the link-time
@@ -72,6 +73,10 @@ pub struct HloOptions {
     /// battery runs too, and every new finding is attributed to the stage
     /// that introduced it. Off (and free) by default.
     pub check: CheckLevel,
+    /// How much the run records into its tracer (spans only, or spans
+    /// plus decision provenance). Pure observability: never changes the
+    /// produced program, and is normalized out of the fingerprint.
+    pub trace: TraceLevel,
     /// Worker threads for the parallel stages: `1` (the default) runs
     /// everything inline, `0` means "all available hardware parallelism".
     /// The produced program is byte-identical for every value — only
@@ -130,6 +135,7 @@ impl HloOptions {
                 CheckLevel::Strict => "strict",
             }
         );
+        let _ = writeln!(s, "trace {}", self.trace);
         let _ = writeln!(s, "jobs {}", self.jobs);
         s
     }
@@ -194,6 +200,7 @@ impl HloOptions {
                 "outline.max_params" => o.outline.max_params = num("max_params")? as u32,
                 "outline.min_region_size" => o.outline.min_region_size = num("min_region_size")?,
                 "check" => o.check = val.parse()?,
+                "trace" => o.trace = val.parse()?,
                 "jobs" => o.jobs = num("jobs")? as usize,
                 other => return Err(format!("unknown option key `{other}`")),
             }
@@ -202,14 +209,16 @@ impl HloOptions {
     }
 
     /// A stable 64-bit fingerprint of every option that can change the
-    /// *produced program*. `jobs` and `check` are normalized out: the
-    /// pipeline guarantees byte-identical output at any worker count, and
-    /// verify-each only observes — so a result cached at `jobs=8` is a
-    /// valid hit for a `jobs=1 --verify-each` request.
+    /// *produced program*. `jobs`, `check` and `trace` are normalized
+    /// out: the pipeline guarantees byte-identical output at any worker
+    /// count, and verify-each and tracing only observe — so a result
+    /// cached at `jobs=8` is a valid hit for a `jobs=1 --verify-each`
+    /// (or `--explain`) request.
     pub fn fingerprint(&self) -> u64 {
         let canonical = HloOptions {
             jobs: 1,
             check: CheckLevel::Off,
+            trace: TraceLevel::Off,
             ..self.clone()
         };
         hlo_ir::fnv1a_64(canonical.to_text().as_bytes())
@@ -232,6 +241,7 @@ impl Default for HloOptions {
             enable_straighten: true,
             outline: crate::OutlineOptions::default(),
             check: CheckLevel::Off,
+            trace: TraceLevel::Off,
             jobs: 1,
         }
     }
@@ -242,9 +252,28 @@ impl Default for HloOptions {
 /// the pass limit is reached, nothing changes, or the operation limit is
 /// hit (Figure 2's `WHILE (C < B AND P < limit)`).
 pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions) -> HloReport {
+    optimize_traced(p, profile, opts, &mut Tracer::disabled())
+}
+
+/// [`optimize`], recording into `tracer`: a hierarchical span tree
+/// (program → pass → stage) always, and per-site decision provenance when
+/// the tracer was built at [`TraceLevel::Decisions`]. The tracer's level —
+/// not [`HloOptions::trace`] — controls collection; `HloOptions::trace` is
+/// how a *request* asks a remote daemon for a tracing run. Tracing is pure
+/// observation: the produced program is byte-identical with tracing on or
+/// off, and trace *content* (span tree, decisions, metrics) is identical
+/// at any [`HloOptions::jobs`] value once timestamps are normalized away.
+pub fn optimize_traced(
+    p: &mut Program,
+    profile: Option<&ProfileDb>,
+    opts: &HloOptions,
+    tracer: &mut Tracer,
+) -> HloReport {
     let mut report = HloReport::default();
     let jobs = effective_jobs(opts.jobs);
-    let mut timings = StageTimings::default();
+    let span_base = tracer.span_count();
+    let run_t = Instant::now();
+    let root = tracer.push("optimize");
     let mut cache = CallGraphCache::new();
 
     // Verify-each: record the input program's pre-existing defects first,
@@ -276,16 +305,15 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
             });
         }
     });
-    timings.record("annotate", seq + t1.elapsed(), seq + out.work);
+    tracer.leaf("annotate", seq + t1.elapsed(), seq + out.work);
     ck.check(p, "annotate");
 
     // Input-stage cleanup: classic optimizations "mainly to reduce size",
     // plus interprocedural side-effect deletion on the link-time path.
-    report.pure_calls_removed +=
-        optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
+    report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, tracer, 0);
     let t = Instant::now();
     report.deletions += delete_unreachable(p, opts.scope, &mut cache);
-    timings.record_seq("delete", t.elapsed());
+    tracer.leaf_seq("delete", t.elapsed());
     ck.check(p, "delete");
 
     // Optional aggressive outlining (paper §5): shrink hot routines by
@@ -293,13 +321,18 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
     // freed budget goes to inlining the hot code. Outlining rewrites call
     // coordinates program-wide, so the whole cache is invalidated.
     if opts.enable_outline {
-        report.outlines = crate::outline_cold_regions(p, &opts.outline);
+        // A structural span only — no stage leaf, so `stage_timings`
+        // output is unchanged from the pre-tracer format.
+        let t = Instant::now();
+        let outline_span = tracer.push("outline");
+        report.outlines = crate::outline_cold_regions_traced(p, &opts.outline, tracer);
         cache.invalidate_all();
         ck.check(p, "outline");
         if report.outlines > 0 {
             report.pure_calls_removed +=
-                optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
+                optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, tracer, 0);
         }
+        tracer.pop(outline_span, t.elapsed());
     }
 
     let c0 = p.compile_cost();
@@ -321,6 +354,8 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
             pass,
             ..Default::default()
         };
+        let pass_t = Instant::now();
+        let pass_span = tracer.push(&format!("pass{pass}"));
         if opts.enable_clone {
             let r = clone_pass(
                 p,
@@ -330,33 +365,50 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
                 &mut clone_db,
                 &mut ops_left,
                 &mut cache,
+                tracer,
             );
             pr.clones_created = r.clones_created;
             pr.clones_reused = r.clones_reused;
             pr.clone_replacements = r.sites_replaced;
-            timings.record("clone.plan", r.plan_wall, r.plan_work);
-            timings.record("clone.apply", r.apply_wall, r.apply_work);
+            tracer.leaf("clone.plan", r.plan_wall, r.plan_work);
+            tracer.leaf("clone.apply", r.apply_wall, r.apply_work);
             ck.check(p, &format!("clone@{pass}"));
         }
         if opts.enable_inline {
-            let r = inline_pass(p, &mut budget, pass, opts, &mut ops_left, &mut cache);
+            let r = inline_pass(
+                p,
+                &mut budget,
+                pass,
+                opts,
+                &mut ops_left,
+                &mut cache,
+                tracer,
+            );
             pr.inlines = r.inlines;
-            timings.record("inline.plan", r.plan_wall, r.plan_work);
-            timings.record("inline.apply", r.apply_wall, r.apply_work);
+            tracer.leaf("inline.plan", r.plan_wall, r.plan_work);
+            tracer.leaf("inline.apply", r.apply_wall, r.apply_work);
             ck.check(p, &format!("inline@{pass}"));
         }
         let t = Instant::now();
         pr.deletions = delete_unreachable(p, opts.scope, &mut cache);
-        timings.record_seq("delete", t.elapsed());
+        tracer.leaf_seq("delete", t.elapsed());
         ck.check(p, &format!("delete@{pass}"));
-        report.pure_calls_removed +=
-            optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, &mut timings);
+        report.pure_calls_removed += optimize_all(
+            p,
+            opts.scope,
+            &mut ck,
+            &mut cache,
+            jobs,
+            tracer,
+            pass as u32,
+        );
         let t = Instant::now();
         pr.deletions += delete_unreachable(p, opts.scope, &mut cache);
-        timings.record_seq("delete", t.elapsed());
+        tracer.leaf_seq("delete", t.elapsed());
         ck.check(p, &format!("cleanup@{pass}"));
         budget.recalibrate(p.compile_cost());
         pr.cost_after = budget.current();
+        tracer.pop(pass_span, pass_t.elapsed());
 
         report.inlines += pr.inlines;
         report.clones += pr.clones_created;
@@ -375,13 +427,22 @@ pub fn optimize(p: &mut Program, profile: Option<&ProfileDb>, opts: &HloOptions)
         let t = Instant::now();
         report.straightened = hlo_opt::straighten::straighten_program(p);
         cache.invalidate_all();
-        timings.record_seq("straighten", t.elapsed());
+        tracer.leaf_seq("straighten", t.elapsed());
         ck.check(p, "straighten");
     }
 
+    tracer.pop(root, run_t.elapsed());
     report.final_cost = p.compile_cost();
     report.jobs = jobs as u64;
-    report.stage_timings = timings.into_entries();
+    report.stage_timings = tracer
+        .stage_totals_since(span_base)
+        .into_iter()
+        .map(|(stage, wall_us, work_us)| StageTiming {
+            stage,
+            wall_us,
+            work_us,
+        })
+        .collect();
     report.checks_run = ck.checks_run();
     report.lint_time_us = ck.elapsed().as_micros() as u64;
     report.diagnostics = ck.into_report().diags;
@@ -398,7 +459,7 @@ fn cleanup_round(
     ck: &mut Checker,
     cache: &mut CallGraphCache,
     jobs: usize,
-    timings: &mut StageTimings,
+    tracer: &mut Tracer,
 ) {
     let t = Instant::now();
     let parent: &Checker = ck;
@@ -415,7 +476,7 @@ fn cleanup_round(
             cache.invalidate(FuncId(i as u32));
         }
     }
-    timings.record("cleanup", wall, work);
+    tracer.leaf("cleanup", wall, work);
 }
 
 /// Optimizes every live function; on the whole-program path also deletes
@@ -429,9 +490,10 @@ fn optimize_all(
     ck: &mut Checker,
     cache: &mut CallGraphCache,
     jobs: usize,
-    timings: &mut StageTimings,
+    tracer: &mut Tracer,
+    pass: u32,
 ) -> u64 {
-    cleanup_round(p, ck, cache, jobs, timings);
+    cleanup_round(p, ck, cache, jobs, tracer);
     if scope == Scope::CrossModule {
         let t = Instant::now();
         let removal = {
@@ -441,10 +503,32 @@ fn optimize_all(
         for &f in &removal.changed {
             cache.invalidate(f);
         }
-        timings.record_seq("pure_calls", t.elapsed());
+        tracer.leaf_seq("pure_calls", t.elapsed());
         ck.check(p, "pure_calls");
+        if tracer.decisions_enabled() {
+            for s in &removal.sites {
+                let caller = p.func(s.caller);
+                tracer.decision(DecisionEvent {
+                    pass,
+                    kind: DecisionKind::PureCall,
+                    site: format!("{}@b{}.i{}", caller.name, s.block, s.inst),
+                    callee: p.func(s.callee).name.clone(),
+                    verdict: Verdict::Performed,
+                    reason: "pure-call-removed",
+                    benefit: 0.0,
+                    cost: 0,
+                    budget_before: 0,
+                    budget_after: 0,
+                    profile_weight: caller
+                        .profile
+                        .as_ref()
+                        .and_then(|pr| pr.blocks.get(s.block).copied())
+                        .unwrap_or(0.0),
+                });
+            }
+        }
         if removal.removed > 0 {
-            cleanup_round(p, ck, cache, jobs, timings);
+            cleanup_round(p, ck, cache, jobs, tracer);
         }
         removal.removed
     } else {
@@ -793,6 +877,7 @@ mod tests {
         let mut same = base.clone();
         same.jobs = 16;
         same.check = CheckLevel::Strict;
+        same.trace = TraceLevel::Decisions;
         assert_eq!(base.fingerprint(), same.fingerprint());
         let mut diff = base.clone();
         diff.budget_percent = 99;
@@ -800,6 +885,44 @@ mod tests {
         let mut diff2 = base.clone();
         diff2.stage_fractions = vec![1.0];
         assert_ne!(base.fingerprint(), diff2.fingerprint());
+    }
+
+    #[test]
+    fn traced_run_records_provenance_without_changing_output() {
+        let p0 = hlo_frontc::compile(&[("interp", INTERP_SRC)]).unwrap();
+        let opts = HloOptions {
+            budget_percent: 30, // tight enough that some sites must defer
+            ..Default::default()
+        };
+        let mut traced = p0.clone();
+        let mut tracer = Tracer::new(TraceLevel::Decisions);
+        let report = optimize_traced(&mut traced, None, &opts, &mut tracer);
+        let mut plain = p0.clone();
+        optimize(&mut plain, None, &opts);
+        assert_eq!(
+            hlo_ir::program_to_text(&traced),
+            hlo_ir::program_to_text(&plain),
+            "tracing must be pure observation"
+        );
+        let tree = tracer.span_tree_text();
+        assert!(tree.starts_with("optimize\n"), "{tree}");
+        assert!(tree.contains("pass0"), "{tree}");
+        assert!(tree.contains("inline.plan"), "{tree}");
+        let decisions = tracer.decision_report(None);
+        assert!(
+            decisions.contains("verdict=performed reason=accepted"),
+            "{decisions}"
+        );
+        assert!(decisions.contains("reason=budget-deferred"), "{decisions}");
+        // Stage timings now come from the tracer's leaves, same shape as
+        // the old accumulator produced.
+        assert!(report.stage_timings.iter().any(|s| s.stage == "cleanup"));
+        assert!(report
+            .stage_timings
+            .iter()
+            .any(|s| s.stage == "inline.plan"));
+        // Metrics mirror the recorded decisions.
+        assert!(tracer.metrics().expose().contains("decisions_total"));
     }
 
     #[test]

@@ -20,8 +20,20 @@ use crate::par::{effective_jobs, par_funcs_mut, par_map};
 use crate::transform::{inline_call, scale_profile};
 use hlo_analysis::{CallGraphCache, CallSiteRef};
 use hlo_ir::{FuncId, Program};
+use hlo_trace::{DecisionEvent, DecisionKind, Tracer, Verdict};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// The canonical site spelling used by decision provenance and the
+/// `--explain` filter: `caller@bBLOCK.iINST`.
+pub(crate) fn site_str(p: &Program, site: &CallSiteRef) -> String {
+    format!(
+        "{}@b{}.i{}",
+        p.func(site.caller).name,
+        site.block.index(),
+        site.inst
+    )
+}
 
 /// Result of one inlining pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +65,9 @@ struct Candidate {
     site: CallSiteRef,
     target: FuncId,
     merit: f64,
+    /// The site block's raw profile count (the pre-penalty weight,
+    /// reported in decision provenance).
+    weight: f64,
 }
 
 /// One partition's screened candidates plus its slice of the stage budget.
@@ -68,6 +83,9 @@ struct PartitionPlan {
     delta: u64,
     deferred: u64,
     ops: u64,
+    /// Decision provenance, built on the (read-only) planning workers and
+    /// absorbed into the tracer sequentially at the barrier.
+    events: Vec<DecisionEvent>,
 }
 
 /// Runs one inlining pass under the stage budget.
@@ -88,9 +106,11 @@ pub fn inline_pass(
     opts: &HloOptions,
     ops_left: &mut Option<u64>,
     cache: &mut CallGraphCache,
+    tracer: &mut Tracer,
 ) -> InlinePassResult {
     let mut result = InlinePassResult::default();
     let jobs = effective_jobs(opts.jobs);
+    let explain = tracer.decisions_enabled();
     let plan_start = Instant::now();
 
     // Screen candidates partition by partition (Figure 4 "screen inline
@@ -110,15 +130,31 @@ pub fn inline_pass(
             let mut candidates: Vec<Candidate> = Vec::new();
             for &ei in &part.edge_indices {
                 let edge = &cg.edges[ei];
-                if inline_restriction(p, &edge.site, opts.scope).is_some() {
+                let caller = p.func(edge.site.caller);
+                let site_cnt = match &caller.profile {
+                    Some(pr) => pr.blocks[edge.site.block.index()],
+                    None => 1.0,
+                };
+                if let Some(r) = inline_restriction(p, &edge.site, opts.scope) {
+                    if explain {
+                        tracer.decision(DecisionEvent {
+                            pass: pass as u32,
+                            kind: DecisionKind::Inline,
+                            site: site_str(p, &edge.site),
+                            callee: p.func(edge.callee).name.clone(),
+                            verdict: Verdict::Rejected,
+                            reason: r.code(),
+                            benefit: 0.0,
+                            cost: 0,
+                            budget_before: 0,
+                            budget_after: 0,
+                            profile_weight: site_cnt,
+                        });
+                    }
                     continue;
                 }
-                let caller = p.func(edge.site.caller);
                 let callee = p.func(edge.callee);
-                let (site_cnt, entry_cnt) = match &caller.profile {
-                    Some(pr) => (pr.blocks[edge.site.block.index()], pr.entry),
-                    None => (1.0, 1.0),
-                };
+                let entry_cnt = caller.profile.as_ref().map_or(1.0, |pr| pr.entry);
                 let mut merit = site_cnt;
                 if opts.cold_site_penalty && site_cnt < entry_cnt {
                     merit *= COLD_SITE_PENALTY;
@@ -130,6 +166,7 @@ pub fn inline_pass(
                     site: edge.site,
                     target: edge.callee,
                     merit,
+                    weight: site_cnt,
                 });
             }
             if candidates.is_empty() {
@@ -165,14 +202,22 @@ pub fn inline_pass(
     // Plan: greedy selection with cascaded cost over a bottom-up schedule
     // (Figure 4 "select inline sites"), one planner per partition.
     let par_start = Instant::now();
-    let (plans, par_work): (Vec<PartitionPlan>, Duration) = match ops_left {
+    let (mut plans, par_work): (Vec<PartitionPlan>, Duration) = match ops_left {
         Some(left) => {
             // The Figure 8 operation cap is a single global counter, so
             // partitions plan sequentially in partition order, sharing it.
             let mut remaining = *left;
             let mut plans = Vec::with_capacity(tasks.len());
             for t in &tasks {
-                let plan = plan_partition(p, &scc_rank, &t.candidates, t.share, Some(remaining));
+                let plan = plan_partition(
+                    p,
+                    &scc_rank,
+                    &t.candidates,
+                    t.share,
+                    Some(remaining),
+                    pass as u32,
+                    explain,
+                );
                 remaining -= plan.ops.min(remaining);
                 plans.push(plan);
             }
@@ -181,7 +226,15 @@ pub fn inline_pass(
         }
         None => {
             let out = par_map(jobs, &tasks, |_, t| {
-                plan_partition(p, &scc_rank, &t.candidates, t.share, None)
+                plan_partition(
+                    p,
+                    &scc_rank,
+                    &t.candidates,
+                    t.share,
+                    None,
+                    pass as u32,
+                    explain,
+                )
             });
             (out.results, out.work)
         }
@@ -189,13 +242,22 @@ pub fn inline_pass(
     result.plan_wall = screen_elapsed + par_start.elapsed();
     result.plan_work = screen_elapsed + par_work;
 
-    // Barrier: reconcile the partition plans against the one budget.
+    // Barrier: reconcile the partition plans against the one budget, and
+    // absorb the workers' decision provenance in partition order (the same
+    // order a sequential run would emit it).
     let mut total_delta = 0u64;
     for plan in &plans {
         total_delta += plan.delta;
         result.deferred += plan.deferred;
     }
     budget.charge(total_delta);
+    if explain {
+        for plan in &mut plans {
+            for e in plan.events.drain(..) {
+                tracer.decision(e);
+            }
+        }
+    }
 
     // Perform in partition order, bottom-up within each (Figure 4
     // "perform inlines"), fixing the coordinates of later sites that
@@ -261,6 +323,8 @@ fn plan_partition(
     candidates: &[Candidate],
     share: u64,
     ops_cap: Option<u64>,
+    pass: u32,
+    explain: bool,
 ) -> PartitionPlan {
     let mut ranked: Vec<Candidate> = candidates.to_vec();
     ranked.sort_by(|a, b| {
@@ -273,6 +337,7 @@ fn plan_partition(
         delta: 0,
         deferred: 0,
         ops: 0,
+        events: Vec::new(),
     };
     for cand in ranked {
         if let Some(cap) = ops_cap {
@@ -286,7 +351,33 @@ fn plan_partition(
         // accepted inlines are counted before it is spliced elsewhere.
         tentative.sort_by_key(|c| scc_rank[c.site.caller.index()]);
         let delta = schedule_cost_delta(p, &tentative);
-        if delta <= share {
+        let accepted = delta <= share;
+        if explain {
+            // Budget state is the partition's remaining headroom share;
+            // the cost is the cascaded delta this one decision adds.
+            plan.events.push(DecisionEvent {
+                pass,
+                kind: DecisionKind::Inline,
+                site: site_str(p, &cand.site),
+                callee: p.func(cand.target).name.clone(),
+                verdict: if accepted {
+                    Verdict::Performed
+                } else {
+                    Verdict::Deferred
+                },
+                reason: if accepted {
+                    "accepted"
+                } else {
+                    "budget-deferred"
+                },
+                benefit: cand.merit,
+                cost: delta.saturating_sub(plan.delta),
+                budget_before: share.saturating_sub(plan.delta),
+                budget_after: share.saturating_sub(if accepted { delta } else { plan.delta }),
+                profile_weight: cand.weight,
+            });
+        }
+        if accepted {
             plan.schedule.push(cand);
             plan.delta = delta;
             plan.ops += 1;
@@ -346,6 +437,7 @@ mod tests {
             &HloOptions::default(),
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         )
     }
 
@@ -398,6 +490,7 @@ mod tests {
             &HloOptions::default(),
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         assert!(r.inlines >= 1);
         assert!(r.deferred >= 1, "{r:?}");
@@ -494,6 +587,7 @@ mod tests {
             &HloOptions::default(),
             &mut ops,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         assert_eq!(r.inlines, 2);
         assert_eq!(ops, Some(0));
@@ -515,6 +609,7 @@ mod tests {
             &HloOptions::default(),
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         assert_eq!(r.inlines, 0);
         assert_eq!(r.deferred, 1);
@@ -561,7 +656,15 @@ mod tests {
                 jobs,
                 ..Default::default()
             };
-            let r = inline_pass(&mut p, &mut budget, 0, &opts, &mut None, &mut cache);
+            let r = inline_pass(
+                &mut p,
+                &mut budget,
+                0,
+                &opts,
+                &mut None,
+                &mut cache,
+                &mut Tracer::disabled(),
+            );
             assert!(r.inlines >= 2, "{r:?}");
             verify_program(&p).unwrap();
             outs.push(hlo_ir::program_to_text(&p));
@@ -587,6 +690,7 @@ mod tests {
             &HloOptions::default(),
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         let scans_after_first = cache.rescans();
         inline_pass(
@@ -596,6 +700,7 @@ mod tests {
             &HloOptions::default(),
             &mut None,
             &mut cache,
+            &mut Tracer::disabled(),
         );
         // The second pass re-scanned only the invalidated caller (main),
         // not the whole program.

@@ -39,6 +39,25 @@ pub enum Restriction {
     NotDirect,
 }
 
+impl Restriction {
+    /// The stable kebab-case reason code used in decision provenance
+    /// ([`hlo_trace::DecisionEvent::reason`]) and the DESIGN.md §11 table.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Restriction::ArityMismatch => "arity-mismatch",
+            Restriction::TypeMismatch => "type-mismatch",
+            Restriction::Varargs => "varargs",
+            Restriction::StrictFpMix => "strict-fp-mix",
+            Restriction::DynAlloca => "dyn-alloca",
+            Restriction::UserNoinline => "user-noinline",
+            Restriction::SelfCall => "self-call",
+            Restriction::OutOfScope => "out-of-scope",
+            Restriction::EntryCallee => "entry-callee",
+            Restriction::NotDirect => "not-direct",
+        }
+    }
+}
+
 impl std::fmt::Display for Restriction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -58,11 +58,16 @@ mod transform;
 pub use budget::Budget;
 pub use cloner::{CloneDb, CloneSpec};
 pub use delete::delete_unreachable;
-pub use driver::{optimize, HloOptions, Scope};
+pub use driver::{optimize, optimize_traced, HloOptions, Scope};
 pub use hlo_analysis::CallGraphCache;
 pub use hlo_lint::{CheckLevel, Checker, Diagnostic, LintReport, Severity};
+pub use hlo_trace::json as trace_json;
+pub use hlo_trace::{
+    chrome_trace_json, DecisionEvent, DecisionKind, MetricsRegistry, TraceLevel, Tracer, Verdict,
+    LATENCY_BUCKETS_US,
+};
 pub use inliner::inline_pass;
 pub use legality::{clone_restriction, inline_restriction, Restriction};
-pub use outline::{outline_cold_regions, OutlineOptions};
+pub use outline::{outline_cold_regions, outline_cold_regions_traced, OutlineOptions};
 pub use report::{HloReport, PassReport, StageTiming};
 pub use transform::{inline_call, make_clone, redirect_site_to_clone, InlineSplice};

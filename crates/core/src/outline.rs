@@ -18,6 +18,7 @@ use hlo_ir::{
     Block, BlockId, Callee, FuncId, FuncProfile, Function, Inst, Linkage, Operand, Program, Reg,
     Type,
 };
+use hlo_trace::{DecisionEvent, DecisionKind, Tracer, Verdict};
 
 /// Options for an outlining pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +45,17 @@ impl Default for OutlineOptions {
 /// Runs outlining over every function of `p`. Returns the number of
 /// regions extracted.
 pub fn outline_cold_regions(p: &mut Program, opts: &OutlineOptions) -> u64 {
+    outline_cold_regions_traced(p, opts, &mut Tracer::disabled())
+}
+
+/// [`outline_cold_regions`] with decision provenance: every extracted
+/// region emits an [`DecisionKind::Outline`] event whose site is the
+/// region's head block and whose callee is the new cold routine.
+pub fn outline_cold_regions_traced(
+    p: &mut Program,
+    opts: &OutlineOptions,
+    tracer: &mut Tracer,
+) -> u64 {
     let mut outlined = 0;
     let n = p.funcs.len();
     for fi in 0..n {
@@ -52,12 +64,12 @@ pub fn outline_cold_regions(p: &mut Program, opts: &OutlineOptions) -> u64 {
         if !p.module(p.func(id).module).funcs.contains(&id) {
             continue;
         }
-        outlined += outline_one(p, id, opts);
+        outlined += outline_one(p, id, opts, tracer);
     }
     outlined
 }
 
-fn outline_one(p: &mut Program, id: FuncId, opts: &OutlineOptions) -> u64 {
+fn outline_one(p: &mut Program, id: FuncId, opts: &OutlineOptions, tracer: &mut Tracer) -> u64 {
     let mut count = 0;
     // Re-examine after each extraction (block ids stay valid: we only
     // rewrite the head block in place and append nothing to the old CFG).
@@ -65,7 +77,31 @@ fn outline_one(p: &mut Program, id: FuncId, opts: &OutlineOptions) -> u64 {
         let Some(region) = find_region(p.func(id), opts) else {
             return count;
         };
-        extract(p, id, &region);
+        let event = tracer.decisions_enabled().then(|| {
+            let f = p.func(id);
+            DecisionEvent {
+                pass: 0,
+                kind: DecisionKind::Outline,
+                site: format!("{}@b{}", f.name, region.head.index()),
+                callee: String::new(), // named after extraction
+                verdict: Verdict::Performed,
+                reason: "cold-region",
+                benefit: region.blocks.len() as f64,
+                cost: 0,
+                budget_before: 0,
+                budget_after: 0,
+                profile_weight: f
+                    .profile
+                    .as_ref()
+                    .map(|pr| pr.blocks[region.head.index()])
+                    .unwrap_or(0.0),
+            }
+        });
+        let out_id = extract(p, id, &region);
+        if let Some(mut e) = event {
+            e.callee = p.func(out_id).name.clone();
+            tracer.decision(e);
+        }
         count += 1;
     }
 }
@@ -181,7 +217,7 @@ fn region_live_in(f: &Function, blocks: &[BlockId]) -> Vec<Reg> {
     live
 }
 
-fn extract(p: &mut Program, id: FuncId, region: &Region) {
+fn extract(p: &mut Program, id: FuncId, region: &Region) -> FuncId {
     let f = p.func(id).clone();
     let name = p.fresh_func_name(&format!("{}.cold", f.name));
 
@@ -256,6 +292,7 @@ fn extract(p: &mut Program, id: FuncId, region: &Region) {
     head.insts.push(Inst::Ret {
         value: dst.map(Operand::Reg),
     });
+    out_id
 }
 
 #[cfg(test)]

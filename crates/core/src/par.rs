@@ -206,43 +206,6 @@ where
     }
 }
 
-/// Accumulates per-stage wall-clock and cumulative-work timings for
-/// [`crate::HloReport::stage_timings`]. Repeated records under one stage
-/// name are summed, so per-pass stages aggregate across passes.
-#[derive(Debug, Default)]
-pub struct StageTimings {
-    entries: Vec<crate::report::StageTiming>,
-}
-
-impl StageTimings {
-    /// Adds `wall`/`work` to the totals for `stage`.
-    pub fn record(&mut self, stage: &str, wall: Duration, work: Duration) {
-        let wall_us = wall.as_micros() as u64;
-        let work_us = work.as_micros() as u64;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.stage == stage) {
-            e.wall_us += wall_us;
-            e.work_us += work_us;
-        } else {
-            self.entries.push(crate::report::StageTiming {
-                stage: stage.to_string(),
-                wall_us,
-                work_us,
-            });
-        }
-    }
-
-    /// Records a stage that ran sequentially (work == wall).
-    pub fn record_seq(&mut self, stage: &str, wall: Duration) {
-        self.record(stage, wall, wall);
-    }
-
-    /// Consumes the accumulator into report entries, in first-recorded
-    /// order.
-    pub fn into_entries(self) -> Vec<crate::report::StageTiming> {
-        self.entries
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,29 +284,6 @@ mod tests {
         for (a, b) in seq.funcs.iter().zip(par.funcs.iter()) {
             assert_eq!(a.num_regs, b.num_regs);
         }
-    }
-
-    #[test]
-    fn stage_timings_accumulate_by_name() {
-        let mut t = StageTimings::default();
-        t.record(
-            "inline.plan",
-            Duration::from_micros(10),
-            Duration::from_micros(30),
-        );
-        t.record(
-            "inline.plan",
-            Duration::from_micros(5),
-            Duration::from_micros(15),
-        );
-        t.record_seq("delete", Duration::from_micros(7));
-        let entries = t.into_entries();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].stage, "inline.plan");
-        assert_eq!(entries[0].wall_us, 15);
-        assert_eq!(entries[0].work_us, 45);
-        assert_eq!(entries[1].stage, "delete");
-        assert_eq!(entries[1].work_us, 7);
     }
 
     fn test_program(n: u32) -> Program {

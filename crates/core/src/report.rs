@@ -82,6 +82,12 @@ pub struct HloReport {
     /// Per-stage wall-clock vs cumulative-work timings; the parallel
     /// speedup is `work_us / wall_us` per stage.
     pub stage_timings: Vec<StageTiming>,
+    /// Wire-form keys [`HloReport::from_text`] did not recognize and
+    /// skipped. Never serialized: a fresh report always has 0, and a
+    /// round-trip through `to_text` resets it. Non-zero means the sender
+    /// speaks a newer dialect — the skipped lines are counted, not lost
+    /// silently.
+    pub unknown_keys: u64,
 }
 
 impl HloReport {
@@ -155,7 +161,10 @@ impl HloReport {
     }
 
     /// Parses [`HloReport::to_text`] output. The elided diagnostics come
-    /// back as an empty list regardless of `diagnostics_elided`.
+    /// back as an empty list regardless of `diagnostics_elided`. Unknown
+    /// keys are skipped and tallied in [`HloReport::unknown_keys`], so a
+    /// newer daemon's report (with fields this build does not know) still
+    /// parses; malformed values under *known* keys remain hard errors.
     ///
     /// # Errors
     /// Returns a description of the first malformed line.
@@ -218,7 +227,7 @@ impl HloReport {
                     });
                 }
                 "end" => break,
-                other => return Err(format!("unknown report key `{other}`")),
+                _ => r.unknown_keys += 1,
             }
         }
         Ok(r)
@@ -321,7 +330,26 @@ mod tests {
         let back = HloReport::from_text(&r.to_text()).unwrap();
         assert_eq!(r, back);
         assert!(HloReport::from_text("not a report").is_err());
-        assert!(HloReport::from_text("hlo-report v1\nbogus 3\nend").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_counted_not_fatal() {
+        let r =
+            HloReport::from_text("hlo-report v1\nbogus 3\ninlines 2\nfuture_field a b c\nend\n")
+                .unwrap();
+        assert_eq!(r.inlines, 2);
+        assert_eq!(r.unknown_keys, 2);
+        // Malformed values under known keys are still hard errors.
+        assert!(HloReport::from_text("hlo-report v1\ninlines zebra\nend").is_err());
+        // A fresh serialization never carries the tally.
+        let mut tallied = HloReport::default();
+        tallied.unknown_keys = 9;
+        assert_eq!(
+            HloReport::from_text(&tallied.to_text())
+                .unwrap()
+                .unknown_keys,
+            0
+        );
     }
 
     #[test]

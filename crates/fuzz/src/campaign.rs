@@ -18,6 +18,7 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use hlo::{MetricsRegistry, LATENCY_BUCKETS_US};
 use hlo_frontc::ModuleAst;
 
 use crate::corpus::{write_reproducer, ReproBody, Reproducer};
@@ -119,6 +120,16 @@ enum Case {
 /// Runs a campaign to completion (iterations, budget, or `stop_after`,
 /// whichever comes first).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_with(cfg, &MetricsRegistry::new())
+}
+
+/// [`run_campaign`] with an externally owned metrics registry. Per
+/// iteration the generate/oracle/shrink/daemon phases land in
+/// `fuzz_<phase>_us` histograms, and cases are counted by source and
+/// outcome (`fuzz_cases_total{source=…}`, `fuzz_outcome_total{…}`,
+/// findings by oracle config in `fuzz_findings_total{config=…}`). The
+/// counters are deterministic for a fixed config; only the timings vary.
+pub fn run_campaign_with(cfg: &CampaignConfig, metrics: &MetricsRegistry) -> CampaignReport {
     let start = Instant::now();
     let mut report = CampaignReport::default();
     // Recently passing programs, the mutator's seed pool.
@@ -136,27 +147,47 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         }
         let mut rng = Rng::new(cfg.seed).derive(i);
         let roll = rng.below(100);
-        let case = if roll < 15 && !pool.is_empty() {
+        let gen_t = Instant::now();
+        let (case, source) = if roll < 15 && !pool.is_empty() {
             let base = rng.pick(&pool).clone();
             let mutant = mutate(&base, &mut rng);
             if crate::oracle::compile_sources(&print_sources(&mutant)).is_err() {
                 report.mutants_discarded += 1;
+                metrics.inc("fuzz_mutants_discarded_total");
                 continue;
             }
-            Case::Minc(cfg.seed ^ i, mutant)
+            (Case::Minc(cfg.seed ^ i, mutant), "mutate")
         } else if roll < 30 {
             let s = rng.next_u64();
-            Case::Ir(s, generate_program(s, &cfg.irgen))
+            (Case::Ir(s, generate_program(s, &cfg.irgen)), "irgen")
         } else {
             let s = rng.next_u64();
-            Case::Minc(s, generate_modules(s, &cfg.gen))
+            (Case::Minc(s, generate_modules(s, &cfg.gen)), "gen")
         };
+        metrics.observe(
+            "fuzz_generate_us",
+            LATENCY_BUCKETS_US,
+            gen_t.elapsed().as_micros() as u64,
+        );
+        metrics.inc(&format!("fuzz_cases_total{{source=\"{source}\"}}"));
 
         report.executed += 1;
+        let oracle_t = Instant::now();
         let outcome = match &case {
             Case::Minc(_, modules) => check_sources(&print_sources(modules), &cfg.oracle),
             Case::Ir(_, p) => check_program(p, &cfg.oracle),
         };
+        metrics.observe(
+            "fuzz_oracle_us",
+            LATENCY_BUCKETS_US,
+            oracle_t.elapsed().as_micros() as u64,
+        );
+        let label = match &outcome {
+            CaseOutcome::Pass => "pass",
+            CaseOutcome::Skip(_) => "skip",
+            CaseOutcome::Fail(_) => "fail",
+        };
+        metrics.inc(&format!("fuzz_outcome_total{{outcome=\"{label}\"}}"));
         match outcome {
             CaseOutcome::Pass => {
                 report.passed += 1;
@@ -167,21 +198,44 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     }
                     if cfg.daemon_every > 0 && report.passed % cfg.daemon_every == 0 {
                         report.daemon_checks += 1;
-                        if let Err(detail) = daemon.check(&print_sources(modules)) {
+                        let daemon_t = Instant::now();
+                        let checked = daemon.check(&print_sources(modules));
+                        metrics.observe(
+                            "fuzz_daemon_us",
+                            LATENCY_BUCKETS_US,
+                            daemon_t.elapsed().as_micros() as u64,
+                        );
+                        if let Err(detail) = checked {
                             let finding = Finding {
                                 kind: FindingKind::DaemonMismatch,
                                 config: "daemon-default".to_string(),
                                 options_fingerprint: hlo::HloOptions::default().fingerprint(),
                                 detail,
                             };
-                            record(cfg, &mut report, i, case_seed(&case), finding, &case);
+                            record(
+                                cfg,
+                                metrics,
+                                &mut report,
+                                i,
+                                case_seed(&case),
+                                finding,
+                                &case,
+                            );
                         }
                     }
                 }
             }
             CaseOutcome::Skip(_) => report.skipped += 1,
             CaseOutcome::Fail(finding) => {
-                record(cfg, &mut report, i, case_seed(&case), finding, &case);
+                record(
+                    cfg,
+                    metrics,
+                    &mut report,
+                    i,
+                    case_seed(&case),
+                    finding,
+                    &case,
+                );
             }
         }
         if !cfg.quiet && (i + 1) % 50 == 0 {
@@ -216,12 +270,18 @@ fn case_seed(case: &Case) -> u64 {
 /// Shrinks (MinC only), builds the reproducer, writes it, records it.
 fn record(
     cfg: &CampaignConfig,
+    metrics: &MetricsRegistry,
     report: &mut CampaignReport,
     iter: u64,
     seed: u64,
     finding: Finding,
     case: &Case,
 ) {
+    metrics.inc(&format!(
+        "fuzz_findings_total{{config=\"{}\"}}",
+        finding.config
+    ));
+    let shrink_t = Instant::now();
     let body = match case {
         Case::Minc(_, modules) => {
             let want = finding.kind;
@@ -241,6 +301,11 @@ fn record(
         }
         Case::Ir(_, p) => ReproBody::Ir(hlo_ir::program_to_text(p)),
     };
+    metrics.observe(
+        "fuzz_shrink_us",
+        LATENCY_BUCKETS_US,
+        shrink_t.elapsed().as_micros() as u64,
+    );
     let lines = match &body {
         ReproBody::Minc(s) => source_lines(s),
         ReproBody::Ir(t) => t.lines().count(),

@@ -40,7 +40,9 @@ pub mod rng;
 pub mod shrink;
 pub mod walk;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, ShrunkFinding};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignReport, ShrunkFinding,
+};
 pub use corpus::{load_reproducer, write_reproducer, ReproBody, Reproducer};
 pub use gen::{generate_modules, generate_sources, GenConfig};
 pub use irgen::{generate_program, IrGenConfig};

@@ -81,9 +81,9 @@ mod tests {
         let m = pb.add_module("m");
         let mut fb = FunctionBuilder::new(name, m, 0);
         let e = fb.entry_block();
-        let r = fb.const_(e, crate::ConstVal::Int(k));
+        let r = fb.const_(e, crate::ConstVal::int(k));
         fb.ret(e, Some(r.into()));
-        pb.add_function(fb.finish(Linkage::Public, Type::Int));
+        pb.add_function(fb.finish(Linkage::Public, Type::I64));
         pb.finish(Some(FuncId(0))).funcs.remove(0)
     }
 

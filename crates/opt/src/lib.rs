@@ -47,4 +47,6 @@ pub use pipeline::{
     optimize_function, optimize_function_checked, optimize_program, optimize_program_checked,
     OptStats,
 };
-pub use pure_calls::{eliminate_pure_calls, eliminate_pure_calls_with, PureCallRemoval};
+pub use pure_calls::{
+    eliminate_pure_calls, eliminate_pure_calls_with, PureCallRemoval, PureCallSite,
+};

@@ -8,6 +8,20 @@ use crate::dce::live_out_sets;
 use hlo_analysis::{side_effect_free_funcs, CallGraph};
 use hlo_ir::{Callee, FuncId, Inst, Operand, Program};
 
+/// One deleted call site, in pre-deletion coordinates (for decision
+/// provenance; the instruction no longer exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PureCallSite {
+    /// The function the call was removed from.
+    pub caller: FuncId,
+    /// Block index of the removed call.
+    pub block: usize,
+    /// Instruction index within the block, before the removal.
+    pub inst: usize,
+    /// The side-effect-free callee.
+    pub callee: FuncId,
+}
+
 /// What one [`eliminate_pure_calls_with`] run did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PureCallRemoval {
@@ -17,6 +31,8 @@ pub struct PureCallRemoval {
     /// instruction indices are stale; callers holding a cached call graph
     /// must invalidate exactly these).
     pub changed: Vec<FuncId>,
+    /// Every deleted site, in deletion order.
+    pub sites: Vec<PureCallSite>,
 }
 
 /// Removes direct calls to side-effect-free functions whose results are
@@ -37,6 +53,7 @@ pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRem
     let free = side_effect_free_funcs(p, cg);
     let mut removed = 0;
     let mut changed = Vec::new();
+    let mut sites = Vec::new();
     for (fi, f) in p.funcs.iter_mut().enumerate() {
         let live_out = live_out_sets(f);
         let mut func_changed = false;
@@ -44,6 +61,7 @@ pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRem
             // Backward scan to know liveness of each call's destination.
             let mut live = live_out[bi].clone();
             let mut keep = vec![true; block.insts.len()];
+            let mut block_sites: Vec<PureCallSite> = Vec::new();
             for (ii, inst) in block.insts.iter().enumerate().rev() {
                 let removable = match inst {
                     Inst::Call {
@@ -51,15 +69,22 @@ pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRem
                         callee: Callee::Func(t),
                         ..
                     } if free[t.index()] => match dst {
-                        None => true,
-                        Some(d) => !live[d.index()],
+                        None => Some(*t),
+                        Some(d) if !live[d.index()] => Some(*t),
+                        Some(_) => None,
                     },
-                    _ => false,
+                    _ => None,
                 };
-                if removable {
+                if let Some(callee) = removable {
                     keep[ii] = false;
                     removed += 1;
                     func_changed = true;
+                    block_sites.push(PureCallSite {
+                        caller: FuncId(fi as u32),
+                        block: bi,
+                        inst: ii,
+                        callee,
+                    });
                     continue;
                 }
                 if let Some(d) = inst.dst() {
@@ -73,12 +98,20 @@ pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRem
             }
             let mut it = keep.iter();
             block.insts.retain(|_| *it.next().expect("len"));
+            // The backward scan found sites last-first; report them in
+            // instruction order.
+            block_sites.reverse();
+            sites.extend(block_sites);
         }
         if func_changed {
             changed.push(FuncId(fi as u32));
         }
     }
-    PureCallRemoval { removed, changed }
+    PureCallRemoval {
+        removed,
+        changed,
+        sites,
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,12 @@ pub struct CachedResult {
     pub report_text: String,
 }
 
+impl CachedResult {
+    fn payload_bytes(&self) -> u64 {
+        (self.ir_text.len() + self.report_text.len()) as u64
+    }
+}
+
 /// What the cache had to say about one request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheOutcome {
@@ -134,6 +140,9 @@ pub struct CacheStats {
     pub func_misses: u64,
     /// Program entries currently resident.
     pub entries: u64,
+    /// Bytes of cached payload currently resident (IR text + report text
+    /// over every entry) — the occupancy number behind `cache_bytes`.
+    pub resident_bytes: u64,
 }
 
 /// Bounded program cache + function store. Not internally synchronized —
@@ -197,8 +206,10 @@ impl ResultCache {
     /// Evicts the least-recently-used program past capacity.
     pub fn insert(&mut self, key: &RequestKey, result: CachedResult) {
         if self.cap > 0 {
+            self.stats.resident_bytes += result.payload_bytes();
             match self.entries.entry(key.program) {
                 MapEntry::Occupied(mut e) => {
+                    self.stats.resident_bytes -= e.get().payload_bytes();
                     e.insert(result);
                     self.touch(key.program);
                 }
@@ -209,7 +220,9 @@ impl ResultCache {
             }
             while self.entries.len() > self.cap {
                 if let Some(old) = self.order.pop_front() {
-                    self.entries.remove(&old);
+                    if let Some(r) = self.entries.remove(&old) {
+                        self.stats.resident_bytes -= r.payload_bytes();
+                    }
                     self.stats.evictions += 1;
                 } else {
                     break;
@@ -370,5 +383,48 @@ mod tests {
         assert_eq!(s.entries, 2);
         assert_eq!(s.hits, 3);
         assert_eq!(s.misses, 2);
+        // Two resident entries, "ir1" and "ir3": 3 bytes each.
+        assert_eq!(s.resident_bytes, 6);
+    }
+
+    #[test]
+    fn resident_bytes_track_replacement_and_eviction() {
+        let mut cache = ResultCache::new(1);
+        let k = RequestKey {
+            program: 1,
+            funcs: vec![],
+        };
+        cache.insert(
+            &k,
+            CachedResult {
+                ir_text: "abcd".to_string(),
+                report_text: "xy".to_string(),
+            },
+        );
+        assert_eq!(cache.stats().resident_bytes, 6);
+        // Replacing the same key swaps the bytes, not adds them.
+        cache.insert(
+            &k,
+            CachedResult {
+                ir_text: "ab".to_string(),
+                report_text: String::new(),
+            },
+        );
+        assert_eq!(cache.stats().resident_bytes, 2);
+        // Evicting releases them.
+        let k2 = RequestKey {
+            program: 2,
+            funcs: vec![],
+        };
+        cache.insert(
+            &k2,
+            CachedResult {
+                ir_text: "wxyz".to_string(),
+                report_text: String::new(),
+            },
+        );
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_bytes, 4);
     }
 }

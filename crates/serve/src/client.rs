@@ -74,8 +74,13 @@ pub struct ServeStats {
     pub func_misses: u64,
     /// Programs currently cached.
     pub entries: u64,
+    /// Bytes of cached payload currently resident (IR + report text).
+    pub cache_bytes: u64,
     /// Aggregate `(stage, wall_us, work_us)` over all non-cached runs.
     pub stages: Vec<(String, u64, u64)>,
+    /// Per-phase request latency `(phase, count, sum_us)`, in the order
+    /// the daemon reports them (queue wait, cache probe, optimize, reply).
+    pub latencies: Vec<(String, u64, u64)>,
 }
 
 impl ServeStats {
@@ -102,6 +107,7 @@ impl ServeStats {
                 "func_hits" => st.func_hits = num(&mut parts, line)?,
                 "func_misses" => st.func_misses = num(&mut parts, line)?,
                 "entries" => st.entries = num(&mut parts, line)?,
+                "cache_bytes" => st.cache_bytes = num(&mut parts, line)?,
                 "stage" => {
                     let name = parts
                         .next()
@@ -110,6 +116,15 @@ impl ServeStats {
                     let wall = num(&mut parts, line)?;
                     let work = num(&mut parts, line)?;
                     st.stages.push((name, wall, work));
+                }
+                "latency" => {
+                    let phase = parts
+                        .next()
+                        .ok_or_else(|| format!("bad stats line `{line}`"))?
+                        .to_string();
+                    let count = num(&mut parts, line)?;
+                    let sum = num(&mut parts, line)?;
+                    st.latencies.push((phase, count, sum));
                 }
                 _ => {} // forward compatibility: ignore unknown counters
             }
@@ -192,6 +207,23 @@ impl Client {
         }
     }
 
+    /// Fetches the full Prometheus-style metrics exposition text.
+    ///
+    /// # Errors
+    /// I/O, frame or protocol failures.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let reply = self.roundtrip(&Frame::bare(Kind::Metrics))?;
+        match reply.kind {
+            Kind::MetricsReply => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                Ok(s.text("metrics").map_err(ServeError::Protocol)?.to_string())
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
     /// Liveness probe.
     ///
     /// # Errors
@@ -226,17 +258,26 @@ mod tests {
     fn stats_text_parses() {
         let text = "uptime_ms 1234\nrequests 10\nbusy 1\nerrors 2\ndeadline_missed 0\n\
                     hits 6\nmisses 4\nevictions 0\nfunc_hits 40\nfunc_misses 9\nentries 4\n\
-                    stage inline 500 1200\nstage clone 80 90\nfuture_counter 7\n";
+                    cache_bytes 2048\nstage inline 500 1200\nstage clone 80 90\n\
+                    latency queue_wait 10 90\nlatency optimize 4 44000\nfuture_counter 7\n";
         let st = ServeStats::from_text(text).unwrap();
         assert_eq!(st.uptime_ms, 1234);
         assert_eq!(st.requests, 10);
         assert_eq!(st.hits, 6);
         assert_eq!(st.entries, 4);
+        assert_eq!(st.cache_bytes, 2048);
         assert_eq!(
             st.stages,
             vec![
                 ("inline".to_string(), 500, 1200),
                 ("clone".to_string(), 80, 90)
+            ]
+        );
+        assert_eq!(
+            st.latencies,
+            vec![
+                ("queue_wait".to_string(), 10, 90),
+                ("optimize".to_string(), 4, 44000)
             ]
         );
     }

@@ -18,7 +18,7 @@ use crate::cache::{request_key, CachedResult, ResultCache};
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
 use crate::{OptimizeRequest, SourceKind};
 use hlo::par::effective_jobs;
-use hlo::CallGraphCache;
+use hlo::{CallGraphCache, MetricsRegistry, LATENCY_BUCKETS_US};
 use hlo_profile::ProfileDb;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -59,7 +59,18 @@ impl Default for ServeConfig {
 struct Job {
     req: OptimizeRequest,
     deadline: Option<Instant>,
+    enqueued: Instant,
     reply: mpsc::Sender<Frame>,
+}
+
+/// Names of the per-request phase latency histograms, in request order:
+/// time spent queued, probing the cache, optimizing (misses only), and
+/// writing the reply. Each is a `request_<phase>_us` histogram over
+/// [`LATENCY_BUCKETS_US`].
+pub const REQUEST_PHASES: &[&str] = &["queue_wait", "cache_probe", "optimize", "reply"];
+
+fn phase_metric(phase: &str) -> String {
+    format!("request_{phase}_us")
 }
 
 /// Counters behind the `stats` request (cache counters live in
@@ -98,6 +109,9 @@ struct Shared {
     in_flight: AtomicU64,
     cache: Mutex<ResultCache>,
     counters: Mutex<Counters>,
+    /// Request counters and phase-latency histograms, exposed by the
+    /// `metrics` request in Prometheus text form.
+    metrics: MetricsRegistry,
     started: Instant,
     addr: SocketAddr,
 }
@@ -127,6 +141,7 @@ impl Server {
             in_flight: AtomicU64::new(0),
             cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
             counters: Mutex::new(Counters::default()),
+            metrics: MetricsRegistry::new(),
             started: Instant::now(),
             addr: local,
             cfg,
@@ -221,6 +236,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         let reply = match frame.kind {
             Kind::Ping => Frame::bare(Kind::Pong),
             Kind::Stats => stats_frame(shared),
+            Kind::Metrics => metrics_frame(shared),
             Kind::Shutdown => {
                 begin_drain(shared);
                 Frame::bare(Kind::ShutdownAck)
@@ -235,8 +251,14 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             _ => error_frame(&format!("unexpected frame kind {:?}", frame.kind)),
         };
         let is_optimize = frame.kind == Kind::Optimize;
+        let reply_t = Instant::now();
         let write_res = reply.write_to(&mut stream);
         if is_optimize {
+            shared.metrics.observe(
+                &phase_metric("reply"),
+                LATENCY_BUCKETS_US,
+                reply_t.elapsed().as_micros() as u64,
+            );
             // Counted up either at submit (fast-path replies) or when a
             // worker popped the job; the response is on the wire (or the
             // client is gone) — flight over.
@@ -290,9 +312,11 @@ fn submit(shared: &Arc<Shared>, frame: &Frame) -> Submitted {
         q.push_back(Job {
             req,
             deadline,
+            enqueued: Instant::now(),
             reply: tx,
         });
         shared.counters.lock().unwrap().requests += 1;
+        shared.metrics.inc("requests_total");
     }
     shared.work_ready.notify_one();
     Submitted::Pending(rx)
@@ -313,6 +337,11 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
+        shared.metrics.observe(
+            &phase_metric("queue_wait"),
+            LATENCY_BUCKETS_US,
+            job.enqueued.elapsed().as_micros() as u64,
+        );
         let reply = run_job(shared, &job);
         // The connection thread may have died with its client; a closed
         // channel just means nobody wants the answer any more.
@@ -371,14 +400,31 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
     // texts address the same result.
     let profile_text = profile.as_ref().map(ProfileDb::to_text).unwrap_or_default();
 
+    let probe_t = Instant::now();
     let mut cg = CallGraphCache::new();
     let key = request_key(&program, &req.options, &profile_text, &mut cg);
     let (cached, outcome) = shared.cache.lock().unwrap().lookup(&key);
+    shared.metrics.observe(
+        &phase_metric("cache_probe"),
+        LATENCY_BUCKETS_US,
+        probe_t.elapsed().as_micros() as u64,
+    );
+    shared.metrics.inc(if cached.is_some() {
+        "cache_hits_total"
+    } else {
+        "cache_misses_total"
+    });
 
     let (ir_text, report_text) = match cached {
         Some(c) => (c.ir_text, c.report_text),
         None => {
+            let opt_t = Instant::now();
             let report = hlo::optimize(&mut program, profile.as_ref(), &req.options);
+            shared.metrics.observe(
+                &phase_metric("optimize"),
+                LATENCY_BUCKETS_US,
+                opt_t.elapsed().as_micros() as u64,
+            );
             let ir_text = hlo_ir::program_to_text(&program);
             let report_text = report.to_text();
             shared.counters.lock().unwrap().add_stages(&report);
@@ -427,13 +473,37 @@ fn stats_frame(shared: &Arc<Shared>) -> Frame {
     let _ = writeln!(text, "func_hits {}", cache.func_hits);
     let _ = writeln!(text, "func_misses {}", cache.func_misses);
     let _ = writeln!(text, "entries {}", cache.entries);
+    let _ = writeln!(text, "cache_bytes {}", cache.resident_bytes);
     for (name, wall, work) in &c.stages {
         let _ = writeln!(text, "stage {name} {wall} {work}");
     }
     drop(c);
+    for phase in REQUEST_PHASES {
+        let (count, sum) = shared.metrics.histogram(&phase_metric(phase));
+        let _ = writeln!(text, "latency {phase} {count} {sum}");
+    }
     let mut s = Sections::new();
     s.push("stats", text);
     Frame::new(Kind::StatsReply, &s)
+}
+
+/// Answers a `metrics` request with the full Prometheus-style text
+/// exposition. Cache occupancy is read at reply time and published as
+/// gauges so scrapes see current state, not last-insert state.
+fn metrics_frame(shared: &Arc<Shared>) -> Frame {
+    let cache = shared.cache.lock().unwrap().stats();
+    shared
+        .metrics
+        .set_gauge("cache_entries", cache.entries as i64);
+    shared
+        .metrics
+        .set_gauge("cache_resident_bytes", cache.resident_bytes as i64);
+    shared
+        .metrics
+        .set_gauge("cache_evictions", cache.evictions as i64);
+    let mut s = Sections::new();
+    s.push("metrics", shared.metrics.expose());
+    Frame::new(Kind::MetricsReply, &s)
 }
 
 /// Flush helper for `hlod`'s startup banner; kept here so the binary

@@ -45,6 +45,8 @@ pub enum Kind {
     Shutdown = 3,
     /// Liveness probe.
     Ping = 4,
+    /// Ask for the Prometheus-style metrics exposition.
+    Metrics = 5,
     /// Optimized result (IR text + report + cache outcome).
     Result = 129,
     /// Statistics text.
@@ -57,6 +59,8 @@ pub enum Kind {
     Error = 133,
     /// Liveness reply.
     Pong = 134,
+    /// Metrics exposition text.
+    MetricsReply = 135,
 }
 
 impl Kind {
@@ -66,12 +70,14 @@ impl Kind {
             2 => Kind::Stats,
             3 => Kind::Shutdown,
             4 => Kind::Ping,
+            5 => Kind::Metrics,
             129 => Kind::Result,
             130 => Kind::StatsReply,
             131 => Kind::ShutdownAck,
             132 => Kind::Busy,
             133 => Kind::Error,
             134 => Kind::Pong,
+            135 => Kind::MetricsReply,
             _ => return None,
         })
     }

@@ -117,6 +117,83 @@ fn fuzz_generated_programs_round_trip_byte_identical() {
     server.wait();
 }
 
+/// Pulls one series value out of a Prometheus exposition.
+fn series(text: &str, name: &str) -> Option<i64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+}
+
+#[test]
+fn metrics_exposition_parses_and_counters_move_cold_to_warm() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let cold = client.optimize(&minc_request()).unwrap();
+    assert!(!cold.outcome.hit);
+    let after_cold = client.metrics().unwrap();
+
+    // Structural check: every line is a `# TYPE` comment or `series value`,
+    // and each base name is typed before its first sample.
+    let mut typed = std::collections::HashSet::new();
+    for line in after_cold.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut w = rest.split_whitespace();
+            typed.insert(w.next().unwrap().to_string());
+            assert!(
+                matches!(w.next(), Some("counter" | "gauge" | "histogram")),
+                "bad TYPE line: {line}"
+            );
+            continue;
+        }
+        let mut w = line.split_whitespace();
+        let name = w.next().expect("non-empty line");
+        w.next()
+            .unwrap_or_else(|| panic!("series without value: {line}"))
+            .parse::<i64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample: {line}"));
+        let base = name.split('{').next().unwrap();
+        let base = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .unwrap_or(base);
+        assert!(typed.contains(base), "untyped series `{name}`");
+    }
+
+    assert_eq!(series(&after_cold, "requests_total"), Some(1));
+    assert_eq!(series(&after_cold, "cache_misses_total"), Some(1));
+    assert_eq!(series(&after_cold, "cache_entries"), Some(1));
+    assert!(series(&after_cold, "cache_resident_bytes").unwrap() > 0);
+    assert_eq!(series(&after_cold, "request_optimize_us_count"), Some(1));
+    assert_eq!(series(&after_cold, "request_queue_wait_us_count"), Some(1));
+    assert_eq!(series(&after_cold, "request_cache_probe_us_count"), Some(1));
+
+    let warm = client.optimize(&minc_request()).unwrap();
+    assert!(warm.outcome.hit);
+    let after_warm = client.metrics().unwrap();
+    assert_eq!(series(&after_warm, "requests_total"), Some(2));
+    assert_eq!(series(&after_warm, "cache_hits_total"), Some(1));
+    assert_eq!(series(&after_warm, "cache_misses_total"), Some(1));
+    // A hit never runs the optimizer, so that histogram must not move.
+    assert_eq!(series(&after_warm, "request_optimize_us_count"), Some(1));
+    assert_eq!(series(&after_warm, "request_cache_probe_us_count"), Some(2));
+
+    // The same numbers surface through `stats` as occupancy + latencies.
+    let stats = client.stats().unwrap();
+    assert!(stats.cache_bytes > 0);
+    let queue_wait = stats
+        .latencies
+        .iter()
+        .find(|(p, _, _)| p == "queue_wait")
+        .expect("queue_wait latency line");
+    assert_eq!(queue_wait.1, 2);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
 #[test]
 fn malformed_and_oversized_frames_get_an_error_not_a_crash() {
     let server = spawn_default();

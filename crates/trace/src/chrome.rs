@@ -1,0 +1,123 @@
+//! Chrome `trace_event` JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Every span becomes one complete event (`"ph":"X"`) with the
+//! caller-supplied timestamps from the tracer's synthetic timeline, so the
+//! exported file is a pure function of the run's recorded durations.
+
+use crate::span::Tracer;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the tracer's spans as a Chrome trace-event JSON document.
+///
+/// Decisions ride along as instant events (`"ph":"i"`) at the end of the
+/// timeline so a Perfetto query can pull `args.reason` per site; metrics
+/// are not exported here (use [`crate::MetricsRegistry::expose`]).
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"hlo\"}}"
+            .to_string(),
+    );
+    for s in tracer.spans() {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"hlo\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"work_us\":{}}}}}",
+            escape(&s.name),
+            s.start_us,
+            s.dur_us,
+            s.work_us
+        ));
+    }
+    let end_us = tracer
+        .spans()
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    for e in tracer.decisions() {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"decision\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"callee\":\"{}\",\"verdict\":\"{}\",\
+             \"reason\":\"{}\",\"pass\":{},\"cost\":{}}}}}",
+            escape(&e.site),
+            end_us,
+            escape(&e.callee),
+            e.verdict,
+            e.reason,
+            e.pass,
+            e.cost
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use crate::{DecisionEvent, DecisionKind, TraceLevel, Verdict};
+    use std::time::Duration;
+
+    #[test]
+    fn export_parses_as_json_with_complete_events() {
+        let mut t = Tracer::new(TraceLevel::Decisions);
+        let root = t.push("optimize");
+        t.leaf(
+            "annotate \"q\"",
+            Duration::from_micros(10),
+            Duration::from_micros(10),
+        );
+        t.pop(root, Duration::from_micros(10));
+        t.decision(DecisionEvent {
+            pass: 0,
+            kind: DecisionKind::Inline,
+            site: "main@b0.i0".to_string(),
+            callee: "f".to_string(),
+            verdict: Verdict::Performed,
+            reason: "accepted",
+            benefit: 1.0,
+            cost: 4,
+            budget_before: 10,
+            budget_after: 6,
+            profile_weight: 1.0,
+        });
+        let out = chrome_trace_json(&t);
+        let doc = json::parse(&out).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // metadata + 2 spans + 1 decision
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(e.get("ph").and_then(Json::as_str).is_some());
+            assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        }
+        let x = &events[2];
+        assert_eq!(x.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(x.get("name").and_then(Json::as_str), Some("annotate \"q\""));
+        assert!(x.get("dur").and_then(Json::as_f64).is_some());
+    }
+}

@@ -1,0 +1,278 @@
+//! A lock-sharded metrics registry: counters, gauges and fixed-bucket
+//! histograms with a Prometheus-style text exposition.
+//!
+//! Updates take `&self` and are safe from the `par.rs` worker pool. Every
+//! update commutes (counters add, histograms add per bucket, gauges are
+//! last-write-wins and reserved for daemon-side occupancy numbers), so
+//! for the optimizer's deterministic counters the exposed text is
+//! byte-identical at any `--jobs` value. The exposition sorts series by
+//! name, which removes the only other ordering freedom.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Bucket upper bounds (microseconds) used for request/phase latency
+/// histograms: 100 µs to 10 s in half-decade steps.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
+];
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(i64),
+    Histogram {
+        bounds: Vec<u64>,
+        /// One count per bound, plus the trailing `+Inf` bucket.
+        counts: Vec<u64>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+const SHARD_COUNT: usize = 8;
+
+/// The registry. Series names may carry Prometheus-style labels inline
+/// (`requests_total{kind="optimize"}`); the exposition groups series by
+/// base name.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<HashMap<String, Metric>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a, reduced to a shard index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn with_shard<R>(&self, name: &str, f: impl FnOnce(&mut HashMap<String, Metric>) -> R) -> R {
+        let mut guard = self.shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.with_shard(name, |m| {
+            match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+                Metric::Counter(c) => *c += delta,
+                _ => debug_assert!(false, "metric `{name}` is not a counter"),
+            }
+        });
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` (last write wins — not deterministic under
+    /// concurrency; use only for occupancy-style values).
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.with_shard(name, |m| {
+            m.insert(name.to_string(), Metric::Gauge(value));
+        });
+    }
+
+    /// Records `value` into the fixed-bucket histogram `name`. The first
+    /// observation fixes the bucket bounds; later calls may pass the same
+    /// bounds (or any slice — only the first registration counts).
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        self.with_shard(name, |m| {
+            let metric = m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram {
+                    bounds: bounds.to_vec(),
+                    counts: vec![0; bounds.len() + 1],
+                    sum: 0,
+                    count: 0,
+                });
+            if let Metric::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            } = metric
+            {
+                let idx = bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(bounds.len());
+                counts[idx] += 1;
+                *sum = sum.saturating_add(value);
+                *count += 1;
+            } else {
+                debug_assert!(false, "metric `{name}` is not a histogram");
+            }
+        });
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with_shard(name, |m| match m.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        })
+    }
+
+    /// Reads a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.with_shard(name, |m| match m.get(name) {
+            Some(Metric::Gauge(g)) => *g,
+            _ => 0,
+        })
+    }
+
+    /// Reads a histogram's `(count, sum)` (zeros when absent).
+    pub fn histogram(&self, name: &str) -> (u64, u64) {
+        self.with_shard(name, |m| match m.get(name) {
+            Some(Metric::Histogram { count, sum, .. }) => (*count, *sum),
+            _ => (0, 0),
+        })
+    }
+
+    /// Renders every series as Prometheus-style text exposition, sorted by
+    /// series name. Counter and gauge series print as `name value`;
+    /// histograms expand to `_bucket{le=…}`, `_sum` and `_count` lines.
+    /// One `# TYPE` comment precedes each base name.
+    pub fn expose(&self) -> String {
+        let mut all: Vec<(String, Metric)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, v) in guard.iter() {
+                all.push((k.clone(), v.clone()));
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, metric) in &all {
+            let base = name.split('{').next().unwrap_or(name);
+            if base != last_base {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {c}\n")),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {g}\n")),
+                Metric::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, b) in bounds.iter().enumerate() {
+                        cum += counts[i];
+                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cum}\n"));
+                    }
+                    cum += counts[bounds.len()];
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{name}_sum {sum}\n"));
+                    out.push_str(&format!("{name}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_expose_sorted() {
+        let m = MetricsRegistry::new();
+        m.inc("zeta_total");
+        m.add("alpha_total", 41);
+        m.inc("alpha_total");
+        assert_eq!(m.counter("alpha_total"), 42);
+        assert_eq!(m.counter("absent"), 0);
+        let text = m.expose();
+        let alpha = text.find("alpha_total 42").unwrap();
+        let zeta = text.find("zeta_total 1").unwrap();
+        assert!(alpha < zeta, "{text}");
+        assert!(text.contains("# TYPE alpha_total counter"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_comment() {
+        let m = MetricsRegistry::new();
+        m.inc("req_total{kind=\"a\"}");
+        m.inc("req_total{kind=\"b\"}");
+        let text = m.expose();
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+        assert!(text.contains("req_total{kind=\"a\"} 1"));
+        assert!(text.contains("req_total{kind=\"b\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = MetricsRegistry::new();
+        for v in [50, 150, 150, 5_000_000_000] {
+            m.observe("lat_us", &[100, 1000], v);
+        }
+        let (count, sum) = m.histogram("lat_us");
+        assert_eq!(count, 4);
+        assert_eq!(sum, 50 + 150 + 150 + 5_000_000_000);
+        let text = m.expose();
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"1000\"} 3"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_us_count 4"), "{text}");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("entries", 3);
+        m.set_gauge("entries", 7);
+        assert_eq!(m.gauge("entries"), 7);
+        assert!(m.expose().contains("# TYPE entries gauge"));
+    }
+
+    #[test]
+    fn concurrent_updates_total_deterministically() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        m.inc("spins_total");
+                        m.observe("spin_us", LATENCY_BUCKETS_US, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("spins_total"), 8000);
+        assert_eq!(m.histogram("spin_us").0, 8000);
+    }
+}

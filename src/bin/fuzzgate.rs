@@ -19,6 +19,35 @@ use std::process::ExitCode;
 /// Phase-2 reproducers must shrink to at most this many source lines.
 const MAX_SHRUNK_LINES: usize = 15;
 
+/// One line of campaign telemetry: case mix by source and mean phase
+/// latency per iteration, read back out of the registry the campaign
+/// filled.
+fn metrics_summary(m: &hlo::MetricsRegistry) -> String {
+    let mix = ["gen", "mutate", "irgen"]
+        .iter()
+        .map(|s| {
+            format!(
+                "{s}={}",
+                m.counter(&format!("fuzz_cases_total{{source=\"{s}\"}}"))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("/");
+    let mean = |name: &str| {
+        let (count, sum) = m.histogram(name);
+        match sum.checked_div(count) {
+            Some(mean) => format!("{mean}us"),
+            None => "-".to_string(),
+        }
+    };
+    format!(
+        "cases {mix}, mean generate {} oracle {} daemon {}",
+        mean("fuzz_generate_us"),
+        mean("fuzz_oracle_us"),
+        mean("fuzz_daemon_us"),
+    )
+}
+
 fn main() -> ExitCode {
     let iters: u64 = std::env::args()
         .nth(1)
@@ -26,13 +55,17 @@ fn main() -> ExitCode {
         .unwrap_or(500);
 
     // Phase 1: the optimizer must survive a clean sweep.
-    let clean = fuzz::run_campaign(&fuzz::CampaignConfig {
-        seed: 0x5eed_0001,
-        iters,
-        daemon_every: 25,
-        quiet: true,
-        ..Default::default()
-    });
+    let metrics = hlo::MetricsRegistry::new();
+    let clean = fuzz::run_campaign_with(
+        &fuzz::CampaignConfig {
+            seed: 0x5eed_0001,
+            iters,
+            daemon_every: 25,
+            quiet: true,
+            ..Default::default()
+        },
+        &metrics,
+    );
     eprintln!(
         "fuzzgate phase 1: {} executed ({} passed, {} skipped), {} daemon checks, \
          {} findings in {:.1?}",
@@ -43,6 +76,7 @@ fn main() -> ExitCode {
         clean.findings.len(),
         clean.elapsed
     );
+    eprintln!("fuzzgate metrics: {}", metrics_summary(&metrics));
     if !clean.findings.is_empty() {
         for f in &clean.findings {
             eprintln!(

@@ -8,7 +8,7 @@
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
 //! hloc fuzz [OPTIONS]                 differential-fuzz the optimizer
 //! hloc serve [OPTIONS]                run the optimization daemon in-process
-//! hloc remote <addr> build|stats|ping|shutdown
+//! hloc remote <addr> build|stats|metrics|ping|shutdown
 //!                                     talk to a running daemon (hlod)
 //! hloc --version                      version + enabled features
 //! hloc help                           this text
@@ -19,8 +19,11 @@
 //! (0 = all hardware threads; output is identical at any job count),
 //! `--no-inline`, `--no-clone`, `--outline`, `--train N` (PGO training
 //! run with scale N), `--emit-ir PATH` (`-` for stdout), `--run`,
-//! `--trace N`, `--sim`, `--arg N`, `--verify-each`,
-//! `--check off|structural|strict`.
+//! `--trace N|PATH` (a count prints the first N executed VM instructions
+//! under `--run`; a path writes the optimizer's Chrome trace-event JSON),
+//! `--explain[=FN[:bN.iM]]` (print inline/clone/outline/pure-call decision
+//! provenance, optionally filtered to a function or exact site), `--sim`,
+//! `--arg N`, `--verify-each`, `--check off|structural|strict`.
 
 use aggressive_inlining::{analysis, frontc, fuzz, hlo, ir, lint, profile, serve, sim, vm};
 use std::process::ExitCode;
@@ -81,7 +84,7 @@ USAGE:
                                        run the optimization daemon in-process
   hloc remote <addr> build [OPTIONS] <file.mc>...
                                        optimize on a running daemon
-  hloc remote <addr> stats|ping|shutdown
+  hloc remote <addr> stats|metrics|ping|shutdown
   hloc --version                       version + enabled features
 
 BUILD OPTIONS:
@@ -98,6 +101,12 @@ BUILD OPTIONS:
   --emit-ir PATH           write optimized IR text to PATH ('-' = stdout)
   --run                    execute the optimized program on the VM
   --trace N                with --run: print the first N executed instructions
+  --trace PATH             write the optimizer's span/decision trace as Chrome
+                           trace-event JSON to PATH (load in Perfetto)
+  --explain[=FN[:bN.iM]]   print decision provenance: why every call site was
+                           inlined/cloned/outlined or not, with reason codes,
+                           budgets and profile weights; optionally filtered to
+                           a function name or one exact site
   --sim                    execute under the PA8000 model and print stats
   --verify-each            run the full hlo-lint battery after every pipeline
                            stage; fail if any stage introduces a diagnostic
@@ -114,6 +123,8 @@ struct Parsed {
     do_run: bool,
     do_sim: bool,
     trace: Option<u64>,
+    trace_out: Option<String>,
+    explain: Option<Option<String>>,
 }
 
 fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
@@ -126,6 +137,8 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
         do_run: false,
         do_sim: false,
         trace: None,
+        trace_out: None,
+        explain: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -176,11 +189,19 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
             }
             "--emit-ir" => p.emit_ir = Some(value("--emit-ir")?),
             "--trace" => {
-                p.trace = Some(
-                    value("--trace")?
-                        .parse()
-                        .map_err(|_| "bad --trace value".to_string())?,
-                )
+                // Disambiguate by value shape: a bare count keeps the
+                // historical meaning (print the first N executed VM
+                // instructions under --run); anything else is a path the
+                // optimizer's Chrome trace-event JSON is written to.
+                let v = value("--trace")?;
+                match v.parse::<u64>() {
+                    Ok(n) => p.trace = Some(n),
+                    Err(_) => p.trace_out = Some(v),
+                }
+            }
+            "--explain" => p.explain = Some(None),
+            e if e.starts_with("--explain=") => {
+                p.explain = Some(Some(e["--explain=".len()..].to_string()))
             }
             "--run" => p.do_run = true,
             "--sim" => p.do_sim = true,
@@ -235,11 +256,13 @@ fn build(rest: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let report = hlo::optimize(&mut program, db.as_ref(), &parsed.opts);
+    let mut tracer = tracer_for(&parsed);
+    let report = hlo::optimize_traced(&mut program, db.as_ref(), &parsed.opts, &mut tracer);
     eprintln!("{report}");
     if report.outlines > 0 {
         eprintln!("outlined {} cold regions", report.outlines);
     }
+    emit_trace_outputs(&parsed, &tracer)?;
     check_verify_each(&report)?;
     if let Some(path) = &parsed.emit_ir {
         let text = ir::program_to_text(&program);
@@ -289,8 +312,10 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", parsed.files[0]))?;
     let mut program = ir::parse_program_text(&text).map_err(|e| e.to_string())?;
     ir::verify_program(&program).map_err(|e| format!("invalid IR: {e}"))?;
-    let report = hlo::optimize(&mut program, None, &parsed.opts);
+    let mut tracer = tracer_for(&parsed);
+    let report = hlo::optimize_traced(&mut program, None, &parsed.opts, &mut tracer);
     eprintln!("{report}");
+    emit_trace_outputs(&parsed, &tracer)?;
     check_verify_each(&report)?;
     if let Some(path) = &parsed.emit_ir {
         let out = ir::program_to_text(&program);
@@ -320,6 +345,42 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
         .map_err(|e| format!("simulation failed: {e}"))?;
         eprintln!("exit value {}", out.ret);
         eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+/// The tracer a `build`/`opt` invocation asked for: decision-level when
+/// either `--explain` or a `--trace` export wants provenance, otherwise a
+/// free disabled tracer.
+fn tracer_for(parsed: &Parsed) -> hlo::Tracer {
+    if parsed.explain.is_some() || parsed.trace_out.is_some() {
+        hlo::Tracer::new(hlo::TraceLevel::Decisions)
+    } else {
+        hlo::Tracer::disabled()
+    }
+}
+
+/// Writes the Chrome trace-event JSON and/or prints the decision report,
+/// as requested by `--trace PATH` / `--explain[=FILTER]`.
+fn emit_trace_outputs(parsed: &Parsed, tracer: &hlo::Tracer) -> Result<(), String> {
+    if let Some(path) = &parsed.trace_out {
+        std::fs::write(path, hlo::chrome_trace_json(tracer)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "trace: wrote {path} ({} spans, {} decisions)",
+            tracer.span_count(),
+            tracer.decisions().len()
+        );
+    }
+    if let Some(filter) = &parsed.explain {
+        let text = tracer.decision_report(filter.as_deref());
+        if text.is_empty() {
+            match filter {
+                Some(f) => println!("explain: no decisions matched `{f}`"),
+                None => println!("explain: no decisions recorded"),
+            }
+        } else {
+            print!("{text}");
+        }
     }
     Ok(())
 }
@@ -458,10 +519,10 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
 fn remote_cmd(rest: &[String]) -> Result<(), String> {
     let (addr, rest) = rest
         .split_first()
-        .ok_or("usage: hloc remote <addr> build|stats|ping|shutdown")?;
+        .ok_or("usage: hloc remote <addr> build|stats|metrics|ping|shutdown")?;
     let (sub, rest) = rest
         .split_first()
-        .ok_or("usage: hloc remote <addr> build|stats|ping|shutdown")?;
+        .ok_or("usage: hloc remote <addr> build|stats|metrics|ping|shutdown")?;
     let mut client =
         serve::Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
     match sub.as_str() {
@@ -476,12 +537,22 @@ fn remote_cmd(rest: &[String]) -> Result<(), String> {
             println!("func cone hits  {}", st.func_hits);
             println!("func cone new   {}", st.func_misses);
             println!("cached programs {}", st.entries);
+            println!("cached bytes    {}", st.cache_bytes);
             println!("busy rejections {}", st.busy);
             println!("deadline missed {}", st.deadline_missed);
             println!("request errors  {}", st.errors);
             for (stage, wall, work) in &st.stages {
                 println!("stage {stage:<12} {wall:>10} us wall {work:>10} us work");
             }
+            for (phase, count, sum) in &st.latencies {
+                let mean = if *count > 0 { sum / count } else { 0 };
+                println!("latency {phase:<12} {count:>6} obs {mean:>10} us mean");
+            }
+            Ok(())
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(())
         }
         "ping" => {

@@ -1,6 +1,11 @@
 //! `cargo tier2` — the repository's second-tier quality gate: clippy with
 //! warnings denied across all targets, then `rustfmt` in check mode.
+//!
+//! A second mode, `tier2 trace-schema <file.json>`, validates a trace file
+//! written by `hloc build --trace PATH` against the Chrome trace-event
+//! shape (CI runs a traced build and feeds the output through this).
 
+use aggressive_inlining::hlo;
 use std::process::{Command, ExitCode};
 
 fn run(args: &[&str]) -> bool {
@@ -12,7 +17,67 @@ fn run(args: &[&str]) -> bool {
         .unwrap_or(false)
 }
 
+/// Checks that `text` is valid JSON shaped like a Chrome trace-event
+/// document: a `traceEvents` array whose entries all carry `name`/`ph`/
+/// `ts`, with at least one complete (`"ph":"X"`) span. Returns the event
+/// count.
+fn check_trace_schema(text: &str) -> Result<usize, String> {
+    use hlo::trace_json::{parse, Json};
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    let mut complete = 0;
+    for (i, e) in events.iter().enumerate() {
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `name`"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `ph`"))?;
+        e.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing `ts`"))?;
+        if ph == "X" {
+            e.get("dur")
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: complete event without `dur`"))?;
+            complete += 1;
+        }
+    }
+    if complete == 0 {
+        return Err("no complete (`ph:\"X\"`) span events".to_string());
+    }
+    Ok(events.len())
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-schema") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: tier2 trace-schema <file.json>");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tier2: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_trace_schema(&text) {
+            Ok(n) => {
+                eprintln!("tier2: {path} is a valid Chrome trace ({n} events)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tier2: {path} is not a valid Chrome trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let clippy = run(&["clippy", "--all-targets", "--", "-D", "warnings"]);
     let fmt = run(&["fmt", "--all", "--check"]);
     if clippy && fmt {
@@ -25,5 +90,36 @@ fn main() -> ExitCode {
             if fmt { "" } else { "fmt" }
         );
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_trace_schema;
+    use aggressive_inlining::hlo;
+
+    #[test]
+    fn real_exporter_output_passes_the_schema_check() {
+        let mut t = hlo::Tracer::new(hlo::TraceLevel::Spans);
+        let root = t.push("optimize");
+        t.leaf(
+            "annotate",
+            std::time::Duration::from_micros(5),
+            std::time::Duration::from_micros(5),
+        );
+        t.pop(root, std::time::Duration::from_micros(5));
+        let n = check_trace_schema(&hlo::chrome_trace_json(&t)).unwrap();
+        assert_eq!(n, 3); // metadata + 2 spans
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(check_trace_schema("not json").is_err());
+        assert!(check_trace_schema("{\"traceEvents\": 3}").is_err());
+        // Parses, but has no complete span events.
+        assert!(
+            check_trace_schema("{\"traceEvents\":[{\"name\":\"m\",\"ph\":\"M\",\"ts\":0}]}")
+                .is_err()
+        );
     }
 }

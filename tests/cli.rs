@@ -95,6 +95,62 @@ fn emit_ir_then_opt_roundtrip() {
 }
 
 #[test]
+fn explain_names_inlined_and_budget_rejected_sites_and_trace_is_valid_json() {
+    let dir = tmpdir("explain");
+    let demo = dir.join("trace_demo.mc");
+    std::fs::copy(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/trace_demo.mc"),
+        &demo,
+    )
+    .unwrap();
+    let trace_path = dir.join("build-trace.json");
+    let out = hloc()
+        .args(["build", "--budget", "30", "--explain", "--trace"])
+        .arg(&trace_path)
+        .arg(&demo)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // An inlined site with its reason code, budget movement and weight...
+    assert!(
+        stdout.contains("cube@b0.i0 -> sq: inline pass=0 verdict=performed reason=accepted"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("weight=1.00"), "{stdout}");
+    // ...and a site the budget turned down, with an unmoved budget.
+    let deferred = stdout
+        .lines()
+        .find(|l| l.contains("verdict=deferred reason=budget-deferred"))
+        .unwrap_or_else(|| panic!("no budget rejection in:\n{stdout}"));
+    assert!(deferred.contains("budget="), "{deferred}");
+
+    // Site-filtered explain narrows to one call site.
+    let out = hloc()
+        .args(["build", "--budget", "30", "--explain=cube:b0.i0"])
+        .arg(&demo)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cube@b0.i0 -> sq"), "{stdout}");
+    assert!(!stdout.contains("wide@"), "{stdout}");
+
+    // The trace file is one valid Chrome trace-event JSON document.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = aggressive_inlining::hlo::trace_json::parse(&text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(aggressive_inlining::hlo::trace_json::Json::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > 2, "trace has {} events", events.len());
+}
+
+#[test]
 fn classify_prints_all_categories() {
     let dir = tmpdir("classify");
     let (lib, main) = write_sources(&dir);

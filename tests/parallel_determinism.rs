@@ -84,6 +84,52 @@ fn fuzz_generated_programs_are_identical_across_job_counts() {
 }
 
 #[test]
+fn trace_content_is_identical_across_job_counts() {
+    // Observability obeys the same contract as the IR: after timestamp
+    // normalization (span *names and nesting*, not wall times), the span
+    // tree, the decision report and the metrics exposition must be
+    // byte-identical at any job count. Decision events are gathered on
+    // read-only workers and absorbed at barriers in partition order, so
+    // `--jobs` may not reorder, drop or duplicate a single line.
+    for name in ["022.li", "124.m88ksim", "072.sc"] {
+        let b = suite::benchmark(name).expect("suite has the benchmark");
+        let run = |jobs| {
+            let mut p = b.compile().expect("suite program compiles");
+            let opts = hlo::HloOptions {
+                jobs,
+                budget_percent: 30, // tight budget: forces rejections into the log
+                scope: hlo::Scope::CrossModule,
+                ..Default::default()
+            };
+            let mut tracer = hlo::Tracer::new(hlo::TraceLevel::Decisions);
+            hlo::optimize_traced(&mut p, None, &opts, &mut tracer);
+            (
+                ir::program_to_text(&p),
+                tracer.span_tree_text(),
+                tracer.decision_report(None),
+                tracer.metrics().expose(),
+            )
+        };
+        let (ir1, spans1, decisions1, metrics1) = run(1);
+        let (ir4, spans4, decisions4, metrics4) = run(4);
+        assert_eq!(ir1, ir4, "{name}: IR diverged under tracing");
+        assert_eq!(spans1, spans4, "{name}: span tree depends on job count");
+        assert_eq!(
+            decisions1, decisions4,
+            "{name}: decision provenance depends on job count"
+        );
+        assert_eq!(
+            metrics1, metrics4,
+            "{name}: metrics exposition depends on job count"
+        );
+        assert!(
+            !decisions1.is_empty(),
+            "{name}: a decision-level trace must record decisions"
+        );
+    }
+}
+
+#[test]
 fn strict_checking_stays_identical_and_clean_in_parallel() {
     // The verify-each battery forks the checker per function under
     // parallel cleanup; diagnostics must merge back in function order and
