@@ -171,11 +171,13 @@ fn context_of(p: &Program, site: &CallSiteRef) -> Vec<Option<ConstVal>> {
 /// groups"), scanning only the partition's own edges. Read-only; when
 /// `explain` is set, legality rejections come back as decision events
 /// (seed-loop only, so each restricted edge reports exactly once).
+#[allow(clippy::too_many_arguments)] // mirrors the pass plumbing
 fn build_groups(
     p: &Program,
     cg: &CallGraph,
     part: &CallGraphPartition,
     usage: &[Vec<f64>],
+    summaries: Option<&hlo_ipa::Summaries>,
     opts: &HloOptions,
     pass: u32,
     explain: bool,
@@ -265,7 +267,12 @@ fn build_groups(
                     .unwrap_or(1.0)
             })
             .sum();
-        let benefit = calls * value;
+        let mut benefit = calls * value;
+        // A removable clonee's specialized body folds without any effect
+        // ordering to respect — same bonus the inliner applies.
+        if summaries.is_some_and(|s| s.funcs[callee.index()].removable()) {
+            benefit *= crate::inliner::IPA_PURE_BONUS;
+        }
 
         // Does the group retire the clonee? (All direct edges redirected,
         // no address taken, deletable linkage under this scope.)
@@ -339,9 +346,19 @@ pub fn clone_pass(
         let cg = cache.graph(p);
         let partitions = cg.partitions();
         let p_ref: &Program = p;
+        let summaries = opts.ipa.then(|| hlo_ipa::Summaries::compute(p_ref, cg));
         let t = Instant::now();
         let out = par_map(jobs, &partitions, |_, part| {
-            build_groups(p_ref, cg, part, &usage, opts, pass as u32, explain)
+            build_groups(
+                p_ref,
+                cg,
+                part,
+                &usage,
+                summaries.as_ref(),
+                opts,
+                pass as u32,
+                explain,
+            )
         });
         par_wall += t.elapsed();
         par_work += out.work;

@@ -65,6 +65,13 @@ pub struct HloOptions {
     /// intra-procedural half of Pettis–Hansen code positioning, part of
     /// HP's PBO; on by default like the paper's "peak options").
     pub enable_straighten: bool,
+    /// Bottom-up interprocedural summary analysis (`hlo-ipa`): MOD/REF
+    /// sets, summary-based purity, frame-escape and return-constancy
+    /// feed the inliner's screening/ranking and a summary-driven scalar
+    /// stage (constant-return folding, generalized pure-call removal,
+    /// cross-call store forwarding). On by default; turning it off
+    /// reproduces the syntactic-purity-only pipeline exactly.
+    pub ipa: bool,
     /// Outlining thresholds (used when `enable_outline` is set).
     pub outline: crate::OutlineOptions,
     /// Verify-each: how much pass-boundary checking to run. At
@@ -119,6 +126,7 @@ impl HloOptions {
         let _ = writeln!(s, "clone_db_reuse {}", onoff(self.clone_db_reuse));
         let _ = writeln!(s, "outline {}", onoff(self.enable_outline));
         let _ = writeln!(s, "straighten {}", onoff(self.enable_straighten));
+        let _ = writeln!(s, "ipa {}", onoff(self.ipa));
         let _ = writeln!(s, "outline.cold_fraction {}", self.outline.cold_fraction);
         let _ = writeln!(s, "outline.max_params {}", self.outline.max_params);
         let _ = writeln!(
@@ -192,6 +200,7 @@ impl HloOptions {
                 "clone_db_reuse" => o.clone_db_reuse = bool_of(val)?,
                 "outline" => o.enable_outline = bool_of(val)?,
                 "straighten" => o.enable_straighten = bool_of(val)?,
+                "ipa" => o.ipa = bool_of(val)?,
                 "outline.cold_fraction" => {
                     o.outline.cold_fraction = val
                         .parse()
@@ -239,6 +248,7 @@ impl Default for HloOptions {
             clone_db_reuse: true,
             enable_outline: false,
             enable_straighten: true,
+            ipa: true,
             outline: crate::OutlineOptions::default(),
             check: CheckLevel::Off,
             trace: TraceLevel::Off,
@@ -310,7 +320,7 @@ pub fn optimize_traced(
 
     // Input-stage cleanup: classic optimizations "mainly to reduce size",
     // plus interprocedural side-effect deletion on the link-time path.
-    report.pure_calls_removed += optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, tracer, 0);
+    optimize_all(p, opts, &mut ck, &mut cache, jobs, tracer, 0, &mut report);
     let t = Instant::now();
     report.deletions += delete_unreachable(p, opts.scope, &mut cache);
     tracer.leaf_seq("delete", t.elapsed());
@@ -329,8 +339,7 @@ pub fn optimize_traced(
         cache.invalidate_all();
         ck.check(p, "outline");
         if report.outlines > 0 {
-            report.pure_calls_removed +=
-                optimize_all(p, opts.scope, &mut ck, &mut cache, jobs, tracer, 0);
+            optimize_all(p, opts, &mut ck, &mut cache, jobs, tracer, 0, &mut report);
         }
         tracer.pop(outline_span, t.elapsed());
     }
@@ -393,14 +402,15 @@ pub fn optimize_traced(
         pr.deletions = delete_unreachable(p, opts.scope, &mut cache);
         tracer.leaf_seq("delete", t.elapsed());
         ck.check(p, &format!("delete@{pass}"));
-        report.pure_calls_removed += optimize_all(
+        optimize_all(
             p,
-            opts.scope,
+            opts,
             &mut ck,
             &mut cache,
             jobs,
             tracer,
             pass as u32,
+            &mut report,
         );
         let t = Instant::now();
         pr.deletions += delete_unreachable(p, opts.scope, &mut cache);
@@ -479,60 +489,145 @@ fn cleanup_round(
     tracer.leaf("cleanup", wall, work);
 }
 
+/// A pure-call deletion / ipa-stage decision event in the canonical
+/// site spelling (the instruction no longer exists, so the coordinates
+/// are pre-deletion).
+fn pure_call_event(
+    p: &Program,
+    pass: u32,
+    caller: FuncId,
+    block: usize,
+    inst: usize,
+    callee: FuncId,
+    reason: &'static str,
+) -> DecisionEvent {
+    let caller = p.func(caller);
+    DecisionEvent {
+        pass,
+        kind: DecisionKind::PureCall,
+        site: format!("{}@b{}.i{}", caller.name, block, inst),
+        callee: p.func(callee).name.clone(),
+        verdict: Verdict::Performed,
+        reason,
+        benefit: 0.0,
+        cost: 0,
+        budget_before: 0,
+        budget_after: 0,
+        profile_weight: caller
+            .profile
+            .as_ref()
+            .and_then(|pr| pr.blocks.get(block).copied())
+            .unwrap_or(0.0),
+    }
+}
+
 /// Optimizes every live function; on the whole-program path also deletes
-/// calls to side-effect-free routines (against the cached call graph).
-/// Returns pure calls removed. In verify-each mode the checker runs after
-/// every scalar sub-pass, so findings carry sub-pass origins like `cse` or
-/// `simplify_cfg`.
+/// calls to side-effect-free routines (against the cached call graph) and,
+/// with [`HloOptions::ipa`] set, runs the summary-driven cross-call stage.
+/// Accumulates its counters into `report`. In verify-each mode the checker
+/// runs after every scalar sub-pass, so findings carry sub-pass origins
+/// like `cse` or `simplify_cfg`.
+#[allow(clippy::too_many_arguments)] // internal driver plumbing
 fn optimize_all(
     p: &mut Program,
-    scope: Scope,
+    opts: &HloOptions,
     ck: &mut Checker,
     cache: &mut CallGraphCache,
     jobs: usize,
     tracer: &mut Tracer,
     pass: u32,
-) -> u64 {
+    report: &mut HloReport,
+) {
     cleanup_round(p, ck, cache, jobs, tracer);
-    if scope == Scope::CrossModule {
+    if opts.scope != Scope::CrossModule {
+        return;
+    }
+    let t = Instant::now();
+    let removal = {
+        let cg = cache.graph(p);
+        hlo_opt::eliminate_pure_calls_with(p, cg)
+    };
+    for &f in &removal.changed {
+        cache.invalidate(f);
+    }
+    tracer.leaf_seq("pure_calls", t.elapsed());
+    ck.check(p, "pure_calls");
+    if tracer.decisions_enabled() {
+        for s in &removal.sites {
+            tracer.decision(pure_call_event(
+                p,
+                pass,
+                s.caller,
+                s.block,
+                s.inst,
+                s.callee,
+                "pure-call-removed",
+            ));
+        }
+    }
+    report.pure_calls_removed += removal.removed;
+    if removal.removed > 0 {
+        cleanup_round(p, ck, cache, jobs, tracer);
+    }
+
+    // Summary-driven stage: fold constant returns, delete calls the
+    // summaries prove removable (a strict superset of the syntactic set
+    // above — only newly unlocked sites remain by now), then forward
+    // stores across summary-screened calls. `ipa off` skips all of it and
+    // reproduces the historical pipeline byte for byte.
+    if opts.ipa {
         let t = Instant::now();
-        let removal = {
+        let (summaries, syntactic) = {
             let cg = cache.graph(p);
-            hlo_opt::eliminate_pure_calls_with(p, cg)
+            (
+                hlo_ipa::Summaries::compute(p, cg),
+                hlo_analysis::side_effect_free_funcs(p, cg),
+            )
         };
-        for &f in &removal.changed {
+        let folds = hlo_opt::fold_const_returns(p, &summaries);
+        for fo in &folds {
+            cache.invalidate(fo.caller);
+        }
+        let ipa_removal = hlo_opt::eliminate_calls_where(p, &summaries.removable());
+        for &f in &ipa_removal.changed {
             cache.invalidate(f);
         }
-        tracer.leaf_seq("pure_calls", t.elapsed());
-        ck.check(p, "pure_calls");
+        let xstats = hlo_opt::forward_across_calls(p, &summaries);
+        for &f in &xstats.changed {
+            cache.invalidate(f);
+        }
+        tracer.leaf_seq("ipa", t.elapsed());
+        ck.check(p, "ipa");
         if tracer.decisions_enabled() {
-            for s in &removal.sites {
-                let caller = p.func(s.caller);
-                tracer.decision(DecisionEvent {
+            for fo in &folds {
+                tracer.decision(pure_call_event(
+                    p,
                     pass,
-                    kind: DecisionKind::PureCall,
-                    site: format!("{}@b{}.i{}", caller.name, s.block, s.inst),
-                    callee: p.func(s.callee).name.clone(),
-                    verdict: Verdict::Performed,
-                    reason: "pure-call-removed",
-                    benefit: 0.0,
-                    cost: 0,
-                    budget_before: 0,
-                    budget_after: 0,
-                    profile_weight: caller
-                        .profile
-                        .as_ref()
-                        .and_then(|pr| pr.blocks.get(s.block).copied())
-                        .unwrap_or(0.0),
-                });
+                    fo.caller,
+                    fo.block,
+                    fo.inst,
+                    fo.callee,
+                    "ipa-ret-const",
+                ));
+            }
+            for s in &ipa_removal.sites {
+                let reason = if syntactic[s.callee.index()] {
+                    "pure-call-removed"
+                } else {
+                    "ipa-pure-callee"
+                };
+                tracer.decision(pure_call_event(
+                    p, pass, s.caller, s.block, s.inst, s.callee, reason,
+                ));
             }
         }
-        if removal.removed > 0 {
+        report.ipa_const_folds += folds.len() as u64;
+        report.ipa_pure_calls += ipa_removal.removed;
+        report.ipa_store_forwards += xstats.forwards + xstats.dead_stores;
+        if !folds.is_empty() || ipa_removal.removed > 0 || xstats.forwards + xstats.dead_stores > 0
+        {
             cleanup_round(p, ck, cache, jobs, tracer);
         }
-        removal.removed
-    } else {
-        0
     }
 }
 
@@ -710,13 +805,34 @@ mod tests {
             static fn once(x) { return x + 2; }
             fn main() { return once(40); }
         "#;
+        // ipa off: the site is spliced by the inliner and the fully
+        // inlined static callee is deleted (the original mechanism).
         let mut p = hlo_frontc::compile(&[("m", src)]).unwrap();
-        let report = optimize(&mut p, None, &HloOptions::default());
+        let opts = HloOptions {
+            ipa: false,
+            ..Default::default()
+        };
+        let report = optimize(&mut p, None, &opts);
         assert!(report.inlines >= 1);
         assert!(report.deletions >= 1, "{report}");
         // module list no longer contains `once`
         let m = &p.modules[0];
         assert!(m.funcs.iter().all(|&f| p.func(f).name != "once"));
+
+        // ipa on (the default): the specialized call folds to its constant
+        // return before the inliner needs to splice it — the static callee
+        // is deleted all the same and main is a bare constant return.
+        let mut p = hlo_frontc::compile(&[("m", src)]).unwrap();
+        let report = optimize(&mut p, None, &HloOptions::default());
+        assert!(report.deletions >= 1, "{report}");
+        assert!(
+            report.inlines + report.ipa_const_folds >= 1,
+            "either path must claim the site: {report}"
+        );
+        let m = &p.modules[0];
+        assert!(m.funcs.iter().all(|&f| p.func(f).name != "once"));
+        let main = p.entry.unwrap();
+        assert_eq!(p.func(main).size(), 1, "{}", p.func(main));
     }
 
     #[test]

@@ -60,6 +60,13 @@ const COLD_SITE_PENALTY: f64 = 0.25;
 /// Priority bonus for `#[inline]`-hinted callees (a user direction).
 const HINT_BONUS: f64 = 4.0;
 
+/// Merit multiplier for callees whose `hlo-ipa` summary proves them
+/// removable: splicing a pure body exposes its computation to CSE,
+/// constant propagation and dead-code elimination with no effect ordering
+/// to respect, so such inlines fold further than the raw frequency
+/// predicts. Shared with the cloning pass's benefit ranking.
+pub(crate) const IPA_PURE_BONUS: f64 = 1.5;
+
 #[derive(Debug, Clone)]
 struct Candidate {
     site: CallSiteRef,
@@ -118,6 +125,9 @@ pub fn inline_pass(
     // borrow ends before any mutation.
     let (scc_rank, mut tasks) = {
         let cg = cache.graph(p);
+        // Interprocedural facts sharpen screening (frame-escape blocks a
+        // splice) and ranking (pure callees fold further once inlined).
+        let summaries = opts.ipa.then(|| hlo_ipa::Summaries::compute(p, cg));
         let sccs = cg.sccs();
         let mut scc_rank = vec![0usize; p.funcs.len()];
         for (i, comp) in sccs.iter().enumerate() {
@@ -153,6 +163,30 @@ pub fn inline_pass(
                     }
                     continue;
                 }
+                // Interprocedural screening: a callee that leaks its own
+                // frame address must not have its frame merged into the
+                // caller's — the escaped address would outlive (and alias)
+                // differently after the splice.
+                if let Some(s) = &summaries {
+                    if s.funcs[edge.callee.index()].leaks_frame {
+                        if explain {
+                            tracer.decision(DecisionEvent {
+                                pass: pass as u32,
+                                kind: DecisionKind::Inline,
+                                site: site_str(p, &edge.site),
+                                callee: p.func(edge.callee).name.clone(),
+                                verdict: Verdict::Rejected,
+                                reason: "ipa-escape-blocked",
+                                benefit: 0.0,
+                                cost: 0,
+                                budget_before: 0,
+                                budget_after: 0,
+                                profile_weight: site_cnt,
+                            });
+                        }
+                        continue;
+                    }
+                }
                 let callee = p.func(edge.callee);
                 let entry_cnt = caller.profile.as_ref().map_or(1.0, |pr| pr.entry);
                 let mut merit = site_cnt;
@@ -161,6 +195,12 @@ pub fn inline_pass(
                 }
                 if callee.flags.inline_hint {
                     merit *= HINT_BONUS;
+                }
+                if summaries
+                    .as_ref()
+                    .is_some_and(|s| s.funcs[edge.callee.index()].removable())
+                {
+                    merit *= IPA_PURE_BONUS;
                 }
                 candidates.push(Candidate {
                     site: edge.site,

@@ -71,3 +71,36 @@ pub use legality::{clone_restriction, inline_restriction, Restriction};
 pub use outline::{outline_cold_regions, outline_cold_regions_traced, OutlineOptions};
 pub use report::{HloReport, PassReport, StageTiming};
 pub use transform::{inline_call, make_clone, redirect_site_to_clone, InlineSplice};
+
+/// Every stable reason code the optimizer can emit in decision provenance
+/// ([`DecisionEvent::reason`]). The DESIGN.md §11 table documents each;
+/// `cargo tier2` checks that no code listed here is missing from it, so
+/// adding a reason without documenting it fails the gate.
+pub fn all_reason_codes() -> &'static [&'static str] {
+    &[
+        // Verdicts of the ranking/selection machinery.
+        "accepted",
+        "budget-deferred",
+        "budget-discarded",
+        "db-reuse",
+        "retires-clonee",
+        "cold-region",
+        // Pure-call deletion and the summary-driven scalar stage.
+        "pure-call-removed",
+        "ipa-pure-callee",
+        "ipa-ret-const",
+        // Interprocedural screening.
+        "ipa-escape-blocked",
+        // Legality/technical/pragmatic/user restrictions.
+        "arity-mismatch",
+        "type-mismatch",
+        "varargs",
+        "strict-fp-mix",
+        "dyn-alloca",
+        "user-noinline",
+        "self-call",
+        "out-of-scope",
+        "entry-callee",
+        "not-direct",
+    ]
+}

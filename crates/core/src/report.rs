@@ -49,6 +49,16 @@ pub struct HloReport {
     /// Calls to side-effect-free routines removed by interprocedural
     /// analysis (the 072.sc curses-stub effect).
     pub pure_calls_removed: u64,
+    /// Additional unused-result calls removed because their callee's
+    /// `hlo-ipa` summary proved it removable — sites the syntactic purity
+    /// test above could not unlock (0 with `ipa off`).
+    pub ipa_pure_calls: u64,
+    /// Call results replaced by a constant because every return path of
+    /// the callee yields it (`hlo-ipa` return-constancy; 0 with `ipa off`).
+    pub ipa_const_folds: u64,
+    /// Cross-call store-to-load forwards plus cross-call dead global
+    /// stores deleted under summary alias screening (0 with `ipa off`).
+    pub ipa_store_forwards: u64,
     /// Cold regions extracted by aggressive outlining (0 unless
     /// `enable_outline` is set).
     pub outlines: u64,
@@ -130,6 +140,9 @@ impl HloReport {
         n("clone_replacements", self.clone_replacements);
         n("deletions", self.deletions);
         n("pure_calls_removed", self.pure_calls_removed);
+        n("ipa_pure_calls", self.ipa_pure_calls);
+        n("ipa_const_folds", self.ipa_const_folds);
+        n("ipa_store_forwards", self.ipa_store_forwards);
         n("outlines", self.outlines);
         n("straightened", self.straightened);
         n("initial_cost", self.initial_cost);
@@ -190,6 +203,9 @@ impl HloReport {
                 "clone_replacements" => r.clone_replacements = num(val)?,
                 "deletions" => r.deletions = num(val)?,
                 "pure_calls_removed" => r.pure_calls_removed = num(val)?,
+                "ipa_pure_calls" => r.ipa_pure_calls = num(val)?,
+                "ipa_const_folds" => r.ipa_const_folds = num(val)?,
+                "ipa_store_forwards" => r.ipa_store_forwards = num(val)?,
                 "outlines" => r.outlines = num(val)?,
                 "straightened" => r.straightened = num(val)?,
                 "initial_cost" => r.initial_cost = num(val)?,
@@ -245,6 +261,13 @@ impl std::fmt::Display for HloReport {
             self.deletions,
             self.pure_calls_removed
         )?;
+        if self.ipa_pure_calls + self.ipa_const_folds + self.ipa_store_forwards > 0 {
+            writeln!(
+                f,
+                "ipa: {} summary-unlocked pure calls, {} const returns folded, {} cross-call forwards",
+                self.ipa_pure_calls, self.ipa_const_folds, self.ipa_store_forwards
+            )?;
+        }
         write!(
             f,
             "cost {} -> {} (budget {})",

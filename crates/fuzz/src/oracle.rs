@@ -153,9 +153,9 @@ fn entry(label: &str, opts: HloOptions, with_profile: bool, probe_jobs: bool) ->
 
 impl OracleConfig {
     /// The full matrix the fuzz gate runs: budgets {0, 100, 400} crossed
-    /// with both scopes, plus profile-guided, strict-checked, and
-    /// outlining configurations, with jobs-determinism probes on the two
-    /// aggressive entries.
+    /// with both scopes, plus profile-guided, strict-checked, outlining,
+    /// and summary-analysis-disabled (`noipa`) configurations, with
+    /// jobs-determinism probes on the aggressive entries.
     pub fn full() -> Self {
         let base = HloOptions::default(); // CrossModule, budget 100
         let with = |scope, budget: u64| HloOptions {
@@ -202,6 +202,27 @@ impl OracleConfig {
                     },
                     true,
                     false,
+                ),
+                // The ipa on/off axis: the summary-driven stages must be
+                // sound (covered by every entry above, where ipa defaults
+                // on) AND the pipeline must stay correct with them off.
+                entry(
+                    "b100-program-noipa",
+                    HloOptions {
+                        ipa: false,
+                        ..with(Scope::CrossModule, 100)
+                    },
+                    false,
+                    false,
+                ),
+                entry(
+                    "b400-program-noipa",
+                    HloOptions {
+                        ipa: false,
+                        ..with(Scope::CrossModule, 400)
+                    },
+                    false,
+                    true,
                 ),
             ],
         }
@@ -475,6 +496,35 @@ mod tests {
         match out {
             CaseOutcome::Fail(f) => assert_eq!(f.kind, FindingKind::CompileError),
             other => panic!("expected compile finding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planted_ipa_fault_is_detected_as_divergence() {
+        // Arm the summary fault: every function's effect facts are erased,
+        // so the ipa stage deletes the dead-result call to `noisy` — whose
+        // print is observable — and the extern trace diverges. The quick
+        // matrix keeps `ipa` at its default (on).
+        let _guard = hlo_ipa::fault::FaultGuard::arm();
+        let out = check_sources(
+            &sources_of(
+                r#"
+                fn noisy(x) { print_i64(x); return x; }
+                fn main(a) { noisy(a + 1); return a; }
+                "#,
+            ),
+            &OracleConfig::quick(),
+        );
+        match out {
+            CaseOutcome::Fail(f) => {
+                assert_eq!(f.kind, FindingKind::BehaviorDivergence);
+                assert!(
+                    f.detail.contains("extern trace") || f.detail.contains("output"),
+                    "{}",
+                    f.detail
+                );
+            }
+            other => panic!("expected divergence under summary fault, got {other:?}"),
         }
     }
 

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! Bottom-up interprocedural summary analysis over the call graph.
+//!
+//! The optimizer's per-function passes forfeit cross-call facts that
+//! whole-program visibility makes cheap: whether a callee writes any
+//! global the caller cares about, whether a call with a dead result can
+//! be deleted even though the callee fills a local scratch array, whether
+//! a frame address handed down a call chain is retained somewhere, and
+//! whether a routine always returns the same constant. This crate
+//! computes one [`FuncSummary`] per function by a deterministic fixpoint
+//! over the SCC condensation of the call graph ([`CallGraph::sccs`]
+//! returns components callees-first, so a single sequential sweep with
+//! iteration inside each component suffices) and hands the results to:
+//!
+//! * the inliner/cloner (legality: `ipa-escape-blocked`; benefit:
+//!   `ipa-pure-callee`),
+//! * the scalar passes (generalized pure-call elimination, cross-call
+//!   store-to-load forwarding, constant-return folding — `crates/opt`),
+//! * the lint battery (call-through-escaped-frame, infeasible
+//!   indirect-call target sets — `crates/lint`),
+//! * the `hlo-serve` cache keys (summary fingerprints are mixed into the
+//!   per-function dependence-cone hashes, so editing a callee's
+//!   *effects* re-keys its whole caller cone).
+//!
+//! The analysis is sequential and allocation-order deterministic, so its
+//! output is byte-identical at any `--jobs` value by construction; the
+//! summaries serialize to a canonical text form ([`Summaries::to_text`] /
+//! [`Summaries::from_text`]) that is diffable and fingerprintable.
+//!
+//! Soundness notes (documented approximations, all conservative except
+//! where stated):
+//!
+//! * Pointer classification is flow-insensitive; any register holding
+//!   values of more than one class degrades to *unknown*, and stores
+//!   through unknown or absolute addresses set `writes_unknown`.
+//! * Frame-escape tracking follows frame addresses through copies and
+//!   direct-call argument positions, but not through arithmetic or
+//!   memory (the same laundering limitation as the intraprocedural
+//!   frame-escape lint). Returning a parameter is not an escape.
+//! * `may_not_terminate` is true for any function whose CFG has a cycle
+//!   or that (transitively) participates in recursion — no termination
+//!   proofs are attempted.
+
+pub mod fault;
+
+mod analyze;
+mod summary;
+
+pub use summary::{FuncSummary, ParamEscape, RetInfo, Summaries};

@@ -1,0 +1,288 @@
+//! Interprocedural lints driven by `hlo-ipa` summaries.
+//!
+//! Unlike the per-function battery, these checks need whole-program
+//! context (a call graph and the bottom-up summary fixpoint), so they run
+//! from the standalone report entry points rather than inside the
+//! verify-each [`crate::Checker`] — re-deriving summaries at every pass
+//! boundary would dominate checking time for no added coverage (the
+//! intraprocedural battery already guards the invariants transforms can
+//! break).
+
+use crate::diag::{Diagnostic, Severity};
+use hlo_analysis::CallGraph;
+use hlo_ipa::{ParamEscape, Summaries};
+use hlo_ir::{Callee, FuncId, Inst, Program, Reg};
+use std::collections::BTreeSet;
+
+/// Runs both interprocedural checks, sharing one call graph and one
+/// summary computation.
+pub(crate) fn interprocedural_into(p: &Program, out: &mut Vec<Diagnostic>) {
+    let cg = CallGraph::build(p);
+    let summaries = Summaries::compute(p, &cg);
+    check_escaped_frame_calls(p, &summaries, out);
+    check_indirect_target_sets(p, &cg, out);
+}
+
+/// Renders the escape path of parameter `param` of `f` by following
+/// [`ParamEscape::Via`] links until the retaining function. The walk is
+/// capped at the function count: `Via` chains produced by the analysis are
+/// acyclic, but a hand-written (deserialized) summary set need not be.
+fn escape_chain(summaries: &Summaries, mut f: FuncId, mut param: usize) -> String {
+    let mut parts = Vec::new();
+    for _ in 0..summaries.funcs.len().max(1) {
+        let s = &summaries.funcs[f.index()];
+        match s.param_escapes.get(param) {
+            Some(ParamEscape::Via(g, j)) => {
+                parts.push(format!("`{}` param {param}", s.name));
+                f = *g;
+                param = *j;
+            }
+            _ => {
+                parts.push(format!("`{}` param {param} (retained there)", s.name));
+                return parts.join(" -> ");
+            }
+        }
+    }
+    parts.push("...".to_string());
+    parts.join(" -> ")
+}
+
+/// Call-through-escaped-frame: a frame-slot address passed to a callee
+/// whose summary says that parameter escapes — the callee (or something it
+/// calls) may retain a pointer into the caller's frame beyond the call.
+/// The diagnostic names the full interprocedural chain down to the
+/// function that retains the address.
+fn check_escaped_frame_calls(p: &Program, summaries: &Summaries, out: &mut Vec<Diagnostic>) {
+    for (_, f) in p.iter_funcs() {
+        for (bid, block) in f.iter_blocks() {
+            // Per-block tracking of registers holding a frame address,
+            // same scheme as the intraprocedural frame-escape lint.
+            let mut holds: Vec<Option<hlo_ir::SlotId>> = vec![None; f.num_regs as usize];
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Inst::Call {
+                    callee: Callee::Func(id),
+                    args,
+                    ..
+                } = inst
+                {
+                    if id.index() < summaries.funcs.len() {
+                        for (ai, a) in args.iter().enumerate() {
+                            let slot = a
+                                .as_reg()
+                                .and_then(|r: Reg| holds.get(r.index()).copied().flatten());
+                            let Some(slot) = slot else { continue };
+                            let esc = summaries.funcs[id.index()].param_escapes.get(ai);
+                            if matches!(esc, Some(ParamEscape::No) | None) {
+                                continue;
+                            }
+                            out.push(
+                                Diagnostic::new(
+                                    Severity::Warning,
+                                    &f.name,
+                                    format!(
+                                        "address of frame slot {slot} escapes through call \
+                                         chain {}",
+                                        escape_chain(summaries, *id, ai)
+                                    ),
+                                )
+                                .at_inst(bid, i),
+                            );
+                        }
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    if let Some(h) = holds.get_mut(d.index()) {
+                        *h = match inst {
+                            Inst::FrameAddr { slot, .. } => Some(*slot),
+                            _ => None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Infeasible indirect-call target sets: an indirect call can only ever
+/// reach address-taken functions, and the VM zero-fills missing arguments,
+/// so a site whose argument count matches no address-taken function's
+/// arity either calls nothing sensible or relies on that zero-fill — a
+/// front-end or transform bug either way.
+fn check_indirect_target_sets(p: &Program, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let taken_arities: BTreeSet<u32> = p
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cg.address_taken[*i])
+        .map(|(_, f)| f.params)
+        .collect();
+    for (_, f) in p.iter_funcs() {
+        for (bid, block) in f.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                let Inst::Call {
+                    callee: Callee::Indirect(_),
+                    args,
+                    ..
+                } = inst
+                else {
+                    continue;
+                };
+                let n = args.len() as u32;
+                if taken_arities.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Warning,
+                            &f.name,
+                            "indirect call in a program where no function has its address \
+                             taken (empty target set)"
+                                .to_string(),
+                        )
+                        .at_inst(bid, i),
+                    );
+                } else if !taken_arities.contains(&n) {
+                    let arities: Vec<String> =
+                        taken_arities.iter().map(|a| a.to_string()).collect();
+                    out.push(
+                        Diagnostic::new(
+                            Severity::Warning,
+                            &f.name,
+                            format!(
+                                "indirect call passes {n} arguments but every address-taken \
+                                 function takes {} (infeasible target set)",
+                                arities.join(" or ")
+                            ),
+                        )
+                        .at_inst(bid, i),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interprocedural_diagnostics;
+    use crate::Severity;
+    use hlo_ir::{ConstVal, FunctionBuilder, Linkage, Operand, ProgramBuilder, Type};
+
+    fn compile(src: &str) -> hlo_ir::Program {
+        hlo_frontc::compile(&[("m", src)]).expect("test source compiles")
+    }
+
+    #[test]
+    fn clean_program_has_no_interprocedural_findings() {
+        let p = compile(
+            "fn add(a, b) { return a + b; }\n\
+             fn main() { return add(2, 3); }",
+        );
+        let diags = interprocedural_diagnostics(&p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn direct_escape_is_flagged_with_the_retainer_named() {
+        let p = compile(
+            "global g;\n\
+             fn keep(p) { g = p; return 0; }\n\
+             fn main() { var a[2]; return keep(&a); }",
+        );
+        let diags = interprocedural_diagnostics(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(diags[0].func, "main");
+        assert!(
+            diags[0]
+                .message
+                .contains("escapes through call chain `keep` param 0 (retained there)"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn two_level_escape_names_the_full_chain() {
+        let p = compile(
+            "global g;\n\
+             fn keep(q) { g = q; return 0; }\n\
+             fn fwd(p) { return keep(p); }\n\
+             fn main() { var a[2]; return fwd(&a); }",
+        );
+        let diags = interprocedural_diagnostics(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0]
+                .message
+                .contains("`fwd` param 0 -> `keep` param 0 (retained there)"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn non_escaping_callee_is_quiet() {
+        let p = compile(
+            "fn read(p) { return p[0]; }\n\
+             fn main() { var a[2]; a[0] = 7; return read(&a); }",
+        );
+        let diags = interprocedural_diagnostics(&p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn infeasible_indirect_arity_is_flagged() {
+        // One address-taken function of arity 1; the indirect site passes 2.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut t = FunctionBuilder::new("target", m, 1);
+        let e = t.entry_block();
+        t.ret(e, Some(Operand::Reg(hlo_ir::Reg(0))));
+        let target = pb.add_function(t.finish(Linkage::Public, Type::I64));
+        let mut mn = FunctionBuilder::new("main", m, 0);
+        let e = mn.entry_block();
+        let fp = mn.const_(e, ConstVal::FuncAddr(target));
+        let r = mn.call_indirect(e, fp.into(), vec![Operand::imm(1), Operand::imm(2)]);
+        mn.ret(e, Some(r.into()));
+        let id = pb.add_function(mn.finish(Linkage::Public, Type::I64));
+        let p = pb.finish(Some(id));
+        let diags = interprocedural_diagnostics(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0]
+                .message
+                .contains("passes 2 arguments but every address-taken function takes 1"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn empty_target_set_is_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        let mut mn = FunctionBuilder::new("main", m, 1);
+        let e = mn.entry_block();
+        let r = mn.call_indirect(e, Operand::Reg(hlo_ir::Reg(0)), vec![]);
+        mn.ret(e, Some(r.into()));
+        let id = pb.add_function(mn.finish(Linkage::Public, Type::I64));
+        let p = pb.finish(Some(id));
+        let diags = interprocedural_diagnostics(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("empty target set"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn feasible_indirect_call_is_quiet() {
+        let p = compile(
+            "fn inc(x) { return x + 1; }\n\
+             fn dec(x) { return x - 1; }\n\
+             fn main(n) { var f = n > 0 ? &inc : &dec; return f(n); }",
+        );
+        let diags = interprocedural_diagnostics(&p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -25,6 +25,8 @@
 //! | unreachable blocks | Info | `pedantic` |
 //! | dead stores (backward liveness) | Info | `pedantic` |
 //! | frame-slot address escapes | Info | `pedantic` |
+//! | call-through-escaped-frame (`hlo-ipa` chains) | Warning | standalone report |
+//! | infeasible indirect-call target set | Warning | standalone report |
 //!
 //! Pedantic checks describe states that optimization *creates or removes*
 //! routinely (dead stores before DCE, unreachable blocks before CFG
@@ -46,6 +48,7 @@ mod checker;
 mod checks;
 mod dataflow;
 mod diag;
+mod interproc;
 
 pub use checker::{CheckLevel, Checker, INPUT_ORIGIN};
 pub use diag::{Diagnostic, LintReport, Severity};
@@ -109,9 +112,31 @@ pub fn full_diagnostics(p: &Program, opts: &LintOptions) -> Vec<Diagnostic> {
     out
 }
 
-/// Convenience: [`full_diagnostics`] wrapped in a renderable report.
+/// The interprocedural lints: whole-program checks driven by `hlo-ipa`
+/// summaries over the call graph. Two checks today:
+///
+/// * **call-through-escaped-frame** — a frame-slot address is passed to a
+///   callee whose summary says that parameter escapes; the diagnostic
+///   names the full call chain down to the retaining function.
+/// * **infeasible indirect-call target set** — an indirect call whose
+///   argument count matches no address-taken function's arity (or a
+///   program with indirect calls but no address-taken function at all).
+///
+/// These need a call graph and the summary fixpoint, so they run from the
+/// standalone report ([`lint_report`], `hloc lint`) rather than at every
+/// verify-each pass boundary.
+pub fn interprocedural_diagnostics(p: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    interproc::interprocedural_into(p, &mut out);
+    out
+}
+
+/// Convenience: [`full_diagnostics`] plus [`interprocedural_diagnostics`],
+/// wrapped in a renderable report — the full standalone battery.
 pub fn lint_report(p: &Program, opts: &LintOptions) -> LintReport {
-    LintReport::new(full_diagnostics(p, opts))
+    let mut diags = full_diagnostics(p, opts);
+    diags.extend(interprocedural_diagnostics(p));
+    LintReport::new(diags)
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@
 //! * [`pure_calls`] — removal of calls to interprocedurally
 //!   side-effect-free routines whose results are unused (the paper's
 //!   072.sc curses-stub deletions).
+//! * [`xcall`] — summary-driven cross-call transformations
+//!   (constant-return folding, store-to-load forwarding across calls,
+//!   cross-call dead-store elimination), fed by `hlo-ipa`.
 //! * [`straighten`] — profile-guided block reordering (intra-procedural
 //!   code positioning after Pettis & Hansen): hot successors become
 //!   fall-throughs, which the machine model rewards by eliding jumps to
@@ -42,11 +45,14 @@ pub mod pipeline;
 pub mod pure_calls;
 pub mod simplify_cfg;
 pub mod straighten;
+pub mod xcall;
 
 pub use pipeline::{
     optimize_function, optimize_function_checked, optimize_program, optimize_program_checked,
     OptStats,
 };
 pub use pure_calls::{
-    eliminate_pure_calls, eliminate_pure_calls_with, PureCallRemoval, PureCallSite,
+    eliminate_calls_where, eliminate_pure_calls, eliminate_pure_calls_with, PureCallRemoval,
+    PureCallSite,
 };
+pub use xcall::{fold_const_returns, forward_across_calls, ConstRetFold, CrossCallStats};

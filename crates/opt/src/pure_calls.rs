@@ -51,6 +51,16 @@ pub fn eliminate_pure_calls(p: &mut Program) -> u64 {
 /// report of which functions were edited.
 pub fn eliminate_pure_calls_with(p: &mut Program, cg: &CallGraph) -> PureCallRemoval {
     let free = side_effect_free_funcs(p, cg);
+    eliminate_calls_where(p, &free)
+}
+
+/// The deletion engine behind [`eliminate_pure_calls_with`], parameterized
+/// over *which* callees are deletable: `deletable[i]` says a direct call to
+/// function `i` whose result is unused may be removed. The syntactic purity
+/// wrapper passes `side_effect_free_funcs`; the driver's ipa stage passes
+/// the summary-based removable set (a strict superset).
+pub fn eliminate_calls_where(p: &mut Program, deletable: &[bool]) -> PureCallRemoval {
+    let free = deletable;
     let mut removed = 0;
     let mut changed = Vec::new();
     let mut sites = Vec::new();

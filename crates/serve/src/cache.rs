@@ -11,7 +11,11 @@
 //!   `program_to_text` form combined (via [`CallGraphCache::cone_hashes`])
 //!   with the hashes of every inline-reachable callee, plus the option
 //!   fingerprint, profile hash and the program environment (globals,
-//!   externs, entry). Editing one function changes the cone keys of
+//!   externs, entry). With `ipa` enabled (the default), each function's
+//!   `hlo-ipa` summary fingerprint is folded in as well, so a key also
+//!   changes when a function's interprocedural *summary* changes — which
+//!   happens for exactly the dependence cone of a behavioural edit.
+//!   Editing one function changes the cone keys of
 //!   exactly that function and its transitive callers — its *dependence
 //!   cone* — so the store's hit/miss split on the next request reports
 //!   precisely which functions an edit invalidated. Functions outside the
@@ -79,8 +83,17 @@ pub fn request_key(
     }
     let env = env.finish();
 
-    let funcs = cg
-        .cone_hashes(p)
+    // With ipa enabled, per-function summary fingerprints are folded into
+    // the cone hashes: a function's key then changes whenever its
+    // *summary* changes — which happens exactly for the dependence cone of
+    // a behavioural edit, since summaries absorb callee effects bottom-up.
+    let cones = if opts.ipa {
+        let fingerprints = hlo_ipa::Summaries::compute(p, cg.graph(p)).fingerprints();
+        cg.cone_hashes_salted(p, &fingerprints)
+    } else {
+        cg.cone_hashes(p)
+    };
+    let funcs = cones
         .into_iter()
         .map(|cone| {
             let mut h = Fnv64::new();
@@ -306,6 +319,38 @@ mod tests {
         // mid_b, main.
         assert_ne!(base.funcs[0], edited.funcs[0], "leaf_a changed");
         assert_ne!(base.funcs[1], edited.funcs[1], "mid_a calls leaf_a");
+        assert_eq!(base.funcs[2], edited.funcs[2], "leaf_b untouched");
+        assert_eq!(base.funcs[3], edited.funcs[3], "mid_b untouched");
+        assert_ne!(base.funcs[4], edited.funcs[4], "main reaches leaf_a");
+    }
+
+    #[test]
+    fn summary_changing_edit_re_keys_exactly_the_dependence_cone() {
+        // The global exists in both versions (so the program environment
+        // hash is identical); the edit turns leaf_a from pure into a
+        // global writer — a *summary* change that the bottom-up analysis
+        // propagates to mid_a and main, and to nothing else.
+        let base = key_of(&compile(&[(
+            "m",
+            "global acc;
+             static fn leaf_a(x) { return x + 1; }
+             static fn mid_a(x) { return leaf_a(x) * 2; }
+             static fn leaf_b(x) { return x - 1; }
+             static fn mid_b(x) { return leaf_b(x) * 3; }
+             fn main() { return mid_a(4) + mid_b(5); }",
+        )]));
+        let edited = key_of(&compile(&[(
+            "m",
+            "global acc;
+             static fn leaf_a(x) { acc = acc + x; return x + 1; }
+             static fn mid_a(x) { return leaf_a(x) * 2; }
+             static fn leaf_b(x) { return x - 1; }
+             static fn mid_b(x) { return leaf_b(x) * 3; }
+             fn main() { return mid_a(4) + mid_b(5); }",
+        )]));
+        assert_ne!(base.program, edited.program);
+        assert_ne!(base.funcs[0], edited.funcs[0], "leaf_a changed");
+        assert_ne!(base.funcs[1], edited.funcs[1], "mid_a absorbs leaf_a");
         assert_eq!(base.funcs[2], edited.funcs[2], "leaf_b untouched");
         assert_eq!(base.funcs[3], edited.funcs[3], "mid_b untouched");
         assert_ne!(base.funcs[4], edited.funcs[4], "main reaches leaf_a");

@@ -72,6 +72,52 @@ fn optimize_roundtrip_matches_in_process_and_warms_the_cache() {
 }
 
 #[test]
+fn callee_edit_invalidates_exactly_the_dependent_cones() {
+    // Two independent call chains under main. Warm the cache, then edit
+    // only one leaf: the per-function cone accounting must report misses
+    // for exactly that leaf's dependence cone (leaf_a, mid_a, main) and
+    // hits for the untouched chain (leaf_b, mid_b).
+    let v1 = "global acc;
+              static fn leaf_a(x) { return x + 1; }
+              static fn mid_a(x) { return leaf_a(x) * 2; }
+              static fn leaf_b(x) { return x - 1; }
+              static fn mid_b(x) { return leaf_b(x) * 3; }
+              fn main() { return mid_a(4) + mid_b(5); }";
+    let v2 = "global acc;
+              static fn leaf_a(x) { acc = acc + x; return x + 1; }
+              static fn mid_a(x) { return leaf_a(x) * 2; }
+              static fn leaf_b(x) { return x - 1; }
+              static fn mid_b(x) { return leaf_b(x) * 3; }
+              fn main() { return mid_a(4) + mid_b(5); }";
+    let req_of = |src: &str| OptimizeRequest::from_minc(vec![("m".to_string(), src.to_string())]);
+
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let cold = client.optimize(&req_of(v1)).unwrap();
+    assert!(!cold.outcome.hit);
+    let warm = client.optimize(&req_of(v1)).unwrap();
+    assert!(warm.outcome.hit);
+    assert_eq!(warm.outcome.func_misses, 0);
+    assert_eq!(warm.outcome.func_hits, 5);
+
+    let edited = client.optimize(&req_of(v2)).unwrap();
+    assert!(!edited.outcome.hit, "edited program must re-optimize");
+    assert_eq!(
+        edited.outcome.func_misses, 3,
+        "exactly leaf_a, mid_a and main are in the edited cone"
+    );
+    assert_eq!(
+        edited.outcome.func_hits, 2,
+        "leaf_b and mid_b keys must survive the edit"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
 fn fuzz_generated_programs_round_trip_byte_identical() {
     // The cache key must be a pure function of (sources, options): for
     // arbitrary generated programs the daemon's cold answer equals a

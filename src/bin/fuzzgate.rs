@@ -10,10 +10,15 @@
 //!    fault armed (`hlo::fault`). The gate *must* find at least one
 //!    divergence and shrink it to a small reproducer; if it cannot, the
 //!    oracle has gone blind and a green phase 1 means nothing.
+//! 3. **Summary sensitivity** — the same check with the planted
+//!    interprocedural-summary fault armed (`ipa::fault`): every summary
+//!    deliberately claims purity, so the summary-driven pure-call stage
+//!    deletes observable calls. The oracle must catch that too — proof it
+//!    can see a wrong purity summary, not just a wrong splice.
 //!
 //! Usage: `cargo fuzzgate [iters]` (default 500 phase-1 iterations).
 
-use aggressive_inlining::{fuzz, hlo};
+use aggressive_inlining::{fuzz, hlo, ipa};
 use std::process::ExitCode;
 
 /// Phase-2 reproducers must shrink to at most this many source lines.
@@ -88,8 +93,8 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
 
-    // Phase 2: with a planted fault the gate must light up, and the
-    // shrinker must get the reproducer small.
+    // Phases 2 and 3: with a planted fault armed the gate must light up,
+    // and the shrinker must get the reproducer small.
     let faulty = {
         let _guard = hlo::fault::FaultGuard::arm();
         fuzz::run_campaign(&fuzz::CampaignConfig {
@@ -101,6 +106,30 @@ fn main() -> ExitCode {
             ..Default::default()
         })
     };
+    if !sensitivity_ok("phase 2 (inliner fault)", &faulty) {
+        return ExitCode::from(1);
+    }
+
+    let faulty = {
+        let _guard = ipa::fault::FaultGuard::arm();
+        fuzz::run_campaign(&fuzz::CampaignConfig {
+            seed: 0x5eed_0003,
+            iters: 200,
+            stop_after: 1,
+            oracle: fuzz::OracleConfig::quick(),
+            quiet: true,
+            ..Default::default()
+        })
+    };
+    if !sensitivity_ok("phase 3 (summary fault)", &faulty) {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Checks one sensitivity phase: the campaign must have caught at least
+/// one behavior divergence and shrunk it to a small reproducer.
+fn sensitivity_ok(phase: &str, faulty: &fuzz::CampaignReport) -> bool {
     let caught = faulty
         .findings
         .iter()
@@ -108,25 +137,25 @@ fn main() -> ExitCode {
     match caught {
         None => {
             eprintln!(
-                "fuzzgate phase 2: planted fault NOT caught in {} cases — oracle is blind",
+                "fuzzgate {phase}: planted fault NOT caught in {} cases — oracle is blind",
                 faulty.executed
             );
-            ExitCode::from(1)
+            false
         }
         Some(f) if f.lines > MAX_SHRUNK_LINES => {
             eprintln!(
-                "fuzzgate phase 2: caught the planted fault but shrank it to {} lines \
+                "fuzzgate {phase}: caught the planted fault but shrank it to {} lines \
                  (limit {MAX_SHRUNK_LINES})",
                 f.lines
             );
-            ExitCode::from(1)
+            false
         }
         Some(f) => {
             eprintln!(
-                "fuzzgate phase 2: planted fault caught at iter {} and shrunk to {} lines; gate green",
+                "fuzzgate {phase}: planted fault caught at iter {} and shrunk to {} lines; gate green",
                 f.iter, f.lines
             );
-            ExitCode::SUCCESS
+            true
         }
     }
 }

@@ -95,6 +95,7 @@ BUILD OPTIONS:
                            0 = all hardware threads; same output at any N)
   --no-inline              disable the inlining passes
   --no-clone               disable the cloning passes
+  --no-ipa                 disable the interprocedural-summary stage
   --outline                enable aggressive outlining (paper's future work)
   --train N                profile-guided: training run with scale argument N
   --arg N                  argument passed to main for --run/--sim (default 0)
@@ -172,6 +173,7 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
             }
             "--no-inline" => p.opts.enable_inline = false,
             "--no-clone" => p.opts.enable_clone = false,
+            "--no-ipa" => p.opts.ipa = false,
             "--outline" => p.opts.enable_outline = true,
             "--verify-each" => p.opts.check = hlo::CheckLevel::Strict,
             "--check" => p.opts.check = value("--check")?.parse()?,
@@ -602,6 +604,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
             }
             "--no-inline" => opts.enable_inline = false,
             "--no-clone" => opts.enable_clone = false,
+            "--no-ipa" => opts.ipa = false,
             "--outline" => opts.enable_outline = true,
             "--profile" => profile_path = Some(value("--profile")?),
             "--deadline-ms" => {

@@ -4,6 +4,10 @@
 //! A second mode, `tier2 trace-schema <file.json>`, validates a trace file
 //! written by `hloc build --trace PATH` against the Chrome trace-event
 //! shape (CI runs a traced build and feeds the output through this).
+//!
+//! The default gate also checks that every decision reason code the
+//! pipeline can emit (`hlo::all_reason_codes()`) is documented in the
+//! DESIGN.md §11 table, so a new reason cannot ship undocumented.
 
 use aggressive_inlining::hlo;
 use std::process::{Command, ExitCode};
@@ -53,6 +57,38 @@ fn check_trace_schema(text: &str) -> Result<usize, String> {
     Ok(events.len())
 }
 
+/// Every reason code the pipeline can emit must appear (backtick-quoted)
+/// in `design`; returns the codes that do not.
+fn undocumented_reason_codes(design: &str) -> Vec<&'static str> {
+    hlo::all_reason_codes()
+        .iter()
+        .copied()
+        .filter(|code| !design.contains(&format!("`{code}`")))
+        .collect()
+}
+
+fn check_reason_codes() -> bool {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md");
+    let design = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tier2: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let missing = undocumented_reason_codes(&design);
+    if missing.is_empty() {
+        eprintln!(
+            "tier2: all {} reason codes documented in DESIGN.md",
+            hlo::all_reason_codes().len()
+        );
+        true
+    } else {
+        eprintln!("tier2: reason codes missing from the DESIGN.md table: {missing:?}");
+        false
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace-schema") {
@@ -80,14 +116,16 @@ fn main() -> ExitCode {
     }
     let clippy = run(&["clippy", "--all-targets", "--", "-D", "warnings"]);
     let fmt = run(&["fmt", "--all", "--check"]);
-    if clippy && fmt {
+    let reasons = check_reason_codes();
+    if clippy && fmt && reasons {
         eprintln!("tier2: clean");
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "tier2: FAILED ({}{})",
+            "tier2: FAILED ({}{}{})",
             if clippy { "" } else { "clippy " },
-            if fmt { "" } else { "fmt" }
+            if fmt { "" } else { "fmt " },
+            if reasons { "" } else { "reason-codes" }
         );
         ExitCode::FAILURE
     }
@@ -95,8 +133,22 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::check_trace_schema;
+    use super::{check_trace_schema, undocumented_reason_codes};
     use aggressive_inlining::hlo;
+
+    #[test]
+    fn shipped_design_documents_every_reason_code() {
+        let design = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"));
+        assert_eq!(undocumented_reason_codes(design), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn missing_codes_are_reported() {
+        let partial = "only `accepted` and `pure-call-removed` are here";
+        let missing = undocumented_reason_codes(partial);
+        assert!(missing.contains(&"ipa-pure-callee"));
+        assert!(!missing.contains(&"accepted"));
+    }
 
     #[test]
     fn real_exporter_output_passes_the_schema_check() {

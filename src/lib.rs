@@ -7,6 +7,9 @@
 //!
 //! * [`ir`] — the ucode-analogue intermediate representation.
 //! * [`analysis`] — call graph, loops, purity, call-site classification.
+//! * [`ipa`] — bottom-up interprocedural summaries (MOD/REF, purity,
+//!   frame escape, return constancy) feeding inlining, scalar opt, lint,
+//!   and the daemon's cache keys.
 //! * [`frontc`] — the MinC front end producing IR modules.
 //! * [`opt`] — the scalar optimizer HLO interleaves with its passes.
 //! * [`profile`] — profile database + collection (PBO substrate).
@@ -27,6 +30,7 @@ pub use hlo;
 pub use hlo_analysis as analysis;
 pub use hlo_frontc as frontc;
 pub use hlo_fuzz as fuzz;
+pub use hlo_ipa as ipa;
 pub use hlo_ir as ir;
 pub use hlo_lint as lint;
 pub use hlo_opt as opt;

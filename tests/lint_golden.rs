@@ -3,7 +3,9 @@
 //! broken programs produce exactly the expected findings.
 
 use hlo::{optimize, CheckLevel, Checker, HloOptions};
-use hlo_lint::{full_diagnostics, lint_program, lint_report, LintOptions, Severity};
+use hlo_lint::{
+    full_diagnostics, interprocedural_diagnostics, lint_program, lint_report, LintOptions, Severity,
+};
 
 /// Every suite program, freshly compiled, reports zero diagnostics —
 /// structural and lint battery both.
@@ -110,6 +112,53 @@ fn injected_defect_names_the_originating_pass() {
     let rendered = report.to_string();
     assert!(
         rendered.contains("introduced by pass `inline@0`"),
+        "{rendered}"
+    );
+}
+
+/// The interprocedural (summary-driven) lints are silent on the whole
+/// benchmark suite, both on fresh front-end output and after the full
+/// optimization pipeline: no suite program passes a frame address to a
+/// callee that retains it, and every indirect call site has a feasible
+/// address-taken target.
+#[test]
+fn suite_is_interprocedurally_clean_pre_and_post_opt() {
+    for b in hlo_suite::all_benchmarks() {
+        let mut p = b.compile().unwrap();
+        let pre = interprocedural_diagnostics(&p);
+        assert!(pre.is_empty(), "{} (pre-opt): {pre:#?}", b.name);
+        optimize(&mut p, None, &HloOptions::default());
+        let post = interprocedural_diagnostics(&p);
+        assert!(post.is_empty(), "{} (post-opt): {post:#?}", b.name);
+    }
+}
+
+/// A frame address escaping through two call levels is reported once, at
+/// the call site, with the *full* interprocedural chain named — the
+/// forwarding function, the parameter it forwards through, and the
+/// function that finally retains the pointer.
+#[test]
+fn two_level_frame_escape_report_names_the_full_chain() {
+    let src = "global sink;\n\
+               fn keep(q) { sink = q; return 0; }\n\
+               fn fwd(p) { return keep(p); }\n\
+               fn main() { var a[3]; return fwd(&a); }";
+    let p = hlo_frontc::compile(&[("m", src)]).unwrap();
+    let diags = interprocedural_diagnostics(&p);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.func, "main");
+    assert!(
+        d.message.contains(
+            "escapes through call chain `fwd` param 0 -> `keep` param 0 (retained there)"
+        ),
+        "{d}"
+    );
+    // The standalone report (what `hloc lint` prints) carries the finding.
+    let rendered = lint_report(&p, &LintOptions::default()).to_string();
+    assert!(
+        rendered.contains("`fwd` param 0 -> `keep` param 0"),
         "{rendered}"
     );
 }

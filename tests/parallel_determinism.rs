@@ -4,7 +4,7 @@
 //! any job count — partition planning, parallel cleanup and the shared
 //! call-graph cache may only change *when* work happens, never *what*.
 
-use aggressive_inlining::{fuzz, hlo, ir, suite};
+use aggressive_inlining::{analysis, fuzz, hlo, ipa, ir, suite};
 
 fn optimized_text(b: &suite::Benchmark, opts: &hlo::HloOptions) -> (String, hlo::HloReport) {
     let mut p = b.compile().expect("suite program compiles");
@@ -126,6 +126,50 @@ fn trace_content_is_identical_across_job_counts() {
             !decisions1.is_empty(),
             "{name}: a decision-level trace must record decisions"
         );
+    }
+}
+
+#[test]
+fn ipa_summaries_and_decisions_are_identical_across_job_counts() {
+    // The interprocedural-summary stage runs inside the same pipeline the
+    // partitioner schedules, so it inherits the contract: with `ipa` on,
+    // the optimized IR, the decision report (including the ipa-* reasons)
+    // and the summaries recomputed over the optimized program must be
+    // byte-identical at any job count. The subset is the benchmarks where
+    // ipabench shows summary-stage activity.
+    for name in ["124.m88ksim", "072.sc", "130.li", "147.vortex"] {
+        let b = suite::benchmark(name).expect("suite has the benchmark");
+        let run = |jobs| {
+            let mut p = b.compile().expect("suite program compiles");
+            let opts = hlo::HloOptions {
+                jobs,
+                scope: hlo::Scope::CrossModule,
+                ..Default::default()
+            };
+            assert!(opts.ipa, "ipa is on by default");
+            let mut tracer = hlo::Tracer::new(hlo::TraceLevel::Decisions);
+            hlo::optimize_traced(&mut p, None, &opts, &mut tracer);
+            let cg = analysis::CallGraph::build(&p);
+            let summaries = ipa::Summaries::compute(&p, &cg);
+            (
+                ir::program_to_text(&p),
+                summaries.to_text(),
+                tracer.decision_report(None),
+            )
+        };
+        let (ir1, sum1, dec1) = run(1);
+        for jobs in [2, 8] {
+            let (irn, sumn, decn) = run(jobs);
+            assert_eq!(ir1, irn, "{name}: IR diverged at jobs={jobs} with ipa on");
+            assert_eq!(sum1, sumn, "{name}: summaries depend on job count");
+            assert_eq!(dec1, decn, "{name}: ipa decisions depend on job count");
+        }
+        if name == "124.m88ksim" {
+            assert!(
+                dec1.contains("ipa-ret-const"),
+                "{name}: expected a return-constancy fold in the decision report"
+            );
+        }
     }
 }
 

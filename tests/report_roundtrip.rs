@@ -78,15 +78,17 @@ fn report_strategy() -> impl Strategy<Value = HloReport> {
         any::<u64>(),
         1u64..64,
     );
+    let ipa = (any::<u64>(), any::<u64>(), any::<u64>());
     let lists = (
         prop::collection::vec(pass_strategy(), 0..6),
         prop::collection::vec(stage_strategy(), 0..6),
     );
-    (counts, costs, lists).prop_map(|(counts, costs, lists)| {
+    (counts, costs, ipa, lists).prop_map(|(counts, costs, ipa, lists)| {
         let (inlines, clones, clone_replacements, deletions, pure_calls, outlines, straightened) =
             counts;
         let (initial_cost, final_cost, budget_limit, checks_run, lint_time_us, annotations, jobs) =
             costs;
+        let (ipa_pure_calls, ipa_const_folds, ipa_store_forwards) = ipa;
         let (passes, stage_timings) = lists;
         HloReport {
             inlines,
@@ -94,6 +96,9 @@ fn report_strategy() -> impl Strategy<Value = HloReport> {
             clone_replacements,
             deletions,
             pure_calls_removed: pure_calls,
+            ipa_pure_calls,
+            ipa_const_folds,
+            ipa_store_forwards,
             outlines,
             straightened,
             initial_cost,
