@@ -71,6 +71,7 @@ fn main() -> ExitCode {
                     .collect(),
             ),
             profile: Some(profile_text),
+            train_arg: None,
             deadline_ms: None,
         };
         let t = Instant::now();

@@ -26,7 +26,8 @@ use crate::gen::{generate_modules, GenConfig};
 use crate::irgen::{generate_program, IrGenConfig};
 use crate::mutate::mutate;
 use crate::oracle::{
-    check_program, check_sources, CaseOutcome, Finding, FindingKind, OracleConfig,
+    check_program_with, check_sources, check_sources_with, CaseOutcome, Finding, FindingKind,
+    OracleConfig,
 };
 use crate::print::{print_sources, source_lines};
 use crate::rng::Rng;
@@ -174,8 +175,10 @@ pub fn run_campaign_with(cfg: &CampaignConfig, metrics: &MetricsRegistry) -> Cam
         report.executed += 1;
         let oracle_t = Instant::now();
         let outcome = match &case {
-            Case::Minc(_, modules) => check_sources(&print_sources(modules), &cfg.oracle),
-            Case::Ir(_, p) => check_program(p, &cfg.oracle),
+            Case::Minc(_, modules) => {
+                check_sources_with(&print_sources(modules), &cfg.oracle, Some(metrics))
+            }
+            Case::Ir(_, p) => check_program_with(p, &cfg.oracle, Some(metrics)),
         };
         metrics.observe(
             "fuzz_oracle_us",

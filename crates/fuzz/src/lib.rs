@@ -48,8 +48,8 @@ pub use gen::{generate_modules, generate_sources, GenConfig};
 pub use irgen::{generate_program, IrGenConfig};
 pub use mutate::mutate;
 pub use oracle::{
-    check_program, check_sources, observe, CaseOutcome, Finding, FindingKind, OracleConfig,
-    ORACLE_FUEL,
+    check_program, check_program_with, check_sources, check_sources_with, observe, observe_both,
+    CaseOutcome, Finding, FindingKind, OracleConfig, ORACLE_FUEL,
 };
 pub use rng::Rng;
 pub use shrink::{shrink, ShrinkConfig, ShrinkOutcome, ShrinkStep};

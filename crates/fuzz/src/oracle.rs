@@ -15,7 +15,12 @@
 //! * different observable behaviour, including a trap the baseline did
 //!   not have ([`FindingKind::BehaviorDivergence`]);
 //! * output that is not byte-identical across `--jobs` values
-//!   ([`FindingKind::JobsNondeterminism`]).
+//!   ([`FindingKind::JobsNondeterminism`]);
+//! * the two VM execution tiers disagreeing about what a program does
+//!   ([`FindingKind::TierDivergence`]) — every execution the oracle
+//!   performs (baseline and optimized) runs on both the tree-walker and
+//!   the bytecode tier and must agree on return value, output, checksum,
+//!   extern-call order, retired-instruction count, and trap.
 //!
 //! Baselines that trap are **skipped**, not reported: the generator
 //! produces clean programs by construction, but mutants may divide by
@@ -24,10 +29,11 @@
 //! differential comparison would report noise.
 
 use crate::print::source_lines;
+use hlo::MetricsRegistry;
 use hlo::{optimize, CheckLevel, HloOptions, Scope};
 use hlo_ir::{program_to_text, verify_program, Program};
 use hlo_profile::ProfileDb;
-use hlo_vm::{run_with_monitor, ExecMonitor, ExecOptions, ExecOutcome, SiteId};
+use hlo_vm::{run_with_monitor, ExecMonitor, ExecOptions, ExecOutcome, SiteId, Tier};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Fuel for baseline runs. Optimized runs get [`FUEL_HEADROOM`]× this, so
@@ -72,6 +78,10 @@ pub enum FindingKind {
     /// optimize of the same request (cold), or its warm cached response
     /// was not byte-identical to the cold one.
     DaemonMismatch,
+    /// The tree-walking and bytecode execution tiers disagreed about the
+    /// same program's observable behaviour (a VM bug, not an optimizer
+    /// bug).
+    TierDivergence,
 }
 
 impl std::fmt::Display for FindingKind {
@@ -84,6 +94,7 @@ impl std::fmt::Display for FindingKind {
             FindingKind::BehaviorDivergence => "behavior-divergence",
             FindingKind::JobsNondeterminism => "jobs-nondeterminism",
             FindingKind::DaemonMismatch => "daemon-mismatch",
+            FindingKind::TierDivergence => "tier-divergence",
         })
     }
 }
@@ -138,6 +149,11 @@ pub struct OracleConfig {
     pub fuel: u64,
     /// Worker count used by jobs-determinism probes.
     pub probe_jobs: usize,
+    /// Tier used for profile synthesis (`ProfileDb::from_vm_trace`).
+    /// Executions always run on *both* tiers regardless — this only
+    /// selects which engine feeds PGO, so planted-fault sensitivity can
+    /// be exercised end to end on either tier.
+    pub tier: Tier,
     /// The configurations to test.
     pub entries: Vec<MatrixEntry>,
 }
@@ -167,6 +183,7 @@ impl OracleConfig {
             args: vec![5],
             fuel: ORACLE_FUEL,
             probe_jobs: 4,
+            tier: Tier::Tree,
             entries: vec![
                 entry("b0-module", with(Scope::WithinModule, 0), false, false),
                 entry("b0-program", with(Scope::CrossModule, 0), false, false),
@@ -266,26 +283,90 @@ impl ExecMonitor for ExternTrace {
     }
 }
 
-/// Runs `p` and collects its observable behaviour.
-///
-/// # Errors
-/// Propagates the VM trap when the run faults.
-pub fn observe(p: &Program, args: &[i64], fuel: u64) -> Result<Observed, hlo_vm::Trap> {
+/// Runs `p` on one tier and collects its observable behaviour plus the
+/// retired-instruction count.
+fn observe_on(
+    p: &Program,
+    args: &[i64],
+    fuel: u64,
+    tier: Tier,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<(Observed, u64), hlo_vm::Trap> {
     let mut tracer = ExternTrace {
         names: p.externs.iter().map(|e| e.name.clone()).collect(),
         calls: Vec::new(),
     };
     let opts = ExecOptions {
         fuel,
+        tier,
         ..Default::default()
     };
-    let out: ExecOutcome = run_with_monitor(p, args, &opts, &mut tracer)?;
-    Ok(Observed {
-        ret: out.ret,
-        output: out.output,
-        checksum: out.checksum,
-        externs: tracer.calls,
-    })
+    let out: ExecOutcome = match metrics {
+        Some(reg) => hlo_vm::run_with_monitor_metrics(p, args, &opts, &mut tracer, reg)?,
+        None => run_with_monitor(p, args, &opts, &mut tracer)?,
+    };
+    let retired = out.retired;
+    Ok((
+        Observed {
+            ret: out.ret,
+            output: out.output,
+            checksum: out.checksum,
+            externs: tracer.calls,
+        },
+        retired,
+    ))
+}
+
+/// Runs `p` and collects its observable behaviour (tree tier).
+///
+/// # Errors
+/// Propagates the VM trap when the run faults.
+pub fn observe(p: &Program, args: &[i64], fuel: u64) -> Result<Observed, hlo_vm::Trap> {
+    observe_on(p, args, fuel, Tier::Tree, None).map(|(o, _)| o)
+}
+
+fn tier_side(r: &Result<(Observed, u64), hlo_vm::Trap>) -> String {
+    match r {
+        Ok((o, retired)) => format!(
+            "ret {} output {:?} checksum {:#x} externs {:?} retired {retired}",
+            o.ret, o.output, o.checksum, o.externs
+        ),
+        Err(t) => format!("trap: {t}"),
+    }
+}
+
+/// Runs `p` on *both* execution tiers and requires them to agree on the
+/// full result — same [`Observed`] and retired count, or the same trap
+/// with the same function attribution.
+///
+/// # Errors
+/// The outer `Err` describes a tier divergence (a VM bug); the inner
+/// `Result` is the agreed-upon run result.
+pub fn observe_both(
+    p: &Program,
+    args: &[i64],
+    fuel: u64,
+) -> Result<Result<Observed, hlo_vm::Trap>, String> {
+    observe_both_with(p, args, fuel, None)
+}
+
+fn observe_both_with(
+    p: &Program,
+    args: &[i64],
+    fuel: u64,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<Result<Observed, hlo_vm::Trap>, String> {
+    let tree = observe_on(p, args, fuel, Tier::Tree, metrics);
+    let bytecode = observe_on(p, args, fuel, Tier::Bytecode, metrics);
+    if tree == bytecode {
+        Ok(tree.map(|(o, _)| o))
+    } else {
+        Err(format!(
+            "tree [{}] vs bytecode [{}]",
+            tier_side(&tree),
+            tier_side(&bytecode)
+        ))
+    }
 }
 
 /// Compiles `(module, source)` pairs through the real front end.
@@ -304,8 +385,18 @@ pub fn compile_sources(sources: &[(String, String)]) -> Result<Program, String> 
 /// matrix. A front-end rejection is itself a finding — the generator and
 /// shrinker only emit programs they believe are valid.
 pub fn check_sources(sources: &[(String, String)], oc: &OracleConfig) -> CaseOutcome {
+    check_sources_with(sources, oc, None)
+}
+
+/// [`check_sources`] with per-tier VM execution counters recorded into
+/// `metrics` (see `hlo_vm::run_with_monitor_metrics`).
+pub fn check_sources_with(
+    sources: &[(String, String)],
+    oc: &OracleConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> CaseOutcome {
     match compile_sources(sources) {
-        Ok(p) => check_program(&p, oc),
+        Ok(p) => check_program_with(&p, oc, metrics),
         Err(e) => CaseOutcome::Fail(Finding {
             kind: FindingKind::CompileError,
             config: "frontc".to_string(),
@@ -318,9 +409,27 @@ pub fn check_sources(sources: &[(String, String)], oc: &OracleConfig) -> CaseOut
 /// Oracle entry point for already-compiled programs (the IR generator and
 /// the daemon cross-check use this).
 pub fn check_program(p0: &Program, oc: &OracleConfig) -> CaseOutcome {
-    let baseline = match observe(p0, &oc.args, oc.fuel) {
-        Ok(b) => b,
-        Err(t) => return CaseOutcome::Skip(format!("baseline trapped: {t}")),
+    check_program_with(p0, oc, None)
+}
+
+/// [`check_program`] with per-tier VM execution counters recorded into
+/// `metrics`.
+pub fn check_program_with(
+    p0: &Program,
+    oc: &OracleConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> CaseOutcome {
+    let baseline = match observe_both_with(p0, &oc.args, oc.fuel, metrics) {
+        Ok(Ok(b)) => b,
+        Ok(Err(t)) => return CaseOutcome::Skip(format!("baseline trapped: {t}")),
+        Err(d) => {
+            return CaseOutcome::Fail(Finding {
+                kind: FindingKind::TierDivergence,
+                config: "tier-baseline".to_string(),
+                options_fingerprint: 0,
+                detail: d,
+            });
+        }
     };
     let opt_fuel = oc.fuel.saturating_mul(FUEL_HEADROOM);
 
@@ -338,6 +447,7 @@ pub fn check_program(p0: &Program, oc: &OracleConfig) -> CaseOutcome {
         let profile = entry.with_profile.then(|| {
             let exec = ExecOptions {
                 fuel: oc.fuel,
+                tier: oc.tier,
                 ..Default::default()
             };
             ProfileDb::from_vm_trace(p0, &oc.args, &exec)
@@ -371,8 +481,8 @@ pub fn check_program(p0: &Program, oc: &OracleConfig) -> CaseOutcome {
             }
         }
 
-        match observe(&optimized, &oc.args, opt_fuel) {
-            Ok(obs) => {
+        match observe_both_with(&optimized, &oc.args, opt_fuel, metrics) {
+            Ok(Ok(obs)) => {
                 if obs != baseline {
                     return fail(
                         FindingKind::BehaviorDivergence,
@@ -380,11 +490,14 @@ pub fn check_program(p0: &Program, oc: &OracleConfig) -> CaseOutcome {
                     );
                 }
             }
-            Err(t) => {
+            Ok(Err(t)) => {
                 return fail(
                     FindingKind::BehaviorDivergence,
                     format!("baseline ran clean, optimized trapped: {t}"),
                 );
+            }
+            Err(d) => {
+                return fail(FindingKind::TierDivergence, d);
             }
         }
 

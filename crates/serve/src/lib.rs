@@ -57,6 +57,12 @@ pub struct OptimizeRequest {
     /// request still queued when it expires is answered with an error
     /// instead of being optimized.
     pub deadline_ms: Option<u64>,
+    /// Execute the optimized program once with this argument on the
+    /// daemon's bytecode tier after optimizing. The outcome lands in the
+    /// response's `train` line and the run feeds the daemon's per-tier VM
+    /// metrics (`hloc remote metrics`). A trapping run is reported, never
+    /// an error.
+    pub train_arg: Option<i64>,
 }
 
 impl OptimizeRequest {
@@ -67,6 +73,7 @@ impl OptimizeRequest {
             source: SourceKind::Minc(sources),
             profile: None,
             deadline_ms: None,
+            train_arg: None,
         }
     }
 
@@ -89,6 +96,9 @@ impl OptimizeRequest {
         }
         if let Some(d) = self.deadline_ms {
             s.push("deadline_ms", d.to_string());
+        }
+        if let Some(t) = self.train_arg {
+            s.push("train", t.to_string());
         }
         s
     }
@@ -126,11 +136,21 @@ impl OptimizeRequest {
             ),
             None => None,
         };
+        let train_arg = match s.get("train") {
+            Some(_) => Some(
+                s.text("train")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad train arg".to_string())?,
+            ),
+            None => None,
+        };
         Ok(OptimizeRequest {
             options,
             source,
             profile,
             deadline_ms,
+            train_arg,
         })
     }
 }
@@ -146,6 +166,10 @@ pub struct OptimizeResponse {
     pub report: HloReport,
     /// What the cache did with this request.
     pub outcome: CacheOutcome,
+    /// Outcome of the request's training run (`train_arg`): a one-line
+    /// summary of the bytecode-tier execution, or the trap it hit.
+    /// `None` when the request asked for no training run.
+    pub train: Option<String>,
 }
 
 impl OptimizeResponse {
@@ -161,6 +185,9 @@ impl OptimizeResponse {
                 self.outcome.hit as u8, self.outcome.func_hits, self.outcome.func_misses
             ),
         );
+        if let Some(t) = &self.train {
+            s.push("train", t.as_str());
+        }
         s
     }
 
@@ -185,10 +212,15 @@ impl OptimizeResponse {
                 _ => {}
             }
         }
+        let train = match s.get("train") {
+            Some(_) => Some(s.text("train")?.to_string()),
+            None => None,
+        };
         Ok(OptimizeResponse {
             ir_text,
             report,
             outcome,
+            train,
         })
     }
 }
@@ -210,6 +242,7 @@ mod tests {
             ]),
             profile: Some("func a main 1\nblocks 1\nend\n".to_string()),
             deadline_ms: Some(250),
+            train_arg: Some(12),
         };
         let back = OptimizeRequest::from_sections(&req.to_sections()).unwrap();
         assert_eq!(req, back);
@@ -219,6 +252,7 @@ mod tests {
             source: SourceKind::Ir("hlo-ir v1\nentry 0\n".to_string()),
             profile: None,
             deadline_ms: None,
+            train_arg: None,
         };
         let back = OptimizeRequest::from_sections(&ir_req.to_sections()).unwrap();
         assert_eq!(ir_req, back);
@@ -247,6 +281,7 @@ mod tests {
                 func_hits: 5,
                 func_misses: 2,
             },
+            train: Some("ret 3 retired 42 output 1 checksum 0x9".to_string()),
         };
         let back = OptimizeResponse::from_sections(&resp.to_sections()).unwrap();
         assert_eq!(resp, back);

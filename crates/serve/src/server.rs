@@ -438,6 +438,9 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
             (ir_text, report_text)
         }
     };
+    let train = req
+        .train_arg
+        .map(|arg| train_run(&ir_text, arg, &shared.metrics));
     let mut s = Sections::new();
     s.push("ir", ir_text);
     s.push("report", report_text);
@@ -448,7 +451,37 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
             outcome.hit as u8, outcome.func_hits, outcome.func_misses
         ),
     );
+    if let Some(t) = train {
+        s.push("train", t);
+    }
     Frame::new(Kind::Result, &s)
+}
+
+/// Executes the optimized program once on the bytecode tier with `arg`
+/// and summarizes the outcome on one line. The run feeds the daemon's
+/// per-tier VM metrics; a trap (or unparsable IR, which cannot happen for
+/// text the daemon just produced) is reported in the summary, never as a
+/// request failure.
+fn train_run(ir_text: &str, arg: i64, metrics: &MetricsRegistry) -> String {
+    let program = match hlo_ir::parse_program_text(ir_text) {
+        Ok(p) => p,
+        Err(e) => return format!("error: bad optimized IR: {e}"),
+    };
+    let opts = hlo_vm::ExecOptions {
+        tier: hlo_vm::Tier::Bytecode,
+        ..Default::default()
+    };
+    let mut monitor = hlo_vm::NullMonitor;
+    match hlo_vm::run_with_monitor_metrics(&program, &[arg], &opts, &mut monitor, metrics) {
+        Ok(out) => format!(
+            "ret {} retired {} output {} checksum {:#x}",
+            out.ret,
+            out.retired,
+            out.output.len(),
+            out.checksum
+        ),
+        Err(t) => format!("trap: {t}"),
+    }
 }
 
 fn error_frame(msg: &str) -> Frame {

@@ -163,6 +163,58 @@ fn fuzz_generated_programs_round_trip_byte_identical() {
     server.wait();
 }
 
+#[test]
+fn train_arg_runs_the_optimized_program_on_the_bytecode_tier() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // No training run requested: no `train` line in the response.
+    let plain = client.optimize(&minc_request()).unwrap();
+    assert_eq!(plain.train, None);
+
+    // Ground truth: optimize in-process and run on the bytecode tier.
+    let mut program = hlo_frontc::compile(SOURCES).unwrap();
+    hlo::optimize(&mut program, None, &hlo::HloOptions::default());
+    let opts = hlo_vm::ExecOptions {
+        tier: hlo_vm::Tier::Bytecode,
+        ..Default::default()
+    };
+    let out = hlo_vm::run_program(&program, &[7], &opts).unwrap();
+
+    let mut req = minc_request();
+    req.train_arg = Some(7);
+    let resp = client.optimize(&req).unwrap();
+    assert!(resp.outcome.hit, "train run must not perturb the cache key");
+    assert_eq!(
+        resp.train.as_deref(),
+        Some(
+            format!(
+                "ret {} retired {} output {} checksum {:#x}",
+                out.ret,
+                out.retired,
+                out.output.len(),
+                out.checksum
+            )
+            .as_str()
+        )
+    );
+
+    // The run fed the daemon's per-tier VM metrics.
+    let metrics = client.metrics().unwrap();
+    assert_eq!(
+        series(&metrics, "vm_runs_total{tier=\"bytecode\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        series(&metrics, "vm_instructions_total{tier=\"bytecode\"}"),
+        Some(out.retired as i64)
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
 /// Pulls one series value out of a Prometheus exposition.
 fn series(text: &str, name: &str) -> Option<i64> {
     text.lines()

@@ -1,0 +1,1240 @@
+//! Compilation of `hlo-ir` into a compact linear bytecode.
+//!
+//! The compiler resolves everything the tree-walker re-discovers on every
+//! visit: virtual registers become frame-relative indices into one flat
+//! register file, block targets become instruction offsets, call targets
+//! become function-table indices, and constants — including function and
+//! global addresses — are resolved at compile time using the same
+//! [`DataLayout`] the VM's memory uses at run time.
+//!
+//! Two further design points buy the dispatch loop its speed:
+//!
+//! * **Constants live in the register window.** Each function's window is
+//!   `num_regs` virtual registers followed by that function's deduplicated
+//!   constants, copied in at frame push. Every operand is then a plain
+//!   frame-relative slot index — the execution loop never branches on
+//!   "register or constant" and needs no constant pool lookup.
+//! * **One opcode per (operation, shape).** `Bin` is flattened into one
+//!   opcode per [`BinOp`] (and `Un` per [`UnOp`]), so the loop has a
+//!   single dispatch point instead of a second operator `match` inside
+//!   the arithmetic arm. Every op fits in 20 bytes.
+//!
+//! * **Superinstruction fusion.** The hottest adjacent instruction pairs
+//!   of the suite (compare-and-branch, shift-and-load, copy-and-jump, …)
+//!   compile to single fused opcodes, halving dispatch work on those
+//!   pairs. A fused op charges fuel, retires, and reports monitor events
+//!   for *both* constituent IR instructions in original order — including
+//!   trapping with `FuelExhausted` between them when the fuel runs out
+//!   after the first — so observable semantics stay instruction-exact.
+//!   Branch targets can only be block starts, so control never enters the
+//!   middle of a fused pair.
+//!
+//! Apart from fusion, each IR instruction compiles to exactly one
+//! [`BcOp`], and fuel accounting and retired-instruction counts always
+//! match the tree-walker instruction for instruction. A block that does
+//! not end in a terminator
+//! gets a fuel-free [`BcOp::TrapAbort`] pad so that running off its end
+//! traps exactly like the tree-walker's missing-instruction case; branch
+//! targets outside the function's block list route to a shared abort op
+//! at pc 0 (the tree-walker would panic there, which verified programs
+//! never reach).
+//!
+//! # Validation
+//!
+//! The compiler bounds-checks every static index (registers against
+//! `num_regs`, slots, direct-call and extern ids) so the execution loop
+//! can use unchecked accesses. An instruction that fails validation —
+//! possible only for IR that [`hlo_ir::verify_program`] rejects —
+//! compiles to [`BcOp::InvalidIr`], which panics if executed, mirroring
+//! the tree-walker's lazy panic on the same instruction.
+
+use std::collections::HashMap;
+
+use crate::interp::FRAME_OVERHEAD_BYTES;
+use crate::memory::{DataLayout, CODE_BASE};
+use hlo_ir::{BinOp, Block, BlockId, Callee, ConstVal, Inst, Operand, Program, Reg, UnOp};
+
+/// `dst` sentinel for calls that discard their result.
+pub(crate) const NO_DST: u32 = u32::MAX;
+
+/// Range into [`BytecodeProgram::arg_slots`] holding a call's arguments.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArgSpan {
+    pub(crate) start: u32,
+    pub(crate) len: u16,
+}
+
+/// One bytecode operation (one per IR instruction, plus fuel-free
+/// [`BcOp::TrapAbort`] pads). All operand fields are frame-relative
+/// window slots (a register index, or `num_regs + k` for the function's
+/// `k`-th constant).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BcOp {
+    /// `Const` and `Copy`: move a slot into a register.
+    Mov {
+        dst: u32,
+        src: u32,
+    },
+    Add {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Sub {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Mul {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Div {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Rem {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    And {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Or {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Xor {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Shl {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Shr {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpEq {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpNe {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpLt {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpLe {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpGt {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    CmpGe {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FAdd {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FSub {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FMul {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FDiv {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FLt {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    FEq {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Neg {
+        dst: u32,
+        a: u32,
+    },
+    Not {
+        dst: u32,
+        a: u32,
+    },
+    FNeg {
+        dst: u32,
+        a: u32,
+    },
+    IToF {
+        dst: u32,
+        a: u32,
+    },
+    FToI {
+        dst: u32,
+        a: u32,
+    },
+    Load {
+        dst: u32,
+        base: u32,
+        offset: u32,
+    },
+    Store {
+        base: u32,
+        offset: u32,
+        value: u32,
+    },
+    FrameAddr {
+        dst: u32,
+        slot: u32,
+    },
+    Alloca {
+        dst: u32,
+        bytes: u32,
+    },
+    Call {
+        dst: u32,
+        func: u32,
+        args: ArgSpan,
+    },
+    CallExtern {
+        dst: u32,
+        ext: u32,
+        args: ArgSpan,
+    },
+    CallIndirect {
+        dst: u32,
+        target: u32,
+        args: ArgSpan,
+    },
+    /// `Ret { value: None }` compiles with a constant-slot 0.
+    Ret {
+        value: u32,
+    },
+    Jump {
+        pc: u32,
+    },
+    Br {
+        cond: u32,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    // Fused superinstructions (two IR instructions, one dispatch). The
+    // `u16` operand fields rely on the per-function window fitting in
+    // 16 bits, checked before fusion is enabled for a function.
+    /// `Bin{Eq} ; Br` on the comparison result.
+    CmpEqBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin{Ne} ; Br` on the comparison result.
+    CmpNeBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin{Lt} ; Br` on the comparison result.
+    CmpLtBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin{Le} ; Br` on the comparison result.
+    CmpLeBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin{Gt} ; Br` on the comparison result.
+    CmpGtBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin{Ge} ; Br` on the comparison result.
+    CmpGeBr {
+        a: u16,
+        b: u16,
+        dst: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Const`/`Copy` ; `Jump`.
+    MovJump {
+        dst: u32,
+        src: u32,
+        pc: u32,
+    },
+    /// `Bin{Add}` ; `Const`/`Copy`.
+    AddMov {
+        dst: u16,
+        a: u16,
+        b: u16,
+        dst2: u16,
+        src2: u16,
+    },
+    /// `Bin{Shl}` ; `Load`.
+    ShlLoad {
+        dst: u16,
+        a: u16,
+        b: u16,
+        dst2: u16,
+        base2: u16,
+        off2: u16,
+    },
+    /// `Bin{Shl}` ; `Store`.
+    ShlStore {
+        dst: u16,
+        a: u16,
+        b: u16,
+        base2: u16,
+        off2: u16,
+        val2: u16,
+    },
+    /// `Load` ; `Ret`.
+    LoadRet {
+        dst: u16,
+        base: u16,
+        offset: u16,
+        rv: u16,
+    },
+    /// `Store` ; `Jump`.
+    StoreJump {
+        base: u16,
+        offset: u16,
+        value: u16,
+        pc: u32,
+    },
+    // Generic catch-alls for pairs involving non-trapping integer ALU
+    // ops ([`AluK`]); the named fusions above take precedence for the
+    // hottest shapes.
+    /// `Bin` ; `Bin`.
+    BinBin {
+        k1: AluK,
+        k2: AluK,
+        dst: u16,
+        a: u16,
+        b: u16,
+        dst2: u16,
+        a2: u16,
+        b2: u16,
+    },
+    /// `Bin` ; `Const`/`Copy`.
+    BinMov {
+        k1: AluK,
+        dst: u16,
+        a: u16,
+        b: u16,
+        dst2: u16,
+        src2: u16,
+    },
+    /// `Const`/`Copy` ; `Bin`.
+    MovBin {
+        k2: AluK,
+        dst: u16,
+        src: u16,
+        dst2: u16,
+        a2: u16,
+        b2: u16,
+    },
+    /// `Bin` ; `Load`.
+    BinLoad {
+        k1: AluK,
+        dst: u16,
+        a: u16,
+        b: u16,
+        dst2: u16,
+        base2: u16,
+        off2: u16,
+    },
+    /// `Bin` ; `Store`.
+    BinStore {
+        k1: AluK,
+        dst: u16,
+        a: u16,
+        b: u16,
+        base2: u16,
+        off2: u16,
+        val2: u16,
+    },
+    /// `Load` ; `Bin`.
+    LoadBin {
+        k2: AluK,
+        dst: u16,
+        base: u16,
+        offset: u16,
+        dst2: u16,
+        a2: u16,
+        b2: u16,
+    },
+    /// `Store` ; `Load`.
+    StoreLoad {
+        base: u16,
+        offset: u16,
+        value: u16,
+        dst2: u16,
+        base2: u16,
+        off2: u16,
+    },
+    /// `Const`/`Copy` ; `Br`.
+    MovBr {
+        dst: u16,
+        src: u16,
+        cond: u16,
+        t: u32,
+        e: u32,
+    },
+    /// `Bin` ; `Ret`.
+    BinRet {
+        k1: AluK,
+        dst: u16,
+        a: u16,
+        b: u16,
+        rv: u16,
+    },
+    /// Fall-through or invalid-target pad: traps `Abort` in the current
+    /// function without charging fuel (mirrors the tree-walker's
+    /// missing-instruction case).
+    TrapAbort,
+    /// An instruction whose static indices failed validation. Executing
+    /// it panics, as the tree-walker does on the same (unverifiable) IR.
+    InvalidIr,
+}
+
+/// Frame shape and entry point of one compiled function.
+#[derive(Debug, Clone)]
+pub(crate) struct FuncMeta {
+    pub(crate) entry_pc: u32,
+    pub(crate) params: u32,
+    /// The IR register count — what monitors observe as `callee_regs`.
+    pub(crate) num_regs: u32,
+    /// Window slots one activation occupies in the flat register file:
+    /// `num_regs` registers followed by the function's constants.
+    pub(crate) window: u32,
+    /// Span into [`BytecodeProgram::fconsts`] with the constant values
+    /// copied into slots `num_regs..window` at frame push.
+    pub(crate) consts: (u32, u32),
+    /// Total stack bytes one activation charges
+    /// (`FRAME_OVERHEAD_BYTES` + 8-byte-rounded slot sizes).
+    pub(crate) frame_need: u64,
+    /// Byte offset of each slot from the post-push stack pointer.
+    pub(crate) slot_offsets: Vec<u64>,
+}
+
+/// A whole program compiled to linear bytecode. Compile once, execute
+/// many times (see [`crate::run_bytecode`]); compilation is cheap and
+/// borrow-free, so the program it was compiled from is passed separately
+/// at execution time (for extern names, trap attribution, and memory
+/// initialization).
+#[derive(Debug, Clone)]
+pub struct BytecodeProgram {
+    pub(crate) code: Vec<BcOp>,
+    /// `(block, inst index)` per pc, for monitor `SiteId`s. The block id
+    /// of a branch target `pc` is `sites[pc].0`.
+    pub(crate) sites: Vec<(u32, u32)>,
+    pub(crate) funcs: Vec<FuncMeta>,
+    /// Per-function constant values, addressed by [`FuncMeta::consts`].
+    pub(crate) fconsts: Vec<i64>,
+    /// Flattened call-argument slot lists, addressed by [`ArgSpan`].
+    pub(crate) arg_slots: Vec<u32>,
+}
+
+/// Shared pad for branch targets outside the function's block list.
+const INVALID_TARGET_PC: u32 = 0;
+
+struct Compiler {
+    layout: DataLayout,
+    arg_slots: Vec<u32>,
+    fconsts: Vec<i64>,
+    // Per-function state, reset by `begin_func`.
+    num_regs: u32,
+    n_slots: u32,
+    n_funcs: u32,
+    n_externs: u32,
+    consts: Vec<i64>,
+    const_index: HashMap<i64, u32>,
+    invalid: bool,
+}
+
+impl Compiler {
+    fn begin_func(&mut self, num_regs: u32, n_slots: u32) {
+        self.num_regs = num_regs;
+        self.n_slots = n_slots;
+        self.consts.clear();
+        self.const_index.clear();
+    }
+
+    /// Window slot of constant `v`, interning it on first use.
+    fn imm(&mut self, v: i64) -> u32 {
+        let next = self.consts.len() as u32;
+        let idx = *self.const_index.entry(v).or_insert(next);
+        if idx == next {
+            self.consts.push(v);
+        }
+        self.num_regs + idx
+    }
+
+    fn const_slot(&mut self, c: ConstVal) -> u32 {
+        // Mirrors `interp::const_value`, resolved at compile time.
+        let v = match c {
+            ConstVal::I64(v) => v,
+            ConstVal::F64(b) => b.0 as i64,
+            ConstVal::FuncAddr(f) => CODE_BASE | f.0 as i64,
+            ConstVal::GlobalAddr(g) => self.layout.addr(g) as i64,
+        };
+        self.imm(v)
+    }
+
+    fn reg(&mut self, r: Reg) -> u32 {
+        if r.0 >= self.num_regs {
+            self.invalid = true;
+        }
+        r.0
+    }
+
+    fn src(&mut self, op: Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Const(c) => self.const_slot(c),
+        }
+    }
+
+    fn args(&mut self, args: &[Operand]) -> ArgSpan {
+        let start = self.arg_slots.len() as u32;
+        for &a in args {
+            let s = self.src(a);
+            self.arg_slots.push(s);
+        }
+        ArgSpan {
+            start,
+            len: args.len() as u16,
+        }
+    }
+
+    fn target_pc(&self, block_pc: &[u32], t: BlockId) -> u32 {
+        block_pc
+            .get(t.index())
+            .copied()
+            .unwrap_or(INVALID_TARGET_PC)
+    }
+
+    fn inst(&mut self, inst: &Inst, block_pc: &[u32]) -> BcOp {
+        self.invalid = false;
+        let op = self.build(inst, block_pc);
+        if self.invalid {
+            BcOp::InvalidIr
+        } else {
+            op
+        }
+    }
+
+    /// Builds the fused op for a pair [`fuse_of`] accepted. All registers
+    /// were pre-validated and the function's window fits in 16 bits.
+    fn fuse_build(&mut self, kind: Fused, i0: &Inst, i1: &Inst, block_pc: &[u32]) -> BcOp {
+        self.invalid = false;
+        let op = match (kind, i0, i1) {
+            (Fused::CmpBr(cmp), Inst::Bin { dst, a, b, .. }, Inst::Br { then_, else_, .. }) => {
+                let dst = self.reg(*dst) as u16;
+                let a = self.src(*a) as u16;
+                let b = self.src(*b) as u16;
+                let t = self.target_pc(block_pc, *then_);
+                let e = self.target_pc(block_pc, *else_);
+                match cmp {
+                    BinOp::Eq => BcOp::CmpEqBr { a, b, dst, t, e },
+                    BinOp::Ne => BcOp::CmpNeBr { a, b, dst, t, e },
+                    BinOp::Lt => BcOp::CmpLtBr { a, b, dst, t, e },
+                    BinOp::Le => BcOp::CmpLeBr { a, b, dst, t, e },
+                    BinOp::Gt => BcOp::CmpGtBr { a, b, dst, t, e },
+                    BinOp::Ge => BcOp::CmpGeBr { a, b, dst, t, e },
+                    _ => unreachable!("fuse_of only accepts comparisons"),
+                }
+            }
+            (Fused::MovJump, mv, Inst::Jump { target }) => {
+                let (dst, src) = self.mov_parts(mv);
+                BcOp::MovJump {
+                    dst,
+                    src,
+                    pc: self.target_pc(block_pc, *target),
+                }
+            }
+            (Fused::AddMov, Inst::Bin { dst, a, b, .. }, mv) => {
+                let dst = self.reg(*dst) as u16;
+                let a = self.src(*a) as u16;
+                let b = self.src(*b) as u16;
+                let (dst2, src2) = self.mov_parts(mv);
+                BcOp::AddMov {
+                    dst,
+                    a,
+                    b,
+                    dst2: dst2 as u16,
+                    src2: src2 as u16,
+                }
+            }
+            (
+                Fused::ShlLoad,
+                Inst::Bin { dst, a, b, .. },
+                Inst::Load {
+                    dst: dst2,
+                    base,
+                    offset,
+                },
+            ) => BcOp::ShlLoad {
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                dst2: self.reg(*dst2) as u16,
+                base2: self.src(*base) as u16,
+                off2: self.src(*offset) as u16,
+            },
+            (
+                Fused::ShlStore,
+                Inst::Bin { dst, a, b, .. },
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                },
+            ) => BcOp::ShlStore {
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                base2: self.src(*base) as u16,
+                off2: self.src(*offset) as u16,
+                val2: self.src(*value) as u16,
+            },
+            (Fused::LoadRet, Inst::Load { dst, base, offset }, Inst::Ret { value }) => {
+                BcOp::LoadRet {
+                    dst: self.reg(*dst) as u16,
+                    base: self.src(*base) as u16,
+                    offset: self.src(*offset) as u16,
+                    rv: match value {
+                        Some(op) => self.src(*op) as u16,
+                        None => self.imm(0) as u16,
+                    },
+                }
+            }
+            (
+                Fused::StoreJump,
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                },
+                Inst::Jump { target },
+            ) => BcOp::StoreJump {
+                base: self.src(*base) as u16,
+                offset: self.src(*offset) as u16,
+                value: self.src(*value) as u16,
+                pc: self.target_pc(block_pc, *target),
+            },
+            (
+                Fused::BinBin(k1, k2),
+                Inst::Bin { dst, a, b, .. },
+                Inst::Bin {
+                    dst: dst2,
+                    a: a2,
+                    b: b2,
+                    ..
+                },
+            ) => BcOp::BinBin {
+                k1,
+                k2,
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                dst2: self.reg(*dst2) as u16,
+                a2: self.src(*a2) as u16,
+                b2: self.src(*b2) as u16,
+            },
+            (Fused::BinMov(k1), Inst::Bin { dst, a, b, .. }, mv) => {
+                let (dst2, src2) = self.mov_parts(mv);
+                BcOp::BinMov {
+                    k1,
+                    dst: self.reg(*dst) as u16,
+                    a: self.src(*a) as u16,
+                    b: self.src(*b) as u16,
+                    dst2: dst2 as u16,
+                    src2: src2 as u16,
+                }
+            }
+            (
+                Fused::MovBin(k2),
+                mv,
+                Inst::Bin {
+                    dst: dst2,
+                    a: a2,
+                    b: b2,
+                    ..
+                },
+            ) => {
+                let (dst, src) = self.mov_parts(mv);
+                BcOp::MovBin {
+                    k2,
+                    dst: dst as u16,
+                    src: src as u16,
+                    dst2: self.reg(*dst2) as u16,
+                    a2: self.src(*a2) as u16,
+                    b2: self.src(*b2) as u16,
+                }
+            }
+            (
+                Fused::BinLoad(k1),
+                Inst::Bin { dst, a, b, .. },
+                Inst::Load {
+                    dst: dst2,
+                    base,
+                    offset,
+                },
+            ) => BcOp::BinLoad {
+                k1,
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                dst2: self.reg(*dst2) as u16,
+                base2: self.src(*base) as u16,
+                off2: self.src(*offset) as u16,
+            },
+            (
+                Fused::BinStore(k1),
+                Inst::Bin { dst, a, b, .. },
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                },
+            ) => BcOp::BinStore {
+                k1,
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                base2: self.src(*base) as u16,
+                off2: self.src(*offset) as u16,
+                val2: self.src(*value) as u16,
+            },
+            (
+                Fused::LoadBin(k2),
+                Inst::Load { dst, base, offset },
+                Inst::Bin {
+                    dst: dst2,
+                    a: a2,
+                    b: b2,
+                    ..
+                },
+            ) => BcOp::LoadBin {
+                k2,
+                dst: self.reg(*dst) as u16,
+                base: self.src(*base) as u16,
+                offset: self.src(*offset) as u16,
+                dst2: self.reg(*dst2) as u16,
+                a2: self.src(*a2) as u16,
+                b2: self.src(*b2) as u16,
+            },
+            (
+                Fused::StoreLoad,
+                Inst::Store {
+                    base,
+                    offset,
+                    value,
+                },
+                Inst::Load {
+                    dst: dst2,
+                    base: base2,
+                    offset: off2,
+                },
+            ) => BcOp::StoreLoad {
+                base: self.src(*base) as u16,
+                offset: self.src(*offset) as u16,
+                value: self.src(*value) as u16,
+                dst2: self.reg(*dst2) as u16,
+                base2: self.src(*base2) as u16,
+                off2: self.src(*off2) as u16,
+            },
+            (Fused::MovBr, mv, Inst::Br { cond, then_, else_ }) => {
+                let (dst, src) = self.mov_parts(mv);
+                BcOp::MovBr {
+                    dst: dst as u16,
+                    src: src as u16,
+                    cond: self.src(*cond) as u16,
+                    t: self.target_pc(block_pc, *then_),
+                    e: self.target_pc(block_pc, *else_),
+                }
+            }
+            (Fused::BinRet(k1), Inst::Bin { dst, a, b, .. }, Inst::Ret { value }) => BcOp::BinRet {
+                k1,
+                dst: self.reg(*dst) as u16,
+                a: self.src(*a) as u16,
+                b: self.src(*b) as u16,
+                rv: match value {
+                    Some(op) => self.src(*op) as u16,
+                    None => self.imm(0) as u16,
+                },
+            },
+            _ => unreachable!("fuse_of and fuse_build disagree"),
+        };
+        debug_assert!(!self.invalid, "fused pair was pre-validated");
+        op
+    }
+
+    /// `(dst, src)` slots of a `Const` or `Copy` instruction.
+    fn mov_parts(&mut self, mv: &Inst) -> (u32, u32) {
+        match mv {
+            Inst::Const { dst, value } => (self.reg(*dst), self.const_slot(*value)),
+            Inst::Copy { dst, src } => (self.reg(*dst), self.src(*src)),
+            _ => unreachable!("fuse_of only pairs Const/Copy here"),
+        }
+    }
+
+    fn build(&mut self, inst: &Inst, block_pc: &[u32]) -> BcOp {
+        match inst {
+            Inst::Const { dst, value } => BcOp::Mov {
+                dst: self.reg(*dst),
+                src: self.const_slot(*value),
+            },
+            Inst::Copy { dst, src } => BcOp::Mov {
+                dst: self.reg(*dst),
+                src: self.src(*src),
+            },
+            Inst::Bin { dst, op, a, b } => {
+                let dst = self.reg(*dst);
+                let a = self.src(*a);
+                let b = self.src(*b);
+                match op {
+                    BinOp::Add => BcOp::Add { dst, a, b },
+                    BinOp::Sub => BcOp::Sub { dst, a, b },
+                    BinOp::Mul => BcOp::Mul { dst, a, b },
+                    BinOp::Div => BcOp::Div { dst, a, b },
+                    BinOp::Rem => BcOp::Rem { dst, a, b },
+                    BinOp::And => BcOp::And { dst, a, b },
+                    BinOp::Or => BcOp::Or { dst, a, b },
+                    BinOp::Xor => BcOp::Xor { dst, a, b },
+                    BinOp::Shl => BcOp::Shl { dst, a, b },
+                    BinOp::Shr => BcOp::Shr { dst, a, b },
+                    BinOp::Eq => BcOp::CmpEq { dst, a, b },
+                    BinOp::Ne => BcOp::CmpNe { dst, a, b },
+                    BinOp::Lt => BcOp::CmpLt { dst, a, b },
+                    BinOp::Le => BcOp::CmpLe { dst, a, b },
+                    BinOp::Gt => BcOp::CmpGt { dst, a, b },
+                    BinOp::Ge => BcOp::CmpGe { dst, a, b },
+                    BinOp::FAdd => BcOp::FAdd { dst, a, b },
+                    BinOp::FSub => BcOp::FSub { dst, a, b },
+                    BinOp::FMul => BcOp::FMul { dst, a, b },
+                    BinOp::FDiv => BcOp::FDiv { dst, a, b },
+                    BinOp::FLt => BcOp::FLt { dst, a, b },
+                    BinOp::FEq => BcOp::FEq { dst, a, b },
+                }
+            }
+            Inst::Un { dst, op, a } => {
+                let dst = self.reg(*dst);
+                let a = self.src(*a);
+                match op {
+                    UnOp::Neg => BcOp::Neg { dst, a },
+                    UnOp::Not => BcOp::Not { dst, a },
+                    UnOp::FNeg => BcOp::FNeg { dst, a },
+                    UnOp::IToF => BcOp::IToF { dst, a },
+                    UnOp::FToI => BcOp::FToI { dst, a },
+                }
+            }
+            Inst::Load { dst, base, offset } => BcOp::Load {
+                dst: self.reg(*dst),
+                base: self.src(*base),
+                offset: self.src(*offset),
+            },
+            Inst::Store {
+                base,
+                offset,
+                value,
+            } => BcOp::Store {
+                base: self.src(*base),
+                offset: self.src(*offset),
+                value: self.src(*value),
+            },
+            Inst::FrameAddr { dst, slot } => {
+                if slot.0 >= self.n_slots {
+                    self.invalid = true;
+                }
+                BcOp::FrameAddr {
+                    dst: self.reg(*dst),
+                    slot: slot.0,
+                }
+            }
+            Inst::Alloca { dst, bytes } => BcOp::Alloca {
+                dst: self.reg(*dst),
+                bytes: self.src(*bytes),
+            },
+            Inst::Call { dst, callee, args } => {
+                let args = self.args(args);
+                let dst = match dst {
+                    Some(d) => self.reg(*d),
+                    None => NO_DST,
+                };
+                match callee {
+                    Callee::Func(f) => {
+                        if f.0 >= self.n_funcs {
+                            self.invalid = true;
+                        }
+                        BcOp::Call {
+                            dst,
+                            func: f.0,
+                            args,
+                        }
+                    }
+                    Callee::Extern(e) => {
+                        if e.0 >= self.n_externs {
+                            self.invalid = true;
+                        }
+                        BcOp::CallExtern {
+                            dst,
+                            ext: e.0,
+                            args,
+                        }
+                    }
+                    Callee::Indirect(op) => BcOp::CallIndirect {
+                        dst,
+                        target: self.src(*op),
+                        args,
+                    },
+                }
+            }
+            Inst::Ret { value } => BcOp::Ret {
+                value: match value {
+                    Some(op) => self.src(*op),
+                    None => self.imm(0),
+                },
+            },
+            Inst::Jump { target } => BcOp::Jump {
+                pc: self.target_pc(block_pc, *target),
+            },
+            Inst::Br { cond, then_, else_ } => BcOp::Br {
+                cond: self.src(*cond),
+                then_pc: self.target_pc(block_pc, *then_),
+                else_pc: self.target_pc(block_pc, *else_),
+            },
+        }
+    }
+}
+
+/// True when execution can run off the end of `b` (empty, or last
+/// instruction is not a terminator) and the block needs an abort pad.
+fn needs_pad(b: &Block) -> bool {
+    !matches!(
+        b.insts.last(),
+        Some(Inst::Ret { .. } | Inst::Jump { .. } | Inst::Br { .. })
+    )
+}
+
+/// Non-trapping integer ALU operator, for the generic fused pair ops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AluK {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// The [`AluK`] of `op`, or `None` for trapping and float operators
+/// (which never participate in generic fusion).
+fn alu_k(op: BinOp) -> Option<AluK> {
+    match op {
+        BinOp::Add => Some(AluK::Add),
+        BinOp::Sub => Some(AluK::Sub),
+        BinOp::Mul => Some(AluK::Mul),
+        BinOp::And => Some(AluK::And),
+        BinOp::Or => Some(AluK::Or),
+        BinOp::Xor => Some(AluK::Xor),
+        BinOp::Shl => Some(AluK::Shl),
+        BinOp::Shr => Some(AluK::Shr),
+        BinOp::Eq => Some(AluK::Eq),
+        BinOp::Ne => Some(AluK::Ne),
+        BinOp::Lt => Some(AluK::Lt),
+        BinOp::Le => Some(AluK::Le),
+        BinOp::Gt => Some(AluK::Gt),
+        BinOp::Ge => Some(AluK::Ge),
+        _ => None,
+    }
+}
+
+/// A fusable adjacent instruction pair (the suite's hottest dynamic
+/// pairs, measured on the tree tier).
+#[derive(Clone, Copy)]
+enum Fused {
+    CmpBr(BinOp),
+    MovJump,
+    AddMov,
+    ShlLoad,
+    ShlStore,
+    LoadRet,
+    StoreJump,
+    BinBin(AluK, AluK),
+    BinMov(AluK),
+    MovBin(AluK),
+    BinLoad(AluK),
+    BinStore(AluK),
+    LoadBin(AluK),
+    StoreLoad,
+    MovBr,
+    BinRet(AluK),
+}
+
+/// True when every register the instruction names is in range — fusion
+/// is restricted to fully valid pairs so an invalid instruction still
+/// compiles to its own [`BcOp::InvalidIr`].
+fn regs_ok(inst: &Inst, num_regs: u32) -> bool {
+    let mut ok = true;
+    inst.for_each_use(|o| {
+        if let Operand::Reg(r) = o {
+            ok &= r.0 < num_regs;
+        }
+    });
+    if let Some(d) = inst.dst() {
+        ok &= d.0 < num_regs;
+    }
+    ok
+}
+
+/// Decides whether the adjacent pair `(i0, i1)` compiles to one fused
+/// op. Used identically by the pc-layout pass and the emission pass.
+fn fuse_of(i0: &Inst, i1: &Inst, num_regs: u32) -> Option<Fused> {
+    use BinOp::*;
+    if !regs_ok(i0, num_regs) || !regs_ok(i1, num_regs) {
+        return None;
+    }
+    match (i0, i1) {
+        (Inst::Bin { op, dst, .. }, Inst::Br { cond, .. })
+            if matches!(op, Eq | Ne | Lt | Le | Gt | Ge) && *cond == Operand::Reg(*dst) =>
+        {
+            Some(Fused::CmpBr(*op))
+        }
+        (Inst::Copy { .. } | Inst::Const { .. }, Inst::Jump { .. }) => Some(Fused::MovJump),
+        (Inst::Bin { op: Add, .. }, Inst::Copy { .. } | Inst::Const { .. }) => Some(Fused::AddMov),
+        (Inst::Bin { op: Shl, .. }, Inst::Load { .. }) => Some(Fused::ShlLoad),
+        (Inst::Bin { op: Shl, .. }, Inst::Store { .. }) => Some(Fused::ShlStore),
+        (Inst::Load { .. }, Inst::Ret { .. }) => Some(Fused::LoadRet),
+        (Inst::Store { .. }, Inst::Jump { .. }) => Some(Fused::StoreJump),
+        (Inst::Bin { op: o1, .. }, Inst::Bin { op: o2, .. }) => {
+            Some(Fused::BinBin(alu_k(*o1)?, alu_k(*o2)?))
+        }
+        (Inst::Bin { op, .. }, Inst::Copy { .. } | Inst::Const { .. }) => {
+            Some(Fused::BinMov(alu_k(*op)?))
+        }
+        (Inst::Copy { .. } | Inst::Const { .. }, Inst::Bin { op, .. }) => {
+            Some(Fused::MovBin(alu_k(*op)?))
+        }
+        (Inst::Bin { op, .. }, Inst::Load { .. }) => Some(Fused::BinLoad(alu_k(*op)?)),
+        (Inst::Bin { op, .. }, Inst::Store { .. }) => Some(Fused::BinStore(alu_k(*op)?)),
+        (Inst::Load { .. }, Inst::Bin { op, .. }) => Some(Fused::LoadBin(alu_k(*op)?)),
+        (Inst::Store { .. }, Inst::Load { .. }) => Some(Fused::StoreLoad),
+        (Inst::Copy { .. } | Inst::Const { .. }, Inst::Br { .. }) => Some(Fused::MovBr),
+        (Inst::Bin { op, .. }, Inst::Ret { .. }) => Some(Fused::BinRet(alu_k(*op)?)),
+        _ => None,
+    }
+}
+
+/// Upper bound on a function's window size: registers plus one constant
+/// slot per constant-ish operand site. When this fits in 16 bits, every
+/// operand slot fits the fused ops' `u16` fields.
+fn max_window(f: &hlo_ir::Function) -> u64 {
+    let mut consts = 0u64;
+    for b in &f.blocks {
+        for i in &b.insts {
+            i.for_each_use(|o| {
+                if matches!(o, Operand::Const(_)) {
+                    consts += 1;
+                }
+            });
+            if matches!(i, Inst::Const { .. } | Inst::Ret { value: None }) {
+                consts += 1;
+            }
+        }
+    }
+    f.num_regs as u64 + consts
+}
+
+impl BytecodeProgram {
+    /// Compiles every function of `p`. Never fails: malformed block
+    /// shapes compile to fuel-free abort ops, and instructions with
+    /// out-of-range static indices (IR that `verify_program` rejects)
+    /// compile to ops that panic if executed — the tree-walker panics on
+    /// the same instructions.
+    pub fn compile(p: &Program) -> BytecodeProgram {
+        let mut cx = Compiler {
+            layout: DataLayout::of(p),
+            arg_slots: Vec::new(),
+            fconsts: Vec::new(),
+            num_regs: 0,
+            n_slots: 0,
+            n_funcs: p.funcs.len() as u32,
+            n_externs: p.externs.len() as u32,
+            consts: Vec::new(),
+            const_index: HashMap::new(),
+            invalid: false,
+        };
+        // pc 0 is the shared invalid-target pad.
+        let mut code = vec![BcOp::TrapAbort];
+        let mut sites = vec![(0u32, 0u32)];
+        let mut funcs = Vec::with_capacity(p.funcs.len());
+
+        for f in &p.funcs {
+            cx.begin_func(f.num_regs, f.slots.len() as u32);
+            // A function whose params exceed its register count cannot be
+            // entered (the tree-walker panics copying arguments); guard
+            // its entry with a panicking op.
+            let broken_shape = f.params > f.num_regs;
+            let guard_pc = code.len() as u32;
+            if broken_shape {
+                code.push(BcOp::InvalidIr);
+                sites.push((0, 0));
+            }
+            // Fusion requires every window slot to fit the fused ops'
+            // 16-bit operand fields.
+            let fuse_ok = max_window(f) < u16::MAX as u64;
+            let fuse_at = |insts: &[Inst], i: usize| -> Option<Fused> {
+                if fuse_ok && i + 1 < insts.len() {
+                    fuse_of(&insts[i], &insts[i + 1], f.num_regs)
+                } else {
+                    None
+                }
+            };
+            let mut block_pc = Vec::with_capacity(f.blocks.len());
+            let mut pc = code.len() as u32;
+            for b in &f.blocks {
+                block_pc.push(pc);
+                let mut i = 0;
+                while i < b.insts.len() {
+                    i += if fuse_at(&b.insts, i).is_some() { 2 } else { 1 };
+                    pc += 1;
+                }
+                pc += needs_pad(b) as u32;
+            }
+            let entry_pc = if broken_shape {
+                guard_pc
+            } else {
+                block_pc.first().copied().unwrap_or(INVALID_TARGET_PC)
+            };
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let mut ii = 0;
+                while ii < b.insts.len() {
+                    match fuse_at(&b.insts, ii) {
+                        Some(kind) => {
+                            let op = cx.fuse_build(kind, &b.insts[ii], &b.insts[ii + 1], &block_pc);
+                            code.push(op);
+                            sites.push((bi as u32, ii as u32));
+                            ii += 2;
+                        }
+                        None => {
+                            let op = cx.inst(&b.insts[ii], &block_pc);
+                            code.push(op);
+                            sites.push((bi as u32, ii as u32));
+                            ii += 1;
+                        }
+                    }
+                }
+                if needs_pad(b) {
+                    code.push(BcOp::TrapAbort);
+                    sites.push((bi as u32, b.insts.len() as u32));
+                }
+            }
+
+            let mut frame_need = FRAME_OVERHEAD_BYTES;
+            let mut slot_offsets = Vec::with_capacity(f.slots.len());
+            let mut cursor = 0u64;
+            for &s in &f.slots {
+                slot_offsets.push(cursor);
+                let rounded = ((s as u64) + 7) & !7;
+                cursor += rounded;
+                frame_need += rounded;
+            }
+            let cstart = cx.fconsts.len() as u32;
+            cx.fconsts.extend_from_slice(&cx.consts);
+            funcs.push(FuncMeta {
+                entry_pc,
+                params: f.params,
+                num_regs: f.num_regs,
+                window: f.num_regs + cx.consts.len() as u32,
+                consts: (cstart, cx.consts.len() as u32),
+                frame_need,
+                slot_offsets,
+            });
+        }
+
+        BytecodeProgram {
+            code,
+            sites,
+            funcs,
+            fconsts: cx.fconsts,
+            arg_slots: cx.arg_slots,
+        }
+    }
+
+    /// Number of bytecode ops (including pads), for diagnostics.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program compiled to no code beyond the shared pad.
+    pub fn is_empty(&self) -> bool {
+        self.code.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bcop_stays_compact() {
+        // The dispatch loop's locality depends on a dense code array.
+        // 20 bytes = tag + the largest payload (14 bytes, align 4);
+        // a new (fused) variant must not grow the op further.
+        assert!(std::mem::size_of::<super::BcOp>() <= 20);
+    }
+}

@@ -1,0 +1,917 @@
+//! The flat dispatch loop executing compiled bytecode (tier `bytecode`).
+//!
+//! Observable behaviour is identical to `interp::run_tree` — fuel
+//! charged per retired instruction in the same order, the same [`Trap`]
+//! kinds with the same function attribution, the same
+//! [`ExecMonitor`] event stream, and the same builtin output and
+//! checksum. The speed comes from what is *not* done per step: no block
+//! vector indexing, no operand `match` (constants live in the register
+//! window, so every operand is one indexed load), no second operator
+//! dispatch (one opcode per ALU operation), no per-frame register
+//! vectors (one flat register file, truncated on return), and no monitor
+//! bookkeeping when the monitor is [`crate::NullMonitor`]
+//! (`ExecMonitor::OBSERVES` gates it at compile time).
+//!
+//! # Safety
+//!
+//! The hot path uses unchecked indexing, justified by compile-time
+//! invariants of [`BytecodeProgram::compile`]:
+//!
+//! * every reachable `pc` is in range — block targets are linked to
+//!   real pcs (or the shared pad at 0), functions end in terminators or
+//!   pads so `pc + 1` after a non-terminator stays in range, and
+//!   `ret_pc` is the `pc + 1` of a call;
+//! * every operand slot is validated against the owning function's
+//!   window (instructions that fail validation compile to
+//!   [`BcOp::InvalidIr`], which panics before touching anything), and
+//!   the register file always holds `base + window` initialized slots
+//!   for the active frame;
+//! * function ids in `Call` ops are validated at compile time, indirect
+//!   targets are range-checked at run time, and `sites` has one entry
+//!   per pc.
+
+use crate::builtins::{call_builtin, BuiltinState};
+use crate::bytecode::{AluK, ArgSpan, BcOp, BytecodeProgram, FuncMeta, NO_DST};
+use crate::interp::{in_func, ExecOptions, ExecOutcome};
+use crate::memory::{Memory, CODE_BASE};
+use crate::monitor::{CallKind, ExecMonitor, SiteId};
+use crate::{Trap, TrapKind};
+use hlo_ir::{BlockId, ExternId, FuncId, Program};
+
+/// One activation record. Registers live in the shared flat file at
+/// `base..base + window`; `frame_sp` is the post-push stack pointer the
+/// function's slot offsets are relative to.
+struct BcFrame {
+    func: u32,
+    base: u32,
+    frame_sp: u64,
+    saved_sp: u64,
+    ret_pc: u32,
+    ret_dst: u32,
+}
+
+/// Executes `bc` (compiled from `p`) from the program entry.
+///
+/// # Errors
+/// Returns a [`Trap`] on any run-time fault, missing entry, or fuel
+/// exhaustion — the same trap, at the same fuel count, as the tree tier.
+pub fn run_bytecode<M: ExecMonitor>(
+    bc: &BytecodeProgram,
+    p: &Program,
+    args: &[i64],
+    opts: &ExecOptions,
+    monitor: &mut M,
+) -> Result<ExecOutcome, Trap> {
+    run_counted(bc, p, args, opts, monitor).0
+}
+
+/// [`run_bytecode`] plus the number of dispatch-loop iterations taken
+/// (retired instructions + fuel-free pads reached), for tier metrics.
+pub fn run_counted<M: ExecMonitor>(
+    bc: &BytecodeProgram,
+    p: &Program,
+    args: &[i64],
+    opts: &ExecOptions,
+    monitor: &mut M,
+) -> (Result<ExecOutcome, Trap>, u64) {
+    let mut dispatch = 0u64;
+    let r = exec(bc, p, args, opts, monitor, &mut dispatch);
+    (r, dispatch)
+}
+
+/// `SiteId` of the op at `pc` — only materialized when the monitor
+/// observes, so the plain-run loop never touches the site table.
+#[inline(always)]
+fn site_at(bc: &BytecodeProgram, pc: usize, cur_func: u32) -> SiteId {
+    let (sb, si) = bc.sites[pc];
+    SiteId {
+        func: FuncId(cur_func),
+        block: BlockId(sb),
+        inst: si as usize,
+    }
+}
+
+/// Block entered by jumping to `pc` (pc 0, the shared pad, reports
+/// block 0 — that path aborts without monitor events anyway).
+#[inline(always)]
+fn block_of(bc: &BytecodeProgram, pc: u32) -> BlockId {
+    BlockId(bc.sites[pc as usize].0)
+}
+
+/// Reads frame-relative window slot `s`.
+///
+/// SAFETY (callers): `s` was validated against the active function's
+/// window at compile time, and the register file holds `base + window`
+/// slots while that frame is active.
+#[inline(always)]
+fn rd(regs: &[i64], base: usize, s: u32) -> i64 {
+    debug_assert!(base + (s as usize) < regs.len());
+    unsafe { *regs.get_unchecked(base + s as usize) }
+}
+
+/// Writes frame-relative register `d`. Same invariant as [`rd`].
+#[inline(always)]
+fn wr(regs: &mut [i64], base: usize, d: u32, v: i64) {
+    debug_assert!(base + (d as usize) < regs.len());
+    unsafe {
+        *regs.get_unchecked_mut(base + d as usize) = v;
+    }
+}
+
+/// Metadata of function `f`.
+///
+/// SAFETY (callers): `f` is the entry id, a compile-validated direct-call
+/// id, or a range-checked indirect target — always `< funcs.len()`.
+#[inline(always)]
+fn fmeta(bc: &BytecodeProgram, f: u32) -> &FuncMeta {
+    debug_assert!((f as usize) < bc.funcs.len());
+    unsafe { bc.funcs.get_unchecked(f as usize) }
+}
+
+/// Evaluates a non-trapping integer ALU operator, for the generic fused
+/// pair ops. Semantics match the corresponding dedicated opcodes.
+#[inline(always)]
+fn alu(k: AluK, x: i64, y: i64) -> i64 {
+    match k {
+        AluK::Add => x.wrapping_add(y),
+        AluK::Sub => x.wrapping_sub(y),
+        AluK::Mul => x.wrapping_mul(y),
+        AluK::And => x & y,
+        AluK::Or => x | y,
+        AluK::Xor => x ^ y,
+        AluK::Shl => x.wrapping_shl((y & 63) as u32),
+        AluK::Shr => x.wrapping_shr((y & 63) as u32),
+        AluK::Eq => (x == y) as i64,
+        AluK::Ne => (x != y) as i64,
+        AluK::Lt => (x < y) as i64,
+        AluK::Le => (x <= y) as i64,
+        AluK::Gt => (x > y) as i64,
+        AluK::Ge => (x >= y) as i64,
+    }
+}
+
+#[inline(always)]
+fn read_args(bc: &BytecodeProgram, span: ArgSpan, regs: &[i64], base: usize, argv: &mut Vec<i64>) {
+    argv.clear();
+    let s = span.start as usize;
+    for &slot in &bc.arg_slots[s..s + span.len as usize] {
+        argv.push(rd(regs, base, slot));
+    }
+}
+
+/// Grows the register file with `callee`'s window: arguments, zeroed
+/// locals, then the function's constants.
+#[inline(always)]
+fn push_window(
+    regs: &mut Vec<i64>,
+    callee: &FuncMeta,
+    bc: &BytecodeProgram,
+    args: &[i64],
+) -> usize {
+    let nbase = regs.len();
+    regs.resize(nbase + callee.window as usize, 0);
+    let n = (callee.params as usize).min(args.len());
+    regs[nbase..nbase + n].copy_from_slice(&args[..n]);
+    let (cs, cl) = callee.consts;
+    let cdst = nbase + callee.num_regs as usize;
+    regs[cdst..cdst + cl as usize].copy_from_slice(&bc.fconsts[cs as usize..(cs + cl) as usize]);
+    nbase
+}
+
+/// [`push_window`] reading the arguments straight out of the caller's
+/// window (`span` slots relative to `cbase`), skipping the intermediate
+/// argument vector non-extern calls don't need.
+#[inline(always)]
+fn push_window_from_regs(
+    regs: &mut Vec<i64>,
+    callee: &FuncMeta,
+    bc: &BytecodeProgram,
+    span: ArgSpan,
+    cbase: usize,
+) -> usize {
+    let nbase = regs.len();
+    regs.resize(nbase + callee.window as usize, 0);
+    // The `num_regs` clamp only matters for `params > num_regs`
+    // functions, which never execute (their entry is an `InvalidIr`
+    // guard); it keeps the unchecked writes below in bounds on the way
+    // to that panic.
+    let n = (callee.params as usize)
+        .min(span.len as usize)
+        .min(callee.num_regs as usize);
+    let s = span.start as usize;
+    for k in 0..n {
+        let slot = bc.arg_slots[s + k];
+        let v = rd(regs, cbase, slot);
+        wr(regs, nbase, k as u32, v);
+    }
+    let (cs, cl) = callee.consts;
+    let cdst = nbase + callee.num_regs as usize;
+    regs[cdst..cdst + cl as usize].copy_from_slice(&bc.fconsts[cs as usize..(cs + cl) as usize]);
+    nbase
+}
+
+fn exec<M: ExecMonitor>(
+    bc: &BytecodeProgram,
+    p: &Program,
+    args: &[i64],
+    opts: &ExecOptions,
+    monitor: &mut M,
+    dispatch_out: &mut u64,
+) -> Result<ExecOutcome, Trap> {
+    let entry = p.entry.ok_or_else(|| Trap::new(TrapKind::NoEntry))?;
+    let mut mem = Memory::new(p, opts.stack_bytes);
+    let stack_limit = mem.stack_limit();
+    let mut sp = mem.stack_top();
+    let mut builtins = BuiltinState::default();
+    let mut fuel = opts.fuel;
+    let mut retired = 0u64;
+
+    let code = &bc.code[..];
+
+    let mut regs: Vec<i64> = Vec::with_capacity(256);
+    let mut frames: Vec<BcFrame> = Vec::with_capacity(64);
+    let mut argv: Vec<i64> = Vec::with_capacity(8);
+
+    // Counted in a plain local (register-friendly); flushed to the caller
+    // on every exit path, including traps.
+    struct DispatchCount<'a> {
+        n: u64,
+        out: &'a mut u64,
+    }
+    impl Drop for DispatchCount<'_> {
+        fn drop(&mut self) {
+            *self.out = self.n;
+        }
+    }
+    let mut dispatch = DispatchCount {
+        n: 0,
+        out: dispatch_out,
+    };
+
+    // Entry activation, mirroring `push_frame` + the entry block event.
+    let meta = fmeta(bc, entry.0);
+    if sp < stack_limit + meta.frame_need {
+        return Err(in_func(Trap::new(TrapKind::StackOverflow), p, entry));
+    }
+    let entry_saved_sp = sp;
+    sp -= meta.frame_need;
+    push_window(&mut regs, meta, bc, args);
+    frames.push(BcFrame {
+        func: entry.0,
+        base: 0,
+        frame_sp: sp,
+        saved_sp: entry_saved_sp,
+        ret_pc: 0,
+        ret_dst: NO_DST,
+    });
+    if M::OBSERVES {
+        monitor.block(entry, BlockId(0));
+    }
+
+    let mut pc = meta.entry_pc as usize;
+    let mut cur_func = entry.0;
+    let mut base = 0usize;
+    let mut frame_sp = sp;
+
+    let final_ret;
+    // Float ALU helpers (floats reinterpret register bits).
+    let fl = |v: i64| f64::from_bits(v as u64);
+    let bits = |v: f64| v.to_bits() as i64;
+    macro_rules! bin {
+        ($dst:ident, $a:ident, $b:ident, $e:expr) => {{
+            let x = rd(&regs, base, $a);
+            let y = rd(&regs, base, $b);
+            #[allow(clippy::redundant_closure_call)]
+            wr(&mut regs, base, $dst, ($e)(x, y));
+            pc += 1;
+        }};
+    }
+    macro_rules! un {
+        ($dst:ident, $a:ident, $e:expr) => {{
+            let x = rd(&regs, base, $a);
+            #[allow(clippy::redundant_closure_call)]
+            wr(&mut regs, base, $dst, ($e)(x));
+            pc += 1;
+        }};
+    }
+    macro_rules! divlike {
+        ($dst:ident, $a:ident, $b:ident, $m:ident) => {{
+            let x = rd(&regs, base, $a);
+            let y = rd(&regs, base, $b);
+            if y == 0 {
+                return Err(in_func(Trap::new(TrapKind::DivByZero), p, FuncId(cur_func)));
+            }
+            wr(&mut regs, base, $dst, x.$m(y));
+            pc += 1;
+        }};
+    }
+    macro_rules! enter {
+        ($func:expr, $dst:ident, $span:expr, $kind:expr) => {{
+            let func = $func;
+            let span = $span;
+            let callee = fmeta(bc, func);
+            if M::OBSERVES {
+                monitor.call(
+                    site_at(bc, pc, cur_func),
+                    FuncId(func),
+                    $kind,
+                    callee.num_regs,
+                    span.len as usize,
+                );
+            }
+            if sp < stack_limit + callee.frame_need {
+                return Err(in_func(
+                    Trap::new(TrapKind::StackOverflow),
+                    p,
+                    FuncId(cur_func),
+                ));
+            }
+            let saved_sp = sp;
+            sp -= callee.frame_need;
+            let nbase = push_window_from_regs(&mut regs, callee, bc, span, base);
+            frames.push(BcFrame {
+                func,
+                base: nbase as u32,
+                frame_sp: sp,
+                saved_sp,
+                ret_pc: (pc + 1) as u32,
+                ret_dst: $dst,
+            });
+            cur_func = func;
+            base = nbase;
+            frame_sp = sp;
+            if M::OBSERVES {
+                monitor.block(FuncId(func), BlockId(0));
+            }
+            pc = callee.entry_pc as usize;
+        }};
+    }
+    // Second-half accounting of a fused two-instruction op: charge fuel
+    // and retire the pair's second IR instruction (site `inst + 1` of the
+    // op's own site), trapping exactly where the tree-walker would when
+    // the fuel runs out between the two.
+    macro_rules! fused2 {
+        () => {{
+            if fuel == 0 {
+                return Err(in_func(
+                    Trap::new(TrapKind::FuelExhausted),
+                    p,
+                    FuncId(cur_func),
+                ));
+            }
+            fuel -= 1;
+            retired += 1;
+            if M::OBSERVES {
+                monitor.inst(site2!());
+            }
+        }};
+    }
+    // `SiteId` of the second instruction of a fused pair.
+    macro_rules! site2 {
+        () => {{
+            let (sb, si) = bc.sites[pc];
+            SiteId {
+                func: FuncId(cur_func),
+                block: BlockId(sb),
+                inst: si as usize + 1,
+            }
+        }};
+    }
+    // The Ret sequence, shared by `Ret` and the fused `LoadRet`.
+    macro_rules! do_ret {
+        ($v:expr) => {{
+            let v = $v;
+            let fr = frames.pop().expect("active frame");
+            sp = fr.saved_sp;
+            regs.truncate(fr.base as usize);
+            if M::OBSERVES {
+                monitor.ret(FuncId(cur_func), fmeta(bc, cur_func).num_regs);
+            }
+            match frames.last() {
+                Some(caller) => {
+                    if fr.ret_dst != NO_DST {
+                        wr(&mut regs, caller.base as usize, fr.ret_dst, v);
+                    }
+                    pc = fr.ret_pc as usize;
+                    cur_func = caller.func;
+                    base = caller.base as usize;
+                    frame_sp = caller.frame_sp;
+                }
+                None => {
+                    final_ret = v;
+                    break;
+                }
+            }
+        }};
+    }
+    // The Jump sequence (monitor events + transfer), shared by `Jump`
+    // and the fused `MovJump`/`StoreJump`; `$site` is the jump's site.
+    macro_rules! do_jump {
+        ($tpc:expr, $site:expr) => {{
+            let tpc = $tpc;
+            if M::OBSERVES {
+                let t = block_of(bc, tpc);
+                let site = $site;
+                monitor.jump(site, t);
+                monitor.edge(FuncId(cur_func), site.block, t);
+                monitor.block(FuncId(cur_func), t);
+            }
+            pc = tpc as usize;
+        }};
+    }
+    // Fused compare-and-branch: the comparison result is written, then
+    // the branch retires and resolves on it.
+    macro_rules! cmp_br {
+        ($a:ident, $b:ident, $dst:ident, $t:ident, $e:ident, $cmp:expr) => {{
+            let x = rd(&regs, base, $a as u32);
+            let y = rd(&regs, base, $b as u32);
+            #[allow(clippy::redundant_closure_call)]
+            let c = ($cmp)(x, y);
+            wr(&mut regs, base, $dst as u32, c as i64);
+            fused2!();
+            let tpc = if c { $t } else { $e };
+            if M::OBSERVES {
+                let t = block_of(bc, tpc);
+                let site = site2!();
+                monitor.cond_branch(site, c);
+                monitor.edge(FuncId(cur_func), site.block, t);
+                monitor.block(FuncId(cur_func), t);
+            }
+            pc = tpc as usize;
+        }};
+    }
+
+    loop {
+        dispatch.n += 1;
+        // SAFETY: every reachable pc is in range (module doc).
+        let op = unsafe { *code.get_unchecked(pc) };
+        if let BcOp::TrapAbort = op {
+            // Fuel-free, like the tree-walker's missing-instruction case.
+            return Err(in_func(Trap::new(TrapKind::Abort), p, FuncId(cur_func)));
+        }
+        if fuel == 0 {
+            return Err(in_func(
+                Trap::new(TrapKind::FuelExhausted),
+                p,
+                FuncId(cur_func),
+            ));
+        }
+        fuel -= 1;
+        retired += 1;
+        if M::OBSERVES {
+            monitor.inst(site_at(bc, pc, cur_func));
+        }
+
+        match op {
+            BcOp::Mov { dst, src } => {
+                let v = rd(&regs, base, src);
+                wr(&mut regs, base, dst, v);
+                pc += 1;
+            }
+            BcOp::Add { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x.wrapping_add(y)),
+            BcOp::Sub { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x.wrapping_sub(y)),
+            BcOp::Mul { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x.wrapping_mul(y)),
+            BcOp::Div { dst, a, b } => divlike!(dst, a, b, wrapping_div),
+            BcOp::Rem { dst, a, b } => divlike!(dst, a, b, wrapping_rem),
+            BcOp::And { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x & y),
+            BcOp::Or { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x | y),
+            BcOp::Xor { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| x ^ y),
+            BcOp::Shl { dst, a, b } => {
+                bin!(dst, a, b, |x: i64, y: i64| x.wrapping_shl((y & 63) as u32))
+            }
+            BcOp::Shr { dst, a, b } => {
+                bin!(dst, a, b, |x: i64, y: i64| x.wrapping_shr((y & 63) as u32))
+            }
+            BcOp::CmpEq { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x == y) as i64),
+            BcOp::CmpNe { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x != y) as i64),
+            BcOp::CmpLt { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x < y) as i64),
+            BcOp::CmpLe { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x <= y) as i64),
+            BcOp::CmpGt { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x > y) as i64),
+            BcOp::CmpGe { dst, a, b } => bin!(dst, a, b, |x: i64, y: i64| (x >= y) as i64),
+            BcOp::FAdd { dst, a, b } => bin!(dst, a, b, |x, y| bits(fl(x) + fl(y))),
+            BcOp::FSub { dst, a, b } => bin!(dst, a, b, |x, y| bits(fl(x) - fl(y))),
+            BcOp::FMul { dst, a, b } => bin!(dst, a, b, |x, y| bits(fl(x) * fl(y))),
+            BcOp::FDiv { dst, a, b } => bin!(dst, a, b, |x, y| bits(fl(x) / fl(y))),
+            BcOp::FLt { dst, a, b } => bin!(dst, a, b, |x, y| (fl(x) < fl(y)) as i64),
+            BcOp::FEq { dst, a, b } => bin!(dst, a, b, |x, y| (fl(x) == fl(y)) as i64),
+            BcOp::Neg { dst, a } => un!(dst, a, |x: i64| x.wrapping_neg()),
+            BcOp::Not { dst, a } => un!(dst, a, |x: i64| !x),
+            BcOp::FNeg { dst, a } => un!(dst, a, |x| bits(-fl(x))),
+            BcOp::IToF { dst, a } => un!(dst, a, |x| bits(x as f64)),
+            BcOp::FToI { dst, a } => un!(dst, a, |x| {
+                let v = fl(x);
+                if v.is_nan() {
+                    0
+                } else {
+                    v as i64
+                }
+            }),
+            BcOp::Load {
+                dst,
+                base: ba,
+                offset,
+            } => {
+                let addr = rd(&regs, base, ba).wrapping_add(rd(&regs, base, offset)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr, false);
+                }
+                let v = mem
+                    .load(addr)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst, v);
+                pc += 1;
+            }
+            BcOp::Store {
+                base: ba,
+                offset,
+                value,
+            } => {
+                let addr = rd(&regs, base, ba).wrapping_add(rd(&regs, base, offset)) as u64;
+                let v = rd(&regs, base, value);
+                if M::OBSERVES {
+                    monitor.mem(addr, true);
+                }
+                mem.store(addr, v)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                pc += 1;
+            }
+            BcOp::FrameAddr { dst, slot } => {
+                // SAFETY: `slot` was validated against this function's
+                // slot table at compile time.
+                let off = unsafe {
+                    *fmeta(bc, cur_func)
+                        .slot_offsets
+                        .get_unchecked(slot as usize)
+                };
+                wr(&mut regs, base, dst, (frame_sp + off) as i64);
+                pc += 1;
+            }
+            BcOp::Alloca { dst, bytes } => {
+                let n = rd(&regs, base, bytes).max(0) as u64;
+                let n = (n + 7) & !7;
+                if sp < stack_limit + n {
+                    return Err(in_func(
+                        Trap::new(TrapKind::StackOverflow),
+                        p,
+                        FuncId(cur_func),
+                    ));
+                }
+                sp -= n;
+                wr(&mut regs, base, dst, sp as i64);
+                pc += 1;
+            }
+            BcOp::Call { dst, func, args } => {
+                enter!(func, dst, args, CallKind::Direct);
+            }
+            BcOp::CallIndirect { dst, target, args } => {
+                let v = rd(&regs, base, target);
+                if v & CODE_BASE != CODE_BASE || ((v & !CODE_BASE) as u64) >= bc.funcs.len() as u64
+                {
+                    return Err(in_func(
+                        Trap::new(TrapKind::BadIndirect { value: v }),
+                        p,
+                        FuncId(cur_func),
+                    ));
+                }
+                enter!((v & !CODE_BASE) as u32, dst, args, CallKind::Indirect);
+            }
+            BcOp::CallExtern { dst, ext, args } => {
+                read_args(bc, args, &regs, base, &mut argv);
+                if M::OBSERVES {
+                    monitor.extern_call(site_at(bc, pc, cur_func), ExternId(ext));
+                }
+                let name = &p.ext(ExternId(ext)).name;
+                let r = call_builtin(&mut builtins, name, &argv)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                if dst != NO_DST {
+                    wr(&mut regs, base, dst, r);
+                }
+                pc += 1;
+            }
+            BcOp::Ret { value } => {
+                let v = rd(&regs, base, value);
+                do_ret!(v);
+            }
+            BcOp::Jump { pc: tpc } => {
+                do_jump!(tpc, site_at(bc, pc, cur_func));
+            }
+            BcOp::Br {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                let c = rd(&regs, base, cond) != 0;
+                let tpc = if c { then_pc } else { else_pc };
+                if M::OBSERVES {
+                    let t = block_of(bc, tpc);
+                    let site = site_at(bc, pc, cur_func);
+                    monitor.cond_branch(site, c);
+                    monitor.edge(FuncId(cur_func), site.block, t);
+                    monitor.block(FuncId(cur_func), t);
+                }
+                pc = tpc as usize;
+            }
+            BcOp::CmpEqBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x == y),
+            BcOp::CmpNeBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x != y),
+            BcOp::CmpLtBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x < y),
+            BcOp::CmpLeBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x <= y),
+            BcOp::CmpGtBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x > y),
+            BcOp::CmpGeBr { a, b, dst, t, e } => cmp_br!(a, b, dst, t, e, |x, y| x >= y),
+            BcOp::MovJump { dst, src, pc: tpc } => {
+                let v = rd(&regs, base, src);
+                wr(&mut regs, base, dst, v);
+                fused2!();
+                do_jump!(tpc, site2!());
+            }
+            BcOp::AddMov {
+                dst,
+                a,
+                b,
+                dst2,
+                src2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, x.wrapping_add(y));
+                fused2!();
+                let v = rd(&regs, base, src2 as u32);
+                wr(&mut regs, base, dst2 as u32, v);
+                pc += 1;
+            }
+            BcOp::ShlLoad {
+                dst,
+                a,
+                b,
+                dst2,
+                base2,
+                off2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, x.wrapping_shl((y & 63) as u32));
+                fused2!();
+                let addr =
+                    rd(&regs, base, base2 as u32).wrapping_add(rd(&regs, base, off2 as u32)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr, false);
+                }
+                let v = mem
+                    .load(addr)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst2 as u32, v);
+                pc += 1;
+            }
+            BcOp::ShlStore {
+                dst,
+                a,
+                b,
+                base2,
+                off2,
+                val2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, x.wrapping_shl((y & 63) as u32));
+                fused2!();
+                let addr =
+                    rd(&regs, base, base2 as u32).wrapping_add(rd(&regs, base, off2 as u32)) as u64;
+                let v = rd(&regs, base, val2 as u32);
+                if M::OBSERVES {
+                    monitor.mem(addr, true);
+                }
+                mem.store(addr, v)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                pc += 1;
+            }
+            BcOp::LoadRet {
+                dst,
+                base: ba,
+                offset,
+                rv,
+            } => {
+                let addr =
+                    rd(&regs, base, ba as u32).wrapping_add(rd(&regs, base, offset as u32)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr, false);
+                }
+                let v = mem
+                    .load(addr)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst as u32, v);
+                fused2!();
+                let r = rd(&regs, base, rv as u32);
+                do_ret!(r);
+            }
+            BcOp::StoreJump {
+                base: ba,
+                offset,
+                value,
+                pc: tpc,
+            } => {
+                let addr =
+                    rd(&regs, base, ba as u32).wrapping_add(rd(&regs, base, offset as u32)) as u64;
+                let v = rd(&regs, base, value as u32);
+                if M::OBSERVES {
+                    monitor.mem(addr, true);
+                }
+                mem.store(addr, v)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                fused2!();
+                do_jump!(tpc, site2!());
+            }
+            BcOp::BinBin {
+                k1,
+                k2,
+                dst,
+                a,
+                b,
+                dst2,
+                a2,
+                b2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, alu(k1, x, y));
+                fused2!();
+                let x2 = rd(&regs, base, a2 as u32);
+                let y2 = rd(&regs, base, b2 as u32);
+                wr(&mut regs, base, dst2 as u32, alu(k2, x2, y2));
+                pc += 1;
+            }
+            BcOp::BinMov {
+                k1,
+                dst,
+                a,
+                b,
+                dst2,
+                src2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, alu(k1, x, y));
+                fused2!();
+                let v = rd(&regs, base, src2 as u32);
+                wr(&mut regs, base, dst2 as u32, v);
+                pc += 1;
+            }
+            BcOp::MovBin {
+                k2,
+                dst,
+                src,
+                dst2,
+                a2,
+                b2,
+            } => {
+                let v = rd(&regs, base, src as u32);
+                wr(&mut regs, base, dst as u32, v);
+                fused2!();
+                let x2 = rd(&regs, base, a2 as u32);
+                let y2 = rd(&regs, base, b2 as u32);
+                wr(&mut regs, base, dst2 as u32, alu(k2, x2, y2));
+                pc += 1;
+            }
+            BcOp::BinLoad {
+                k1,
+                dst,
+                a,
+                b,
+                dst2,
+                base2,
+                off2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, alu(k1, x, y));
+                fused2!();
+                let addr =
+                    rd(&regs, base, base2 as u32).wrapping_add(rd(&regs, base, off2 as u32)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr, false);
+                }
+                let v = mem
+                    .load(addr)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst2 as u32, v);
+                pc += 1;
+            }
+            BcOp::BinStore {
+                k1,
+                dst,
+                a,
+                b,
+                base2,
+                off2,
+                val2,
+            } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, alu(k1, x, y));
+                fused2!();
+                let addr =
+                    rd(&regs, base, base2 as u32).wrapping_add(rd(&regs, base, off2 as u32)) as u64;
+                let v = rd(&regs, base, val2 as u32);
+                if M::OBSERVES {
+                    monitor.mem(addr, true);
+                }
+                mem.store(addr, v)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                pc += 1;
+            }
+            BcOp::LoadBin {
+                k2,
+                dst,
+                base: ba,
+                offset,
+                dst2,
+                a2,
+                b2,
+            } => {
+                let addr =
+                    rd(&regs, base, ba as u32).wrapping_add(rd(&regs, base, offset as u32)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr, false);
+                }
+                let v = mem
+                    .load(addr)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst as u32, v);
+                fused2!();
+                let x2 = rd(&regs, base, a2 as u32);
+                let y2 = rd(&regs, base, b2 as u32);
+                wr(&mut regs, base, dst2 as u32, alu(k2, x2, y2));
+                pc += 1;
+            }
+            BcOp::StoreLoad {
+                base: ba,
+                offset,
+                value,
+                dst2,
+                base2,
+                off2,
+            } => {
+                let addr =
+                    rd(&regs, base, ba as u32).wrapping_add(rd(&regs, base, offset as u32)) as u64;
+                let v = rd(&regs, base, value as u32);
+                if M::OBSERVES {
+                    monitor.mem(addr, true);
+                }
+                mem.store(addr, v)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                fused2!();
+                let addr2 =
+                    rd(&regs, base, base2 as u32).wrapping_add(rd(&regs, base, off2 as u32)) as u64;
+                if M::OBSERVES {
+                    monitor.mem(addr2, false);
+                }
+                let v2 = mem
+                    .load(addr2)
+                    .map_err(|t| in_func(t, p, FuncId(cur_func)))?;
+                wr(&mut regs, base, dst2 as u32, v2);
+                pc += 1;
+            }
+            BcOp::MovBr {
+                dst,
+                src,
+                cond,
+                t,
+                e,
+            } => {
+                let v = rd(&regs, base, src as u32);
+                wr(&mut regs, base, dst as u32, v);
+                fused2!();
+                let c = rd(&regs, base, cond as u32) != 0;
+                let tpc = if c { t } else { e };
+                if M::OBSERVES {
+                    let tb = block_of(bc, tpc);
+                    let site = site2!();
+                    monitor.cond_branch(site, c);
+                    monitor.edge(FuncId(cur_func), site.block, tb);
+                    monitor.block(FuncId(cur_func), tb);
+                }
+                pc = tpc as usize;
+            }
+            BcOp::BinRet { k1, dst, a, b, rv } => {
+                let x = rd(&regs, base, a as u32);
+                let y = rd(&regs, base, b as u32);
+                wr(&mut regs, base, dst as u32, alu(k1, x, y));
+                fused2!();
+                let r = rd(&regs, base, rv as u32);
+                do_ret!(r);
+            }
+            BcOp::TrapAbort => unreachable!("handled before fuel accounting"),
+            BcOp::InvalidIr => {
+                panic!(
+                    "bytecode: instruction with out-of-range static indices executed \
+                     (IR was not verified; the tree tier panics on the same instruction)"
+                )
+            }
+        }
+    }
+
+    Ok(ExecOutcome {
+        ret: final_ret,
+        output: builtins.output,
+        checksum: builtins.checksum,
+        retired,
+    })
+}

@@ -6,6 +6,51 @@ use crate::monitor::{CallKind, ExecMonitor, NullMonitor, SiteId};
 use crate::{Trap, TrapKind};
 use hlo_ir::{BinOp, BlockId, Callee, ConstVal, FuncId, Inst, Operand, Program, Reg, UnOp};
 
+/// Which execution engine runs the program. Both tiers implement the
+/// same observable semantics — fuel accounting, trap taxonomy, extern
+/// ordering, output, checksum, and the [`ExecMonitor`] event stream are
+/// identical instruction for instruction; the fuzz oracle cross-checks
+/// every candidate on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The tree-walking reference interpreter.
+    #[default]
+    Tree,
+    /// The linear-bytecode dispatch loop (`crate::bytecode` +
+    /// `crate::exec`): registers resolved to frame slots, block targets
+    /// pre-linked to instruction offsets, constants pooled.
+    Bytecode,
+}
+
+impl Tier {
+    /// Stable lower-case name (`tree` / `bytecode`), used in CLI flags
+    /// and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Tree => "tree",
+            Tier::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Tier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(Tier::Tree),
+            "bytecode" => Ok(Tier::Bytecode),
+            other => Err(format!("bad tier `{other}` (expected tree|bytecode)")),
+        }
+    }
+}
+
 /// Execution limits and sizing.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
@@ -14,6 +59,9 @@ pub struct ExecOptions {
     pub fuel: u64,
     /// Stack segment size in bytes.
     pub stack_bytes: u64,
+    /// Which execution engine to use (default: the tree-walking
+    /// reference interpreter).
+    pub tier: Tier,
 }
 
 impl Default for ExecOptions {
@@ -21,6 +69,7 @@ impl Default for ExecOptions {
         ExecOptions {
             fuel: 1 << 32,
             stack_bytes: 4 << 20,
+            tier: Tier::default(),
         }
     }
 }
@@ -41,7 +90,7 @@ pub struct ExecOutcome {
 
 /// Bytes of stack charged per activation beyond declared slots (models the
 /// frame-marker/save area; also bounds recursion depth).
-const FRAME_OVERHEAD_BYTES: u64 = 32;
+pub(crate) const FRAME_OVERHEAD_BYTES: u64 = 32;
 
 struct Frame {
     func: FuncId,
@@ -73,11 +122,29 @@ fn ev(op: Operand, regs: &[i64], mem: &Memory) -> i64 {
 }
 
 /// Runs `p` from its entry, reporting every dynamic event to `monitor`.
+/// `opts.tier` selects the engine; both tiers produce identical outcomes,
+/// traps, and monitor event streams.
 ///
 /// # Errors
 /// Returns a [`Trap`] on any run-time fault, missing entry, or fuel
 /// exhaustion.
 pub fn run_with_monitor<M: ExecMonitor>(
+    p: &Program,
+    args: &[i64],
+    opts: &ExecOptions,
+    monitor: &mut M,
+) -> Result<ExecOutcome, Trap> {
+    match opts.tier {
+        Tier::Tree => run_tree(p, args, opts, monitor),
+        Tier::Bytecode => {
+            let bc = crate::bytecode::BytecodeProgram::compile(p);
+            crate::exec::run_bytecode(&bc, p, args, opts, monitor)
+        }
+    }
+}
+
+/// The tree-walking reference interpreter (tier `tree`).
+pub(crate) fn run_tree<M: ExecMonitor>(
     p: &Program,
     args: &[i64],
     opts: &ExecOptions,
@@ -298,7 +365,7 @@ pub fn run_with_monitor<M: ExecMonitor>(
     })
 }
 
-fn in_func(mut t: Trap, p: &Program, f: FuncId) -> Trap {
+pub(crate) fn in_func(mut t: Trap, p: &Program, f: FuncId) -> Trap {
     if t.func.is_none() {
         t.func = Some(p.func(f).name.clone());
     }
@@ -357,7 +424,8 @@ fn const_value(c: ConstVal, mem: &Memory) -> i64 {
     }
 }
 
-fn eval_bin(op: BinOp, x: i64, y: i64) -> Result<i64, Trap> {
+#[inline(always)]
+pub(crate) fn eval_bin(op: BinOp, x: i64, y: i64) -> Result<i64, Trap> {
     let f = |v: i64| f64::from_bits(v as u64);
     let b = |v: f64| v.to_bits() as i64;
     Ok(match op {
@@ -396,7 +464,8 @@ fn eval_bin(op: BinOp, x: i64, y: i64) -> Result<i64, Trap> {
     })
 }
 
-fn eval_un(op: UnOp, x: i64) -> i64 {
+#[inline(always)]
+pub(crate) fn eval_un(op: UnOp, x: i64) -> i64 {
     match op {
         UnOp::Neg => x.wrapping_neg(),
         UnOp::Not => !x,
@@ -707,6 +776,50 @@ mod tests {
         assert_eq!(r.rets, 11); // + main
         assert_eq!(r.branches, 10);
         assert_eq!(r.mems, 0);
+    }
+
+    #[test]
+    fn bytecode_tier_matches_tree_on_fact() {
+        let p = build_fact();
+        let tree = run_program(&p, &[], &ExecOptions::default()).unwrap();
+        let bc = run_program(
+            &p,
+            &[],
+            &ExecOptions {
+                tier: Tier::Bytecode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tree, bc);
+    }
+
+    #[test]
+    fn bytecode_tier_fuel_parity_on_fact() {
+        // At every fuel level the two tiers agree on the full result —
+        // same outcome (incl. retired count) or the same trap in the
+        // same function.
+        let p = build_fact();
+        for fuel in 0..120 {
+            let a = run_program(
+                &p,
+                &[],
+                &ExecOptions {
+                    fuel,
+                    ..Default::default()
+                },
+            );
+            let b = run_program(
+                &p,
+                &[],
+                &ExecOptions {
+                    fuel,
+                    tier: Tier::Bytecode,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(a, b, "tiers diverged at fuel {fuel}");
+        }
     }
 
     #[test]

@@ -44,14 +44,20 @@
 //! ```
 
 mod builtins;
+mod bytecode;
+mod exec;
 mod interp;
 mod memory;
+mod metrics;
 mod monitor;
 mod trace;
 
 pub use builtins::BuiltinState;
-pub use interp::{run_program, run_with_monitor, ExecOptions, ExecOutcome};
+pub use bytecode::BytecodeProgram;
+pub use exec::{run_bytecode, run_counted};
+pub use interp::{run_program, run_with_monitor, ExecOptions, ExecOutcome, Tier};
 pub use memory::{DataLayout, Memory, CODE_BASE, NULL_GUARD_BYTES};
+pub use metrics::{run_with_monitor_metrics, tier_totals};
 pub use monitor::{CallKind, ExecMonitor, NullMonitor, SiteId};
 pub use trace::TraceMonitor;
 

@@ -93,6 +93,7 @@ impl Memory {
         self.stack_base_words as u64 * 8
     }
 
+    #[inline(always)]
     fn word_index(&self, addr: u64) -> Result<usize, Trap> {
         if !addr.is_multiple_of(8) {
             return Err(Trap::new(TrapKind::Misaligned { addr }));
@@ -107,17 +108,24 @@ impl Memory {
     ///
     /// # Errors
     /// Traps on misaligned or out-of-range addresses.
+    #[inline(always)]
     pub fn load(&self, addr: u64) -> Result<i64, Trap> {
-        Ok(self.words[self.word_index(addr)?])
+        let i = self.word_index(addr)?;
+        // SAFETY: `word_index` checked `addr < words.len() * 8`.
+        Ok(unsafe { *self.words.get_unchecked(i) })
     }
 
     /// Writes the word at byte address `addr`.
     ///
     /// # Errors
     /// Traps on misaligned or out-of-range addresses.
+    #[inline(always)]
     pub fn store(&mut self, addr: u64, value: i64) -> Result<(), Trap> {
         let i = self.word_index(addr)?;
-        self.words[i] = value;
+        // SAFETY: `word_index` checked `addr < words.len() * 8`.
+        unsafe {
+            *self.words.get_unchecked_mut(i) = value;
+        }
         Ok(())
     }
 }

@@ -31,6 +31,12 @@ pub enum CallKind {
 /// Observer of a VM execution. All methods default to no-ops so monitors
 /// implement only what they need; the VM calls them in program order.
 pub trait ExecMonitor {
+    /// Whether the VM must deliver events at all. [`NullMonitor`] sets
+    /// this to `false`, letting the bytecode tier's dispatch loop compile
+    /// out event bookkeeping (site lookups) that only exists to feed the
+    /// monitor. Real monitors keep the default.
+    const OBSERVES: bool = true;
+
     /// A block is entered (including function entries).
     fn block(&mut self, _func: FuncId, _block: BlockId) {}
 
@@ -79,7 +85,9 @@ pub trait ExecMonitor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullMonitor;
 
-impl ExecMonitor for NullMonitor {}
+impl ExecMonitor for NullMonitor {
+    const OBSERVES: bool = false;
+}
 
 #[cfg(test)]
 mod tests {

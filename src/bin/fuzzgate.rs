@@ -16,9 +16,16 @@
 //!    deletes observable calls. The oracle must catch that too — proof it
 //!    can see a wrong purity summary, not just a wrong splice.
 //!
-//! Usage: `cargo fuzzgate [iters]` (default 500 phase-1 iterations).
+//! Phases 2 and 3 each run twice: once with profile synthesis on the
+//! tree tier and once on the bytecode tier, so a planted fault must be
+//! catchable end to end no matter which tier feeds the profile.
+//!
+//! Usage: `cargo fuzzgate [iters]` (default 1000 phase-1 iterations —
+//! the bytecode tier runs every candidate ~3× faster than the tree
+//! walker alone used to, so the default sweep is deeper at the same
+//! wall-clock budget).
 
-use aggressive_inlining::{fuzz, hlo, ipa};
+use aggressive_inlining::{fuzz, hlo, ipa, vm};
 use std::process::ExitCode;
 
 /// Phase-2 reproducers must shrink to at most this many source lines.
@@ -45,11 +52,20 @@ fn metrics_summary(m: &hlo::MetricsRegistry) -> String {
             None => "-".to_string(),
         }
     };
+    let tier = |t: vm::Tier| {
+        let (insts, us) = vm::tier_totals(m, t);
+        match insts.checked_div(us.max(1)) {
+            Some(mips) if insts > 0 => format!("{mips}Minst/s"),
+            _ => "-".to_string(),
+        }
+    };
     format!(
-        "cases {mix}, mean generate {} oracle {} daemon {}",
+        "cases {mix}, mean generate {} oracle {} daemon {}, tier tree {} bytecode {}",
         mean("fuzz_generate_us"),
         mean("fuzz_oracle_us"),
         mean("fuzz_daemon_us"),
+        tier(vm::Tier::Tree),
+        tier(vm::Tier::Bytecode),
     )
 }
 
@@ -57,7 +73,7 @@ fn main() -> ExitCode {
     let iters: u64 = std::env::args()
         .nth(1)
         .map(|a| a.parse().expect("usage: fuzzgate [iters]"))
-        .unwrap_or(500);
+        .unwrap_or(1000);
 
     // Phase 1: the optimizer must survive a clean sweep.
     let metrics = hlo::MetricsRegistry::new();
@@ -94,35 +110,47 @@ fn main() -> ExitCode {
     }
 
     // Phases 2 and 3: with a planted fault armed the gate must light up,
-    // and the shrinker must get the reproducer small.
-    let faulty = {
-        let _guard = hlo::fault::FaultGuard::arm();
-        fuzz::run_campaign(&fuzz::CampaignConfig {
-            seed: 0x5eed_0002,
-            iters: 200,
-            stop_after: 1,
-            oracle: fuzz::OracleConfig::quick(),
-            quiet: true,
-            ..Default::default()
-        })
-    };
-    if !sensitivity_ok("phase 2 (inliner fault)", &faulty) {
-        return ExitCode::from(1);
-    }
+    // and the shrinker must get the reproducer small. Each phase runs on
+    // both profile-synthesis tiers.
+    for (tier, label) in [
+        (vm::Tier::Tree, "tree profile"),
+        (vm::Tier::Bytecode, "bytecode profile"),
+    ] {
+        let faulty = {
+            let _guard = hlo::fault::FaultGuard::arm();
+            fuzz::run_campaign(&fuzz::CampaignConfig {
+                seed: 0x5eed_0002,
+                iters: 200,
+                stop_after: 1,
+                oracle: fuzz::OracleConfig {
+                    tier,
+                    ..fuzz::OracleConfig::quick()
+                },
+                quiet: true,
+                ..Default::default()
+            })
+        };
+        if !sensitivity_ok(&format!("phase 2 (inliner fault, {label})"), &faulty) {
+            return ExitCode::from(1);
+        }
 
-    let faulty = {
-        let _guard = ipa::fault::FaultGuard::arm();
-        fuzz::run_campaign(&fuzz::CampaignConfig {
-            seed: 0x5eed_0003,
-            iters: 200,
-            stop_after: 1,
-            oracle: fuzz::OracleConfig::quick(),
-            quiet: true,
-            ..Default::default()
-        })
-    };
-    if !sensitivity_ok("phase 3 (summary fault)", &faulty) {
-        return ExitCode::from(1);
+        let faulty = {
+            let _guard = ipa::fault::FaultGuard::arm();
+            fuzz::run_campaign(&fuzz::CampaignConfig {
+                seed: 0x5eed_0003,
+                iters: 200,
+                stop_after: 1,
+                oracle: fuzz::OracleConfig {
+                    tier,
+                    ..fuzz::OracleConfig::quick()
+                },
+                quiet: true,
+                ..Default::default()
+            })
+        };
+        if !sensitivity_ok(&format!("phase 3 (summary fault, {label})"), &faulty) {
+            return ExitCode::from(1);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! hloc build [OPTIONS] <file.mc>...   compile + optimize, report, optionally run
 //! hloc opt [OPTIONS] <file.ir>        re-optimize dumped IR (isom-style path)
-//! hloc run   <file.mc>... [--arg N]   compile without HLO and execute
+//! hloc run   <file.mc>... [--arg N] [--tier tree|bytecode]
+//!                                     compile without HLO and execute
 //! hloc lint  <file.mc>... [--pedantic]  static-analysis report (no optimization)
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
 //! hloc fuzz [OPTIONS]                 differential-fuzz the optimizer
@@ -23,7 +24,9 @@
 //! under `--run`; a path writes the optimizer's Chrome trace-event JSON),
 //! `--explain[=FN[:bN.iM]]` (print inline/clone/outline/pure-call decision
 //! provenance, optionally filtered to a function or exact site), `--sim`,
-//! `--arg N`, `--verify-each`, `--check off|structural|strict`.
+//! `--arg N`, `--tier tree|bytecode` (VM execution engine for `--run`,
+//! `--train`, and `--sim`), `--verify-each`,
+//! `--check off|structural|strict`.
 
 use aggressive_inlining::{analysis, frontc, fuzz, hlo, ir, lint, profile, serve, sim, vm};
 use std::process::ExitCode;
@@ -73,7 +76,7 @@ fn print_help() {
 USAGE:
   hloc build [OPTIONS] <file.mc>...
   hloc opt [OPTIONS] <file.ir>         re-optimize dumped IR (isom-style)
-  hloc run <file.mc>... [--arg N]
+  hloc run <file.mc>... [--arg N] [--tier tree|bytecode]
   hloc lint <file.mc>... [--pedantic]  static-analysis report (exit 1 on findings)
   hloc classify <file.mc>...
   hloc fuzz [--seed S] [--iters N] [--budget-secs T] [--corpus DIR]
@@ -99,6 +102,8 @@ BUILD OPTIONS:
   --outline                enable aggressive outlining (paper's future work)
   --train N                profile-guided: training run with scale argument N
   --arg N                  argument passed to main for --run/--sim (default 0)
+  --tier tree|bytecode     VM execution engine for --run/--train/--sim
+                           (default: tree; both tiers behave identically)
   --emit-ir PATH           write optimized IR text to PATH ('-' = stdout)
   --run                    execute the optimized program on the VM
   --trace N                with --run: print the first N executed instructions
@@ -123,6 +128,7 @@ struct Parsed {
     emit_ir: Option<String>,
     do_run: bool,
     do_sim: bool,
+    tier: vm::Tier,
     trace: Option<u64>,
     trace_out: Option<String>,
     explain: Option<Option<String>>,
@@ -137,6 +143,7 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
         emit_ir: None,
         do_run: false,
         do_sim: false,
+        tier: vm::Tier::default(),
         trace: None,
         trace_out: None,
         explain: None,
@@ -190,6 +197,7 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
                     .map_err(|_| "bad --arg value".to_string())?
             }
             "--emit-ir" => p.emit_ir = Some(value("--emit-ir")?),
+            "--tier" => p.tier = value("--tier")?.parse()?,
             "--trace" => {
                 // Disambiguate by value shape: a bare count keeps the
                 // historical meaning (print the first N executed VM
@@ -246,9 +254,12 @@ fn build(rest: &[String]) -> Result<(), String> {
     let mut program = compile(&parsed.files)?;
     let db = match parsed.train {
         Some(train_arg) => {
-            let (db, out) =
-                profile::collect_profile(&program, &[train_arg], &vm::ExecOptions::default())
-                    .map_err(|e| format!("training run failed: {e}"))?;
+            let exec = vm::ExecOptions {
+                tier: parsed.tier,
+                ..Default::default()
+            };
+            let (db, out) = profile::collect_profile(&program, &[train_arg], &exec)
+                .map_err(|e| format!("training run failed: {e}"))?;
             eprintln!(
                 "training run: {} instructions, {} functions profiled",
                 out.retired,
@@ -274,28 +285,7 @@ fn build(rest: &[String]) -> Result<(), String> {
             std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         }
     }
-    if parsed.do_run {
-        let out = run_maybe_traced(&program, parsed.arg, parsed.trace)?;
-        for v in &out.output {
-            println!("{v}");
-        }
-        eprintln!(
-            "exit value {} ({} instructions, checksum {:#x})",
-            out.ret, out.retired, out.checksum
-        );
-    }
-    if parsed.do_sim {
-        let (stats, out) = sim::simulate(
-            &program,
-            &[parsed.arg],
-            &vm::ExecOptions::default(),
-            &sim::MachineConfig::default(),
-        )
-        .map_err(|e| format!("simulation failed: {e}"))?;
-        eprintln!("exit value {}", out.ret);
-        eprintln!("{stats}");
-    }
-    Ok(())
+    run_and_sim(&program, &parsed)
 }
 
 /// `hloc opt`: the isom-style path — load IR text previously written with
@@ -327,8 +317,13 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
             std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
         }
     }
+    run_and_sim(&program, &parsed)
+}
+
+/// The `--run` / `--sim` tail shared by `build` and `opt`.
+fn run_and_sim(program: &ir::Program, parsed: &Parsed) -> Result<(), String> {
     if parsed.do_run {
-        let out = run_maybe_traced(&program, parsed.arg, parsed.trace)?;
+        let out = run_maybe_traced(program, parsed.arg, parsed.tier, parsed.trace)?;
         for v in &out.output {
             println!("{v}");
         }
@@ -338,10 +333,14 @@ fn opt_ir(rest: &[String]) -> Result<(), String> {
         );
     }
     if parsed.do_sim {
+        let exec = vm::ExecOptions {
+            tier: parsed.tier,
+            ..Default::default()
+        };
         let (stats, out) = sim::simulate(
-            &program,
+            program,
             &[parsed.arg],
-            &vm::ExecOptions::default(),
+            &exec,
             &sim::MachineConfig::default(),
         )
         .map_err(|e| format!("simulation failed: {e}"))?;
@@ -428,9 +427,13 @@ fn lint_cmd(rest: &[String]) -> Result<ExitCode, String> {
 fn run_maybe_traced(
     program: &ir::Program,
     arg: i64,
+    tier: vm::Tier,
     trace: Option<u64>,
 ) -> Result<vm::ExecOutcome, String> {
-    let exec = vm::ExecOptions::default();
+    let exec = vm::ExecOptions {
+        tier,
+        ..Default::default()
+    };
     match trace {
         Some(n) => {
             let stderr = std::io::stderr().lock();
@@ -445,6 +448,7 @@ fn run_maybe_traced(
 fn run_plain(rest: &[String]) -> Result<(), String> {
     let mut files = Vec::new();
     let mut arg = 0i64;
+    let mut tier = vm::Tier::default();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -454,6 +458,12 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| "bad --arg".to_string())?
             }
+            "--tier" => {
+                tier = it
+                    .next()
+                    .ok_or_else(|| "`--tier` needs a value".to_string())?
+                    .parse()?
+            }
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -462,8 +472,11 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
         return Err("no input files".to_string());
     }
     let program = compile(&files)?;
-    let out = vm::run_program(&program, &[arg], &vm::ExecOptions::default())
-        .map_err(|e| format!("run failed: {e}"))?;
+    let exec = vm::ExecOptions {
+        tier,
+        ..Default::default()
+    };
+    let out = vm::run_program(&program, &[arg], &exec).map_err(|e| format!("run failed: {e}"))?;
     for v in &out.output {
         println!("{v}");
     }
@@ -516,8 +529,10 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
 }
 
 /// `hloc remote <addr> build ...`: ship a build to a running daemon. Takes
-/// the optimizer subset of the `build` options plus `--profile PATH` and
-/// `--deadline-ms N`; run/sim/train stay local-only.
+/// the optimizer subset of the `build` options plus `--profile PATH`,
+/// `--deadline-ms N`, and `--train-arg N` (execute the optimized program
+/// once on the daemon's bytecode tier, feeding its tier metrics);
+/// run/sim stay local-only.
 fn remote_cmd(rest: &[String]) -> Result<(), String> {
     let (addr, rest) = rest
         .split_first()
@@ -576,6 +591,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     let mut opts = hlo::HloOptions::default();
     let mut profile_path: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut train_arg: Option<i64> = None;
     let mut emit_ir: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -614,6 +630,13 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
                         .map_err(|_| "bad --deadline-ms value".to_string())?,
                 )
             }
+            "--train-arg" => {
+                train_arg = Some(
+                    value("--train-arg")?
+                        .parse()
+                        .map_err(|_| "bad --train-arg value".to_string())?,
+                )
+            }
             "--emit-ir" => emit_ir = Some(value("--emit-ir")?),
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown remote build option `{other}`")),
@@ -631,9 +654,13 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
         source: serve::SourceKind::Minc(load_sources(&files)?),
         profile,
         deadline_ms,
+        train_arg,
     };
     let resp = client.optimize(&req).map_err(|e| e.to_string())?;
     eprintln!("{}", resp.report);
+    if let Some(train) = &resp.train {
+        eprintln!("train: {train}");
+    }
     eprintln!(
         "cache: {} (cone keys: {} known, {} new)",
         if resp.outcome.hit { "hit" } else { "miss" },
