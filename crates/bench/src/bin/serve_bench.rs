@@ -16,7 +16,9 @@
 
 use hlo::HloOptions;
 use hlo_profile::collect_profile;
-use hlo_serve::{Client, OptimizeRequest, ServeConfig, Server, SourceKind};
+use hlo_serve::{
+    Client, OptimizeRequest, ProfilePushRequest, ProfileSpec, ServeConfig, Server, SourceKind,
+};
 use hlo_vm::ExecOptions;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -70,7 +72,7 @@ fn main() -> ExitCode {
                     .map(|(n, s)| (n.to_string(), s.to_string()))
                     .collect(),
             ),
-            profile: Some(profile_text),
+            profile: ProfileSpec::Text(profile_text),
             train_arg: None,
             deadline_ms: None,
         };
@@ -122,7 +124,14 @@ fn main() -> ExitCode {
     client.shutdown().expect("shutdown");
     server.wait();
 
-    let json = render_json(hit_rate, cold_total, warm_total, &rows);
+    let restart_warm = restart_warmth_probe();
+    println!(
+        "restart warmth: {}",
+        if restart_warm { "yes" } else { "NO" }
+    );
+    ok &= restart_warm;
+
+    let json = render_json(hit_rate, cold_total, warm_total, restart_warm, &rows);
     let path = "BENCH_serve.json";
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("serve_bench: cannot write {path}: {e}");
@@ -138,12 +147,87 @@ fn main() -> ExitCode {
     }
 }
 
+/// Restart-warmth: a daemon given `--pgo-store` must come back up with
+/// the exact profile state it went down with. Push a trained profile,
+/// read back the store, restart on the same path, and require the stats
+/// and merged-profile text to be byte-identical — then a server-mode
+/// build on the fresh daemon must equal an in-process optimize with that
+/// persisted aggregate (cold cache, warm store).
+fn restart_warmth_probe() -> bool {
+    let b = &hlo_suite::all_benchmarks()[0];
+    let dir = std::env::temp_dir().join(format!("hlo-servebench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create probe dir");
+    let path = dir.join("pgo-store.txt");
+    let cfg = || ServeConfig {
+        pgo_store_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let sources: Vec<(String, String)> = b
+        .sources
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let baseline = b.compile().expect("suite program compiles");
+    let key = hlo_pgo::program_key(&baseline);
+    let (db, _) =
+        collect_profile(&baseline, &[b.train_arg], &ExecOptions::default()).expect("training run");
+
+    // First life: register the program (any optimize does) and push.
+    let server = Server::spawn("127.0.0.1:0", cfg()).expect("spawn first daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let req = OptimizeRequest::from_minc(sources);
+    client.optimize(&req).expect("registering optimize");
+    client
+        .profile_push(&ProfilePushRequest {
+            program: key.clone(),
+            delta: db.to_text(),
+            advance: 0,
+        })
+        .expect("push");
+    let before = client.profile_stats(Some(&key)).expect("stats before");
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    // Second life, same path: state must read back byte-identical, and a
+    // server-mode build must use the persisted aggregate.
+    let server = Server::spawn("127.0.0.1:0", cfg()).expect("spawn second daemon");
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let after = client.profile_stats(Some(&key)).expect("stats after");
+    let stats_identical = after.text == before.text && after.profile == before.profile;
+
+    let mut expect = b.compile().expect("suite program compiles");
+    let _ = hlo::optimize(&mut expect, Some(&db), &HloOptions::default());
+    let expect_ir = hlo_ir::program_to_text(&expect);
+    let mut sreq = req.clone();
+    sreq.profile = ProfileSpec::Server;
+    let resp = client.optimize(&sreq).expect("server-mode build");
+    let build_warm = resp.ir_text == expect_ir;
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+    std::fs::remove_dir_all(&dir).ok();
+    if !stats_identical {
+        eprintln!("serve_bench: restarted store state is not byte-identical");
+    }
+    if !build_warm {
+        eprintln!("serve_bench: post-restart server-mode build ignored the persisted profile");
+    }
+    stats_identical && build_warm
+}
+
 /// Hand-rolled JSON (the registry is offline; no serde). All strings are
 /// benchmark names — `[0-9A-Za-z._]` — so quoting suffices.
-fn render_json(hit_rate: f64, cold_total: u64, warm_total: u64, rows: &[Row]) -> String {
+fn render_json(
+    hit_rate: f64,
+    cold_total: u64,
+    warm_total: u64,
+    restart_warm: bool,
+    rows: &[Row],
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"warm_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(s, "  \"restart_warm\": {restart_warm},");
     let _ = writeln!(s, "  \"cold_total_us\": {cold_total},");
     let _ = writeln!(s, "  \"warm_total_us\": {warm_total},");
     let _ = writeln!(

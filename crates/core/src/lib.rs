@@ -64,7 +64,7 @@ pub use hlo_lint::{CheckLevel, Checker, Diagnostic, LintReport, Severity};
 pub use hlo_trace::json as trace_json;
 pub use hlo_trace::{
     chrome_trace_json, DecisionEvent, DecisionKind, MetricsRegistry, TraceLevel, Tracer, Verdict,
-    LATENCY_BUCKETS_US,
+    DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US,
 };
 pub use inliner::inline_pass;
 pub use legality::{clone_restriction, inline_restriction, Restriction};
@@ -102,5 +102,11 @@ pub fn all_reason_codes() -> &'static [&'static str] {
         "out-of-scope",
         "entry-callee",
         "not-direct",
+        // Continuous PGO: why the daemon rebuilt (or kept) a cached
+        // server-mode result. Emitted by `hlo-pgo`'s drift reports.
+        "pgo-cold-start",
+        "pgo-drift-exceeded",
+        "pgo-churn-exceeded",
+        "pgo-profile-stable",
     ]
 }

@@ -354,8 +354,9 @@ impl DaemonCheck {
         DaemonCheck { server: None }
     }
 
-    /// Cold + warm round-trip of `sources`; both must match an in-process
-    /// optimize byte-for-byte.
+    /// Cold + warm round-trip of `sources`, then a continuous-PGO sweep
+    /// (cold / drifted / stable server-mode requests); every daemon answer
+    /// must match an in-process optimize byte-for-byte.
     fn check(&mut self, sources: &[(String, String)]) -> Result<(), String> {
         if self.server.is_none() {
             self.server = Some(
@@ -365,8 +366,10 @@ impl DaemonCheck {
         }
         let server = self.server.as_ref().expect("just spawned");
 
-        let mut program = crate::oracle::compile_sources(sources)?;
+        let pristine = crate::oracle::compile_sources(sources)?;
+        let pkey = hlo_pgo::program_key(&pristine);
         let opts = hlo::HloOptions::default();
+        let mut program = pristine.clone();
         hlo::optimize(&mut program, None, &opts);
         let expect = hlo_ir::program_to_text(&program);
 
@@ -387,6 +390,71 @@ impl DaemonCheck {
         }
         if warm.ir_text != cold.ir_text {
             return Err("warm daemon response is not byte-identical to cold".to_string());
+        }
+
+        // Continuous-PGO sweep. Cold: with nothing pushed, a server-mode
+        // build must equal the profile-free one exactly.
+        let mut sreq = req.clone();
+        sreq.profile = hlo_serve::ProfileSpec::Server;
+        let cold_s = client
+            .optimize(&sreq)
+            .map_err(|e| format!("server-mode request failed: {e}"))?;
+        if cold_s.ir_text != expect {
+            return Err(
+                "server-mode build with an empty aggregate differs from a profile-free one"
+                    .to_string(),
+            );
+        }
+
+        // Drifted: push a trace-synthesized profile (empty -> populated is
+        // total drift) — the rebuild must match in-process PGO with the
+        // same aggregate. Mutants that trap instantly can yield an empty
+        // profile; the push would be invisible, so skip the drift legs.
+        let exec = hlo_vm::ExecOptions {
+            fuel: crate::oracle::ORACLE_FUEL,
+            ..Default::default()
+        };
+        let delta = hlo_profile::ProfileDb::from_vm_trace(&pristine, &[5], &exec);
+        if delta.is_empty() {
+            return Ok(());
+        }
+        client
+            .profile_push(&hlo_serve::ProfilePushRequest {
+                program: pkey,
+                delta: delta.to_text(),
+                advance: 0,
+            })
+            .map_err(|e| format!("profile push refused: {e}"))?;
+        let mut with_profile = pristine.clone();
+        hlo::optimize(&mut with_profile, Some(&delta), &opts);
+        let expect_pgo = hlo_ir::program_to_text(&with_profile);
+        let drifted = client
+            .optimize(&sreq)
+            .map_err(|e| format!("drifted server-mode request failed: {e}"))?;
+        if !drifted.outcome.stale {
+            return Err("push past threshold did not flip the cached entry stale".to_string());
+        }
+        if drifted.ir_text != expect_pgo {
+            return Err("drift-triggered rebuild differs from in-process PGO optimize".to_string());
+        }
+
+        // Stable: a same-shape push scales every counter uniformly, which
+        // the drift metric must not see — the entry is served as a hit.
+        client
+            .profile_push(&hlo_serve::ProfilePushRequest {
+                program: hlo_pgo::program_key(&pristine),
+                delta: delta.to_text(),
+                advance: 0,
+            })
+            .map_err(|e| format!("second profile push refused: {e}"))?;
+        let stable = client
+            .optimize(&sreq)
+            .map_err(|e| format!("stable server-mode request failed: {e}"))?;
+        if !stable.outcome.hit || stable.outcome.stale {
+            return Err("stable aggregate was not served as a cache hit".to_string());
+        }
+        if stable.ir_text != drifted.ir_text {
+            return Err("stable server-mode response is not byte-identical".to_string());
         }
         Ok(())
     }

@@ -135,6 +135,12 @@ pub struct MatrixEntry {
     pub opts: HloOptions,
     /// Synthesize a profile from a baseline VM trace and optimize with it.
     pub with_profile: bool,
+    /// Route the synthesized profile through an in-process
+    /// `hlo_pgo::ProfileStore` (push, decay one generation, push again)
+    /// and optimize with the *merged aggregate* — the exact profile a
+    /// daemon `profile: server` rebuild would use. Implies
+    /// `with_profile`.
+    pub continuous_pgo: bool,
     /// Re-run the same optimization at `jobs = N` and require the result
     /// to be byte-identical.
     pub probe_jobs: bool,
@@ -163,6 +169,7 @@ fn entry(label: &str, opts: HloOptions, with_profile: bool, probe_jobs: bool) ->
         label: label.to_string(),
         opts,
         with_profile,
+        continuous_pgo: false,
         probe_jobs,
     }
 }
@@ -170,8 +177,9 @@ fn entry(label: &str, opts: HloOptions, with_profile: bool, probe_jobs: bool) ->
 impl OracleConfig {
     /// The full matrix the fuzz gate runs: budgets {0, 100, 400} crossed
     /// with both scopes, plus profile-guided, strict-checked, outlining,
-    /// and summary-analysis-disabled (`noipa`) configurations, with
-    /// jobs-determinism probes on the aggressive entries.
+    /// summary-analysis-disabled (`noipa`), and continuous-PGO
+    /// (store-aggregated profile) configurations, with jobs-determinism
+    /// probes on the aggressive entries.
     pub fn full() -> Self {
         let base = HloOptions::default(); // CrossModule, budget 100
         let with = |scope, budget: u64| HloOptions {
@@ -241,6 +249,17 @@ impl OracleConfig {
                     false,
                     true,
                 ),
+                // Continuous PGO: the profile is not used raw but pushed
+                // through a ProfileStore across a decay generation, so the
+                // optimizer sees exactly what a daemon-side
+                // `profile: server` rebuild would hand it.
+                MatrixEntry {
+                    label: "b100-program-pgo-server".to_string(),
+                    opts: with(Scope::CrossModule, 100),
+                    with_profile: true,
+                    continuous_pgo: true,
+                    probe_jobs: false,
+                },
             ],
         }
     }
@@ -450,7 +469,23 @@ pub fn check_program_with(
                 tier: oc.tier,
                 ..Default::default()
             };
-            ProfileDb::from_vm_trace(p0, &oc.args, &exec)
+            let db = ProfileDb::from_vm_trace(p0, &oc.args, &exec);
+            if entry.continuous_pgo {
+                // Age the profile through the daemon's store machinery:
+                // push, decay one generation, push again. The merged
+                // (decayed + fresh) aggregate is what a `profile: server`
+                // rebuild optimizes with; it must be just as sound as the
+                // raw profile.
+                let mut store = hlo_pgo::ProfileStore::new(hlo_pgo::store::DEFAULT_CAP);
+                let key = hlo_pgo::program_key(p0);
+                store.register(&key).expect("derived keys are well-formed");
+                store.push(&key, &db).expect("key was just registered");
+                store.advance(&key, 1).expect("key was just registered");
+                store.push(&key, &db).expect("key was just registered");
+                store.merged(&key).unwrap_or(db)
+            } else {
+                db
+            }
         });
 
         let mut optimized = p0.clone();

@@ -1,0 +1,363 @@
+//! How far a merged profile has moved from the one a cached result was
+//! built with.
+//!
+//! Drift must ignore *volume* and see *shape*: ten thousand users
+//! re-running yesterday's workload doubles every counter without
+//! changing what is hot, and must never trigger re-optimization. Both
+//! components are therefore computed over **normalized frequencies**:
+//!
+//! * `l1_millis` — total-variation distance `½ Σ |p_i − q_i|` over the
+//!   per-(function, block) share of execution mass (entry counts ride
+//!   along as a pseudo-block, covering call-frequency shifts in
+//!   profiles with no block data). `0` = identical shape, `1000` = the
+//!   two profiles spend their time in disjoint places.
+//! * `churn_millis` — Jaccard distance between the two hot sets (the
+//!   top-K functions by mass): the fraction of the combined hot set
+//!   that is hot on one side only. Catches "a new function entered the
+//!   top 10" even when the overall mass moved little.
+//!
+//! The score is the max of the two; the daemon re-optimizes a cached
+//! result when the score exceeds its `--pgo-threshold`. Everything is
+//! integer arithmetic in thousandths (millis), so reports are
+//! deterministic across platforms.
+
+use hlo_profile::ProfileDb;
+use std::collections::BTreeMap;
+
+/// Default re-optimization threshold, in thousandths (0.1).
+pub const DEFAULT_THRESHOLD_MILLIS: u64 = 100;
+/// Default hot-set size for the churn component.
+pub const DEFAULT_HOT_SET: usize = 10;
+
+/// Movers listed in a report (the rest are summarized by the totals).
+const MAX_MOVED: usize = 5;
+
+/// Reason code: the cached result was built profile-free (or against an
+/// empty aggregate) and a real profile has since arrived.
+pub const REASON_PGO_COLD: &str = "pgo-cold-start";
+/// Reason code: mass distribution moved past threshold.
+pub const REASON_PGO_DRIFT: &str = "pgo-drift-exceeded";
+/// Reason code: the hot set churned past threshold while overall mass
+/// distance stayed under it.
+pub const REASON_PGO_CHURN: &str = "pgo-churn-exceeded";
+/// Reason code: the aggregate is still within threshold of the profile
+/// the cached result was built with.
+pub const REASON_PGO_STABLE: &str = "pgo-profile-stable";
+
+/// One function whose share of execution mass moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncMove {
+    /// Module name.
+    pub module: String,
+    /// Function name.
+    pub func: String,
+    /// Share of total mass in the old profile, thousandths.
+    pub before_millis: u64,
+    /// Share of total mass in the new profile, thousandths.
+    pub after_millis: u64,
+}
+
+/// The provenance of one drift decision.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DriftReport {
+    /// Total-variation distance over per-block mass shares, thousandths.
+    pub l1_millis: u64,
+    /// Hot-set Jaccard distance, thousandths.
+    pub churn_millis: u64,
+    /// Exactly one side was empty: a cold aggregate met its first real
+    /// profile (or vice versa). Always scored as full drift.
+    pub cold: bool,
+    /// Top movers by absolute share change, largest first (ties by
+    /// name), at most five.
+    pub moved: Vec<FuncMove>,
+}
+
+impl DriftReport {
+    /// The drift score the threshold is compared against.
+    pub fn score_millis(&self) -> u64 {
+        self.l1_millis.max(self.churn_millis)
+    }
+
+    /// True when the score exceeds `threshold_millis`.
+    pub fn exceeds(&self, threshold_millis: u64) -> bool {
+        self.score_millis() > threshold_millis
+    }
+
+    /// The stable reason code for this report under `threshold_millis`
+    /// (one of the `pgo-*` codes in `hlo::all_reason_codes`).
+    pub fn reason(&self, threshold_millis: u64) -> &'static str {
+        if self.cold {
+            REASON_PGO_COLD
+        } else if !self.exceeds(threshold_millis) {
+            REASON_PGO_STABLE
+        } else if self.l1_millis > threshold_millis {
+            REASON_PGO_DRIFT
+        } else {
+            REASON_PGO_CHURN
+        }
+    }
+
+    /// One provenance line: score, components and the top movers.
+    pub fn summary(&self, threshold_millis: u64) -> String {
+        let mut s = format!(
+            "{} score {} (l1 {} churn {} threshold {})",
+            self.reason(threshold_millis),
+            self.score_millis(),
+            self.l1_millis,
+            self.churn_millis,
+            threshold_millis
+        );
+        for m in &self.moved {
+            s.push_str(&format!(
+                " {}.{} {}->{}",
+                m.module, m.func, m.before_millis, m.after_millis
+            ));
+        }
+        s
+    }
+}
+
+/// Execution mass per (module, function).
+type FuncMass = BTreeMap<(String, String), u128>;
+/// Execution mass per (module, function, block index); `u32::MAX` is the
+/// entry-count pseudo-block.
+type BlockMass = BTreeMap<(String, String, u32), u128>;
+
+/// Per-function and per-block execution-mass maps. Saturating sums keep
+/// hostile counter values finite; `u128` totals keep the share division
+/// exact.
+fn masses(db: &ProfileDb) -> (FuncMass, BlockMass) {
+    let mut per_func = BTreeMap::new();
+    let mut per_block = BTreeMap::new();
+    for ((m, f), c) in db.iter() {
+        let mut func_mass: u128 = u128::from(c.entry);
+        per_block.insert((m.clone(), f.clone(), u32::MAX), u128::from(c.entry));
+        for (i, b) in c.blocks.iter().enumerate() {
+            func_mass += u128::from(*b);
+            per_block.insert((m.clone(), f.clone(), i as u32), u128::from(*b));
+        }
+        per_func.insert((m.clone(), f.clone()), func_mass);
+    }
+    (per_func, per_block)
+}
+
+/// Share of `mass` in `total`, in thousandths (0 when `total` is 0).
+fn share_millis(mass: u128, total: u128) -> u64 {
+    (mass * 1000).checked_div(total).unwrap_or(0) as u64
+}
+
+/// The top-`k` functions by mass (ties broken by name, so the set is
+/// deterministic).
+fn hot_set(per_func: &BTreeMap<(String, String), u128>, k: usize) -> Vec<(String, String)> {
+    let mut funcs: Vec<_> = per_func.iter().collect();
+    funcs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    funcs.into_iter().take(k).map(|(k, _)| k.clone()).collect()
+}
+
+/// Measures how far `new` has drifted from `old` (the profile a cached
+/// result was built with), with a hot set of `hot` functions.
+pub fn drift(old: &ProfileDb, new: &ProfileDb, hot: usize) -> DriftReport {
+    if old.is_empty() && new.is_empty() {
+        return DriftReport::default();
+    }
+    if old.is_empty() != new.is_empty() {
+        // Cold start (or total loss): nothing to compare shape against.
+        let (per_func, _) = masses(if old.is_empty() { new } else { old });
+        let total: u128 = per_func.values().sum();
+        let mut moved: Vec<FuncMove> = per_func
+            .iter()
+            .map(|((m, f), mass)| {
+                let share = share_millis(*mass, total);
+                FuncMove {
+                    module: m.clone(),
+                    func: f.clone(),
+                    before_millis: if old.is_empty() { 0 } else { share },
+                    after_millis: if old.is_empty() { share } else { 0 },
+                }
+            })
+            .collect();
+        moved.sort_by(|a, b| {
+            let da = a.before_millis.max(a.after_millis);
+            let db = b.before_millis.max(b.after_millis);
+            db.cmp(&da)
+                .then_with(|| (&a.module, &a.func).cmp(&(&b.module, &b.func)))
+        });
+        moved.truncate(MAX_MOVED);
+        return DriftReport {
+            l1_millis: 1000,
+            churn_millis: 1000,
+            cold: true,
+            moved,
+        };
+    }
+
+    let (old_func, old_block) = masses(old);
+    let (new_func, new_block) = masses(new);
+    let old_total: u128 = old_block.values().sum();
+    let new_total: u128 = new_block.values().sum();
+
+    // ½ Σ |p_i − q_i| over the union of block components. A profile that
+    // merely scaled (every counter × c) has identical shares and drifts 0.
+    let mut abs_sum: u64 = 0;
+    let keys: std::collections::BTreeSet<_> =
+        old_block.keys().chain(new_block.keys()).cloned().collect();
+    for k in &keys {
+        let p = share_millis(old_block.get(k).copied().unwrap_or(0), old_total);
+        let q = share_millis(new_block.get(k).copied().unwrap_or(0), new_total);
+        abs_sum += p.abs_diff(q);
+    }
+    let l1_millis = (abs_sum / 2).min(1000);
+
+    let old_hot = hot_set(&old_func, hot);
+    let new_hot = hot_set(&new_func, hot);
+    let union: std::collections::BTreeSet<_> = old_hot.iter().chain(new_hot.iter()).collect();
+    let shared = old_hot.iter().filter(|f| new_hot.contains(f)).count();
+    let churn_millis = if union.is_empty() {
+        0
+    } else {
+        ((union.len() - shared) as u64 * 1000) / union.len() as u64
+    };
+
+    let func_keys: std::collections::BTreeSet<_> =
+        old_func.keys().chain(new_func.keys()).cloned().collect();
+    let mut moved: Vec<FuncMove> = func_keys
+        .into_iter()
+        .map(|(m, f)| {
+            let before = share_millis(
+                old_func.get(&(m.clone(), f.clone())).copied().unwrap_or(0),
+                old_total,
+            );
+            let after = share_millis(
+                new_func.get(&(m.clone(), f.clone())).copied().unwrap_or(0),
+                new_total,
+            );
+            FuncMove {
+                module: m,
+                func: f,
+                before_millis: before,
+                after_millis: after,
+            }
+        })
+        .filter(|mv| mv.before_millis != mv.after_millis)
+        .collect();
+    moved.sort_by(|a, b| {
+        let da = a.before_millis.abs_diff(a.after_millis);
+        let db = b.before_millis.abs_diff(b.after_millis);
+        db.cmp(&da)
+            .then_with(|| (&a.module, &a.func).cmp(&(&b.module, &b.func)))
+    });
+    moved.truncate(MAX_MOVED);
+
+    DriftReport {
+        l1_millis,
+        churn_millis,
+        cold: false,
+        moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlo_profile::FuncCounts;
+
+    fn db(funcs: &[(&str, &str, u64, &[u64])]) -> ProfileDb {
+        let mut out = ProfileDb::new();
+        for (m, f, entry, blocks) in funcs {
+            out.insert(
+                *m,
+                *f,
+                FuncCounts {
+                    entry: *entry,
+                    blocks: blocks.to_vec(),
+                    edges: Default::default(),
+                },
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn identical_profiles_do_not_drift() {
+        let a = db(&[("m", "f", 10, &[10, 90]), ("m", "g", 5, &[5])]);
+        let r = drift(&a, &a, DEFAULT_HOT_SET);
+        assert_eq!(r.l1_millis, 0);
+        assert_eq!(r.churn_millis, 0);
+        assert!(!r.cold);
+        assert!(r.moved.is_empty());
+        assert_eq!(r.reason(DEFAULT_THRESHOLD_MILLIS), REASON_PGO_STABLE);
+    }
+
+    #[test]
+    fn uniform_scaling_is_invisible() {
+        // A no-op push doubles every counter; the shape is unchanged and
+        // must never trigger re-optimization.
+        let a = db(&[("m", "f", 10, &[10, 90]), ("m", "g", 5, &[5])]);
+        let b = db(&[("m", "f", 30, &[30, 270]), ("m", "g", 15, &[15])]);
+        let r = drift(&a, &b, DEFAULT_HOT_SET);
+        assert_eq!(r.score_millis(), 0);
+    }
+
+    #[test]
+    fn disjoint_profiles_drift_fully() {
+        let a = db(&[("m", "f", 10, &[100])]);
+        let b = db(&[("m", "g", 10, &[100])]);
+        let r = drift(&a, &b, DEFAULT_HOT_SET);
+        assert!(r.l1_millis >= 990, "l1 {}", r.l1_millis);
+        assert_eq!(r.churn_millis, 1000);
+        assert_eq!(r.reason(DEFAULT_THRESHOLD_MILLIS), REASON_PGO_DRIFT);
+        assert!(!r.moved.is_empty());
+    }
+
+    #[test]
+    fn cold_start_is_full_drift() {
+        let b = db(&[("m", "f", 10, &[100])]);
+        let r = drift(&ProfileDb::new(), &b, DEFAULT_HOT_SET);
+        assert!(r.cold);
+        assert_eq!(r.score_millis(), 1000);
+        assert_eq!(r.reason(DEFAULT_THRESHOLD_MILLIS), REASON_PGO_COLD);
+        let r = drift(&ProfileDb::new(), &ProfileDb::new(), DEFAULT_HOT_SET);
+        assert_eq!(r.score_millis(), 0);
+        assert!(!r.cold);
+    }
+
+    #[test]
+    fn partial_shift_is_partial_drift() {
+        // 90/10 split becomes 60/40: TV distance = 0.3.
+        let a = db(&[("m", "f", 0, &[90]), ("m", "g", 0, &[10])]);
+        let b = db(&[("m", "f", 0, &[60]), ("m", "g", 0, &[40])]);
+        let r = drift(&a, &b, DEFAULT_HOT_SET);
+        assert_eq!(r.l1_millis, 300);
+        assert_eq!(r.churn_millis, 0, "both stay in the hot set");
+        assert!(r.exceeds(DEFAULT_THRESHOLD_MILLIS));
+        assert_eq!(r.reason(DEFAULT_THRESHOLD_MILLIS), REASON_PGO_DRIFT);
+        assert_eq!(r.moved.len(), 2);
+        assert_eq!(r.moved[0].module, "m");
+        assert_eq!(r.moved[0].before_millis, 900);
+        assert_eq!(r.moved[0].after_millis, 600);
+    }
+
+    #[test]
+    fn hot_set_churn_catches_newcomers() {
+        // Mass barely moves, but the #1 hot function is replaced.
+        let a = db(&[("m", "f", 0, &[51]), ("m", "g", 0, &[49])]);
+        let b = db(&[("m", "f", 0, &[51]), ("m", "h", 0, &[49])]);
+        let r = drift(&a, &b, 1);
+        assert_eq!(r.churn_millis, 0, "top-1 is f on both sides");
+        let r = drift(&a, &b, 2);
+        // Hot sets {f,g} vs {f,h}: union 3, shared 1 → churn 2/3.
+        assert_eq!(r.churn_millis, 666);
+        assert_eq!(r.reason(500), REASON_PGO_CHURN);
+    }
+
+    #[test]
+    fn summary_names_the_movers() {
+        let a = db(&[("m", "f", 0, &[90]), ("m", "g", 0, &[10])]);
+        let b = db(&[("m", "f", 0, &[10]), ("m", "g", 0, &[90])]);
+        let r = drift(&a, &b, DEFAULT_HOT_SET);
+        let s = r.summary(DEFAULT_THRESHOLD_MILLIS);
+        assert!(s.starts_with(REASON_PGO_DRIFT), "{s}");
+        assert!(s.contains("m.f 900->100"), "{s}");
+        assert!(s.contains("m.g 100->900"), "{s}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Determinism guarantees for the profile store.
+//!
+//! The continuous-PGO gates lean on two properties: the aggregate's
+//! canonical text is byte-identical no matter what order deltas arrive
+//! in (within a generation, merging is commutative saturating addition),
+//! and the `pgo-store v1` text form round-trips exactly (persistence
+//! restores the same aggregate the daemon drained with).
+
+use hlo_pgo::{drift, ProfileStore, DEFAULT_HOT_SET};
+use hlo_profile::{FuncCounts, ProfileDb};
+use proptest::prelude::*;
+
+const KEY: &str = "00000000000000aa";
+
+/// Small-count deltas (u16 range) so repeated merging never saturates
+/// and scaling stays exact.
+fn delta_strategy() -> impl Strategy<Value = ProfileDb> {
+    let func = (
+        (0u8..3, 0u8..4),
+        any::<u16>(),
+        prop::collection::vec(any::<u16>(), 0..6),
+    );
+    prop::collection::vec(func, 0..6).prop_map(|funcs| {
+        let mut db = ProfileDb::new();
+        for ((m, f), entry, blocks) in funcs {
+            db.insert(
+                format!("mod{m}"),
+                format!("fn{f}"),
+                FuncCounts {
+                    entry: u64::from(entry),
+                    blocks: blocks.into_iter().map(u64::from).collect(),
+                    edges: Default::default(),
+                },
+            );
+        }
+        db
+    })
+}
+
+proptest! {
+    /// Within a generation, push order cannot change the aggregate text.
+    #[test]
+    fn push_order_is_invisible(deltas in prop::collection::vec(delta_strategy(), 0..6)) {
+        let mut fwd = ProfileStore::new(0);
+        let mut rev = ProfileStore::new(0);
+        fwd.register(KEY).unwrap();
+        rev.register(KEY).unwrap();
+        for d in &deltas {
+            fwd.push(KEY, d).unwrap();
+        }
+        for d in deltas.iter().rev() {
+            rev.push(KEY, d).unwrap();
+        }
+        prop_assert_eq!(fwd.to_text(), rev.to_text());
+    }
+
+    /// The canonical text round-trips byte-for-byte, including the
+    /// generation counter — what restart warmth rests on.
+    #[test]
+    fn store_text_roundtrips(
+        deltas in prop::collection::vec(delta_strategy(), 0..4),
+        advances in prop::collection::vec(0u64..4, 0..4),
+    ) {
+        let mut s = ProfileStore::new(0);
+        s.register(KEY).unwrap();
+        for (i, d) in deltas.iter().enumerate() {
+            s.push(KEY, d).unwrap();
+            if let Some(&g) = advances.get(i) {
+                s.advance(KEY, g).unwrap();
+            }
+        }
+        let text = s.to_text();
+        let back = ProfileStore::from_text(&text, 0).unwrap();
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    /// Re-pushing the same delta only scales the aggregate; drift sees
+    /// shape, not volume, so the score stays zero.
+    #[test]
+    fn noop_pushes_do_not_drift(d in delta_strategy(), extra in 1usize..4) {
+        let mut s = ProfileStore::new(0);
+        s.register(KEY).unwrap();
+        s.push(KEY, &d).unwrap();
+        let before = s.merged(KEY).unwrap_or_default();
+        for _ in 0..extra {
+            s.push(KEY, &d).unwrap();
+        }
+        let after = s.merged(KEY).unwrap_or_default();
+        let r = drift(&before, &after, DEFAULT_HOT_SET);
+        prop_assert_eq!(r.score_millis(), 0);
+    }
+}

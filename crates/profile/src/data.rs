@@ -70,20 +70,21 @@ impl ProfileDb {
     /// Merges another database into this one, summing counts. Profiles
     /// from several training runs combine this way ("incorporating profile
     /// information from a variety of sources" is the paper's future work).
+    ///
+    /// Sums **saturate** at `u64::MAX`: the daemon merges pushed deltas
+    /// from long-lived (or hostile) clients forever, and an overflowing
+    /// counter must clamp, not panic.
     pub fn merge(&mut self, other: &ProfileDb) {
         for (k, v) in &other.funcs {
             let e = self.funcs.entry(k.clone()).or_default();
-            e.entry += v.entry;
-            if e.blocks.len() < v.blocks.len() {
-                e.blocks.resize(v.blocks.len(), 0);
-            }
-            for (i, c) in v.blocks.iter().enumerate() {
-                e.blocks[i] += c;
-            }
-            for (edge, c) in &v.edges {
-                *e.edges.entry(*edge).or_insert(0) += c;
-            }
+            merge_counts(e, v);
         }
+    }
+
+    /// Visits every `((module, func), counts)` pair, in arbitrary order.
+    /// (Use [`ProfileDb::to_text`] when a canonical order matters.)
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &FuncCounts)> {
+        self.funcs.iter()
     }
 
     /// Serializes to the line-oriented text form.
@@ -110,6 +111,14 @@ impl ProfileDb {
     }
 
     /// Parses the text form produced by [`ProfileDb::to_text`].
+    ///
+    /// Duplicates are **merged, never silently overwritten**: a second
+    /// `func` record for the same `(module, function)` sums into the
+    /// first (as [`ProfileDb::merge`] would), and a repeated `edge f t`
+    /// line inside one record sums into the earlier line. Concatenating
+    /// two profile texts is therefore equivalent to parsing each and
+    /// merging the databases; the canonical one-record-per-function form
+    /// emitted by `to_text` stays a serialization fixpoint.
     ///
     /// # Errors
     /// Returns a positioned error for unknown records or malformed counts.
@@ -167,11 +176,12 @@ impl ProfileDb {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| err("bad edge count"))?;
-                    c.1.edges.insert((f, t), n);
+                    let slot = c.1.edges.entry((f, t)).or_insert(0);
+                    *slot = slot.saturating_add(n);
                 }
                 "end" => {
                     let (k, v) = cur.take().ok_or_else(|| err("`end` outside func"))?;
-                    db.funcs.insert(k, v);
+                    merge_counts(db.funcs.entry(k).or_default(), &v);
                 }
                 other => return Err(err(&format!("unknown record `{other}`"))),
             }
@@ -183,6 +193,23 @@ impl ProfileDb {
             });
         }
         Ok(db)
+    }
+}
+
+/// Saturating element-wise sum of `src` into `dst` — the one merge rule
+/// shared by [`ProfileDb::merge`] and duplicate records in
+/// [`ProfileDb::from_text`].
+fn merge_counts(dst: &mut FuncCounts, src: &FuncCounts) {
+    dst.entry = dst.entry.saturating_add(src.entry);
+    if dst.blocks.len() < src.blocks.len() {
+        dst.blocks.resize(src.blocks.len(), 0);
+    }
+    for (i, c) in src.blocks.iter().enumerate() {
+        dst.blocks[i] = dst.blocks[i].saturating_add(*c);
+    }
+    for (edge, c) in &src.edges {
+        let slot = dst.edges.entry(*edge).or_insert(0);
+        *slot = slot.saturating_add(*c);
     }
 }
 
@@ -228,6 +255,27 @@ mod tests {
         let mut a = ProfileDb::new();
         a.merge(&sample());
         assert_eq!(a, sample());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_panicking() {
+        let near = u64::MAX - 5;
+        let mut a = ProfileDb::new();
+        a.insert(
+            "m",
+            "f",
+            FuncCounts {
+                entry: near,
+                blocks: vec![near],
+                edges: [((0, 1), near)].into_iter().collect(),
+            },
+        );
+        let b = a.clone();
+        a.merge(&b);
+        let c = a.get("m", "f").unwrap();
+        assert_eq!(c.entry, u64::MAX);
+        assert_eq!(c.blocks, vec![u64::MAX]);
+        assert_eq!(c.edges[&(0, 1)], u64::MAX);
     }
 
     #[test]

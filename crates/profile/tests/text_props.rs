@@ -45,6 +45,51 @@ proptest! {
         // yields the same bytes, which is what the serve cache keys on.
         prop_assert_eq!(text, back.to_text());
     }
+
+    /// Duplicate records merge: parsing the concatenation of two texts is
+    /// the same as parsing each and merging the databases. This is the
+    /// documented `from_text` duplicate rule the pgo store leans on.
+    #[test]
+    fn concatenated_texts_parse_as_merge(a in db_strategy(), b in db_strategy()) {
+        let concat = format!("{}{}", a.to_text(), b.to_text());
+        let parsed = ProfileDb::from_text(&concat).expect("concatenation parses");
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(parsed, merged);
+    }
+}
+
+#[test]
+fn duplicate_func_records_merge_counts() {
+    // Two records for (m, f): entries, blocks and edges all sum.
+    let text = "func m f 3\nblocks 1 2\nedge 0 1 5\nend\n\
+                func m f 4\nblocks 10\nedge 0 1 1\nedge 1 0 7\nend\n";
+    let db = ProfileDb::from_text(text).unwrap();
+    let c = db.get("m", "f").unwrap();
+    assert_eq!(c.entry, 7);
+    assert_eq!(c.blocks, vec![11, 2]);
+    assert_eq!(c.edges[&(0, 1)], 6);
+    assert_eq!(c.edges[&(1, 0)], 7);
+    // The merged database still round-trips canonically.
+    assert_eq!(ProfileDb::from_text(&db.to_text()).unwrap(), db);
+}
+
+#[test]
+fn duplicate_edge_lines_merge_within_a_record() {
+    let text = "func m f 1\nblocks 1\nedge 0 1 5\nedge 0 1 2\nend\n";
+    let db = ProfileDb::from_text(text).unwrap();
+    assert_eq!(db.get("m", "f").unwrap().edges[&(0, 1)], 7);
+}
+
+#[test]
+fn duplicate_merge_saturates() {
+    let near = u64::MAX - 1;
+    let text = format!("func m f {near}\nblocks {near}\nedge 0 1 {near}\nend\n").repeat(2);
+    let db = ProfileDb::from_text(&text).unwrap();
+    let c = db.get("m", "f").unwrap();
+    assert_eq!(c.entry, u64::MAX);
+    assert_eq!(c.blocks, vec![u64::MAX]);
+    assert_eq!(c.edges[&(0, 1)], u64::MAX);
 }
 
 fn err_of(text: &str) -> ProfileParseError {

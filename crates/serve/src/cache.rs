@@ -118,11 +118,16 @@ pub struct CachedResult {
     pub ir_text: String,
     /// The cold run's report, wire-serialized.
     pub report_text: String,
+    /// Canonical text of the profile this result was optimized with
+    /// (empty for profile-free runs). For `profile: server` requests the
+    /// daemon compares this against the current aggregate: drift past
+    /// threshold turns a would-be hit into a stale hit.
+    pub profile_text: String,
 }
 
 impl CachedResult {
     fn payload_bytes(&self) -> u64 {
-        (self.ir_text.len() + self.report_text.len()) as u64
+        (self.ir_text.len() + self.report_text.len() + self.profile_text.len()) as u64
     }
 }
 
@@ -136,6 +141,50 @@ pub struct CacheOutcome {
     /// Functions whose cone keys were new — the dependence cone of
     /// whatever changed since the daemon last saw this program.
     pub func_misses: u64,
+    /// The entry was resident but its build profile had drifted past the
+    /// daemon's threshold, so the request re-optimized (`hit` is false).
+    pub stale: bool,
+    /// Drift score (thousandths) between the cached entry's build
+    /// profile and the current server aggregate; `0` for requests that
+    /// never consulted the profile store.
+    pub drift_millis: u64,
+}
+
+impl CacheOutcome {
+    /// The wire `cache` section body.
+    pub fn to_text(&self) -> String {
+        format!(
+            "hit {}\nfunc_hits {}\nfunc_misses {}\nstale {}\ndrift {}\n",
+            self.hit as u8, self.func_hits, self.func_misses, self.stale as u8, self.drift_millis
+        )
+    }
+
+    /// Parses a `cache` section body; unknown lines are ignored so old
+    /// clients keep working against newer daemons and vice versa.
+    ///
+    /// # Errors
+    /// Describes the malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut outcome = CacheOutcome::default();
+        for line in text.lines() {
+            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "hit" => outcome.hit = val == "1",
+                "stale" => outcome.stale = val == "1",
+                "func_hits" => {
+                    outcome.func_hits = val.parse().map_err(|_| "bad func_hits")?;
+                }
+                "func_misses" => {
+                    outcome.func_misses = val.parse().map_err(|_| "bad func_misses")?;
+                }
+                "drift" => {
+                    outcome.drift_millis = val.parse().map_err(|_| "bad drift")?;
+                }
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
 }
 
 /// Aggregate counters, served by the `stats` request.
@@ -151,6 +200,10 @@ pub struct CacheStats {
     pub func_hits: u64,
     /// Cumulative function-store misses.
     pub func_misses: u64,
+    /// Whole-program lookups that found an entry whose build profile had
+    /// drifted past threshold — re-optimized, not served (continuous
+    /// PGO). Disjoint from `hits` and `misses`.
+    pub stale_hits: u64,
     /// Program entries currently resident.
     pub entries: u64,
     /// Bytes of cached payload currently resident (IR text + report text
@@ -261,6 +314,14 @@ impl ResultCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Reclassifies the most recent hit as a stale hit: the entry was
+    /// resident, but the daemon found its build profile drifted past
+    /// threshold and re-optimized instead of serving it.
+    pub fn mark_stale(&mut self) {
+        self.stats.hits = self.stats.hits.saturating_sub(1);
+        self.stats.stale_hits += 1;
     }
 
     fn touch(&mut self, program: u64) {
@@ -410,6 +471,7 @@ mod tests {
         let r = |n: u64| CachedResult {
             ir_text: format!("ir{n}"),
             report_text: String::new(),
+            profile_text: String::new(),
         };
         assert!(!cache.lookup(&k(1)).1.hit);
         cache.insert(&k(1), r(1));
@@ -433,6 +495,42 @@ mod tests {
     }
 
     #[test]
+    fn outcome_text_roundtrips_and_stale_reclassifies_hits() {
+        let out = CacheOutcome {
+            hit: false,
+            func_hits: 4,
+            func_misses: 1,
+            stale: true,
+            drift_millis: 512,
+        };
+        assert_eq!(CacheOutcome::from_text(&out.to_text()).unwrap(), out);
+        // Old payloads without the new lines still parse.
+        let old = CacheOutcome::from_text("hit 1\nfunc_hits 2\nfunc_misses 0\n").unwrap();
+        assert!(old.hit && !old.stale && old.drift_millis == 0);
+
+        let mut cache = ResultCache::new(2);
+        let k = RequestKey {
+            program: 9,
+            funcs: vec![],
+        };
+        cache.insert(
+            &k,
+            CachedResult {
+                ir_text: "ir".to_string(),
+                report_text: String::new(),
+                profile_text: "func m f 1\nblocks 1\nend\n".to_string(),
+            },
+        );
+        let (got, out) = cache.lookup(&k);
+        assert_eq!(got.unwrap().profile_text, "func m f 1\nblocks 1\nend\n");
+        assert!(out.hit);
+        cache.mark_stale();
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.stale_hits, 1);
+    }
+
+    #[test]
     fn resident_bytes_track_replacement_and_eviction() {
         let mut cache = ResultCache::new(1);
         let k = RequestKey {
@@ -444,6 +542,7 @@ mod tests {
             CachedResult {
                 ir_text: "abcd".to_string(),
                 report_text: "xy".to_string(),
+                profile_text: String::new(),
             },
         );
         assert_eq!(cache.stats().resident_bytes, 6);
@@ -453,6 +552,7 @@ mod tests {
             CachedResult {
                 ir_text: "ab".to_string(),
                 report_text: String::new(),
+                profile_text: String::new(),
             },
         );
         assert_eq!(cache.stats().resident_bytes, 2);
@@ -466,6 +566,7 @@ mod tests {
             CachedResult {
                 ir_text: "wxyz".to_string(),
                 report_text: String::new(),
+                profile_text: String::new(),
             },
         );
         let s = cache.stats();

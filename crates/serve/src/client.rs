@@ -2,7 +2,9 @@
 //! and the serve benchmark speak.
 
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
-use crate::{OptimizeRequest, OptimizeResponse};
+use crate::{
+    OptimizeRequest, OptimizeResponse, ProfilePushOutcome, ProfilePushRequest, ProfileStatsReply,
+};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Anything that can go wrong talking to the daemon.
@@ -66,6 +68,9 @@ pub struct ServeStats {
     pub hits: u64,
     /// Whole-program cache misses (full optimizations).
     pub misses: u64,
+    /// Cache hits reclassified stale because the server-side profile
+    /// aggregate drifted past threshold since the entry was built.
+    pub stale_hits: u64,
     /// Programs evicted by the LRU bound.
     pub evictions: u64,
     /// Function cone keys already known at lookup time.
@@ -76,6 +81,14 @@ pub struct ServeStats {
     pub entries: u64,
     /// Bytes of cached payload currently resident (IR + report text).
     pub cache_bytes: u64,
+    /// Profile deltas accepted via `profile-push`.
+    pub pgo_pushes: u64,
+    /// Drift-triggered re-optimizations of cached server-mode results.
+    pub reoptimizations: u64,
+    /// Programs with a resident profile aggregate.
+    pub pgo_programs: u64,
+    /// Bytes resident in the profile store.
+    pub pgo_bytes: u64,
     /// Aggregate `(stage, wall_us, work_us)` over all non-cached runs.
     pub stages: Vec<(String, u64, u64)>,
     /// Per-phase request latency `(phase, count, sum_us)`, in the order
@@ -103,11 +116,16 @@ impl ServeStats {
                 "deadline_missed" => st.deadline_missed = num(&mut parts, line)?,
                 "hits" => st.hits = num(&mut parts, line)?,
                 "misses" => st.misses = num(&mut parts, line)?,
+                "stale_hits" => st.stale_hits = num(&mut parts, line)?,
                 "evictions" => st.evictions = num(&mut parts, line)?,
                 "func_hits" => st.func_hits = num(&mut parts, line)?,
                 "func_misses" => st.func_misses = num(&mut parts, line)?,
                 "entries" => st.entries = num(&mut parts, line)?,
                 "cache_bytes" => st.cache_bytes = num(&mut parts, line)?,
+                "pgo_pushes" => st.pgo_pushes = num(&mut parts, line)?,
+                "reoptimizations" => st.reoptimizations = num(&mut parts, line)?,
+                "pgo_programs" => st.pgo_programs = num(&mut parts, line)?,
+                "pgo_bytes" => st.pgo_bytes = num(&mut parts, line)?,
                 "stage" => {
                     let name = parts
                         .next()
@@ -224,6 +242,58 @@ impl Client {
         }
     }
 
+    /// Pushes a profile delta into the daemon's aggregate for a program.
+    ///
+    /// # Errors
+    /// [`ServeError::Remote`] when the program key is unknown or the
+    /// delta malformed (daemon state is unchanged), plus the usual I/O,
+    /// frame and protocol failures.
+    pub fn profile_push(
+        &mut self,
+        req: &ProfilePushRequest,
+    ) -> Result<ProfilePushOutcome, ServeError> {
+        let reply = self.roundtrip(&Frame::new(Kind::ProfilePush, &req.to_sections()))?;
+        match reply.kind {
+            Kind::ProfilePushAck => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                ProfilePushOutcome::from_text(s.text("ack").map_err(ServeError::Protocol)?)
+                    .map_err(ServeError::Protocol)
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
+    /// Fetches profile-store statistics; with `program` set, also the
+    /// merged (decayed) aggregate profile text for that program.
+    ///
+    /// # Errors
+    /// [`ServeError::Remote`] for unknown program keys, plus the usual
+    /// I/O, frame and protocol failures.
+    pub fn profile_stats(
+        &mut self,
+        program: Option<&str>,
+    ) -> Result<ProfileStatsReply, ServeError> {
+        let mut s = Sections::new();
+        if let Some(key) = program {
+            s.push("program", key.to_string());
+        }
+        let reply = self.roundtrip(&Frame::new(Kind::ProfileStats, &s))?;
+        match reply.kind {
+            Kind::ProfileStatsReply => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                Ok(ProfileStatsReply {
+                    text: s.text("stats").map_err(ServeError::Protocol)?.to_string(),
+                    profile: s.text("profile").ok().map(str::to_string),
+                })
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
     /// Liveness probe.
     ///
     /// # Errors
@@ -258,7 +328,9 @@ mod tests {
     fn stats_text_parses() {
         let text = "uptime_ms 1234\nrequests 10\nbusy 1\nerrors 2\ndeadline_missed 0\n\
                     hits 6\nmisses 4\nevictions 0\nfunc_hits 40\nfunc_misses 9\nentries 4\n\
-                    cache_bytes 2048\nstage inline 500 1200\nstage clone 80 90\n\
+                    cache_bytes 2048\npgo_pushes 3\nreoptimizations 1\nstale_hits 1\n\
+                    pgo_programs 2\npgo_bytes 128\n\
+                    stage inline 500 1200\nstage clone 80 90\n\
                     latency queue_wait 10 90\nlatency optimize 4 44000\nfuture_counter 7\n";
         let st = ServeStats::from_text(text).unwrap();
         assert_eq!(st.uptime_ms, 1234);
@@ -266,6 +338,11 @@ mod tests {
         assert_eq!(st.hits, 6);
         assert_eq!(st.entries, 4);
         assert_eq!(st.cache_bytes, 2048);
+        assert_eq!(st.pgo_pushes, 3);
+        assert_eq!(st.reoptimizations, 1);
+        assert_eq!(st.stale_hits, 1);
+        assert_eq!(st.pgo_programs, 2);
+        assert_eq!(st.pgo_bytes, 128);
         assert_eq!(
             st.stages,
             vec![

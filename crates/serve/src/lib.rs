@@ -44,6 +44,29 @@ pub enum SourceKind {
     Ir(String),
 }
 
+/// Where an optimize request's profile comes from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ProfileSpec {
+    /// Optimize profile-free.
+    #[default]
+    None,
+    /// Profile database text shipped inline with the request
+    /// ([`hlo_profile::ProfileDb::to_text`]).
+    Text(String),
+    /// Continuous PGO: resolve the daemon's merged per-program aggregate
+    /// at dequeue time. A cached result whose build profile has since
+    /// drifted past the daemon's threshold is treated as a miss and
+    /// re-optimized.
+    Server,
+}
+
+impl ProfileSpec {
+    /// True for [`ProfileSpec::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, ProfileSpec::None)
+    }
+}
+
 /// One optimize request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeRequest {
@@ -51,8 +74,8 @@ pub struct OptimizeRequest {
     pub options: HloOptions,
     /// What to optimize.
     pub source: SourceKind,
-    /// Optional profile database text ([`hlo_profile::ProfileDb::to_text`]).
-    pub profile: Option<String>,
+    /// Profile source for this request.
+    pub profile: ProfileSpec,
     /// Per-request deadline in milliseconds, measured from enqueue. A
     /// request still queued when it expires is answered with an error
     /// instead of being optimized.
@@ -71,7 +94,7 @@ impl OptimizeRequest {
         OptimizeRequest {
             options: HloOptions::default(),
             source: SourceKind::Minc(sources),
-            profile: None,
+            profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
         }
@@ -91,8 +114,14 @@ impl OptimizeRequest {
                 s.push("ir", text.as_str());
             }
         }
-        if let Some(p) = &self.profile {
-            s.push("profile", p.as_str());
+        match &self.profile {
+            ProfileSpec::None => {}
+            ProfileSpec::Text(p) => {
+                s.push("profile", p.as_str());
+            }
+            ProfileSpec::Server => {
+                s.push("profile-mode", "server");
+            }
         }
         if let Some(d) = self.deadline_ms {
             s.push("deadline_ms", d.to_string());
@@ -123,9 +152,16 @@ impl OptimizeRequest {
             (true, None) => return Err("request has neither `minc:*` nor `ir` sections".into()),
             (false, Some(_)) => return Err("request has both `minc:*` and `ir` sections".into()),
         };
-        let profile = match s.get("profile") {
-            Some(_) => Some(s.text("profile")?.to_string()),
-            None => None,
+        let profile = match (s.get("profile"), s.get("profile-mode")) {
+            (Some(_), Some(_)) => {
+                return Err("request has both `profile` and `profile-mode` sections".into())
+            }
+            (Some(_), None) => ProfileSpec::Text(s.text("profile")?.to_string()),
+            (None, Some(_)) => match s.text("profile-mode")?.trim() {
+                "server" => ProfileSpec::Server,
+                other => return Err(format!("unknown profile-mode `{other}`")),
+            },
+            (None, None) => ProfileSpec::None,
         };
         let deadline_ms = match s.get("deadline_ms") {
             Some(_) => Some(
@@ -170,6 +206,10 @@ pub struct OptimizeResponse {
     /// summary of the bytecode-tier execution, or the trap it hit.
     /// `None` when the request asked for no training run.
     pub train: Option<String>,
+    /// Continuous-PGO provenance (`profile: server` requests that found a
+    /// cached entry): the drift report summary explaining why the entry
+    /// was served or rebuilt. `None` otherwise.
+    pub pgo: Option<String>,
 }
 
 impl OptimizeResponse {
@@ -178,15 +218,12 @@ impl OptimizeResponse {
         let mut s = Sections::new();
         s.push("ir", self.ir_text.as_str());
         s.push("report", self.report.to_text());
-        s.push(
-            "cache",
-            format!(
-                "hit {}\nfunc_hits {}\nfunc_misses {}\n",
-                self.outcome.hit as u8, self.outcome.func_hits, self.outcome.func_misses
-            ),
-        );
+        s.push("cache", self.outcome.to_text());
         if let Some(t) = &self.train {
             s.push("train", t.as_str());
+        }
+        if let Some(p) = &self.pgo {
+            s.push("pgo", p.as_str());
         }
         s
     }
@@ -198,22 +235,13 @@ impl OptimizeResponse {
     pub fn from_sections(s: &Sections) -> Result<Self, String> {
         let ir_text = s.text("ir")?.to_string();
         let report = HloReport::from_text(s.text("report")?)?;
-        let mut outcome = CacheOutcome::default();
-        for line in s.text("cache")?.lines() {
-            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
-            match key {
-                "hit" => outcome.hit = val == "1",
-                "func_hits" => {
-                    outcome.func_hits = val.parse().map_err(|_| "bad func_hits")?;
-                }
-                "func_misses" => {
-                    outcome.func_misses = val.parse().map_err(|_| "bad func_misses")?;
-                }
-                _ => {}
-            }
-        }
+        let outcome = CacheOutcome::from_text(s.text("cache")?)?;
         let train = match s.get("train") {
             Some(_) => Some(s.text("train")?.to_string()),
+            None => None,
+        };
+        let pgo = match s.get("pgo") {
+            Some(_) => Some(s.text("pgo")?.to_string()),
             None => None,
         };
         Ok(OptimizeResponse {
@@ -221,8 +249,122 @@ impl OptimizeResponse {
             report,
             outcome,
             train,
+            pgo,
         })
     }
+}
+
+/// One `profile-push` request: a client streams one [`ProfileDb`
+/// text](hlo_profile::ProfileDb::to_text) delta (typically straight out
+/// of `ProfileDb::from_vm_trace`) into the daemon's aggregate for
+/// `program`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePushRequest {
+    /// Program key: 16 lowercase hex digits of `hlo_pgo::program_key`.
+    /// The daemon refuses pushes for programs it has never optimized.
+    pub program: String,
+    /// The profile delta, in `ProfileDb::to_text` form.
+    pub delta: String,
+    /// Decay generations to advance **before** merging the delta (`0` =
+    /// merge into the current generation). Advancing halves every
+    /// resident count per step, so this delta outweighs the past.
+    pub advance: u64,
+}
+
+impl ProfilePushRequest {
+    /// Encodes to wire sections.
+    pub fn to_sections(&self) -> Sections {
+        let mut s = Sections::new();
+        s.push("program", self.program.as_str());
+        s.push("delta", self.delta.as_str());
+        if self.advance > 0 {
+            s.push("advance", self.advance.to_string());
+        }
+        s
+    }
+
+    /// Decodes from wire sections.
+    ///
+    /// # Errors
+    /// Describes the missing or malformed section.
+    pub fn from_sections(s: &Sections) -> Result<Self, String> {
+        let program = s.text("program")?.trim().to_string();
+        let delta = s.text("delta")?.to_string();
+        let advance = match s.get("advance") {
+            Some(_) => s
+                .text("advance")?
+                .trim()
+                .parse()
+                .map_err(|_| "bad advance count".to_string())?,
+            None => 0,
+        };
+        Ok(ProfilePushRequest {
+            program,
+            delta,
+            advance,
+        })
+    }
+}
+
+/// What an accepted `profile-push` did to the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfilePushOutcome {
+    /// Generation the delta landed in.
+    pub generation: u64,
+    /// Total pushes into this program's aggregate, including this one.
+    pub pushes: u64,
+    /// Functions in the merged aggregate.
+    pub functions: u64,
+    /// Estimated resident bytes of the aggregate.
+    pub resident_bytes: u64,
+}
+
+impl ProfilePushOutcome {
+    /// The `ack` section body.
+    pub fn to_text(&self) -> String {
+        format!(
+            "generation {}\npushes {}\nfunctions {}\nbytes {}\n",
+            self.generation, self.pushes, self.functions, self.resident_bytes
+        )
+    }
+
+    /// Parses an `ack` section body (unknown lines are ignored for
+    /// forward compatibility).
+    ///
+    /// # Errors
+    /// Describes the malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut out = ProfilePushOutcome::default();
+        for line in text.lines() {
+            let (key, val) = line.split_once(' ').unwrap_or((line, ""));
+            let parse = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad ack line `{line}`"))
+            };
+            match key {
+                "generation" => out.generation = parse(val)?,
+                "pushes" => out.pushes = parse(val)?,
+                "functions" => out.functions = parse(val)?,
+                "bytes" => out.resident_bytes = parse(val)?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Reply to a `profile-stats` request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileStatsReply {
+    /// Store counters, one `key value` per line: `programs`, `bytes`,
+    /// `pushes`, `evictions`, plus one
+    /// `program <key> <generation> <pushes> <functions> <bytes>` line per
+    /// resident aggregate (sorted by key).
+    pub text: String,
+    /// When the request named a program: its merged aggregate in
+    /// canonical `ProfileDb::to_text` form (empty string when the
+    /// aggregate holds no pushes yet).
+    pub profile: Option<String>,
 }
 
 #[cfg(test)]
@@ -240,7 +382,7 @@ mod tests {
                 ("a".to_string(), "fn main() { return util(); }".to_string()),
                 ("b".to_string(), "fn util() { return 7; }".to_string()),
             ]),
-            profile: Some("func a main 1\nblocks 1\nend\n".to_string()),
+            profile: ProfileSpec::Text("func a main 1\nblocks 1\nend\n".to_string()),
             deadline_ms: Some(250),
             train_arg: Some(12),
         };
@@ -250,12 +392,67 @@ mod tests {
         let ir_req = OptimizeRequest {
             options: HloOptions::default(),
             source: SourceKind::Ir("hlo-ir v1\nentry 0\n".to_string()),
-            profile: None,
+            profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
         };
         let back = OptimizeRequest::from_sections(&ir_req.to_sections()).unwrap();
         assert_eq!(ir_req, back);
+    }
+
+    #[test]
+    fn server_profile_mode_roundtrips() {
+        let req = OptimizeRequest {
+            profile: ProfileSpec::Server,
+            ..OptimizeRequest::from_minc(vec![(
+                "m".to_string(),
+                "fn main() { return 0; }".to_string(),
+            )])
+        };
+        let s = req.to_sections();
+        assert_eq!(s.text("profile-mode").unwrap(), "server");
+        assert_eq!(OptimizeRequest::from_sections(&s).unwrap(), req);
+
+        // Unknown modes and profile+mode conflicts are rejected.
+        let mut bad = req.to_sections();
+        bad.push("profile", "func m f 1\nblocks 1\nend\n");
+        assert!(OptimizeRequest::from_sections(&bad).is_err());
+        let mut s = OptimizeRequest::from_minc(vec![(
+            "m".to_string(),
+            "fn main() { return 0; }".to_string(),
+        )])
+        .to_sections();
+        s.push("profile-mode", "client");
+        assert!(OptimizeRequest::from_sections(&s).is_err());
+    }
+
+    #[test]
+    fn push_request_and_ack_roundtrip() {
+        let req = ProfilePushRequest {
+            program: "00000000000000aa".to_string(),
+            delta: "func m f 1\nblocks 1\nend\n".to_string(),
+            advance: 3,
+        };
+        let back = ProfilePushRequest::from_sections(&req.to_sections()).unwrap();
+        assert_eq!(req, back);
+        let no_advance = ProfilePushRequest {
+            advance: 0,
+            ..req.clone()
+        };
+        assert!(no_advance.to_sections().get("advance").is_none());
+        assert_eq!(
+            ProfilePushRequest::from_sections(&no_advance.to_sections()).unwrap(),
+            no_advance
+        );
+
+        let ack = ProfilePushOutcome {
+            generation: 2,
+            pushes: 7,
+            functions: 3,
+            resident_bytes: 512,
+        };
+        assert_eq!(ProfilePushOutcome::from_text(&ack.to_text()).unwrap(), ack);
+        assert!(ProfilePushOutcome::from_text("pushes seven\n").is_err());
     }
 
     #[test]
@@ -280,8 +477,11 @@ mod tests {
                 hit: true,
                 func_hits: 5,
                 func_misses: 2,
+                stale: false,
+                drift_millis: 40,
             },
             train: Some("ret 3 retired 42 output 1 checksum 0x9".to_string()),
+            pgo: Some("pgo-profile-stable score 40 (l1 40 churn 0 threshold 250)".to_string()),
         };
         let back = OptimizeResponse::from_sections(&resp.to_sections()).unwrap();
         assert_eq!(resp, back);

@@ -16,12 +16,14 @@
 
 use crate::cache::{request_key, CachedResult, ResultCache};
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
-use crate::{OptimizeRequest, SourceKind};
+use crate::{OptimizeRequest, ProfilePushOutcome, ProfilePushRequest, ProfileSpec, SourceKind};
 use hlo::par::effective_jobs;
-use hlo::{CallGraphCache, MetricsRegistry, LATENCY_BUCKETS_US};
+use hlo::{CallGraphCache, MetricsRegistry, DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US};
+use hlo_pgo::ProfileStore;
 use hlo_profile::ProfileDb;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -41,6 +43,18 @@ pub struct ServeConfig {
     pub max_payload: u32,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Drift score (thousandths) past which a cached `profile: server`
+    /// result is re-optimized instead of served.
+    pub pgo_threshold_millis: u64,
+    /// Hot-set size for the drift metric's churn component.
+    pub pgo_hot_set: usize,
+    /// Program aggregates kept in the profile store (LRU past this;
+    /// `0` = unbounded).
+    pub pgo_cap: usize,
+    /// When set, the profile store is loaded from this path at startup
+    /// and persisted (write-temp-then-rename) after every mutation, so
+    /// aggregates survive restarts.
+    pub pgo_store_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +65,10 @@ impl Default for ServeConfig {
             cache_cap: 128,
             max_payload: DEFAULT_MAX_PAYLOAD,
             default_deadline_ms: None,
+            pgo_threshold_millis: hlo_pgo::DEFAULT_THRESHOLD_MILLIS,
+            pgo_hot_set: hlo_pgo::DEFAULT_HOT_SET,
+            pgo_cap: hlo_pgo::store::DEFAULT_CAP,
+            pgo_store_path: None,
         }
     }
 }
@@ -81,6 +99,11 @@ struct Counters {
     busy: u64,
     errors: u64,
     deadline_missed: u64,
+    /// Accepted `profile-push` requests.
+    pgo_pushes: u64,
+    /// Cached results re-optimized because their build profile drifted
+    /// past threshold (one per stale hit).
+    reoptimizations: u64,
     /// Aggregated per-stage `(name, wall_us, work_us)` over every
     /// non-cached optimize this daemon ran.
     stages: Vec<(String, u64, u64)>,
@@ -108,6 +131,10 @@ struct Shared {
     /// the client yet; drain waits for this to reach zero.
     in_flight: AtomicU64,
     cache: Mutex<ResultCache>,
+    /// Per-program profile aggregates (continuous PGO). Mutated by
+    /// `profile-push` on connection threads and read at dequeue time by
+    /// `profile: server` requests.
+    pgo: Mutex<ProfileStore>,
     counters: Mutex<Counters>,
     /// Request counters and phase-latency histograms, exposed by the
     /// `metrics` request in Prometheus text form.
@@ -134,12 +161,20 @@ impl Server {
     pub fn spawn(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Warm the profile store from its persisted snapshot, if any: a
+        // restarted daemon answers `profile: server` with the same
+        // aggregate it drained with.
+        let pgo = match &cfg.pgo_store_path {
+            Some(path) => ProfileStore::load(path, cfg.pgo_cap)?,
+            None => ProfileStore::new(cfg.pgo_cap),
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(std::collections::VecDeque::new()),
             work_ready: Condvar::new(),
             draining: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            pgo: Mutex::new(pgo),
             counters: Mutex::new(Counters::default()),
             metrics: MetricsRegistry::new(),
             started: Instant::now(),
@@ -237,6 +272,8 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             Kind::Ping => Frame::bare(Kind::Pong),
             Kind::Stats => stats_frame(shared),
             Kind::Metrics => metrics_frame(shared),
+            Kind::ProfilePush => profile_push_frame(shared, &frame),
+            Kind::ProfileStats => profile_stats_frame(shared, &frame),
             Kind::Shutdown => {
                 begin_drain(shared);
                 Frame::bare(Kind::ShutdownAck)
@@ -386,30 +423,92 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
             }
         },
     };
-    let profile = match &req.profile {
-        Some(text) => match ProfileDb::from_text(text) {
-            Ok(db) => Some(db),
+    // Every optimized program registers with the pgo store, whatever
+    // profile mode built it: pushes are accepted for any program the
+    // daemon has seen, so a fleet can start streaming profiles before
+    // the first `profile: server` rebuild.
+    let pkey = hlo_pgo::program_key(&program);
+    {
+        let mut store = shared.pgo.lock().unwrap();
+        let created = store.register(&pkey).expect("program keys are well-formed");
+        if created {
+            persist_store(shared, &store);
+        }
+    }
+    // Resolve the request's profile. `server` mode consults the pgo
+    // store *at dequeue time* — the whole point of continuous PGO is
+    // that the profile a request optimizes with is whatever the fleet
+    // has pushed by now, not whatever the client last saw.
+    let (profile, key_profile_text, server_mode) = match &req.profile {
+        ProfileSpec::None => (None, String::new(), false),
+        ProfileSpec::Text(text) => match ProfileDb::from_text(text) {
+            // Key on the canonical (re-serialized) profile so equivalent
+            // profile texts address the same result.
+            Ok(db) => {
+                let canonical = db.to_text();
+                (Some(db), canonical, false)
+            }
             Err(e) => {
                 shared.counters.lock().unwrap().errors += 1;
                 return error_frame(&format!("bad profile: {e}"));
             }
         },
-        None => None,
+        ProfileSpec::Server => {
+            // The cache key uses a fixed marker, not the aggregate text:
+            // the entry must be *found* across profile drift so the
+            // drift check (below) can decide hit vs stale, and a
+            // server-mode request must never collide with a profile-free
+            // one.
+            let merged = shared.pgo.lock().unwrap().merged(&pkey);
+            (merged, SERVER_PROFILE_MARKER.to_string(), true)
+        }
     };
-    // Key on the canonical (re-serialized) profile so equivalent profile
-    // texts address the same result.
     let profile_text = profile.as_ref().map(ProfileDb::to_text).unwrap_or_default();
 
     let probe_t = Instant::now();
     let mut cg = CallGraphCache::new();
-    let key = request_key(&program, &req.options, &profile_text, &mut cg);
-    let (cached, outcome) = shared.cache.lock().unwrap().lookup(&key);
+    let key = request_key(&program, &req.options, &key_profile_text, &mut cg);
+    let (cached, mut outcome) = shared.cache.lock().unwrap().lookup(&key);
+
+    // Continuous PGO: a resident entry is only servable while the
+    // aggregate is still within threshold of the profile it was built
+    // with. Past threshold it is a *stale hit*: re-optimize with the
+    // current aggregate and replace the entry.
+    let mut pgo_line = None;
+    let cached = match cached {
+        Some(c) if server_mode => {
+            let built_with = ProfileDb::from_text(&c.profile_text).unwrap_or_default();
+            let current = profile.clone().unwrap_or_default();
+            let report = hlo_pgo::drift(&built_with, &current, shared.cfg.pgo_hot_set);
+            let threshold = shared.cfg.pgo_threshold_millis;
+            outcome.drift_millis = report.score_millis();
+            shared.metrics.observe(
+                "pgo_drift_millis",
+                DRIFT_BUCKETS_MILLIS,
+                report.score_millis(),
+            );
+            pgo_line = Some(report.summary(threshold));
+            if report.exceeds(threshold) {
+                let mut cache = shared.cache.lock().unwrap();
+                cache.mark_stale();
+                drop(cache);
+                shared.counters.lock().unwrap().reoptimizations += 1;
+                shared.metrics.inc("pgo_reoptimize_total");
+                outcome.hit = false;
+                outcome.stale = true;
+                None
+            } else {
+                Some(c)
+            }
+        }
+        other => other,
+    };
     shared.metrics.observe(
         &phase_metric("cache_probe"),
         LATENCY_BUCKETS_US,
         probe_t.elapsed().as_micros() as u64,
     );
-    shared.metrics.inc(if cached.is_some() {
+    shared.metrics.inc(if outcome.hit {
         "cache_hits_total"
     } else {
         "cache_misses_total"
@@ -433,6 +532,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
                 CachedResult {
                     ir_text: ir_text.clone(),
                     report_text: report_text.clone(),
+                    profile_text,
                 },
             );
             (ir_text, report_text)
@@ -444,18 +544,22 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
     let mut s = Sections::new();
     s.push("ir", ir_text);
     s.push("report", report_text);
-    s.push(
-        "cache",
-        format!(
-            "hit {}\nfunc_hits {}\nfunc_misses {}\n",
-            outcome.hit as u8, outcome.func_hits, outcome.func_misses
-        ),
-    );
+    s.push("cache", outcome.to_text());
+    if let Some(p) = pgo_line {
+        s.push("pgo", p);
+    }
     if let Some(t) = train {
         s.push("train", t);
     }
     Frame::new(Kind::Result, &s)
 }
+
+/// The fixed profile component of a `profile: server` cache key. The
+/// entry must stay addressable while the aggregate drifts (staleness is
+/// decided by the drift check, not by key mismatch), and the marker can
+/// never equal a canonical profile text, so server-mode and inline-text
+/// requests cannot collide.
+const SERVER_PROFILE_MARKER: &str = "profile-mode server\n";
 
 /// Executes the optimized program once on the bytecode tier with `arg`
 /// and summarizes the outcome on one line. The run feeds the daemon's
@@ -490,6 +594,118 @@ fn error_frame(msg: &str) -> Frame {
     Frame::new(Kind::Error, &s)
 }
 
+/// Persists the store snapshot when the daemon was given a path. Called
+/// with the store lock held so snapshots hit the disk in mutation order;
+/// an I/O failure is counted, not fatal — the in-memory aggregate stays
+/// authoritative.
+fn persist_store(shared: &Arc<Shared>, store: &ProfileStore) {
+    if let Some(path) = &shared.cfg.pgo_store_path {
+        if store.save(path).is_err() {
+            shared.metrics.inc("pgo_persist_errors_total");
+        }
+    }
+}
+
+/// Handles one `profile-push`: parse, validate, merge into the program's
+/// aggregate, persist. Every refusal leaves the store untouched.
+fn profile_push_frame(shared: &Arc<Shared>, frame: &Frame) -> Frame {
+    let fail = |msg: String| {
+        shared.counters.lock().unwrap().errors += 1;
+        error_frame(&msg)
+    };
+    let sections = match Sections::decode(&frame.payload) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("bad push payload: {e}")),
+    };
+    let req = match ProfilePushRequest::from_sections(&sections) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("bad push request: {e}")),
+    };
+    let delta = match ProfileDb::from_text(&req.delta) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("bad profile delta: {e}")),
+    };
+    let mut store = shared.pgo.lock().unwrap();
+    if req.advance > 0 {
+        // Validates the key and that the program is known; the merge
+        // below can no longer fail after this succeeds.
+        if let Err(e) = store.advance(&req.program, req.advance) {
+            drop(store);
+            return fail(format!("push refused: {e}"));
+        }
+    }
+    let outcome = match store.push(&req.program, &delta) {
+        Ok(o) => o,
+        Err(e) => {
+            drop(store);
+            return fail(format!("push refused: {e}"));
+        }
+    };
+    persist_store(shared, &store);
+    drop(store);
+    shared.counters.lock().unwrap().pgo_pushes += 1;
+    shared.metrics.inc("pgo_push_total");
+    let out = ProfilePushOutcome {
+        generation: outcome.generation,
+        pushes: outcome.pushes,
+        functions: outcome.functions,
+        resident_bytes: outcome.resident_bytes,
+    };
+    let mut s = Sections::new();
+    s.push("ack", out.to_text());
+    Frame::new(Kind::ProfilePushAck, &s)
+}
+
+/// Handles one `profile-stats`: store-wide counters plus, when the
+/// request names a program, that program's merged aggregate text.
+fn profile_stats_frame(shared: &Arc<Shared>, frame: &Frame) -> Frame {
+    use std::fmt::Write as _;
+    let sections = match Sections::decode(&frame.payload) {
+        Ok(s) => s,
+        Err(e) => return error_frame(&format!("bad stats payload: {e}")),
+    };
+    let store = shared.pgo.lock().unwrap();
+    let mut s = Sections::new();
+    if let Some(raw) = sections.get("program") {
+        let key = match std::str::from_utf8(raw) {
+            Ok(k) => k.trim(),
+            Err(_) => return error_frame("program key is not UTF-8"),
+        };
+        match store.aggregate(key) {
+            Some(agg) => {
+                s.push("profile", agg.db().to_text());
+            }
+            None => {
+                return error_frame(&if hlo_pgo::is_valid_key(key) {
+                    format!("unknown program key `{key}`")
+                } else {
+                    format!("bad program key `{key}` (want 16 lowercase hex)")
+                })
+            }
+        }
+    }
+    let st = store.stats();
+    let mut text = String::new();
+    let _ = writeln!(text, "programs {}", st.programs);
+    let _ = writeln!(text, "bytes {}", st.resident_bytes);
+    let _ = writeln!(text, "pushes {}", st.pushes);
+    let _ = writeln!(text, "evictions {}", st.evictions);
+    for key in store.keys() {
+        let agg = store.aggregate(&key).expect("listed key is resident");
+        let _ = writeln!(
+            text,
+            "program {key} {} {} {} {}",
+            agg.generation,
+            agg.pushes,
+            agg.db().len(),
+            agg.resident_bytes()
+        );
+    }
+    drop(store);
+    s.push("stats", text);
+    Frame::new(Kind::ProfileStatsReply, &s)
+}
+
 fn stats_frame(shared: &Arc<Shared>) -> Frame {
     use std::fmt::Write as _;
     let cache = shared.cache.lock().unwrap().stats();
@@ -502,11 +718,17 @@ fn stats_frame(shared: &Arc<Shared>) -> Frame {
     let _ = writeln!(text, "deadline_missed {}", c.deadline_missed);
     let _ = writeln!(text, "hits {}", cache.hits);
     let _ = writeln!(text, "misses {}", cache.misses);
+    let _ = writeln!(text, "stale_hits {}", cache.stale_hits);
     let _ = writeln!(text, "evictions {}", cache.evictions);
     let _ = writeln!(text, "func_hits {}", cache.func_hits);
     let _ = writeln!(text, "func_misses {}", cache.func_misses);
     let _ = writeln!(text, "entries {}", cache.entries);
     let _ = writeln!(text, "cache_bytes {}", cache.resident_bytes);
+    let _ = writeln!(text, "pgo_pushes {}", c.pgo_pushes);
+    let _ = writeln!(text, "reoptimizations {}", c.reoptimizations);
+    let pgo = shared.pgo.lock().unwrap().stats();
+    let _ = writeln!(text, "pgo_programs {}", pgo.programs);
+    let _ = writeln!(text, "pgo_bytes {}", pgo.resident_bytes);
     for (name, wall, work) in &c.stages {
         let _ = writeln!(text, "stage {name} {wall} {work}");
     }
@@ -534,6 +756,13 @@ fn metrics_frame(shared: &Arc<Shared>) -> Frame {
     shared
         .metrics
         .set_gauge("cache_evictions", cache.evictions as i64);
+    let pgo = shared.pgo.lock().unwrap().stats();
+    shared
+        .metrics
+        .set_gauge("pgo_programs", pgo.programs as i64);
+    shared
+        .metrics
+        .set_gauge("pgo_resident_bytes", pgo.resident_bytes as i64);
     let mut s = Sections::new();
     s.push("metrics", shared.metrics.expose());
     Frame::new(Kind::MetricsReply, &s)

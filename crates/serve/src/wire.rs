@@ -47,6 +47,11 @@ pub enum Kind {
     Ping = 4,
     /// Ask for the Prometheus-style metrics exposition.
     Metrics = 5,
+    /// Push a profile delta into the daemon's per-program aggregate.
+    ProfilePush = 6,
+    /// Ask for profile-store statistics (optionally one program's
+    /// merged aggregate).
+    ProfileStats = 7,
     /// Optimized result (IR text + report + cache outcome).
     Result = 129,
     /// Statistics text.
@@ -61,6 +66,11 @@ pub enum Kind {
     Pong = 134,
     /// Metrics exposition text.
     MetricsReply = 135,
+    /// Profile push accepted; payload describes the updated aggregate.
+    ProfilePushAck = 136,
+    /// Profile-store statistics text (plus the merged profile when one
+    /// program was asked for).
+    ProfileStatsReply = 137,
 }
 
 impl Kind {
@@ -71,6 +81,8 @@ impl Kind {
             3 => Kind::Shutdown,
             4 => Kind::Ping,
             5 => Kind::Metrics,
+            6 => Kind::ProfilePush,
+            7 => Kind::ProfileStats,
             129 => Kind::Result,
             130 => Kind::StatsReply,
             131 => Kind::ShutdownAck,
@@ -78,6 +90,8 @@ impl Kind {
             133 => Kind::Error,
             134 => Kind::Pong,
             135 => Kind::MetricsReply,
+            136 => Kind::ProfilePushAck,
+            137 => Kind::ProfileStatsReply,
             _ => return None,
         })
     }

@@ -1,7 +1,9 @@
 //! End-to-end daemon tests: real sockets, hostile clients, graceful drain.
 
 use hlo_serve::wire::{Frame, Kind, HEADER_LEN, MAGIC, VERSION};
-use hlo_serve::{Client, OptimizeRequest, ServeConfig, ServeError, Server};
+use hlo_serve::{
+    Client, OptimizeRequest, ProfilePushRequest, ProfileSpec, ServeConfig, ServeError, Server,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -505,6 +507,215 @@ fn busy_backpressure_when_the_queue_is_full() {
     let mut client = Client::connect(addr).unwrap();
     let stats = client.stats().unwrap();
     assert_eq!(stats.busy, busy);
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// The key the daemon computes for [`SOURCES`] at dequeue time; clients
+/// derive the same key from a local compile.
+fn sources_key() -> String {
+    hlo_pgo::program_key(&hlo_frontc::compile(SOURCES).unwrap())
+}
+
+/// A hand-planted profile delta for [`SOURCES`] with a distinctive shape
+/// (`sq` hot, `cube` warm) — hand-written so tests can plant *drift*, not
+/// just presence.
+const DELTA: &str = "func m cube 90\nblocks 90\nend\nfunc m sq 900\nblocks 900\nend\n";
+
+#[test]
+fn continuous_pgo_drift_triggers_reoptimization_and_noop_pushes_do_not() {
+    let server = spawn_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let mut server_req = minc_request();
+    server_req.profile = ProfileSpec::Server;
+
+    // Cold, no pushes: an empty aggregate must behave exactly like a
+    // profile-free build.
+    let mut plain = hlo_frontc::compile(SOURCES).unwrap();
+    hlo::optimize(&mut plain, None, &hlo::HloOptions::default());
+    let plain_ir = hlo_ir::program_to_text(&plain);
+
+    let cold = client.optimize(&server_req).unwrap();
+    assert!(!cold.outcome.hit);
+    assert_eq!(cold.pgo, None, "no cached entry, so no drift verdict");
+    assert_eq!(
+        cold.ir_text, plain_ir,
+        "empty aggregate must act as no profile"
+    );
+
+    // Warm, still no pushes: a plain hit with zero drift.
+    let warm = client.optimize(&server_req).unwrap();
+    assert!(warm.outcome.hit && !warm.outcome.stale);
+    assert_eq!(warm.outcome.drift_millis, 0);
+    assert!(
+        warm.pgo
+            .as_deref()
+            .unwrap()
+            .starts_with("pgo-profile-stable"),
+        "{:?}",
+        warm.pgo
+    );
+
+    // Push a profile: empty -> populated is total (cold-start) drift, so
+    // the next server-mode build must re-optimize with the aggregate.
+    let key = sources_key();
+    let ack = client
+        .profile_push(&ProfilePushRequest {
+            program: key.clone(),
+            delta: DELTA.to_string(),
+            advance: 0,
+        })
+        .unwrap();
+    assert_eq!((ack.pushes, ack.functions), (1, 2));
+
+    let mut with_profile = hlo_frontc::compile(SOURCES).unwrap();
+    let db = hlo_profile::ProfileDb::from_text(DELTA).unwrap();
+    hlo::optimize(&mut with_profile, Some(&db), &hlo::HloOptions::default());
+    let pgo_ir = hlo_ir::program_to_text(&with_profile);
+
+    let stale = client.optimize(&server_req).unwrap();
+    assert!(stale.outcome.stale && !stale.outcome.hit);
+    assert_eq!(stale.outcome.drift_millis, 1000);
+    assert!(
+        stale.pgo.as_deref().unwrap().starts_with("pgo-cold-start"),
+        "{:?}",
+        stale.pgo
+    );
+    assert_eq!(
+        stale.ir_text, pgo_ir,
+        "stale rebuild must use the merged aggregate"
+    );
+
+    // Pushing the identical delta again doubles every count but moves no
+    // shares — scaling-invariant drift stays 0 and the entry is served.
+    client
+        .profile_push(&ProfilePushRequest {
+            program: key.clone(),
+            delta: DELTA.to_string(),
+            advance: 0,
+        })
+        .unwrap();
+    let warm2 = client.optimize(&server_req).unwrap();
+    assert!(warm2.outcome.hit && !warm2.outcome.stale);
+    assert_eq!(warm2.outcome.drift_millis, 0);
+    assert_eq!(warm2.ir_text, stale.ir_text);
+
+    // Counters, stats and metrics all tell the same story.
+    let st = client.stats().unwrap();
+    assert_eq!(st.pgo_pushes, 2);
+    assert_eq!(st.reoptimizations, 1);
+    assert_eq!(st.stale_hits, 1);
+    assert_eq!(st.hits, 2, "warm + warm2 (the stale hit was reclassified)");
+    assert_eq!(st.misses, 1, "only the cold request was a true miss");
+    assert_eq!(st.pgo_programs, 1);
+    assert!(st.pgo_bytes > 0);
+
+    let metrics = client.metrics().unwrap();
+    assert_eq!(series(&metrics, "pgo_push_total"), Some(2));
+    assert_eq!(series(&metrics, "pgo_reoptimize_total"), Some(1));
+    assert_eq!(series(&metrics, "pgo_drift_millis_count"), Some(3));
+    assert_eq!(series(&metrics, "pgo_programs"), Some(1));
+    assert_eq!(series(&metrics, "cache_misses_total"), Some(2));
+
+    // profile-stats names the program and returns the merged aggregate:
+    // two identical pushes, same generation, so every count doubled.
+    let reply = client.profile_stats(Some(&key)).unwrap();
+    assert!(reply.text.contains("programs 1"), "{}", reply.text);
+    assert!(
+        reply.text.contains(&format!("program {key} 0 2 2")),
+        "{}",
+        reply.text
+    );
+    let merged = reply.profile.unwrap();
+    assert!(merged.contains("func m sq 1800"), "{merged}");
+    assert!(merged.contains("func m cube 180"), "{merged}");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn profile_push_refusals_leave_the_store_unchanged() {
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_payload: 4096,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Register SOURCES and plant one good push as the baseline state.
+    client.optimize(&minc_request()).unwrap();
+    let key = sources_key();
+    client
+        .profile_push(&ProfilePushRequest {
+            program: key.clone(),
+            delta: DELTA.to_string(),
+            advance: 0,
+        })
+        .unwrap();
+    let baseline = client.profile_stats(None).unwrap();
+
+    let push = |client: &mut Client, program: &str, delta: &str| {
+        client.profile_push(&ProfilePushRequest {
+            program: program.to_string(),
+            delta: delta.to_string(),
+            advance: 0,
+        })
+    };
+
+    // Malformed delta.
+    match push(&mut client, &key, "func truncated\n") {
+        Err(ServeError::Remote(msg)) => assert!(msg.contains("bad profile delta"), "{msg}"),
+        other => panic!("malformed delta must be refused, got {other:?}"),
+    }
+    // Well-formed key the daemon has never optimized.
+    match push(&mut client, "00000000deadbeef", DELTA) {
+        Err(ServeError::Remote(msg)) => assert!(msg.contains("unknown program key"), "{msg}"),
+        other => panic!("unknown key must be refused, got {other:?}"),
+    }
+    // Structurally invalid key.
+    match push(&mut client, "not-a-key", DELTA) {
+        Err(ServeError::Remote(msg)) => assert!(msg.contains("bad program key"), "{msg}"),
+        other => panic!("bad key must be refused, got {other:?}"),
+    }
+    // A delta bigger than the daemon's frame bound is rejected before
+    // allocation; the connection is dead afterwards, so reconnect.
+    let huge = "func m sq 1\nblocks 1\nend\n".repeat(400);
+    assert!(huge.len() > 4096);
+    assert!(push(&mut client, &key, &huge).is_err());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Hang up mid-push: a complete header announcing more payload than
+    // ever arrives.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut partial = Vec::new();
+    partial.extend_from_slice(&MAGIC);
+    partial.extend_from_slice(&VERSION.to_le_bytes());
+    partial.push(Kind::ProfilePush as u8);
+    partial.push(0);
+    partial.extend_from_slice(&1024u32.to_le_bytes());
+    assert_eq!(partial.len(), HEADER_LEN);
+    partial.extend_from_slice(b"program 16\n0123456789abcdef\n");
+    raw.write_all(&partial).unwrap();
+    drop(raw);
+
+    // After every refusal the store reads back byte-identical.
+    let after = client.profile_stats(None).unwrap();
+    assert_eq!(after.text, baseline.text);
+    assert_eq!(
+        client.profile_stats(Some(&key)).unwrap().profile,
+        Some(hlo_profile::ProfileDb::from_text(DELTA).unwrap().to_text()),
+        "the one good push must be exactly what is resident"
+    );
+    let st = client.stats().unwrap();
+    assert_eq!(st.pgo_pushes, 1);
+    client.ping().unwrap();
     client.shutdown().unwrap();
     server.wait();
 }

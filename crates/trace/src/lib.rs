@@ -31,7 +31,7 @@ mod span;
 
 pub use chrome::chrome_trace_json;
 pub use decision::{DecisionEvent, DecisionKind, Verdict};
-pub use metrics::{MetricsRegistry, LATENCY_BUCKETS_US};
+pub use metrics::{MetricsRegistry, DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US};
 pub use span::{Span, SpanId, Tracer};
 
 /// How much the optimizer records into its [`Tracer`].

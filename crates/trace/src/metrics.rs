@@ -17,6 +17,11 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
     100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
 ];
 
+/// Bucket upper bounds for profile-drift scores, in thousandths of the
+/// maximum drift (a score of 1000 means total divergence). The top
+/// bound equals the maximum, so the `+Inf` bucket stays empty.
+pub const DRIFT_BUCKETS_MILLIS: &[u64] = &[10, 25, 50, 100, 250, 500, 750, 1000];
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(u64),

@@ -9,7 +9,7 @@
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
 //! hloc fuzz [OPTIONS]                 differential-fuzz the optimizer
 //! hloc serve [OPTIONS]                run the optimization daemon in-process
-//! hloc remote <addr> build|stats|metrics|ping|shutdown
+//! hloc remote <addr> build|profile|stats|metrics|ping|shutdown
 //!                                     talk to a running daemon (hlod)
 //! hloc --version                      version + enabled features
 //! hloc help                           this text
@@ -28,7 +28,7 @@
 //! `--train`, and `--sim`), `--verify-each`,
 //! `--check off|structural|strict`.
 
-use aggressive_inlining::{analysis, frontc, fuzz, hlo, ir, lint, profile, serve, sim, vm};
+use aggressive_inlining::{analysis, frontc, fuzz, hlo, ir, lint, pgo, profile, serve, sim, vm};
 use std::process::ExitCode;
 
 /// Compile-time capabilities baked into this binary; the workspace has no
@@ -77,6 +77,8 @@ USAGE:
   hloc build [OPTIONS] <file.mc>...
   hloc opt [OPTIONS] <file.ir>         re-optimize dumped IR (isom-style)
   hloc run <file.mc>... [--arg N] [--tier tree|bytecode]
+           [--push-profile ADDR]       run; also push the run's profile to
+                                       a daemon (continuous PGO)
   hloc lint <file.mc>... [--pedantic]  static-analysis report (exit 1 on findings)
   hloc classify <file.mc>...
   hloc fuzz [--seed S] [--iters N] [--budget-secs T] [--corpus DIR]
@@ -84,9 +86,18 @@ USAGE:
                                        differential-fuzz the optimizer
                                        (exit 1 when findings are written)
   hloc serve [--addr A] [--workers N] [--queue N] [--cache N]
+            [--pgo-threshold M] [--pgo-cap N] [--pgo-store PATH]
                                        run the optimization daemon in-process
   hloc remote <addr> build [OPTIONS] <file.mc>...
                                        optimize on a running daemon
+                                       (--server-profile: use the daemon's
+                                       continuously-pushed profile aggregate)
+  hloc remote <addr> profile push [--key K | <file.mc>...] --delta FILE
+                                  [--advance N]
+                                       merge a profile delta into the daemon
+  hloc remote <addr> profile stats [--key K | <file.mc>...]
+                                       profile-store stats (+ merged profile
+                                       text when a program is named)
   hloc remote <addr> stats|metrics|ping|shutdown
   hloc --version                       version + enabled features
 
@@ -449,6 +460,7 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
     let mut files = Vec::new();
     let mut arg = 0i64;
     let mut tier = vm::Tier::default();
+    let mut push_addr: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -464,6 +476,13 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "`--tier` needs a value".to_string())?
                     .parse()?
             }
+            "--push-profile" => {
+                push_addr = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "`--push-profile` needs a daemon address".to_string())?,
+                )
+            }
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -476,7 +495,32 @@ fn run_plain(rest: &[String]) -> Result<(), String> {
         tier,
         ..Default::default()
     };
-    let out = vm::run_program(&program, &[arg], &exec).map_err(|e| format!("run failed: {e}"))?;
+    // With --push-profile the run doubles as a training run: collect the
+    // execution profile and stream it into the daemon's aggregate for
+    // this program (keyed so a later `remote build --server-profile` of
+    // the same sources finds it).
+    let out = match &push_addr {
+        Some(addr) => {
+            let (db, out) = profile::collect_profile(&program, &[arg], &exec)
+                .map_err(|e| format!("run failed: {e}"))?;
+            let key = pgo::program_key(&program);
+            let mut client = serve::Client::connect(addr.as_str())
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let ack = client
+                .profile_push(&serve::ProfilePushRequest {
+                    program: key.clone(),
+                    delta: db.to_text(),
+                    advance: 0,
+                })
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "pushed profile for {key}: generation {} ({} pushes, {} functions, {} bytes)",
+                ack.generation, ack.pushes, ack.functions, ack.resident_bytes
+            );
+            out
+        }
+        None => vm::run_program(&program, &[arg], &exec).map_err(|e| format!("run failed: {e}"))?,
+    };
     for v in &out.output {
         println!("{v}");
     }
@@ -516,6 +560,19 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad --cache value".to_string())?
             }
+            "--pgo-threshold" => {
+                cfg.pgo_threshold_millis = value("--pgo-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --pgo-threshold value".to_string())?
+            }
+            "--pgo-cap" => {
+                cfg.pgo_cap = value("--pgo-cap")?
+                    .parse()
+                    .map_err(|_| "bad --pgo-cap value".to_string())?
+            }
+            "--pgo-store" => {
+                cfg.pgo_store_path = Some(std::path::PathBuf::from(value("--pgo-store")?))
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -536,20 +593,22 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
 fn remote_cmd(rest: &[String]) -> Result<(), String> {
     let (addr, rest) = rest
         .split_first()
-        .ok_or("usage: hloc remote <addr> build|stats|metrics|ping|shutdown")?;
+        .ok_or("usage: hloc remote <addr> build|profile|stats|metrics|ping|shutdown")?;
     let (sub, rest) = rest
         .split_first()
-        .ok_or("usage: hloc remote <addr> build|stats|metrics|ping|shutdown")?;
+        .ok_or("usage: hloc remote <addr> build|profile|stats|metrics|ping|shutdown")?;
     let mut client =
         serve::Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
     match sub.as_str() {
         "build" => remote_build(&mut client, rest),
+        "profile" => remote_profile(&mut client, rest),
         "stats" => {
             let st = client.stats().map_err(|e| e.to_string())?;
             println!("uptime          {} ms", st.uptime_ms);
             println!("requests        {}", st.requests);
             println!("cache hits      {}", st.hits);
             println!("cache misses    {}", st.misses);
+            println!("stale hits      {}", st.stale_hits);
             println!("evictions       {}", st.evictions);
             println!("func cone hits  {}", st.func_hits);
             println!("func cone new   {}", st.func_misses);
@@ -558,6 +617,10 @@ fn remote_cmd(rest: &[String]) -> Result<(), String> {
             println!("busy rejections {}", st.busy);
             println!("deadline missed {}", st.deadline_missed);
             println!("request errors  {}", st.errors);
+            println!("profile pushes  {}", st.pgo_pushes);
+            println!("reoptimizations {}", st.reoptimizations);
+            println!("pgo programs    {}", st.pgo_programs);
+            println!("pgo bytes       {}", st.pgo_bytes);
             for (stage, wall, work) in &st.stages {
                 println!("stage {stage:<12} {wall:>10} us wall {work:>10} us work");
             }
@@ -590,6 +653,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     let mut files = Vec::new();
     let mut opts = hlo::HloOptions::default();
     let mut profile_path: Option<String> = None;
+    let mut server_profile = false;
     let mut deadline_ms: Option<u64> = None;
     let mut train_arg: Option<i64> = None;
     let mut emit_ir: Option<String> = None;
@@ -623,6 +687,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
             "--no-ipa" => opts.ipa = false,
             "--outline" => opts.enable_outline = true,
             "--profile" => profile_path = Some(value("--profile")?),
+            "--server-profile" => server_profile = true,
             "--deadline-ms" => {
                 deadline_ms = Some(
                     value("--deadline-ms")?
@@ -645,9 +710,15 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     if files.is_empty() {
         return Err("no input files".to_string());
     }
-    let profile = match &profile_path {
-        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
-        None => None,
+    let profile = match (&profile_path, server_profile) {
+        (Some(_), true) => {
+            return Err("--profile and --server-profile are mutually exclusive".to_string())
+        }
+        (Some(p), false) => {
+            serve::ProfileSpec::Text(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)
+        }
+        (None, true) => serve::ProfileSpec::Server,
+        (None, false) => serve::ProfileSpec::None,
     };
     let req = serve::OptimizeRequest {
         options: opts,
@@ -663,16 +734,95 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     }
     eprintln!(
         "cache: {} (cone keys: {} known, {} new)",
-        if resp.outcome.hit { "hit" } else { "miss" },
+        if resp.outcome.stale {
+            "stale, re-optimized"
+        } else if resp.outcome.hit {
+            "hit"
+        } else {
+            "miss"
+        },
         resp.outcome.func_hits,
         resp.outcome.func_misses
     );
+    if let Some(p) = &resp.pgo {
+        eprintln!("pgo: {p}");
+    }
     match emit_ir.as_deref() {
         Some("-") => print!("{}", resp.ir_text),
         Some(path) => std::fs::write(path, &resp.ir_text).map_err(|e| format!("{path}: {e}"))?,
         None => {}
     }
     Ok(())
+}
+
+/// `hloc remote <addr> profile push|stats`: continuous-PGO maintenance.
+/// The target program is named either by `--key` (16-hex program key) or
+/// by its MinC sources, which are compiled locally just to derive the
+/// same key the daemon computed at optimize time.
+fn remote_profile(client: &mut serve::Client, rest: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: hloc remote <addr> profile push [--key K | <file.mc>...] --delta FILE \
+         [--advance N] | profile stats [--key K | <file.mc>...]";
+    let (sub, rest) = rest.split_first().ok_or(USAGE)?;
+    let mut key: Option<String> = None;
+    let mut delta_path: Option<String> = None;
+    let mut advance = 0u64;
+    let mut files = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--key" => key = Some(value("--key")?),
+            "--delta" => delta_path = Some(value("--delta")?),
+            "--advance" => {
+                advance = value("--advance")?
+                    .parse()
+                    .map_err(|_| "bad --advance value".to_string())?
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown profile option `{other}`")),
+        }
+    }
+    let key = match (key, files.is_empty()) {
+        (Some(k), _) => Some(k),
+        (None, false) => Some(pgo::program_key(&compile(&files)?)),
+        (None, true) => None,
+    };
+    match sub.as_str() {
+        "push" => {
+            let program = key.ok_or("`profile push` needs --key or source files")?;
+            let path = delta_path.ok_or("`profile push` needs --delta FILE")?;
+            let delta = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let ack = client
+                .profile_push(&serve::ProfilePushRequest {
+                    program: program.clone(),
+                    delta,
+                    advance,
+                })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "pushed profile for {program}: generation {} ({} pushes, {} functions, {} bytes)",
+                ack.generation, ack.pushes, ack.functions, ack.resident_bytes
+            );
+            Ok(())
+        }
+        "stats" => {
+            let reply = client
+                .profile_stats(key.as_deref())
+                .map_err(|e| e.to_string())?;
+            print!("{}", reply.text);
+            if let Some(profile) = &reply.profile {
+                println!("profile:");
+                print!("{profile}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown profile subcommand `{other}`; {USAGE}")),
+    }
 }
 
 /// `hloc fuzz`: run a differential fuzzing campaign against the optimizer

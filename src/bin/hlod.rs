@@ -3,6 +3,7 @@
 //! ```text
 //! hlod [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!      [--max-payload BYTES] [--deadline-ms N]
+//!      [--pgo-threshold MILLIS] [--pgo-cap N] [--pgo-store PATH]
 //! hlod --version
 //! ```
 //!
@@ -75,6 +76,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         .map_err(|_| "bad --deadline-ms value".to_string())?,
                 )
             }
+            "--pgo-threshold" => {
+                cfg.pgo_threshold_millis = value("--pgo-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --pgo-threshold value".to_string())?
+            }
+            "--pgo-cap" => {
+                cfg.pgo_cap = value("--pgo-cap")?
+                    .parse()
+                    .map_err(|_| "bad --pgo-cap value".to_string())?
+            }
+            "--pgo-store" => {
+                cfg.pgo_store_path = Some(std::path::PathBuf::from(value("--pgo-store")?))
+            }
             other => return Err(format!("unknown option `{other}`; try `hlod --help`")),
         }
     }
@@ -100,6 +114,12 @@ OPTIONS:
   --cache N            cached program results, LRU past this (default: 128)
   --max-payload BYTES  largest accepted request frame (default: 16 MiB)
   --deadline-ms N      default per-request deadline (default: none)
+  --pgo-threshold M    profile-drift score (thousandths, 0-1000) past which
+                       a cached `profile: server` result is re-optimized
+                       (default: 250)
+  --pgo-cap N          profile aggregates kept, LRU past this (default: 64)
+  --pgo-store PATH     persist the profile store to PATH (crash-safe
+                       write+rename; reloaded on startup)
   --version            print version and enabled features
 
 Stop it with `hloc remote <addr> shutdown`; queued work is drained first."

@@ -13,6 +13,9 @@
 //! * [`frontc`] — the MinC front end producing IR modules.
 //! * [`opt`] — the scalar optimizer HLO interleaves with its passes.
 //! * [`profile`] — profile database + collection (PBO substrate).
+//! * [`pgo`] — continuous-PGO aggregation: the decayed per-program
+//!   profile store and the drift metric behind the daemon's
+//!   `profile-push` / `profile: server` loop.
 //! * [`hlo`] — the paper's contribution: the budgeted, multi-pass,
 //!   cross-module inliner and cloner.
 //! * [`vm`] — the IR interpreter used for training runs and measurement.
@@ -34,6 +37,7 @@ pub use hlo_ipa as ipa;
 pub use hlo_ir as ir;
 pub use hlo_lint as lint;
 pub use hlo_opt as opt;
+pub use hlo_pgo as pgo;
 pub use hlo_profile as profile;
 pub use hlo_serve as serve;
 pub use hlo_sim as sim;
