@@ -56,6 +56,9 @@ pub struct CallGraph {
     pub extern_sites: Vec<CallSiteRef>,
     /// Whether each function has its address taken by a `FuncAddr` constant.
     pub address_taken: Vec<bool>,
+    /// Whether each function *takes* some function's address (its body
+    /// contains a `FuncAddr` constant).
+    pub address_takers: Vec<bool>,
 }
 
 /// The call-relevant facts of a single function body: its direct call
@@ -121,6 +124,7 @@ fn assemble(scans: &[FuncScan]) -> CallGraph {
     let mut indirect_sites = Vec::new();
     let mut extern_sites = Vec::new();
     let mut address_taken = vec![false; n];
+    let mut address_takers = vec![false; n];
     for (fi, scan) in scans.iter().enumerate() {
         for edge in &scan.direct {
             let ei = edges.len();
@@ -132,6 +136,7 @@ fn assemble(scans: &[FuncScan]) -> CallGraph {
         extern_sites.extend_from_slice(&scan.externs);
         for &t in &scan.takes_address_of {
             address_taken[t.index()] = true;
+            address_takers[fi] = true;
         }
     }
     CallGraph {
@@ -141,6 +146,7 @@ fn assemble(scans: &[FuncScan]) -> CallGraph {
         indirect_sites,
         extern_sites,
         address_taken,
+        address_takers,
     }
 }
 
@@ -285,6 +291,72 @@ impl CallGraph {
         parts
     }
 
+    /// Partitions the program into **cache partitions**: the unit of
+    /// function-grain result reuse in the incremental daemon. These are
+    /// the [`CallGraph::partitions`] weak components, except that every
+    /// component touching the *indirect-call environment* — a component
+    /// containing an indirect call site, an address-taken function, or a
+    /// function whose body takes an address — is merged into a single
+    /// **island**. Optimization may promote an indirect site to a direct
+    /// call of any address-taken function (and cloning an address-taking
+    /// caller may rename the taken target), so those components can
+    /// observe each other; keeping them in one partition makes each
+    /// partition's optimized output a pure function of its own members.
+    ///
+    /// Same ordering guarantees as [`CallGraph::partitions`]: partitions
+    /// ascend by smallest member id, members and edges ascend within.
+    pub fn cache_partitions(&self) -> Vec<CallGraphPartition> {
+        let n = self.num_funcs();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) {
+            let a = find(parent, a);
+            let b = find(parent, b);
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi] = lo;
+            }
+        }
+        for e in &self.edges {
+            union(&mut parent, e.site.caller.index(), e.callee.index());
+        }
+        // Merge the indirect-call island.
+        let mut island: Option<usize> = None;
+        let mut join = |parent: &mut [usize], f: usize| match island {
+            None => island = Some(f),
+            Some(anchor) => union(parent, anchor, f),
+        };
+        for s in &self.indirect_sites {
+            join(&mut parent, s.caller.index());
+        }
+        for f in 0..n {
+            if self.address_taken[f] || self.address_takers[f] {
+                join(&mut parent, f);
+            }
+        }
+        let mut index_of_root = vec![usize::MAX; n];
+        let mut parts: Vec<CallGraphPartition> = Vec::new();
+        for f in 0..n {
+            let r = find(&mut parent, f);
+            if index_of_root[r] == usize::MAX {
+                index_of_root[r] = parts.len();
+                parts.push(CallGraphPartition::default());
+            }
+            parts[index_of_root[r]].funcs.push(FuncId(f as u32));
+        }
+        for (ei, e) in self.edges.iter().enumerate() {
+            let r = find(&mut parent, e.site.caller.index());
+            parts[index_of_root[r]].edge_indices.push(ei);
+        }
+        parts
+    }
+
     /// Combines per-function content hashes into **cone hashes**: the hash
     /// of everything inlining into `f` could possibly read — `f`'s own
     /// content plus, transitively, every function reachable from `f`
@@ -402,6 +474,20 @@ impl CallGraph {
         }
         false
     }
+}
+
+/// For each function, the index of its partition within `parts` (which
+/// must cover all `n` functions, as both [`CallGraph::partitions`] and
+/// [`CallGraph::cache_partitions`] guarantee).
+pub fn partition_index_map(parts: &[CallGraphPartition], n: usize) -> Vec<usize> {
+    let mut map = vec![usize::MAX; n];
+    for (pi, part) in parts.iter().enumerate() {
+        for &f in &part.funcs {
+            map[f.index()] = pi;
+        }
+    }
+    debug_assert!(map.iter().all(|&pi| pi != usize::MAX));
+    map
 }
 
 #[cfg(test)]
@@ -586,6 +672,88 @@ mod tests {
         assert_eq!(seen.len(), p.funcs.len());
         seen.dedup();
         assert_eq!(seen.len(), p.funcs.len());
+    }
+
+    /// Three islands with no address/indirect traffic: cache partitions
+    /// coincide with the plain weak components.
+    #[test]
+    fn cache_partitions_match_partitions_without_indirection() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.add_module("m");
+        for i in 0..3u32 {
+            let mut caller = FunctionBuilder::new(format!("c{i}"), m, 0);
+            let e = caller.entry_block();
+            caller.call_void(e, FuncId(i * 2 + 1), vec![]);
+            caller.ret(e, None);
+            pb.add_function(caller.finish(Linkage::Public, Type::Void));
+            let mut leaf = FunctionBuilder::new(format!("l{i}"), m, 0);
+            let e = leaf.entry_block();
+            leaf.ret(e, None);
+            pb.add_function(leaf.finish(Linkage::Public, Type::Void));
+        }
+        let p = pb.finish(Some(FuncId(0)));
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.cache_partitions(), cg.partitions());
+        assert_eq!(cg.cache_partitions().len(), 3);
+    }
+
+    /// The base `program()` has an indirect site in main and c's address
+    /// taken — both already inside main's weak component. An unrelated
+    /// function `t` that takes an address joins that island; a genuinely
+    /// disconnected pure pair {d, e} stays its own partition.
+    #[test]
+    fn cache_partitions_merge_indirect_island() {
+        let mut p = program(); // main=0, a=1, b=2, c=3 (c address-taken)
+        let m = p.funcs[0].module;
+        // t (id 4): takes a's address, otherwise disconnected.
+        let mut t = FunctionBuilder::new("t", m, 0);
+        let e = t.entry_block();
+        let _ = t.const_(e, ConstVal::FuncAddr(FuncId(1)));
+        t.ret(e, None);
+        let tid = FuncId(p.funcs.len() as u32);
+        p.funcs.push(t.finish(Linkage::Public, Type::Void));
+        p.modules[0].funcs.push(tid);
+        // d (id 5) -> e (id 6): pure direct pair, stays separate.
+        let mut d = FunctionBuilder::new("d", m, 0);
+        let e = d.entry_block();
+        d.call_void(e, FuncId(6), vec![]);
+        d.ret(e, None);
+        let did = FuncId(p.funcs.len() as u32);
+        p.funcs.push(d.finish(Linkage::Public, Type::Void));
+        p.modules[0].funcs.push(did);
+        let mut ef = FunctionBuilder::new("e", m, 0);
+        let b = ef.entry_block();
+        ef.ret(b, None);
+        let eid = FuncId(p.funcs.len() as u32);
+        p.funcs.push(ef.finish(Linkage::Public, Type::Void));
+        p.modules[0].funcs.push(eid);
+
+        let cg = CallGraph::build(&p);
+        assert!(cg.address_takers[0], "main takes c's address");
+        assert!(cg.address_takers[4], "t takes a's address");
+        let parts = cg.cache_partitions();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            parts[0].funcs,
+            vec![FuncId(0), FuncId(1), FuncId(2), FuncId(3), FuncId(4)]
+        );
+        assert_eq!(parts[1].funcs, vec![FuncId(5), FuncId(6)]);
+        // Plain partitions keep t separate (no direct edges touch it).
+        assert_eq!(cg.partitions().len(), 3);
+        // Edges are all accounted for.
+        let total: usize = parts.iter().map(|q| q.edge_indices.len()).sum();
+        assert_eq!(total, cg.edges.len());
+    }
+
+    #[test]
+    fn partition_index_map_covers_every_function() {
+        let p = program();
+        let cg = CallGraph::build(&p);
+        let parts = cg.cache_partitions();
+        let map = partition_index_map(&parts, p.funcs.len());
+        for (f, &pi) in map.iter().enumerate() {
+            assert!(parts[pi].funcs.contains(&FuncId(f as u32)));
+        }
     }
 
     #[allow(unused)]

@@ -32,7 +32,8 @@ mod purity;
 mod reach;
 
 pub use callgraph::{
-    scan_function, CallEdge, CallGraph, CallGraphPartition, CallSiteRef, FuncScan,
+    partition_index_map, scan_function, CallEdge, CallGraph, CallGraphPartition, CallSiteRef,
+    FuncScan,
 };
 pub use cgcache::CallGraphCache;
 pub use classify::{classify_sites, SiteClass, SiteCounts};

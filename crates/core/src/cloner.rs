@@ -46,10 +46,14 @@ impl CloneSpec {
 pub type CloneDb = HashMap<CloneSpec, FuncId>;
 
 /// Result of one cloning pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClonePassResult {
     /// New clone bodies created.
     pub clones_created: u64,
+    /// Ids of the clone bodies created this pass, in creation order. The
+    /// incremental driver uses these to extend its partition mask so the
+    /// rest of the partition's pipeline sees the new functions.
+    pub created_ids: Vec<FuncId>,
     /// Clones found ready-made in the database.
     pub clones_reused: u64,
     /// Call sites redirected to clones.
@@ -319,6 +323,7 @@ pub fn clone_pass(
     budget: &mut Budget,
     pass: usize,
     opts: &HloOptions,
+    mask: Option<&[bool]>,
     db: &mut CloneDb,
     ops_left: &mut Option<u64>,
     cache: &mut CallGraphCache,
@@ -344,7 +349,27 @@ pub fn clone_pass(
     // order — the order a sequential run would emit them.
     let mut parts: Vec<PartitionGroups> = {
         let cg = cache.graph(p);
-        let partitions = cg.partitions();
+        // Under a cache-partition mask, drop whole live components up
+        // front: a live component never straddles cache partitions, so
+        // its first member decides for all of them.
+        let partitions: Vec<_> = cg
+            .partitions()
+            .into_iter()
+            .filter(|part| {
+                let selected =
+                    mask.is_none_or(|m| m.get(part.funcs[0].index()).copied().unwrap_or(false));
+                debug_assert!(
+                    mask.is_none()
+                        || !selected
+                        || part.funcs.iter().all(|&f| mask
+                            .unwrap()
+                            .get(f.index())
+                            .copied()
+                            .unwrap_or(false))
+                );
+                selected
+            })
+            .collect();
         let p_ref: &Program = p;
         let summaries = opts.ipa.then(|| hlo_ipa::Summaries::compute(p_ref, cg));
         let t = Instant::now();
@@ -482,6 +507,7 @@ pub fn clone_pass(
                     let share = (group_calls / entry).clamp(0.0, 1.0);
                     scale_profile(&mut p.func_mut(id).profile, share);
                     scale_profile(&mut p.func_mut(g.spec.callee).profile, 1.0 - share);
+                    result.created_ids.push(id);
                     created = true;
                     id
                 }
@@ -594,6 +620,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut db,
             &mut None,
             &mut cache,
@@ -694,6 +721,7 @@ mod tests {
             &mut budget,
             0,
             &opts,
+            None,
             &mut db,
             &mut ops,
             &mut cache,
@@ -706,6 +734,7 @@ mod tests {
             &mut budget,
             1,
             &opts,
+            None,
             &mut db,
             &mut None,
             &mut cache,
@@ -742,6 +771,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut db,
             &mut None,
             &mut cache,
@@ -807,6 +837,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut db,
             &mut ops,
             &mut cache,

@@ -19,6 +19,22 @@ use hlo_ir::{Block, FuncId, Inst, Program};
 /// layout, classification and cost models no longer see them. Returns the
 /// number of routines deleted.
 pub fn delete_unreachable(p: &mut Program, scope: Scope, cache: &mut CallGraphCache) -> u64 {
+    delete_unreachable_masked(p, scope, cache, None)
+}
+
+/// [`delete_unreachable`] restricted to functions `mask` selects (`None`
+/// = all). Reachability is still computed program-wide; the mask only
+/// limits which unreachable functions are emptied — the incremental
+/// driver deletes one cache partition at a time, and a function's
+/// liveness never depends on another cache partition (direct edges never
+/// cross partitions, and every address-taken root shares the indirect
+/// island's partition).
+pub fn delete_unreachable_masked(
+    p: &mut Program,
+    scope: Scope,
+    cache: &mut CallGraphCache,
+    mask: Option<&[bool]>,
+) -> u64 {
     let reach = {
         let cg = cache.graph(p);
         reachable_funcs(p, cg, scope == Scope::CrossModule)
@@ -26,6 +42,9 @@ pub fn delete_unreachable(p: &mut Program, scope: Scope, cache: &mut CallGraphCa
     let mut deleted = 0;
     for (fi, alive) in reach.iter().enumerate() {
         if *alive {
+            continue;
+        }
+        if !mask.is_none_or(|m| m.get(fi).copied().unwrap_or(false)) {
             continue;
         }
         let id = FuncId(fi as u32);

@@ -8,14 +8,14 @@
 //! sequential, which is why the output is byte-identical at any
 //! [`HloOptions::jobs`] value.
 
-use crate::budget::Budget;
+use crate::budget::BudgetSet;
 use crate::cloner::{clone_pass, CloneDb};
-use crate::delete::delete_unreachable;
+use crate::delete::delete_unreachable_masked;
 use crate::inliner::inline_pass;
 use crate::par::{effective_jobs, par_map_funcs};
 use crate::report::{HloReport, PassReport, StageTiming};
-use hlo_analysis::{estimate_static_profile, CallGraphCache};
-use hlo_ir::{FuncId, FuncProfile, Program};
+use hlo_analysis::{estimate_static_profile, CallGraphCache, CallGraphPartition};
+use hlo_ir::{FuncId, FuncProfile, Function, Linkage, Program};
 use hlo_lint::{CheckLevel, Checker};
 use hlo_profile::{apply_profile, ProfileDb};
 use hlo_trace::{DecisionEvent, DecisionKind, TraceLevel, Tracer, Verdict};
@@ -89,6 +89,12 @@ pub struct HloOptions {
     /// The produced program is byte-identical for every value — only
     /// wall-clock time changes.
     pub jobs: usize,
+    /// Allow the optimization daemon to serve this request from its
+    /// function-grain partition cache (on by default). Purely a caching
+    /// permission: the pipeline guarantees the incremental result is
+    /// byte-identical to a from-scratch build, so the flag is normalized
+    /// out of the fingerprint like `jobs`.
+    pub incremental: bool,
 }
 
 impl HloOptions {
@@ -145,6 +151,7 @@ impl HloOptions {
         );
         let _ = writeln!(s, "trace {}", self.trace);
         let _ = writeln!(s, "jobs {}", self.jobs);
+        let _ = writeln!(s, "incremental {}", onoff(self.incremental));
         s
     }
 
@@ -211,6 +218,7 @@ impl HloOptions {
                 "check" => o.check = val.parse()?,
                 "trace" => o.trace = val.parse()?,
                 "jobs" => o.jobs = num("jobs")? as usize,
+                "incremental" => o.incremental = bool_of(val)?,
                 other => return Err(format!("unknown option key `{other}`")),
             }
         }
@@ -228,6 +236,7 @@ impl HloOptions {
             jobs: 1,
             check: CheckLevel::Off,
             trace: TraceLevel::Off,
+            incremental: true,
             ..self.clone()
         };
         hlo_ir::fnv1a_64(canonical.to_text().as_bytes())
@@ -253,6 +262,7 @@ impl Default for HloOptions {
             check: CheckLevel::Off,
             trace: TraceLevel::Off,
             jobs: 1,
+            incremental: true,
         }
     }
 }
@@ -279,12 +289,163 @@ pub fn optimize_traced(
     opts: &HloOptions,
     tracer: &mut Tracer,
 ) -> HloReport {
+    optimize_partial(p, profile, opts, None, tracer).report
+}
+
+/// Sentinel base for function references into a cached partition's own
+/// clones. When the daemon stores a partition's optimized bodies it
+/// rewrites every reference to a clone the partition itself created as
+/// `CLONE_REF_BASE + position` (position in creation order); at splice
+/// time [`optimize_partial`] rebases those onto the ids the clones
+/// actually receive in the new program. References below the base are
+/// input-function ids, which are stable across edits of *other* cones.
+pub const CLONE_REF_BASE: u32 = 0x8000_0000;
+
+/// A cached partition's final state, as replayed by a [`PartitionAction::Reuse`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReusedPartition {
+    /// `(input id, final optimized body, alive)` for every member, where
+    /// `alive` records whether the function was still in its module's
+    /// function list at the end of the build (deleted routines keep their
+    /// id but leave the list).
+    pub members: Vec<(FuncId, Function, bool)>,
+    /// The clone bodies the partition created, in creation order, with
+    /// their final alive bits. Function references into this list are
+    /// stored as [`CLONE_REF_BASE`]`+ position` sentinels.
+    pub clones: Vec<(Function, bool)>,
+}
+
+/// What [`optimize_partial`] should do with one cache partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionAction {
+    /// Run the full multi-pass pipeline on the partition's members.
+    Rebuild,
+    /// Splice the stored final bodies in without optimizing anything.
+    Reuse(ReusedPartition),
+}
+
+/// What a partial build did, in enough detail for the daemon to populate
+/// its partition cache from a rebuild and to report counters.
+#[derive(Debug, Clone, Default)]
+pub struct BuildLog {
+    /// Cache-partition membership, in partition order (input ids only).
+    pub partitions: Vec<Vec<FuncId>>,
+    /// Every clone in the final program as `(id, partition index)`, in
+    /// creation order — spliced and freshly created alike.
+    pub clones: Vec<(FuncId, usize)>,
+    /// Each partition's budget limit (its share of the global budget).
+    pub partition_limits: Vec<u64>,
+    /// Whether each partition was rebuilt (`true`) or spliced (`false`).
+    pub rebuilt: Vec<bool>,
+    /// True when the build renamed or relinked a global (static-global
+    /// promotion during inlining/cloning). Such a build mutates state
+    /// outside its partitions' bodies, so the daemon must not populate
+    /// its partition cache from it.
+    pub globals_mutated: bool,
+}
+
+/// Result of [`optimize_partial`]: the usual report plus the build log.
+#[derive(Debug, Clone, Default)]
+pub struct PartialOutcome {
+    /// The optimization report (same shape as [`optimize`]'s).
+    pub report: HloReport,
+    /// The partition-grain account of what happened.
+    pub log: BuildLog,
+}
+
+/// Sum of `size^2` over the functions `mask` selects — the partition-local
+/// analogue of [`Program::compile_cost`], used to recalibrate a
+/// partition's budget without charging it for other partitions' growth.
+pub(crate) fn masked_cost(p: &Program, mask: &[bool]) -> u64 {
+    p.funcs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+        .map(|(_, f)| {
+            let s = f.size();
+            s * s
+        })
+        .sum()
+}
+
+/// The partition-at-a-time driver underneath [`optimize_traced`].
+///
+/// The program is split into *cache partitions* — weakly connected
+/// components of the direct call graph, with everything touching
+/// indirection (indirect call sites, address-taken functions and their
+/// takers) merged into one island — computed on the **input** program so
+/// the optimization daemon, which keys its result cache on input cone
+/// hashes, agrees with the driver about membership. After a masked global
+/// prepass, each partition runs its complete multi-pass pipeline under its
+/// **own** [`crate::budget::Budget`] (its proportional share of the global
+/// budget), sequentially in partition order. Because no pipeline stage
+/// edits a function outside the current partition, and clone ids allocate
+/// contiguously per partition, each partition's final bodies are a pure
+/// function of its own members, profile slice and budget share — which is
+/// what makes function-grain result reuse sound:
+///
+/// * `plan = None` (a full build, what [`optimize`] does): every
+///   partition is rebuilt.
+/// * `plan = Some(actions)`, one action per partition: `Rebuild` runs the
+///   pipeline, `Reuse` splices the stored final bodies byte-for-byte. The
+///   result is byte-identical to a full build as long as every reused
+///   entry really came from a byte-identical cone under the same options
+///   and budget share.
+///
+/// Outline builds (`enable_outline`) are whole-program — outlining
+/// creates functions before partitioning is useful — and reject a plan.
+pub fn optimize_partial(
+    p: &mut Program,
+    profile: Option<&ProfileDb>,
+    opts: &HloOptions,
+    plan: Option<&[PartitionAction]>,
+    tracer: &mut Tracer,
+) -> PartialOutcome {
     let mut report = HloReport::default();
     let jobs = effective_jobs(opts.jobs);
     let span_base = tracer.span_count();
     let run_t = Instant::now();
     let root = tracer.push("optimize");
     let mut cache = CallGraphCache::new();
+
+    // Static-global promotion renames globals program-wide; snapshot the
+    // table so the build log can report any mutation.
+    let globals_before: Vec<(String, Linkage)> = p
+        .globals
+        .iter()
+        .map(|g| (g.name.clone(), g.linkage))
+        .collect();
+
+    // Cache partitions come from the *input* program (outline builds get
+    // one whole-program partition after outlining, below).
+    let mut partitions: Vec<CallGraphPartition> = if opts.enable_outline {
+        assert!(plan.is_none(), "outline builds are not partition-cacheable");
+        Vec::new()
+    } else {
+        cache.graph(p).cache_partitions()
+    };
+    let mut rebuild_func = vec![true; p.funcs.len()];
+    if let Some(plan) = plan {
+        assert_eq!(
+            plan.len(),
+            partitions.len(),
+            "plan must cover every cache partition"
+        );
+        for (part, action) in partitions.iter().zip(plan) {
+            if matches!(action, PartitionAction::Reuse(_)) {
+                for &f in &part.funcs {
+                    rebuild_func[f.index()] = false;
+                }
+            }
+        }
+    }
+    // The prepass mask: a full build touches everything (`None` keeps the
+    // small-batch parallel paths on their unmasked fast path), a partial
+    // build only prepasses functions it will rebuild — reused partitions
+    // get their final bodies spliced in, so optimizing their inputs would
+    // be wasted work (and the whole point of the cache).
+    let prepass_mask = plan.map(|_| rebuild_func.clone());
+    let pmask = prepass_mask.as_deref();
 
     // Verify-each: record the input program's pre-existing defects first,
     // so every later boundary only reports what a stage *introduced*.
@@ -294,7 +455,8 @@ pub fn optimize_traced(
     // Frequency annotation: PBO counts when available, the static
     // loop-depth heuristic otherwise. With a profile database, functions
     // never executed in training are cold, not unknown. The per-function
-    // fallback fans out over the worker pool.
+    // fallback fans out over the worker pool. (Reused partitions are
+    // annotated too — harmless, their bodies are replaced at splice.)
     let t0 = Instant::now();
     report.profile_annotations = match profile {
         Some(db) => apply_profile(p, db) as u64,
@@ -320,9 +482,19 @@ pub fn optimize_traced(
 
     // Input-stage cleanup: classic optimizations "mainly to reduce size",
     // plus interprocedural side-effect deletion on the link-time path.
-    optimize_all(p, opts, &mut ck, &mut cache, jobs, tracer, 0, &mut report);
+    optimize_all(
+        p,
+        opts,
+        &mut ck,
+        &mut cache,
+        jobs,
+        tracer,
+        0,
+        &mut report,
+        pmask,
+    );
     let t = Instant::now();
-    report.deletions += delete_unreachable(p, opts.scope, &mut cache);
+    report.deletions += delete_unreachable_masked(p, opts.scope, &mut cache, pmask);
     tracer.leaf_seq("delete", t.elapsed());
     ck.check(p, "delete");
 
@@ -339,95 +511,180 @@ pub fn optimize_traced(
         cache.invalidate_all();
         ck.check(p, "outline");
         if report.outlines > 0 {
-            optimize_all(p, opts, &mut ck, &mut cache, jobs, tracer, 0, &mut report);
+            optimize_all(
+                p,
+                opts,
+                &mut ck,
+                &mut cache,
+                jobs,
+                tracer,
+                0,
+                &mut report,
+                None,
+            );
         }
         tracer.pop(outline_span, t.elapsed());
+        partitions = vec![CallGraphPartition {
+            funcs: p.func_ids().collect(),
+            edge_indices: Vec::new(),
+        }];
+        rebuild_func = vec![true; p.funcs.len()];
     }
 
     let c0 = p.compile_cost();
     report.initial_cost = c0;
-    let mut budget = Budget::new(c0, opts.budget_percent, &opts.stage_fractions);
-    report.budget_limit = budget.limit();
+    // One budget per partition, each a pure function of the partition's
+    // own post-prepass cost — the hierarchical split mirrors how the
+    // parallel planner splits stage headroom proportionally. The limits
+    // sum to the global budget (within integer truncation).
+    let part_costs: Vec<u64> = partitions
+        .iter()
+        .map(|part| {
+            part.funcs
+                .iter()
+                .map(|&f| {
+                    let s = p.func(f).size();
+                    s * s
+                })
+                .sum()
+        })
+        .collect();
+    let mut budgets = BudgetSet::new(&part_costs, opts.budget_percent, &opts.stage_fractions);
+    report.budget_limit = budgets.total_limit();
 
     let mut clone_db = CloneDb::default();
     let mut ops_left = opts.max_ops;
-
-    for pass in 0..opts.passes {
-        if !budget.open() {
-            break;
-        }
-        if ops_left == Some(0) {
-            break;
-        }
-        let mut pr = PassReport {
+    let mut log = BuildLog {
+        partitions: partitions.iter().map(|part| part.funcs.clone()).collect(),
+        clones: Vec::new(),
+        partition_limits: (0..partitions.len())
+            .map(|i| budgets.get(i).limit())
+            .collect(),
+        rebuilt: Vec::new(),
+        globals_mutated: false,
+    };
+    // Which functions the final straighten stage may touch: everything a
+    // rebuild produced, nothing a splice restored (spliced bodies were
+    // straightened by the build that cached them).
+    let mut straighten_mask = rebuild_func;
+    let mut pass_entered = vec![false; opts.passes];
+    let mut pass_reports: Vec<PassReport> = (0..opts.passes)
+        .map(|pass| PassReport {
             pass,
             ..Default::default()
-        };
-        let pass_t = Instant::now();
-        let pass_span = tracer.push(&format!("pass{pass}"));
-        if opts.enable_clone {
-            let r = clone_pass(
-                p,
-                &mut budget,
-                pass,
-                opts,
-                &mut clone_db,
-                &mut ops_left,
-                &mut cache,
-                tracer,
-            );
-            pr.clones_created = r.clones_created;
-            pr.clones_reused = r.clones_reused;
-            pr.clone_replacements = r.sites_replaced;
-            tracer.leaf("clone.plan", r.plan_wall, r.plan_work);
-            tracer.leaf("clone.apply", r.apply_wall, r.apply_work);
-            ck.check(p, &format!("clone@{pass}"));
-        }
-        if opts.enable_inline {
-            let r = inline_pass(
-                p,
-                &mut budget,
-                pass,
-                opts,
-                &mut ops_left,
-                &mut cache,
-                tracer,
-            );
-            pr.inlines = r.inlines;
-            tracer.leaf("inline.plan", r.plan_wall, r.plan_work);
-            tracer.leaf("inline.apply", r.apply_wall, r.apply_work);
-            ck.check(p, &format!("inline@{pass}"));
-        }
-        let t = Instant::now();
-        pr.deletions = delete_unreachable(p, opts.scope, &mut cache);
-        tracer.leaf_seq("delete", t.elapsed());
-        ck.check(p, &format!("delete@{pass}"));
-        optimize_all(
-            p,
-            opts,
-            &mut ck,
-            &mut cache,
-            jobs,
-            tracer,
-            pass as u32,
-            &mut report,
-        );
-        let t = Instant::now();
-        pr.deletions += delete_unreachable(p, opts.scope, &mut cache);
-        tracer.leaf_seq("delete", t.elapsed());
-        ck.check(p, &format!("cleanup@{pass}"));
-        budget.recalibrate(p.compile_cost());
-        pr.cost_after = budget.current();
-        tracer.pop(pass_span, pass_t.elapsed());
+        })
+        .collect();
 
-        report.inlines += pr.inlines;
-        report.clones += pr.clones_created;
-        report.clone_replacements += pr.clone_replacements;
-        report.deletions += pr.deletions;
-        report.passes.push(pr);
-        // Note: a pass that changed nothing is not a reason to stop —
-        // sites deferred for budget reasons become affordable as later
-        // stages release more of the budget.
+    for (pi, part) in partitions.iter().enumerate() {
+        match plan.map_or(&PartitionAction::Rebuild, |pl| &pl[pi]) {
+            PartitionAction::Reuse(stored) => {
+                log.rebuilt.push(false);
+                splice_partition(p, stored, pi, &mut log, &mut cache);
+                straighten_mask.resize(p.funcs.len(), false);
+            }
+            PartitionAction::Rebuild => {
+                log.rebuilt.push(true);
+                let budget = budgets.get_mut(pi);
+                let mut mask = vec![false; p.funcs.len()];
+                for &f in &part.funcs {
+                    mask[f.index()] = true;
+                }
+                for pass in 0..opts.passes {
+                    if !budget.open() {
+                        break;
+                    }
+                    if ops_left == Some(0) {
+                        break;
+                    }
+                    pass_entered[pass] = true;
+                    let pr = &mut pass_reports[pass];
+                    let pass_t = Instant::now();
+                    let pass_span = tracer.push(&format!("pass{pass}"));
+                    if opts.enable_clone {
+                        mask.resize(p.funcs.len(), false);
+                        let r = clone_pass(
+                            p,
+                            budget,
+                            pass,
+                            opts,
+                            Some(&mask),
+                            &mut clone_db,
+                            &mut ops_left,
+                            &mut cache,
+                            tracer,
+                        );
+                        for &id in &r.created_ids {
+                            if mask.len() <= id.index() {
+                                mask.resize(id.index() + 1, false);
+                            }
+                            mask[id.index()] = true;
+                            log.clones.push((id, pi));
+                        }
+                        pr.clones_created += r.clones_created;
+                        pr.clones_reused += r.clones_reused;
+                        pr.clone_replacements += r.sites_replaced;
+                        tracer.leaf("clone.plan", r.plan_wall, r.plan_work);
+                        tracer.leaf("clone.apply", r.apply_wall, r.apply_work);
+                        ck.check(p, &format!("clone@{pass}"));
+                    }
+                    if opts.enable_inline {
+                        mask.resize(p.funcs.len(), false);
+                        let r = inline_pass(
+                            p,
+                            budget,
+                            pass,
+                            opts,
+                            Some(&mask),
+                            &mut ops_left,
+                            &mut cache,
+                            tracer,
+                        );
+                        pr.inlines += r.inlines;
+                        tracer.leaf("inline.plan", r.plan_wall, r.plan_work);
+                        tracer.leaf("inline.apply", r.apply_wall, r.apply_work);
+                        ck.check(p, &format!("inline@{pass}"));
+                    }
+                    let t = Instant::now();
+                    pr.deletions +=
+                        delete_unreachable_masked(p, opts.scope, &mut cache, Some(&mask));
+                    tracer.leaf_seq("delete", t.elapsed());
+                    ck.check(p, &format!("delete@{pass}"));
+                    optimize_all(
+                        p,
+                        opts,
+                        &mut ck,
+                        &mut cache,
+                        jobs,
+                        tracer,
+                        pass as u32,
+                        &mut report,
+                        Some(&mask),
+                    );
+                    let t = Instant::now();
+                    pr.deletions +=
+                        delete_unreachable_masked(p, opts.scope, &mut cache, Some(&mask));
+                    tracer.leaf_seq("delete", t.elapsed());
+                    ck.check(p, &format!("cleanup@{pass}"));
+                    budget.recalibrate(masked_cost(p, &mask));
+                    pr.cost_after += budget.current();
+                    tracer.pop(pass_span, pass_t.elapsed());
+                    // Note: a pass that changed nothing is not a reason to
+                    // stop — sites deferred for budget reasons become
+                    // affordable as later stages release more budget.
+                }
+                straighten_mask.resize(p.funcs.len(), true);
+            }
+        }
+    }
+
+    for (pass, pr) in pass_reports.into_iter().enumerate() {
+        if pass_entered[pass] {
+            report.inlines += pr.inlines;
+            report.clones += pr.clones_created;
+            report.clone_replacements += pr.clone_replacements;
+            report.deletions += pr.deletions;
+            report.passes.push(pr);
+        }
     }
 
     // Final PBO code positioning: straighten hot paths so fall-throughs
@@ -435,7 +692,9 @@ pub fn optimize_traced(
     // Block reordering shifts every call-site coordinate.
     if opts.enable_straighten {
         let t = Instant::now();
-        report.straightened = hlo_opt::straighten::straighten_program(p);
+        straighten_mask.resize(p.funcs.len(), true);
+        report.straightened =
+            hlo_opt::straighten::straighten_program_masked(p, Some(&straighten_mask));
         cache.invalidate_all();
         tracer.leaf_seq("straighten", t.elapsed());
         ck.check(p, "straighten");
@@ -456,32 +715,144 @@ pub fn optimize_traced(
     report.checks_run = ck.checks_run();
     report.lint_time_us = ck.elapsed().as_micros() as u64;
     report.diagnostics = ck.into_report().diags;
-    report
+
+    log.globals_mutated = p.globals.len() != globals_before.len()
+        || p.globals
+            .iter()
+            .zip(&globals_before)
+            .any(|(g, (name, linkage))| g.name != *name || g.linkage != *linkage);
+
+    PartialOutcome { report, log }
 }
 
-/// One parallel scalar-cleanup round: every function is optimized on the
-/// worker pool, each worker driving its function's sub-pass boundaries
-/// through a forked child checker. Children are absorbed in function
-/// order, reproducing the sequential run's diagnostics exactly; functions
-/// whose bodies changed are invalidated in the call-graph cache.
+/// Extracts one partition's final state from a finished build, in the
+/// form [`PartitionAction::Reuse`] replays: member bodies with alive bits,
+/// clone bodies in creation order, and references to the partition's own
+/// clones rewritten to [`CLONE_REF_BASE`] sentinels so they survive being
+/// spliced into a program where the clones land on different ids.
+///
+/// # Panics
+/// Panics (debug builds) if a stored body references a clone of *another*
+/// partition — that would mean a pipeline stage edited across a cache
+/// partition boundary, which the incremental scheme forbids.
+pub fn extract_partition(p: &Program, log: &BuildLog, pi: usize) -> ReusedPartition {
+    use std::collections::HashMap;
+    let own_clone_pos: HashMap<FuncId, u32> = log
+        .clones
+        .iter()
+        .filter(|(_, part)| *part == pi)
+        .enumerate()
+        .map(|(pos, (id, _))| (*id, pos as u32))
+        .collect();
+    let all_clones: std::collections::HashSet<FuncId> =
+        log.clones.iter().map(|(id, _)| *id).collect();
+    let encode = |func: &mut Function| {
+        func.for_each_func_ref_mut(|fid| {
+            if let Some(&pos) = own_clone_pos.get(fid) {
+                fid.0 = CLONE_REF_BASE + pos;
+            } else {
+                debug_assert!(
+                    !all_clones.contains(fid),
+                    "partition {pi} references another partition's clone {fid:?}"
+                );
+            }
+        });
+    };
+    let alive = |id: FuncId| p.module(p.func(id).module).funcs.contains(&id);
+    let members = log.partitions[pi]
+        .iter()
+        .map(|&id| {
+            let mut func = p.func(id).clone();
+            encode(&mut func);
+            (id, func, alive(id))
+        })
+        .collect();
+    let clones = log
+        .clones
+        .iter()
+        .filter(|(_, part)| *part == pi)
+        .map(|&(id, _)| {
+            let mut func = p.func(id).clone();
+            encode(&mut func);
+            (func, alive(id))
+        })
+        .collect();
+    ReusedPartition { members, clones }
+}
+
+/// Splices one cached partition into `p`: members' final bodies overwrite
+/// their input slots (dead ones leave their module list), clone bodies are
+/// appended in creation order. Clone ids line up with what a rebuild would
+/// have allocated because partitions are processed in order and earlier
+/// partitions contribute identical clone counts either way.
+fn splice_partition(
+    p: &mut Program,
+    stored: &ReusedPartition,
+    pi: usize,
+    log: &mut BuildLog,
+    cache: &mut CallGraphCache,
+) {
+    let base = p.funcs.len() as u32;
+    let rebase = |func: &mut Function| {
+        func.for_each_func_ref_mut(|fid| {
+            if fid.0 >= CLONE_REF_BASE {
+                fid.0 = base + (fid.0 - CLONE_REF_BASE);
+            }
+        });
+    };
+    for (id, func, alive) in &stored.members {
+        let mut func = func.clone();
+        rebase(&mut func);
+        let module = func.module;
+        *p.func_mut(*id) = func;
+        if !*alive {
+            p.modules[module.index()].funcs.retain(|x| x != id);
+        }
+        cache.invalidate(*id);
+    }
+    for (func, alive) in &stored.clones {
+        let mut func = func.clone();
+        rebase(&mut func);
+        let alive = *alive;
+        let module = func.module;
+        let id = p.push_function(func);
+        if !alive {
+            p.modules[module.index()].funcs.retain(|&x| x != id);
+        }
+        log.clones.push((id, pi));
+    }
+}
+
+/// One parallel scalar-cleanup round: every function `mask` selects
+/// (`None` = all) is optimized on the worker pool, each worker driving its
+/// function's sub-pass boundaries through a forked child checker. Children
+/// are absorbed in function order, reproducing the sequential run's
+/// diagnostics exactly; functions whose bodies changed are invalidated in
+/// the call-graph cache.
 fn cleanup_round(
     p: &mut Program,
     ck: &mut Checker,
     cache: &mut CallGraphCache,
     jobs: usize,
     tracer: &mut Tracer,
+    mask: Option<&[bool]>,
 ) {
     let t = Instant::now();
     let parent: &Checker = ck;
-    let out = par_map_funcs(jobs, p, |_, f| {
+    let out = par_map_funcs(jobs, p, |id, f| {
+        if !mask.is_none_or(|m| m.get(id.index()).copied().unwrap_or(false)) {
+            return (None, false);
+        }
         let mut child = parent.fork();
         let stats = hlo_opt::optimize_function_checked(f, &mut child);
-        (child, stats.changed)
+        (Some(child), stats.changed)
     });
     let wall = t.elapsed();
     let work = out.work;
     for (i, (child, changed)) in out.results.into_iter().enumerate() {
-        ck.absorb(child);
+        if let Some(child) = child {
+            ck.absorb(child);
+        }
         if changed {
             cache.invalidate(FuncId(i as u32));
         }
@@ -521,12 +892,15 @@ fn pure_call_event(
     }
 }
 
-/// Optimizes every live function; on the whole-program path also deletes
-/// calls to side-effect-free routines (against the cached call graph) and,
-/// with [`HloOptions::ipa`] set, runs the summary-driven cross-call stage.
-/// Accumulates its counters into `report`. In verify-each mode the checker
-/// runs after every scalar sub-pass, so findings carry sub-pass origins
-/// like `cse` or `simplify_cfg`.
+/// Optimizes every live function `mask` selects (`None` = all); on the
+/// whole-program path also deletes calls to side-effect-free routines
+/// (against the cached call graph) and, with [`HloOptions::ipa`] set, runs
+/// the summary-driven cross-call stage. The global analyses (reachability,
+/// purity, summaries) stay program-wide — the mask only limits which
+/// functions are *edited*, and a masked function's facts depend only on
+/// same-partition callees. Accumulates its counters into `report`. In
+/// verify-each mode the checker runs after every scalar sub-pass, so
+/// findings carry sub-pass origins like `cse` or `simplify_cfg`.
 #[allow(clippy::too_many_arguments)] // internal driver plumbing
 fn optimize_all(
     p: &mut Program,
@@ -537,15 +911,16 @@ fn optimize_all(
     tracer: &mut Tracer,
     pass: u32,
     report: &mut HloReport,
+    mask: Option<&[bool]>,
 ) {
-    cleanup_round(p, ck, cache, jobs, tracer);
+    cleanup_round(p, ck, cache, jobs, tracer, mask);
     if opts.scope != Scope::CrossModule {
         return;
     }
     let t = Instant::now();
     let removal = {
         let cg = cache.graph(p);
-        hlo_opt::eliminate_pure_calls_with(p, cg)
+        hlo_opt::eliminate_pure_calls_with_masked(p, cg, mask)
     };
     for &f in &removal.changed {
         cache.invalidate(f);
@@ -567,7 +942,7 @@ fn optimize_all(
     }
     report.pure_calls_removed += removal.removed;
     if removal.removed > 0 {
-        cleanup_round(p, ck, cache, jobs, tracer);
+        cleanup_round(p, ck, cache, jobs, tracer, mask);
     }
 
     // Summary-driven stage: fold constant returns, delete calls the
@@ -584,15 +959,15 @@ fn optimize_all(
                 hlo_analysis::side_effect_free_funcs(p, cg),
             )
         };
-        let folds = hlo_opt::fold_const_returns(p, &summaries);
+        let folds = hlo_opt::fold_const_returns_masked(p, &summaries, mask);
         for fo in &folds {
             cache.invalidate(fo.caller);
         }
-        let ipa_removal = hlo_opt::eliminate_calls_where(p, &summaries.removable());
+        let ipa_removal = hlo_opt::eliminate_calls_where_masked(p, &summaries.removable(), mask);
         for &f in &ipa_removal.changed {
             cache.invalidate(f);
         }
-        let xstats = hlo_opt::forward_across_calls(p, &summaries);
+        let xstats = hlo_opt::forward_across_calls_masked(p, &summaries, mask);
         for &f in &xstats.changed {
             cache.invalidate(f);
         }
@@ -626,7 +1001,7 @@ fn optimize_all(
         report.ipa_store_forwards += xstats.forwards + xstats.dead_stores;
         if !folds.is_empty() || ipa_removal.removed > 0 || xstats.forwards + xstats.dead_stores > 0
         {
-            cleanup_round(p, ck, cache, jobs, tracer);
+            cleanup_round(p, ck, cache, jobs, tracer, mask);
         }
     }
 }
@@ -1039,6 +1414,207 @@ mod tests {
             .any(|s| s.stage == "inline.plan"));
         // Metrics mirror the recorded decisions.
         assert!(tracer.metrics().expose().contains("decisions_total"));
+    }
+
+    /// Three modules with disjoint call graphs. Per-module scope keeps
+    /// every public root alive, so the program has (at least) three live
+    /// cache partitions.
+    fn three_partition_modules() -> Vec<(&'static str, &'static str)> {
+        vec![
+            (
+                "a",
+                r#"
+                static fn a_leaf(x) { return x * 2 + 1; }
+                fn a_main() {
+                    var s = 0;
+                    for (var i = 0; i < 40; i = i + 1) { s = s + a_leaf(i); }
+                    return s;
+                }
+                fn main() { return a_main(); }
+                "#,
+            ),
+            (
+                "b",
+                r#"
+                static fn b_leaf(k, x) { if (k == 1) { return x + 7; } return x; }
+                fn b_main() {
+                    var s = 0;
+                    for (var i = 0; i < 30; i = i + 1) { s = s + b_leaf(1, i); }
+                    return s;
+                }
+                "#,
+            ),
+            (
+                "c",
+                r#"
+                static fn c_leaf(x) { return x * x; }
+                fn c_main() {
+                    var s = 0;
+                    for (var i = 0; i < 20; i = i + 1) { s = s + c_leaf(i); }
+                    return s;
+                }
+                "#,
+            ),
+        ]
+    }
+
+    fn module_opts() -> HloOptions {
+        HloOptions {
+            scope: Scope::WithinModule,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn partial_reuse_splices_byte_identical_output() {
+        let p0 = hlo_frontc::compile(&three_partition_modules()).unwrap();
+        let opts = module_opts();
+        let mut full = p0.clone();
+        let out = optimize_partial(&mut full, None, &opts, None, &mut Tracer::disabled());
+        assert!(out.log.rebuilt.iter().all(|&r| r));
+        assert!(!out.log.globals_mutated);
+        let nparts = out.log.partitions.len();
+        assert!(nparts >= 3, "expected >= 3 partitions, got {nparts}");
+        assert!(out.report.inlines >= 1, "{}", out.report);
+
+        // Rebuild only the partition containing module b's functions and
+        // splice the others from the finished build. The result must be
+        // byte-identical at every job count.
+        let target = p0.find_func("b", "b_main").unwrap();
+        let full_text = hlo_ir::program_to_text(&full);
+        for jobs in [1usize, 4, 8] {
+            let plan: Vec<PartitionAction> = (0..nparts)
+                .map(|pi| {
+                    if out.log.partitions[pi].contains(&target) {
+                        PartitionAction::Rebuild
+                    } else {
+                        PartitionAction::Reuse(extract_partition(&full, &out.log, pi))
+                    }
+                })
+                .collect();
+            let rebuilds = plan
+                .iter()
+                .filter(|a| matches!(a, PartitionAction::Rebuild))
+                .count();
+            assert!(rebuilds < nparts);
+            let mut inc = p0.clone();
+            let inc_opts = HloOptions {
+                jobs,
+                ..opts.clone()
+            };
+            let out2 = optimize_partial(
+                &mut inc,
+                None,
+                &inc_opts,
+                Some(&plan),
+                &mut Tracer::disabled(),
+            );
+            assert_eq!(
+                full_text,
+                hlo_ir::program_to_text(&inc),
+                "incremental output diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                out2.log.rebuilt.iter().filter(|&&r| r).count(),
+                rebuilds,
+                "only the planned partitions rebuild"
+            );
+            hlo_ir::verify_program(&inc).unwrap();
+        }
+    }
+
+    #[test]
+    fn partial_reuse_tracks_edited_function() {
+        // Edit one function's body; splicing the *unedited* partitions
+        // from the original build must reproduce the edited program's
+        // from-scratch build byte for byte.
+        let mut modules = three_partition_modules();
+        let p0 = hlo_frontc::compile(&modules).unwrap();
+        let opts = module_opts();
+        let mut full0 = p0.clone();
+        let out0 = optimize_partial(&mut full0, None, &opts, None, &mut Tracer::disabled());
+
+        // The edit: module b's leaf gains a different constant.
+        modules[1].1 = r#"
+            static fn b_leaf(k, x) { if (k == 1) { return x + 9; } return x; }
+            fn b_main() {
+                var s = 0;
+                for (var i = 0; i < 30; i = i + 1) { s = s + b_leaf(1, i); }
+                return s;
+            }
+        "#;
+        let p1 = hlo_frontc::compile(&modules).unwrap();
+        let mut full1 = p1.clone();
+        optimize_partial(&mut full1, None, &opts, None, &mut Tracer::disabled());
+
+        let target = p1.find_func("b", "b_main").unwrap();
+        let plan: Vec<PartitionAction> = (0..out0.log.partitions.len())
+            .map(|pi| {
+                if out0.log.partitions[pi].contains(&target) {
+                    PartitionAction::Rebuild
+                } else {
+                    // Stale-by-id is fine: these cones are byte-identical
+                    // between p0 and p1 (only module b changed).
+                    PartitionAction::Reuse(extract_partition(&full0, &out0.log, pi))
+                }
+            })
+            .collect();
+        let mut inc = p1.clone();
+        optimize_partial(&mut inc, None, &opts, Some(&plan), &mut Tracer::disabled());
+        assert_eq!(
+            hlo_ir::program_to_text(&full1),
+            hlo_ir::program_to_text(&inc)
+        );
+    }
+
+    #[test]
+    fn zero_budget_partition_passes_bodies_through() {
+        // Budget 0 closes every partition's budget: no pass runs anywhere,
+        // so no inlining or cloning happens in any partition.
+        let p0 = hlo_frontc::compile(&three_partition_modules()).unwrap();
+        let mut p = p0.clone();
+        let opts = HloOptions {
+            budget_percent: 0,
+            ..module_opts()
+        };
+        let report = optimize(&mut p, None, &opts);
+        assert_eq!(report.inlines, 0, "{report}");
+        assert_eq!(report.clones, 0);
+        assert!(report.passes.is_empty());
+        hlo_ir::verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn small_batch_partitions_emit_decisions_in_partition_order() {
+        // Three partitions at jobs=8 is below the pool's two-items-per-
+        // worker floor, so planning falls back to the inline path; the
+        // decision stream (the `--explain` output) must still come out in
+        // partition order, identical to jobs=1.
+        let p0 = hlo_frontc::compile(&three_partition_modules()).unwrap();
+        let mut reports = Vec::new();
+        for jobs in [1usize, 8] {
+            let mut p = p0.clone();
+            let opts = HloOptions {
+                jobs,
+                ..module_opts()
+            };
+            let mut tracer = Tracer::new(TraceLevel::Decisions);
+            optimize_traced(&mut p, None, &opts, &mut tracer);
+            reports.push((hlo_ir::program_to_text(&p), tracer.decision_report(None)));
+        }
+        assert_eq!(
+            reports[0].0, reports[1].0,
+            "program must not vary with jobs"
+        );
+        assert!(
+            reports[0].1.contains("verdict=performed"),
+            "expected decisions:\n{}",
+            reports[0].1
+        );
+        assert_eq!(
+            reports[0].1, reports[1].1,
+            "decision order must not vary with jobs"
+        );
     }
 
     #[test]

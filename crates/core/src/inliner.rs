@@ -106,11 +106,13 @@ struct PartitionPlan {
 /// on the worker pool unless the Figure 8 operation cap is active (a
 /// global sequential counter). Accepted inlines are then performed in
 /// partition order, schedule order within each.
+#[allow(clippy::too_many_arguments)] // mirrors the pass plumbing
 pub fn inline_pass(
     p: &mut Program,
     budget: &mut Budget,
     pass: usize,
     opts: &HloOptions,
+    mask: Option<&[bool]>,
     ops_left: &mut Option<u64>,
     cache: &mut CallGraphCache,
     tracer: &mut Tracer,
@@ -137,6 +139,19 @@ pub fn inline_pass(
         }
         let mut tasks: Vec<PartitionTask> = Vec::new();
         for part in cg.partitions() {
+            // Under a cache-partition mask, plan only the live components
+            // inside the active partition. A live component never straddles
+            // two cache partitions (direct edges don't cross them), so
+            // checking one member covers all of them.
+            if let Some(m) = mask {
+                if !m.get(part.funcs[0].index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                debug_assert!(part
+                    .funcs
+                    .iter()
+                    .all(|&f| m.get(f.index()).copied().unwrap_or(false)));
+            }
             let mut candidates: Vec<Candidate> = Vec::new();
             for &ei in &part.edge_indices {
                 let edge = &cg.edges[ei];
@@ -348,7 +363,11 @@ pub fn inline_pass(
     for &f in &touched {
         cache.invalidate(f);
     }
-    budget.recalibrate(p.compile_cost());
+    // Under a mask the budget tracks only the active partition's cost.
+    budget.recalibrate(match mask {
+        Some(m) => crate::driver::masked_cost(p, m),
+        None => p.compile_cost(),
+    });
     result.apply_wall = splice_elapsed + reopt_start.elapsed();
     result.apply_work = splice_elapsed + out.work;
 
@@ -475,6 +494,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut None,
             &mut cache,
             &mut Tracer::disabled(),
@@ -528,6 +548,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut None,
             &mut cache,
             &mut Tracer::disabled(),
@@ -625,6 +646,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut ops,
             &mut cache,
             &mut Tracer::disabled(),
@@ -647,6 +669,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut None,
             &mut cache,
             &mut Tracer::disabled(),
@@ -701,6 +724,7 @@ mod tests {
                 &mut budget,
                 0,
                 &opts,
+                None,
                 &mut None,
                 &mut cache,
                 &mut Tracer::disabled(),
@@ -728,6 +752,7 @@ mod tests {
             &mut budget,
             0,
             &HloOptions::default(),
+            None,
             &mut None,
             &mut cache,
             &mut Tracer::disabled(),
@@ -738,6 +763,7 @@ mod tests {
             &mut budget,
             1,
             &HloOptions::default(),
+            None,
             &mut None,
             &mut cache,
             &mut Tracer::disabled(),

@@ -55,10 +55,13 @@ pub mod par;
 mod report;
 mod transform;
 
-pub use budget::Budget;
+pub use budget::{Budget, BudgetSet};
 pub use cloner::{CloneDb, CloneSpec};
-pub use delete::delete_unreachable;
-pub use driver::{optimize, optimize_traced, HloOptions, Scope};
+pub use delete::{delete_unreachable, delete_unreachable_masked};
+pub use driver::{
+    extract_partition, optimize, optimize_partial, optimize_traced, BuildLog, HloOptions,
+    PartialOutcome, PartitionAction, ReusedPartition, Scope, CLONE_REF_BASE,
+};
 pub use hlo_analysis::CallGraphCache;
 pub use hlo_lint::{CheckLevel, Checker, Diagnostic, LintReport, Severity};
 pub use hlo_trace::json as trace_json;
@@ -108,5 +111,11 @@ pub fn all_reason_codes() -> &'static [&'static str] {
         "pgo-drift-exceeded",
         "pgo-churn-exceeded",
         "pgo-profile-stable",
+        // Function-grain incremental recompilation: per-partition cache
+        // outcomes of a warm daemon build, and the whole-request fallback
+        // to a full rebuild when a request is not partition-cacheable.
+        "incr-partition-hit",
+        "incr-partition-rebuild",
+        "incr-fallback",
     ]
 }

@@ -49,6 +49,14 @@ pub struct CampaignConfig {
     /// Round-trip every N-th passing MinC case through a live daemon
     /// (0 disables the check).
     pub daemon_every: u64,
+    /// Every N-th passing MinC case, push the compiled program and a
+    /// one-constant edit of it through a live daemon and require the
+    /// incremental (partition-splicing) rebuild of the edit to be
+    /// byte-identical to a from-scratch optimize (0 disables the check).
+    /// Kept separate from `daemon_every` so the planted serve fault
+    /// (`hlo_serve::fault`) can be exercised without the PGO legs of the
+    /// plain daemon check firing first.
+    pub incremental_every: u64,
     /// Shrinker limits.
     pub shrink: ShrinkConfig,
     /// MinC generator shape.
@@ -70,6 +78,7 @@ impl Default for CampaignConfig {
             corpus_dir: None,
             stop_after: 0,
             daemon_every: 0,
+            incremental_every: 0,
             shrink: ShrinkConfig::default(),
             gen: GenConfig::default(),
             irgen: IrGenConfig::default(),
@@ -107,6 +116,8 @@ pub struct CampaignReport {
     pub mutants_discarded: u64,
     /// Daemon round-trips performed.
     pub daemon_checks: u64,
+    /// Incremental edit-oracle checks performed.
+    pub incremental_checks: u64,
     /// All findings, shrunk where possible.
     pub findings: Vec<ShrunkFinding>,
     /// Wall-clock time spent.
@@ -226,6 +237,33 @@ pub fn run_campaign_with(cfg: &CampaignConfig, metrics: &MetricsRegistry) -> Cam
                             );
                         }
                     }
+                    if cfg.incremental_every > 0 && report.passed % cfg.incremental_every == 0 {
+                        report.incremental_checks += 1;
+                        let daemon_t = Instant::now();
+                        let checked = daemon.check_incremental(&print_sources(modules));
+                        metrics.observe(
+                            "fuzz_daemon_us",
+                            LATENCY_BUCKETS_US,
+                            daemon_t.elapsed().as_micros() as u64,
+                        );
+                        if let Err(detail) = checked {
+                            let finding = Finding {
+                                kind: FindingKind::IncrementalDivergence,
+                                config: "daemon-incremental".to_string(),
+                                options_fingerprint: hlo::HloOptions::default().fingerprint(),
+                                detail,
+                            };
+                            record(
+                                cfg,
+                                metrics,
+                                &mut report,
+                                i,
+                                case_seed(&case),
+                                finding,
+                                &case,
+                            );
+                        }
+                    }
                 }
             }
             CaseOutcome::Skip(_) => report.skipped += 1,
@@ -294,9 +332,15 @@ fn record(
                          CaseOutcome::Fail(f) if f.kind == want)
             };
             // Daemon mismatches are not reproduced by `check_sources`, so
-            // they are recorded unshrunk.
+            // they are recorded unshrunk. Incremental divergences are
+            // shrunk against an in-process replica of the daemon's
+            // partition-splicing path instead.
             if want == FindingKind::DaemonMismatch {
                 ReproBody::Minc(print_sources(modules))
+            } else if want == FindingKind::IncrementalDivergence {
+                let mut pred = incremental_divergence_reproduces;
+                let out = shrink(modules.clone(), &cfg.shrink, &mut pred);
+                ReproBody::Minc(out.sources)
             } else {
                 let out = shrink(modules.clone(), &cfg.shrink, &mut pred);
                 ReproBody::Minc(out.sources)
@@ -458,6 +502,149 @@ impl DaemonCheck {
         }
         Ok(())
     }
+
+    /// The incremental edit oracle: optimize the compiled program through
+    /// the daemon (seeding its partition store), bump one integer
+    /// constant, optimize the edit — the daemon's partition-splicing
+    /// rebuild must be byte-identical to a from-scratch in-process
+    /// optimize of the edited program. Programs with no integer constant
+    /// to bump are vacuously fine.
+    fn check_incremental(&mut self, sources: &[(String, String)]) -> Result<(), String> {
+        if self.server.is_none() {
+            self.server = Some(
+                hlo_serve::Server::spawn("127.0.0.1:0", hlo_serve::ServeConfig::default())
+                    .map_err(|e| format!("daemon spawn failed: {e}"))?,
+            );
+        }
+        let server = self.server.as_ref().expect("just spawned");
+
+        let pristine = crate::oracle::compile_sources(sources)?;
+        let Some(edited) = bump_first_const(&pristine) else {
+            return Ok(());
+        };
+        let opts = hlo::HloOptions::default();
+        let request = |p: &hlo_ir::Program| hlo_serve::OptimizeRequest {
+            options: opts.clone(),
+            source: hlo_serve::SourceKind::Ir(hlo_ir::program_to_text(p)),
+            profile: hlo_serve::ProfileSpec::None,
+            deadline_ms: None,
+            train_arg: None,
+        };
+        let mut client = hlo_serve::Client::connect(server.local_addr())
+            .map_err(|e| format!("daemon connect failed: {e}"))?;
+        client
+            .optimize(&request(&pristine))
+            .map_err(|e| format!("pristine daemon request failed: {e}"))?;
+        let warm = client
+            .optimize(&request(&edited))
+            .map_err(|e| format!("edited daemon request failed: {e}"))?;
+        let mut truth = edited.clone();
+        hlo::optimize(&mut truth, None, &opts);
+        if warm.ir_text != hlo_ir::program_to_text(&truth) {
+            return Err(format!(
+                "incremental rebuild after a one-constant edit differs from a \
+                 from-scratch optimize (partition hits {}, rebuilds {})",
+                warm.outcome.partition_hits, warm.outcome.partition_rebuilds
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Bumps the first integer constant (a `Const` instruction or an
+/// immediate operand) in the program — the generic single-function edit
+/// the incremental oracle applies to programs it did not write.
+fn bump_first_const(p: &hlo_ir::Program) -> Option<hlo_ir::Program> {
+    let mut q = p.clone();
+    for f in &mut q.funcs {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                if let hlo_ir::Inst::Const {
+                    value: hlo_ir::ConstVal::I64(v),
+                    ..
+                } = inst
+                {
+                    *v = v.wrapping_add(1);
+                    return Some(q);
+                }
+                let mut bumped = false;
+                inst.for_each_use_mut(|op| {
+                    if bumped {
+                        return;
+                    }
+                    if let hlo_ir::Operand::Const(hlo_ir::ConstVal::I64(v)) = op {
+                        *v = v.wrapping_add(1);
+                        bumped = true;
+                    }
+                });
+                if bumped {
+                    return Some(q);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Shrinking predicate for [`FindingKind::IncrementalDivergence`]: an
+/// in-process replica of the daemon's partition-splicing path. Build the
+/// pristine program cold, store every partition body under its key, bump
+/// one constant, splice the store hits through [`hlo::optimize_partial`],
+/// and compare against a from-scratch optimize. The planted stale-key
+/// fault ([`hlo_serve::fault`]) is process-global, so a divergence the
+/// live daemon exposed reproduces here without a socket.
+fn incremental_divergence_reproduces(sources: &[(String, String)]) -> bool {
+    let Ok(pristine) = crate::oracle::compile_sources(sources) else {
+        return false;
+    };
+    let Some(edited) = bump_first_const(&pristine) else {
+        return false;
+    };
+    let opts = hlo::HloOptions::default();
+    let salt = hlo_ir::fnv1a_64(b"");
+    let keys_of = |p: &hlo_ir::Program| {
+        let mut cg = hlo::CallGraphCache::new();
+        let rk = hlo_serve::cache::request_key(p, &opts, "", &mut cg);
+        let parts = hlo_serve::incremental::eligible_partitions(p, &opts, &mut cg).ok()?;
+        Some(hlo_serve::incremental::partition_keys(
+            p, &parts, &rk.funcs, salt,
+        ))
+    };
+    let Some(keys) = keys_of(&pristine) else {
+        return false;
+    };
+    let mut cold = pristine.clone();
+    let out = hlo::optimize_partial(&mut cold, None, &opts, None, &mut hlo::Tracer::disabled());
+    if out.log.globals_mutated {
+        return false;
+    }
+    let store: std::collections::HashMap<u64, hlo::ReusedPartition> = keys
+        .iter()
+        .enumerate()
+        .map(|(pi, &k)| (k, hlo::extract_partition(&cold, &out.log, pi)))
+        .collect();
+    let Some(edited_keys) = keys_of(&edited) else {
+        return false;
+    };
+    let mut store = store;
+    let plan: Vec<hlo::PartitionAction> = edited_keys
+        .iter()
+        .map(|k| match store.remove(k) {
+            Some(stored) => hlo::PartitionAction::Reuse(stored),
+            None => hlo::PartitionAction::Rebuild,
+        })
+        .collect();
+    let mut spliced = edited.clone();
+    hlo::optimize_partial(
+        &mut spliced,
+        None,
+        &opts,
+        Some(&plan),
+        &mut hlo::Tracer::disabled(),
+    );
+    let mut truth = edited;
+    hlo::optimize(&mut truth, None, &opts);
+    hlo_ir::program_to_text(&spliced) != hlo_ir::program_to_text(&truth)
 }
 
 #[cfg(test)]
@@ -520,6 +707,7 @@ mod tests {
 
     #[test]
     fn daemon_round_trip_matches_in_process() {
+        let _window = hlo_serve::fault::exclusion();
         let cfg = CampaignConfig {
             iters: 12,
             daemon_every: 2,
@@ -528,5 +716,45 @@ mod tests {
         let report = run_campaign(&cfg);
         assert!(report.daemon_checks > 0, "daemon check never ran");
         assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn incremental_edits_through_the_daemon_are_byte_identical() {
+        let _window = hlo_serve::fault::exclusion();
+        let cfg = CampaignConfig {
+            iters: 12,
+            incremental_every: 2,
+            ..quick_cfg(12)
+        };
+        let report = run_campaign(&cfg);
+        assert!(report.incremental_checks > 0, "incremental check never ran");
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn stale_partition_key_fault_is_caught_and_shrunk() {
+        let _guard = hlo_serve::fault::FaultGuard::arm();
+        let cfg = CampaignConfig {
+            iters: 60,
+            stop_after: 1,
+            incremental_every: 1,
+            ..quick_cfg(60)
+        };
+        let report = run_campaign(&cfg);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.finding.kind == FindingKind::IncrementalDivergence)
+            .unwrap_or_else(|| {
+                panic!(
+                    "stale partition keys survived {} incremental checks",
+                    report.incremental_checks
+                )
+            });
+        assert_eq!(f.finding.config, "daemon-incremental");
+        assert!(
+            matches!(&f.repro.body, ReproBody::Minc(_)),
+            "incremental findings shrink to MinC reproducers"
+        );
     }
 }

@@ -82,6 +82,10 @@ pub enum FindingKind {
     /// same program's observable behaviour (a VM bug, not an optimizer
     /// bug).
     TierDivergence,
+    /// The daemon's incremental (partition-splicing) rebuild of an edited
+    /// program was not byte-identical to a from-scratch optimize of the
+    /// same edit.
+    IncrementalDivergence,
 }
 
 impl std::fmt::Display for FindingKind {
@@ -95,6 +99,7 @@ impl std::fmt::Display for FindingKind {
             FindingKind::JobsNondeterminism => "jobs-nondeterminism",
             FindingKind::DaemonMismatch => "daemon-mismatch",
             FindingKind::TierDivergence => "tier-divergence",
+            FindingKind::IncrementalDivergence => "incremental-divergence",
         })
     }
 }

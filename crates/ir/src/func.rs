@@ -236,6 +236,17 @@ impl Function {
         }
     }
 
+    /// Invokes `f` on a mutable reference to every [`crate::FuncId`] this
+    /// body mentions (direct call targets and `FuncAddr` constants); see
+    /// [`crate::Inst::for_each_func_ref_mut`].
+    pub fn for_each_func_ref_mut(&mut self, mut f: impl FnMut(&mut crate::FuncId)) {
+        for block in &mut self.blocks {
+            for inst in &mut block.insts {
+                inst.for_each_func_ref_mut(&mut f);
+            }
+        }
+    }
+
     /// The relative frequency of block `b` (1.0 when no profile is
     /// attached — every block assumed as hot as entry).
     pub fn rel_freq(&self, b: BlockId) -> f64 {

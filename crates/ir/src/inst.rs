@@ -380,6 +380,35 @@ impl Inst {
         }
     }
 
+    /// Invokes `f` on a mutable reference to every [`FuncId`] this
+    /// instruction mentions: direct call targets (`Callee::Func`, which
+    /// [`Inst::for_each_use_mut`] does *not* visit) and `FuncAddr`
+    /// constants, both as a `Const` instruction's value and as constant
+    /// operands. Used to renumber function references when cached
+    /// optimized bodies are spliced into a program whose function table
+    /// assigns their clones different ids.
+    pub fn for_each_func_ref_mut(&mut self, mut f: impl FnMut(&mut crate::FuncId)) {
+        if let Inst::Call {
+            callee: Callee::Func(t),
+            ..
+        } = self
+        {
+            f(t);
+        }
+        if let Inst::Const {
+            value: crate::ConstVal::FuncAddr(t),
+            ..
+        } = self
+        {
+            f(t);
+        }
+        self.for_each_use_mut(|op| {
+            if let Operand::Const(crate::ConstVal::FuncAddr(t)) = op {
+                f(t);
+            }
+        });
+    }
+
     /// True for instructions that must terminate a block.
     pub fn is_terminator(&self) -> bool {
         matches!(self, Inst::Ret { .. } | Inst::Jump { .. } | Inst::Br { .. })

@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn f64_bits_roundtrip() {
-        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 3.141592653589793] {
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI] {
             assert_eq!(F64Bits::from_f64(v).to_f64(), v);
         }
     }

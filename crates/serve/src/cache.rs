@@ -21,16 +21,18 @@
 //!   precisely which functions an edit invalidated. Functions outside the
 //!   cone keep hitting.
 //!
-//! Inline and clone decisions couple functions through the shared global
-//! budget (partition shares are computed from whole-program headroom), so
-//! a partial function-store hit does **not** let the daemon splice stale
-//! per-function output — any program-cache miss re-optimizes the whole
-//! program, which is what keeps warm responses byte-identical to a cold
-//! in-process `optimize` call. The function store buys observability
-//! (cone-sized invalidation, reported per request) and a cheap early
-//! answer to "what did this edit dirty", not unsound splicing.
+//! A third layer rides on the same lock: the **partition store**, keyed
+//! by [`crate::incremental::partition_keys`]. The optimizer's hierarchical
+//! budget split makes each call-graph partition's final bodies a pure
+//! function of its members' cone keys and its budget share, so on a
+//! program-cache miss the daemon can splice stored partition bodies
+//! ([`hlo::ReusedPartition`]) byte-for-byte through
+//! [`hlo::optimize_partial`] and re-optimize only the partitions an edit
+//! invalidated. Warm responses stay byte-identical to a cold in-process
+//! `optimize` call — verified per request, with a full rebuild as the
+//! fallback when verification or eligibility fails.
 
-use hlo::{CallGraphCache, HloOptions};
+use hlo::{CallGraphCache, HloOptions, ReusedPartition};
 use hlo_ir::{program_to_text, Fnv64, Program};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -148,14 +150,32 @@ pub struct CacheOutcome {
     /// profile and the current server aggregate; `0` for requests that
     /// never consulted the profile store.
     pub drift_millis: u64,
+    /// Partitions whose stored bodies were spliced instead of rebuilt
+    /// (function-grain incremental recompilation). `0` on program hits
+    /// and full rebuilds.
+    pub partition_hits: u64,
+    /// Partitions the incremental path re-optimized. On a cold build that
+    /// populated the store this equals the partition count.
+    pub partition_rebuilds: u64,
+    /// The request was not partition-cacheable (or an incremental build
+    /// failed byte verification) and fell back to a full rebuild.
+    pub incr_fallback: bool,
 }
 
 impl CacheOutcome {
     /// The wire `cache` section body.
     pub fn to_text(&self) -> String {
         format!(
-            "hit {}\nfunc_hits {}\nfunc_misses {}\nstale {}\ndrift {}\n",
-            self.hit as u8, self.func_hits, self.func_misses, self.stale as u8, self.drift_millis
+            "hit {}\nfunc_hits {}\nfunc_misses {}\nstale {}\ndrift {}\n\
+             partition_hits {}\npartition_rebuilds {}\nincr_fallback {}\n",
+            self.hit as u8,
+            self.func_hits,
+            self.func_misses,
+            self.stale as u8,
+            self.drift_millis,
+            self.partition_hits,
+            self.partition_rebuilds,
+            self.incr_fallback as u8
         )
     }
 
@@ -180,6 +200,14 @@ impl CacheOutcome {
                 "drift" => {
                     outcome.drift_millis = val.parse().map_err(|_| "bad drift")?;
                 }
+                "partition_hits" => {
+                    outcome.partition_hits = val.parse().map_err(|_| "bad partition_hits")?;
+                }
+                "partition_rebuilds" => {
+                    outcome.partition_rebuilds =
+                        val.parse().map_err(|_| "bad partition_rebuilds")?;
+                }
+                "incr_fallback" => outcome.incr_fallback = val == "1",
                 _ => {}
             }
         }
@@ -209,6 +237,15 @@ pub struct CacheStats {
     /// Bytes of cached payload currently resident (IR text + report text
     /// over every entry) — the occupancy number behind `cache_bytes`.
     pub resident_bytes: u64,
+    /// Cumulative partition-store splices (incremental builds).
+    pub partition_hits: u64,
+    /// Cumulative partitions re-optimized by incremental builds.
+    pub partition_rebuilds: u64,
+    /// Requests that fell back to a full rebuild because they were not
+    /// partition-cacheable or an incremental build failed verification.
+    pub incr_fallbacks: u64,
+    /// Partition bodies currently resident in the partition store.
+    pub partition_entries: u64,
 }
 
 /// Bounded program cache + function store. Not internally synchronized —
@@ -224,6 +261,12 @@ pub struct ResultCache {
     /// slightly — enough for cone accounting across edits).
     func_keys: HashSet<u64>,
     func_order: VecDeque<u64>,
+    /// Partition store: finished per-partition bodies keyed by
+    /// [`crate::incremental::partition_keys`]; bounded at `64 × cap`
+    /// entries (a program is a handful of partitions, so the store keeps
+    /// several generations of edits warm).
+    parts: HashMap<u64, ReusedPartition>,
+    part_order: VecDeque<u64>,
     stats: CacheStats,
 }
 
@@ -237,6 +280,8 @@ impl ResultCache {
             order: VecDeque::new(),
             func_keys: HashSet::new(),
             func_order: VecDeque::new(),
+            parts: HashMap::new(),
+            part_order: VecDeque::new(),
             stats: CacheStats::default(),
         }
     }
@@ -309,6 +354,49 @@ impl ResultCache {
             }
         }
         self.stats.entries = self.entries.len() as u64;
+    }
+
+    /// Looks up one partition's stored bodies, touching its LRU slot.
+    /// Returns a clone — the caller hands it to [`hlo::optimize_partial`],
+    /// which consumes the bodies at splice time.
+    pub fn probe_partition(&mut self, key: u64) -> Option<ReusedPartition> {
+        let found = self.parts.get(&key).cloned();
+        if found.is_some() {
+            if let Some(i) = self.part_order.iter().position(|&k| k == key) {
+                self.part_order.remove(i);
+            }
+            self.part_order.push_back(key);
+        }
+        found
+    }
+
+    /// Stores one partition's finished bodies (from
+    /// [`hlo::extract_partition`]), evicting the coldest entries past
+    /// capacity.
+    pub fn insert_partition(&mut self, key: u64, stored: ReusedPartition) {
+        if self.parts.insert(key, stored).is_none() {
+            self.part_order.push_back(key);
+        }
+        let part_cap = self.cap.max(1) * 64;
+        while self.parts.len() > part_cap {
+            if let Some(old) = self.part_order.pop_front() {
+                self.parts.remove(&old);
+            } else {
+                break;
+            }
+        }
+        self.stats.partition_entries = self.parts.len() as u64;
+    }
+
+    /// Records one incremental build's partition outcome.
+    pub fn note_incremental(&mut self, hits: u64, rebuilds: u64) {
+        self.stats.partition_hits += hits;
+        self.stats.partition_rebuilds += rebuilds;
+    }
+
+    /// Records one request that fell back to a full rebuild.
+    pub fn note_incr_fallback(&mut self) {
+        self.stats.incr_fallbacks += 1;
     }
 
     /// Counter snapshot.
@@ -502,6 +590,9 @@ mod tests {
             func_misses: 1,
             stale: true,
             drift_millis: 512,
+            partition_hits: 3,
+            partition_rebuilds: 1,
+            incr_fallback: true,
         };
         assert_eq!(CacheOutcome::from_text(&out.to_text()).unwrap(), out);
         // Old payloads without the new lines still parse.
@@ -528,6 +619,30 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits, 0);
         assert_eq!(s.stale_hits, 1);
+    }
+
+    #[test]
+    fn partition_store_probes_touch_and_evict_lru() {
+        let mut cache = ResultCache::new(1); // partition cap = 64
+        let stored = || ReusedPartition {
+            members: Vec::new(),
+            clones: Vec::new(),
+        };
+        for i in 0..64u64 {
+            cache.insert_partition(i, stored());
+        }
+        assert_eq!(cache.stats().partition_entries, 64);
+        // Touch key 0 so it is no longer coldest, then overflow by one.
+        assert!(cache.probe_partition(0).is_some());
+        cache.insert_partition(64, stored());
+        assert_eq!(cache.stats().partition_entries, 64);
+        assert!(cache.probe_partition(0).is_some(), "touched key survives");
+        assert!(cache.probe_partition(1).is_none(), "coldest key evicted");
+        cache.note_incremental(5, 2);
+        cache.note_incr_fallback();
+        let s = cache.stats();
+        assert_eq!((s.partition_hits, s.partition_rebuilds), (5, 2));
+        assert_eq!(s.incr_fallbacks, 1);
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct ServeStats {
     pub entries: u64,
     /// Bytes of cached payload currently resident (IR + report text).
     pub cache_bytes: u64,
+    /// Partition bodies spliced by incremental builds.
+    pub partition_hits: u64,
+    /// Partitions re-optimized by incremental builds.
+    pub partition_rebuilds: u64,
+    /// Requests that fell back from incremental to a full rebuild.
+    pub incr_fallbacks: u64,
+    /// Partition bodies currently resident in the partition store.
+    pub partition_entries: u64,
     /// Profile deltas accepted via `profile-push`.
     pub pgo_pushes: u64,
     /// Drift-triggered re-optimizations of cached server-mode results.
@@ -122,6 +130,10 @@ impl ServeStats {
                 "func_misses" => st.func_misses = num(&mut parts, line)?,
                 "entries" => st.entries = num(&mut parts, line)?,
                 "cache_bytes" => st.cache_bytes = num(&mut parts, line)?,
+                "partition_hits" => st.partition_hits = num(&mut parts, line)?,
+                "partition_rebuilds" => st.partition_rebuilds = num(&mut parts, line)?,
+                "incr_fallbacks" => st.incr_fallbacks = num(&mut parts, line)?,
+                "partition_entries" => st.partition_entries = num(&mut parts, line)?,
                 "pgo_pushes" => st.pgo_pushes = num(&mut parts, line)?,
                 "reoptimizations" => st.reoptimizations = num(&mut parts, line)?,
                 "pgo_programs" => st.pgo_programs = num(&mut parts, line)?,
@@ -329,7 +341,8 @@ mod tests {
         let text = "uptime_ms 1234\nrequests 10\nbusy 1\nerrors 2\ndeadline_missed 0\n\
                     hits 6\nmisses 4\nevictions 0\nfunc_hits 40\nfunc_misses 9\nentries 4\n\
                     cache_bytes 2048\npgo_pushes 3\nreoptimizations 1\nstale_hits 1\n\
-                    pgo_programs 2\npgo_bytes 128\n\
+                    partition_hits 5\npartition_rebuilds 2\nincr_fallbacks 1\n\
+                    partition_entries 12\npgo_programs 2\npgo_bytes 128\n\
                     stage inline 500 1200\nstage clone 80 90\n\
                     latency queue_wait 10 90\nlatency optimize 4 44000\nfuture_counter 7\n";
         let st = ServeStats::from_text(text).unwrap();
@@ -343,6 +356,10 @@ mod tests {
         assert_eq!(st.stale_hits, 1);
         assert_eq!(st.pgo_programs, 2);
         assert_eq!(st.pgo_bytes, 128);
+        assert_eq!(st.partition_hits, 5);
+        assert_eq!(st.partition_rebuilds, 2);
+        assert_eq!(st.incr_fallbacks, 1);
+        assert_eq!(st.partition_entries, 12);
         assert_eq!(
             st.stages,
             vec![

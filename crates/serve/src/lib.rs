@@ -11,11 +11,19 @@
 //!   are pure lookups; per-function *cone keys* (function hash + option
 //!   fingerprint + inline-reachable callee hashes via
 //!   [`hlo::CallGraphCache`]) make invalidation exactly as big as the
-//!   dependence cone of an edit.
+//!   dependence cone of an edit, and a partition store keeps finished
+//!   per-partition bodies for function-grain reuse.
+//! * [`incremental`] — function-grain incremental recompilation: on a
+//!   whole-program miss, probe the partition store per call-graph
+//!   partition and re-optimize only the partitions an edit touched,
+//!   splicing every other partition's bodies byte-for-byte through
+//!   [`hlo::optimize_partial`].
 //! * [`server`] — the daemon: a bounded-queue session scheduler over a
 //!   fixed worker pool, per-request deadlines, `Busy` backpressure and
 //!   graceful drain-on-shutdown.
 //! * [`client`] — the blocking client `hloc serve` / `hloc remote` use.
+//! * [`fault`] — the planted stale-cone-key fault `cargo fuzzgate` uses
+//!   to prove the incremental edit oracle can catch stale reuse.
 //!
 //! A request carries MinC sources or IR text plus [`HloOptions`]; the
 //! response carries optimized IR text, the [`HloReport`] and the cache
@@ -25,6 +33,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
+pub mod incremental;
 pub mod server;
 pub mod wire;
 
@@ -479,6 +489,9 @@ mod tests {
                 func_misses: 2,
                 stale: false,
                 drift_millis: 40,
+                partition_hits: 2,
+                partition_rebuilds: 1,
+                incr_fallback: false,
             },
             train: Some("ret 3 retired 42 output 1 checksum 0x9".to_string()),
             pgo: Some("pgo-profile-stable score 40 (l1 40 churn 0 threshold 250)".to_string()),

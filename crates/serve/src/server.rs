@@ -8,17 +8,24 @@
 //! worker picks it up, so a queue stuffed by a slow burst sheds expired
 //! work instead of optimizing it late. Workers run the ordinary
 //! [`hlo::optimize`] pipeline, whose per-function stages fan out over the
-//! `hlo::par` pool at the request's `jobs` setting.
+//! `hlo::par` pool at the request's `jobs` setting — or, on a warm miss
+//! with incremental recompilation enabled, [`hlo::optimize_partial`] with
+//! a plan that splices cached partition bodies (see [`crate::incremental`]).
 //!
 //! Shutdown is graceful: draining stops the accept loop and makes new
 //! optimize requests fail fast, but everything already queued or running
 //! is finished and its response written before [`Server::wait`] returns.
 
-use crate::cache::{request_key, CachedResult, ResultCache};
+use crate::cache::{request_key, CacheOutcome, CachedResult, RequestKey, ResultCache};
+use crate::incremental;
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
 use crate::{OptimizeRequest, ProfilePushOutcome, ProfilePushRequest, ProfileSpec, SourceKind};
 use hlo::par::effective_jobs;
-use hlo::{CallGraphCache, MetricsRegistry, DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US};
+use hlo::{
+    CallGraphCache, HloOptions, MetricsRegistry, PartitionAction, DRIFT_BUCKETS_MILLIS,
+    LATENCY_BUCKETS_US,
+};
+use hlo_ir::Program;
 use hlo_pgo::ProfileStore;
 use hlo_profile::ProfileDb;
 use std::io::Write as _;
@@ -55,6 +62,11 @@ pub struct ServeConfig {
     /// and persisted (write-temp-then-rename) after every mutation, so
     /// aggregates survive restarts.
     pub pgo_store_path: Option<PathBuf>,
+    /// Function-grain incremental recompilation: on a program-cache miss,
+    /// splice cached partition bodies and re-optimize only invalidated
+    /// partitions. `false` makes every miss a full rebuild
+    /// (`hlod --no-incremental`).
+    pub incremental: bool,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +81,7 @@ impl Default for ServeConfig {
             pgo_hot_set: hlo_pgo::DEFAULT_HOT_SET,
             pgo_cap: hlo_pgo::store::DEFAULT_CAP,
             pgo_store_path: None,
+            incremental: true,
         }
     }
 }
@@ -518,7 +531,16 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
         Some(c) => (c.ir_text, c.report_text),
         None => {
             let opt_t = Instant::now();
-            let report = hlo::optimize(&mut program, profile.as_ref(), &req.options);
+            let report = optimize_miss(
+                shared,
+                &mut program,
+                profile.as_ref(),
+                &req.options,
+                &key,
+                hlo_ir::fnv1a_64(profile_text.as_bytes()),
+                &mut cg,
+                &mut outcome,
+            );
             shared.metrics.observe(
                 &phase_metric("optimize"),
                 LATENCY_BUCKETS_US,
@@ -552,6 +574,104 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
         s.push("train", t);
     }
     Frame::new(Kind::Result, &s)
+}
+
+/// Optimizes a program the cache could not serve whole. With incremental
+/// recompilation enabled (daemon *and* request), probe the partition
+/// store per call-graph partition and hand [`hlo::optimize_partial`] a
+/// plan that splices every hit byte-for-byte; only invalidated partitions
+/// run the pipeline. The finished partitions (spliced and rebuilt alike)
+/// re-populate the store, so the next edit's unchanged partitions keep
+/// hitting. Any refusal — the request is not partition-cacheable, or the
+/// spliced result fails IR verification — falls back to a plain full
+/// [`hlo::optimize`] and is counted (`incr_fallback`).
+#[allow(clippy::too_many_arguments)] // the request's full dequeue context
+fn optimize_miss(
+    shared: &Arc<Shared>,
+    program: &mut Program,
+    profile: Option<&ProfileDb>,
+    opts: &HloOptions,
+    key: &RequestKey,
+    profile_salt: u64,
+    cg: &mut CallGraphCache,
+    outcome: &mut CacheOutcome,
+) -> hlo::HloReport {
+    if shared.cfg.incremental {
+        match incremental::eligible_partitions(program, opts, cg) {
+            Ok(partitions) => {
+                let pkeys =
+                    incremental::partition_keys(program, &partitions, &key.funcs, profile_salt);
+                let plan: Vec<PartitionAction> = {
+                    let mut cache = shared.cache.lock().unwrap();
+                    pkeys
+                        .iter()
+                        .map(|&k| match cache.probe_partition(k) {
+                            Some(stored) => PartitionAction::Reuse(stored),
+                            None => PartitionAction::Rebuild,
+                        })
+                        .collect()
+                };
+                let hits = plan
+                    .iter()
+                    .filter(|a| matches!(a, PartitionAction::Reuse(_)))
+                    .count() as u64;
+                let rebuilds = pkeys.len() as u64 - hits;
+                // Splicing stored bodies is the only step that can go
+                // wrong at request time; keep the input around so a
+                // verification failure can rebuild from scratch. A plan
+                // with no hits *is* a from-scratch build — nothing to
+                // verify or restore.
+                let backup = (hits > 0).then(|| program.clone());
+                let out = hlo::optimize_partial(
+                    program,
+                    profile,
+                    opts,
+                    Some(&plan),
+                    &mut hlo::Tracer::disabled(),
+                );
+                if hits == 0 || hlo_ir::verify_program(program).is_ok() {
+                    outcome.partition_hits = hits;
+                    outcome.partition_rebuilds = rebuilds;
+                    {
+                        let mut cache = shared.cache.lock().unwrap();
+                        cache.note_incremental(hits, rebuilds);
+                        // A build that renamed globals mutated state
+                        // outside its partitions' bodies — its outputs
+                        // are not pure functions of their partitions, so
+                        // they must not seed future splices.
+                        if !out.log.globals_mutated {
+                            for (pi, &k) in pkeys.iter().enumerate() {
+                                cache.insert_partition(
+                                    k,
+                                    hlo::extract_partition(program, &out.log, pi),
+                                );
+                            }
+                        }
+                    }
+                    shared.metrics.add("incr_partition_hits_total", hits);
+                    shared
+                        .metrics
+                        .add("incr_partition_rebuilds_total", rebuilds);
+                    return out.report;
+                }
+                *program = backup.expect("hits > 0 implies a backup was taken");
+                outcome.incr_fallback = true;
+                shared.cache.lock().unwrap().note_incr_fallback();
+                shared.metrics.inc("incr_fallback_total");
+            }
+            Err(_reason) => {
+                // Only count a fallback when the request *wanted*
+                // incremental — `--no-incremental` requests asked for a
+                // full rebuild, that is not a fallback.
+                if opts.incremental {
+                    outcome.incr_fallback = true;
+                    shared.cache.lock().unwrap().note_incr_fallback();
+                    shared.metrics.inc("incr_fallback_total");
+                }
+            }
+        }
+    }
+    hlo::optimize(program, profile, opts)
 }
 
 /// The fixed profile component of a `profile: server` cache key. The
@@ -724,6 +844,10 @@ fn stats_frame(shared: &Arc<Shared>) -> Frame {
     let _ = writeln!(text, "func_misses {}", cache.func_misses);
     let _ = writeln!(text, "entries {}", cache.entries);
     let _ = writeln!(text, "cache_bytes {}", cache.resident_bytes);
+    let _ = writeln!(text, "partition_hits {}", cache.partition_hits);
+    let _ = writeln!(text, "partition_rebuilds {}", cache.partition_rebuilds);
+    let _ = writeln!(text, "incr_fallbacks {}", cache.incr_fallbacks);
+    let _ = writeln!(text, "partition_entries {}", cache.partition_entries);
     let _ = writeln!(text, "pgo_pushes {}", c.pgo_pushes);
     let _ = writeln!(text, "reoptimizations {}", c.reoptimizations);
     let pgo = shared.pgo.lock().unwrap().stats();
@@ -756,6 +880,9 @@ fn metrics_frame(shared: &Arc<Shared>) -> Frame {
     shared
         .metrics
         .set_gauge("cache_evictions", cache.evictions as i64);
+    shared
+        .metrics
+        .set_gauge("partition_entries", cache.partition_entries as i64);
     let pgo = shared.pgo.lock().unwrap().stats();
     shared
         .metrics

@@ -1,6 +1,6 @@
 //! `cargo fuzzgate` — the CI fuzzing gate.
 //!
-//! Two phases, both with fixed seeds so the gate is deterministic:
+//! Four phases, all with fixed seeds so the gate is deterministic:
 //!
 //! 1. **Clean sweep** — ≥500 generated cases through the full oracle
 //!    matrix. Any finding fails the gate: the optimizer must not
@@ -15,6 +15,12 @@
 //!    deliberately claims purity, so the summary-driven pure-call stage
 //!    deletes observable calls. The oracle must catch that too — proof it
 //!    can see a wrong purity summary, not just a wrong splice.
+//! 4. **Incremental sensitivity** — the planted stale-partition-key fault
+//!    armed (`serve::fault`): the daemon's partition keys drop their
+//!    cone-hash component, so an edited function collides with its stale
+//!    cached body and the spliced rebuild serves old code. The campaign's
+//!    incremental edit oracle must catch the divergence and shrink it —
+//!    proof the byte-identity oracle can see stale partition reuse.
 //!
 //! Phases 2 and 3 each run twice: once with profile synthesis on the
 //! tree tier and once on the bytecode tier, so a planted fault must be
@@ -25,7 +31,7 @@
 //! walker alone used to, so the default sweep is deeper at the same
 //! wall-clock budget).
 
-use aggressive_inlining::{fuzz, hlo, ipa, vm};
+use aggressive_inlining::{fuzz, hlo, ipa, serve, vm};
 use std::process::ExitCode;
 
 /// Phase-2 reproducers must shrink to at most this many source lines.
@@ -130,7 +136,11 @@ fn main() -> ExitCode {
                 ..Default::default()
             })
         };
-        if !sensitivity_ok(&format!("phase 2 (inliner fault, {label})"), &faulty) {
+        if !sensitivity_ok(
+            &format!("phase 2 (inliner fault, {label})"),
+            &faulty,
+            fuzz::FindingKind::BehaviorDivergence,
+        ) {
             return ExitCode::from(1);
         }
 
@@ -148,20 +158,45 @@ fn main() -> ExitCode {
                 ..Default::default()
             })
         };
-        if !sensitivity_ok(&format!("phase 3 (summary fault, {label})"), &faulty) {
+        if !sensitivity_ok(
+            &format!("phase 3 (summary fault, {label})"),
+            &faulty,
+            fuzz::FindingKind::BehaviorDivergence,
+        ) {
             return ExitCode::from(1);
         }
+    }
+
+    // Phase 4: with the stale-partition-key fault armed, the incremental
+    // edit oracle must see the daemon splice a stale body. The plain
+    // daemon check stays off (daemon_every: 0) — its PGO legs would trip
+    // on the same fault first and report a less precise kind.
+    let faulty = {
+        let _guard = serve::fault::FaultGuard::arm();
+        fuzz::run_campaign(&fuzz::CampaignConfig {
+            seed: 0x5eed_0004,
+            iters: 200,
+            stop_after: 1,
+            incremental_every: 2,
+            oracle: fuzz::OracleConfig::quick(),
+            quiet: true,
+            ..Default::default()
+        })
+    };
+    if !sensitivity_ok(
+        "phase 4 (stale partition-key fault)",
+        &faulty,
+        fuzz::FindingKind::IncrementalDivergence,
+    ) {
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }
 
 /// Checks one sensitivity phase: the campaign must have caught at least
-/// one behavior divergence and shrunk it to a small reproducer.
-fn sensitivity_ok(phase: &str, faulty: &fuzz::CampaignReport) -> bool {
-    let caught = faulty
-        .findings
-        .iter()
-        .find(|f| f.finding.kind == fuzz::FindingKind::BehaviorDivergence);
+/// one finding of the expected kind and shrunk it to a small reproducer.
+fn sensitivity_ok(phase: &str, faulty: &fuzz::CampaignReport, want: fuzz::FindingKind) -> bool {
+    let caught = faulty.findings.iter().find(|f| f.finding.kind == want);
     match caught {
         None => {
             eprintln!(

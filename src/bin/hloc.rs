@@ -110,6 +110,8 @@ BUILD OPTIONS:
   --no-inline              disable the inlining passes
   --no-clone               disable the cloning passes
   --no-ipa                 disable the interprocedural-summary stage
+  --no-incremental         ask a daemon for a full rebuild instead of
+                           function-grain incremental recompilation
   --outline                enable aggressive outlining (paper's future work)
   --train N                profile-guided: training run with scale argument N
   --arg N                  argument passed to main for --run/--sim (default 0)
@@ -192,6 +194,7 @@ fn parse_build_args(rest: &[String]) -> Result<Parsed, String> {
             "--no-inline" => p.opts.enable_inline = false,
             "--no-clone" => p.opts.enable_clone = false,
             "--no-ipa" => p.opts.ipa = false,
+            "--no-incremental" => p.opts.incremental = false,
             "--outline" => p.opts.enable_outline = true,
             "--verify-each" => p.opts.check = hlo::CheckLevel::Strict,
             "--check" => p.opts.check = value("--check")?.parse()?,
@@ -614,6 +617,12 @@ fn remote_cmd(rest: &[String]) -> Result<(), String> {
             println!("func cone new   {}", st.func_misses);
             println!("cached programs {}", st.entries);
             println!("cached bytes    {}", st.cache_bytes);
+            println!(
+                "partitions      {} spliced, {} rebuilt",
+                st.partition_hits, st.partition_rebuilds
+            );
+            println!("incr fallbacks  {}", st.incr_fallbacks);
+            println!("partition store {}", st.partition_entries);
             println!("busy rejections {}", st.busy);
             println!("deadline missed {}", st.deadline_missed);
             println!("request errors  {}", st.errors);
@@ -685,6 +694,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
             "--no-inline" => opts.enable_inline = false,
             "--no-clone" => opts.enable_clone = false,
             "--no-ipa" => opts.ipa = false,
+            "--no-incremental" => opts.incremental = false,
             "--outline" => opts.enable_outline = true,
             "--profile" => profile_path = Some(value("--profile")?),
             "--server-profile" => server_profile = true,
@@ -733,7 +743,7 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
         eprintln!("train: {train}");
     }
     eprintln!(
-        "cache: {} (cone keys: {} known, {} new)",
+        "cache: {} (cone keys: {} known, {} new{})",
         if resp.outcome.stale {
             "stale, re-optimized"
         } else if resp.outcome.hit {
@@ -742,7 +752,17 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
             "miss"
         },
         resp.outcome.func_hits,
-        resp.outcome.func_misses
+        resp.outcome.func_misses,
+        if resp.outcome.partition_hits > 0 || resp.outcome.partition_rebuilds > 0 {
+            format!(
+                "; partitions: {} spliced, {} rebuilt",
+                resp.outcome.partition_hits, resp.outcome.partition_rebuilds
+            )
+        } else if resp.outcome.incr_fallback {
+            "; incremental fallback".to_string()
+        } else {
+            String::new()
+        }
     );
     if let Some(p) = &resp.pgo {
         eprintln!("pgo: {p}");

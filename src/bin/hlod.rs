@@ -4,6 +4,7 @@
 //! hlod [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!      [--max-payload BYTES] [--deadline-ms N]
 //!      [--pgo-threshold MILLIS] [--pgo-cap N] [--pgo-store PATH]
+//!      [--no-incremental]
 //! hlod --version
 //! ```
 //!
@@ -89,6 +90,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--pgo-store" => {
                 cfg.pgo_store_path = Some(std::path::PathBuf::from(value("--pgo-store")?))
             }
+            "--no-incremental" => cfg.incremental = false,
             other => return Err(format!("unknown option `{other}`; try `hlod --help`")),
         }
     }
@@ -120,6 +122,8 @@ OPTIONS:
   --pgo-cap N          profile aggregates kept, LRU past this (default: 64)
   --pgo-store PATH     persist the profile store to PATH (crash-safe
                        write+rename; reloaded on startup)
+  --no-incremental     rebuild whole programs on every cache miss instead
+                       of splicing cached per-partition results
   --version            print version and enabled features
 
 Stop it with `hloc remote <addr> shutdown`; queued work is drained first."

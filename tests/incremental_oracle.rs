@@ -1,0 +1,278 @@
+//! The byte-identity edit oracle for function-grain incremental
+//! recompilation.
+//!
+//! A daemon that splices cached partition bodies must be *invisible*: its
+//! output for an edited program must be byte-identical to a from-scratch
+//! `hlo::optimize` of the same input, at every job count — and it must
+//! have rebuilt exactly the partitions the edit's dependence cone
+//! touched, splicing the rest. These tests sweep the three edit shapes a
+//! build service actually sees (body tweak, signature-preserving rewrite,
+//! callee addition) over a hand-built multi-module program, then sweep
+//! single-constant edits over the SPEC-style suite and fuzz-generated
+//! programs.
+
+use hlo::{HloOptions, Scope};
+use hlo_ir::{program_to_text, ConstVal, Inst, Program};
+use hlo_serve::{Client, OptimizeRequest, ProfileSpec, ServeConfig, Server, SourceKind};
+
+/// Three modules with no cross-module calls: three cache partitions under
+/// module scope, so partial reuse is observable. Each module has enough
+/// meat (a loop over a static leaf) for inlining to fire.
+const BASE: &[(&str, &str)] = &[
+    (
+        "a",
+        "static fn a_leaf(x) { return x * 2 + 1; }
+         static fn a_mid(x) { var s = 0;
+             for (var i = 0; i < 8; i = i + 1) { s = s + a_leaf(x + i); }
+             return s; }
+         fn a_entry(n) { return a_mid(n) + a_leaf(n); }",
+    ),
+    (
+        "b",
+        "static fn b_leaf(x) { return x + 7; }
+         static fn b_mid(x) { var s = 1;
+             for (var i = 0; i < 6; i = i + 1) { s = s + b_leaf(x * i); }
+             return s; }
+         fn b_entry(n) { return b_mid(n) * b_leaf(n); }",
+    ),
+    (
+        "c",
+        "static fn c_leaf(x) { return x * x; }
+         static fn c_mid(x) { var s = 0;
+             for (var i = 0; i < 5; i = i + 1) { s = s + c_leaf(x + i); }
+             return s; }
+         fn c_entry(n) { return c_mid(n) - c_leaf(n); }",
+    ),
+];
+
+/// `BASE` with a body tweak in the middle module: one constant changed in
+/// `b_leaf`.
+fn body_tweak() -> Vec<(&'static str, &'static str)> {
+    let mut srcs = BASE.to_vec();
+    srcs[1] = (
+        "b",
+        "static fn b_leaf(x) { return x + 9; }
+         static fn b_mid(x) { var s = 1;
+             for (var i = 0; i < 6; i = i + 1) { s = s + b_leaf(x * i); }
+             return s; }
+         fn b_entry(n) { return b_mid(n) * b_leaf(n); }",
+    );
+    srcs
+}
+
+/// `BASE` with a signature-preserving rewrite of `b_mid`: same name,
+/// params and callees, restructured body.
+fn signature_preserving_rewrite() -> Vec<(&'static str, &'static str)> {
+    let mut srcs = BASE.to_vec();
+    srcs[1] = (
+        "b",
+        "static fn b_leaf(x) { return x + 7; }
+         static fn b_mid(x) { var s = 1;
+             var i = 0;
+             while (i < 6) { s = s + b_leaf(x * i); i = i + 1; }
+             return s; }
+         fn b_entry(n) { return b_mid(n) * b_leaf(n); }",
+    );
+    srcs
+}
+
+/// `BASE` with a callee added to the *last* module. Appending to the last
+/// module keeps every earlier function's id stable, so only module c's
+/// partition may rebuild; an insertion anywhere else would renumber later
+/// functions and (correctly, but less interestingly) miss their
+/// partitions too.
+fn callee_addition() -> Vec<(&'static str, &'static str)> {
+    let mut srcs = BASE.to_vec();
+    srcs[2] = (
+        "c",
+        "static fn c_leaf(x) { return x * x; }
+         static fn c_mid(x) { var s = 0;
+             for (var i = 0; i < 5; i = i + 1) { s = s + c_leaf(x + i); }
+             return s; }
+         fn c_entry(n) { return c_mid(n) - c_leaf(n) + c_extra(n); }
+         static fn c_extra(x) { return x * 3 - 1; }",
+    );
+    srcs
+}
+
+fn module_opts(jobs: usize) -> HloOptions {
+    HloOptions {
+        scope: Scope::WithinModule,
+        jobs,
+        ..HloOptions::default()
+    }
+}
+
+fn minc_request(srcs: &[(&str, &str)], opts: &HloOptions) -> OptimizeRequest {
+    OptimizeRequest {
+        options: opts.clone(),
+        source: SourceKind::Minc(
+            srcs.iter()
+                .map(|(n, s)| (n.to_string(), s.to_string()))
+                .collect(),
+        ),
+        profile: ProfileSpec::None,
+        deadline_ms: None,
+        train_arg: None,
+    }
+}
+
+/// From-scratch ground truth: compile and optimize in-process.
+fn truth(srcs: &[(&str, &str)], opts: &HloOptions) -> String {
+    let mut p = hlo_frontc::compile(srcs).unwrap();
+    hlo::optimize(&mut p, None, opts);
+    program_to_text(&p)
+}
+
+#[test]
+fn single_function_edits_rebuild_exactly_the_edited_partition() {
+    // A separate daemon per job count: `jobs` is deliberately excluded
+    // from the cache fingerprint, so one daemon would serve the second
+    // sweep entirely from its program cache.
+    for jobs in [1usize, 4] {
+        let opts = module_opts(jobs);
+        let server = Server::spawn("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let cold = client.optimize(&minc_request(BASE, &opts)).unwrap();
+        assert!(!cold.outcome.hit);
+        assert!(!cold.outcome.incr_fallback, "base program must be eligible");
+        assert_eq!(cold.outcome.partition_hits, 0, "cold store has no bodies");
+        let total = cold.outcome.partition_rebuilds;
+        assert!(
+            total >= 3,
+            "three independent modules, got {total} partitions"
+        );
+        assert_eq!(
+            cold.ir_text,
+            truth(BASE, &opts),
+            "cold output (jobs={jobs})"
+        );
+
+        for (name, edited) in [
+            ("body tweak", body_tweak()),
+            (
+                "signature-preserving rewrite",
+                signature_preserving_rewrite(),
+            ),
+            ("callee addition", callee_addition()),
+        ] {
+            let warm = client.optimize(&minc_request(&edited, &opts)).unwrap();
+            assert!(!warm.outcome.hit, "{name}: edited program is a new key");
+            assert!(!warm.outcome.incr_fallback, "{name}: must not fall back");
+            assert_eq!(
+                warm.ir_text,
+                truth(&edited, &opts),
+                "{name} (jobs={jobs}): incremental output must be \
+                 byte-identical to from-scratch"
+            );
+            assert_eq!(
+                warm.outcome.partition_rebuilds, 1,
+                "{name}: exactly the edited cone's partition rebuilds"
+            );
+            assert_eq!(
+                warm.outcome.partition_hits,
+                total - 1,
+                "{name}: every untouched partition splices"
+            );
+        }
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.partition_rebuilds, total + 3);
+        assert_eq!(stats.partition_hits, 3 * (total - 1));
+        assert_eq!(stats.incr_fallbacks, 0);
+        assert!(stats.partition_entries >= total);
+        client.shutdown().unwrap();
+        server.wait();
+    }
+}
+
+/// Bumps the first integer constant in the program (immediate operand or
+/// `Const` instruction) — the generic single-function "edit" for programs
+/// we did not hand-write.
+fn bump_first_const(p: &Program) -> Option<Program> {
+    let mut q = p.clone();
+    for f in &mut q.funcs {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                if let Inst::Const {
+                    value: ConstVal::I64(v),
+                    ..
+                } = inst
+                {
+                    *v = v.wrapping_add(1);
+                    return Some(q);
+                }
+                let mut bumped = false;
+                inst.for_each_use_mut(|op| {
+                    if bumped {
+                        return;
+                    }
+                    if let hlo_ir::Operand::Const(ConstVal::I64(v)) = op {
+                        *v = v.wrapping_add(1);
+                        bumped = true;
+                    }
+                });
+                if bumped {
+                    return Some(q);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn edit_sweep_over_suite_and_fuzz_programs_is_byte_identical() {
+    let opts = HloOptions::default();
+    let server = Server::spawn("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut programs: Vec<(String, Program)> = hlo_suite::all_benchmarks()
+        .into_iter()
+        .take(4)
+        .map(|b| (b.name.to_string(), hlo_frontc::compile(&b.sources).unwrap()))
+        .collect();
+    for seed in 0..8u64 {
+        let sources = hlo_fuzz::generate_sources(seed, &hlo_fuzz::GenConfig::default());
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_str()))
+            .collect();
+        programs.push((format!("fuzz-{seed}"), hlo_frontc::compile(&refs).unwrap()));
+    }
+
+    let mut edits = 0;
+    for (name, program) in programs {
+        let request = |p: &Program| OptimizeRequest {
+            options: opts.clone(),
+            source: SourceKind::Ir(program_to_text(p)),
+            profile: ProfileSpec::None,
+            deadline_ms: None,
+            train_arg: None,
+        };
+        let expect = |p: &Program| {
+            let mut q = p.clone();
+            hlo::optimize(&mut q, None, &opts);
+            program_to_text(&q)
+        };
+        let cold = client.optimize(&request(&program)).unwrap();
+        assert_eq!(cold.ir_text, expect(&program), "{name}: cold");
+        let Some(edited) = bump_first_const(&program) else {
+            continue;
+        };
+        edits += 1;
+        let warm = client.optimize(&request(&edited)).unwrap();
+        assert!(!warm.outcome.hit, "{name}: the edit must miss");
+        assert_eq!(
+            warm.ir_text,
+            expect(&edited),
+            "{name}: incremental rebuild after a one-constant edit must be \
+             byte-identical to from-scratch"
+        );
+    }
+    assert!(edits >= 8, "the sweep must actually edit programs");
+
+    client.shutdown().unwrap();
+    server.wait();
+}
