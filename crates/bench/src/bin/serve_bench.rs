@@ -25,7 +25,8 @@
 use hlo::HloOptions;
 use hlo_profile::collect_profile;
 use hlo_serve::{
-    Client, OptimizeRequest, ProfilePushRequest, ProfileSpec, ServeConfig, Server, SourceKind,
+    mint_trace_id, Client, OptimizeRequest, ProfilePushRequest, ProfileSpec, ServeConfig, Server,
+    SourceKind,
 };
 use hlo_vm::ExecOptions;
 use std::fmt::Write as _;
@@ -83,6 +84,7 @@ fn main() -> ExitCode {
             profile: ProfileSpec::Text(profile_text),
             train_arg: None,
             deadline_ms: None,
+            trace_id: None,
         };
         let t = Instant::now();
         let cold = client.optimize(&req).expect("cold request");
@@ -138,6 +140,10 @@ fn main() -> ExitCode {
         if restart_warm { "yes" } else { "NO" }
     );
     ok &= restart_warm;
+
+    let observable = observability_probe();
+    println!("observability: {}", if observable { "yes" } else { "NO" });
+    ok &= observable;
 
     let (edits_ok, edit_rows) = warm_edit_probe();
     ok &= edits_ok;
@@ -233,6 +239,73 @@ fn restart_warmth_probe() -> bool {
     stats_identical && build_warm
 }
 
+/// Observability probe: a traced request through a daemon whose slow
+/// threshold is planted at 0 ms, so every request is "slow" and must
+/// auto-dump the flight recorder. Gates: the daemon echoes the trace id,
+/// the fetched trace's phases sum exactly to its reported wall time, the
+/// flight dump names the request, and the daemon's event log saw the
+/// planted slow request. The fetched Chrome JSON is written to
+/// `BENCH_serve_trace.json` for CI to validate with `tier2 trace-schema`.
+fn observability_probe() -> bool {
+    let b = &hlo_suite::all_benchmarks()[0];
+    let dir = std::env::temp_dir().join(format!("hlo-servebench-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create probe dir");
+    let log_path = dir.join("events.log");
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            slow_ms: Some(0),
+            event_log_path: Some(log_path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn observed daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let id = mint_trace_id();
+    let mut req = OptimizeRequest::from_minc(
+        b.sources
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .collect(),
+    );
+    req.trace_id = Some(id.clone());
+    let resp = client.optimize(&req).expect("traced request");
+    let echoed = resp.trace_id.as_deref() == Some(id.as_str());
+
+    let trace = client.trace_fetch(&id).expect("trace fetch");
+    let phase_sum: u64 = trace.phases.iter().map(|(_, us)| us).sum();
+    let phases_add_up = phase_sum == trace.wall_us && trace.wall_us > 0;
+    let spans_named = trace.spans.contains(&format!("request:{id}"));
+    if let Err(e) = std::fs::write("BENCH_serve_trace.json", &trace.chrome) {
+        eprintln!("serve_bench: cannot write BENCH_serve_trace.json: {e}");
+        return false;
+    }
+    println!("wrote BENCH_serve_trace.json");
+
+    let (dump, admitted) = client.flight_dump().expect("flight dump");
+    let flight_named = admitted > 0 && dump.contains(&format!("id={id}"));
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+    let log = std::fs::read_to_string(&log_path).unwrap_or_default();
+    let slow_logged = log.contains("request.slow") && log.contains("flight.dump");
+    std::fs::remove_dir_all(&dir).ok();
+
+    for (what, got) in [
+        ("trace id echoed", echoed),
+        ("trace phases sum to wall time", phases_add_up),
+        ("span tree names the request", spans_named),
+        ("flight dump names the request", flight_named),
+        ("planted slow request reached the event log", slow_logged),
+    ] {
+        if !got {
+            eprintln!("serve_bench: observability gate failed: {what}");
+        }
+    }
+    echoed && phases_add_up && spans_named && flight_named && slow_logged
+}
+
 /// One `--jobs` leg of the edit-one-function scenario.
 struct EditRow {
     jobs: usize,
@@ -305,6 +378,7 @@ fn warm_edit_probe() -> (bool, Vec<EditRow>) {
             profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
+            trace_id: None,
         };
         let server = Server::spawn("127.0.0.1:0", ServeConfig::default()).expect("spawn daemon");
         let mut client = Client::connect(server.local_addr()).expect("connect");

@@ -391,11 +391,20 @@ fn record(
 /// Lazily-spawned daemon used for serve-cache cross-checks.
 struct DaemonCheck {
     server: Option<hlo_serve::Server>,
+    /// Checks run so far; every [`TRACE_EVERY`]th check propagates a
+    /// request trace id and cross-checks the daemon's stored trace.
+    checks: u64,
 }
+
+/// Every Nth daemon check runs with distributed tracing on.
+const TRACE_EVERY: u64 = 2;
 
 impl DaemonCheck {
     fn new() -> Self {
-        DaemonCheck { server: None }
+        DaemonCheck {
+            server: None,
+            checks: 0,
+        }
     }
 
     /// Cold + warm round-trip of `sources`, then a continuous-PGO sweep
@@ -419,13 +428,24 @@ impl DaemonCheck {
 
         let mut client = hlo_serve::Client::connect(server.local_addr())
             .map_err(|e| format!("daemon connect failed: {e}"))?;
-        let req = hlo_serve::OptimizeRequest::from_minc(sources.to_vec());
+        self.checks += 1;
+        let traced = self.checks.is_multiple_of(TRACE_EVERY);
+        let mut req = hlo_serve::OptimizeRequest::from_minc(sources.to_vec());
+        if traced {
+            // Deterministic per-check id: the campaign stays replayable.
+            req.trace_id = Some(format!("{:016x}", self.checks));
+        }
         let cold = client
             .optimize(&req)
             .map_err(|e| format!("daemon request failed: {e}"))?;
         if cold.ir_text != expect {
             return Err("cold daemon response differs from in-process optimize".to_string());
         }
+        if traced {
+            self.check_trace(&mut client, &req, &cold)?;
+        }
+        // The warm leg must not collide with the traced cold leg's id.
+        req.trace_id = None;
         let warm = client
             .optimize(&req)
             .map_err(|e| format!("warm daemon request failed: {e}"))?;
@@ -503,6 +523,47 @@ impl DaemonCheck {
         Ok(())
     }
 
+    /// Cross-checks the daemon's stored trace for a traced request: the
+    /// daemon must echo the id, the fetched span tree must parse (name
+    /// the request and every phase, phases summing to the reported wall
+    /// time), and the trace's recorded cache outcome must be the same
+    /// text the optimize reply carried.
+    fn check_trace(
+        &self,
+        client: &mut hlo_serve::Client,
+        req: &hlo_serve::OptimizeRequest,
+        resp: &hlo_serve::OptimizeResponse,
+    ) -> Result<(), String> {
+        let id = req.trace_id.as_deref().expect("caller set a trace id");
+        if resp.trace_id.as_deref() != Some(id) {
+            return Err(format!(
+                "daemon echoed trace id {:?}, request carried {id:?}",
+                resp.trace_id
+            ));
+        }
+        let trace = client
+            .trace_fetch(id)
+            .map_err(|e| format!("trace fetch for {id} failed: {e}"))?;
+        if !trace.spans.contains(&format!("request:{id}")) {
+            return Err(format!("span tree does not name request:{id}"));
+        }
+        let sum: u64 = trace.phases.iter().map(|(_, us)| us).sum();
+        if sum != trace.wall_us {
+            return Err(format!(
+                "trace phases sum to {sum} us but wall is {} us",
+                trace.wall_us
+            ));
+        }
+        if trace.cache != resp.outcome.to_text() {
+            return Err(format!(
+                "trace names cache outcome {:?}, reply says {:?}",
+                trace.cache,
+                resp.outcome.to_text()
+            ));
+        }
+        Ok(())
+    }
+
     /// The incremental edit oracle: optimize the compiled program through
     /// the daemon (seeding its partition store), bump one integer
     /// constant, optimize the edit — the daemon's partition-splicing
@@ -529,6 +590,7 @@ impl DaemonCheck {
             profile: hlo_serve::ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
+            trace_id: None,
         };
         let mut client = hlo_serve::Client::connect(server.local_addr())
             .map_err(|e| format!("daemon connect failed: {e}"))?;

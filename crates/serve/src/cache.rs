@@ -314,8 +314,11 @@ impl ResultCache {
     }
 
     /// Inserts a freshly computed result and registers its cone keys.
-    /// Evicts the least-recently-used program past capacity.
-    pub fn insert(&mut self, key: &RequestKey, result: CachedResult) {
+    /// Evicts the least-recently-used program past capacity; returns how
+    /// many programs were evicted so the daemon can narrate each one in
+    /// its event log.
+    pub fn insert(&mut self, key: &RequestKey, result: CachedResult) -> u64 {
+        let mut evicted = 0;
         if self.cap > 0 {
             self.stats.resident_bytes += result.payload_bytes();
             match self.entries.entry(key.program) {
@@ -335,6 +338,7 @@ impl ResultCache {
                         self.stats.resident_bytes -= r.payload_bytes();
                     }
                     self.stats.evictions += 1;
+                    evicted += 1;
                 } else {
                     break;
                 }
@@ -354,6 +358,7 @@ impl ResultCache {
             }
         }
         self.stats.entries = self.entries.len() as u64;
+        evicted
     }
 
     /// Looks up one partition's stored bodies, touching its LRU slot.
@@ -562,14 +567,14 @@ mod tests {
             profile_text: String::new(),
         };
         assert!(!cache.lookup(&k(1)).1.hit);
-        cache.insert(&k(1), r(1));
-        cache.insert(&k(2), r(2));
+        assert_eq!(cache.insert(&k(1), r(1)), 0);
+        assert_eq!(cache.insert(&k(2), r(2)), 0);
         let (got, out) = cache.lookup(&k(1));
         assert_eq!(got.unwrap().ir_text, "ir1");
         assert!(out.hit);
         assert_eq!(out.func_hits, 2);
         // Insert a third: 2 is now LRU and gets evicted.
-        cache.insert(&k(3), r(3));
+        assert_eq!(cache.insert(&k(3), r(3)), 1);
         assert!(!cache.lookup(&k(2)).1.hit);
         assert!(cache.lookup(&k(1)).1.hit);
         assert!(cache.lookup(&k(3)).1.hit);

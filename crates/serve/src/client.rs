@@ -4,8 +4,30 @@
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
 use crate::{
     OptimizeRequest, OptimizeResponse, ProfilePushOutcome, ProfilePushRequest, ProfileStatsReply,
+    TraceFetchReply,
 };
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Mints a request trace id: 16 lowercase hex digits, unique enough for a
+/// single client session. Seeded from the wall clock and process id, then
+/// mixed through FNV-1a so consecutive calls differ in every nibble. The
+/// id is client-owned — the daemon only echoes and indexes it.
+pub fn mint_trace_id() -> String {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let uniq = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let seed = [
+        nanos.to_le_bytes(),
+        (std::process::id() as u64).to_le_bytes(),
+        uniq.to_le_bytes(),
+    ]
+    .concat();
+    format!("{:016x}", hlo_ir::fnv1a_64(&seed))
+}
 
 /// Anything that can go wrong talking to the daemon.
 #[derive(Debug)]
@@ -97,11 +119,22 @@ pub struct ServeStats {
     pub pgo_programs: u64,
     /// Bytes resident in the profile store.
     pub pgo_bytes: u64,
+    /// Requests whose wall time exceeded the daemon's `--slow-ms` bound.
+    pub slow_requests: u64,
+    /// Request summaries currently resident in the flight recorder.
+    pub flight_records: u64,
+    /// Request traces currently resident in the trace ring.
+    pub traces_stored: u64,
+    /// Structured events emitted since the daemon started.
+    pub events_emitted: u64,
     /// Aggregate `(stage, wall_us, work_us)` over all non-cached runs.
     pub stages: Vec<(String, u64, u64)>,
     /// Per-phase request latency `(phase, count, sum_us)`, in the order
     /// the daemon reports them (queue wait, cache probe, optimize, reply).
     pub latencies: Vec<(String, u64, u64)>,
+    /// Per-phase latency quantiles `(phase, p50_us, p95_us, p99_us)` from
+    /// the daemon's streaming sketches, in reporting order.
+    pub quantiles: Vec<(String, u64, u64, u64)>,
 }
 
 impl ServeStats {
@@ -138,6 +171,10 @@ impl ServeStats {
                 "reoptimizations" => st.reoptimizations = num(&mut parts, line)?,
                 "pgo_programs" => st.pgo_programs = num(&mut parts, line)?,
                 "pgo_bytes" => st.pgo_bytes = num(&mut parts, line)?,
+                "slow_requests" => st.slow_requests = num(&mut parts, line)?,
+                "flight_records" => st.flight_records = num(&mut parts, line)?,
+                "traces_stored" => st.traces_stored = num(&mut parts, line)?,
+                "events_emitted" => st.events_emitted = num(&mut parts, line)?,
                 "stage" => {
                     let name = parts
                         .next()
@@ -155,6 +192,16 @@ impl ServeStats {
                     let count = num(&mut parts, line)?;
                     let sum = num(&mut parts, line)?;
                     st.latencies.push((phase, count, sum));
+                }
+                "quantile" => {
+                    let phase = parts
+                        .next()
+                        .ok_or_else(|| format!("bad stats line `{line}`"))?
+                        .to_string();
+                    let p50 = num(&mut parts, line)?;
+                    let p95 = num(&mut parts, line)?;
+                    let p99 = num(&mut parts, line)?;
+                    st.quantiles.push((phase, p50, p95, p99));
                 }
                 _ => {} // forward compatibility: ignore unknown counters
             }
@@ -306,6 +353,54 @@ impl Client {
         }
     }
 
+    /// Fetches the stored trace for a request previously submitted with
+    /// `trace_id` set.
+    ///
+    /// # Errors
+    /// [`ServeError::Remote`] when the id is malformed or the trace has
+    /// aged out of the daemon's ring, plus the usual I/O, frame and
+    /// protocol failures.
+    pub fn trace_fetch(&mut self, trace_id: &str) -> Result<TraceFetchReply, ServeError> {
+        let mut s = Sections::new();
+        s.push("trace-id", trace_id.to_string());
+        let reply = self.roundtrip(&Frame::new(Kind::TraceFetch, &s))?;
+        match reply.kind {
+            Kind::TraceReply => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                TraceFetchReply::from_sections(&s).map_err(ServeError::Protocol)
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
+    /// Dumps the daemon's flight recorder: one event-formatted line per
+    /// recent request, plus the count of requests admitted since start
+    /// (records beyond the ring capacity have been overwritten).
+    ///
+    /// # Errors
+    /// I/O, frame or protocol failures.
+    pub fn flight_dump(&mut self) -> Result<(String, u64), ServeError> {
+        let reply = self.roundtrip(&Frame::bare(Kind::FlightDump))?;
+        match reply.kind {
+            Kind::FlightReply => {
+                let s = Sections::decode(&reply.payload)
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                let dump = s.text("flight").map_err(ServeError::Protocol)?.to_string();
+                let admitted = s
+                    .text("admitted")
+                    .map_err(ServeError::Protocol)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServeError::Protocol("bad admitted count".to_string()))?;
+                Ok((dump, admitted))
+            }
+            Kind::Error => Err(Self::remote_error(&reply)),
+            k => Err(ServeError::Protocol(format!("unexpected reply {k:?}"))),
+        }
+    }
+
     /// Liveness probe.
     ///
     /// # Errors
@@ -343,8 +438,10 @@ mod tests {
                     cache_bytes 2048\npgo_pushes 3\nreoptimizations 1\nstale_hits 1\n\
                     partition_hits 5\npartition_rebuilds 2\nincr_fallbacks 1\n\
                     partition_entries 12\npgo_programs 2\npgo_bytes 128\n\
+                    slow_requests 2\nflight_records 8\ntraces_stored 3\nevents_emitted 40\n\
                     stage inline 500 1200\nstage clone 80 90\n\
-                    latency queue_wait 10 90\nlatency optimize 4 44000\nfuture_counter 7\n";
+                    latency queue_wait 10 90\nlatency optimize 4 44000\n\
+                    quantile queue_wait 9 80 88\nfuture_counter 7\n";
         let st = ServeStats::from_text(text).unwrap();
         assert_eq!(st.uptime_ms, 1234);
         assert_eq!(st.requests, 10);
@@ -374,11 +471,26 @@ mod tests {
                 ("optimize".to_string(), 4, 44000)
             ]
         );
+        assert_eq!(st.slow_requests, 2);
+        assert_eq!(st.flight_records, 8);
+        assert_eq!(st.traces_stored, 3);
+        assert_eq!(st.events_emitted, 40);
+        assert_eq!(st.quantiles, vec![("queue_wait".to_string(), 9, 80, 88)]);
     }
 
     #[test]
     fn malformed_stats_line_is_an_error() {
         assert!(ServeStats::from_text("requests ten\n").is_err());
         assert!(ServeStats::from_text("stage inline 5\n").is_err());
+        assert!(ServeStats::from_text("quantile queue_wait 9 80\n").is_err());
+    }
+
+    #[test]
+    fn minted_trace_ids_are_valid_and_distinct() {
+        let a = crate::mint_trace_id();
+        let b = crate::mint_trace_id();
+        assert!(crate::valid_trace_id(&a), "{a}");
+        assert!(crate::valid_trace_id(&b), "{b}");
+        assert_ne!(a, b);
     }
 }

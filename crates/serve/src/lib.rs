@@ -39,7 +39,7 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheOutcome, CacheStats, CachedResult, RequestKey, ResultCache};
-pub use client::{Client, ServeError, ServeStats};
+pub use client::{mint_trace_id, Client, ServeError, ServeStats};
 pub use server::{ServeConfig, Server};
 
 use hlo::{HloOptions, HloReport};
@@ -96,6 +96,19 @@ pub struct OptimizeRequest {
     /// metrics (`hloc remote metrics`). A trapping run is reported, never
     /// an error.
     pub train_arg: Option<i64>,
+    /// Request-scoped trace id: 16 lowercase hex digits minted by the
+    /// client. When present, the daemon threads a real [`hlo::Tracer`]
+    /// through the request's phases and stores the rendered span tree /
+    /// decision report for a later `trace-fetch`. `None` keeps tracing
+    /// off for this request.
+    pub trace_id: Option<String>,
+}
+
+/// True for a well-formed trace id: exactly 16 lowercase hex digits.
+pub fn valid_trace_id(s: &str) -> bool {
+    s.len() == 16
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
 }
 
 impl OptimizeRequest {
@@ -107,6 +120,7 @@ impl OptimizeRequest {
             profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
+            trace_id: None,
         }
     }
 
@@ -138,6 +152,9 @@ impl OptimizeRequest {
         }
         if let Some(t) = self.train_arg {
             s.push("train", t.to_string());
+        }
+        if let Some(id) = &self.trace_id {
+            s.push("trace-id", id.as_str());
         }
         s
     }
@@ -191,12 +208,23 @@ impl OptimizeRequest {
             ),
             None => None,
         };
+        let trace_id = match s.get("trace-id") {
+            Some(_) => {
+                let id = s.text("trace-id")?.trim().to_string();
+                if !valid_trace_id(&id) {
+                    return Err(format!("bad trace id `{id}` (want 16 lowercase hex)"));
+                }
+                Some(id)
+            }
+            None => None,
+        };
         Ok(OptimizeRequest {
             options,
             source,
             profile,
             deadline_ms,
             train_arg,
+            trace_id,
         })
     }
 }
@@ -220,6 +248,9 @@ pub struct OptimizeResponse {
     /// cached entry): the drift report summary explaining why the entry
     /// was served or rebuilt. `None` otherwise.
     pub pgo: Option<String>,
+    /// Echo of the request's trace id, confirming the daemon recorded a
+    /// trace retrievable via `trace-fetch`. `None` for untraced requests.
+    pub trace_id: Option<String>,
 }
 
 impl OptimizeResponse {
@@ -234,6 +265,9 @@ impl OptimizeResponse {
         }
         if let Some(p) = &self.pgo {
             s.push("pgo", p.as_str());
+        }
+        if let Some(id) = &self.trace_id {
+            s.push("trace-id", id.as_str());
         }
         s
     }
@@ -254,12 +288,89 @@ impl OptimizeResponse {
             Some(_) => Some(s.text("pgo")?.to_string()),
             None => None,
         };
+        let trace_id = match s.get("trace-id") {
+            Some(_) => Some(s.text("trace-id")?.trim().to_string()),
+            None => None,
+        };
         Ok(OptimizeResponse {
             ir_text,
             report,
             outcome,
             train,
             pgo,
+            trace_id,
+        })
+    }
+}
+
+/// Reply to a `trace-fetch` request: the rendered artifacts the daemon
+/// stored for one traced request. All fields are *content* — rendered
+/// from caller-supplied durations, never from a clock — so two daemons
+/// doing the same work reply byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFetchReply {
+    /// The trace id the artifacts belong to.
+    pub trace_id: String,
+    /// Indented span-tree text ([`hlo::Tracer::span_tree_text`]).
+    pub spans: String,
+    /// Sorted decision report ([`hlo::Tracer::decision_report`]).
+    pub decisions: String,
+    /// Chrome trace-event JSON, valid per [`hlo::validate_chrome_trace`].
+    pub chrome: String,
+    /// The request's cache outcome ([`CacheOutcome::to_text`]).
+    pub cache: String,
+    /// Total request wall time in microseconds — by construction the sum
+    /// of the phase durations below.
+    pub wall_us: u64,
+    /// Measured `(phase, microseconds)` pairs in phase order.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl TraceFetchReply {
+    /// Encodes to wire sections.
+    pub fn to_sections(&self) -> Sections {
+        let mut s = Sections::new();
+        s.push("trace-id", self.trace_id.as_str());
+        s.push("spans", self.spans.as_str());
+        s.push("decisions", self.decisions.as_str());
+        s.push("chrome", self.chrome.as_str());
+        s.push("cache", self.cache.as_str());
+        s.push("wall_us", self.wall_us.to_string());
+        let mut phases = String::new();
+        for (name, us) in &self.phases {
+            phases.push_str(&format!("{name} {us}\n"));
+        }
+        s.push("phases", phases);
+        s
+    }
+
+    /// Decodes from wire sections.
+    ///
+    /// # Errors
+    /// Describes the first missing or malformed section.
+    pub fn from_sections(s: &Sections) -> Result<Self, String> {
+        let mut phases = Vec::new();
+        for line in s.text("phases")?.lines() {
+            let (name, us) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad phase line `{line}`"))?;
+            phases.push((
+                name.to_string(),
+                us.parse().map_err(|_| format!("bad phase line `{line}`"))?,
+            ));
+        }
+        Ok(TraceFetchReply {
+            trace_id: s.text("trace-id")?.trim().to_string(),
+            spans: s.text("spans")?.to_string(),
+            decisions: s.text("decisions")?.to_string(),
+            chrome: s.text("chrome")?.to_string(),
+            cache: s.text("cache")?.to_string(),
+            wall_us: s
+                .text("wall_us")?
+                .trim()
+                .parse()
+                .map_err(|_| "bad wall_us".to_string())?,
+            phases,
         })
     }
 }
@@ -395,6 +506,7 @@ mod tests {
             profile: ProfileSpec::Text("func a main 1\nblocks 1\nend\n".to_string()),
             deadline_ms: Some(250),
             train_arg: Some(12),
+            trace_id: Some("00ab34cd56ef7890".to_string()),
         };
         let back = OptimizeRequest::from_sections(&req.to_sections()).unwrap();
         assert_eq!(req, back);
@@ -405,6 +517,7 @@ mod tests {
             profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
+            trace_id: None,
         };
         let back = OptimizeRequest::from_sections(&ir_req.to_sections()).unwrap();
         assert_eq!(ir_req, back);
@@ -495,8 +608,51 @@ mod tests {
             },
             train: Some("ret 3 retired 42 output 1 checksum 0x9".to_string()),
             pgo: Some("pgo-profile-stable score 40 (l1 40 churn 0 threshold 250)".to_string()),
+            trace_id: Some("00ab34cd56ef7890".to_string()),
         };
         let back = OptimizeResponse::from_sections(&resp.to_sections()).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn malformed_trace_ids_are_rejected() {
+        assert!(valid_trace_id("00ab34cd56ef7890"));
+        for bad in [
+            "",
+            "short",
+            "00AB34CD56EF7890",
+            "00ab34cd56ef789g",
+            "00ab34cd56ef78901",
+        ] {
+            assert!(!valid_trace_id(bad), "{bad:?} should be invalid");
+        }
+        let mut s = OptimizeRequest::from_minc(vec![(
+            "m".to_string(),
+            "fn main() { return 0; }".to_string(),
+        )])
+        .to_sections();
+        s.push("trace-id", "not-hex");
+        assert!(OptimizeRequest::from_sections(&s).is_err());
+    }
+
+    #[test]
+    fn trace_fetch_reply_roundtrips() {
+        let reply = TraceFetchReply {
+            trace_id: "00ab34cd56ef7890".to_string(),
+            spans: "request:00ab34cd56ef7890\n  optimize\n".to_string(),
+            decisions: "decision inline main@b0.i0 -> f: performed (accepted)\n".to_string(),
+            chrome: "{\"traceEvents\":[]}\n".to_string(),
+            cache: "hit 0\n".to_string(),
+            wall_us: 4524,
+            phases: vec![
+                ("queue_wait".to_string(), 12),
+                ("cache_probe".to_string(), 3),
+                ("optimize".to_string(), 4500),
+                ("reply".to_string(), 9),
+            ],
+        };
+        let back = TraceFetchReply::from_sections(&reply.to_sections()).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(back.phases.iter().map(|(_, us)| us).sum::<u64>(), 4524);
     }
 }

@@ -19,11 +19,15 @@
 use crate::cache::{request_key, CacheOutcome, CachedResult, RequestKey, ResultCache};
 use crate::incremental;
 use crate::wire::{Frame, FrameError, Kind, Sections, DEFAULT_MAX_PAYLOAD};
-use crate::{OptimizeRequest, ProfilePushOutcome, ProfilePushRequest, ProfileSpec, SourceKind};
+use crate::{
+    OptimizeRequest, ProfilePushOutcome, ProfilePushRequest, ProfileSpec, SourceKind,
+    TraceFetchReply,
+};
 use hlo::par::effective_jobs;
 use hlo::{
-    CallGraphCache, HloOptions, MetricsRegistry, PartitionAction, DRIFT_BUCKETS_MILLIS,
-    LATENCY_BUCKETS_US,
+    chrome_trace_json, CallGraphCache, Event, EventLevel, EventLog, FlightRecord, FlightRecorder,
+    HloOptions, MetricsRegistry, PartitionAction, QuantileSketch, TraceLevel, Tracer,
+    DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US,
 };
 use hlo_ir::Program;
 use hlo_pgo::ProfileStore;
@@ -67,6 +71,20 @@ pub struct ServeConfig {
     /// partitions. `false` makes every miss a full rebuild
     /// (`hlod --no-incremental`).
     pub incremental: bool,
+    /// Structured event log file (`hlod --log PATH`): crash-safe append,
+    /// one event per line. `None` = no file sink.
+    pub event_log_path: Option<PathBuf>,
+    /// Also write structured events to stderr (`hlod --log-stderr`).
+    pub log_stderr: bool,
+    /// Slow-request threshold (`hlod --slow-ms N`): a request whose wall
+    /// time exceeds this is counted, warned about in the event log, and
+    /// triggers a flight-recorder auto-dump. `None` disables the check.
+    pub slow_ms: Option<u64>,
+    /// Flight-recorder capacity: the last N request summaries kept
+    /// (always on; `hloc remote flight` dumps them).
+    pub flight_cap: usize,
+    /// Traced-request artifacts kept for `trace-fetch` (LRU past this).
+    pub trace_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +100,11 @@ impl Default for ServeConfig {
             pgo_cap: hlo_pgo::store::DEFAULT_CAP,
             pgo_store_path: None,
             incremental: true,
+            event_log_path: None,
+            log_stderr: false,
+            slow_ms: None,
+            flight_cap: 256,
+            trace_cap: 64,
         }
     }
 }
@@ -91,6 +114,8 @@ struct Job {
     req: OptimizeRequest,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// Request payload size on the wire, for flight records.
+    req_bytes: u64,
     reply: mpsc::Sender<Frame>,
 }
 
@@ -102,6 +127,88 @@ pub const REQUEST_PHASES: &[&str] = &["queue_wait", "cache_probe", "optimize", "
 
 fn phase_metric(phase: &str) -> String {
     format!("request_{phase}_us")
+}
+
+/// Records one measured phase duration into both the fixed-bucket
+/// histogram (`metrics` exposition) and the streaming quantile sketch
+/// (`stats` p50/p95/p99).
+fn observe_phase(shared: &Shared, phase: &str, us: u64) {
+    shared
+        .metrics
+        .observe(&phase_metric(phase), LATENCY_BUCKETS_US, us);
+    if let Some(i) = REQUEST_PHASES.iter().position(|p| *p == phase) {
+        shared.sketches[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(us);
+    }
+}
+
+/// Microseconds since daemon start — the `ts` field on emitted events
+/// (stripped by normalization, so event *content* stays comparable
+/// across runs).
+fn event_ts(shared: &Shared) -> u64 {
+    shared.started.elapsed().as_micros() as u64
+}
+
+/// The `id` field spelling for an optional trace id.
+fn id_field(trace_id: &str) -> &str {
+    if trace_id.is_empty() {
+        "-"
+    } else {
+        trace_id
+    }
+}
+
+/// Dumps the flight recorder into the event log — the incident record
+/// written whenever a request traps, is refused, or runs slow.
+fn auto_dump(shared: &Shared, trigger: &str) {
+    if !shared.events.enabled() {
+        return;
+    }
+    shared.events.emit(
+        &Event::new(EventLevel::Warn, "flight.dump")
+            .field("ts", event_ts(shared))
+            .field("trigger", trigger)
+            .field("records", shared.flight.len()),
+    );
+    for rec in shared.flight.dump() {
+        if let Ok(e) = Event::parse(&rec.to_line()) {
+            shared.events.emit(&e);
+        }
+    }
+}
+
+/// Finishes a failed optimize request: narrates it in the event log,
+/// records it in the flight recorder, and builds the error reply. The
+/// caller bumps whichever counter classifies the failure.
+fn job_failed(
+    shared: &Shared,
+    trace_id: &str,
+    reason: &str,
+    msg: &str,
+    queue_us: u64,
+    req_bytes: u64,
+) -> Frame {
+    shared.events.emit(
+        &Event::new(EventLevel::Error, "request.finish")
+            .field("ts", event_ts(shared))
+            .field("id", id_field(trace_id))
+            .field("kind", "optimize")
+            .field("outcome", "error")
+            .field("reason", reason)
+            .field("error", msg),
+    );
+    shared.flight.record(FlightRecord {
+        trace_id: trace_id.to_string(),
+        kind: "optimize".to_string(),
+        outcome: "error".to_string(),
+        reason: reason.to_string(),
+        req_bytes,
+        phases: vec![("queue_wait".to_string(), queue_us)],
+        ..Default::default()
+    });
+    error_frame(msg)
 }
 
 /// Counters behind the `stats` request (cache counters live in
@@ -152,6 +259,19 @@ struct Shared {
     /// Request counters and phase-latency histograms, exposed by the
     /// `metrics` request in Prometheus text form.
     metrics: MetricsRegistry,
+    /// The structured event log (file and/or stderr sinks per config).
+    events: EventLog,
+    /// Always-on ring of the last N request summaries.
+    flight: FlightRecorder,
+    /// Rendered artifacts of traced requests, newest at the back, served
+    /// by `trace-fetch`. Rendered text is stored (not the tracer itself)
+    /// so a fetch is a pure copy.
+    traces: Mutex<std::collections::VecDeque<TraceFetchReply>>,
+    /// Streaming phase-latency quantile sketches, parallel to
+    /// [`REQUEST_PHASES`].
+    sketches: Vec<Mutex<QuantileSketch>>,
+    /// Requests past the `slow_ms` threshold.
+    slow: AtomicU64,
     started: Instant,
     addr: SocketAddr,
 }
@@ -181,6 +301,7 @@ impl Server {
             Some(path) => ProfileStore::load(path, cfg.pgo_cap)?,
             None => ProfileStore::new(cfg.pgo_cap),
         };
+        let events = EventLog::new(cfg.event_log_path.as_deref(), cfg.log_stderr)?;
         let shared = Arc::new(Shared {
             queue: Mutex::new(std::collections::VecDeque::new()),
             work_ready: Condvar::new(),
@@ -190,6 +311,14 @@ impl Server {
             pgo: Mutex::new(pgo),
             counters: Mutex::new(Counters::default()),
             metrics: MetricsRegistry::new(),
+            events,
+            flight: FlightRecorder::new(cfg.flight_cap),
+            traces: Mutex::new(std::collections::VecDeque::new()),
+            sketches: REQUEST_PHASES
+                .iter()
+                .map(|_| Mutex::new(QuantileSketch::new()))
+                .collect(),
+            slow: AtomicU64::new(0),
             started: Instant::now(),
             addr: local,
             cfg,
@@ -250,6 +379,9 @@ fn begin_drain(shared: &Arc<Shared>) {
             return;
         }
     }
+    shared
+        .events
+        .emit(&Event::new(EventLevel::Info, "daemon.drain").field("ts", event_ts(shared)));
     shared.work_ready.notify_all();
     // Unblock the accept loop with a throwaway connection.
     let _ = TcpStream::connect(shared.addr);
@@ -287,6 +419,8 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             Kind::Metrics => metrics_frame(shared),
             Kind::ProfilePush => profile_push_frame(shared, &frame),
             Kind::ProfileStats => profile_stats_frame(shared, &frame),
+            Kind::TraceFetch => trace_fetch_frame(shared, &frame),
+            Kind::FlightDump => flight_dump_frame(shared),
             Kind::Shutdown => {
                 begin_drain(shared);
                 Frame::bare(Kind::ShutdownAck)
@@ -301,17 +435,14 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             _ => error_frame(&format!("unexpected frame kind {:?}", frame.kind)),
         };
         let is_optimize = frame.kind == Kind::Optimize;
-        let reply_t = Instant::now();
         let write_res = reply.write_to(&mut stream);
         if is_optimize {
-            shared.metrics.observe(
-                &phase_metric("reply"),
-                LATENCY_BUCKETS_US,
-                reply_t.elapsed().as_micros() as u64,
-            );
-            // Counted up either at submit (fast-path replies) or when a
-            // worker popped the job; the response is on the wire (or the
-            // client is gone) — flight over.
+            // The `reply` phase (response-frame construction) is measured
+            // inside `run_job`, where its duration can feed the request's
+            // trace; the socket write is excluded so phase sums equal the
+            // reported wall time. Counted up either at submit (fast-path
+            // replies) or when a worker popped the job; the response is
+            // on the wire (or the client is gone) — flight over.
             shared.in_flight.fetch_sub(1, Ordering::Release);
         }
         if write_res.is_err() {
@@ -332,19 +463,56 @@ enum Submitted {
 /// (the connection loop decrements after writing the response).
 fn submit(shared: &Arc<Shared>, frame: &Frame) -> Submitted {
     shared.in_flight.fetch_add(1, Ordering::Acquire);
+    let req_bytes = frame.payload.len() as u64;
     let sections = match Sections::decode(&frame.payload) {
         Ok(s) => s,
         Err(e) => {
             shared.counters.lock().unwrap().errors += 1;
-            return Submitted::Reply(error_frame(&format!("bad request payload: {e}")));
+            return Submitted::Reply(job_failed(
+                shared,
+                "",
+                "payload",
+                &format!("bad request payload: {e}"),
+                0,
+                req_bytes,
+            ));
         }
     };
     let req = match OptimizeRequest::from_sections(&sections) {
         Ok(r) => r,
         Err(e) => {
             shared.counters.lock().unwrap().errors += 1;
-            return Submitted::Reply(error_frame(&format!("bad request: {e}")));
+            return Submitted::Reply(job_failed(
+                shared,
+                "",
+                "request",
+                &format!("bad request: {e}"),
+                0,
+                req_bytes,
+            ));
         }
+    };
+    let trace_id = req.trace_id.clone().unwrap_or_default();
+    // A refused request never reaches a worker; it is still narrated and
+    // flight-recorded here, and a refusal is one of the flight recorder's
+    // auto-dump triggers.
+    let refuse = |reason: &str| {
+        shared.events.emit(
+            &Event::new(EventLevel::Warn, "request.refused")
+                .field("ts", event_ts(shared))
+                .field("id", id_field(&trace_id))
+                .field("kind", "optimize")
+                .field("reason", reason),
+        );
+        shared.flight.record(FlightRecord {
+            trace_id: trace_id.clone(),
+            kind: "optimize".to_string(),
+            outcome: "refused".to_string(),
+            reason: reason.to_string(),
+            req_bytes,
+            ..Default::default()
+        });
+        auto_dump(shared, "refused");
     };
     let deadline_ms = req.deadline_ms.or(shared.cfg.default_deadline_ms);
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -353,16 +521,21 @@ fn submit(shared: &Arc<Shared>, frame: &Frame) -> Submitted {
         let mut q = shared.queue.lock().unwrap();
         // Checked under the queue lock — see `begin_drain`.
         if shared.draining.load(Ordering::SeqCst) {
+            drop(q);
+            refuse("draining");
             return Submitted::Reply(error_frame("daemon is draining"));
         }
         if q.len() >= shared.cfg.queue_cap {
             shared.counters.lock().unwrap().busy += 1;
+            drop(q);
+            refuse("busy");
             return Submitted::Reply(Frame::bare(Kind::Busy));
         }
         q.push_back(Job {
             req,
             deadline,
             enqueued: Instant::now(),
+            req_bytes,
             reply: tx,
         });
         shared.counters.lock().unwrap().requests += 1;
@@ -387,12 +560,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        shared.metrics.observe(
-            &phase_metric("queue_wait"),
-            LATENCY_BUCKETS_US,
-            job.enqueued.elapsed().as_micros() as u64,
-        );
-        let reply = run_job(shared, &job);
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        observe_phase(shared, "queue_wait", queue_us);
+        let reply = run_job(shared, &job, queue_us);
         // The connection thread may have died with its client; a closed
         // channel just means nobody wants the answer any more.
         let _ = job.reply.send(reply);
@@ -400,40 +570,70 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Executes one optimize request: deadline check, compile, cache lookup,
-/// optimize on miss, cache fill.
-fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
+/// optimize on miss, cache fill — narrating the request into the event
+/// log and flight recorder, and (for traced requests) recording a span
+/// tree whose phase leaves carry the measured durations, so the stored
+/// trace's phases sum exactly to the reported wall time.
+fn run_job(shared: &Arc<Shared>, job: &Job, queue_us: u64) -> Frame {
+    let req = &job.req;
+    let trace_id = req.trace_id.clone().unwrap_or_default();
+    shared.events.emit(
+        &Event::new(EventLevel::Info, "request.start")
+            .field("ts", event_ts(shared))
+            .field("id", id_field(&trace_id))
+            .field("kind", "optimize"),
+    );
     if let Some(d) = job.deadline {
         if Instant::now() > d {
-            let mut c = shared.counters.lock().unwrap();
-            c.deadline_missed += 1;
-            return error_frame("deadline exceeded while queued");
+            shared.counters.lock().unwrap().deadline_missed += 1;
+            return job_failed(
+                shared,
+                &trace_id,
+                "deadline",
+                "deadline exceeded while queued",
+                queue_us,
+                job.req_bytes,
+            );
         }
     }
-    let req = &job.req;
+    // The request tracer. Untraced requests get a disabled tracer the
+    // optimizer still threads its spans through (and ignores); traced
+    // requests record at `Decisions` so the stored report carries full
+    // per-site provenance. The tracer never reads a clock — every
+    // duration below is measured here and handed to it, which is what
+    // keeps trace content byte-identical across `--jobs`.
+    let traced = !trace_id.is_empty();
+    let mut tracer = if traced {
+        Tracer::new(TraceLevel::Decisions)
+    } else {
+        Tracer::disabled()
+    };
+    let root = traced.then(|| tracer.push(&format!("request:{trace_id}")));
+    let mut phases: Vec<(String, u64)> = vec![("queue_wait".to_string(), queue_us)];
+    if traced {
+        tracer.leaf_seq("queue_wait", Duration::from_micros(queue_us));
+    }
+    let fail = |reason: &str, msg: &str| -> Frame {
+        shared.counters.lock().unwrap().errors += 1;
+        job_failed(shared, &trace_id, reason, msg, queue_us, job.req_bytes)
+    };
     let mut program = match &req.source {
         SourceKind::Minc(mods) => {
             let refs: Vec<(&str, &str)> =
                 mods.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
             match hlo_frontc::compile(&refs) {
                 Ok(p) => p,
-                Err(e) => {
-                    shared.counters.lock().unwrap().errors += 1;
-                    return error_frame(&format!("compile failed: {e}"));
-                }
+                Err(e) => return fail("compile", &format!("compile failed: {e}")),
             }
         }
         SourceKind::Ir(text) => match hlo_ir::parse_program_text(text) {
             Ok(p) => {
                 if let Err(e) = hlo_ir::verify_program(&p) {
-                    shared.counters.lock().unwrap().errors += 1;
-                    return error_frame(&format!("invalid IR: {e}"));
+                    return fail("verify", &format!("invalid IR: {e}"));
                 }
                 p
             }
-            Err(e) => {
-                shared.counters.lock().unwrap().errors += 1;
-                return error_frame(&format!("bad IR text: {e}"));
-            }
+            Err(e) => return fail("parse", &format!("bad IR text: {e}")),
         },
     };
     // Every optimized program registers with the pgo store, whatever
@@ -461,10 +661,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
                 let canonical = db.to_text();
                 (Some(db), canonical, false)
             }
-            Err(e) => {
-                shared.counters.lock().unwrap().errors += 1;
-                return error_frame(&format!("bad profile: {e}"));
-            }
+            Err(e) => return fail("profile", &format!("bad profile: {e}")),
         },
         ProfileSpec::Server => {
             // The cache key uses a fixed marker, not the aggregate text:
@@ -507,6 +704,13 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
                 drop(cache);
                 shared.counters.lock().unwrap().reoptimizations += 1;
                 shared.metrics.inc("pgo_reoptimize_total");
+                shared.events.emit(
+                    &Event::new(EventLevel::Warn, "pgo.reoptimize")
+                        .field("ts", event_ts(shared))
+                        .field("id", id_field(&trace_id))
+                        .field("drift_millis", report.score_millis())
+                        .field("threshold_millis", threshold),
+                );
                 outcome.hit = false;
                 outcome.stale = true;
                 None
@@ -516,11 +720,12 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
         }
         other => other,
     };
-    shared.metrics.observe(
-        &phase_metric("cache_probe"),
-        LATENCY_BUCKETS_US,
-        probe_t.elapsed().as_micros() as u64,
-    );
+    let probe_us = probe_t.elapsed().as_micros() as u64;
+    observe_phase(shared, "cache_probe", probe_us);
+    phases.push(("cache_probe".to_string(), probe_us));
+    if traced {
+        tracer.leaf_seq("cache_probe", Duration::from_micros(probe_us));
+    }
     shared.metrics.inc(if outcome.hit {
         "cache_hits_total"
     } else {
@@ -540,16 +745,16 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
                 hlo_ir::fnv1a_64(profile_text.as_bytes()),
                 &mut cg,
                 &mut outcome,
+                &mut tracer,
+                &trace_id,
             );
-            shared.metrics.observe(
-                &phase_metric("optimize"),
-                LATENCY_BUCKETS_US,
-                opt_t.elapsed().as_micros() as u64,
-            );
+            let opt_us = opt_t.elapsed().as_micros() as u64;
+            observe_phase(shared, "optimize", opt_us);
+            phases.push(("optimize".to_string(), opt_us));
             let ir_text = hlo_ir::program_to_text(&program);
             let report_text = report.to_text();
             shared.counters.lock().unwrap().add_stages(&report);
-            shared.cache.lock().unwrap().insert(
+            let evicted = shared.cache.lock().unwrap().insert(
                 &key,
                 CachedResult {
                     ir_text: ir_text.clone(),
@@ -557,12 +762,45 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
                     profile_text,
                 },
             );
+            if evicted > 0 {
+                shared.events.emit(
+                    &Event::new(EventLevel::Info, "cache.evict")
+                        .field("ts", event_ts(shared))
+                        .field("count", evicted),
+                );
+            }
             (ir_text, report_text)
         }
     };
+    // Tag leaves: zero-duration stage spans naming the cache outcome and
+    // partition reuse counts, so a span tree is self-describing.
+    let outcome_str = if outcome.stale {
+        "stale"
+    } else if outcome.hit {
+        "hit"
+    } else {
+        "miss"
+    };
+    if traced {
+        tracer.leaf_seq(&format!("outcome.{outcome_str}"), Duration::ZERO);
+        tracer.leaf_seq(
+            &format!("partitions.hit.{}", outcome.partition_hits),
+            Duration::ZERO,
+        );
+        tracer.leaf_seq(
+            &format!("partitions.rebuild.{}", outcome.partition_rebuilds),
+            Duration::ZERO,
+        );
+    }
     let train = req
         .train_arg
         .map(|arg| train_run(&ir_text, arg, &shared.metrics));
+    let trapped = train.as_deref().is_some_and(|t| t.starts_with("trap:"));
+
+    // The reply phase is the response-frame construction (the socket
+    // write happens on the connection thread and is excluded, so the
+    // phase list sums exactly to the wall time reported with the trace).
+    let reply_t = Instant::now();
     let mut s = Sections::new();
     s.push("ir", ir_text);
     s.push("report", report_text);
@@ -573,7 +811,82 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Frame {
     if let Some(t) = train {
         s.push("train", t);
     }
-    Frame::new(Kind::Result, &s)
+    if traced {
+        s.push("trace-id", trace_id.as_str());
+    }
+    let frame = Frame::new(Kind::Result, &s);
+    let reply_us = reply_t.elapsed().as_micros() as u64;
+    observe_phase(shared, "reply", reply_us);
+    phases.push(("reply".to_string(), reply_us));
+    let wall_us: u64 = phases.iter().map(|(_, us)| us).sum();
+
+    if let Some(root) = root {
+        tracer.leaf_seq("reply", Duration::from_micros(reply_us));
+        tracer.pop(root, Duration::from_micros(wall_us));
+        let stored = TraceFetchReply {
+            trace_id: trace_id.clone(),
+            spans: tracer.span_tree_text(),
+            decisions: tracer.decision_report(None),
+            chrome: chrome_trace_json(&tracer),
+            cache: outcome.to_text(),
+            wall_us,
+            phases: phases.clone(),
+        };
+        let mut traces = shared.traces.lock().unwrap();
+        traces.push_back(stored);
+        while traces.len() > shared.cfg.trace_cap.max(1) {
+            traces.pop_front();
+        }
+    }
+
+    let reason = if trapped { "trap" } else { "ok" };
+    shared.flight.record(FlightRecord {
+        seq: 0,
+        trace_id: trace_id.clone(),
+        kind: "optimize".to_string(),
+        outcome: outcome_str.to_string(),
+        reason: reason.to_string(),
+        req_bytes: job.req_bytes,
+        resp_bytes: frame.payload.len() as u64,
+        phases,
+    });
+    shared.events.emit(
+        &Event::new(
+            if trapped {
+                EventLevel::Warn
+            } else {
+                EventLevel::Info
+            },
+            "request.finish",
+        )
+        .field("ts", event_ts(shared))
+        .field("id", id_field(&trace_id))
+        .field("kind", "optimize")
+        .field("outcome", outcome_str)
+        .field("reason", reason)
+        .field("req_bytes", job.req_bytes)
+        .field("resp_bytes", frame.payload.len())
+        .field("partition_hits", outcome.partition_hits)
+        .field("partition_rebuilds", outcome.partition_rebuilds)
+        .field("wall_us", wall_us),
+    );
+    if trapped {
+        auto_dump(shared, "trap");
+    }
+    if let Some(slow_ms) = shared.cfg.slow_ms {
+        if wall_us > slow_ms.saturating_mul(1000) {
+            shared.slow.fetch_add(1, Ordering::Relaxed);
+            shared.events.emit(
+                &Event::new(EventLevel::Warn, "request.slow")
+                    .field("ts", event_ts(shared))
+                    .field("id", id_field(&trace_id))
+                    .field("wall_us", wall_us)
+                    .field("threshold_ms", slow_ms),
+            );
+            auto_dump(shared, "slow");
+        }
+    }
+    frame
 }
 
 /// Optimizes a program the cache could not serve whole. With incremental
@@ -595,7 +908,19 @@ fn optimize_miss(
     profile_salt: u64,
     cg: &mut CallGraphCache,
     outcome: &mut CacheOutcome,
+    tracer: &mut Tracer,
+    trace_id: &str,
 ) -> hlo::HloReport {
+    let note_fallback = |shared: &Arc<Shared>, reason: &str| {
+        shared.cache.lock().unwrap().note_incr_fallback();
+        shared.metrics.inc("incr_fallback_total");
+        shared.events.emit(
+            &Event::new(EventLevel::Warn, "incr.fallback")
+                .field("ts", event_ts(shared))
+                .field("id", id_field(trace_id))
+                .field("reason", reason),
+        );
+    };
     if shared.cfg.incremental {
         match incremental::eligible_partitions(program, opts, cg) {
             Ok(partitions) => {
@@ -622,13 +947,7 @@ fn optimize_miss(
                 // with no hits *is* a from-scratch build — nothing to
                 // verify or restore.
                 let backup = (hits > 0).then(|| program.clone());
-                let out = hlo::optimize_partial(
-                    program,
-                    profile,
-                    opts,
-                    Some(&plan),
-                    &mut hlo::Tracer::disabled(),
-                );
+                let out = hlo::optimize_partial(program, profile, opts, Some(&plan), tracer);
                 if hits == 0 || hlo_ir::verify_program(program).is_ok() {
                     outcome.partition_hits = hits;
                     outcome.partition_rebuilds = rebuilds;
@@ -656,8 +975,7 @@ fn optimize_miss(
                 }
                 *program = backup.expect("hits > 0 implies a backup was taken");
                 outcome.incr_fallback = true;
-                shared.cache.lock().unwrap().note_incr_fallback();
-                shared.metrics.inc("incr_fallback_total");
+                note_fallback(shared, "verify");
             }
             Err(_reason) => {
                 // Only count a fallback when the request *wanted*
@@ -665,13 +983,12 @@ fn optimize_miss(
                 // full rebuild, that is not a fallback.
                 if opts.incremental {
                     outcome.incr_fallback = true;
-                    shared.cache.lock().unwrap().note_incr_fallback();
-                    shared.metrics.inc("incr_fallback_total");
+                    note_fallback(shared, "ineligible");
                 }
             }
         }
     }
-    hlo::optimize(program, profile, opts)
+    hlo::optimize_traced(program, profile, opts, tracer)
 }
 
 /// The fixed profile component of a `profile: server` cache key. The
@@ -720,8 +1037,14 @@ fn error_frame(msg: &str) -> Frame {
 /// authoritative.
 fn persist_store(shared: &Arc<Shared>, store: &ProfileStore) {
     if let Some(path) = &shared.cfg.pgo_store_path {
-        if store.save(path).is_err() {
+        if let Err(e) = store.save(path) {
             shared.metrics.inc("pgo_persist_errors_total");
+            shared.events.emit(
+                &Event::new(EventLevel::Error, "pgo.save-error")
+                    .field("ts", event_ts(shared))
+                    .field("path", path.display())
+                    .field("error", e),
+            );
         }
     }
 }
@@ -826,6 +1149,46 @@ fn profile_stats_frame(shared: &Arc<Shared>, frame: &Frame) -> Frame {
     Frame::new(Kind::ProfileStatsReply, &s)
 }
 
+/// Handles one `trace-fetch`: look up a previously stored request trace
+/// by its client-minted id and reply with the rendered span tree,
+/// decision report, Chrome JSON, cache outcome, and per-phase timings.
+/// Traces live in a bounded in-memory ring, so a sufficiently old id is
+/// simply gone — that is an error reply, not a crash.
+fn trace_fetch_frame(shared: &Arc<Shared>, frame: &Frame) -> Frame {
+    let sections = match Sections::decode(&frame.payload) {
+        Ok(s) => s,
+        Err(e) => return error_frame(&format!("bad trace-fetch payload: {e}")),
+    };
+    let id = match sections.get("trace-id").map(std::str::from_utf8) {
+        Some(Ok(id)) => id.trim().to_string(),
+        Some(Err(_)) => return error_frame("trace id is not UTF-8"),
+        None => return error_frame("trace-fetch needs a `trace-id` section"),
+    };
+    if !crate::valid_trace_id(&id) {
+        return error_frame(&format!("bad trace id `{id}` (want 16 lowercase hex)"));
+    }
+    let traces = shared.traces.lock().unwrap();
+    // Newest first: if the same id was (unwisely) reused, the most
+    // recent request wins.
+    match traces.iter().rev().find(|t| t.trace_id == id) {
+        Some(t) => Frame::new(Kind::TraceReply, &t.to_sections()),
+        None => error_frame(&format!(
+            "no stored trace for id `{id}` (daemon keeps the last {})",
+            shared.cfg.trace_cap.max(1)
+        )),
+    }
+}
+
+/// Handles one `flight-dump`: serialize the flight recorder's ring of
+/// recent request summaries. Always answerable — the recorder is always
+/// on — so an empty dump means the daemon genuinely served nothing yet.
+fn flight_dump_frame(shared: &Arc<Shared>) -> Frame {
+    let mut s = Sections::new();
+    s.push("flight", shared.flight.dump_text());
+    s.push("admitted", format!("{}\n", shared.flight.admitted()));
+    Frame::new(Kind::FlightReply, &s)
+}
+
 fn stats_frame(shared: &Arc<Shared>) -> Frame {
     use std::fmt::Write as _;
     let cache = shared.cache.lock().unwrap().stats();
@@ -850,6 +1213,18 @@ fn stats_frame(shared: &Arc<Shared>) -> Frame {
     let _ = writeln!(text, "partition_entries {}", cache.partition_entries);
     let _ = writeln!(text, "pgo_pushes {}", c.pgo_pushes);
     let _ = writeln!(text, "reoptimizations {}", c.reoptimizations);
+    let _ = writeln!(
+        text,
+        "slow_requests {}",
+        shared.slow.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(text, "flight_records {}", shared.flight.len());
+    let _ = writeln!(
+        text,
+        "traces_stored {}",
+        shared.traces.lock().unwrap().len()
+    );
+    let _ = writeln!(text, "events_emitted {}", shared.events.emitted());
     let pgo = shared.pgo.lock().unwrap().stats();
     let _ = writeln!(text, "pgo_programs {}", pgo.programs);
     let _ = writeln!(text, "pgo_bytes {}", pgo.resident_bytes);
@@ -860,6 +1235,16 @@ fn stats_frame(shared: &Arc<Shared>) -> Frame {
     for phase in REQUEST_PHASES {
         let (count, sum) = shared.metrics.histogram(&phase_metric(phase));
         let _ = writeln!(text, "latency {phase} {count} {sum}");
+    }
+    for (i, phase) in REQUEST_PHASES.iter().enumerate() {
+        let sketch = shared.sketches[i].lock().unwrap();
+        let _ = writeln!(
+            text,
+            "quantile {phase} {} {} {}",
+            sketch.quantile(500),
+            sketch.quantile(950),
+            sketch.quantile(990)
+        );
     }
     let mut s = Sections::new();
     s.push("stats", text);
@@ -890,6 +1275,15 @@ fn metrics_frame(shared: &Arc<Shared>) -> Frame {
     shared
         .metrics
         .set_gauge("pgo_resident_bytes", pgo.resident_bytes as i64);
+    for (i, phase) in REQUEST_PHASES.iter().enumerate() {
+        let sketch = shared.sketches[i].lock().unwrap();
+        for (suffix, permille) in [("p50", 500), ("p95", 950), ("p99", 990)] {
+            shared.metrics.set_gauge(
+                &format!("request_{phase}_{suffix}_us"),
+                sketch.quantile(permille) as i64,
+            );
+        }
+    }
     let mut s = Sections::new();
     s.push("metrics", shared.metrics.expose());
     Frame::new(Kind::MetricsReply, &s)

@@ -52,6 +52,10 @@ pub enum Kind {
     /// Ask for profile-store statistics (optionally one program's
     /// merged aggregate).
     ProfileStats = 7,
+    /// Fetch the stored span tree / decision report for a trace id.
+    TraceFetch = 8,
+    /// Dump the flight recorder (last N request summaries).
+    FlightDump = 9,
     /// Optimized result (IR text + report + cache outcome).
     Result = 129,
     /// Statistics text.
@@ -71,6 +75,11 @@ pub enum Kind {
     /// Profile-store statistics text (plus the merged profile when one
     /// program was asked for).
     ProfileStatsReply = 137,
+    /// Stored trace artifacts for a trace id (spans, decisions, Chrome
+    /// JSON, phase timings).
+    TraceReply = 138,
+    /// Flight-recorder dump text.
+    FlightReply = 139,
 }
 
 impl Kind {
@@ -83,6 +92,8 @@ impl Kind {
             5 => Kind::Metrics,
             6 => Kind::ProfilePush,
             7 => Kind::ProfileStats,
+            8 => Kind::TraceFetch,
+            9 => Kind::FlightDump,
             129 => Kind::Result,
             130 => Kind::StatsReply,
             131 => Kind::ShutdownAck,
@@ -92,6 +103,8 @@ impl Kind {
             135 => Kind::MetricsReply,
             136 => Kind::ProfilePushAck,
             137 => Kind::ProfileStatsReply,
+            138 => Kind::TraceReply,
+            139 => Kind::FlightReply,
             _ => return None,
         })
     }

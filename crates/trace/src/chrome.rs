@@ -8,6 +8,10 @@
 use crate::span::Tracer;
 
 /// Escapes a string for embedding in a JSON string literal.
+///
+/// Everything outside printable ASCII is `\u`-escaped (astral characters
+/// as surrogate pairs), so the document stays pure ASCII no matter what
+/// fuzz-generated function names flow into span names.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -17,7 +21,12 @@ fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 || (c as u32) > 0x7e => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -72,6 +81,45 @@ pub fn chrome_trace_json(tracer: &Tracer) -> String {
     )
 }
 
+/// Checks that `text` is valid JSON shaped like a Chrome trace-event
+/// document: a `traceEvents` array whose entries all carry `name`/`ph`/
+/// `ts`, with at least one complete (`"ph":"X"`) span. Returns the event
+/// count. This is the schema `cargo tier2 -- trace-schema` enforces.
+///
+/// # Errors
+/// Describes the first schema violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    use crate::json::{parse, Json};
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    let mut complete = 0;
+    for (i, e) in events.iter().enumerate() {
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `name`"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `ph`"))?;
+        e.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing `ts`"))?;
+        if ph == "X" {
+            e.get("dur")
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: complete event without `dur`"))?;
+            complete += 1;
+        }
+    }
+    if complete == 0 {
+        return Err("no complete (`ph:\"X\"`) span events".to_string());
+    }
+    Ok(events.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +167,47 @@ mod tests {
         assert_eq!(x.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(x.get("name").and_then(Json::as_str), Some("annotate \"q\""));
         assert!(x.get("dur").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn hostile_span_names_are_escaped_to_pure_ascii() {
+        let mut t = Tracer::new(TraceLevel::Spans);
+        let root = t.push("na\"me \\ with\nnewline\tand μ≠ascii 𝄞");
+        t.pop(root, Duration::from_micros(1));
+        let out = chrome_trace_json(&t);
+        assert!(out.is_ascii(), "export must be pure ASCII: {out}");
+        let doc = json::parse(&out).expect("still valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let name = events[1].get("name").and_then(Json::as_str).unwrap();
+        assert!(name.contains("na\"me"));
+        assert!(name.contains('\\'));
+        assert!(name.contains('\n'));
+        assert!(name.contains('\t'));
+        assert!(name.contains('μ'), "BMP char survives the round trip");
+        assert!(name.contains('𝄞'), "astral char survives via surrogates");
+        // The raw text spells the astral char as a surrogate pair.
+        assert!(out.contains("\\ud834\\udd1e"));
+    }
+
+    #[test]
+    fn validator_accepts_real_exports_and_rejects_malformed_ones() {
+        let mut t = Tracer::new(TraceLevel::Spans);
+        let root = t.push("optimize");
+        t.leaf(
+            "annotate",
+            Duration::from_micros(5),
+            Duration::from_micros(5),
+        );
+        t.pop(root, Duration::from_micros(5));
+        let n = validate_chrome_trace(&chrome_trace_json(&t)).unwrap();
+        assert_eq!(n, 3); // metadata + 2 spans
+
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        // Parses, but has no complete span events.
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"m\",\"ph\":\"M\",\"ts\":0}]}"
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,271 @@
+//! The flight recorder: a fixed-capacity, lock-sharded ring buffer of the
+//! last N request summaries.
+//!
+//! Always on and cheap enough to leave on: recording takes one shard
+//! mutex, never allocates beyond the summary it stores, and old records
+//! fall off the ring instead of growing it. When something goes wrong —
+//! a trap, a refusal, a request past the slow threshold — the daemon
+//! dumps the ring into the event log, reconstructing what it was doing
+//! leading up to the incident; `hloc remote flight` pulls the same dump
+//! over the wire on demand.
+//!
+//! Records are ordered by a global sequence number so a dump reads in
+//! admission order even though records land in different shards.
+
+use crate::event::{Event, EventLevel};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One request's summary, as kept by the recorder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightRecord {
+    /// Global admission order (assigned by [`FlightRecorder::record`]).
+    pub seq: u64,
+    /// The request's 16-hex trace id, or `-` when it carried none.
+    pub trace_id: String,
+    /// Request kind (`optimize`, …).
+    pub kind: String,
+    /// What happened: `hit`, `miss`, `stale`, `refused`, `error`, `trap`.
+    pub outcome: String,
+    /// Reason code qualifying the outcome (`ok`, `busy`, `draining`,
+    /// `deadline`, `slow`, or an error class).
+    pub reason: String,
+    /// Request payload size on the wire.
+    pub req_bytes: u64,
+    /// Response payload size on the wire.
+    pub resp_bytes: u64,
+    /// Measured `(phase, microseconds)` pairs, in phase order.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl FlightRecord {
+    /// Renders the record as one event-encoded line (level `info`, name
+    /// `flight`), phases as `<phase>_us` fields.
+    pub fn to_line(&self) -> String {
+        let mut e = Event::new(EventLevel::Info, "flight")
+            .field("seq", self.seq)
+            .field(
+                "id",
+                if self.trace_id.is_empty() {
+                    "-"
+                } else {
+                    &self.trace_id
+                },
+            )
+            .field("kind", &self.kind)
+            .field("outcome", &self.outcome)
+            .field("reason", &self.reason)
+            .field("req_bytes", self.req_bytes)
+            .field("resp_bytes", self.resp_bytes);
+        for (phase, us) in &self.phases {
+            e = e.field(&format!("{phase}_us"), us);
+        }
+        e.to_line()
+    }
+
+    /// Parses one [`FlightRecord::to_line`] line. Any field key ending in
+    /// `_us` is read back as a phase; unknown other fields are ignored
+    /// for forward compatibility.
+    ///
+    /// # Errors
+    /// Describes the malformed line or field.
+    pub fn from_line(line: &str) -> Result<FlightRecord, String> {
+        let e = Event::parse(line)?;
+        if e.name != "flight" {
+            return Err(format!("not a flight record: `{}`", e.name));
+        }
+        let mut r = FlightRecord::default();
+        let num = |k: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad numeric field `{k}={v}`"))
+        };
+        for (k, v) in &e.fields {
+            match k.as_str() {
+                "seq" => r.seq = num(k, v)?,
+                "id" => r.trace_id = v.clone(),
+                "kind" => r.kind = v.clone(),
+                "outcome" => r.outcome = v.clone(),
+                "reason" => r.reason = v.clone(),
+                "req_bytes" => r.req_bytes = num(k, v)?,
+                "resp_bytes" => r.resp_bytes = num(k, v)?,
+                _ => {
+                    if let Some(phase) = k.strip_suffix("_us") {
+                        r.phases.push((phase.to_string(), num(k, v)?));
+                    }
+                }
+            }
+        }
+        Ok(r)
+    }
+}
+
+const SHARD_COUNT: usize = 8;
+
+/// The ring. Capacity is split across [`SHARD_COUNT`] independently
+/// locked shards; records are assigned to shards round-robin by sequence
+/// number, so concurrent recorders rarely contend and a dump still
+/// reconstructs global admission order from the sequence numbers.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<FlightRecord>>>,
+    seq: AtomicU64,
+    shard_cap: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping roughly the last `cap` records (rounded up to a
+    /// multiple of the shard count; `cap == 0` keeps one per shard).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            seq: AtomicU64::new(0),
+            shard_cap: cap.div_ceil(SHARD_COUNT).max(1),
+        }
+    }
+
+    /// Admits one record, stamping its sequence number (returned). The
+    /// shard's oldest record is dropped past capacity.
+    pub fn record(&self, mut rec: FlightRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        rec.seq = seq;
+        let mut shard = self.shards[(seq % SHARD_COUNT as u64) as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.push_back(rec);
+        while shard.len() > self.shard_cap {
+            shard.pop_front();
+        }
+        seq
+    }
+
+    /// Total records ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Records currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when nothing has been recorded (or everything fell off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the resident records, sorted by admission order.
+    pub fn dump(&self) -> Vec<FlightRecord> {
+        let mut all: Vec<FlightRecord> = Vec::new();
+        for shard in &self.shards {
+            all.extend(
+                shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .cloned(),
+            );
+        }
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// The dump as text, one [`FlightRecord::to_line`] line each.
+    pub fn dump_text(&self) -> String {
+        let mut out = String::new();
+        for r in self.dump() {
+            out.push_str(&r.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a [`FlightRecorder::dump_text`] document.
+///
+/// # Errors
+/// Describes the first malformed line.
+pub fn parse_flight_dump(text: &str) -> Result<Vec<FlightRecord>, String> {
+    text.lines().map(FlightRecord::from_line).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, outcome: &str) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            trace_id: id.to_string(),
+            kind: "optimize".to_string(),
+            outcome: outcome.to_string(),
+            reason: "ok".to_string(),
+            req_bytes: 100,
+            resp_bytes: 2000,
+            phases: vec![
+                ("queue_wait".to_string(), 12),
+                ("cache_probe".to_string(), 3),
+                ("optimize".to_string(), 4500),
+                ("reply".to_string(), 9),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_line_roundtrips() {
+        let mut r = rec("00ab34cd56ef7890", "miss");
+        r.seq = 41;
+        let back = FlightRecord::from_line(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+        assert!(FlightRecord::from_line("info notflight seq=0").is_err());
+        assert!(FlightRecord::from_line("info flight seq=x").is_err());
+    }
+
+    #[test]
+    fn dump_is_in_admission_order_and_bounded() {
+        let fr = FlightRecorder::new(16);
+        for i in 0..40 {
+            fr.record(rec(&format!("{i:016x}"), "hit"));
+        }
+        assert_eq!(fr.admitted(), 40);
+        let dump = fr.dump();
+        assert!(dump.len() <= 16 + SHARD_COUNT); // shard rounding slack
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+        // The newest record always survives.
+        assert_eq!(dump.last().unwrap().seq, 39);
+        let parsed = parse_flight_dump(&fr.dump_text()).unwrap();
+        assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_seq_unique() {
+        let fr = FlightRecorder::new(1024);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..64 {
+                        fr.record(rec("-", "hit"));
+                    }
+                });
+            }
+        });
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 512);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn zero_cap_keeps_the_ring_tiny_but_alive() {
+        let fr = FlightRecorder::new(0);
+        for _ in 0..100 {
+            fr.record(rec("-", "hit"));
+        }
+        assert!(!fr.is_empty());
+        assert!(fr.len() <= SHARD_COUNT);
+    }
+}

@@ -197,19 +197,27 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                            // Surrogate pairs are not needed for our own
-                            // exporter output; map lone surrogates to the
-                            // replacement character.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            if (0xd800..0xdc00).contains(&code)
+                                && self.bytes.get(self.pos + 1..self.pos + 3) == Some(b"\\u")
+                            {
+                                // High surrogate followed by another \u
+                                // escape: combine the pair into one
+                                // astral scalar (the exporter emits
+                                // non-BMP names this way).
+                                let low = self.hex4(self.pos + 3)?;
+                                if (0xdc00..0xe000).contains(&low) {
+                                    let astral = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    out.push(char::from_u32(astral).unwrap_or('\u{fffd}'));
+                                    self.pos += 6;
+                                    self.pos += 1;
+                                    continue;
+                                }
+                            }
+                            // Lone surrogates map to the replacement
+                            // character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -226,6 +234,13 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape starting at byte `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+        u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
     }
 
     fn number(&mut self) -> Result<Json, String> {

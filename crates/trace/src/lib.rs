@@ -15,9 +15,18 @@
 //! * [`DecisionEvent`] — provenance for every inline/clone/outline/
 //!   pure-call decision: site, callee, verdict, reason code, benefit,
 //!   cost, and budget state, queryable as a sorted text report;
+//! * [`EventLog`] — a leveled, structured `key=value` event log with a
+//!   canonical one-line text encoding and a strict parser, the daemon's
+//!   operational record (request lifecycle, evictions, drains, errors);
+//! * [`FlightRecorder`] — an always-on, lock-sharded ring of the last N
+//!   request summaries, dumped on demand or when something goes wrong;
+//! * [`QuantileSketch`] — a deterministic, mergeable streaming quantile
+//!   sketch (integer bucket bounds, documented error bound) behind the
+//!   daemon's rolling p50/p95/p99 phase latencies;
 //! * exporters — Chrome `trace_event` JSON ([`chrome_trace_json`],
-//!   loadable in Perfetto) and a Prometheus-style text exposition
-//!   ([`MetricsRegistry::expose`]).
+//!   loadable in Perfetto, validated by [`validate_chrome_trace`]) and a
+//!   Prometheus-style text exposition ([`MetricsRegistry::expose`],
+//!   re-read strictly by [`parse_exposition`]).
 //!
 //! The crate is dependency-free (std only) and never reads a clock: every
 //! duration is supplied by the caller, which is what keeps trace *content*
@@ -25,13 +34,20 @@
 
 mod chrome;
 mod decision;
+mod event;
+mod flight;
 pub mod json;
 mod metrics;
 mod span;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, validate_chrome_trace};
 pub use decision::{DecisionEvent, DecisionKind, Verdict};
-pub use metrics::{MetricsRegistry, DRIFT_BUCKETS_MILLIS, LATENCY_BUCKETS_US};
+pub use event::{normalize_log, Event, EventLevel, EventLog};
+pub use flight::{parse_flight_dump, FlightRecord, FlightRecorder};
+pub use metrics::{
+    parse_exposition, ExpositionSeries, MetricsRegistry, QuantileSketch, DRIFT_BUCKETS_MILLIS,
+    LATENCY_BUCKETS_US, SKETCH_ERROR_PERCENT,
+};
 pub use span::{Span, SpanId, Tracer};
 
 /// How much the optimizer records into its [`Tracer`].

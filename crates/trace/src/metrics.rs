@@ -9,7 +9,7 @@
 //! name, which removes the only other ordering freedom.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Bucket upper bounds (microseconds) used for request/phase latency
 /// histograms: 100 µs to 10 s in half-decade steps.
@@ -209,6 +209,254 @@ impl MetricsRegistry {
     }
 }
 
+/// One parsed exposition series: `(series name with labels, value)`.
+/// Histogram expansions appear as their individual `_bucket`/`_sum`/
+/// `_count` series.
+pub type ExpositionSeries = (String, i128);
+
+/// Strictly parses a [`MetricsRegistry::expose`] document back into its
+/// series. Accepted lines are exactly the two shapes the encoder emits:
+/// `# TYPE <base> counter|gauge|histogram` comments and
+/// `<series> <integer>` samples (series = identifier, optionally with a
+/// `{key="value",…}` label block). Anything else is an error — this is
+/// the "strict reader" contract the exposition promises scrapers.
+///
+/// # Errors
+/// Describes the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<ExpositionSeries>, String> {
+    fn valid_series(name: &str) -> bool {
+        let (base, labels) = match name.split_once('{') {
+            Some((b, l)) => (b, Some(l)),
+            None => (name, None),
+        };
+        let base_ok = !base.is_empty()
+            && base
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        let labels_ok = match labels {
+            None => true,
+            // `key="value",key="value"` with a closing brace; values may
+            // hold anything except a raw quote.
+            Some(l) => match l.strip_suffix('}') {
+                None => false,
+                Some(body) => body.split(',').all(|pair| {
+                    pair.split_once('=').is_some_and(|(k, v)| {
+                        !k.is_empty()
+                            && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            && v.len() >= 2
+                            && v.starts_with('"')
+                            && v.ends_with('"')
+                            && !v[1..v.len() - 1].contains('"')
+                    })
+                }),
+            },
+        };
+        base_ok && labels_ok
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix("# TYPE ") {
+            let mut parts = comment.split(' ');
+            let (base, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !valid_series(base) || parts.next().is_some() {
+                return Err(format!("bad TYPE comment `{line}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("bad metric kind in `{line}`"));
+            }
+            continue;
+        }
+        // Labels may contain spaces inside quoted values, so split at the
+        // *last* space: everything before is the series name.
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad exposition line `{line}`"))?;
+        if !valid_series(name) {
+            return Err(format!("bad series name `{name}`"));
+        }
+        let value: i128 = value
+            .parse()
+            .map_err(|_| format!("bad sample value in `{line}`"))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Bucket upper bounds of the [`QuantileSketch`]: `0, 1, 2, …` growing by
+/// `max(1, b/4)` per step — at most 25% relative spacing — until the last
+/// bound, `u64::MAX`. Computed once; identical in every process.
+fn sketch_bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = vec![0u64];
+        let mut v = 0u64;
+        while v < u64::MAX {
+            // Step by ≤ 25% all the way to saturation, so the top bucket
+            // honours the same relative bound as the rest of the range.
+            v = v.saturating_add((v / 4).max(1));
+            b.push(v);
+        }
+        b
+    })
+}
+
+/// The documented relative error bound of [`QuantileSketch::quantile`],
+/// in percent: a reported quantile `q` satisfies `v ≤ q ≤ v·1.25` for the
+/// true order statistic `v` (exact for `v ≤ 4`, where buckets are
+/// single-valued).
+pub const SKETCH_ERROR_PERCENT: u64 = 25;
+
+/// A deterministic streaming quantile sketch: fixed-size geometric
+/// buckets, integer-only, mergeable.
+///
+/// Values land in buckets whose upper bounds grow by at most 25% per
+/// step ([`sketch_bounds`]); a quantile query returns the upper bound of
+/// the bucket holding the requested rank, so the answer overshoots the
+/// true order statistic by at most [`SKETCH_ERROR_PERCENT`] percent and
+/// never undershoots. No clocks, no floats — the text form
+/// ([`QuantileSketch::to_text`]) is integers only and byte-stable, and
+/// merging two sketches is per-bucket addition, so merged totals are
+/// independent of merge order (the same property the registry's counters
+/// rely on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: vec![0; sketch_bounds().len()],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = sketch_bounds().partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Folds another sketch in (per-bucket addition; order-independent).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The quantile at `permille` (e.g. 500 = p50, 990 = p99): the upper
+    /// bound of the bucket holding that rank. Returns 0 on an empty
+    /// sketch; `permille` is clamped to 1000.
+    pub fn quantile(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(permille/1000 · count), at least rank 1.
+        let rank = (self.count.saturating_mul(permille.min(1000)))
+            .div_ceil(1000)
+            .max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return sketch_bounds()[i];
+            }
+        }
+        u64::MAX
+    }
+
+    /// Serializes as integer-only text: a version line, totals, then one
+    /// `bucket <index> <count>` line per occupied bucket.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "quantile-sketch v1\ncount {}\nsum {}\n",
+            self.count, self.sum
+        );
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                out.push_str(&format!("bucket {i} {c}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses [`QuantileSketch::to_text`]; bucket counts must re-total to
+    /// the `count` line.
+    ///
+    /// # Errors
+    /// Describes the malformed or inconsistent line.
+    pub fn from_text(text: &str) -> Result<QuantileSketch, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("quantile-sketch v1") {
+            return Err("missing `quantile-sketch v1` header".to_string());
+        }
+        let mut s = QuantileSketch::new();
+        let mut total = 0u64;
+        for line in lines {
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("count") => {
+                    s.count = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad count line `{line}`"))?;
+                }
+                Some("sum") => {
+                    s.sum = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad sum line `{line}`"))?;
+                }
+                Some("bucket") => {
+                    let idx: usize = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&i| i < s.counts.len())
+                        .ok_or_else(|| format!("bad bucket index in `{line}`"))?;
+                    let c: u64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad bucket count in `{line}`"))?;
+                    s.counts[idx] = c;
+                    total += c;
+                }
+                _ => return Err(format!("bad sketch line `{line}`")),
+            }
+        }
+        if total != s.count {
+            return Err(format!(
+                "bucket counts total {total}, count line says {}",
+                s.count
+            ));
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +510,92 @@ mod tests {
         m.set_gauge("entries", 7);
         assert_eq!(m.gauge("entries"), 7);
         assert!(m.expose().contains("# TYPE entries gauge"));
+    }
+
+    #[test]
+    fn exposition_reparses_strictly() {
+        let m = MetricsRegistry::new();
+        m.inc("req_total{kind=\"a b\"}");
+        m.set_gauge("entries", -3);
+        m.observe("lat_us", &[100, 1000], 150);
+        let series = parse_exposition(&m.expose()).unwrap();
+        assert!(series.contains(&("req_total{kind=\"a b\"}".to_string(), 1)));
+        assert!(series.contains(&("entries".to_string(), -3)));
+        assert!(series.contains(&("lat_us_bucket{le=\"+Inf\"}".to_string(), 1)));
+        assert!(series.contains(&("lat_us_count".to_string(), 1)));
+
+        assert!(parse_exposition("name\n").is_err()); // no value
+        assert!(parse_exposition("name x\n").is_err()); // non-integer
+        assert!(parse_exposition("bad name 1\n").is_err()); // space in name
+        assert!(parse_exposition("name{k=v} 1\n").is_err()); // unquoted label
+        assert!(parse_exposition("# TYPE t welp\n").is_err()); // bad kind
+        assert!(parse_exposition("# TYPE t\n").is_err()); // missing kind
+    }
+
+    #[test]
+    fn sketch_bounds_are_error_bounded_and_cover_u64() {
+        let b = sketch_bounds();
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), u64::MAX);
+        for w in b.windows(2) {
+            assert!(w[1] > w[0]);
+            // ≤ 25% spacing past the unit-step region, everywhere.
+            assert!(w[1] - w[0] <= (w[0] / 4).max(1), "{} -> {}", w[0], w[1]);
+        }
+        assert!(b.len() < 300, "sketch stays small: {} buckets", b.len());
+    }
+
+    #[test]
+    fn sketch_quantiles_stay_within_the_documented_bound() {
+        // A known synthetic distribution: 1..=1000 once each.
+        let mut s = QuantileSketch::new();
+        for v in 1..=1000u64 {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        for (permille, truth) in [(500u64, 500u64), (950, 950), (990, 990), (1000, 1000)] {
+            let q = s.quantile(permille);
+            assert!(q >= truth, "p{permille}: {q} < {truth}");
+            assert!(
+                q <= truth + truth * SKETCH_ERROR_PERCENT / 100,
+                "p{permille}: {q} overshoots {truth}"
+            );
+        }
+        assert_eq!(QuantileSketch::new().quantile(500), 0);
+        // Small values are exact (unit-width buckets).
+        let mut small = QuantileSketch::new();
+        for v in [1u64, 2, 3, 4] {
+            small.record(v);
+        }
+        assert_eq!(small.quantile(500), 2);
+        assert_eq!(small.quantile(1000), 4);
+    }
+
+    #[test]
+    fn sketch_merge_is_order_independent_and_text_roundtrips() {
+        let (mut a, mut b) = (QuantileSketch::new(), QuantileSketch::new());
+        for v in [5u64, 70, 70, 9_000] {
+            a.record(v);
+        }
+        for v in [1u64, 1_000_000, 33] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+
+        let back = QuantileSketch::from_text(&ab.to_text()).unwrap();
+        assert_eq!(back, ab);
+        assert!(QuantileSketch::from_text("nope").is_err());
+        assert!(QuantileSketch::from_text("quantile-sketch v1\ncount 2\n").is_err());
+        assert!(
+            QuantileSketch::from_text("quantile-sketch v1\ncount 0\nsum 0\nbucket 999999 1\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! hloc classify <file.mc>...          Figure-5-style call-site classification
 //! hloc fuzz [OPTIONS]                 differential-fuzz the optimizer
 //! hloc serve [OPTIONS]                run the optimization daemon in-process
-//! hloc remote <addr> build|profile|stats|metrics|ping|shutdown
+//! hloc remote <addr> build|profile|stats|metrics|trace|flight|top|ping|shutdown
 //!                                     talk to a running daemon (hlod)
 //! hloc --version                      version + enabled features
 //! hloc help                           this text
@@ -87,17 +87,26 @@ USAGE:
                                        (exit 1 when findings are written)
   hloc serve [--addr A] [--workers N] [--queue N] [--cache N]
             [--pgo-threshold M] [--pgo-cap N] [--pgo-store PATH]
+            [--log PATH] [--log-stderr] [--slow-ms N] [--flight-cap N]
                                        run the optimization daemon in-process
   hloc remote <addr> build [OPTIONS] <file.mc>...
                                        optimize on a running daemon
                                        (--server-profile: use the daemon's
-                                       continuously-pushed profile aggregate)
+                                       continuously-pushed profile aggregate;
+                                       --trace PATH: fetch the request's trace
+                                       and write Chrome trace-event JSON;
+                                       --explain-remote[=FILTER]: print the
+                                       daemon-side span tree and decisions)
   hloc remote <addr> profile push [--key K | <file.mc>...] --delta FILE
                                   [--advance N]
                                        merge a profile delta into the daemon
   hloc remote <addr> profile stats [--key K | <file.mc>...]
                                        profile-store stats (+ merged profile
                                        text when a program is named)
+  hloc remote <addr> trace <id>        print a stored request trace (span tree,
+                                       decisions, per-phase timings)
+  hloc remote <addr> flight            dump the daemon's flight recorder
+  hloc remote <addr> top               per-phase latency quantiles (p50/95/99)
   hloc remote <addr> stats|metrics|ping|shutdown
   hloc --version                       version + enabled features
 
@@ -576,6 +585,20 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
             "--pgo-store" => {
                 cfg.pgo_store_path = Some(std::path::PathBuf::from(value("--pgo-store")?))
             }
+            "--log" => cfg.event_log_path = Some(std::path::PathBuf::from(value("--log")?)),
+            "--log-stderr" => cfg.log_stderr = true,
+            "--slow-ms" => {
+                cfg.slow_ms = Some(
+                    value("--slow-ms")?
+                        .parse()
+                        .map_err(|_| "bad --slow-ms value".to_string())?,
+                )
+            }
+            "--flight-cap" => {
+                cfg.flight_cap = value("--flight-cap")?
+                    .parse()
+                    .map_err(|_| "bad --flight-cap value".to_string())?
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -594,12 +617,12 @@ fn serve_cmd(rest: &[String]) -> Result<(), String> {
 /// once on the daemon's bytecode tier, feeding its tier metrics);
 /// run/sim stay local-only.
 fn remote_cmd(rest: &[String]) -> Result<(), String> {
-    let (addr, rest) = rest
-        .split_first()
-        .ok_or("usage: hloc remote <addr> build|profile|stats|metrics|ping|shutdown")?;
-    let (sub, rest) = rest
-        .split_first()
-        .ok_or("usage: hloc remote <addr> build|profile|stats|metrics|ping|shutdown")?;
+    let (addr, rest) = rest.split_first().ok_or(
+        "usage: hloc remote <addr> build|profile|stats|metrics|trace|flight|top|ping|shutdown",
+    )?;
+    let (sub, rest) = rest.split_first().ok_or(
+        "usage: hloc remote <addr> build|profile|stats|metrics|trace|flight|top|ping|shutdown",
+    )?;
     let mut client =
         serve::Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
     match sub.as_str() {
@@ -630,12 +653,19 @@ fn remote_cmd(rest: &[String]) -> Result<(), String> {
             println!("reoptimizations {}", st.reoptimizations);
             println!("pgo programs    {}", st.pgo_programs);
             println!("pgo bytes       {}", st.pgo_bytes);
+            println!("slow requests   {}", st.slow_requests);
+            println!("flight records  {}", st.flight_records);
+            println!("traces stored   {}", st.traces_stored);
+            println!("events emitted  {}", st.events_emitted);
             for (stage, wall, work) in &st.stages {
                 println!("stage {stage:<12} {wall:>10} us wall {work:>10} us work");
             }
             for (phase, count, sum) in &st.latencies {
                 let mean = if *count > 0 { sum / count } else { 0 };
                 println!("latency {phase:<12} {count:>6} obs {mean:>10} us mean");
+            }
+            for (phase, p50, p95, p99) in &st.quantiles {
+                println!("quantile {phase:<11} p50 {p50:>8} us  p95 {p95:>8} us  p99 {p99:>8} us");
             }
             Ok(())
         }
@@ -647,6 +677,49 @@ fn remote_cmd(rest: &[String]) -> Result<(), String> {
         "ping" => {
             client.ping().map_err(|e| e.to_string())?;
             println!("pong");
+            Ok(())
+        }
+        "trace" => {
+            let id = rest.first().ok_or("usage: hloc remote <addr> trace <id>")?;
+            let t = client.trace_fetch(id).map_err(|e| e.to_string())?;
+            println!("trace {} ({} us wall, cache {})", t.trace_id, t.wall_us, {
+                // The cache section is CacheOutcome text; its first line
+                // (`hit true|false`) is the headline.
+                t.cache.lines().next().unwrap_or("?").to_string()
+            });
+            for (phase, us) in &t.phases {
+                println!("phase {phase:<12} {us:>10} us");
+            }
+            print!("{}", t.spans);
+            print!("{}", t.decisions);
+            Ok(())
+        }
+        "flight" => {
+            let (dump, admitted) = client.flight_dump().map_err(|e| e.to_string())?;
+            let kept = dump.lines().count();
+            println!("flight recorder: {kept} of {admitted} admitted requests retained");
+            print!("{dump}");
+            Ok(())
+        }
+        "top" => {
+            let st = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{} requests over {} ms uptime ({} slow, {} errors)",
+                st.requests, st.uptime_ms, st.slow_requests, st.errors
+            );
+            println!(
+                "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                "phase", "count", "mean(us)", "p50(us)", "p95(us)", "p99(us)"
+            );
+            for (phase, p50, p95, p99) in &st.quantiles {
+                let (count, mean) = st
+                    .latencies
+                    .iter()
+                    .find(|(p, _, _)| p == phase)
+                    .map(|(_, c, s)| (*c, if *c > 0 { s / c } else { 0 }))
+                    .unwrap_or((0, 0));
+                println!("{phase:<12} {count:>8} {mean:>12} {p50:>10} {p95:>10} {p99:>10}");
+            }
             Ok(())
         }
         "shutdown" => {
@@ -666,6 +739,8 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     let mut deadline_ms: Option<u64> = None;
     let mut train_arg: Option<i64> = None;
     let mut emit_ir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut explain_remote: Option<Option<String>> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -713,6 +788,11 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
                 )
             }
             "--emit-ir" => emit_ir = Some(value("--emit-ir")?),
+            "--trace" => trace_out = Some(value("--trace")?),
+            "--explain-remote" => explain_remote = Some(None),
+            e if e.starts_with("--explain-remote=") => {
+                explain_remote = Some(Some(e["--explain-remote=".len()..].to_string()))
+            }
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown remote build option `{other}`")),
         }
@@ -730,12 +810,16 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
         (None, true) => serve::ProfileSpec::Server,
         (None, false) => serve::ProfileSpec::None,
     };
+    // A trace id is minted only when something will consume the trace —
+    // untraced requests skip the daemon's tracer entirely.
+    let trace_id = (trace_out.is_some() || explain_remote.is_some()).then(serve::mint_trace_id);
     let req = serve::OptimizeRequest {
         options: opts,
         source: serve::SourceKind::Minc(load_sources(&files)?),
         profile,
         deadline_ms,
         train_arg,
+        trace_id: trace_id.clone(),
     };
     let resp = client.optimize(&req).map_err(|e| e.to_string())?;
     eprintln!("{}", resp.report);
@@ -766,6 +850,25 @@ fn remote_build(client: &mut serve::Client, rest: &[String]) -> Result<(), Strin
     );
     if let Some(p) = &resp.pgo {
         eprintln!("pgo: {p}");
+    }
+    if let Some(id) = &trace_id {
+        let trace = client.trace_fetch(id).map_err(|e| e.to_string())?;
+        eprintln!("trace: {id} ({} us wall)", trace.wall_us);
+        if let Some(filter) = &explain_remote {
+            eprint!("{}", trace.spans);
+            match filter {
+                Some(f) => {
+                    for line in trace.decisions.lines().filter(|l| l.contains(f.as_str())) {
+                        eprintln!("{line}");
+                    }
+                }
+                None => eprint!("{}", trace.decisions),
+            }
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, &trace.chrome).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
     }
     match emit_ir.as_deref() {
         Some("-") => print!("{}", resp.ir_text),

@@ -4,7 +4,8 @@
 //! hlod [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!      [--max-payload BYTES] [--deadline-ms N]
 //!      [--pgo-threshold MILLIS] [--pgo-cap N] [--pgo-store PATH]
-//!      [--no-incremental]
+//!      [--no-incremental] [--log PATH] [--log-stderr]
+//!      [--slow-ms N] [--flight-cap N]
 //! hlod --version
 //! ```
 //!
@@ -91,6 +92,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 cfg.pgo_store_path = Some(std::path::PathBuf::from(value("--pgo-store")?))
             }
             "--no-incremental" => cfg.incremental = false,
+            "--log" => cfg.event_log_path = Some(std::path::PathBuf::from(value("--log")?)),
+            "--log-stderr" => cfg.log_stderr = true,
+            "--slow-ms" => {
+                cfg.slow_ms = Some(
+                    value("--slow-ms")?
+                        .parse()
+                        .map_err(|_| "bad --slow-ms value".to_string())?,
+                )
+            }
+            "--flight-cap" => {
+                cfg.flight_cap = value("--flight-cap")?
+                    .parse()
+                    .map_err(|_| "bad --flight-cap value".to_string())?
+            }
             other => return Err(format!("unknown option `{other}`; try `hlod --help`")),
         }
     }
@@ -124,6 +139,11 @@ OPTIONS:
                        write+rename; reloaded on startup)
   --no-incremental     rebuild whole programs on every cache miss instead
                        of splicing cached per-partition results
+  --log PATH           append structured events (crash-safe, one per line)
+  --log-stderr         also mirror structured events to stderr
+  --slow-ms N          wall-time bound; slower requests are logged and the
+                       flight recorder is auto-dumped (default: off)
+  --flight-cap N       request summaries in the flight recorder (default: 256)
   --version            print version and enabled features
 
 Stop it with `hloc remote <addr> shutdown`; queued work is drained first."

@@ -22,39 +22,11 @@ fn run(args: &[&str]) -> bool {
 }
 
 /// Checks that `text` is valid JSON shaped like a Chrome trace-event
-/// document: a `traceEvents` array whose entries all carry `name`/`ph`/
-/// `ts`, with at least one complete (`"ph":"X"`) span. Returns the event
-/// count.
+/// document. The actual schema lives next to the exporter
+/// ([`hlo::validate_chrome_trace`]) so daemon-side trace replies and this
+/// gate enforce the same contract; this is a thin delegation.
 fn check_trace_schema(text: &str) -> Result<usize, String> {
-    use hlo::trace_json::{parse, Json};
-    let doc = parse(text)?;
-    let events = doc
-        .get("traceEvents")
-        .and_then(Json::as_array)
-        .ok_or("missing `traceEvents` array")?;
-    let mut complete = 0;
-    for (i, e) in events.iter().enumerate() {
-        e.get("name")
-            .and_then(Json::as_str)
-            .ok_or(format!("event {i}: missing `name`"))?;
-        let ph = e
-            .get("ph")
-            .and_then(Json::as_str)
-            .ok_or(format!("event {i}: missing `ph`"))?;
-        e.get("ts")
-            .and_then(Json::as_f64)
-            .ok_or(format!("event {i}: missing `ts`"))?;
-        if ph == "X" {
-            e.get("dur")
-                .and_then(Json::as_f64)
-                .ok_or(format!("event {i}: complete event without `dur`"))?;
-            complete += 1;
-        }
-    }
-    if complete == 0 {
-        return Err("no complete (`ph:\"X\"`) span events".to_string());
-    }
-    Ok(events.len())
+    hlo::validate_chrome_trace(text)
 }
 
 /// Every reason code the pipeline can emit must appear (backtick-quoted)

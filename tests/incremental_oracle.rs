@@ -114,6 +114,7 @@ fn minc_request(srcs: &[(&str, &str)], opts: &HloOptions) -> OptimizeRequest {
         profile: ProfileSpec::None,
         deadline_ms: None,
         train_arg: None,
+        trace_id: None,
     }
 }
 
@@ -250,6 +251,7 @@ fn edit_sweep_over_suite_and_fuzz_programs_is_byte_identical() {
             profile: ProfileSpec::None,
             deadline_ms: None,
             train_arg: None,
+            trace_id: None,
         };
         let expect = |p: &Program| {
             let mut q = p.clone();
